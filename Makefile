@@ -1,0 +1,27 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e .[dev]
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro report --out report
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf report benchmarks/out .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

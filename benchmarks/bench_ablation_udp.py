@@ -1,0 +1,73 @@
+"""Ablation: can a thinner network stack (UDP GETs) close Mercury's gap?
+
+The paper's Fig. 4 shows ~87% of a small GET is kernel TCP/IP time, and
+production fleets attack that in software by serving GETs over UDP.
+This ablation asks: if the Bags baseline *and* Mercury both adopt UDP,
+does the commodity server catch up?  (No: the 10x is mostly density x
+core count, not just stack overhead.)
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.baselines import MEMCACHED_BAGS
+from repro.core import ServerDesign, mercury_stack
+from repro.cpu import XEON_CORE
+from repro.network.udp import udp_get_instructions
+from repro.network.packets import request_wire_payloads
+from repro.core.calibration import DEFAULT_CALIBRATION
+
+
+def udp_comparison():
+    # Per-core gain from swapping the transport, on both architectures.
+    model = mercury_stack(1).latency_model()
+    a7_tcp = model.request_timing("GET", 64, transport="tcp").tps
+    a7_udp = model.request_timing("GET", 64, transport="udp").tps
+
+    # Apply the same relative savings to the Bags baseline: ~80% of its
+    # request path is network stack (Fig. 4), and UDP shrinks that part
+    # by the udp/tcp instruction ratio.
+    tcp_cost = DEFAULT_CALIBRATION.tcp.instructions_for(request_wire_payloads("GET", 64))
+    udp_cost = udp_get_instructions(64)
+    network_share = 0.8
+    bags_tcp = MEMCACHED_BAGS.tps
+    bags_udp = bags_tcp / (
+        (1.0 - network_share) + network_share * udp_cost / tcp_cost
+    )
+
+    design = ServerDesign(stack=mercury_stack(32))
+    mercury_tcp = a7_tcp * design.total_cores
+    mercury_udp = a7_udp * design.total_cores
+    return {
+        "a7_gain": a7_udp / a7_tcp,
+        "bags_tcp": bags_tcp,
+        "bags_udp": bags_udp,
+        "mercury_tcp": mercury_tcp,
+        "mercury_udp": mercury_udp,
+    }
+
+
+def test_udp_ablation(benchmark):
+    numbers = benchmark(udp_comparison)
+    rows = [
+        ["Bags (Xeon)", numbers["bags_tcp"] / 1e6, numbers["bags_udp"] / 1e6],
+        ["Mercury-32", numbers["mercury_tcp"] / 1e6, numbers["mercury_udp"] / 1e6],
+        ["Mercury/Bags ratio",
+         numbers["mercury_tcp"] / numbers["bags_tcp"],
+         numbers["mercury_udp"] / numbers["bags_udp"]],
+    ]
+    emit(
+        "ablation_udp",
+        render_table(
+            ["System", "TCP GETs (MTPS)", "UDP GETs (MTPS)"],
+            rows,
+            caption="Ablation: UDP transport on both sides, 64B GETs",
+        ),
+    )
+    # The thin stack helps everyone (>1.3x per core)...
+    assert numbers["a7_gain"] > 1.3
+    # ...but Mercury's advantage over the UDP-enabled baseline remains
+    # >5x: the win is structural (cores x integration), not just stack
+    # overhead.
+    assert numbers["mercury_udp"] / numbers["bags_udp"] > 5.0

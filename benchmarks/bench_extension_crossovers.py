@@ -1,0 +1,62 @@
+"""Extension experiment: where the crossovers fall.
+
+Shape reproduction is about orderings *and* their boundaries.  This
+benchmark computes the deployment-relevant crossovers the paper implies
+but never quantifies: how write-heavy can Iridium traffic get, and at
+what dataset size does the Iridium (McDipper) fleet become the cheaper
+answer than Mercury.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.analysis.crossover import (
+    iridium_put_fraction_crossover,
+    mercury_efficiency_factor_crossover,
+    mercury_iridium_tco_crossover,
+)
+
+
+def compute_crossovers():
+    return {
+        "iridium_put_fraction": iridium_put_fraction_crossover(),
+        "tco_boundary_gb_5mtps": mercury_iridium_tco_crossover(peak_tps=5e6),
+        "tco_boundary_gb_20mtps": mercury_iridium_tco_crossover(peak_tps=20e6),
+        "tco_boundary_gb_80mtps": mercury_iridium_tco_crossover(peak_tps=80e6),
+        "mercury_2x_efficiency_size": mercury_efficiency_factor_crossover(2.0),
+    }
+
+
+def test_crossovers(benchmark):
+    values = benchmark(compute_crossovers)
+    rows = [
+        ["Iridium TPS falls below Bags at PUT fraction",
+         f"{values['iridium_put_fraction']:.0%}"],
+        ["Iridium fleet cheaper than Mercury above (5 MTPS)",
+         f"{values['tco_boundary_gb_5mtps']:,.0f} GB"],
+        ["Iridium fleet cheaper than Mercury above (20 MTPS)",
+         f"{values['tco_boundary_gb_20mtps']:,.0f} GB"],
+        ["Iridium fleet cheaper than Mercury above (80 MTPS)",
+         f"{values['tco_boundary_gb_80mtps']:,.0f} GB"],
+        ["Mercury TPS/W lead over Bags drops below 2x at",
+         "never (across 64B-1MB)"
+         if values["mercury_2x_efficiency_size"] is None
+         else f"{values['mercury_2x_efficiency_size']:,.0f} B"],
+    ]
+    emit(
+        "extension_crossovers",
+        render_table(["Crossover", "Value"], rows,
+                     caption="Extension: deployment-boundary crossovers"),
+    )
+
+    # Iridium tolerates far more PUTs than any caching mix contains.
+    assert 0.3 < values["iridium_put_fraction"] < 0.9
+    # The TCO boundary moves outward with the request rate.
+    assert (
+        values["tco_boundary_gb_5mtps"]
+        < values["tco_boundary_gb_20mtps"]
+        < values["tco_boundary_gb_80mtps"]
+    )
+    # Mercury's efficiency lead never collapses to 2x at any size.
+    assert values["mercury_2x_efficiency_size"] is None

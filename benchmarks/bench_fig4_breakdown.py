@@ -1,0 +1,38 @@
+"""Regenerates Figure 4: GET/PUT execution-time breakdown vs request size
+(A15@1GHz, 2 MB L2, 10 ns DRAM)."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import figure4_breakdown, render_series
+
+
+def test_fig4(benchmark):
+    panels = benchmark(figure4_breakdown)
+    for panel in panels:
+        emit(
+            f"fig4_{panel.x_label.split()[0].lower()}",
+            render_series(panel.x_label, panel.x_values, panel.series,
+                          caption=panel.title),
+        )
+
+    get_panel, put_panel = panels
+
+    # Fig. 4a anchors: at small GETs ~87% network / ~10% memcached /
+    # ~2-3% hash; at large sizes network approaches 100%.
+    i64 = list(get_panel.x_values).index("64")
+    assert get_panel.series["Network Stack"][i64] == pytest.approx(87, abs=4)
+    assert get_panel.series["Memcached"][i64] == pytest.approx(10, abs=4)
+    assert get_panel.series["Hash Computation"][i64] == pytest.approx(3, abs=2)
+    assert get_panel.series["Network Stack"][-1] > 95
+
+    # Fig. 4b anchors: PUT metadata up to ~30% somewhere in the sweep,
+    # network still ~70% at those sizes; hash ~1%.
+    put_mc_peak = max(put_panel.series["Memcached"])
+    assert 18 < put_mc_peak < 35
+    assert min(put_panel.series["Network Stack"]) > 60
+    # "hash computation takes the same time for a PUT ... however it
+    # represents a much smaller portion" (the PUT path is heavier).
+    assert put_panel.series["Hash Computation"][i64] < get_panel.series[
+        "Hash Computation"
+    ][i64]

@@ -1,0 +1,41 @@
+"""Regenerates Figure 5: Mercury-1 TPS across request sizes, DRAM
+latencies (10-100 ns), CPU types, and L2 presence."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import figure5_mercury_latency_sweep, render_series
+
+
+def test_fig5(benchmark):
+    panels = benchmark(figure5_mercury_latency_sweep)
+    for index, panel in enumerate(panels):
+        emit(
+            f"fig5_{'abcd'[index]}",
+            render_series(panel.x_label, panel.x_values, panel.series,
+                          caption=panel.title),
+        )
+    a15_l2, a15_nol2, a7_l2, a7_nol2 = panels
+
+    # Fig. 5a: A15 with L2 at 10 ns serves ~27 KTPS at 64 B.
+    assert a15_l2.series["10ns GET"][0] == pytest.approx(27, rel=0.15)
+    # Fig. 5c: A7 with L2 ~11 KTPS, and nearly latency-insensitive.
+    assert a7_l2.series["10ns GET"][0] == pytest.approx(11, rel=0.15)
+    spread = a7_l2.series["10ns GET"][0] / a7_l2.series["100ns GET"][0]
+    assert spread < 1.3
+
+    # Without an L2, latency sensitivity is dramatic for both cores.
+    for panel in (a15_nol2, a7_nol2):
+        ratio = panel.series["10ns GET"][0] / panel.series["100ns GET"][0]
+        assert ratio > 2.5
+
+    # With L2 the A15 is ~3x the A7 at small sizes; without, only 1-2x.
+    with_l2 = a15_l2.series["10ns GET"][0] / a7_l2.series["10ns GET"][0]
+    without = a15_nol2.series["10ns GET"][0] / a7_nol2.series["10ns GET"][0]
+    assert 2.0 < with_l2 < 3.2
+    assert 1.0 < without < 2.5
+
+    # TPS decays monotonically with request size everywhere.
+    for panel in panels:
+        for series in panel.series.values():
+            assert list(series) == sorted(series, reverse=True)

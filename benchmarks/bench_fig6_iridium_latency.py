@@ -1,0 +1,37 @@
+"""Regenerates Figure 6: Iridium-1 TPS across request sizes and flash
+read latencies (10/20 us; writes fixed at 200 us)."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import figure6_iridium_latency_sweep, render_series
+
+
+def test_fig6(benchmark):
+    panels = benchmark(figure6_iridium_latency_sweep)
+    for index, panel in enumerate(panels):
+        emit(
+            f"fig6_{'abcd'[index]}",
+            render_series(panel.x_label, panel.x_values, panel.series,
+                          caption=panel.title),
+        )
+    a15_l2, a15_nol2, a7_l2, a7_nol2 = panels
+
+    # §6.2 anchors: with an L2, several KTPS for GETs; PUTs below 1 KTPS;
+    # without an L2, below 0.1 KTPS — "not acceptable".
+    assert 4 < a7_l2.series["10us GET"][0] < 8
+    assert 5 < a15_l2.series["10us GET"][0] < 10
+    assert a7_l2.series["10us PUT"][0] < 1.0
+    assert a15_nol2.series["10us GET"][0] < 0.2
+    assert a7_nol2.series["10us GET"][0] < 0.1
+
+    # The A15's advantage is muted on flash (~25-50%, not 3x).
+    ratio = a15_l2.series["10us GET"][0] / a7_l2.series["10us GET"][0]
+    assert 1.1 < ratio < 1.6
+
+    # 20 us flash is slower than 10 us flash, but far less than 2x (CPU
+    # time dilutes it).
+    for panel in (a15_l2, a7_l2):
+        fast = panel.series["10us GET"][0]
+        slow = panel.series["20us GET"][0]
+        assert 1.0 < fast / slow < 2.0

@@ -1,0 +1,43 @@
+"""Regenerates Figure 8: power vs TPS@64B for every Mercury/Iridium
+configuration (the power/throughput trade-off)."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import figure8_power_vs_tps, render_series
+
+
+def test_fig8(benchmark):
+    mercury, iridium = benchmark(figure8_power_vs_tps)
+    for name, panel in (("fig8_a_mercury", mercury), ("fig8_b_iridium", iridium)):
+        emit(name, render_series(panel.x_label, panel.x_values, panel.series,
+                                 caption=panel.title))
+
+    m_power = dict(zip(mercury.x_values, mercury.series["Power (W)"]))
+    m_tps = dict(zip(mercury.x_values, mercury.series["TPS @64B (millions)"]))
+    i_power = dict(zip(iridium.x_values, iridium.series["Power (W)"]))
+    i_tps = dict(zip(iridium.x_values, iridium.series["TPS @64B (millions)"]))
+
+    # §6.4 anchors: Mercury-32 on A7s delivers ~32.7 MTPS at ~597 W.
+    assert m_tps["Mercury-32 A7@1GHz"] == pytest.approx(32.7, rel=0.15)
+    assert m_power["Mercury-32 A7@1GHz"] == pytest.approx(597, rel=0.05)
+
+    # The best A15 configuration is Mercury-16 @1GHz (~19.4 MTPS, ~678 W)
+    # and Mercury-32 @1GHz delivers nearly the same throughput from fewer
+    # stacks at slightly less power.
+    a15_16 = m_tps["Mercury-16 A15@1GHz"]
+    a15_32 = m_tps["Mercury-32 A15@1GHz"]
+    assert a15_16 == pytest.approx(19.4, rel=0.2)
+    assert a15_32 == pytest.approx(a15_16, rel=0.15)
+
+    # Iridium-32 on A7s: half Mercury's TPS at roughly the same power.
+    assert i_tps["Iridium-32 A7@1GHz"] == pytest.approx(
+        m_tps["Mercury-32 A7@1GHz"] / 2, rel=0.2
+    )
+    assert i_power["Iridium-32 A7@1GHz"] == pytest.approx(
+        m_power["Mercury-32 A7@1GHz"], rel=0.1
+    )
+
+    # No configuration exceeds the 750 W supply.
+    assert max(m_power.values()) <= 751
+    assert max(i_power.values()) <= 751

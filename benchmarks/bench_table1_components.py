@@ -1,0 +1,23 @@
+"""Regenerates Table 1: power and area of the 3D-stack components."""
+
+from conftest import emit
+
+from repro.analysis import render_table, table1_components
+
+
+def test_table1(benchmark):
+    headers, rows = benchmark(table1_components)
+    emit(
+        "table1",
+        render_table(headers, rows, caption="Table 1: 3D-stack component power/area"),
+    )
+    # Sanity: the catalogue is complete and ordered as in the paper.
+    assert [row[0] for row in rows] == [
+        "A7@1GHz",
+        "A15@1GHz",
+        "A15@1.5GHz",
+        "3D DRAM (4GB)",
+        "3D NAND Flash (19.8GB)",
+        "3D Stack NIC (MAC)",
+        "Physical NIC (PHY)",
+    ]

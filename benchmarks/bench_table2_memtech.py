@@ -1,0 +1,17 @@
+"""Regenerates Table 2: 3D-stacked DRAM vs DIMM packages."""
+
+from conftest import emit
+
+from repro.analysis import render_table, table2_memory_technologies
+
+
+def test_table2(benchmark):
+    headers, rows = benchmark(table2_memory_technologies)
+    emit(
+        "table2",
+        render_table(headers, rows, caption="Table 2: memory technology comparison"),
+    )
+    by_name = {row[0]: row for row in rows}
+    # The stacked entries must dominate DIMM bandwidth (the table's point).
+    assert by_name["Future Tezzaron (3D-stack)"][1] == 100.0
+    assert by_name["DDR3-1333"][1] < 11

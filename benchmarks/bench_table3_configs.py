@@ -1,0 +1,39 @@
+"""Regenerates Table 3: area/power/density/max-BW for every 1.5U
+Mercury and Iridium configuration ({A15@1.5, A15@1, A7} x n in
+{1,2,4,8,16,32})."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import render_table, table3_configurations
+
+
+def test_table3(benchmark):
+    headers, rows = benchmark(table3_configurations)
+    emit(
+        "table3",
+        render_table(
+            headers, rows, caption="Table 3: 1.5U maximum configurations"
+        ),
+    )
+    assert len(rows) == 36
+    by_key = {(row[0], row[1], row[2]): row for row in rows}
+
+    # Paper spot-checks (stacks derived from density / per-stack GB).
+    def stacks(family, cpu, n):
+        return by_key[(family, cpu, n)][3]
+
+    # A7 configs are Ethernet-port limited at 96 until Mercury-32.
+    assert stacks("Mercury", "A7@1GHz", 8) == 96
+    assert stacks("Iridium", "A7@1GHz", 32) == 96
+    # A15 configs shed stacks to the power budget, matching the paper
+    # within a few stacks: 50 (paper) @1.5GHz n=8; 75 @1GHz n=8; 90 for
+    # Iridium @1GHz n=8 (exact).
+    assert stacks("Mercury", "A15@1.5GHz", 8) == pytest.approx(50, abs=3)
+    assert stacks("Mercury", "A15@1GHz", 8) == pytest.approx(75, abs=5)
+    assert stacks("Iridium", "A15@1GHz", 8) == 90
+
+    # Every power column respects the 750 W supply.
+    assert all(row[5] <= 751 for row in rows)
+    # Full-chassis area is ~635 cm^2 (96 stacks + 48 PHY chips).
+    assert by_key[("Mercury", "A7@1GHz", 8)][4] == pytest.approx(635, rel=0.01)

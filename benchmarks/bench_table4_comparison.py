@@ -1,0 +1,52 @@
+"""Regenerates Table 4: A7-based Mercury/Iridium vs prior art at 64 B
+GETs, plus the abstract's headline ratios and the §6.5 thermal check."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import compare_headlines, render_table, table4_comparison
+from repro.core import ServerDesign, mercury_stack, thermal_report
+
+
+def test_table4(benchmark):
+    headers, rows = benchmark(table4_comparison)
+    emit(
+        "table4",
+        render_table(headers, rows, caption="Table 4: comparison to prior art @64B"),
+    )
+    by_name = {row[0]: row for row in rows}
+
+    # Bold cells of the paper's table: highest density is Iridium (1,901
+    # GB), highest TPS/W is Mercury-32, highest TPS/GB is Mercury-32.
+    densities = {name: row[3] for name, row in by_name.items()}
+    assert max(densities, key=densities.get).startswith("Iridium")
+    efficiency = {name: row[6] for name, row in by_name.items()}
+    assert max(efficiency, key=efficiency.get) == "Mercury-32[A7@1GHz]"
+
+    # Baseline columns reproduce the published numbers.
+    assert by_name["Bags"][5] == pytest.approx(3.15, rel=0.05)
+    assert by_name["TSSP"][6] == pytest.approx(17.6, rel=0.05)
+    assert by_name["Memcached 1.4"][5] == pytest.approx(0.41, rel=0.05)
+
+
+def test_headline_ratios(benchmark):
+    comparisons = benchmark(compare_headlines)
+    lines = ["Abstract headline ratios (vs Bags unless noted):",
+             f"{'metric':40s}  {'paper':>7s}  {'ours':>7s}  {'err':>5s}"]
+    for c in comparisons:
+        lines.append(f"{c.name:40s}  {c.paper:7.2f}  {c.measured:7.2f}  "
+                     f"{c.relative_error:5.0%}")
+    emit("table4_headlines", "\n".join(lines))
+    assert all(c.relative_error < 0.20 for c in comparisons)
+
+
+def test_cooling_section_6_5(benchmark):
+    report = benchmark(lambda: thermal_report(ServerDesign(stack=mercury_stack(32))))
+    emit(
+        "cooling",
+        (f"S6.5 cooling: {report.name} server TDP {report.server_tdp_w:.0f} W over "
+         f"{report.stacks} stacks = {report.per_stack_tdp_w:.1f} W/stack "
+         f"({report.power_density_w_per_cm2:.2f} W/cm^2); passive OK: "
+         f"{report.passively_coolable}"),
+    )
+    assert report.passively_coolable

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+it (visible with ``pytest benchmarks/ --benchmark-only -s`` or in the
+captured output), and archives it under ``benchmarks/out/`` so that
+EXPERIMENTS.md's paper-vs-measured records can be re-derived at any time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated artefact and archive it to benchmarks/out/."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")

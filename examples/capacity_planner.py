@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Capacity planning with dollars: size a key-value tier three ways
+(commodity Xeon, Mercury, Iridium), check flash endurance, and report
+TCO — the paper's §2.2 economics argument made executable.
+
+Run:  python examples/capacity_planner.py
+"""
+
+from repro import MEMCACHED_BAGS, OperatingPoint, ServerDesign, iridium_stack, mercury_stack
+from repro.analysis import render_table
+from repro.core.provisioning import (
+    Demand,
+    candidate_from_baseline,
+    candidate_from_design,
+    cheapest_plan,
+    plan_fleet,
+)
+from repro.memory import PBICS_19GB
+from repro.memory.endurance import endurance_report, max_put_rate_for_lifetime
+
+
+def plan_tier(name: str, demand: Demand) -> None:
+    point = OperatingPoint(value_bytes=demand.value_bytes)
+    candidates = [
+        candidate_from_baseline(MEMCACHED_BAGS, capex_usd=6_000),
+        candidate_from_design(ServerDesign(stack=mercury_stack(32)), 8_000, point),
+        candidate_from_design(ServerDesign(stack=iridium_stack(32)), 9_000, point),
+    ]
+    rows = []
+    for candidate in candidates:
+        plan = plan_fleet(candidate, demand)
+        rows.append(
+            [
+                candidate.name,
+                plan.servers,
+                plan.binding,
+                round(plan.tier_rack_units),
+                round(plan.cost.tco_usd / 1e3),
+                round(plan.cost.usd_per_gb, 2),
+            ]
+        )
+    print(
+        render_table(
+            ["Server", "Count", "Bound by", "U", "3yr TCO (k$)", "$/GB"],
+            rows,
+            caption=(
+                f"{name}: {demand.dataset_gb / 1024:.1f} TB, "
+                f"{demand.peak_tps / 1e6:.0f} MTPS peak, "
+                f"{demand.value_bytes} B values"
+            ),
+        )
+    )
+    best = cheapest_plan(candidates, demand)
+    print(f"-> cheapest: {best.candidate.name} ({best.servers} servers)\n")
+
+
+def endurance_check() -> None:
+    """Iridium tiers must also survive their write load (MLC flash)."""
+    print("Iridium endurance check (per 19.8 GB stack):")
+    for puts, size in ((2.0, 64 * 1024), (100.0, 1024), (2_000.0, 1024)):
+        report = endurance_report(PBICS_19GB, put_rate_hz=puts, value_bytes=size)
+        verdict = "OK for 3yr" if report.outlives(3.0) else "WEARS OUT"
+        print(
+            f"  {puts:7.0f} PUT/s of {size:6d} B -> "
+            f"{report.drive_writes_per_day:6.2f} DWPD, "
+            f"lifetime {report.lifetime_years:7.1f} yr   [{verdict}]"
+        )
+    ceiling = max_put_rate_for_lifetime(PBICS_19GB, years=3.0, value_bytes=1024)
+    print(f"  3-year ceiling at 1 KB values: {ceiling:.0f} PUT/s per stack\n")
+
+
+def main() -> None:
+    # A hot session cache: modest footprint, very high request rate —
+    # the throughput-bound regime where Mercury is the right tool.
+    plan_tier(
+        "Hot cache tier",
+        Demand(dataset_gb=2 * 1024, peak_tps=300e6, value_bytes=64),
+    )
+    # A McDipper-style photo pool: petabyte scale, moderate rate.
+    plan_tier(
+        "Photo cache tier",
+        Demand(dataset_gb=1_536 * 1024, peak_tps=10e6, value_bytes=64 * 1024),
+    )
+    endurance_check()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""A day in the life of a cache tier (§2.2): provision Mercury for the
+Netflix-style daily peak, then watch utilization, SLA, and energy hour
+by hour — quantifying why density, not elasticity, shrinks the stateful
+tier's footprint.
+
+Run:  python examples/day_in_the_life.py
+"""
+
+from repro.analysis.ascii_chart import bar_chart
+from repro.analysis.diurnal import day_in_the_life, fleet_for_peak
+from repro.baselines import MEMCACHED_BAGS
+from repro.core import ServerDesign, mercury_stack
+from repro.workloads.diurnal import DiurnalTraffic
+
+
+def main() -> None:
+    traffic = DiurnalTraffic(peak_rate_hz=60e6, trough_fraction=0.3)
+    design = ServerDesign(stack=mercury_stack(32))
+    servers = fleet_for_peak(design, traffic, utilization_target=0.75)
+    report = day_in_the_life(design, servers, traffic)
+
+    print(f"Fleet: {servers} x {report.server_name} "
+          f"({servers * 1.5:.1f}U of rack space)\n")
+    print(bar_chart(
+        [f"{state.hour:02d}:00" for state in report.hours],
+        [state.utilization * 100 for state in report.hours],
+        width=40,
+        title="Hourly utilization (%)",
+    ))
+    print(f"\npeak utilization  {report.peak_utilization:.0%}")
+    print(f"mean utilization  {report.mean_utilization:.0%}")
+    print(f"stranded capacity {report.stranded_fraction:.0%} "
+          f"(idle on average; cannot be powered off — the tier is stateful)")
+    print(f"worst-hour sub-ms SLA {report.worst_sla:.3f}")
+    print(f"energy for the day   {report.energy_kwh:.0f} kWh")
+
+    # The same peak on commodity Bags servers, for the footprint contrast.
+    import math
+
+    bags_servers = math.ceil(traffic.peak_rate_hz / (MEMCACHED_BAGS.tps * 0.75))
+    print(f"\nSame peak on commodity ({MEMCACHED_BAGS.name}) servers: "
+          f"{bags_servers} boxes = {bags_servers * 1.5:.0f}U "
+          f"vs Mercury's {servers * 1.5:.1f}U "
+          f"({bags_servers / servers:.0f}x the rack space)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Design-space exploration: sweep every Mercury/Iridium configuration
+and find the winners under different objectives (the decision the paper's
+Table 3 / Figs. 7-8 support).
+
+Run:  python examples/design_space_explorer.py
+"""
+
+from repro import OperatingPoint, best_config, design_space, evaluate_server
+from repro.analysis import render_table
+from repro.units import GB
+
+
+def main() -> None:
+    point = OperatingPoint(verb="GET", value_bytes=64)
+
+    rows = []
+    for design in design_space():
+        metrics = evaluate_server(design, point)
+        rows.append(
+            [
+                metrics.name,
+                metrics.stacks,
+                design.binding_constraint,
+                metrics.density_gb,
+                round(metrics.power_w),
+                round(metrics.tps / 1e6, 2),
+                round(metrics.ktps_per_watt, 1),
+            ]
+        )
+    print(
+        render_table(
+            ["Config", "Stacks", "Limit", "GB", "W", "MTPS", "KTPS/W"],
+            rows,
+            caption="All 36 design points at 64 B GETs",
+        )
+    )
+
+    print("\nWinners by objective:")
+    for label, objective in (
+        ("throughput", lambda m: m.tps),
+        ("efficiency (TPS/W)", lambda m: m.tps_per_watt),
+        ("density (GB)", lambda m: m.density_gb),
+        ("accessibility (TPS/GB)", lambda m: m.tps_per_gb),
+    ):
+        design, metrics = best_config(objective, point)
+        print(f"  best {label:24s}: {metrics.name:28s} "
+              f"{metrics.tps / 1e6:6.1f} MTPS, {metrics.density_gb:6.0f} GB, "
+              f"{metrics.ktps_per_watt:5.1f} KTPS/W")
+
+    # The paper's design rule of thumb, §6.3: Mercury-32 if performance is
+    # primary, Iridium-32 if density is primary.
+    throughput_winner, _ = best_config(lambda m: m.tps, point)
+    density_winner, _ = best_config(lambda m: m.density_gb * 1e9 + m.tps, point)
+    print(f"\nPerformance-first choice: {throughput_winner.stack.name}")
+    print(f"Density-first choice:     {density_winner.stack.name}")
+
+
+if __name__ == "__main__":
+    main()

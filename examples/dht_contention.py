@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""DHT hot-spot study (§3.8): increasing the number of physical nodes
+shrinks each node's arc of the consistent-hash ring, reducing resource
+contention — the property Mercury/Iridium get for free from their core
+counts.
+
+Run:  python examples/dht_contention.py
+"""
+
+from repro.kvstore import ConsistentHashRing
+from repro.sim.rng import make_rng
+from repro.workloads.distributions import ZipfKeys
+
+
+def hottest_node_share(physical_nodes: int, vnodes: int, requests: int = 15_000) -> float:
+    ring = ConsistentHashRing(
+        (f"node{i}" for i in range(physical_nodes)), vnodes=vnodes
+    )
+    rng = make_rng("dht", physical_nodes * 1000 + vnodes)
+    keys = ZipfKeys(population=150_000, skew=0.99)
+    sample = (keys.key(rng) for _ in range(requests))
+    return ring.hottest_fraction(sample)
+
+
+def main() -> None:
+    print("Share of requests absorbed by the hottest node")
+    print("(zipf-0.99 keys; lower is better)\n")
+    print(f"{'physical nodes':>15s}  {'v=1':>7s}  {'v=16':>7s}  {'v=100':>7s}")
+    for nodes in (6, 16, 96, 768):
+        shares = [hottest_node_share(nodes, v) for v in (1, 16, 100)]
+        fair = 1.0 / nodes
+        print(f"{nodes:>15d}  " + "  ".join(f"{s:7.3%}" for s in shares)
+              + f"   (fair share {fair:.3%})")
+    print(
+        "\nA commodity box exposes ~6-16 Memcached nodes per 1.5U; a "
+        "Mercury-32 server exposes ~3,000.\nMore physical nodes -> smaller "
+        "arcs -> the hottest node's overload factor shrinks, even before\n"
+        "virtual nodes are added (§3.8's argument, reproduced)."
+    )
+
+
+if __name__ == "__main__":
+    main()

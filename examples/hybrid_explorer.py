@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Explore the hybrid (DRAM-fronted flash) design space between Mercury
+and Iridium, with hot-tier hit rates from Che's approximation (validated
+against the real LRU in the test suite).
+
+Run:  python examples/hybrid_explorer.py
+"""
+
+from repro.analysis import bar_chart, render_table
+from repro.core.hybrid import HybridStack, hybrid_sweep
+from repro.workloads.che import cache_items_for_hit_rate, zipf_popularities
+
+
+def sweep() -> None:
+    rows = hybrid_sweep(cores=32, value_bytes=64)
+    print(
+        render_table(
+            ["DRAM layers", "GB", "hot hit", "GET KTPS/core", "PUT KTPS/core"],
+            [
+                [int(r["dram_layers"]), round(r["capacity_gb"], 1),
+                 f"{r['hot_hit_rate']:.0%}", round(r["get_ktps_per_core"], 2),
+                 round(r["put_ktps_per_core"], 2)]
+                for r in rows
+            ],
+            caption="Hybrid design space: 32 A7 cores, zipf-0.99 64B GETs",
+        )
+    )
+    print()
+    print(bar_chart(
+        [f"{int(r['dram_layers'])} DRAM layers" for r in rows],
+        [r["get_ktps_per_core"] for r in rows],
+        width=40,
+        title="GET KTPS per core vs DRAM layers (0 = Iridium, 8 = Mercury)",
+    ))
+
+
+def sizing_with_che() -> None:
+    """How big must a hot tier be for a target hit rate?"""
+    population = 500_000
+    p = zipf_popularities(population, 0.99)
+    print("\nHot-tier sizing (zipf 0.99, 500K objects, Che's approximation):")
+    for target in (0.5, 0.7, 0.9):
+        items = cache_items_for_hit_rate(p, target)
+        print(f"  {target:.0%} hit rate needs the hottest "
+              f"{items / population:6.2%} of objects resident")
+
+
+def recommendation() -> None:
+    one = HybridStack(cores=32, dram_layers=1)
+    print(
+        f"\nSweet spot: {one.name} — {one.capacity_bytes / 2**30:.1f} GB "
+        f"per stack ({one.hot_tier_fraction:.1%} of it DRAM), hot-tier hit "
+        f"rate {one.hot_hit_rate():.0%},\nGET rate "
+        f"{one.get_tps(64) / 1e3:.1f} KTPS/core vs Mercury's "
+        f"{HybridStack(32, 8).get_tps(64) / 1e3:.1f} and Iridium's "
+        f"{HybridStack(32, 0).get_tps(64) / 1e3:.1f}."
+    )
+
+
+def main() -> None:
+    sweep()
+    sizing_with_che()
+    recommendation()
+
+
+if __name__ == "__main__":
+    main()

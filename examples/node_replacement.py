@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Node replacement, end to end: kill a cache node, watch the database
+load spike, and compute how long until the replacement is warm — the
+operational consequence of Memcached's no-persistence failure model
+(§2.3), with warm-up times from the IRM transient model (validated
+against the functional store in the tests).
+
+Run:  python examples/node_replacement.py
+"""
+
+from repro.kvstore import MemcachedCluster
+from repro.units import MB
+from repro.workloads import (
+    WorkloadGenerator,
+    WorkloadSpec,
+    requests_to_hit_rate,
+    warmup_trajectory,
+    zipf_popularities,
+)
+
+
+def live_failure_demo() -> None:
+    cluster = MemcachedCluster(
+        [f"mc{i}" for i in range(8)], memory_per_node_bytes=16 * MB
+    )
+    spec = WorkloadSpec(name="site", get_fraction=1.0, key_population=40_000)
+    generator = WorkloadGenerator(spec, seed=21)
+
+    def run_window(requests: int) -> float:
+        """Read-through window; returns the DB read fraction."""
+        db_reads = 0
+        for request in generator.stream(requests):
+            if cluster.get(request.key) is None:
+                db_reads += 1
+                cluster.set(request.key, b"x" * request.value_bytes)
+        return db_reads / requests
+
+    run_window(60_000)  # initial cold fill
+    warm = run_window(20_000)
+    print(f"steady state: {warm:.1%} of reads reach the database")
+    cluster.kill_node("mc3")
+    cluster.add_node("mc3b", 16 * MB)
+    spike = run_window(10_000)
+    recovered = run_window(40_000)
+    print(f"node replaced: DB read fraction spikes to {spike:.1%}, "
+          f"then recovers to {recovered:.1%}")
+
+
+def analytic_warmup() -> None:
+    population = 1_000_000
+    p = zipf_popularities(population, 0.99)
+    node_share_items = 120_000  # one node's shard capacity, in objects
+    node_request_rate = 50_000.0  # GETs/s reaching the replacement node
+
+    print("\nAnalytic warm-up of the replacement node (IRM transient):")
+    for n, rate in warmup_trajectory(
+        p, node_share_items, (10_000, 100_000, 1_000_000, 10_000_000)
+    ):
+        print(f"  after {n:>12,.0f} requests: hit rate {rate:6.1%}")
+    to_warm = requests_to_hit_rate(p, node_share_items, 0.9)
+    to_steady = requests_to_hit_rate(p, node_share_items, 0.99)
+    print(f"  90% of steady state after {to_warm:,.0f} requests "
+          f"({to_warm / node_request_rate:.0f} s at "
+          f"{node_request_rate:,.0f} GET/s); 99% after "
+          f"{to_steady:,.0f} ({to_steady / node_request_rate / 60:.1f} min)")
+    print(
+        "\nOperational takeaway: the hot head refills in seconds, the "
+        "tail takes minutes — plan for\nelevated database load per "
+        "replaced node.  A denser fleet (fewer, bigger nodes) loses a\n"
+        "larger cache share per failure; Mercury's many small nodes "
+        "(§3.8) localise the damage."
+    )
+
+
+def main() -> None:
+    live_failure_demo()
+    analytic_warmup()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: build a Mercury server, run it at the paper's operating
+point, and compare it against the best commodity baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MEMCACHED_BAGS,
+    OperatingPoint,
+    ServerDesign,
+    evaluate_server,
+    iridium_stack,
+    mercury_stack,
+    thermal_report,
+)
+
+
+def main() -> None:
+    # A 1.5U server full of Mercury-32 stacks (32 Cortex-A7s over 4 GB of
+    # 3D DRAM per stack), packed under the paper's power/area/port limits.
+    mercury = ServerDesign(stack=mercury_stack(cores=32))
+    print(f"Mercury-32 server: {mercury.num_stacks} stacks "
+          f"({mercury.total_cores} cores, {mercury.density_gb:.0f} GB DRAM), "
+          f"limited by {mercury.binding_constraint}")
+
+    # Evaluate it serving 64 B GETs — the paper's headline workload.
+    point = OperatingPoint(verb="GET", value_bytes=64)
+    metrics = evaluate_server(mercury, point)
+    print(f"  {metrics.tps / 1e6:.1f} MTPS at {metrics.power_w:.0f} W "
+          f"-> {metrics.ktps_per_watt:.1f} KTPS/W, {metrics.ktps_per_gb:.1f} KTPS/GB")
+
+    # The flash-based Iridium trades throughput for density.
+    iridium = ServerDesign(stack=iridium_stack(cores=32))
+    imetrics = evaluate_server(iridium, point)
+    print(f"Iridium-32 server: {iridium.num_stacks} stacks, "
+          f"{iridium.density_gb / 1024:.1f} TB of flash")
+    print(f"  {imetrics.tps / 1e6:.1f} MTPS at {imetrics.power_w:.0f} W "
+          f"-> {imetrics.ktps_per_watt:.1f} KTPS/W")
+
+    # How do they compare with an optimised Memcached on a Xeon box?
+    bags = MEMCACHED_BAGS
+    print(f"\nBaseline ({bags.name}): {bags.tps / 1e6:.2f} MTPS at "
+          f"{bags.power_w:.0f} W with {bags.memory_gb:.0f} GB")
+    print(f"Mercury wins: {metrics.tps / bags.tps:.1f}x TPS, "
+          f"{metrics.tps_per_watt / bags.tps_per_watt:.1f}x TPS/W, "
+          f"{metrics.density_gb / bags.memory_gb:.1f}x density")
+    print(f"Iridium wins: {imetrics.density_gb / bags.memory_gb:.1f}x density "
+          f"at {imetrics.tps / bags.tps:.1f}x TPS")
+
+    # And it cools passively: the TDP is spread over ~96 small packages.
+    thermal = thermal_report(mercury)
+    print(f"\nThermals: {thermal.per_stack_tdp_w:.1f} W per stack "
+          f"({thermal.power_density_w_per_cm2:.2f} W/cm^2) -> "
+          f"passively coolable: {thermal.passively_coolable}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""SLA study: how hard can a Mercury or Iridium stack be driven while a
+majority of requests still finish within 1 ms (§6.2's requirement)?
+
+Cross-checks the analytic M/G/1 model against the discrete-event
+simulator on the same configuration.
+
+Run:  python examples/sla_latency_study.py
+"""
+
+from repro import iridium_stack, mercury_stack
+from repro.sim import StackSimulation, sla_fraction_met
+
+SLA_DEADLINE_S = 1e-3
+
+
+def study(stack, label: str, loads=(0.3, 0.6, 0.9)) -> None:
+    model = stack.latency_model()
+    service_s = model.request_timing("GET", 64).total_s
+    capacity_hz = stack.cores / service_s
+    print(f"\n{label}: per-request service {service_s * 1e6:.0f} us, "
+          f"stack capacity {capacity_hz / 1e3:.1f} KTPS")
+    for load in loads:
+        rate = load * capacity_hz
+        per_core_rate = rate / stack.cores
+        analytic = sla_fraction_met(per_core_rate, service_s, SLA_DEADLINE_S)
+        sim = StackSimulation(
+            cores=stack.cores, service_time=lambda: service_s, seed=1
+        ).run(offered_rate_hz=rate, duration_s=2_000 * service_s,
+              warmup_s=200 * service_s)
+        print(f"  load {load:.0%}: sub-ms fraction analytic {analytic:.3f}, "
+              f"simulated {sim.sla_fraction(SLA_DEADLINE_S):.3f} "
+              f"(mean RTT {sim.mean_rtt * 1e6:.0f} us)")
+
+
+def main() -> None:
+    study(mercury_stack(8), "Mercury-8 (A7, 10 ns DRAM)")
+    study(iridium_stack(8), "Iridium-8 (A7, 10 us flash)")
+
+    # Where does Iridium stop meeting the SLA for a majority of requests?
+    stack = iridium_stack(8)
+    service_s = stack.latency_model().request_timing("GET", 64).total_s
+    sim = StackSimulation(cores=stack.cores, service_time=lambda: service_s, seed=2)
+    max_rate = sim.saturation_throughput(
+        start_rate_hz=1_000.0,
+        duration_s=1_000 * service_s,
+        sla_deadline_s=SLA_DEADLINE_S,
+        sla_target=0.5,
+    )
+    print(f"\nIridium-8 sustains ~{max_rate / 1e3:.1f} KTPS per stack with a "
+          f"majority of requests under 1 ms")
+
+
+if __name__ == "__main__":
+    main()

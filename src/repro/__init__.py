@@ -1,0 +1,95 @@
+"""repro — a reproduction of *Integrated 3D-Stacked Server Designs for
+Increasing Physical Density of Key-Value Stores* (Gutierrez et al.,
+ASPLOS 2014).
+
+The package models the paper's two proposed architectures — **Mercury**
+(ARM Cortex-A7 cores 3D-stacked with 4 GB of DRAM and a NIC) and
+**Iridium** (the same stack with 19.8 GB of NAND flash) — along with every
+substrate the evaluation needs: a functional Memcached engine, a TCP/IP
+cost model, 3D DRAM/flash device models, an FTL, a discrete-event
+simulator, workload generators, and the commodity/TSSP baselines.
+
+Quick start::
+
+    from repro import mercury_stack, ServerDesign, evaluate_server
+
+    server = ServerDesign(stack=mercury_stack(cores=32))
+    metrics = evaluate_server(server)          # 64 B GETs by default
+    print(metrics.tps / 1e6, "MTPS", metrics.ktps_per_watt, "KTPS/W")
+"""
+
+from repro.core import (
+    CalibrationConstants,
+    DEFAULT_CALIBRATION,
+    Demand,
+    cheapest_plan,
+    plan_fleet,
+    LatencyModel,
+    MemorySpec,
+    OperatingPoint,
+    RequestTiming,
+    ServerConstraints,
+    ServerDesign,
+    ServerMetrics,
+    StackConfig,
+    best_config,
+    design_space,
+    dram_spec,
+    evaluate_server,
+    flash_spec,
+    iridium_stack,
+    mercury_stack,
+    thermal_report,
+)
+from repro.baselines import (
+    COMMODITY_BASELINES,
+    MEMCACHED_14,
+    MEMCACHED_16,
+    MEMCACHED_BAGS,
+    TSSP,
+)
+from repro.cpu import CORTEX_A7, CORTEX_A15_1GHZ, CORTEX_A15_1_5GHZ
+from repro.kvstore import KVStore, MemcachedClient, MemcachedCluster, MemcachedServer
+from repro.sim import FullSystemStack
+from repro.workloads import REQUEST_SIZE_SWEEP
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CalibrationConstants",
+    "DEFAULT_CALIBRATION",
+    "LatencyModel",
+    "MemorySpec",
+    "OperatingPoint",
+    "RequestTiming",
+    "ServerConstraints",
+    "ServerDesign",
+    "ServerMetrics",
+    "StackConfig",
+    "best_config",
+    "design_space",
+    "dram_spec",
+    "evaluate_server",
+    "flash_spec",
+    "iridium_stack",
+    "mercury_stack",
+    "thermal_report",
+    "COMMODITY_BASELINES",
+    "MEMCACHED_14",
+    "MEMCACHED_16",
+    "MEMCACHED_BAGS",
+    "TSSP",
+    "CORTEX_A7",
+    "CORTEX_A15_1GHZ",
+    "CORTEX_A15_1_5GHZ",
+    "KVStore",
+    "MemcachedClient",
+    "MemcachedCluster",
+    "MemcachedServer",
+    "FullSystemStack",
+    "Demand",
+    "cheapest_plan",
+    "plan_fleet",
+    "REQUEST_SIZE_SWEEP",
+    "__version__",
+]

@@ -1,0 +1,73 @@
+"""Regeneration of the paper's tables and figures, plus comparisons."""
+
+from repro.analysis.tables import (
+    table1_components,
+    table2_memory_technologies,
+    table3_configurations,
+    table4_comparison,
+)
+from repro.analysis.figures import (
+    figure4_breakdown,
+    figure5_mercury_latency_sweep,
+    figure6_iridium_latency_sweep,
+    figure7_density_vs_tps,
+    figure8_power_vs_tps,
+)
+from repro.analysis.report import render_table, render_series
+from repro.analysis.compare import PAPER_HEADLINES, headline_ratios, compare_headlines
+from repro.analysis.sensitivity import sensitivity_sweep, headline_under, perturb
+from repro.analysis.validation import validate_stack, validation_table
+from repro.analysis.export import (
+    figure_to_json,
+    table_to_csv,
+    table_to_json,
+    write_artefact,
+)
+from repro.analysis.report_builder import build_report
+from repro.analysis.diurnal import DayReport, day_in_the_life, fleet_for_peak
+from repro.analysis.pareto import ParetoPoint, pareto_frontier
+from repro.analysis.crossover import (
+    find_crossover,
+    iridium_put_fraction_crossover,
+    mercury_efficiency_factor_crossover,
+    mercury_iridium_tco_crossover,
+)
+from repro.analysis.ascii_chart import bar_chart, series_chart
+
+__all__ = [
+    "table1_components",
+    "table2_memory_technologies",
+    "table3_configurations",
+    "table4_comparison",
+    "figure4_breakdown",
+    "figure5_mercury_latency_sweep",
+    "figure6_iridium_latency_sweep",
+    "figure7_density_vs_tps",
+    "figure8_power_vs_tps",
+    "render_table",
+    "render_series",
+    "PAPER_HEADLINES",
+    "headline_ratios",
+    "compare_headlines",
+    "sensitivity_sweep",
+    "headline_under",
+    "perturb",
+    "validate_stack",
+    "validation_table",
+    "figure_to_json",
+    "table_to_csv",
+    "table_to_json",
+    "write_artefact",
+    "build_report",
+    "DayReport",
+    "day_in_the_life",
+    "fleet_for_peak",
+    "ParetoPoint",
+    "pareto_frontier",
+    "find_crossover",
+    "iridium_put_fraction_crossover",
+    "mercury_efficiency_factor_crossover",
+    "mercury_iridium_tco_crossover",
+    "bar_chart",
+    "series_chart",
+]

@@ -1,0 +1,99 @@
+"""Terminal bar charts for the regenerated figures.
+
+The figure builders produce data series; sometimes a reviewer just wants
+to *see* the shape without leaving the terminal.  These renderers draw
+horizontal bar charts with pure ASCII (no dependencies), used by the CLI
+``figN --chart`` flag and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+_FULL = "#"
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3g}"
+
+
+def bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render one series as a horizontal bar chart.
+
+    Bars are scaled to the maximum value; zero-max charts render empty
+    bars rather than dividing by zero.
+    """
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must align")
+    if not labels:
+        raise ConfigurationError("nothing to chart")
+    if width < 10:
+        raise ConfigurationError("width must be at least 10")
+    if any(v < 0 for v in values):
+        raise ConfigurationError("bar charts require non-negative values")
+    peak = max(values)
+    label_width = max(len(str(label)) for label in labels)
+    value_width = max(len(_format_value(v)) for v in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        if peak > 0:
+            bar = _FULL * max(1 if value > 0 else 0, round(value / peak * width))
+        else:
+            bar = ""
+        lines.append(
+            f"{str(label):>{label_width}}  {_format_value(value):>{value_width}}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    x_labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render several named series as stacked bar-chart sections.
+
+    All sections share one scale, so cross-series comparison is visual
+    (e.g. Fig. 5's latency families).
+    """
+    if not series:
+        raise ConfigurationError("nothing to chart")
+    peak = max((max(values) for values in series.values()), default=0.0)
+    sections = []
+    if title:
+        sections.append(title)
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ConfigurationError("every series must match the x labels")
+        if any(v < 0 for v in values):
+            raise ConfigurationError("bar charts require non-negative values")
+        label_width = max(len(str(x)) for x in x_labels)
+        value_width = max(len(_format_value(v)) for v in values)
+        lines = [f"-- {name}"]
+        for x, value in zip(x_labels, values):
+            if peak > 0:
+                bar = _FULL * max(1 if value > 0 else 0, round(value / peak * width))
+            else:
+                bar = ""
+            lines.append(
+                f"{str(x):>{label_width}}  "
+                f"{_format_value(value):>{value_width}}  {bar}"
+            )
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)

@@ -1,0 +1,124 @@
+"""Day-in-the-life analysis of a cache tier under diurnal traffic (§2.2).
+
+Front-end fleets scale with the daily traffic curve; a stateful cache
+tier cannot — it is provisioned for the peak and idles at night.  This
+module walks a provisioned fleet through the 24-hour curve and reports,
+hour by hour: utilization, the M/G/1 sub-millisecond SLA fraction, and
+energy drawn — quantifying both of the paper's §2.2 claims (stranded
+capacity, and why density rather than elasticity cuts the footprint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import OperatingPoint, evaluate_server
+from repro.core.server import ServerDesign
+from repro.errors import ConfigurationError
+from repro.sim.queueing import sla_fraction_met
+from repro.workloads.diurnal import DiurnalTraffic
+
+
+@dataclass(frozen=True)
+class HourlyState:
+    """One hour of a cache tier's day."""
+
+    hour: int
+    offered_tps: float
+    utilization: float
+    sla_fraction: float
+    power_w: float
+
+
+@dataclass(frozen=True)
+class DayReport:
+    """The tier's whole day, plus daily aggregates."""
+
+    server_name: str
+    servers: int
+    hours: tuple[HourlyState, ...]
+
+    @property
+    def peak_utilization(self) -> float:
+        return max(state.utilization for state in self.hours)
+
+    @property
+    def mean_utilization(self) -> float:
+        return sum(state.utilization for state in self.hours) / len(self.hours)
+
+    @property
+    def stranded_fraction(self) -> float:
+        """Average idle share of the provisioned capacity — §2.2's waste."""
+        return 1.0 - self.mean_utilization / self.peak_utilization
+
+    @property
+    def worst_sla(self) -> float:
+        return min(state.sla_fraction for state in self.hours)
+
+    @property
+    def energy_kwh(self) -> float:
+        return sum(state.power_w for state in self.hours) / 1000.0
+
+
+def day_in_the_life(
+    design: ServerDesign,
+    servers: int,
+    traffic: DiurnalTraffic,
+    point: OperatingPoint = OperatingPoint(),
+    sla_deadline_s: float = 1e-3,
+) -> DayReport:
+    """Walk ``servers`` copies of a design through a 24-hour curve.
+
+    Raises:
+        ConfigurationError: if the fleet cannot absorb the peak hour.
+    """
+    if servers <= 0:
+        raise ConfigurationError("fleet must have at least one server")
+    metrics = evaluate_server(design, point)
+    model = design.stack.latency_model(memory=point.memory)
+    service = point.mean_request_time(model)
+    fleet_capacity = servers * metrics.tps
+    total_cores = servers * design.total_cores
+
+    hours = []
+    for hour in range(24):
+        offered = traffic.rate(hour)
+        utilization = offered / fleet_capacity
+        if utilization >= 1.0:
+            raise ConfigurationError(
+                f"fleet saturated at hour {hour}: offered {offered:.0f} TPS "
+                f"exceeds capacity {fleet_capacity:.0f}"
+            )
+        per_core_rate = offered / total_cores
+        sla = sla_fraction_met(per_core_rate, service, sla_deadline_s)
+        # Power: stacks idle at their fixed power; memory power follows
+        # the traffic. Approximate by scaling the operating-point power's
+        # memory share with utilization (fixed share dominates anyway).
+        power = servers * metrics.power_w
+        hours.append(
+            HourlyState(
+                hour=hour,
+                offered_tps=offered,
+                utilization=utilization,
+                sla_fraction=sla,
+                power_w=power,
+            )
+        )
+    return DayReport(
+        server_name=metrics.name, servers=servers, hours=tuple(hours)
+    )
+
+
+def fleet_for_peak(
+    design: ServerDesign,
+    traffic: DiurnalTraffic,
+    point: OperatingPoint = OperatingPoint(),
+    utilization_target: float = 0.75,
+) -> int:
+    """Servers needed so the peak hour runs at the utilization target."""
+    if not 0.0 < utilization_target <= 1.0:
+        raise ConfigurationError("utilization target must be in (0, 1]")
+    metrics = evaluate_server(design, point)
+    import math
+
+    return max(1, math.ceil(traffic.peak_rate_hz / (metrics.tps * utilization_target)))

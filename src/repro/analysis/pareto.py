@@ -1,0 +1,74 @@
+"""Pareto-frontier extraction over the Mercury/Iridium design space.
+
+Figs. 7-8 plot every configuration; the decision-relevant subset is the
+Pareto frontier — designs not dominated on all the objectives at once
+(throughput, efficiency, density, and negated power).  This module
+extracts frontiers for arbitrary objective subsets, which is how a
+capacity planner should read Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.design_space import design_space
+from repro.core.metrics import OperatingPoint, ServerMetrics, evaluate_server
+from repro.errors import ConfigurationError
+
+#: Objectives available for frontier extraction; each maps metrics to a
+#: maximise-me score.
+OBJECTIVES = {
+    "tps": lambda m: m.tps,
+    "tps_per_watt": lambda m: m.tps_per_watt,
+    "tps_per_gb": lambda m: m.tps_per_gb,
+    "density_gb": lambda m: m.density_gb,
+    "low_power": lambda m: -m.power_w,
+}
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One design with its objective scores."""
+
+    metrics: ServerMetrics
+    scores: tuple[float, ...]
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weakly better on every objective and strictly on at least one."""
+        at_least_as_good = all(a >= b for a, b in zip(self.scores, other.scores))
+        strictly_better = any(a > b for a, b in zip(self.scores, other.scores))
+        return at_least_as_good and strictly_better
+
+
+def pareto_frontier(
+    objectives: tuple[str, ...] = ("tps", "density_gb"),
+    point: OperatingPoint = OperatingPoint(),
+    **space_kwargs,
+) -> list[ParetoPoint]:
+    """Non-dominated designs for the chosen objectives.
+
+    Returns points sorted by the first objective, descending.
+    """
+    if len(objectives) < 2:
+        raise ConfigurationError("a frontier needs at least two objectives")
+    for name in objectives:
+        if name not in OBJECTIVES:
+            known = ", ".join(sorted(OBJECTIVES))
+            raise ConfigurationError(f"unknown objective {name!r}; known: {known}")
+    scorers = [OBJECTIVES[name] for name in objectives]
+    points = []
+    for design in design_space(**space_kwargs):
+        metrics = evaluate_server(design, point)
+        points.append(
+            ParetoPoint(
+                metrics=metrics,
+                scores=tuple(scorer(metrics) for scorer in scorers),
+            )
+        )
+    frontier = [
+        candidate
+        for candidate in points
+        if not any(other.dominates(candidate) for other in points)
+    ]
+    frontier.sort(key=lambda p: p.scores[0], reverse=True)
+    return frontier

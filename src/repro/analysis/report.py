@@ -1,0 +1,75 @@
+"""Plain-text rendering of regenerated tables and figure series.
+
+The benchmarks print through these helpers so their output reads like the
+paper's tables: a header row, aligned columns, and a caption.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000:
+            return f"{value:,.0f}"
+        if magnitude >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    caption: str = "",
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not headers:
+        raise ConfigurationError("a table needs headers")
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in formatted)) if formatted else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if caption:
+        lines.append(caption)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    caption: str = "",
+) -> str:
+    """Render figure data as one x column plus one column per series."""
+    if not series:
+        raise ConfigurationError("a figure needs at least one series")
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            if len(values) != len(x_values):
+                raise ConfigurationError(
+                    "every series must have one value per x point"
+                )
+            row.append(values[index])
+        rows.append(row)
+    return render_table(headers, rows, caption=caption)

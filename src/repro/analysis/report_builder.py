@@ -1,0 +1,123 @@
+"""One-shot report generation: every paper artefact into a directory.
+
+``build_report(path)`` regenerates Tables 1-4 and Figures 4-8 (text +
+machine-readable), the headline comparison, and the thermal summary, and
+writes an ``INDEX.md`` tying them together.  This is what the CLI's
+``report`` subcommand and release tooling call.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.compare import compare_headlines
+from repro.analysis.export import figure_to_json, table_to_csv
+from repro.analysis.figures import (
+    figure4_breakdown,
+    figure5_mercury_latency_sweep,
+    figure6_iridium_latency_sweep,
+    figure7_density_vs_tps,
+    figure8_power_vs_tps,
+)
+from repro.analysis.report import render_series, render_table
+from repro.analysis.tables import (
+    table1_components,
+    table2_memory_technologies,
+    table3_configurations,
+    table4_comparison,
+)
+from repro.core.server import ServerDesign
+from repro.core.stack import mercury_stack
+from repro.core.thermal import thermal_report
+from repro.errors import ConfigurationError
+
+_TABLE_BUILDERS = {
+    "table1": (table1_components, "Table 1: 3D-stack component power/area"),
+    "table2": (table2_memory_technologies, "Table 2: memory technologies"),
+    "table3": (table3_configurations, "Table 3: 1.5U maximum configurations"),
+    "table4": (table4_comparison, "Table 4: comparison to prior art @64B"),
+}
+
+_FIGURE_BUILDERS = {
+    "fig4": figure4_breakdown,
+    "fig5": figure5_mercury_latency_sweep,
+    "fig6": figure6_iridium_latency_sweep,
+    "fig7": figure7_density_vs_tps,
+    "fig8": figure8_power_vs_tps,
+}
+
+
+def build_report(directory: str | Path) -> list[Path]:
+    """Write every artefact under ``directory``; returns written paths."""
+    directory = Path(directory)
+    if directory.exists() and not directory.is_dir():
+        raise ConfigurationError(f"{directory} exists and is not a directory")
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    index_lines = [
+        "# Reproduction report",
+        "",
+        "Regenerated artefacts for *Integrated 3D-Stacked Server Designs "
+        "for Increasing Physical Density of Key-Value Stores* (ASPLOS 2014).",
+        "",
+    ]
+
+    for name, (builder, caption) in _TABLE_BUILDERS.items():
+        headers, rows = builder()
+        text_path = directory / f"{name}.txt"
+        text_path.write_text(render_table(headers, rows, caption=caption) + "\n")
+        csv_path = directory / f"{name}.csv"
+        csv_path.write_text(table_to_csv(headers, rows))
+        written += [text_path, csv_path]
+        index_lines.append(f"- **{caption}** — [{name}.txt]({name}.txt), "
+                           f"[{name}.csv]({name}.csv)")
+
+    for name, builder in _FIGURE_BUILDERS.items():
+        panels = builder()
+        text_path = directory / f"{name}.txt"
+        text_path.write_text(
+            "\n\n".join(
+                render_series(p.x_label, p.x_values, p.series, caption=p.title)
+                for p in panels
+            )
+            + "\n"
+        )
+        json_path = directory / f"{name}.json"
+        json_path.write_text(
+            json.dumps([json.loads(figure_to_json(p)) for p in panels], indent=2)
+        )
+        written += [text_path, json_path]
+        index_lines.append(f"- **{panels[0].title.split(':')[0]}** — "
+                           f"[{name}.txt]({name}.txt), [{name}.json]({name}.json)")
+
+    headline_path = directory / "headlines.txt"
+    lines = ["Abstract headline ratios (vs Bags unless noted):",
+             f"{'metric':40s}  {'paper':>7s}  {'ours':>7s}  {'error':>6s}"]
+    worst = 0.0
+    for comparison in compare_headlines():
+        worst = max(worst, comparison.relative_error)
+        lines.append(
+            f"{comparison.name:40s}  {comparison.paper:7.2f}  "
+            f"{comparison.measured:7.2f}  {comparison.relative_error:6.0%}"
+        )
+    lines.append(f"\nworst-case error: {worst:.0%}")
+    headline_path.write_text("\n".join(lines) + "\n")
+    written.append(headline_path)
+    index_lines.append("- **Headline ratios** — [headlines.txt](headlines.txt)")
+
+    thermal = thermal_report(ServerDesign(stack=mercury_stack(32)))
+    thermal_path = directory / "thermal.txt"
+    thermal_path.write_text(
+        f"{thermal.name}: {thermal.stacks} stacks, server TDP "
+        f"{thermal.server_tdp_w:.0f} W, {thermal.per_stack_tdp_w:.2f} W/stack, "
+        f"passively coolable: {thermal.passively_coolable}\n"
+    )
+    written.append(thermal_path)
+    index_lines.append("- **Thermal check (S6.5)** — [thermal.txt](thermal.txt)")
+
+    index_path = directory / "INDEX.md"
+    index_path.write_text("\n".join(index_lines) + "\n")
+    written.append(index_path)
+    return written

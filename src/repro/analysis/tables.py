@@ -1,0 +1,146 @@
+"""Builders for the paper's four tables.
+
+Each function returns ``(headers, rows)`` ready for
+:func:`repro.analysis.report.render_table`; the benchmark files print
+them and EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.commodity import COMMODITY_BASELINES
+from repro.baselines.tssp import TSSP
+from repro.core.components import COMPONENT_CATALOG
+from repro.core.design_space import CORES_PER_STACK_SWEEP, EVALUATED_CORES
+from repro.core.metrics import OperatingPoint, evaluate_server
+from repro.core.server import DEFAULT_CONSTRAINTS, ServerConstraints, ServerDesign
+from repro.core.stack import iridium_stack, mercury_stack
+from repro.units import GB
+
+Row = list[object]
+Table = tuple[list[str], list[Row]]
+
+
+def table1_components() -> Table:
+    """Table 1: power and area for the components of a 3D stack."""
+    headers = ["Component", "Power (mW)", "Area (mm^2)"]
+    rows: list[Row] = []
+    for component in COMPONENT_CATALOG:
+        if component.power_w_per_gbs > 0:
+            power = f"{component.power_w_per_gbs * 1e3:.0f} (per GB/s)"
+        else:
+            power = f"{component.power_w * 1e3:.0f}"
+        rows.append([component.name, power, component.area_mm2])
+    return headers, rows
+
+
+def table2_memory_technologies() -> Table:
+    """Table 2: 3D-stacked DRAM vs DIMM packages."""
+    from repro.memory.dram_dimm import MEMORY_TECH_CATALOG
+
+    headers = ["DRAM", "BW (GB/s)", "Capacity (MB)", "Stacked"]
+    rows: list[Row] = [
+        [
+            tech.name,
+            tech.bandwidth_bytes_s / GB,
+            tech.capacity_bytes / (1024 * 1024),
+            "yes" if tech.stacked else "no",
+        ]
+        for tech in MEMORY_TECH_CATALOG
+    ]
+    return headers, rows
+
+
+def table3_configurations(
+    constraints: ServerConstraints = DEFAULT_CONSTRAINTS,
+) -> Table:
+    """Table 3: area/power/density/max-BW for every 1.5U configuration."""
+    headers = [
+        "Family",
+        "CPU",
+        "Cores/stack",
+        "Stacks",
+        "Area (cm^2)",
+        "Power (W)",
+        "Density (GB)",
+        "Max BW (GB/s)",
+    ]
+    rows: list[Row] = []
+    for family, build in (("Mercury", mercury_stack), ("Iridium", iridium_stack)):
+        for core in EVALUATED_CORES:
+            for n in CORES_PER_STACK_SWEEP:
+                design = ServerDesign(
+                    stack=build(cores=n, core=core), constraints=constraints
+                )
+                rows.append(
+                    [
+                        family,
+                        core.name,
+                        n,
+                        design.num_stacks,
+                        design.area_cm2,
+                        design.budget_power_w(),
+                        design.density_gb,
+                        design.max_bandwidth_bytes_s() / GB,
+                    ]
+                )
+    return headers, rows
+
+
+def table4_comparison(point: OperatingPoint = OperatingPoint()) -> Table:
+    """Table 4: A7 Mercury/Iridium (n=8,16,32) vs prior art at 64 B GETs."""
+    headers = [
+        "System",
+        "Stacks",
+        "Cores",
+        "Memory (GB)",
+        "Power (W)",
+        "TPS (millions)",
+        "KTPS/Watt",
+        "KTPS/GB",
+        "Bandwidth (GB/s)",
+    ]
+    rows: list[Row] = []
+    for build in (mercury_stack, iridium_stack):
+        for n in (8, 16, 32):
+            metrics = evaluate_server(ServerDesign(stack=build(cores=n)), point)
+            rows.append(
+                [
+                    metrics.name,
+                    metrics.stacks,
+                    metrics.cores,
+                    metrics.density_gb,
+                    metrics.power_w,
+                    metrics.tps / 1e6,
+                    metrics.ktps_per_watt,
+                    metrics.ktps_per_gb,
+                    metrics.bandwidth_bytes_s / GB,
+                ]
+            )
+    for baseline in COMMODITY_BASELINES:
+        rows.append(
+            [
+                baseline.name,
+                1,
+                baseline.threads,
+                baseline.memory_gb,
+                baseline.power_w,
+                baseline.tps / 1e6,
+                baseline.tps_per_watt / 1e3,
+                baseline.tps_per_gb / 1e3,
+                baseline.bandwidth_bytes_s(point.value_bytes) / GB,
+            ]
+        )
+    rows.append(
+        [
+            TSSP.name,
+            1,
+            1,
+            TSSP.memory_gb,
+            TSSP.power_w,
+            TSSP.tps / 1e6,
+            TSSP.tps_per_watt / 1e3,
+            TSSP.tps_per_gb / 1e3,
+            TSSP.bandwidth_bytes_s(point.value_bytes) / GB,
+        ]
+    )
+    return headers, rows

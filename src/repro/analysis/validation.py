@@ -1,0 +1,98 @@
+"""Validation harness: the analytic pipeline vs the discrete-event sim.
+
+The paper *assumes* linear scaling (§5.3: TPS = cores / RTT) and asserts
+the SLA is met "for a majority of requests".  This harness checks both
+with the event simulator: for each configuration it drives an n-core
+stack at a target load with the latency model's service times, then
+compares measured throughput, mean RTT, and sub-millisecond fraction
+against the analytic predictions (linear scaling + M/G/1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stack import StackConfig
+from repro.errors import ConfigurationError
+from repro.sim.queueing import sla_fraction_met
+from repro.sim.request_sim import StackSimulation
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One configuration's analytic-vs-measured comparison."""
+
+    name: str
+    cores: int
+    load: float
+    analytic_tps: float
+    measured_tps: float
+    analytic_sla: float
+    measured_sla: float
+    mean_rtt_s: float
+
+    @property
+    def tps_error(self) -> float:
+        return abs(self.measured_tps - self.analytic_tps) / self.analytic_tps
+
+    @property
+    def sla_error(self) -> float:
+        return abs(self.measured_sla - self.analytic_sla)
+
+
+def validate_stack(
+    stack: StackConfig,
+    load: float = 0.7,
+    verb: str = "GET",
+    value_bytes: int = 64,
+    sla_deadline_s: float = 1e-3,
+    sim_requests: int = 3_000,
+    seed: int = 0,
+) -> ValidationRow:
+    """Run one stack through the DES and compare with the analytic model.
+
+    ``load`` is the offered fraction of the stack's linear-scaling
+    capacity; below 1.0 the analytic throughput is simply the offered
+    rate (every request is eventually served), and the analytic SLA comes
+    from the per-core M/G/1.
+    """
+    if not 0.0 < load < 1.0:
+        raise ConfigurationError("load must be in (0, 1) for a stable check")
+    model = stack.latency_model()
+    service = model.request_timing(verb, value_bytes).total_s
+    capacity = stack.cores / service
+    offered = load * capacity
+
+    duration = sim_requests / offered
+    sim = StackSimulation(
+        cores=stack.cores, service_time=lambda: service, seed=seed
+    )
+    results = sim.run(
+        offered_rate_hz=offered, duration_s=duration, warmup_s=duration * 0.15
+    )
+    analytic_sla = sla_fraction_met(offered / stack.cores, service, sla_deadline_s)
+    return ValidationRow(
+        name=stack.name,
+        cores=stack.cores,
+        load=load,
+        analytic_tps=offered,
+        measured_tps=results.throughput_hz,
+        analytic_sla=analytic_sla,
+        measured_sla=results.sla_fraction(sla_deadline_s),
+        mean_rtt_s=results.mean_rtt,
+    )
+
+
+def validation_table(
+    stacks: list[StackConfig],
+    loads: tuple[float, ...] = (0.5, 0.9),
+    **kwargs,
+) -> list[ValidationRow]:
+    """Validate a list of stacks at several loads."""
+    if not stacks:
+        raise ConfigurationError("nothing to validate")
+    rows = []
+    for stack in stacks:
+        for load in loads:
+            rows.append(validate_stack(stack, load=load, **kwargs))
+    return rows

@@ -1,0 +1,5 @@
+"""Area and floorplan modelling for the 1.5U enclosure."""
+
+from repro.area.floorplan import Floorplan, DEFAULT_FLOORPLAN
+
+__all__ = ["Floorplan", "DEFAULT_FLOORPLAN"]

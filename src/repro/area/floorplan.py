@@ -1,0 +1,75 @@
+"""Board-level floorplan arithmetic (§5.5 of the paper).
+
+Each stack ships in a 400-pin, 21 mm x 21 mm BGA (441 mm^2); PHY chips
+are the same size and carry two 10GbE PHYs.  77 % of a 13 in x 13 in 1.5U
+motherboard is available for stacks and PHYs, and at most 96 Ethernet
+ports fit on the rear of a 1.5U chassis — the constraint that ends up
+binding for the low-power (A7) designs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import CM2, INCH
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """1.5U board geometry and port limits."""
+
+    board_side_mm: float = 13 * INCH
+    usable_fraction: float = 0.77
+    stack_package_mm2: float = 441.0
+    phy_chip_mm2: float = 441.0
+    phy_ports_per_chip: int = 2
+    max_ethernet_ports: int = 96
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.usable_fraction <= 1.0:
+            raise ConfigurationError("usable fraction must be in (0, 1]")
+        if self.stack_package_mm2 <= 0 or self.phy_chip_mm2 <= 0:
+            raise ConfigurationError("package areas must be positive")
+        if self.phy_ports_per_chip <= 0 or self.max_ethernet_ports <= 0:
+            raise ConfigurationError("port counts must be positive")
+
+    @property
+    def board_area_mm2(self) -> float:
+        return self.board_side_mm**2
+
+    @property
+    def usable_area_mm2(self) -> float:
+        return self.board_area_mm2 * self.usable_fraction
+
+    def phy_chips_for(self, stacks: int) -> int:
+        """PHY chips needed for ``stacks`` (one port per stack)."""
+        if stacks < 0:
+            raise ConfigurationError("stack count cannot be negative")
+        return math.ceil(stacks / self.phy_ports_per_chip)
+
+    def area_for(self, stacks: int) -> float:
+        """Board area (mm^2) consumed by ``stacks`` and their PHY chips."""
+        return (
+            stacks * self.stack_package_mm2
+            + self.phy_chips_for(stacks) * self.phy_chip_mm2
+        )
+
+    def area_cm2_for(self, stacks: int) -> float:
+        """Table 3's Area column (cm^2)."""
+        return self.area_for(stacks) / CM2
+
+    @property
+    def max_stacks_by_area(self) -> int:
+        """How many stacks (plus PHYs) fit in the usable board area."""
+        per_stack = self.stack_package_mm2 + self.phy_chip_mm2 / self.phy_ports_per_chip
+        return int(self.usable_area_mm2 / per_stack)
+
+    @property
+    def max_stacks(self) -> int:
+        """Binding stack limit: board area or rear-panel ports."""
+        return min(self.max_stacks_by_area, self.max_ethernet_ports)
+
+
+DEFAULT_FLOORPLAN = Floorplan()

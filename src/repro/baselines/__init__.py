@@ -1,0 +1,26 @@
+"""Baseline systems Table 4 compares against."""
+
+from repro.baselines.commodity import (
+    CommodityServer,
+    MEMCACHED_14,
+    MEMCACHED_16,
+    MEMCACHED_BAGS,
+    COMMODITY_BASELINES,
+)
+from repro.baselines.tssp import TsspAccelerator, TSSP
+from repro.baselines.tilepro import TileProServer, TILEPRO64
+from repro.baselines.fawn import FawnCluster, FAWN_KV
+
+__all__ = [
+    "CommodityServer",
+    "MEMCACHED_14",
+    "MEMCACHED_16",
+    "MEMCACHED_BAGS",
+    "COMMODITY_BASELINES",
+    "TsspAccelerator",
+    "TSSP",
+    "TileProServer",
+    "TILEPRO64",
+    "FawnCluster",
+    "FAWN_KV",
+]

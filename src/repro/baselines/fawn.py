@@ -1,0 +1,61 @@
+"""FAWN-KV (Andersen et al., SOSP 2009) — the §3.10 baseline.
+
+FAWN pairs wimpy embedded nodes with flash and a log-structured
+datastore, improving query efficiency "by two orders of magnitude over
+traditional disk-based systems".  Its published cluster point: 21 nodes
+of 500 MHz embedded CPUs with CompactFlash, ~364 queries/joule for
+256-byte lookups.  Included so the efficiency landscape in the related
+work (FAWN, TILEPro64, TSSP, commodity) is complete and computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class FawnCluster:
+    """A FAWN-KV cluster of wimpy flash nodes."""
+
+    name: str = "FAWN-KV"
+    nodes: int = 21
+    per_node_qps: float = 1_300.0
+    per_node_power_w: float = 3.75
+    per_node_storage_gb: float = 4.0  # CompactFlash era
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ConfigurationError("cluster needs at least one node")
+        if self.per_node_qps <= 0 or self.per_node_power_w <= 0:
+            raise ConfigurationError("node capabilities must be positive")
+
+    @property
+    def tps(self) -> float:
+        return self.nodes * self.per_node_qps
+
+    @property
+    def power_w(self) -> float:
+        return self.nodes * self.per_node_power_w
+
+    @property
+    def tps_per_watt(self) -> float:
+        return self.tps / self.power_w
+
+    @property
+    def queries_per_joule(self) -> float:
+        """The FAWN paper's headline unit (identical to TPS/W)."""
+        return self.tps_per_watt
+
+    @property
+    def density_bytes(self) -> float:
+        return self.nodes * self.per_node_storage_gb * GB
+
+    @property
+    def tps_per_gb(self) -> float:
+        return self.tps / (self.nodes * self.per_node_storage_gb)
+
+
+FAWN_KV = FawnCluster()

@@ -1,0 +1,48 @@
+"""TILEPro64 Memcached (Berezecki et al., IGCC 2011) — §3.9 baseline.
+
+Facebook's port of Memcached to the 64-core TILEPro64 reached
+5.75 KTPS/W, a 2.85x / 2.43x improvement over the Opteron and Xeon
+machines they compared against.  Included for completeness of the
+related-work comparison; not part of Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class TileProServer:
+    """A TILEPro64-based Memcached appliance."""
+
+    name: str = "TILEPro64"
+    tiles: int = 64
+    per_tile_tps: float = 5_265.0
+    power_w: float = 58.6
+    memory_gb: float = 32.0
+
+    def __post_init__(self) -> None:
+        if self.tiles <= 0 or self.per_tile_tps <= 0 or self.power_w <= 0:
+            raise ConfigurationError("tiles, rate, and power must be positive")
+
+    @property
+    def tps(self) -> float:
+        return self.tiles * self.per_tile_tps
+
+    @property
+    def tps_per_watt(self) -> float:
+        return self.tps / self.power_w
+
+    @property
+    def density_bytes(self) -> float:
+        return self.memory_gb * GB
+
+    @property
+    def tps_per_gb(self) -> float:
+        return self.tps / self.memory_gb
+
+
+TILEPRO64 = TileProServer()

@@ -1,0 +1,81 @@
+"""TSSP: Thin Servers with Smart Pipes (Lim et al., ISCA 2013).
+
+TSSP is an SoC that offloads every GET to a hardware accelerator fed by a
+smart NIC; the Cortex-A9 host core only handles the control plane and
+PUTs.  The paper compares against its published efficiency point,
+17.63 KTPS/W; we model the SoC's pieces so the point is computed:
+
+* the accelerator pipeline serves GETs at a fixed rate;
+* the host core handles the residual PUT fraction in software;
+* power = SoC (core + accelerator + MAC) + LPDDR for 8 GB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class TsspAccelerator:
+    """A TSSP node: accelerator + A9 host + 8 GB of memory."""
+
+    name: str = "TSSP"
+    memory_gb: float = 8.0
+    # The accelerator's GET pipeline: published sustained throughput.
+    accelerator_tps: float = 282_000.0
+    get_fraction: float = 1.0  # the published point is all-GET
+    # Host core path for non-offloaded requests.
+    host_tps: float = 40_000.0
+    # Power: A9 + accelerator + NIC + 8GB LPDDR, totalling ~16 W.
+    soc_power_w: float = 13.2
+    dram_w_per_gb: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.accelerator_tps <= 0 or self.host_tps <= 0:
+            raise ConfigurationError("throughputs must be positive")
+        if not 0.0 <= self.get_fraction <= 1.0:
+            raise ConfigurationError("get fraction must be in [0, 1]")
+
+    @property
+    def tps(self) -> float:
+        """Aggregate throughput at the configured GET/PUT mix.
+
+        GETs flow through the accelerator, PUTs through the host core;
+        the slower stream bounds a mixed workload harmonically.
+        """
+        if self.get_fraction == 1.0:
+            return self.accelerator_tps
+        if self.get_fraction == 0.0:
+            return self.host_tps
+        mean_time = (
+            self.get_fraction / self.accelerator_tps
+            + (1.0 - self.get_fraction) / self.host_tps
+        )
+        return 1.0 / mean_time
+
+    @property
+    def power_w(self) -> float:
+        return self.soc_power_w + self.dram_w_per_gb * self.memory_gb
+
+    @property
+    def density_bytes(self) -> float:
+        return self.memory_gb * GB
+
+    @property
+    def tps_per_watt(self) -> float:
+        return self.tps / self.power_w
+
+    @property
+    def tps_per_gb(self) -> float:
+        return self.tps / self.memory_gb
+
+    def bandwidth_bytes_s(self, request_bytes: int = 64) -> float:
+        if request_bytes <= 0:
+            raise ConfigurationError("request size must be positive")
+        return self.tps * request_bytes
+
+
+TSSP = TsspAccelerator()

@@ -1,0 +1,293 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Usage::
+
+    python -m repro table1|table2|table3|table4
+    python -m repro fig4|fig5|fig6|fig7|fig8
+    python -m repro headlines
+    python -m repro sensitivity [--factor 1.5]
+    python -m repro thermal [--cores 32] [--family mercury]
+    python -m repro plan --dataset-gb 28672 --tps 50e6 [--value-bytes 64]
+    python -m repro evaluate [--family mercury] [--cores 32] [--verb GET]
+                             [--size 64]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Sequence
+
+from repro.analysis import (
+    compare_headlines,
+    figure4_breakdown,
+    figure5_mercury_latency_sweep,
+    figure6_iridium_latency_sweep,
+    figure7_density_vs_tps,
+    figure8_power_vs_tps,
+    render_series,
+    render_table,
+    table1_components,
+    table2_memory_technologies,
+    table3_configurations,
+    table4_comparison,
+)
+from repro.analysis.sensitivity import headline_under, sensitivity_sweep
+from repro.baselines import MEMCACHED_BAGS
+from repro.core import (
+    OperatingPoint,
+    ServerDesign,
+    evaluate_server,
+    iridium_stack,
+    mercury_stack,
+    thermal_report,
+)
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.core.provisioning import (
+    Demand,
+    candidate_from_baseline,
+    candidate_from_design,
+    cheapest_plan,
+    plan_fleet,
+)
+from repro.units import parse_size
+
+_TABLES: dict[str, tuple[Callable, str]] = {
+    "table1": (table1_components, "Table 1: 3D-stack component power/area"),
+    "table2": (table2_memory_technologies, "Table 2: memory technologies"),
+    "table3": (table3_configurations, "Table 3: 1.5U maximum configurations"),
+    "table4": (table4_comparison, "Table 4: comparison to prior art @64B"),
+}
+
+_FIGURES: dict[str, Callable] = {
+    "fig4": figure4_breakdown,
+    "fig5": figure5_mercury_latency_sweep,
+    "fig6": figure6_iridium_latency_sweep,
+    "fig7": figure7_density_vs_tps,
+    "fig8": figure8_power_vs_tps,
+}
+
+
+def _stack_for(family: str, cores: int):
+    build = mercury_stack if family.lower() == "mercury" else iridium_stack
+    return build(cores=cores)
+
+
+def _cmd_table(args: argparse.Namespace) -> str:
+    builder, caption = _TABLES[args.artefact]
+    headers, rows = builder()
+    if args.export:
+        from repro.analysis.export import write_artefact
+
+        path = write_artefact(args.export, headers, rows)
+        return f"wrote {path}"
+    return render_table(headers, rows, caption=caption)
+
+
+def _cmd_figure(args: argparse.Namespace) -> str:
+    panels = _FIGURES[args.artefact]()
+    if getattr(args, "chart", False):
+        from repro.analysis.ascii_chart import series_chart
+
+        return "\n\n".join(
+            series_chart(panel.x_values, panel.series, title=panel.title)
+            for panel in panels
+        )
+    if args.export:
+        import json
+
+        from repro.analysis.export import figure_to_json
+
+        payload = [json.loads(figure_to_json(panel)) for panel in panels]
+        from pathlib import Path
+
+        path = Path(args.export)
+        path.write_text(json.dumps(payload, indent=2))
+        return f"wrote {path}"
+    return "\n\n".join(
+        render_series(panel.x_label, panel.x_values, panel.series, caption=panel.title)
+        for panel in panels
+    )
+
+
+def _cmd_headlines(_args: argparse.Namespace) -> str:
+    lines = [
+        "Abstract headline ratios (vs Bags unless noted):",
+        f"{'metric':40s}  {'paper':>7s}  {'ours':>7s}  {'error':>6s}",
+    ]
+    for c in compare_headlines():
+        lines.append(
+            f"{c.name:40s}  {c.paper:7.2f}  {c.measured:7.2f}  {c.relative_error:6.0%}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> str:
+    baseline = headline_under(DEFAULT_CALIBRATION)
+    rows = []
+    for row in sensitivity_sweep(factor=args.factor):
+        rows.append(
+            [row.field, row.low["mercury_tps_x"], row.high["mercury_tps_x"],
+             f"{row.max_relative_swing(baseline):.0%}",
+             "yes" if row.conclusions_hold(baseline) else "NO"]
+        )
+    return render_table(
+        [f"constant (x{args.factor} both ways)", "Mercury TPSx lo", "hi",
+         "max swing", "conclusions hold"],
+        rows,
+        caption="Calibration sensitivity",
+    )
+
+
+def _cmd_thermal(args: argparse.Namespace) -> str:
+    report = thermal_report(ServerDesign(stack=_stack_for(args.family, args.cores)))
+    return (
+        f"{report.name}: {report.stacks} stacks, server TDP "
+        f"{report.server_tdp_w:.0f} W, {report.per_stack_tdp_w:.2f} W/stack "
+        f"({report.power_density_w_per_cm2:.2f} W/cm^2), passive cooling "
+        f"{'OK' if report.passively_coolable else 'INSUFFICIENT'} "
+        f"(limit {report.passive_limit_w:.0f} W)"
+    )
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> str:
+    design = ServerDesign(stack=_stack_for(args.family, args.cores))
+    point = OperatingPoint(verb=args.verb.upper(), value_bytes=parse_size(args.size))
+    metrics = evaluate_server(design, point)
+    return (
+        f"{metrics.name} @ {args.verb.upper()} {args.size}B: "
+        f"{metrics.stacks} stacks ({design.binding_constraint}-limited), "
+        f"{metrics.cores} cores, {metrics.density_gb:.0f} GB, "
+        f"{metrics.power_w:.0f} W, {metrics.tps / 1e6:.2f} MTPS, "
+        f"{metrics.ktps_per_watt:.1f} KTPS/W, {metrics.ktps_per_gb:.2f} KTPS/GB"
+    )
+
+
+def _cmd_plan(args: argparse.Namespace) -> str:
+    demand = Demand(
+        dataset_gb=args.dataset_gb,
+        peak_tps=args.tps,
+        value_bytes=parse_size(args.value_bytes),
+    )
+    point = OperatingPoint(value_bytes=demand.value_bytes)
+    candidates = [
+        candidate_from_design(
+            ServerDesign(stack=mercury_stack(32)), capex_usd=args.capex_3d, point=point
+        ),
+        candidate_from_design(
+            ServerDesign(stack=iridium_stack(32)), capex_usd=args.capex_3d, point=point
+        ),
+        candidate_from_baseline(MEMCACHED_BAGS, capex_usd=args.capex_commodity),
+    ]
+    rows = []
+    for candidate in candidates:
+        plan = plan_fleet(candidate, demand)
+        rows.append(
+            [candidate.name, plan.servers, plan.binding,
+             plan.cost.tco_usd / 1e3, plan.tier_rack_units,
+             plan.cost.usd_per_gb]
+        )
+    best = cheapest_plan(candidates, demand)
+    table = render_table(
+        ["Server", "Count", "Bound by", "TCO (k$)", "Rack units", "$/GB"],
+        rows,
+        caption=(
+            f"Fleet plan: {demand.dataset_gb:.0f} GB dataset, "
+            f"{demand.peak_tps / 1e6:.1f} MTPS peak, {demand.value_bytes}B values"
+        ),
+    )
+    return table + f"\n\nCheapest: {best.candidate.name} ({best.servers} servers)"
+
+
+def _cmd_pareto(args: argparse.Namespace) -> str:
+    from repro.analysis.pareto import pareto_frontier
+    from repro.units import GB
+
+    objectives = tuple(args.objectives.split(","))
+    frontier = pareto_frontier(objectives)
+    rows = []
+    for point in frontier:
+        metrics = point.metrics
+        rows.append(
+            [metrics.name, metrics.stacks, metrics.density_gb,
+             round(metrics.power_w), metrics.tps / 1e6,
+             metrics.ktps_per_watt]
+        )
+    return render_table(
+        ["Design", "Stacks", "GB", "W", "MTPS", "KTPS/W"],
+        rows,
+        caption=f"Pareto frontier on ({args.objectives}) — "
+                f"{len(frontier)} of 36 designs survive",
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    from repro.analysis.report_builder import build_report
+
+    written = build_report(args.out)
+    return f"wrote {len(written)} artefacts under {args.out}/"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artefacts from the Mercury/Iridium paper reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in _TABLES:
+        p = sub.add_parser(name, help=_TABLES[name][1])
+        p.add_argument("--export", help="write .csv or .json instead of text")
+        p.set_defaults(func=_cmd_table, artefact=name)
+    for name in _FIGURES:
+        p = sub.add_parser(name, help=f"Figure data series for {name}")
+        p.add_argument("--export", help="write a .json series file instead of text")
+        p.add_argument("--chart", action="store_true",
+                       help="render ASCII bar charts instead of a table")
+        p.set_defaults(func=_cmd_figure, artefact=name)
+
+    p = sub.add_parser("headlines", help="abstract headline ratios, paper vs measured")
+    p.set_defaults(func=_cmd_headlines)
+
+    p = sub.add_parser("sensitivity", help="calibration sensitivity sweep")
+    p.add_argument("--factor", type=float, default=1.5)
+    p.set_defaults(func=_cmd_sensitivity)
+
+    p = sub.add_parser("thermal", help="per-stack thermal report")
+    p.add_argument("--family", choices=["mercury", "iridium"], default="mercury")
+    p.add_argument("--cores", type=int, default=32)
+    p.set_defaults(func=_cmd_thermal)
+
+    p = sub.add_parser("evaluate", help="evaluate one server design")
+    p.add_argument("--family", choices=["mercury", "iridium"], default="mercury")
+    p.add_argument("--cores", type=int, default=32)
+    p.add_argument("--verb", choices=["GET", "PUT", "get", "put"], default="GET")
+    p.add_argument("--size", default="64", help="value size (64, 4K, 1M, ...)")
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("pareto", help="Pareto frontier over the design space")
+    p.add_argument(
+        "--objectives",
+        default="tps,density_gb",
+        help="comma-separated: tps, tps_per_watt, tps_per_gb, density_gb, low_power",
+    )
+    p.set_defaults(func=_cmd_pareto)
+
+    p = sub.add_parser("report", help="regenerate every artefact into a directory")
+    p.add_argument("--out", default="report", help="output directory")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("plan", help="capacity-plan a key-value tier")
+    p.add_argument("--dataset-gb", type=float, required=True)
+    p.add_argument("--tps", type=float, required=True)
+    p.add_argument("--value-bytes", default="64")
+    p.add_argument("--capex-3d", type=float, default=8_000.0)
+    p.add_argument("--capex-commodity", type=float, default=6_000.0)
+    p.set_defaults(func=_cmd_plan)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.func(args))
+    return 0

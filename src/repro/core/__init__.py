@@ -1,0 +1,68 @@
+"""The paper's contribution: Mercury/Iridium stacks, servers, and models."""
+
+from repro.core.components import COMPONENT_CATALOG, Component, component_by_name
+from repro.core.calibration import CalibrationConstants, DEFAULT_CALIBRATION
+from repro.core.latency_model import (
+    LatencyModel,
+    MemorySpec,
+    RequestTiming,
+    dram_spec,
+    flash_spec,
+)
+from repro.core.stack import StackConfig, mercury_stack, iridium_stack
+from repro.core.server import ServerDesign, ServerConstraints, DEFAULT_CONSTRAINTS
+from repro.core.metrics import OperatingPoint, ServerMetrics, evaluate_server
+from repro.core.design_space import (
+    CORES_PER_STACK_SWEEP,
+    EVALUATED_CORES,
+    design_space,
+    best_config,
+)
+from repro.core.thermal import ThermalReport, thermal_report
+from repro.core.hybrid import HybridStack, hybrid_sweep
+from repro.core.provisioning import (
+    Demand,
+    ProvisioningPlan,
+    ServerCandidate,
+    candidate_from_baseline,
+    candidate_from_design,
+    cheapest_plan,
+    plan_fleet,
+)
+
+__all__ = [
+    "COMPONENT_CATALOG",
+    "Component",
+    "component_by_name",
+    "CalibrationConstants",
+    "DEFAULT_CALIBRATION",
+    "LatencyModel",
+    "MemorySpec",
+    "RequestTiming",
+    "dram_spec",
+    "flash_spec",
+    "StackConfig",
+    "mercury_stack",
+    "iridium_stack",
+    "ServerDesign",
+    "ServerConstraints",
+    "DEFAULT_CONSTRAINTS",
+    "OperatingPoint",
+    "ServerMetrics",
+    "evaluate_server",
+    "CORES_PER_STACK_SWEEP",
+    "EVALUATED_CORES",
+    "design_space",
+    "best_config",
+    "ThermalReport",
+    "thermal_report",
+    "HybridStack",
+    "hybrid_sweep",
+    "Demand",
+    "ProvisioningPlan",
+    "ServerCandidate",
+    "candidate_from_baseline",
+    "candidate_from_design",
+    "cheapest_plan",
+    "plan_fleet",
+]

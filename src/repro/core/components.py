@@ -1,0 +1,82 @@
+"""The component power/area catalogue — Table 1 of the paper.
+
+Every power/area constant the stack- and server-level models use is
+centralised here with its provenance, so Table 1 can be regenerated
+verbatim and so a design-space user can swap a component (say, a future
+PHY) in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class Component:
+    """One Table 1 row.
+
+    ``power_w`` is the fixed active power; bandwidth-proportional parts
+    (the 3D memories) instead set ``power_w_per_gbs`` and report power as
+    ``power_w_per_gbs * GB/s`` at the operating point.
+    """
+
+    name: str
+    power_w: float
+    area_mm2: float
+    power_w_per_gbs: float = 0.0
+    provenance: str = ""
+
+    def __post_init__(self) -> None:
+        if self.power_w < 0 or self.area_mm2 < 0 or self.power_w_per_gbs < 0:
+            raise ConfigurationError(f"{self.name}: negative power/area")
+
+    def power_at(self, bandwidth_bytes_s: float = 0.0) -> float:
+        """Power at an operating bandwidth (fixed + proportional parts)."""
+        if bandwidth_bytes_s < 0:
+            raise ConfigurationError("bandwidth cannot be negative")
+        return self.power_w + self.power_w_per_gbs * (bandwidth_bytes_s / GB)
+
+
+COMPONENT_CATALOG: tuple[Component, ...] = (
+    Component("A7@1GHz", power_w=0.100, area_mm2=0.58, provenance="Gwennap, MPR May 2013"),
+    Component("A15@1GHz", power_w=0.600, area_mm2=2.82, provenance="Gwennap, MPR May 2013"),
+    Component("A15@1.5GHz", power_w=1.000, area_mm2=2.82, provenance="Gwennap, MPR May 2013"),
+    Component(
+        "3D DRAM (4GB)",
+        power_w=0.0,
+        area_mm2=279.0,
+        power_w_per_gbs=0.210,
+        provenance="Tezzaron technical specification",
+    ),
+    Component(
+        "3D NAND Flash (19.8GB)",
+        power_w=0.0,
+        area_mm2=279.0,
+        power_w_per_gbs=0.006,
+        provenance="Grupp et al., MICRO 2009",
+    ),
+    Component(
+        "3D Stack NIC (MAC)",
+        power_w=0.120,
+        area_mm2=0.43,
+        provenance="Niagara-2 MAC scaled to 28nm + CACTI buffers",
+    ),
+    Component(
+        "Physical NIC (PHY)",
+        power_w=0.300,
+        area_mm2=220.0,
+        provenance="Broadcom octal 10GbE PHY",
+    ),
+)
+
+
+def component_by_name(name: str) -> Component:
+    """Look up a Table 1 row by name."""
+    for component in COMPONENT_CATALOG:
+        if component.name == name:
+            return component
+    known = ", ".join(c.name for c in COMPONENT_CATALOG)
+    raise ConfigurationError(f"unknown component {name!r}; known: {known}")

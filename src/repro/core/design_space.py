@@ -1,0 +1,65 @@
+"""Design-space enumeration: the paper's configuration grid.
+
+Table 3 and Figs. 7-8 sweep {A15@1.5GHz, A15@1GHz, A7} x
+{1, 2, 4, 8, 16, 32 cores/stack} x {Mercury, Iridium}.  This module builds
+those 36 server designs and picks winners under different objectives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core.metrics import OperatingPoint, ServerMetrics, evaluate_server
+from repro.core.server import DEFAULT_CONSTRAINTS, ServerConstraints, ServerDesign
+from repro.core.stack import iridium_stack, mercury_stack
+from repro.cpu.core_model import CORTEX_A7, CORTEX_A15_1_5GHZ, CORTEX_A15_1GHZ, CoreModel
+from repro.errors import ConfigurationError
+
+#: Cores-per-stack values evaluated by the paper.
+CORES_PER_STACK_SWEEP: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+#: CPU configurations evaluated by the paper (Table 3 column groups).
+EVALUATED_CORES: tuple[CoreModel, ...] = (
+    CORTEX_A15_1_5GHZ,
+    CORTEX_A15_1GHZ,
+    CORTEX_A7,
+)
+
+
+def design_space(
+    families: tuple[str, ...] = ("Mercury", "Iridium"),
+    cores: tuple[CoreModel, ...] = EVALUATED_CORES,
+    cores_per_stack: tuple[int, ...] = CORES_PER_STACK_SWEEP,
+    constraints: ServerConstraints = DEFAULT_CONSTRAINTS,
+) -> Iterator[ServerDesign]:
+    """Yield every server design in the evaluation grid."""
+    for family in families:
+        if family not in ("Mercury", "Iridium"):
+            raise ConfigurationError(f"unknown family {family!r}")
+        build = mercury_stack if family == "Mercury" else iridium_stack
+        for core in cores:
+            for n in cores_per_stack:
+                yield ServerDesign(
+                    stack=build(cores=n, core=core), constraints=constraints
+                )
+
+
+def best_config(
+    objective: Callable[[ServerMetrics], float],
+    point: OperatingPoint = OperatingPoint(),
+    **space_kwargs,
+) -> tuple[ServerDesign, ServerMetrics]:
+    """The design maximising ``objective`` at an operating point.
+
+    Example::
+
+        best_config(lambda m: m.tps_per_watt)       # efficiency winner
+        best_config(lambda m: m.density_gb)         # density winner
+    """
+    best: tuple[ServerDesign, ServerMetrics] | None = None
+    for design in design_space(**space_kwargs):
+        metrics = evaluate_server(design, point)
+        if best is None or objective(metrics) > objective(best[1]):
+            best = (design, metrics)
+    assert best is not None  # the default grid is never empty
+    return best

@@ -1,0 +1,196 @@
+"""Hybrid stacks: DRAM-fronted flash — the natural Mercury/Iridium blend.
+
+The paper presents Mercury (all DRAM) and Iridium (all flash) as distinct
+design points; its own related work (Nanostores, §3.2) integrates flash
+*and* DRAM in one stack.  A hybrid stack keeps Iridium's density while
+serving the hot fraction of requests at Mercury's speed: some DRAM layers
+act as a hot-object tier in front of the flash.
+
+Model: a stack with ``dram_layers`` of the 8 Tezzaron layers kept as
+DRAM (0.5 GB each) and the remaining footprint as p-BiCS flash (2.475 GB
+per displaced layer, the 4.95x density ratio).  A GET hits the DRAM tier
+with probability ``hot_hit_rate`` (a property of the workload's skew and
+the tier's relative size); misses pay the flash path.  PUTs write flash
+(the capacity tier) and update the DRAM copy when resident.
+
+This module quantifies the trade: where between Mercury and Iridium does
+a given workload's sweet spot fall?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.latency_model import LatencyModel, dram_spec, flash_spec
+from repro.core.stack import StackConfig, iridium_stack
+from repro.cpu.core_model import CORTEX_A7, CoreModel
+from repro.errors import ConfigurationError
+from repro.memory.dram3d import TEZZARON_4GB
+from repro.memory.flash import PBICS_19GB
+from repro.units import GB
+
+#: Capacity of one stacked DRAM layer.
+DRAM_LAYER_BYTES = TEZZARON_4GB.die_capacity_bytes
+#: Flash capacity that fits in one displaced DRAM layer's footprint
+#: (the paper's 4.95x density ratio, per layer).
+FLASH_PER_LAYER_BYTES = int(PBICS_19GB.capacity_bytes / 8)
+TOTAL_LAYERS = 8
+
+
+@dataclass(frozen=True)
+class HybridStack:
+    """A 3D stack with ``dram_layers`` hot DRAM layers over flash."""
+
+    cores: int
+    dram_layers: int
+    core: CoreModel = CORTEX_A7
+    has_l2: bool = True  # flash behind the DRAM tier still needs the L2
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError("a stack needs at least one core")
+        if not 0 <= self.dram_layers <= TOTAL_LAYERS:
+            raise ConfigurationError(
+                f"dram_layers must be in [0, {TOTAL_LAYERS}]"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"Hybrid-{self.cores}[{self.dram_layers}L-DRAM]"
+
+    # --- capacity -------------------------------------------------------------
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_layers * DRAM_LAYER_BYTES
+
+    @property
+    def flash_bytes(self) -> int:
+        return (TOTAL_LAYERS - self.dram_layers) * FLASH_PER_LAYER_BYTES
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Addressable data capacity (DRAM tier caches, flash stores).
+
+        The DRAM tier holds copies of hot flash objects, so the unique
+        capacity is the flash tier (plus pure DRAM when no flash layers
+        remain, i.e. Mercury).
+        """
+        if self.dram_layers == TOTAL_LAYERS:
+            return self.dram_bytes
+        return self.flash_bytes
+
+    @property
+    def hot_tier_fraction(self) -> float:
+        """DRAM tier size relative to the stored data."""
+        if self.capacity_bytes == 0:
+            return 0.0
+        return min(1.0, self.dram_bytes / self.capacity_bytes)
+
+    # --- workload interaction -----------------------------------------------------
+
+    def hot_hit_rate(self, zipf_skew: float = 0.99, population: int = 1_000_000) -> float:
+        """Fraction of GETs served by the DRAM tier under a Zipf law.
+
+        Computed with Che's approximation for an LRU hot tier sized at
+        :attr:`hot_tier_fraction` of the stored objects
+        (:func:`repro.workloads.che.zipf_lru_hit_rate`, which the test
+        suite validates against the real LRU implementation).
+        """
+        fraction = self.hot_tier_fraction
+        if fraction >= 1.0:
+            return 1.0
+        if fraction <= 0.0:
+            return 0.0
+        from repro.workloads.che import zipf_lru_hit_rate
+
+        return zipf_lru_hit_rate(fraction, skew=zipf_skew, population=population)
+
+    # --- timing ---------------------------------------------------------------------
+
+    def _models(self) -> tuple[LatencyModel, LatencyModel]:
+        dram_model = LatencyModel(
+            core=self.core,
+            memory=dram_spec(TEZZARON_4GB.closed_page_latency_s),
+            has_l2=self.has_l2,
+        )
+        flash_model = LatencyModel(
+            core=self.core,
+            memory=flash_spec(
+                read_latency_s=PBICS_19GB.timing.read_latency_s,
+                write_latency_s=PBICS_19GB.timing.program_latency_s,
+            ),
+            has_l2=self.has_l2,
+        )
+        return dram_model, flash_model
+
+    def mean_get_time(self, value_bytes: int, zipf_skew: float = 0.99) -> float:
+        """Expected GET service time under the tiered hit rate."""
+        dram_model, flash_model = self._models()
+        if self.dram_layers == TOTAL_LAYERS:
+            return dram_model.request_timing("GET", value_bytes).total_s
+        if self.dram_layers == 0:
+            return flash_model.request_timing("GET", value_bytes).total_s
+        hit = self.hot_hit_rate(zipf_skew)
+        fast = dram_model.request_timing("GET", value_bytes).total_s
+        slow = flash_model.request_timing("GET", value_bytes).total_s
+        return hit * fast + (1.0 - hit) * slow
+
+    def get_tps(self, value_bytes: int = 64, zipf_skew: float = 0.99) -> float:
+        """Per-core GET throughput."""
+        return 1.0 / self.mean_get_time(value_bytes, zipf_skew)
+
+    def put_tps(self, value_bytes: int = 64) -> float:
+        """Per-core PUT throughput (writes land on the capacity tier)."""
+        dram_model, flash_model = self._models()
+        if self.dram_layers == TOTAL_LAYERS:
+            return dram_model.request_timing("PUT", value_bytes).tps
+        return flash_model.request_timing("PUT", value_bytes).tps
+
+    # --- power/integration -------------------------------------------------------------
+
+    def power_w(self, memory_bandwidth_bytes_s: float = 0.0) -> float:
+        """Stack power: cores + MAC + PHY + blended memory power.
+
+        Memory power per GB/s is blended by where the traffic lands
+        (DRAM's 210 mW/GBps for the hot fraction, flash's 6 for the rest).
+        """
+        if memory_bandwidth_bytes_s < 0:
+            raise ConfigurationError("bandwidth cannot be negative")
+        hit = self.hot_hit_rate() if 0 < self.dram_layers < TOTAL_LAYERS else (
+            1.0 if self.dram_layers == TOTAL_LAYERS else 0.0
+        )
+        per_gbs = hit * 0.210 + (1.0 - hit) * 0.006
+        return (
+            self.cores * self.core.power_w
+            + 0.120  # MAC
+            + 0.300  # PHY
+            + per_gbs * (memory_bandwidth_bytes_s / GB)
+        )
+
+    def to_stack_config(self) -> StackConfig:
+        """The nearest pure StackConfig (for packing arithmetic)."""
+        if self.dram_layers == TOTAL_LAYERS:
+            from repro.core.stack import mercury_stack
+
+            return mercury_stack(self.cores, core=self.core, has_l2=self.has_l2)
+        return iridium_stack(self.cores, core=self.core, has_l2=self.has_l2)
+
+
+def hybrid_sweep(
+    cores: int = 32, value_bytes: int = 64, zipf_skew: float = 0.99
+) -> list[dict[str, float]]:
+    """GET TPS and density across the 0..8 DRAM-layer design space."""
+    rows = []
+    for layers in range(TOTAL_LAYERS + 1):
+        stack = HybridStack(cores=cores, dram_layers=layers)
+        rows.append(
+            {
+                "dram_layers": layers,
+                "capacity_gb": stack.capacity_bytes / GB,
+                "hot_hit_rate": stack.hot_hit_rate(zipf_skew),
+                "get_ktps_per_core": stack.get_tps(value_bytes, zipf_skew) / 1e3,
+                "put_ktps_per_core": stack.put_tps(value_bytes) / 1e3,
+            }
+        )
+    return rows

@@ -1,0 +1,114 @@
+"""Server-level throughput/efficiency metrics (Table 4 and Figs. 7-8).
+
+An :class:`OperatingPoint` fixes the workload (verb, request size, memory
+timing); :func:`evaluate_server` runs a :class:`ServerDesign` at that
+point and reports the paper's headline metrics:
+
+* **TPS** — per-core TPS from the latency model, scaled linearly across
+  all cores (§5.3's methodology, validated by the DES in the tests);
+* **TPS/Watt** — against wall power *at the operating point's bandwidth*
+  (§5.4.2), not the worst-case budget power;
+* **TPS/GB** — accessibility of the stored data;
+* **Bandwidth** — application bytes served per second (TPS x request
+  size), Table 4's Bandwidth row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.latency_model import MemorySpec
+from repro.core.server import ServerDesign
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A workload point: verb (or GET/PUT mix), size, and optional
+    memory-timing override.
+
+    ``get_fraction`` overrides ``verb`` when set: the point becomes a
+    Bernoulli mix of GETs and PUTs at the given ratio, with throughput
+    derived from the mean service time (harmonic combination) — how a
+    production mix like Facebook's ~30:1 ETC ratio is evaluated.
+    """
+
+    verb: str = "GET"
+    value_bytes: int = 64
+    memory: MemorySpec | None = None
+    get_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.verb.upper() not in ("GET", "PUT"):
+            raise ConfigurationError(f"unknown verb {self.verb!r}")
+        if self.value_bytes < 0:
+            raise ConfigurationError("value size cannot be negative")
+        if self.get_fraction is not None and not 0.0 <= self.get_fraction <= 1.0:
+            raise ConfigurationError("get fraction must be in [0, 1]")
+
+    def mean_request_time(self, model) -> float:
+        """Mean per-request service time under this point's mix."""
+        if self.get_fraction is None:
+            return model.request_timing(self.verb.upper(), self.value_bytes).total_s
+        get_time = model.request_timing("GET", self.value_bytes).total_s
+        put_time = model.request_timing("PUT", self.value_bytes).total_s
+        return self.get_fraction * get_time + (1.0 - self.get_fraction) * put_time
+
+
+@dataclass(frozen=True)
+class ServerMetrics:
+    """The Table 4 row for one server at one operating point."""
+
+    name: str
+    stacks: int
+    cores: int
+    density_bytes: float
+    power_w: float
+    tps: float
+    bandwidth_bytes_s: float
+
+    @property
+    def density_gb(self) -> float:
+        return self.density_bytes / GB
+
+    @property
+    def tps_per_watt(self) -> float:
+        return self.tps / self.power_w
+
+    @property
+    def tps_per_gb(self) -> float:
+        return self.tps / self.density_gb
+
+    @property
+    def ktps_per_watt(self) -> float:
+        return self.tps_per_watt / 1e3
+
+    @property
+    def ktps_per_gb(self) -> float:
+        return self.tps_per_gb / 1e3
+
+
+def evaluate_server(design: ServerDesign, point: OperatingPoint = OperatingPoint()) -> ServerMetrics:
+    """Run a server design at an operating point."""
+    model = design.stack.latency_model(memory=point.memory)
+    per_core_tps = 1.0 / point.mean_request_time(model)
+    total_tps = per_core_tps * design.total_cores
+
+    bandwidth_verb = point.verb.upper() if point.get_fraction is None else "GET"
+    per_core_mem_bw = model.memory_bandwidth(bandwidth_verb, point.value_bytes)
+    per_stack_mem_bw = min(
+        per_core_mem_bw * design.stack.cores,
+        design.stack.peak_memory_bandwidth_bytes_s,
+    )
+    power = design.power_at_bandwidth_w(per_stack_mem_bw)
+
+    return ServerMetrics(
+        name=design.stack.name,
+        stacks=design.num_stacks,
+        cores=design.total_cores,
+        density_bytes=design.density_bytes,
+        power_w=power,
+        tps=total_tps,
+        bandwidth_bytes_s=total_tps * point.value_bytes,
+    )

@@ -1,0 +1,141 @@
+"""Capacity planning: size a key-value tier and pick the cheapest server.
+
+The operational question behind the paper: given a demand (dataset size,
+aggregate request rate, request-size profile), how many 1.5U boxes of
+each candidate architecture do you need, and what does each fleet cost?
+Mercury wins throughput-bound tiers, Iridium wins footprint-bound tiers,
+and the crossover is exactly the paper's Mercury/Iridium split
+(high-rate caches vs McDipper-style pools).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.commodity import CommodityServer
+from repro.core.metrics import OperatingPoint, evaluate_server
+from repro.core.server import ServerDesign
+from repro.errors import ConfigurationError
+from repro.power.tco import DEFAULT_COSTS, CostModel, FleetCost
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class Demand:
+    """What the key-value tier must provide."""
+
+    dataset_gb: float
+    peak_tps: float
+    value_bytes: int = 64
+    get_fraction: float = 1.0
+    #: headroom factor applied to throughput (never run a tier at 100 %).
+    utilization_target: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.dataset_gb <= 0 or self.peak_tps <= 0:
+            raise ConfigurationError("demand must be positive")
+        if not 0.0 < self.utilization_target <= 1.0:
+            raise ConfigurationError("utilization target must be in (0, 1]")
+        if not 0.0 <= self.get_fraction <= 1.0:
+            raise ConfigurationError("get fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ServerCandidate:
+    """One server type the planner may deploy."""
+
+    name: str
+    tps: float
+    capacity_gb: float
+    wall_power_w: float
+    capex_usd: float
+    rack_units: float = 1.5
+
+    def __post_init__(self) -> None:
+        if min(self.tps, self.capacity_gb, self.wall_power_w) <= 0:
+            raise ConfigurationError(f"{self.name}: capabilities must be positive")
+        if self.capex_usd < 0 or self.rack_units <= 0:
+            raise ConfigurationError(f"{self.name}: bad cost parameters")
+
+
+def candidate_from_design(
+    design: ServerDesign, capex_usd: float, point: OperatingPoint | None = None
+) -> ServerCandidate:
+    """Build a candidate from a Mercury/Iridium server design."""
+    metrics = evaluate_server(design, point or OperatingPoint())
+    return ServerCandidate(
+        name=metrics.name,
+        tps=metrics.tps,
+        capacity_gb=metrics.density_gb,
+        wall_power_w=metrics.power_w,
+        capex_usd=capex_usd,
+    )
+
+
+def candidate_from_baseline(
+    baseline: CommodityServer, capex_usd: float
+) -> ServerCandidate:
+    """Build a candidate from a commodity baseline."""
+    return ServerCandidate(
+        name=baseline.name,
+        tps=baseline.tps,
+        capacity_gb=baseline.memory_gb,
+        wall_power_w=baseline.power_w,
+        capex_usd=capex_usd,
+    )
+
+
+@dataclass(frozen=True)
+class ProvisioningPlan:
+    """The fleet sizing for one candidate against one demand."""
+
+    candidate: ServerCandidate
+    demand: Demand
+    servers: int
+    binding: str  # "throughput" or "capacity"
+    cost: FleetCost
+
+    @property
+    def tier_rack_units(self) -> float:
+        return self.servers * self.candidate.rack_units
+
+
+def plan_fleet(
+    candidate: ServerCandidate,
+    demand: Demand,
+    costs: CostModel = DEFAULT_COSTS,
+) -> ProvisioningPlan:
+    """Servers of this type needed to meet ``demand``, and their TCO."""
+    usable_tps = candidate.tps * demand.utilization_target
+    by_throughput = math.ceil(demand.peak_tps / usable_tps)
+    by_capacity = math.ceil(demand.dataset_gb / candidate.capacity_gb)
+    servers = max(by_throughput, by_capacity, 1)
+    binding = "throughput" if by_throughput >= by_capacity else "capacity"
+    per_server = costs.server_tco_usd(
+        candidate.capex_usd, candidate.wall_power_w, candidate.rack_units
+    )
+    cost = FleetCost(
+        server_name=candidate.name,
+        servers=servers,
+        tco_usd=servers * per_server,
+        tps=servers * candidate.tps,
+        capacity_gb=servers * candidate.capacity_gb,
+        rack_units=servers * candidate.rack_units,
+    )
+    return ProvisioningPlan(
+        candidate=candidate, demand=demand, servers=servers, binding=binding,
+        cost=cost,
+    )
+
+
+def cheapest_plan(
+    candidates: list[ServerCandidate],
+    demand: Demand,
+    costs: CostModel = DEFAULT_COSTS,
+) -> ProvisioningPlan:
+    """The lowest-TCO fleet among the candidates."""
+    if not candidates:
+        raise ConfigurationError("no candidates to plan with")
+    plans = [plan_fleet(candidate, demand, costs) for candidate in candidates]
+    return min(plans, key=lambda plan: plan.cost.tco_usd)

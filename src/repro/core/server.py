@@ -1,0 +1,118 @@
+"""The 1.5U server packing solver (§5.4-5.6, producing Table 3 rows).
+
+Given a stack configuration, the server holds
+
+    n = min( 96 Ethernet ports,
+             stacks that fit in 77 % of the 13in x 13in board,
+             stacks whose worst-case power fits in (750-160) x 0.8 W )
+
+identical stacks.  "Worst-case power" evaluates each stack at its maximum
+sustainable memory bandwidth over the paper's 64 B - 1 MB request sweep,
+which is why power-hungry A15 configurations shed stacks (and density)
+while A7 configurations stay port-limited at 96.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.area.floorplan import DEFAULT_FLOORPLAN, Floorplan
+from repro.core.stack import StackConfig
+from repro.errors import ConfigurationError
+from repro.power.model import DEFAULT_BUDGET, PowerBudget
+from repro.units import GB
+from repro.workloads.sweep import REQUEST_SIZE_SWEEP
+
+
+@dataclass(frozen=True)
+class ServerConstraints:
+    """The enclosure's three binding limits."""
+
+    budget: PowerBudget = DEFAULT_BUDGET
+    floorplan: Floorplan = DEFAULT_FLOORPLAN
+    sweep: tuple[int, ...] = REQUEST_SIZE_SWEEP
+
+
+DEFAULT_CONSTRAINTS = ServerConstraints()
+
+
+@dataclass(frozen=True)
+class ServerDesign:
+    """A packed 1.5U server: one stack design replicated n times."""
+
+    stack: StackConfig
+    constraints: ServerConstraints = DEFAULT_CONSTRAINTS
+
+    # --- the packing solution --------------------------------------------------
+
+    def stack_max_bandwidth_bytes_s(self) -> float:
+        """One stack's peak memory bandwidth over the request sweep.
+
+        Per-core peak (from the latency model, GET sweep 64 B-1 MB) times
+        cores, capped by the memory device's own peak.
+        """
+        model = self.stack.latency_model()
+        per_core = model.max_memory_bandwidth("GET", self.constraints.sweep)
+        return min(
+            per_core * self.stack.cores, self.stack.peak_memory_bandwidth_bytes_s
+        )
+
+    def stack_max_power_w(self) -> float:
+        """One stack's power at its peak bandwidth (the budget number)."""
+        return self.stack.power_w(self.stack_max_bandwidth_bytes_s())
+
+    @property
+    def num_stacks(self) -> int:
+        """Stacks packed: min of port, area, and power limits."""
+        power_cap = self.constraints.budget.max_stacks(self.stack_max_power_w())
+        n = min(self.constraints.floorplan.max_stacks, power_cap)
+        if n < 1:
+            raise ConfigurationError(
+                f"{self.stack.name}: even one stack exceeds the power budget"
+            )
+        return n
+
+    @property
+    def binding_constraint(self) -> str:
+        """Which limit decided ``num_stacks`` ('ports', 'area', 'power')."""
+        power_cap = self.constraints.budget.max_stacks(self.stack_max_power_w())
+        floorplan = self.constraints.floorplan
+        caps = {
+            "ports": floorplan.max_ethernet_ports,
+            "area": floorplan.max_stacks_by_area,
+            "power": power_cap,
+        }
+        return min(caps, key=lambda k: caps[k])
+
+    # --- Table 3 columns ---------------------------------------------------------
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_stacks * self.stack.cores
+
+    @property
+    def density_bytes(self) -> int:
+        return self.num_stacks * self.stack.capacity_bytes
+
+    @property
+    def density_gb(self) -> float:
+        return self.density_bytes / GB
+
+    @property
+    def area_cm2(self) -> float:
+        return self.constraints.floorplan.area_cm2_for(self.num_stacks)
+
+    def max_bandwidth_bytes_s(self) -> float:
+        """Server-level peak memory bandwidth (Table 3's Max BW)."""
+        return self.num_stacks * self.stack_max_bandwidth_bytes_s()
+
+    def budget_power_w(self) -> float:
+        """Wall power at maximum bandwidth (Table 3's Power column)."""
+        return self.constraints.budget.server_power_w(
+            self.num_stacks * self.stack_max_power_w()
+        )
+
+    def power_at_bandwidth_w(self, per_stack_bandwidth_bytes_s: float) -> float:
+        """Wall power at an operating point's bandwidth (§5.4.2)."""
+        per_stack = self.stack.power_w(per_stack_bandwidth_bytes_s)
+        return self.constraints.budget.server_power_w(self.num_stacks * per_stack)

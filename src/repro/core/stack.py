@@ -1,0 +1,178 @@
+"""3D-stack configurations: Mercury (DRAM) and Iridium (flash).
+
+A stack is a logic die carrying n cores and a NIC MAC under either 8 dies
+of 3D DRAM (Mercury, 4 GB) or one monolithic 3D-flash layer behind 16
+controllers (Iridium, 19.8 GB).  ``Mercury-n`` / ``Iridium-n`` names follow
+the paper: n is cores per stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.calibration import DEFAULT_CALIBRATION, CalibrationConstants
+from repro.core.latency_model import LatencyModel, MemorySpec, dram_spec, flash_spec
+from repro.cpu.core_model import CORTEX_A7, CoreModel
+from repro.errors import ConfigurationError
+from repro.memory.controller import PortAllocator, PortAssignment
+from repro.memory.dram3d import TEZZARON_4GB, StackedDram
+from repro.memory.flash import PBICS_19GB, FlashDevice
+from repro.network.nic import BROADCOM_PHY, NIAGARA2_MAC, NicMac, NicPhy
+from repro.units import GB, MB
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """One 3D stack design point."""
+
+    core: CoreModel
+    cores: int
+    dram: StackedDram | None = None
+    flash: FlashDevice | None = None
+    has_l2: bool = True
+    l2_bytes: int = 2 * MB
+    mac: NicMac = field(default_factory=NicMac)
+    phy: NicPhy = BROADCOM_PHY
+    logic_die_area_mm2: float = 279.0
+    calibration: CalibrationConstants = DEFAULT_CALIBRATION
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError("a stack needs at least one core")
+        if (self.dram is None) == (self.flash is None):
+            raise ConfigurationError("a stack has exactly one of DRAM or flash")
+        if self.memory_ports < 1:
+            raise ConfigurationError("a stack needs at least one memory port")
+        # Validate the port assignment is legal (raises if not).
+        self.port_assignment()
+        if self.is_flash and not self.has_l2:
+            # Permitted (the paper evaluates it) but pathological; no check.
+            pass
+        if self.core_die_area_mm2 > self.logic_die_area_mm2:
+            raise ConfigurationError(
+                f"{self.cores} x {self.core.name} needs "
+                f"{self.core_die_area_mm2:.0f} mm^2, exceeding the "
+                f"{self.logic_die_area_mm2:.0f} mm^2 logic die"
+            )
+
+    # --- identity -----------------------------------------------------------
+
+    @property
+    def is_flash(self) -> bool:
+        return self.flash is not None
+
+    @property
+    def family(self) -> str:
+        return "Iridium" if self.is_flash else "Mercury"
+
+    @property
+    def name(self) -> str:
+        return f"{self.family}-{self.cores}[{self.core.name}]"
+
+    # --- geometry ---------------------------------------------------------------
+
+    @property
+    def memory_ports(self) -> int:
+        if self.dram is not None:
+            return self.dram.ports
+        assert self.flash is not None
+        return self.flash.channels
+
+    @property
+    def capacity_bytes(self) -> int:
+        """The stack's data capacity (its density contribution)."""
+        if self.dram is not None:
+            return self.dram.capacity_bytes
+        assert self.flash is not None
+        return self.flash.capacity_bytes
+
+    @property
+    def core_die_area_mm2(self) -> float:
+        """Logic-die area consumed by cores + MAC (sanity budget)."""
+        return self.cores * self.core.area_mm2 + self.mac.area_mm2
+
+    @property
+    def logic_die_utilization(self) -> float:
+        return self.core_die_area_mm2 / self.logic_die_area_mm2
+
+    def port_assignment(self) -> PortAssignment:
+        """How memory ports split across cores (§4.1.2)."""
+        if self.dram is not None:
+            bandwidth = self.dram.port_bandwidth_bytes_s
+        else:
+            assert self.flash is not None
+            bandwidth = self.flash.peak_read_bandwidth_bytes_s / self.flash.channels
+        return PortAllocator(self.memory_ports, bandwidth).assign(self.cores)
+
+    # --- behaviour ---------------------------------------------------------------
+
+    def default_memory_spec(self) -> MemorySpec:
+        """The memory timing the stack's devices provide."""
+        if self.dram is not None:
+            return dram_spec(self.dram.closed_page_latency_s)
+        assert self.flash is not None
+        return flash_spec(
+            read_latency_s=self.flash.timing.read_latency_s,
+            write_latency_s=self.flash.timing.program_latency_s,
+        )
+
+    def latency_model(self, memory: MemorySpec | None = None) -> LatencyModel:
+        """A per-core latency model, optionally at an overridden timing."""
+        return LatencyModel(
+            core=self.core,
+            memory=memory if memory is not None else self.default_memory_spec(),
+            has_l2=self.has_l2,
+            calibration=self.calibration,
+            phy=self.phy,
+            l2_bytes=self.l2_bytes,
+        )
+
+    # --- power ---------------------------------------------------------------------
+
+    def memory_power_w(self, bandwidth_bytes_s: float) -> float:
+        if self.dram is not None:
+            return self.dram.power_w(bandwidth_bytes_s)
+        assert self.flash is not None
+        return self.flash.power_w(bandwidth_bytes_s)
+
+    def power_w(self, memory_bandwidth_bytes_s: float, include_phy: bool = True) -> float:
+        """Stack power at a memory-bandwidth operating point (§5.4).
+
+        Includes the off-stack PHY the stack's Ethernet port requires,
+        matching the paper's per-stack accounting.
+        """
+        power = (
+            self.cores * self.core.power_w
+            + self.mac.power_w
+            + self.memory_power_w(memory_bandwidth_bytes_s)
+        )
+        if include_phy:
+            power += self.phy.power_w
+        return power
+
+    @property
+    def peak_memory_bandwidth_bytes_s(self) -> float:
+        if self.dram is not None:
+            return self.dram.peak_bandwidth_bytes_s
+        assert self.flash is not None
+        return self.flash.peak_read_bandwidth_bytes_s
+
+
+def mercury_stack(
+    cores: int,
+    core: CoreModel = CORTEX_A7,
+    has_l2: bool = True,
+    dram: StackedDram = TEZZARON_4GB,
+) -> StackConfig:
+    """A Mercury-n stack (3D DRAM)."""
+    return StackConfig(core=core, cores=cores, dram=dram, has_l2=has_l2)
+
+
+def iridium_stack(
+    cores: int,
+    core: CoreModel = CORTEX_A7,
+    has_l2: bool = True,
+    flash: FlashDevice = PBICS_19GB,
+) -> StackConfig:
+    """An Iridium-n stack (3D NAND flash)."""
+    return StackConfig(core=core, cores=cores, flash=flash, has_l2=has_l2)

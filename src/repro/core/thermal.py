@@ -1,0 +1,57 @@
+"""Thermal sanity model (§6.5 of the paper).
+
+The argument is simple: a Mercury-32 server's ~600 W TDP is spread over
+~96 stacks instead of two sockets, so each package dissipates only a few
+watts — within passive (heatsink-less, airflow-only) cooling limits for a
+BGA package in a 1.5U chassis.  This module makes the arithmetic explicit
+and checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.server import ServerDesign
+from repro.errors import ConfigurationError
+
+#: Conservative passive-cooling limit for a 441 mm^2 BGA with forced
+#: chassis airflow (no per-package heatsink).
+PASSIVE_COOLING_LIMIT_W = 10.0
+
+
+@dataclass(frozen=True)
+class ThermalReport:
+    """Per-stack and per-server thermal summary."""
+
+    name: str
+    stacks: int
+    server_tdp_w: float
+    per_stack_tdp_w: float
+    passive_limit_w: float = PASSIVE_COOLING_LIMIT_W
+
+    @property
+    def passively_coolable(self) -> bool:
+        return self.per_stack_tdp_w <= self.passive_limit_w
+
+    @property
+    def headroom_w(self) -> float:
+        return self.passive_limit_w - self.per_stack_tdp_w
+
+    @property
+    def power_density_w_per_cm2(self) -> float:
+        """Heat flux through the 4.41 cm^2 package top."""
+        return self.per_stack_tdp_w / 4.41
+
+
+def thermal_report(design: ServerDesign) -> ThermalReport:
+    """Thermal summary of a packed server at its worst-case power."""
+    stacks = design.num_stacks
+    if stacks <= 0:
+        raise ConfigurationError("server holds no stacks")
+    per_stack = design.stack_max_power_w()
+    return ThermalReport(
+        name=design.stack.name,
+        stacks=stacks,
+        server_tdp_w=design.budget_power_w(),
+        per_stack_tdp_w=per_stack,
+    )

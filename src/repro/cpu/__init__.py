@@ -1,0 +1,27 @@
+"""CPU substrate: core timing/power models and a cache simulator."""
+
+from repro.cpu.core_model import (
+    CoreModel,
+    CORTEX_A7,
+    CORTEX_A15_1GHZ,
+    CORTEX_A15_1_5GHZ,
+    XEON_CORE,
+    ATOM_CORE,
+    CORE_CATALOG,
+    core_by_name,
+)
+from repro.cpu.cache import Cache, CacheStats, estimate_miss_rate
+
+__all__ = [
+    "CoreModel",
+    "CORTEX_A7",
+    "CORTEX_A15_1GHZ",
+    "CORTEX_A15_1_5GHZ",
+    "XEON_CORE",
+    "ATOM_CORE",
+    "CORE_CATALOG",
+    "core_by_name",
+    "Cache",
+    "CacheStats",
+    "estimate_miss_rate",
+]

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A hardware or server configuration is internally inconsistent."""
+
+
+class CapacityError(ReproError):
+    """A component was asked to hold more than it physically can."""
+
+
+class ProtocolError(ReproError):
+    """Malformed memcached protocol input."""
+
+
+class StorageError(ReproError):
+    """A key-value storage operation could not be completed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""

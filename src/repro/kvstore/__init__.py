@@ -1,0 +1,67 @@
+"""A functional Memcached implementation: the key-value store substrate.
+
+This subpackage implements the data-plane of Memcached 1.4 faithfully
+enough that the instruction-cost parameters of the latency model
+correspond to operations this code actually performs: jenkins/FNV key
+hashing, a chained hash table with incremental rehash, a slab allocator
+with a 1.25 growth factor, per-class LRU (plus the Bags pseudo-LRU of
+Memcached 1.6 experiments), TTL/CAS semantics, the ASCII protocol, and a
+consistent-hash cluster client.
+"""
+
+from repro.kvstore.items import Item, ITEM_OVERHEAD_BYTES
+from repro.kvstore.hashing import fnv1a_32, jenkins_oaat, hash_key
+from repro.kvstore.hash_table import HashTable
+from repro.kvstore.slab import SlabAllocator, SlabClass
+from repro.kvstore.lru import LruList, BagLru
+from repro.kvstore.locks import LockContentionModel, StripedLocks
+from repro.kvstore.store import KVStore, StoreResult
+from repro.kvstore.protocol import (
+    Command,
+    Response,
+    parse_command,
+    render_command,
+    render_response,
+    parse_response,
+)
+from repro.kvstore.consistent_hash import ConsistentHashRing
+from repro.kvstore.cluster import MemcachedCluster
+from repro.kvstore.server_loop import MemcachedServer, Connection
+from repro.kvstore.binary_protocol import BinaryServer, BinaryMessage, Opcode, Status
+from repro.kvstore.client import MemcachedClient, GetResult
+from repro.kvstore.udp_server import UdpMemcachedServer, UdpFrame
+
+__all__ = [
+    "Item",
+    "ITEM_OVERHEAD_BYTES",
+    "fnv1a_32",
+    "jenkins_oaat",
+    "hash_key",
+    "HashTable",
+    "SlabAllocator",
+    "SlabClass",
+    "LruList",
+    "BagLru",
+    "LockContentionModel",
+    "StripedLocks",
+    "KVStore",
+    "StoreResult",
+    "Command",
+    "Response",
+    "parse_command",
+    "render_command",
+    "render_response",
+    "parse_response",
+    "ConsistentHashRing",
+    "MemcachedCluster",
+    "MemcachedServer",
+    "Connection",
+    "BinaryServer",
+    "BinaryMessage",
+    "Opcode",
+    "Status",
+    "MemcachedClient",
+    "GetResult",
+    "UdpMemcachedServer",
+    "UdpFrame",
+]

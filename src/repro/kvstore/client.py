@@ -1,0 +1,234 @@
+"""A cluster-aware Memcached client library (in-memory transport).
+
+This is the API an application codes against: typed ``get``/``set``/
+``cas``/``incr`` calls, client-side sharding over a consistent-hash ring,
+multi-get batching per node, and a choice of wire protocol (ASCII or
+binary).  Requests are *actually serialised* to protocol bytes and parsed
+back, so the client exercises the same wire path a socket would — the
+transport is simply an in-process :class:`MemcachedServer` /
+:class:`BinaryServer` per node.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.kvstore.binary_protocol import (
+    BinaryServer,
+    Opcode,
+    Status,
+    arith_request,
+    decode,
+    encode,
+    get_request,
+    set_request,
+    simple_request,
+)
+from repro.kvstore.consistent_hash import ConsistentHashRing
+from repro.kvstore.protocol import Command, parse_response, render_command
+from repro.kvstore.server_loop import Connection, MemcachedServer
+from repro.kvstore.store import KVStore
+
+
+@dataclass(frozen=True)
+class GetResult:
+    """A successful retrieval."""
+
+    value: bytes
+    flags: int
+    cas: int | None = None
+
+
+class MemcachedClient:
+    """Client-side view of a Memcached fleet, over real protocol bytes."""
+
+    def __init__(
+        self,
+        node_names: list[str],
+        memory_per_node_bytes: int,
+        protocol: str = "ascii",
+        vnodes: int = 128,
+    ):
+        if not node_names:
+            raise ConfigurationError("a client needs at least one node")
+        if protocol not in ("ascii", "binary"):
+            raise ConfigurationError(f"unknown protocol {protocol!r}")
+        self.protocol = protocol
+        self.ring = ConsistentHashRing(node_names, vnodes=vnodes)
+        self._stores: dict[str, KVStore] = {
+            name: KVStore(memory_per_node_bytes) for name in node_names
+        }
+        if protocol == "ascii":
+            self._ascii: dict[str, Connection] = {
+                name: MemcachedServer(store).connect()
+                for name, store in self._stores.items()
+            }
+        else:
+            self._binary: dict[str, BinaryServer] = {
+                name: BinaryServer(store) for name, store in self._stores.items()
+            }
+
+    # --- plumbing -----------------------------------------------------------------
+
+    def node_for(self, key: bytes) -> str:
+        return self.ring.node_for(key)
+
+    def store_for(self, key: bytes) -> KVStore:
+        """Direct store access (tests, cache-warming tools)."""
+        return self._stores[self.node_for(key)]
+
+    def advance_time(self, delta: float) -> None:
+        for store in self._stores.values():
+            store.advance_time(delta)
+
+    def _ascii_roundtrip(self, node: str, command: Command) -> bytes:
+        return self._ascii[node].feed(render_command(command))
+
+    def _binary_roundtrip(self, node: str, request) -> tuple[Status, bytes, int]:
+        wire = self._binary[node].handle(encode(request))
+        response, rest = decode(wire)
+        if rest:
+            raise ProtocolError("unexpected trailing response bytes")
+        return Status(response.status), response.value, response.cas
+
+    # --- retrieval ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> GetResult | None:
+        node = self.node_for(key)
+        if self.protocol == "binary":
+            status, value, cas = self._binary_roundtrip(node, get_request(key))
+            if status is Status.KEY_NOT_FOUND:
+                return None
+            if status is not Status.NO_ERROR:
+                raise ProtocolError(f"GET failed: {status.name}")
+            return GetResult(value=value, flags=0, cas=cas)
+        reply = self._ascii_roundtrip(node, Command(verb="gets", keys=(key,)))
+        response = parse_response(reply)
+        if not response.values:
+            return None
+        _key, flags, value, cas = response.values[0]
+        return GetResult(value=value, flags=flags, cas=cas)
+
+    def get_many(self, keys: list[bytes]) -> dict[bytes, GetResult]:
+        """Multi-get, batched per owning node (one round trip per node)."""
+        results: dict[bytes, GetResult] = {}
+        if self.protocol == "binary":
+            for key in keys:
+                result = self.get(key)
+                if result is not None:
+                    results[key] = result
+            return results
+        by_node: dict[str, list[bytes]] = {}
+        for key in keys:
+            by_node.setdefault(self.node_for(key), []).append(key)
+        for node, node_keys in by_node.items():
+            reply = self._ascii_roundtrip(
+                node, Command(verb="gets", keys=tuple(node_keys))
+            )
+            for key, flags, value, cas in parse_response(reply).values:
+                results[key] = GetResult(value=value, flags=flags, cas=cas)
+        return results
+
+    # --- storage ---------------------------------------------------------------------
+
+    def _mutate_ascii(self, verb: str, key: bytes, value: bytes, flags: int,
+                      expire: float, cas: int = 0) -> bool:
+        command = Command(
+            verb=verb, keys=(key,), data=value, flags=flags, exptime=expire, cas=cas
+        )
+        reply = self._ascii_roundtrip(self.node_for(key), command)
+        return reply.strip() == b"STORED"
+
+    def set(self, key: bytes, value: bytes, flags: int = 0, expire: float = 0) -> bool:
+        if self.protocol == "binary":
+            status, _v, _c = self._binary_roundtrip(
+                self.node_for(key), set_request(key, value, flags, int(expire))
+            )
+            return status is Status.NO_ERROR
+        return self._mutate_ascii("set", key, value, flags, expire)
+
+    def add(self, key: bytes, value: bytes, flags: int = 0, expire: float = 0) -> bool:
+        if self.protocol == "binary":
+            status, _v, _c = self._binary_roundtrip(
+                self.node_for(key),
+                set_request(key, value, flags, int(expire), opcode=Opcode.ADD),
+            )
+            return status is Status.NO_ERROR
+        return self._mutate_ascii("add", key, value, flags, expire)
+
+    def replace(self, key: bytes, value: bytes, flags: int = 0, expire: float = 0) -> bool:
+        if self.protocol == "binary":
+            status, _v, _c = self._binary_roundtrip(
+                self.node_for(key),
+                set_request(key, value, flags, int(expire), opcode=Opcode.REPLACE),
+            )
+            return status is Status.NO_ERROR
+        return self._mutate_ascii("replace", key, value, flags, expire)
+
+    def cas(self, key: bytes, value: bytes, cas: int, flags: int = 0,
+            expire: float = 0) -> bool:
+        if self.protocol == "binary":
+            status, _v, _c = self._binary_roundtrip(
+                self.node_for(key),
+                set_request(key, value, flags, int(expire), cas=cas),
+            )
+            return status is Status.NO_ERROR
+        return self._mutate_ascii("cas", key, value, flags, expire, cas=cas)
+
+    def delete(self, key: bytes) -> bool:
+        node = self.node_for(key)
+        if self.protocol == "binary":
+            status, _v, _c = self._binary_roundtrip(
+                node, simple_request(Opcode.DELETE, key)
+            )
+            return status is Status.NO_ERROR
+        reply = self._ascii_roundtrip(node, Command(verb="delete", keys=(key,)))
+        return reply.strip() == b"DELETED"
+
+    def incr(self, key: bytes, delta: int = 1) -> int | None:
+        node = self.node_for(key)
+        if self.protocol == "binary":
+            status, value, _c = self._binary_roundtrip(
+                node, arith_request(key, delta)
+            )
+            if status is not Status.NO_ERROR:
+                return None
+            return struct.unpack(">Q", value)[0]
+        reply = self._ascii_roundtrip(
+            node, Command(verb="incr", keys=(key,), delta=delta)
+        )
+        if reply.strip() == b"NOT_FOUND" or reply.startswith(b"CLIENT_ERROR"):
+            return None
+        return int(reply.strip())
+
+    def decr(self, key: bytes, delta: int = 1) -> int | None:
+        node = self.node_for(key)
+        if self.protocol == "binary":
+            status, value, _c = self._binary_roundtrip(
+                node, arith_request(key, delta, decrement=True)
+            )
+            if status is not Status.NO_ERROR:
+                return None
+            return struct.unpack(">Q", value)[0]
+        reply = self._ascii_roundtrip(
+            node, Command(verb="decr", keys=(key,), delta=delta)
+        )
+        if reply.strip() == b"NOT_FOUND" or reply.startswith(b"CLIENT_ERROR"):
+            return None
+        return int(reply.strip())
+
+    def flush_all(self) -> None:
+        for name in self._stores:
+            if self.protocol == "binary":
+                self._binary_roundtrip(name, simple_request(Opcode.FLUSH))
+            else:
+                self._ascii[name].feed(b"flush_all\r\n")
+
+    # --- accounting -------------------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        gets = sum(s.stats.cmd_get for s in self._stores.values())
+        hits = sum(s.stats.get_hits for s in self._stores.values())
+        return hits / gets if gets else 0.0

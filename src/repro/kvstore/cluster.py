@@ -1,0 +1,94 @@
+"""A sharded Memcached cluster as a client library sees it.
+
+Memcached servers never talk to each other; the *client* shards keys over
+nodes with consistent hashing, which is why the cache scales linearly with
+nodes (§2.3).  This module wires :class:`ConsistentHashRing` to per-node
+:class:`KVStore` instances, giving examples and integration tests a whole
+cluster with real data movement, misses, and node-failure semantics
+(a downed node simply loses its share of the cache).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.kvstore.consistent_hash import ConsistentHashRing
+from repro.kvstore.items import Item
+from repro.kvstore.store import KVStore, StoreResult
+
+
+class MemcachedCluster:
+    """Client-side view of a fleet of Memcached nodes."""
+
+    def __init__(
+        self,
+        node_names: list[str],
+        memory_per_node_bytes: int,
+        vnodes: int = 100,
+        policy: str = "lru",
+    ):
+        if not node_names:
+            raise ConfigurationError("a cluster needs at least one node")
+        if len(set(node_names)) != len(node_names):
+            raise ConfigurationError("node names must be unique")
+        self.ring = ConsistentHashRing(node_names, vnodes=vnodes)
+        self.stores: dict[str, KVStore] = {
+            name: KVStore(memory_per_node_bytes, policy=policy) for name in node_names
+        }
+
+    # --- membership -------------------------------------------------------------
+
+    @property
+    def node_names(self) -> list[str]:
+        return sorted(self.stores)
+
+    def add_node(self, name: str, memory_bytes: int) -> None:
+        """Grow the cluster; keys rehash onto the new node lazily (as
+        misses), exactly as in production."""
+        if name in self.stores:
+            raise ConfigurationError(f"node {name!r} already in the cluster")
+        self.ring.add_node(name)
+        self.stores[name] = KVStore(memory_bytes)
+
+    def kill_node(self, name: str) -> None:
+        """Take a node down; its cached data is lost (no persistence)."""
+        if name not in self.stores:
+            raise ConfigurationError(f"node {name!r} not in the cluster")
+        self.ring.remove_node(name)
+        del self.stores[name]
+
+    # --- data plane ---------------------------------------------------------------
+
+    def node_for(self, key: bytes) -> str:
+        return self.ring.node_for(key)
+
+    def store_for(self, key: bytes) -> KVStore:
+        return self.stores[self.node_for(key)]
+
+    def set(self, key: bytes, value: bytes, flags: int = 0, expire: float = 0) -> StoreResult:
+        return self.store_for(key).set(key, value, flags, expire)
+
+    def get(self, key: bytes) -> Item | None:
+        return self.store_for(key).get(key)
+
+    def delete(self, key: bytes) -> StoreResult:
+        return self.store_for(key).delete(key)
+
+    def advance_time(self, delta: float) -> None:
+        for store in self.stores.values():
+            store.advance_time(delta)
+
+    # --- cluster-level accounting ------------------------------------------------------
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Aggregate cache size — 'the cache is the aggregate size of all
+        servers' (§2.3)."""
+        return sum(s.slabs.memory_limit_bytes for s in self.stores.values())
+
+    def hit_rate(self) -> float:
+        gets = sum(s.stats.cmd_get for s in self.stores.values())
+        hits = sum(s.stats.get_hits for s in self.stores.values())
+        return hits / gets if gets else 0.0
+
+    def item_count(self) -> int:
+        return sum(len(s) for s in self.stores.values())

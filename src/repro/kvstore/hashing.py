@@ -1,0 +1,69 @@
+"""Key hash functions used by Memcached.
+
+Memcached 1.4 hashes keys with Bob Jenkins' one-at-a-time/lookup3 family;
+FNV-1a is the common alternative.  Both are implemented here in pure
+Python (masked to 32 bits) so the hash-computation component of Fig. 4 —
+a cost linear in key length plus a constant — corresponds to real code.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+
+_MASK32 = 0xFFFFFFFF
+
+FNV_OFFSET_BASIS_32 = 0x811C9DC5
+FNV_PRIME_32 = 0x01000193
+
+
+def fnv1a_32(data: bytes) -> int:
+    """FNV-1a 32-bit hash."""
+    value = FNV_OFFSET_BASIS_32
+    for byte in data:
+        value ^= byte
+        value = (value * FNV_PRIME_32) & _MASK32
+    return value
+
+
+def jenkins_oaat(data: bytes) -> int:
+    """Bob Jenkins' one-at-a-time 32-bit hash (memcached's classic choice)."""
+    value = 0
+    for byte in data:
+        value = (value + byte) & _MASK32
+        value = (value + ((value << 10) & _MASK32)) & _MASK32
+        value ^= value >> 6
+    value = (value + ((value << 3) & _MASK32)) & _MASK32
+    value ^= value >> 11
+    value = (value + ((value << 15) & _MASK32)) & _MASK32
+    return value
+
+
+_ALGORITHMS = {
+    "jenkins": jenkins_oaat,
+    "fnv1a": fnv1a_32,
+}
+
+
+def hash_key(key: bytes, algorithm: str = "jenkins") -> int:
+    """Hash a key with the named algorithm.
+
+    Raises:
+        StorageError: for an unknown algorithm name.
+    """
+    try:
+        func = _ALGORITHMS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(_ALGORITHMS))
+        raise StorageError(f"unknown hash algorithm {algorithm!r}; known: {known}") from None
+    return func(key)
+
+
+def hash_cost_instructions(key_length: int) -> float:
+    """Instruction cost of hashing a key (constant + linear in length).
+
+    This is the 'Hash Computation' component of Fig. 4; the constants live
+    here because they describe this code, not the hardware.
+    """
+    if key_length < 0:
+        raise StorageError("key length cannot be negative")
+    return 120.0 + 18.0 * key_length

@@ -1,0 +1,108 @@
+"""Lock-contention models for Memcached thread scaling.
+
+Table 4 compares three software generations that differ mainly in locking:
+
+* **1.4** — one global cache lock serialises the hash table *and* the LRU;
+* **1.6** — fine-grained (striped) hash locks, but the LRU lock remains;
+* **Bags** — the LRU lock is gone too (pseudo-LRU), scaling past 3 MTPS.
+
+:class:`LockContentionModel` is the analytic piece: a machine-repairman /
+serial-fraction model that converts "fraction of a request spent holding
+the contended lock" into aggregate throughput at N threads.  It is how
+baseline throughputs in Table 4 are *computed* from per-thread service
+rates instead of pasted in.  :class:`StripedLocks` is the functional
+piece used by the concurrent store simulation and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LockContentionModel:
+    """Throughput scaling for N threads sharing one critical section.
+
+    ``serial_fraction`` is the share of each request's service time spent
+    inside the contended critical section.  The aggregate throughput is
+    capped by both the thread pool (N x single-thread rate) and the lock
+    (1 / serial time per request), with the classic smooth interpolation
+
+        X(N) = N * r / (1 + serial_fraction * (N - 1))
+
+    which reduces to linear scaling when the serial fraction is 0 and to a
+    hard plateau at ``r / serial_fraction`` when N grows.
+    """
+
+    serial_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.serial_fraction <= 1.0:
+            raise ConfigurationError("serial fraction must be in [0, 1]")
+
+    def throughput(self, threads: int, single_thread_rate: float) -> float:
+        """Aggregate requests/second for ``threads`` threads."""
+        if threads <= 0:
+            raise ConfigurationError("thread count must be positive")
+        if single_thread_rate < 0:
+            raise ConfigurationError("rate cannot be negative")
+        n = float(threads)
+        return n * single_thread_rate / (1.0 + self.serial_fraction * (n - 1.0))
+
+    def speedup(self, threads: int) -> float:
+        """Scaling factor relative to one thread."""
+        return self.throughput(threads, 1.0)
+
+    def saturation_rate(self, single_thread_rate: float) -> float:
+        """Asymptotic throughput as N -> infinity (the lock's ceiling)."""
+        if self.serial_fraction == 0.0:
+            return float("inf")
+        return single_thread_rate / self.serial_fraction
+
+
+class StripedLocks:
+    """A bank of lock stripes addressed by key hash (functional model).
+
+    Tracks acquisition counts per stripe so tests can check that striping
+    actually spreads contention, and exposes an empirical collision
+    probability comparable to the analytic model.
+    """
+
+    def __init__(self, stripes: int):
+        if stripes <= 0:
+            raise ConfigurationError("stripe count must be positive")
+        self.stripes = stripes
+        self.acquisitions = [0] * stripes
+        self._held = [False] * stripes
+        self.contended = 0
+
+    def stripe_for(self, key_hash: int) -> int:
+        return key_hash % self.stripes
+
+    def acquire(self, key_hash: int) -> int:
+        """Acquire the stripe for a hash; counts a contention event if the
+        stripe is already held (the simulation is cooperative, so this is
+        bookkeeping, not blocking).  Returns the stripe index."""
+        stripe = self.stripe_for(key_hash)
+        if self._held[stripe]:
+            self.contended += 1
+        self._held[stripe] = True
+        self.acquisitions[stripe] += 1
+        return stripe
+
+    def release(self, stripe: int) -> None:
+        if not 0 <= stripe < self.stripes:
+            raise ConfigurationError("stripe index out of range")
+        if not self._held[stripe]:
+            raise ConfigurationError(f"releasing stripe {stripe} that is not held")
+        self._held[stripe] = False
+
+    def imbalance(self) -> float:
+        """max/mean acquisition ratio (1.0 = perfectly even)."""
+        total = sum(self.acquisitions)
+        if total == 0:
+            return 1.0
+        mean = total / self.stripes
+        return max(self.acquisitions) / mean

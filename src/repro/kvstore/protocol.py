@@ -1,0 +1,244 @@
+"""The memcached ASCII protocol: parsing and rendering.
+
+Only the classic text protocol is implemented (the paper runs Memcached
+1.4, where it is the default).  Commands are parsed from complete request
+blobs — one command line plus, for storage commands, the data block — and
+responses are rendered to the exact bytes a client would see, so the wire
+payload sizes used by the network model are computed from real framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+
+_CRLF = b"\r\n"
+
+STORAGE_VERBS = frozenset({"set", "add", "replace", "append", "prepend", "cas"})
+RETRIEVAL_VERBS = frozenset({"get", "gets"})
+SIMPLE_VERBS = frozenset(
+    {"delete", "incr", "decr", "touch", "flush_all", "version", "stats", "quit"}
+)
+
+
+@dataclass(frozen=True)
+class Command:
+    """A parsed client command."""
+
+    verb: str
+    keys: tuple[bytes, ...] = ()
+    flags: int = 0
+    exptime: float = 0.0
+    data: bytes = b""
+    cas: int = 0
+    delta: int = 0
+    noreply: bool = False
+
+    @property
+    def key(self) -> bytes:
+        if not self.keys:
+            raise ProtocolError(f"{self.verb} carries no key")
+        return self.keys[0]
+
+
+@dataclass(frozen=True)
+class Response:
+    """A server response: a status line and optional value blocks."""
+
+    status: str
+    values: tuple[tuple[bytes, int, bytes, int | None], ...] = ()
+    # each value: (key, flags, data, cas-or-None)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProtocolError(message)
+
+
+def _parse_int(token: bytes, what: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise ProtocolError(f"bad {what}: {token!r}") from None
+
+
+def _check_key(key: bytes) -> bytes:
+    _require(0 < len(key) <= 250, f"bad key length {len(key)}")
+    _require(
+        all(33 <= b <= 126 for b in key),
+        "keys must be printable ASCII without spaces",
+    )
+    return key
+
+
+def parse_command(blob: bytes) -> tuple[Command, bytes]:
+    """Parse one command off the front of ``blob``.
+
+    Returns ``(command, remainder)`` so a connection buffer can be drained
+    by repeated calls.
+
+    Raises:
+        ProtocolError: on malformed input or an incomplete data block.
+    """
+    end = blob.find(_CRLF)
+    _require(end >= 0, "no CRLF-terminated command line")
+    line = blob[:end]
+    rest = blob[end + 2 :]
+    parts = line.split()
+    _require(bool(parts), "empty command line")
+    verb = parts[0].decode("ascii", "replace").lower()
+
+    if verb in STORAGE_VERBS:
+        return _parse_storage(verb, parts, rest)
+    if verb in RETRIEVAL_VERBS:
+        _require(len(parts) >= 2, f"{verb} needs at least one key")
+        keys = tuple(_check_key(k) for k in parts[1:])
+        return Command(verb=verb, keys=keys), rest
+    if verb == "delete":
+        _require(len(parts) in (2, 3), "delete <key> [noreply]")
+        noreply = len(parts) == 3 and parts[2] == b"noreply"
+        return Command(verb=verb, keys=(_check_key(parts[1]),), noreply=noreply), rest
+    if verb in ("incr", "decr"):
+        _require(len(parts) in (3, 4), f"{verb} <key> <delta> [noreply]")
+        delta = _parse_int(parts[2], "delta")
+        _require(delta >= 0, "delta must be unsigned")
+        noreply = len(parts) == 4 and parts[3] == b"noreply"
+        return (
+            Command(verb=verb, keys=(_check_key(parts[1]),), delta=delta, noreply=noreply),
+            rest,
+        )
+    if verb == "touch":
+        _require(len(parts) in (3, 4), "touch <key> <exptime> [noreply]")
+        exptime = _parse_int(parts[2], "exptime")
+        noreply = len(parts) == 4 and parts[3] == b"noreply"
+        return (
+            Command(
+                verb=verb, keys=(_check_key(parts[1]),), exptime=float(exptime), noreply=noreply
+            ),
+            rest,
+        )
+    if verb == "stats":
+        # "stats" takes an optional topic ("slabs", "items", ...).
+        _require(len(parts) <= 2, "stats [topic]")
+        keys = (_check_key(parts[1]),) if len(parts) == 2 else ()
+        return Command(verb=verb, keys=keys), rest
+    if verb == "verbosity":
+        _require(len(parts) in (2, 3), "verbosity <level> [noreply]")
+        level = _parse_int(parts[1], "verbosity level")
+        noreply = len(parts) == 3 and parts[2] == b"noreply"
+        return Command(verb=verb, delta=level, noreply=noreply), rest
+    if verb in ("flush_all", "version", "quit"):
+        return Command(verb=verb), rest
+    raise ProtocolError(f"unknown verb {verb!r}")
+
+
+def _parse_storage(verb: str, parts: list[bytes], rest: bytes) -> tuple[Command, bytes]:
+    base_args = 5 if verb != "cas" else 6
+    _require(
+        len(parts) in (base_args, base_args + 1),
+        f"{verb} <key> <flags> <exptime> <bytes>"
+        + (" <cas>" if verb == "cas" else "")
+        + " [noreply]",
+    )
+    key = _check_key(parts[1])
+    flags = _parse_int(parts[2], "flags")
+    exptime = _parse_int(parts[3], "exptime")
+    length = _parse_int(parts[4], "bytes")
+    _require(length >= 0, "negative data length")
+    cas = _parse_int(parts[5], "cas id") if verb == "cas" else 0
+    noreply = len(parts) == base_args + 1 and parts[base_args] == b"noreply"
+    _require(len(rest) >= length + 2, "incomplete data block")
+    data = rest[:length]
+    _require(rest[length : length + 2] == _CRLF, "data block not CRLF-terminated")
+    remainder = rest[length + 2 :]
+    return (
+        Command(
+            verb=verb,
+            keys=(key,),
+            flags=flags,
+            exptime=float(exptime),
+            data=data,
+            cas=cas,
+            noreply=noreply,
+        ),
+        remainder,
+    )
+
+
+def render_command(command: Command) -> bytes:
+    """Serialise a command back to wire bytes (client side)."""
+    verb = command.verb
+    if verb in STORAGE_VERBS:
+        line = b"%s %s %d %d %d" % (
+            verb.encode(),
+            command.key,
+            command.flags,
+            int(command.exptime),
+            len(command.data),
+        )
+        if verb == "cas":
+            line += b" %d" % command.cas
+        if command.noreply:
+            line += b" noreply"
+        return line + _CRLF + command.data + _CRLF
+    if verb in RETRIEVAL_VERBS:
+        return verb.encode() + b" " + b" ".join(command.keys) + _CRLF
+    if verb == "delete":
+        line = b"delete " + command.key
+    elif verb in ("incr", "decr"):
+        line = b"%s %s %d" % (verb.encode(), command.key, command.delta)
+    elif verb == "touch":
+        line = b"touch %s %d" % (command.key, int(command.exptime))
+    else:
+        line = verb.encode()
+    if command.noreply:
+        line += b" noreply"
+    return line + _CRLF
+
+
+def render_response(response: Response) -> bytes:
+    """Serialise a response to wire bytes (server side)."""
+    out = bytearray()
+    for key, flags, data, cas in response.values:
+        if cas is None:
+            out += b"VALUE %s %d %d" % (key, flags, len(data))
+        else:
+            out += b"VALUE %s %d %d %d" % (key, flags, len(data), cas)
+        out += _CRLF + data + _CRLF
+    if response.status:
+        out += response.status.encode() + _CRLF
+    return bytes(out)
+
+
+def parse_response(blob: bytes) -> Response:
+    """Parse a complete server response (client side).
+
+    Raises:
+        ProtocolError: on malformed or truncated responses.
+    """
+    values: list[tuple[bytes, int, bytes, int | None]] = []
+    rest = blob
+    while rest.startswith(b"VALUE "):
+        end = rest.find(_CRLF)
+        _require(end >= 0, "unterminated VALUE line")
+        parts = rest[:end].split()
+        _require(len(parts) in (4, 5), "bad VALUE line")
+        key = parts[1]
+        flags = _parse_int(parts[2], "flags")
+        length = _parse_int(parts[3], "bytes")
+        cas = _parse_int(parts[4], "cas id") if len(parts) == 5 else None
+        body_start = end + 2
+        _require(len(rest) >= body_start + length + 2, "truncated VALUE data")
+        data = rest[body_start : body_start + length]
+        _require(
+            rest[body_start + length : body_start + length + 2] == _CRLF,
+            "VALUE data not CRLF-terminated",
+        )
+        values.append((key, flags, data, cas))
+        rest = rest[body_start + length + 2 :]
+    end = rest.find(_CRLF)
+    if end < 0 and not values:
+        raise ProtocolError("no status line in response")
+    status = rest[:end].decode("ascii", "replace") if end >= 0 else ""
+    return Response(status=status, values=tuple(values))

@@ -1,0 +1,246 @@
+"""A functional Memcached server loop: bytes in, bytes out.
+
+:class:`MemcachedServer` owns a :class:`KVStore` and any number of
+:class:`Connection` objects.  A connection accepts arbitrarily fragmented
+request bytes (as TCP delivers them), executes complete commands against
+the store, and produces exact response bytes.  This is the piece that
+turns the kvstore substrate into something a socket loop — or the
+discrete-event simulator — can drive directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.kvstore.protocol import Command, Response, parse_command, render_response
+from repro.kvstore.store import KVStore, StoreResult
+
+#: Server banner returned by ``version``.
+VERSION_STRING = "repro-memcached 1.4"
+
+
+@dataclass
+class ConnectionStats:
+    commands: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    protocol_errors: int = 0
+
+
+class Connection:
+    """One client connection's receive buffer and command execution."""
+
+    def __init__(self, server: "MemcachedServer"):
+        self.server = server
+        self._buffer = b""
+        self.stats = ConnectionStats()
+        self.closed = False
+
+    def feed(self, data: bytes) -> bytes:
+        """Accept incoming bytes; returns response bytes (possibly empty).
+
+        Incomplete trailing commands stay buffered until more bytes
+        arrive.  A malformed *complete* command produces an ``ERROR``
+        line and discards the offending line, as memcached does.
+        """
+        if self.closed:
+            raise ProtocolError("connection is closed")
+        self.stats.bytes_in += len(data)
+        self._buffer += data
+        out = bytearray()
+        while self._buffer and not self.closed:
+            try:
+                command, rest = parse_command(self._buffer)
+            except ProtocolError:
+                if self._complete_command_buffered():
+                    out += self._discard_bad_line()
+                    continue
+                break  # wait for more bytes
+            self._buffer = rest
+            out += self._execute(command)
+        self.stats.bytes_out += len(out)
+        return bytes(out)
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    # --- internals -------------------------------------------------------------
+
+    def _complete_command_buffered(self) -> bool:
+        """Whether the buffer holds a full (if malformed) command line.
+
+        A storage command can legitimately sit incomplete while its data
+        block streams in; distinguish "garbage line" from "not yet
+        complete" by checking whether a CRLF-terminated line exists and,
+        for storage verbs, whether the advertised data block is present.
+        """
+        end = self._buffer.find(b"\r\n")
+        if end < 0:
+            return False
+        parts = self._buffer[:end].split()
+        if not parts:
+            return True
+        verb = parts[0].lower()
+        if verb in (b"set", b"add", b"replace", b"append", b"prepend", b"cas"):
+            index = 4
+            if len(parts) <= index:
+                return True  # malformed header line, complete as a line
+            try:
+                length = int(parts[index])
+            except ValueError:
+                return True
+            return len(self._buffer) >= end + 2 + length + 2
+        return True
+
+    def _discard_bad_line(self) -> bytes:
+        self.stats.protocol_errors += 1
+        end = self._buffer.find(b"\r\n")
+        self._buffer = self._buffer[end + 2 :] if end >= 0 else b""
+        return b"ERROR\r\n"
+
+    def _execute(self, command: Command) -> bytes:
+        self.stats.commands += 1
+        store = self.server.store
+        verb = command.verb
+        if verb in ("get", "gets"):
+            values = []
+            for key in command.keys:
+                item = store.get(key)
+                if item is not None:
+                    cas = item.cas if verb == "gets" else None
+                    values.append((key, item.flags, item.value, cas))
+            return render_response(Response(status="END", values=tuple(values)))
+        if verb == "quit":
+            self.closed = True
+            return b""
+        if verb == "version":
+            return b"VERSION %s\r\n" % VERSION_STRING.encode()
+        if verb == "stats":
+            # "stats", "stats slabs", "stats items", "stats reset".
+            topic = command.keys[0] if command.keys else b""
+            if topic == b"slabs":
+                return self._render_slab_stats()
+            if topic == b"items":
+                return self._render_item_stats()
+            if topic == b"reset":
+                from repro.kvstore.store import StoreStats
+
+                self.server.store.stats = StoreStats()
+                return b"RESET\r\n"
+            return self._render_stats()
+        if verb == "verbosity":
+            self.server.verbosity = command.delta
+            return b"" if command.noreply else b"OK\r\n"
+        if verb == "flush_all":
+            store.flush_all()
+            return b"" if command.noreply else b"OK\r\n"
+        if verb in ("incr", "decr"):
+            method = store.incr if verb == "incr" else store.decr
+            try:
+                value = method(command.key, command.delta)
+            except Exception:
+                return b"CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"
+            if command.noreply:
+                return b""
+            if value is None:
+                return b"NOT_FOUND\r\n"
+            return b"%d\r\n" % value
+        result = self._apply_mutation(command)
+        if command.noreply:
+            return b""
+        return result.value.encode() + b"\r\n"
+
+    def _apply_mutation(self, command: Command) -> StoreResult:
+        store = self.server.store
+        verb = command.verb
+        if verb == "set":
+            return store.set(command.key, command.data, command.flags, command.exptime)
+        if verb == "add":
+            return store.add(command.key, command.data, command.flags, command.exptime)
+        if verb == "replace":
+            return store.replace(command.key, command.data, command.flags, command.exptime)
+        if verb == "append":
+            return store.append(command.key, command.data)
+        if verb == "prepend":
+            return store.prepend(command.key, command.data)
+        if verb == "cas":
+            return store.cas(
+                command.key, command.data, command.cas, command.flags, command.exptime
+            )
+        if verb == "delete":
+            return store.delete(command.key)
+        if verb == "touch":
+            return store.touch(command.key, command.exptime)
+        raise ProtocolError(f"unhandled verb {verb!r}")  # pragma: no cover
+
+    def _render_stats(self) -> bytes:
+        stats = self.server.store.stats
+        rows = {
+            "cmd_get": stats.cmd_get,
+            "cmd_set": stats.cmd_set,
+            "get_hits": stats.get_hits,
+            "get_misses": stats.get_misses,
+            "delete_hits": stats.delete_hits,
+            "delete_misses": stats.delete_misses,
+            "evictions": stats.evictions,
+            "total_items": stats.total_items,
+            "bytes_read": stats.bytes_read,
+            "bytes_written": stats.bytes_written,
+            "curr_items": len(self.server.store),
+        }
+        out = bytearray()
+        for name, value in rows.items():
+            out += b"STAT %s %d\r\n" % (name.encode(), value)
+        out += b"END\r\n"
+        return bytes(out)
+
+    def _render_slab_stats(self) -> bytes:
+        """``stats slabs``: per-class counters, memcached layout."""
+        out = bytearray()
+        for class_id, entry in sorted(self.server.store.slabs.stats().items()):
+            for field_name, value in entry.items():
+                out += b"STAT %d:%s %d\r\n" % (class_id, field_name.encode(), value)
+        out += b"STAT active_slabs %d\r\n" % len(self.server.store.slabs.stats())
+        out += b"STAT total_malloced %d\r\n" % self.server.store.slabs.bytes_committed
+        out += b"END\r\n"
+        return bytes(out)
+
+    def _render_item_stats(self) -> bytes:
+        """``stats items``: per-class item counts and eviction totals."""
+        store = self.server.store
+        counts: dict[int, int] = {}
+        for item in store.table:
+            class_id = store.slabs.class_for(item.total_bytes).class_id
+            counts[class_id] = counts.get(class_id, 0) + 1
+        out = bytearray()
+        for class_id in sorted(counts):
+            out += b"STAT items:%d:number %d\r\n" % (class_id, counts[class_id])
+        out += b"STAT evictions_total %d\r\n" % store.stats.evictions
+        out += b"END\r\n"
+        return bytes(out)
+
+
+class MemcachedServer:
+    """A Memcached node: one store, many connections."""
+
+    def __init__(self, store: KVStore):
+        self.store = store
+        self.verbosity = 0
+        self._connections: list[Connection] = []
+
+    def connect(self) -> Connection:
+        """Open a new client connection."""
+        connection = Connection(self)
+        self._connections.append(connection)
+        return connection
+
+    @property
+    def connection_count(self) -> int:
+        return sum(1 for c in self._connections if not c.closed)
+
+    def handle(self, wire: bytes) -> bytes:
+        """One-shot convenience: run a whole request blob on a fresh
+        connection and return the full response."""
+        return self.connect().feed(wire)

@@ -1,0 +1,148 @@
+"""Memcached's UDP transport, functionally: frame header + datagram I/O.
+
+Each memcached UDP datagram starts with an 8-byte frame header:
+
+    offset  field
+    0-1     request id (echoed in every response datagram)
+    2-3     sequence number (0-based, within this message)
+    4-5     total datagrams in this message
+    6-7     reserved (0)
+
+A request must fit one datagram; a response larger than one datagram is
+split across several, each carrying the same request id and increasing
+sequence numbers — the client reassembles (and, on loss, retries over
+TCP).  :class:`UdpMemcachedServer` implements the server side over the
+same :class:`KVStore`/ASCII machinery the TCP path uses.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.kvstore.server_loop import MemcachedServer
+from repro.network.udp import datagram_payload
+
+FRAME_HEADER = struct.Struct(">HHHH")
+FRAME_HEADER_BYTES = FRAME_HEADER.size
+
+
+@dataclass(frozen=True)
+class UdpFrame:
+    """One memcached UDP datagram, decoded."""
+
+    request_id: int
+    sequence: int
+    total: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.request_id <= 0xFFFF:
+            raise ProtocolError("request id out of range")
+        if self.total < 1 or not 0 <= self.sequence < self.total:
+            raise ProtocolError("bad sequence/total")
+
+
+def encode_frame(frame: UdpFrame) -> bytes:
+    """Serialise a frame to datagram bytes."""
+    return (
+        FRAME_HEADER.pack(frame.request_id, frame.sequence, frame.total, 0)
+        + frame.payload
+    )
+
+
+def decode_frame(datagram: bytes) -> UdpFrame:
+    """Decode one datagram.
+
+    Raises:
+        ProtocolError: on short input or inconsistent header fields.
+    """
+    if len(datagram) < FRAME_HEADER_BYTES:
+        raise ProtocolError("short UDP frame header")
+    request_id, sequence, total, reserved = FRAME_HEADER.unpack(
+        datagram[:FRAME_HEADER_BYTES]
+    )
+    if reserved != 0:
+        raise ProtocolError("reserved frame field must be zero")
+    return UdpFrame(
+        request_id=request_id,
+        sequence=sequence,
+        total=total,
+        payload=datagram[FRAME_HEADER_BYTES:],
+    )
+
+
+def split_response(request_id: int, payload: bytes, max_datagram: int) -> list[bytes]:
+    """Split a response payload into framed datagrams."""
+    capacity = max_datagram - FRAME_HEADER_BYTES
+    if capacity <= 0:
+        raise ProtocolError("datagram too small for the frame header")
+    chunks = [payload[i : i + capacity] for i in range(0, len(payload), capacity)]
+    if not chunks:
+        chunks = [b""]
+    total = len(chunks)
+    return [
+        encode_frame(UdpFrame(request_id=request_id, sequence=i, total=total,
+                              payload=chunk))
+        for i, chunk in enumerate(chunks)
+    ]
+
+
+def reassemble(datagrams: list[bytes]) -> bytes:
+    """Client-side reassembly of a multi-datagram response.
+
+    Raises:
+        ProtocolError: on missing/duplicate sequences or mixed request
+            ids (the conditions that trigger a TCP retry in production).
+    """
+    if not datagrams:
+        raise ProtocolError("nothing to reassemble")
+    frames = [decode_frame(d) for d in datagrams]
+    request_ids = {f.request_id for f in frames}
+    if len(request_ids) != 1:
+        raise ProtocolError("mixed request ids in one reassembly")
+    total = frames[0].total
+    if any(f.total != total for f in frames):
+        raise ProtocolError("inconsistent datagram counts")
+    by_sequence = {f.sequence: f for f in frames}
+    if len(by_sequence) != len(frames):
+        raise ProtocolError("duplicate sequence number")
+    if set(by_sequence) != set(range(total)):
+        raise ProtocolError("missing datagrams")
+    return b"".join(by_sequence[i].payload for i in range(total))
+
+
+class UdpMemcachedServer:
+    """The UDP face of a Memcached node.
+
+    GET-over-UDP only accepts single-datagram requests (memcached rejects
+    multi-datagram requests too); each request datagram is independent —
+    no connection state survives between them, which is the whole point.
+    """
+
+    def __init__(self, server: MemcachedServer, mtu_payload: int | None = None):
+        self.server = server
+        self.max_datagram = (
+            mtu_payload if mtu_payload is not None
+            else datagram_payload() + FRAME_HEADER_BYTES
+        )
+        self.requests_served = 0
+
+    def handle_datagram(self, datagram: bytes) -> list[bytes]:
+        """Process one request datagram; returns response datagrams.
+
+        Raises:
+            ProtocolError: for malformed frames or multi-datagram
+                requests.
+        """
+        frame = decode_frame(datagram)
+        if frame.total != 1:
+            raise ProtocolError("multi-datagram UDP requests are not supported")
+        # Each UDP request runs on a throwaway connection: no state.
+        connection = self.server.connect()
+        response = connection.feed(frame.payload)
+        if connection.pending_bytes:
+            raise ProtocolError("UDP request datagram held an incomplete command")
+        self.requests_served += 1
+        return split_response(frame.request_id, response, self.max_datagram)

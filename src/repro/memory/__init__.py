@@ -1,0 +1,29 @@
+"""Memory substrate: 3D-stacked DRAM, conventional DRAM, NAND flash, FTL."""
+
+from repro.memory.dram3d import StackedDram, TEZZARON_4GB
+from repro.memory.dram_dimm import MemoryTech, MEMORY_TECH_CATALOG, memory_tech_by_name
+from repro.memory.flash import FlashDevice, FlashTiming, PBICS_19GB
+from repro.memory.ftl import FlashTranslationLayer
+from repro.memory.controller import PortAllocator, QueuedChannel
+from repro.memory.endurance import (
+    EnduranceReport,
+    endurance_report,
+    max_put_rate_for_lifetime,
+)
+
+__all__ = [
+    "StackedDram",
+    "TEZZARON_4GB",
+    "MemoryTech",
+    "MEMORY_TECH_CATALOG",
+    "memory_tech_by_name",
+    "FlashDevice",
+    "FlashTiming",
+    "PBICS_19GB",
+    "FlashTranslationLayer",
+    "PortAllocator",
+    "QueuedChannel",
+    "EnduranceReport",
+    "endurance_report",
+    "max_put_rate_for_lifetime",
+]

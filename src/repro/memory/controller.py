@@ -1,0 +1,129 @@
+"""Port allocation and channel queueing for the stacked memories.
+
+The 3D stack exposes 16 independent memory ports (DRAM) or 16 flash
+controllers (Iridium).  Section 4.1.2 of the paper partitions the address
+space by allocating each core one or more ports; past 16 cores per stack,
+cores must share ports (the paper's Mercury-32 runs two Memcached threads
+per port, which the authors show scales well).
+
+:class:`PortAllocator` performs that partitioning and reports the
+bandwidth each core can count on.  :class:`QueuedChannel` is an M/D/1-style
+queueing model for a shared port, used to check when sharing starts adding
+meaningful delay (the paper's observation that the memory interface
+saturates at >= 64 cores per stack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PortAssignment:
+    """The ports-to-core mapping chosen for a stack configuration."""
+
+    cores: int
+    ports: int
+    ports_per_core: int  # 0 when cores share ports
+    cores_per_port: int  # 1 when each core owns >= 1 port
+    bandwidth_per_core_bytes_s: float
+
+
+class PortAllocator:
+    """Split a stack's memory ports across its cores.
+
+    With ``cores <= ports``, ports are divided evenly and any remainder is
+    left idle (the address-space partitioning of §4.1.2 requires whole
+    ports per process).  With ``cores > ports``, cores share ports evenly
+    and must divide a port's bandwidth.
+    """
+
+    def __init__(self, ports: int, port_bandwidth_bytes_s: float):
+        if ports <= 0:
+            raise ConfigurationError("a stack needs at least one port")
+        if port_bandwidth_bytes_s <= 0:
+            raise ConfigurationError("port bandwidth must be positive")
+        self.ports = ports
+        self.port_bandwidth_bytes_s = port_bandwidth_bytes_s
+
+    def assign(self, cores: int) -> PortAssignment:
+        """Compute the assignment for ``cores`` cores."""
+        if cores <= 0:
+            raise ConfigurationError("a stack needs at least one core")
+        if cores <= self.ports:
+            ports_per_core = self.ports // cores
+            return PortAssignment(
+                cores=cores,
+                ports=self.ports,
+                ports_per_core=ports_per_core,
+                cores_per_port=1,
+                bandwidth_per_core_bytes_s=ports_per_core
+                * self.port_bandwidth_bytes_s,
+            )
+        if cores % self.ports != 0:
+            raise ConfigurationError(
+                f"{cores} cores cannot share {self.ports} ports evenly; "
+                "core count above the port count must be a multiple of it"
+            )
+        cores_per_port = cores // self.ports
+        return PortAssignment(
+            cores=cores,
+            ports=self.ports,
+            ports_per_core=0,
+            cores_per_port=cores_per_port,
+            bandwidth_per_core_bytes_s=self.port_bandwidth_bytes_s / cores_per_port,
+        )
+
+
+class QueuedChannel:
+    """M/D/1 queueing model of one shared memory port or flash channel.
+
+    Service is deterministic (a fixed-size burst or page), arrivals are
+    Poisson.  ``waiting_time`` is the Pollaczek-Khinchine mean wait for a
+    deterministic server; it is what the DES charges when several cores
+    contend for one port.
+    """
+
+    def __init__(self, service_time_s: float):
+        if service_time_s <= 0:
+            raise ConfigurationError("service time must be positive")
+        self.service_time_s = service_time_s
+
+    def utilization(self, arrival_rate_hz: float) -> float:
+        if arrival_rate_hz < 0:
+            raise ConfigurationError("arrival rate cannot be negative")
+        return arrival_rate_hz * self.service_time_s
+
+    def waiting_time(self, arrival_rate_hz: float) -> float:
+        """Mean queueing delay (excluding service) at the given load.
+
+        Raises:
+            ConfigurationError: if the channel would be saturated.
+        """
+        rho = self.utilization(arrival_rate_hz)
+        if rho >= 1.0:
+            raise ConfigurationError(
+                f"channel saturated (utilization {rho:.2f} >= 1)"
+            )
+        # M/D/1: W_q = rho * S / (2 * (1 - rho))
+        return rho * self.service_time_s / (2.0 * (1.0 - rho))
+
+    def response_time(self, arrival_rate_hz: float) -> float:
+        """Mean total time in the channel (wait + service)."""
+        return self.waiting_time(arrival_rate_hz) + self.service_time_s
+
+    def max_rate_for_response(self, target_response_s: float) -> float:
+        """Largest Poisson arrival rate keeping mean response under target.
+
+        Solves the M/D/1 response-time expression for lambda; useful for
+        SLA headroom analyses.
+        """
+        if target_response_s <= self.service_time_s:
+            return 0.0
+        s = self.service_time_s
+        t = target_response_s
+        # t = s + rho*s/(2(1-rho))  =>  rho = 2(t-s) / (2t - s)
+        rho = 2.0 * (t - s) / (2.0 * t - s)
+        return rho / s

@@ -1,0 +1,160 @@
+"""Structural and timing model of the Tezzaron-style 3D-stacked DRAM.
+
+Geometry follows Fig. 3 of the paper exactly: a stack of eight 512 MB DRAM
+dies over one logic die.  The stack exposes 16 independent 128-bit ports;
+each port owns a 256 MB address space made of eight 32 MB banks (one per
+die).  A bank is a 64x64 matrix of 256x256-bit subarrays.  All subarrays in
+a vertical stack share a row buffer through TSVs, so each bank can hold one
+open 8 kb page, for a maximum of 2,048 simultaneously open pages per stack
+(128 pages per bank x 16 banks per layer).
+
+Timing: closed-page access latency of 11 cycles at 1 GHz (11 ns); each port
+sustains 6.25 GB/s for 100 GB/s per stack.  Power: 210 mW per GB/s of
+delivered bandwidth (Table 1), which is why DRAM power is computed from the
+operating point, not the peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.units import GB, MB, NS
+
+
+@dataclass(frozen=True)
+class StackedDram:
+    """A 3D-stacked DRAM device.
+
+    The defaults describe the 4 GB next-generation Tezzaron Octopus part
+    the paper assumes; all fields are overridable so the design space
+    (e.g. HMC-like parts) can be explored.
+    """
+
+    name: str = "Tezzaron-3D-4GB"
+    memory_dies: int = 8
+    die_capacity_bytes: int = 512 * MB
+    ports: int = 16
+    banks_per_port: int = 8
+    subarray_rows: int = 256
+    subarray_cols: int = 256
+    subarrays_per_bank_x: int = 64
+    subarrays_per_bank_y: int = 64
+    page_bits: int = 8 * 1024
+    open_pages_per_bank: int = 128
+    closed_page_latency_s: float = 11 * NS
+    port_bandwidth_bytes_s: float = 6.25 * GB
+    power_w_per_gbs: float = 0.210
+    area_mm2: float = 279.0
+    width_mm: float = 15.5
+    height_mm: float = 18.0
+
+    def __post_init__(self) -> None:
+        if self.memory_dies <= 0 or self.ports <= 0 or self.banks_per_port <= 0:
+            raise ConfigurationError("stack geometry fields must be positive")
+        if self.capacity_bytes != self.memory_dies * self.die_capacity_bytes:
+            # capacity is derived, so this can only trip if geometry disagrees
+            raise ConfigurationError("inconsistent stack geometry")
+
+    # --- capacity ----------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total data capacity of the stack."""
+        return self.memory_dies * self.die_capacity_bytes
+
+    @property
+    def port_capacity_bytes(self) -> int:
+        """Address-space size behind one of the independent ports."""
+        return self.capacity_bytes // self.ports
+
+    @property
+    def bank_capacity_bytes(self) -> int:
+        """Capacity of a single bank (one die's share of one port)."""
+        return self.port_capacity_bytes // self.banks_per_port
+
+    @property
+    def subarray_bits(self) -> int:
+        return self.subarray_rows * self.subarray_cols
+
+    @property
+    def bank_bits_from_subarrays(self) -> int:
+        """Bank capacity recomputed from subarray geometry (consistency)."""
+        return (
+            self.subarray_bits
+            * self.subarrays_per_bank_x
+            * self.subarrays_per_bank_y
+        )
+
+    @property
+    def pages_per_bank(self) -> int:
+        """Concurrently addressable pages per bank (one open at a time)."""
+        return self.bank_capacity_bytes * 8 // self.page_bits
+
+    @property
+    def max_open_pages(self) -> int:
+        """Maximum simultaneously open pages in the whole stack.
+
+        The paper's arithmetic: 128 8 kb pages per bank x 16 banks per
+        physical layer = 2,048 for the default geometry (each vertical
+        group of subarrays shares one row buffer through TSVs).
+        """
+        return self.open_pages_per_bank * self.ports
+
+    # --- bandwidth / latency -------------------------------------------------
+
+    @property
+    def peak_bandwidth_bytes_s(self) -> float:
+        """Aggregate sustained bandwidth across all ports."""
+        return self.ports * self.port_bandwidth_bytes_s
+
+    def access_latency(self) -> float:
+        """Closed-page access latency (the paper's worst-case assumption)."""
+        return self.closed_page_latency_s
+
+    def transfer_time(self, num_bytes: float, ports_used: int = 1) -> float:
+        """Time to stream ``num_bytes`` over ``ports_used`` ports."""
+        if ports_used <= 0 or ports_used > self.ports:
+            raise ConfigurationError(
+                f"ports_used must be in [1, {self.ports}], got {ports_used}"
+            )
+        if num_bytes < 0:
+            raise ConfigurationError("byte count cannot be negative")
+        return num_bytes / (ports_used * self.port_bandwidth_bytes_s)
+
+    # --- addressing ----------------------------------------------------------
+
+    def decompose_address(self, address: int) -> tuple[int, int, int]:
+        """Map a physical byte address to ``(port, bank, row)``.
+
+        The port is the high-order component: each port owns a contiguous
+        256 MB region, matching the paper's per-core partitioning (each
+        core is allocated one or more ports so Memcached processes cannot
+        overwrite each other).
+        """
+        if not 0 <= address < self.capacity_bytes:
+            raise CapacityError(
+                f"address {address:#x} outside stack capacity {self.capacity_bytes:#x}"
+            )
+        port = address // self.port_capacity_bytes
+        within_port = address % self.port_capacity_bytes
+        bank = within_port // self.bank_capacity_bytes
+        within_bank = within_port % self.bank_capacity_bytes
+        row = within_bank * 8 // self.page_bits
+        return port, bank, row
+
+    # --- power ---------------------------------------------------------------
+
+    def power_w(self, bandwidth_bytes_s: float) -> float:
+        """Active power at a delivered bandwidth (210 mW per GB/s)."""
+        if bandwidth_bytes_s < 0:
+            raise ConfigurationError("bandwidth cannot be negative")
+        if bandwidth_bytes_s > self.peak_bandwidth_bytes_s * 1.0001:
+            raise CapacityError(
+                "requested bandwidth exceeds the stack's peak "
+                f"({bandwidth_bytes_s / GB:.1f} > {self.peak_bandwidth_bytes_s / GB:.1f} GB/s)"
+            )
+        return self.power_w_per_gbs * (bandwidth_bytes_s / GB)
+
+
+TEZZARON_4GB = StackedDram()

@@ -1,0 +1,54 @@
+"""Catalogue of conventional and 3D DRAM technologies (paper Table 2).
+
+These entries exist so the comparison the paper draws — 3D-stacked parts
+deliver 5-10x the bandwidth of DIMM packages at comparable or better
+capacity per package — is reproducible as data rather than prose, and so
+baseline (commodity-server) bandwidth ceilings come from the same table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB, MB
+
+
+@dataclass(frozen=True)
+class MemoryTech:
+    """One row of Table 2: a packaged memory technology."""
+
+    name: str
+    bandwidth_bytes_s: float
+    capacity_bytes: int
+    stacked: bool
+    citation: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_s <= 0 or self.capacity_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidth/capacity must be positive")
+
+    @property
+    def bandwidth_per_byte(self) -> float:
+        """Bandwidth available per byte of capacity (accessibility)."""
+        return self.bandwidth_bytes_s / self.capacity_bytes
+
+
+MEMORY_TECH_CATALOG: tuple[MemoryTech, ...] = (
+    MemoryTech("DDR3-1333", 10.7 * GB, 2 * 1024 * MB, stacked=False, citation="Pawlowski, Hot Chips 2011"),
+    MemoryTech("DDR4-2667", 21.3 * GB, 2 * 1024 * MB, stacked=False, citation="Pawlowski, Hot Chips 2011"),
+    MemoryTech("LPDDR3 (30nm)", 6.4 * GB, 512 * MB, stacked=False, citation="Bae et al., ISSCC 2012"),
+    MemoryTech("HMC I (3D-Stack)", 128.0 * GB, 512 * MB, stacked=True, citation="Pawlowski, Hot Chips 2011"),
+    MemoryTech("Wide I/O (3D-stack, 50nm)", 12.8 * GB, 512 * MB, stacked=True, citation="Kim et al., ISSCC 2011"),
+    MemoryTech("Tezzaron Octopus (3D-Stack)", 50.0 * GB, 512 * MB, stacked=True, citation="Tezzaron Octopus datasheet"),
+    MemoryTech("Future Tezzaron (3D-stack)", 100.0 * GB, 4 * 1024 * MB, stacked=True, citation="Giridhar et al., SC 2013"),
+)
+
+
+def memory_tech_by_name(name: str) -> MemoryTech:
+    """Look up a Table 2 entry by name."""
+    for tech in MEMORY_TECH_CATALOG:
+        if tech.name == name:
+            return tech
+    known = ", ".join(t.name for t in MEMORY_TECH_CATALOG)
+    raise ConfigurationError(f"unknown memory technology {name!r}; known: {known}")

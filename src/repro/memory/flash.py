@@ -1,0 +1,134 @@
+"""Structural and timing model of the p-BiCS 3D NAND flash in Iridium.
+
+Iridium replaces the 8 DRAM dies of a Mercury stack with a single
+monolithic layer of Toshiba pipe-shaped bit-cost-scalable (p-BiCS) NAND:
+16 stacked flash layers in one die.  Relative to the 3D DRAM this gives a
+2.5x density gain from the smaller cell and a further 2x from layer count,
+for the paper's 4.95x per-stack density advantage (19.8 GB vs 4 GB in the
+same 279 mm^2 footprint).
+
+Timing and energy are drawn from Grupp et al. (MICRO 2009), which the
+paper cites as conservative for 3D flash: reads 10-20 us, programs 200 us,
+erases ~1.5 ms, with an additional page-transfer time over the channel.
+The stack keeps Mercury's 16-port organisation by fronting the flash with
+16 independent controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.units import GB, KB, MB, MS, US
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """Raw NAND operation latencies and channel speed."""
+
+    read_latency_s: float = 10 * US
+    program_latency_s: float = 200 * US
+    erase_latency_s: float = 1.5 * MS
+    channel_bandwidth_bytes_s: float = 400 * MB
+
+    def __post_init__(self) -> None:
+        if min(self.read_latency_s, self.program_latency_s, self.erase_latency_s) <= 0:
+            raise ConfigurationError("flash latencies must be positive")
+        if self.channel_bandwidth_bytes_s <= 0:
+            raise ConfigurationError("channel bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class FlashDevice:
+    """A 3D NAND flash device as stacked in an Iridium package."""
+
+    name: str = "p-BiCS-19.8GB"
+    capacity_bytes: int = int(19.8 * GB)
+    page_bytes: int = 8 * KB
+    pages_per_block: int = 256
+    channels: int = 16
+    monolithic_layers: int = 16
+    timing: FlashTiming = FlashTiming()
+    power_w_per_gbs: float = 0.006
+    area_mm2: float = 279.0
+    read_energy_j_per_page: float = 6.0e-6
+    program_energy_j_per_page: float = 40.0e-6
+    erase_energy_j_per_block: float = 200.0e-6
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.page_bytes <= 0:
+            raise ConfigurationError("capacity and page size must be positive")
+        if self.pages_per_block <= 0 or self.channels <= 0:
+            raise ConfigurationError("block geometry and channels must be positive")
+
+    # --- geometry ------------------------------------------------------------
+
+    @property
+    def block_bytes(self) -> int:
+        return self.page_bytes * self.pages_per_block
+
+    @property
+    def total_pages(self) -> int:
+        return self.capacity_bytes // self.page_bytes
+
+    @property
+    def total_blocks(self) -> int:
+        return self.capacity_bytes // self.block_bytes
+
+    @property
+    def blocks_per_channel(self) -> int:
+        return self.total_blocks // self.channels
+
+    # --- timing ---------------------------------------------------------------
+
+    def page_transfer_time(self) -> float:
+        """Time to move one page over a channel (after the array read)."""
+        return self.page_bytes / self.timing.channel_bandwidth_bytes_s
+
+    def read_time(self, num_bytes: float | None = None) -> float:
+        """Service time of one page read: array sense + channel transfer.
+
+        If ``num_bytes`` (< page) is given, only that much is transferred;
+        the array sense latency is paid in full regardless.
+        """
+        if num_bytes is None:
+            num_bytes = self.page_bytes
+        if num_bytes < 0:
+            raise ConfigurationError("byte count cannot be negative")
+        if num_bytes > self.page_bytes:
+            raise CapacityError("a single page read cannot exceed the page size")
+        return self.timing.read_latency_s + (
+            num_bytes / self.timing.channel_bandwidth_bytes_s
+        )
+
+    def program_time(self) -> float:
+        """Service time of one page program: channel transfer + array program."""
+        return self.page_transfer_time() + self.timing.program_latency_s
+
+    def erase_time(self) -> float:
+        return self.timing.erase_latency_s
+
+    def pages_for(self, num_bytes: int) -> int:
+        """Number of pages covering ``num_bytes`` of data."""
+        if num_bytes < 0:
+            raise ConfigurationError("byte count cannot be negative")
+        if num_bytes == 0:
+            return 0
+        return -(-num_bytes // self.page_bytes)
+
+    # --- bandwidth/power --------------------------------------------------------
+
+    @property
+    def peak_read_bandwidth_bytes_s(self) -> float:
+        """Streaming read bandwidth with all channels pipelined."""
+        per_channel = self.page_bytes / self.read_time()
+        return per_channel * self.channels
+
+    def power_w(self, bandwidth_bytes_s: float) -> float:
+        """Active power at a delivered bandwidth (6 mW per GB/s, Table 1)."""
+        if bandwidth_bytes_s < 0:
+            raise ConfigurationError("bandwidth cannot be negative")
+        return self.power_w_per_gbs * (bandwidth_bytes_s / GB)
+
+
+PBICS_19GB = FlashDevice()

@@ -1,0 +1,146 @@
+"""Ethernet/IP/TCP framing and segmentation arithmetic.
+
+The paper's large-request behaviour is driven by segmentation: any
+Memcached value of 64 KB or more "has to be split up into multiple TCP
+packets" (§5.2), and each packet costs network-stack instructions and wire
+time.  This module holds the framing constants and the segment/byte/time
+arithmetic that both the latency model and the DES use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EthernetParams:
+    """Framing constants for one Ethernet flavour."""
+
+    name: str
+    line_rate_bytes_s: float
+    mtu: int = 1500
+    eth_header: int = 14
+    eth_fcs: int = 4
+    preamble_and_ifg: int = 20
+    ip_header: int = 20
+    tcp_header: int = 20
+    tcp_options: int = 12  # timestamps, standard on Linux
+
+    def __post_init__(self) -> None:
+        if self.line_rate_bytes_s <= 0:
+            raise ConfigurationError("line rate must be positive")
+        if self.mss <= 0:
+            raise ConfigurationError("MTU too small for IP+TCP headers")
+
+    @property
+    def mss(self) -> int:
+        """Maximum TCP segment payload per packet."""
+        return self.mtu - self.ip_header - self.tcp_header - self.tcp_options
+
+    @property
+    def per_packet_overhead(self) -> int:
+        """Non-payload bytes on the wire per packet."""
+        return (
+            self.eth_header
+            + self.eth_fcs
+            + self.preamble_and_ifg
+            + self.ip_header
+            + self.tcp_header
+            + self.tcp_options
+        )
+
+
+# 10 Gb/s is a decimal line rate: 1.25e9 bytes/second.
+ETHERNET_10GBE = EthernetParams(name="10GbE", line_rate_bytes_s=1.25e9)
+
+
+def segments_for_payload(payload_bytes: int, params: EthernetParams = ETHERNET_10GBE) -> int:
+    """Number of TCP segments needed to carry ``payload_bytes``.
+
+    A zero-byte payload (pure ACK) still occupies one packet.
+    """
+    if payload_bytes < 0:
+        raise ConfigurationError("payload cannot be negative")
+    if payload_bytes == 0:
+        return 1
+    return -(-payload_bytes // params.mss)
+
+
+def wire_bytes_for_payload(
+    payload_bytes: int, params: EthernetParams = ETHERNET_10GBE
+) -> int:
+    """Total bytes on the wire (payload + all framing) for a payload."""
+    segments = segments_for_payload(payload_bytes, params)
+    return payload_bytes + segments * params.per_packet_overhead
+
+
+def wire_time(payload_bytes: int, params: EthernetParams = ETHERNET_10GBE) -> float:
+    """Serialisation time of a payload on the wire."""
+    return wire_bytes_for_payload(payload_bytes, params) / params.line_rate_bytes_s
+
+
+@dataclass(frozen=True)
+class RequestWire:
+    """Application payloads each direction for one Memcached transaction."""
+
+    request_payload: int
+    response_payload: int
+    request_segments: int
+    response_segments: int
+    ack_packets: int
+
+    @property
+    def total_packets(self) -> int:
+        return self.request_segments + self.response_segments + self.ack_packets
+
+    @property
+    def total_payload(self) -> int:
+        return self.request_payload + self.response_payload
+
+
+# Protocol framing sizes for the memcached ASCII protocol: a GET request
+# line is "get <key>\r\n"; a response is "VALUE <key> <flags> <len>\r\n"
+# + data + "\r\nEND\r\n".  A SET carries the value in the request and gets
+# a "STORED\r\n" response.
+_GET_REQUEST_BASE = 8
+_GET_RESPONSE_BASE = 32
+_SET_REQUEST_BASE = 40
+_SET_RESPONSE_BASE = 8
+_DEFAULT_KEY_LEN = 16
+
+
+def request_wire_payloads(
+    verb: str,
+    value_bytes: int,
+    key_bytes: int = _DEFAULT_KEY_LEN,
+    params: EthernetParams = ETHERNET_10GBE,
+) -> RequestWire:
+    """Wire accounting for one GET or PUT (SET) of a ``value_bytes`` value.
+
+    ACKs are modelled with Linux's delayed-ACK behaviour: roughly one ACK
+    per two data segments of the bulk direction.
+    """
+    if value_bytes < 0 or key_bytes <= 0:
+        raise ConfigurationError("sizes must be non-negative (key positive)")
+    verb = verb.upper()
+    if verb == "GET":
+        request_payload = _GET_REQUEST_BASE + key_bytes
+        response_payload = _GET_RESPONSE_BASE + key_bytes + value_bytes
+    elif verb in ("PUT", "SET"):
+        request_payload = _SET_REQUEST_BASE + key_bytes + value_bytes
+        response_payload = _SET_RESPONSE_BASE
+    else:
+        raise ConfigurationError(f"unknown verb {verb!r}; expected GET or PUT")
+    request_segments = segments_for_payload(request_payload, params)
+    response_segments = segments_for_payload(response_payload, params)
+    bulk_segments = max(request_segments, response_segments)
+    ack_packets = max(1, bulk_segments // 2)
+    return RequestWire(
+        request_payload=request_payload,
+        response_payload=response_payload,
+        request_segments=request_segments,
+        response_segments=response_segments,
+        ack_packets=ack_packets,
+    )

@@ -1,0 +1,130 @@
+"""UDP transport for Memcached GETs (the Facebook deployment trick).
+
+The paper attributes ~87 % of a small GET's time to the kernel TCP/IP
+stack and cites work (TSSP, Memcached 1.6) attacking exactly that cost.
+Production Memcached fleets attack it differently: GETs ride UDP — no
+connection state, no ACKs, one interrupt — accepting rare drops (the
+client retries over TCP).  This module models that transport so the
+benchmark suite can quantify, with an ablation, how much of Mercury's
+win survives a software-only stack fix.
+
+Memcached's UDP framing adds an 8-byte header (request id, sequence
+number, datagram count, reserved) to each datagram, and a response
+larger than one datagram is split and reassembled by the client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.network.packets import EthernetParams, ETHERNET_10GBE
+
+#: memcached's UDP frame header bytes.
+UDP_FRAME_HEADER = 8
+#: UDP header itself is 8 bytes vs TCP's 20+12.
+UDP_HEADER = 8
+
+
+@dataclass(frozen=True)
+class UdpCostModel:
+    """Instruction costs for the UDP datapath.
+
+    No connection state, no ACK processing, and a single syscall each
+    way: the fixed cost is roughly a third of TCP's, and there is no
+    per-ACK packet cost at all.  Per-byte copy/checksum costs are the
+    same memory-bound work as TCP's.
+    """
+
+    per_transaction_instructions: float = 11_000.0
+    per_packet_instructions: float = 2_400.0
+    per_byte_instructions: float = 1.75
+    #: Probability a datagram is dropped and the client must retry over
+    #: TCP; Facebook reported ~0.25 % drop rates under load.
+    drop_probability: float = 0.0025
+
+    def __post_init__(self) -> None:
+        if min(
+            self.per_transaction_instructions,
+            self.per_packet_instructions,
+            self.per_byte_instructions,
+        ) < 0:
+            raise ConfigurationError("instruction costs cannot be negative")
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ConfigurationError("drop probability must be in [0, 1)")
+
+
+DEFAULT_UDP_COSTS = UdpCostModel()
+
+
+def datagram_payload(params: EthernetParams = ETHERNET_10GBE) -> int:
+    """Application bytes per UDP datagram (MTU minus IP/UDP/frame headers)."""
+    return params.mtu - params.ip_header - UDP_HEADER - UDP_FRAME_HEADER
+
+
+def datagrams_for_payload(
+    payload_bytes: int, params: EthernetParams = ETHERNET_10GBE
+) -> int:
+    """Datagrams needed for an application payload (>= 1)."""
+    if payload_bytes < 0:
+        raise ConfigurationError("payload cannot be negative")
+    per_datagram = datagram_payload(params)
+    if payload_bytes == 0:
+        return 1
+    return -(-payload_bytes // per_datagram)
+
+
+@dataclass(frozen=True)
+class UdpRequestWire:
+    """Packet/byte accounting for one UDP GET transaction."""
+
+    request_payload: int
+    response_payload: int
+    request_datagrams: int
+    response_datagrams: int
+
+    @property
+    def total_packets(self) -> int:
+        return self.request_datagrams + self.response_datagrams
+
+    @property
+    def total_payload(self) -> int:
+        return self.request_payload + self.response_payload
+
+
+def udp_get_wire(
+    value_bytes: int,
+    key_bytes: int = 64,
+    params: EthernetParams = ETHERNET_10GBE,
+) -> UdpRequestWire:
+    """Wire accounting for a UDP GET (requests fit one datagram)."""
+    if value_bytes < 0 or key_bytes <= 0:
+        raise ConfigurationError("sizes must be non-negative (key positive)")
+    request_payload = 8 + key_bytes  # "get <key>\r\n"
+    response_payload = 32 + key_bytes + value_bytes
+    return UdpRequestWire(
+        request_payload=request_payload,
+        response_payload=response_payload,
+        request_datagrams=datagrams_for_payload(request_payload, params),
+        response_datagrams=datagrams_for_payload(response_payload, params),
+    )
+
+
+def udp_get_instructions(
+    value_bytes: int,
+    costs: UdpCostModel = DEFAULT_UDP_COSTS,
+    key_bytes: int = 64,
+) -> float:
+    """Expected network-stack instructions for one UDP GET.
+
+    The drop-retry path (full TCP transaction) is folded in at its
+    probability; the TCP fallback cost is approximated as 3x the UDP
+    cost, which is what the ablation benchmark assumes.
+    """
+    wire = udp_get_wire(value_bytes, key_bytes=key_bytes)
+    base = (
+        costs.per_transaction_instructions
+        + costs.per_packet_instructions * wire.total_packets
+        + costs.per_byte_instructions * wire.total_payload
+    )
+    return base * (1.0 + 2.0 * costs.drop_probability)

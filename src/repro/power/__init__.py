@@ -1,0 +1,14 @@
+"""Power modelling: component, stack, and server budget arithmetic."""
+
+from repro.power.model import PowerBudget, DEFAULT_BUDGET, stack_power_w, server_power_w
+from repro.power.tco import CostModel, DEFAULT_COSTS, FleetCost
+
+__all__ = [
+    "PowerBudget",
+    "DEFAULT_BUDGET",
+    "stack_power_w",
+    "server_power_w",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "FleetCost",
+]

@@ -1,0 +1,81 @@
+"""Server power budget and aggregation (§5.4 of the paper).
+
+The 1.5U box has a 750 W HP supply.  160 W is reserved for everything
+that is not a stack (disk, motherboard, fans), and a conservative 20 %
+margin covers delivery losses, leaving (750 - 160) x 0.8 = 472 W for
+Mercury/Iridium stacks and their PHYs.
+
+Two power numbers matter per configuration:
+
+* the *budget* power (at each stack's maximum sustainable bandwidth),
+  which decides how many stacks fit — Table 3's Power column;
+* the *operating-point* power (at the bandwidth of the measured request
+  size), used for TPS/Watt — Table 4's Power column (§5.4.2).
+
+Reported server power inverts the margin: 160 W + stack power / 0.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerBudget:
+    """The 1.5U power envelope."""
+
+    supply_w: float = 750.0
+    other_components_w: float = 160.0
+    delivery_margin: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.supply_w <= self.other_components_w:
+            raise ConfigurationError("supply must exceed the non-stack reservation")
+        if not 0.0 < self.delivery_margin <= 1.0:
+            raise ConfigurationError("delivery margin must be in (0, 1]")
+
+    @property
+    def stack_budget_w(self) -> float:
+        """Power available to stacks + PHYs after reservation and margin."""
+        return (self.supply_w - self.other_components_w) * self.delivery_margin
+
+    def server_power_w(self, stack_power_w: float) -> float:
+        """Wall power implied by a given aggregate stack power."""
+        if stack_power_w < 0:
+            raise ConfigurationError("stack power cannot be negative")
+        return self.other_components_w + stack_power_w / self.delivery_margin
+
+    def max_stacks(self, per_stack_w: float) -> int:
+        """How many identical stacks the budget can host."""
+        if per_stack_w <= 0:
+            raise ConfigurationError("per-stack power must be positive")
+        return int(self.stack_budget_w / per_stack_w)
+
+
+DEFAULT_BUDGET = PowerBudget()
+
+
+def stack_power_w(
+    core_power_w: float,
+    cores: int,
+    mac_power_w: float,
+    phy_power_w: float,
+    memory_power_w: float,
+) -> float:
+    """Power of one stack + its PHY share at an operating point."""
+    if cores <= 0:
+        raise ConfigurationError("a stack needs at least one core")
+    if min(core_power_w, mac_power_w, phy_power_w, memory_power_w) < 0:
+        raise ConfigurationError("component powers cannot be negative")
+    return cores * core_power_w + mac_power_w + phy_power_w + memory_power_w
+
+
+def server_power_w(
+    num_stacks: int, per_stack_w: float, budget: PowerBudget = DEFAULT_BUDGET
+) -> float:
+    """Wall power of a server holding ``num_stacks`` identical stacks."""
+    if num_stacks < 0:
+        raise ConfigurationError("stack count cannot be negative")
+    return budget.server_power_w(num_stacks * per_stack_w)

@@ -1,0 +1,92 @@
+"""Total-cost-of-ownership model for the data-center economics of §2.2.
+
+The paper's motivation is monetary: data-center real estate is expensive
+(Google spending $390M on an expansion, Facebook $1.5B on a new site),
+and ~25 % of the fleet is key-value stores.  This module prices a server
+fleet the way capacity planners do — capex amortised over a depreciation
+window, energy at PUE-inflated wall power, and rack space at a monthly
+per-U rate — so density improvements can be expressed in dollars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+HOURS_PER_MONTH = 730.5
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit prices for fleet TCO."""
+
+    energy_usd_per_kwh: float = 0.07
+    pue: float = 1.5
+    rack_unit_usd_per_month: float = 18.0
+    depreciation_years: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.energy_usd_per_kwh < 0 or self.rack_unit_usd_per_month < 0:
+            raise ConfigurationError("unit prices cannot be negative")
+        if self.pue < 1.0:
+            raise ConfigurationError("PUE cannot be below 1")
+        if self.depreciation_years <= 0:
+            raise ConfigurationError("depreciation window must be positive")
+
+    # --- per-server components (over the depreciation window) -----------------
+
+    def energy_cost_usd(self, wall_power_w: float) -> float:
+        """Energy cost of one server over the window, PUE-inflated."""
+        if wall_power_w < 0:
+            raise ConfigurationError("power cannot be negative")
+        kwh = (
+            wall_power_w
+            * self.pue
+            / 1000.0
+            * self.depreciation_years
+            * 12
+            * HOURS_PER_MONTH
+        )
+        return kwh * self.energy_usd_per_kwh
+
+    def space_cost_usd(self, rack_units: float) -> float:
+        """Rack-space cost of one server over the window."""
+        if rack_units <= 0:
+            raise ConfigurationError("rack units must be positive")
+        return rack_units * self.rack_unit_usd_per_month * self.depreciation_years * 12
+
+    def server_tco_usd(
+        self, capex_usd: float, wall_power_w: float, rack_units: float = 1.5
+    ) -> float:
+        """Capex + energy + space for one server over the window."""
+        if capex_usd < 0:
+            raise ConfigurationError("capex cannot be negative")
+        return (
+            capex_usd
+            + self.energy_cost_usd(wall_power_w)
+            + self.space_cost_usd(rack_units)
+        )
+
+
+DEFAULT_COSTS = CostModel()
+
+
+@dataclass(frozen=True)
+class FleetCost:
+    """TCO summary of a homogeneous fleet serving a workload."""
+
+    server_name: str
+    servers: int
+    tco_usd: float
+    tps: float
+    capacity_gb: float
+    rack_units: float
+
+    @property
+    def usd_per_mtps(self) -> float:
+        return self.tco_usd / (self.tps / 1e6) if self.tps else float("inf")
+
+    @property
+    def usd_per_gb(self) -> float:
+        return self.tco_usd / self.capacity_gb if self.capacity_gb else float("inf")

@@ -1,0 +1,26 @@
+"""Discrete-event simulation: engine, resources, queueing theory."""
+
+from repro.sim.events import Simulator, Event
+from repro.sim.resources import FifoResource
+from repro.sim.queueing import MM1, MG1, MMc, sla_fraction_met
+from repro.sim.request_sim import StackSimulation, SimResults
+from repro.sim.full_system import FullSystemStack, FullSystemResults
+from repro.sim.packet_sim import PacketLevelSimulation, PacketSimResult
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "FifoResource",
+    "MM1",
+    "MG1",
+    "MMc",
+    "sla_fraction_met",
+    "StackSimulation",
+    "SimResults",
+    "FullSystemStack",
+    "FullSystemResults",
+    "PacketLevelSimulation",
+    "PacketSimResult",
+    "make_rng",
+]

@@ -1,0 +1,95 @@
+"""A minimal, deterministic discrete-event engine.
+
+Events fire in (time, insertion-order) order, so simultaneous events are
+processed FIFO and every run is exactly reproducible.  The engine is
+deliberately tiny — the paper's methodology only needs request lifecycles
+and resource queues on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering: time, then insertion sequence."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it comes due."""
+        self.cancelled = True
+
+
+class Simulator:
+    """The event loop: schedule callbacks, run until quiescent or a bound."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._sequence = 0
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(time=self.now + delay, sequence=self._sequence, callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} < now {self.now}")
+        return self.schedule(time - self.now, callback)
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Process the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise SimulationError("event queue went backwards in time")
+            self.now = event.time
+            event.callback()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the queue, optionally bounded by time or event count.
+
+        With ``until`` set, the clock is advanced to exactly ``until`` when
+        the horizon is reached (later events stay queued).
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                return
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self.now = until
+                return
+            self.step()
+            processed += 1
+        if until is not None and until > self.now:
+            self.now = until

@@ -1,0 +1,241 @@
+"""Full-system co-simulation: functional Memcached + timing model + DES.
+
+This is the closest analogue in the library to the paper's gem5 runs.  A
+simulated 3D stack runs one *real* :class:`MemcachedServer` per core
+(actual hash table, slab allocator, LRU, protocol bytes); a Poisson
+client drives it with a workload; the NIC MAC routes each request to the
+core that owns its key (client-side consistent hashing, as production
+Memcached shards); and the latency model charges each request the service
+time of its actual verb, actual value size, and actual hit/miss outcome.
+
+Where the analytic pipeline *assumes* (linear scaling, fixed sizes, 100 %
+hit rate), this measures: per-component time breakdown, hit rates under
+finite per-core memory, queueing at each core, and MAC buffer drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.latency_model import MemorySpec
+from repro.core.stack import StackConfig
+from repro.errors import ConfigurationError, SimulationError
+from repro.kvstore.consistent_hash import ConsistentHashRing
+from repro.kvstore.server_loop import MemcachedServer
+from repro.kvstore.store import KVStore
+from repro.network.packets import request_wire_payloads, wire_bytes_for_payload
+from repro.sim.events import Simulator
+from repro.sim.resources import FifoResource
+from repro.sim.rng import make_rng
+
+# Imported lazily inside run(): repro.workloads.generator itself imports
+# repro.sim.rng, and a module-level import here would close that cycle
+# while repro.sim's package init is still running.
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.generator import WorkloadSpec
+
+_BASE_TCP_PORT = 11211
+
+
+@dataclass
+class FullSystemResults:
+    """Measured outcomes of a full-system run."""
+
+    duration_s: float
+    offered_rate_hz: float
+    completed: int = 0
+    rtts: list[float] = field(default_factory=list)
+    waits: list[float] = field(default_factory=list)
+    hash_time_s: float = 0.0
+    memcached_time_s: float = 0.0
+    network_time_s: float = 0.0
+    get_hits: int = 0
+    get_misses: int = 0
+    puts: int = 0
+    response_bytes: int = 0
+    mac_drops: int = 0
+    per_core_served: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def throughput_hz(self) -> float:
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def mean_rtt(self) -> float:
+        return sum(self.rtts) / len(self.rtts) if self.rtts else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        gets = self.get_hits + self.get_misses
+        return self.get_hits / gets if gets else 0.0
+
+    def sla_fraction(self, deadline_s: float = 1e-3) -> float:
+        if not self.rtts:
+            return 0.0
+        return sum(1 for r in self.rtts if r <= deadline_s) / len(self.rtts)
+
+    def breakdown_fractions(self) -> dict[str, float]:
+        """Measured Fig. 4-style component shares of total service time."""
+        total = self.hash_time_s + self.memcached_time_s + self.network_time_s
+        if total == 0.0:
+            return {"hash": 0.0, "memcached": 0.0, "network": 0.0}
+        return {
+            "hash": self.hash_time_s / total,
+            "memcached": self.memcached_time_s / total,
+            "network": self.network_time_s / total,
+        }
+
+    def core_load_imbalance(self) -> float:
+        """max/mean requests served per core (1.0 = perfectly even)."""
+        if not self.per_core_served:
+            return 1.0
+        counts = list(self.per_core_served.values())
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0
+
+
+class FullSystemStack:
+    """One simulated 3D stack running real Memcached instances."""
+
+    def __init__(
+        self,
+        stack: StackConfig,
+        memory: MemorySpec | None = None,
+        memory_per_core_bytes: int | None = None,
+        max_queue_per_core: int | None = 256,
+        seed: int = 0,
+    ):
+        """Args:
+            stack: the 3D stack configuration to simulate.
+            memory: optional memory-timing override.
+            memory_per_core_bytes: per-core store budget (defaults to the
+                stack capacity split evenly).
+            max_queue_per_core: the MAC's finite buffering, expressed as
+                requests queued per core; arrivals beyond it are dropped
+                (``None`` = infinite).
+            seed: RNG seed for arrivals and the workload.
+        """
+        if max_queue_per_core is not None and max_queue_per_core < 1:
+            raise ConfigurationError("queue bound must be positive (or None)")
+        self.max_queue_per_core = max_queue_per_core
+        self.stack = stack
+        self.model = stack.latency_model(memory=memory)
+        if memory_per_core_bytes is None:
+            memory_per_core_bytes = stack.capacity_bytes // stack.cores
+        if memory_per_core_bytes < 1 << 20:
+            raise ConfigurationError("each core needs at least one slab page")
+        self.servers = [
+            MemcachedServer(KVStore(memory_per_core_bytes))
+            for _ in range(stack.cores)
+        ]
+        self.connections = [server.connect() for server in self.servers]
+        # Client-side sharding over the stack's cores, each a "node"
+        # listening on its own TCP port behind the shared MAC (§4.1.4).
+        self.ring = ConsistentHashRing(
+            (str(_BASE_TCP_PORT + i) for i in range(stack.cores)), vnodes=128
+        )
+        self.seed = seed
+
+    def core_for_key(self, key: bytes) -> int:
+        return int(self.ring.node_for(key)) - _BASE_TCP_PORT
+
+    # --- the run -----------------------------------------------------------------
+
+    def run(
+        self,
+        workload: "WorkloadSpec",
+        offered_rate_hz: float,
+        duration_s: float,
+        warmup_requests: int = 0,
+    ) -> FullSystemResults:
+        """Drive the stack with ``workload`` at ``offered_rate_hz``.
+
+        ``warmup_requests`` PUTs pre-populate the stores (zero simulated
+        time) so GET hit rates reflect a warm cache.
+        """
+        from repro.workloads.generator import WorkloadGenerator
+
+        if offered_rate_hz <= 0 or duration_s <= 0:
+            raise ConfigurationError("rate and duration must be positive")
+        sim = Simulator()
+        rng = make_rng("full-system", self.seed)
+        generator = WorkloadGenerator(workload, seed=self.seed)
+        cores = [
+            FifoResource(sim, name=f"core{i}") for i in range(self.stack.cores)
+        ]
+        results = FullSystemResults(
+            duration_s=duration_s, offered_rate_hz=offered_rate_hz
+        )
+        for _ in range(warmup_requests):
+            request = generator.next_request()
+            self._execute(request.key, "PUT", request.value_bytes)
+
+        def arrive() -> None:
+            if sim.now >= duration_s:
+                return
+            request = generator.next_request()
+            core_index = self.core_for_key(request.key)
+            arrival = sim.now
+
+            if (
+                self.max_queue_per_core is not None
+                and cores[core_index].queue_depth >= self.max_queue_per_core
+            ):
+                # MAC buffer full for this core: the packet is dropped
+                # (the client would retry; we just count it).
+                results.mac_drops += 1
+                sim.schedule(rng.expovariate(offered_rate_hz), arrive)
+                return
+
+            hit, response_len = self._execute(
+                request.key, request.verb, request.value_bytes
+            )
+            served_bytes = response_len if request.verb == "GET" else request.value_bytes
+            timing = self.model.request_timing(request.verb, served_bytes)
+            if request.verb == "GET":
+                if hit:
+                    results.get_hits += 1
+                else:
+                    results.get_misses += 1
+            else:
+                results.puts += 1
+            results.response_bytes += response_len
+
+            def complete(wait: float) -> None:
+                if sim.now <= duration_s:
+                    results.completed += 1
+                    results.rtts.append(sim.now - arrival)
+                    results.waits.append(wait)
+                    results.hash_time_s += timing.hash_s
+                    results.memcached_time_s += timing.memcached_s
+                    results.network_time_s += timing.network_s
+                    results.per_core_served[core_index] = (
+                        results.per_core_served.get(core_index, 0) + 1
+                    )
+
+            cores[core_index].submit(timing.total_s, complete)
+            sim.schedule(rng.expovariate(offered_rate_hz), arrive)
+
+        sim.schedule(rng.expovariate(offered_rate_hz), arrive)
+        sim.run()
+        return results
+
+    # --- functional execution -------------------------------------------------------
+
+    def _execute(self, key: bytes, verb: str, value_bytes: int) -> tuple[bool, int]:
+        """Run the request against the real store; (hit, response bytes)."""
+        core_index = self.core_for_key(key)
+        connection = self.connections[core_index]
+        if verb == "GET":
+            reply = connection.feed(b"get %s\r\n" % key)
+            hit = reply.startswith(b"VALUE ")
+            return hit, len(reply)
+        payload = b"x" * value_bytes
+        reply = connection.feed(
+            b"set %s 0 0 %d\r\n%s\r\n" % (key, value_bytes, payload)
+        )
+        if reply not in (b"STORED\r\n",) and not reply.startswith(b"SERVER_ERROR"):
+            raise SimulationError(f"unexpected store reply {reply!r}")
+        return True, len(reply)

@@ -1,0 +1,177 @@
+"""Packet-level simulation of one request through wire, MAC, and core.
+
+The analytic RTT model (core/latency_model.py) charges wire time, network
+instructions, and memory stalls as a *serial sum* — the paper's
+worst-case convention.  In reality packets pipeline: while the core
+processes segment k, segment k+1 is on the wire, and response segments
+stream out while later ones are still being produced.  This module
+simulates a request at packet granularity on the event engine to measure
+(a) the true pipelined RTT, (b) how conservative the serial model is at
+each request size, and (c) MAC-buffer occupancy for large responses.
+
+Stages per direction:
+
+    client --wire--> PHY/MAC --(buffer)--> core rx processing
+    core app processing (hash + memcached + value access)
+    core tx processing --(buffer)--> MAC/PHY --wire--> client
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.latency_model import LatencyModel
+from repro.errors import ConfigurationError
+from repro.network.packets import (
+    ETHERNET_10GBE,
+    EthernetParams,
+    request_wire_payloads,
+)
+from repro.sim.events import Simulator
+from repro.sim.resources import FifoResource
+
+
+@dataclass(frozen=True)
+class PacketCosts:
+    """Per-packet and per-request service times derived from the model."""
+
+    rx_packet_s: float
+    tx_packet_s: float
+    fixed_request_s: float  # per-transaction net cost + app processing
+    wire_packet_s: float
+    request_segments: int
+    response_segments: int
+
+
+@dataclass
+class PacketSimResult:
+    """Measured outcome for one (or a batch of) packet-level requests."""
+
+    rtt_s: float
+    analytic_rtt_s: float
+    max_mac_buffered_packets: int = 0
+
+    @property
+    def pipelining_gain(self) -> float:
+        """Serial-model RTT over pipelined RTT (>= 1)."""
+        if self.rtt_s <= 0:
+            return 1.0
+        return self.analytic_rtt_s / self.rtt_s
+
+
+class PacketLevelSimulation:
+    """Simulate requests packet by packet on one core of a stack."""
+
+    def __init__(
+        self,
+        model: LatencyModel,
+        params: EthernetParams = ETHERNET_10GBE,
+    ):
+        self.model = model
+        self.params = params
+
+    # --- cost derivation ----------------------------------------------------------
+
+    def costs(self, verb: str, value_bytes: int) -> PacketCosts:
+        """Split the analytic model's charges into per-packet pieces."""
+        verb = verb.upper()
+        if verb not in ("GET", "PUT"):
+            raise ConfigurationError(f"unknown verb {verb!r}")
+        cal = self.model.cal
+        core = self.model.core
+        wire = request_wire_payloads(verb, value_bytes, key_bytes=cal.default_key_bytes)
+
+        # Per-packet CPU cost: marginal packet instructions plus the
+        # per-byte work of that packet's share of the payload.
+        rx_payload = wire.request_payload / max(1, wire.request_segments)
+        tx_payload = wire.response_payload / max(1, wire.response_segments)
+        rx_packet = core.compute_time(
+            cal.tcp.per_packet_instructions + cal.tcp.per_byte_instructions * rx_payload
+        )
+        tx_packet = core.compute_time(
+            cal.tcp.per_packet_instructions + cal.tcp.per_byte_instructions * tx_payload
+        )
+        wire_packet = (
+            self.params.per_packet_overhead + max(rx_payload, tx_payload)
+        ) / self.params.line_rate_bytes_s
+
+        # Everything the analytic model charges that is NOT per-segment
+        # CPU or wire time — per-transaction instructions, ACK handling,
+        # hash, memcached metadata, and memory stalls — lands in the
+        # fixed app-processing slot between the last request segment and
+        # the first response segment.
+        timing = self.model.request_timing(verb, value_bytes)
+        per_packet_total = (
+            rx_packet * wire.request_segments + tx_packet * wire.response_segments
+        )
+        fixed = max(
+            0.0,
+            timing.total_s
+            - per_packet_total
+            - wire_packet * (wire.request_segments + wire.response_segments),
+        )
+        return PacketCosts(
+            rx_packet_s=rx_packet,
+            tx_packet_s=tx_packet,
+            fixed_request_s=fixed,
+            wire_packet_s=wire_packet,
+            request_segments=wire.request_segments,
+            response_segments=wire.response_segments,
+        )
+
+    # --- simulation ---------------------------------------------------------------
+
+    def simulate_request(self, verb: str, value_bytes: int) -> PacketSimResult:
+        """Simulate one isolated request packet by packet."""
+        costs = self.costs(verb, value_bytes)
+        sim = Simulator()
+        core = FifoResource(sim, "core")
+        rx_wire = FifoResource(sim, "rx-wire")
+        tx_wire = FifoResource(sim, "tx-wire")
+        state = {"buffered": 0, "max_buffered": 0, "finish": 0.0, "rx_done": 0}
+
+        def on_tx_wire_done(_wait: float) -> None:
+            state["finish"] = sim.now
+
+        def start_response() -> None:
+            for _segment in range(costs.response_segments):
+                core.submit(
+                    costs.tx_packet_s,
+                    lambda _w: tx_wire.submit(costs.wire_packet_s, on_tx_wire_done),
+                )
+
+        def on_app_done(_wait: float) -> None:
+            start_response()
+
+        def on_rx_processed(_wait: float) -> None:
+            state["buffered"] -= 1
+            state["rx_done"] += 1
+            if state["rx_done"] == costs.request_segments:
+                core.submit(costs.fixed_request_s, on_app_done)
+
+        def on_rx_wire_done(_wait: float) -> None:
+            state["buffered"] += 1
+            state["max_buffered"] = max(state["max_buffered"], state["buffered"])
+            core.submit(costs.rx_packet_s, on_rx_processed)
+
+        for _segment in range(costs.request_segments):
+            rx_wire.submit(costs.wire_packet_s, on_rx_wire_done)
+        sim.run()
+
+        analytic = self.model.request_timing(verb, value_bytes).total_s
+        return PacketSimResult(
+            rtt_s=state["finish"],
+            analytic_rtt_s=analytic,
+            max_mac_buffered_packets=state["max_buffered"],
+        )
+
+    def pipelining_profile(
+        self, verb: str, sizes: tuple[int, ...]
+    ) -> list[tuple[int, float]]:
+        """(size, pipelining gain) across a request-size sweep."""
+        if not sizes:
+            raise ConfigurationError("sweep cannot be empty")
+        return [
+            (size, self.simulate_request(verb, size).pipelining_gain)
+            for size in sizes
+        ]

@@ -1,0 +1,87 @@
+"""Queued resources for the discrete-event engine.
+
+A :class:`FifoResource` models anything that serves one job at a time per
+server — a core running Memcached, a memory port, a flash channel.  Jobs
+are (service_time, completion_callback) pairs; waiting time is measured so
+simulations can report queueing delay separately from service.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+
+
+@dataclass
+class _Job:
+    service_time: float
+    on_complete: Callable[[float], None]  # receives waiting time
+    enqueued_at: float
+
+
+class FifoResource:
+    """An s-server FIFO queue attached to a simulator."""
+
+    def __init__(self, sim: Simulator, name: str, servers: int = 1):
+        if servers <= 0:
+            raise SimulationError("a resource needs at least one server")
+        self.sim = sim
+        self.name = name
+        self.servers = servers
+        self._busy = 0
+        self._queue: deque[_Job] = deque()
+        self.jobs_served = 0
+        self.total_wait = 0.0
+        self.total_service = 0.0
+        self.max_queue_depth = 0
+
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def submit(self, service_time: float, on_complete: Callable[[float], None]) -> None:
+        """Enqueue a job; ``on_complete(waiting_time)`` fires when served."""
+        if service_time < 0:
+            raise SimulationError("service time cannot be negative")
+        job = _Job(service_time, on_complete, self.sim.now)
+        if self._busy < self.servers:
+            self._start(job)
+        else:
+            self._queue.append(job)
+            self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+
+    def _start(self, job: _Job) -> None:
+        self._busy += 1
+        wait = self.sim.now - job.enqueued_at
+        self.total_wait += wait
+        self.total_service += job.service_time
+
+        def finish() -> None:
+            self._busy -= 1
+            self.jobs_served += 1
+            job.on_complete(wait)
+            if self._queue and self._busy < self.servers:
+                self._start(self._queue.popleft())
+
+        self.sim.schedule(job.service_time, finish)
+
+    # --- statistics ----------------------------------------------------------------
+
+    @property
+    def mean_wait(self) -> float:
+        started = self.jobs_served + self._busy
+        return self.total_wait / started if started else 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of server-time spent busy over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            raise SimulationError("elapsed time must be positive")
+        return self.total_service / (elapsed * self.servers)

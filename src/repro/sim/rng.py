@@ -1,0 +1,25 @@
+"""Deterministic random-number helpers for simulations.
+
+Every stochastic component takes an explicit generator seeded from a
+stable label, so a simulation's results are a pure function of its
+configuration — the property that makes the benchmark tables stable
+run-to-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def make_rng(label: str, seed: int = 0) -> random.Random:
+    """A ``random.Random`` deterministically derived from label + seed."""
+    digest = hashlib.sha256(f"{label}:{seed}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def exponential(rng: random.Random, rate: float) -> float:
+    """An exponential variate with the given rate (mean 1/rate)."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    return rng.expovariate(rate)

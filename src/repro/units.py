@@ -1,0 +1,92 @@
+"""Unit constants and conversion helpers used throughout the library.
+
+All internal computation uses SI base units: seconds, bytes, watts,
+square millimetres (area is the one deliberate exception — the paper's
+component catalogue is given in mm^2, so we keep it).  These helpers exist
+so that calling code can say ``40 * units.US`` instead of ``40e-6`` and a
+reviewer can audit magnitudes at a glance.
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+SECOND = 1.0
+
+# --- data sizes (bytes; powers of two, matching the paper's usage) ----------
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+# --- rates -------------------------------------------------------------------
+KTPS = 1e3
+MTPS = 1e6
+
+# --- power -------------------------------------------------------------------
+MW = 1e-3  # milliwatt expressed in watts
+WATT = 1.0
+
+# --- area --------------------------------------------------------------------
+MM2 = 1.0
+CM2 = 100.0  # mm^2 per cm^2
+INCH = 25.4  # mm per inch
+
+
+def to_kilo(value: float) -> float:
+    """Express ``value`` in thousands (e.g. TPS -> KTPS)."""
+    return value / 1e3
+
+
+def to_million(value: float) -> float:
+    """Express ``value`` in millions (e.g. TPS -> MTPS)."""
+    return value / 1e6
+
+
+def gb(value_bytes: float) -> float:
+    """Express a byte count in GB (binary)."""
+    return value_bytes / GB
+
+
+def gbps(bytes_per_second: float) -> float:
+    """Express a byte rate in GB/s (binary)."""
+    return bytes_per_second / GB
+
+
+def mm2_to_cm2(area_mm2: float) -> float:
+    """Convert mm^2 to cm^2."""
+    return area_mm2 / CM2
+
+
+def parse_size(text: str) -> int:
+    """Parse a human request-size label such as ``"64"``, ``"4K"`` or ``"1M"``.
+
+    These labels are how the paper's x-axes are written; benchmarks and
+    examples accept them directly.
+
+    >>> parse_size("64")
+    64
+    >>> parse_size("4K")
+    4096
+    >>> parse_size("1M")
+    1048576
+    """
+    text = text.strip().upper()
+    multipliers = {"K": KB, "M": MB, "G": GB}
+    if text and text[-1] in multipliers:
+        return int(float(text[:-1]) * multipliers[text[-1]])
+    return int(text)
+
+
+def format_size(num_bytes: int) -> str:
+    """Inverse of :func:`parse_size` for axis labels.
+
+    >>> format_size(65536)
+    '64K'
+    """
+    for suffix, mult in (("G", GB), ("M", MB), ("K", KB)):
+        if num_bytes >= mult and num_bytes % mult == 0:
+            return f"{num_bytes // mult}{suffix}"
+    return str(num_bytes)

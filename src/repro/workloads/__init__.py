@@ -1,0 +1,57 @@
+"""Workload generation: key/value distributions, request streams, traffic."""
+
+from repro.workloads.distributions import (
+    ZipfKeys,
+    ValueSizeDistribution,
+    ETC_VALUE_SIZES,
+    FIXED_64B,
+)
+from repro.workloads.generator import Request, WorkloadGenerator, WorkloadSpec
+from repro.workloads.diurnal import DiurnalTraffic, NETFLIX_LIKE
+from repro.workloads.sweep import REQUEST_SIZE_SWEEP, sweep_sizes
+from repro.workloads.traces import (
+    ReplayStats,
+    read_trace,
+    record_workload,
+    replay,
+    write_trace,
+)
+from repro.workloads.che import (
+    cache_items_for_hit_rate,
+    lru_hit_rate,
+    zipf_lru_hit_rate,
+    zipf_popularities,
+)
+from repro.workloads.warmup import (
+    expected_unique,
+    requests_to_hit_rate,
+    transient_hit_rate,
+    warmup_trajectory,
+)
+
+__all__ = [
+    "ZipfKeys",
+    "ValueSizeDistribution",
+    "ETC_VALUE_SIZES",
+    "FIXED_64B",
+    "Request",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "DiurnalTraffic",
+    "NETFLIX_LIKE",
+    "REQUEST_SIZE_SWEEP",
+    "sweep_sizes",
+    "ReplayStats",
+    "read_trace",
+    "record_workload",
+    "replay",
+    "write_trace",
+    "cache_items_for_hit_rate",
+    "lru_hit_rate",
+    "zipf_lru_hit_rate",
+    "zipf_popularities",
+    "expected_unique",
+    "requests_to_hit_rate",
+    "transient_hit_rate",
+    "warmup_trajectory",
+]

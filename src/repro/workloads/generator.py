@@ -1,0 +1,84 @@
+"""Request-stream generation for simulations and examples.
+
+A :class:`WorkloadGenerator` turns a :class:`WorkloadSpec` — GET/PUT mix,
+key popularity, value sizes — into a deterministic stream of
+:class:`Request` objects.  The paper's own experiments use degenerate
+specs (all-GET or all-PUT at one size); the richer specs drive the example
+applications and the DHT-contention study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import make_rng
+from repro.workloads.distributions import ValueSizeDistribution, ZipfKeys, fixed_size
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client operation."""
+
+    verb: str  # "GET" or "PUT"
+    key: bytes
+    value_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.verb not in ("GET", "PUT"):
+            raise ConfigurationError(f"unknown verb {self.verb!r}")
+        if self.value_bytes < 0:
+            raise ConfigurationError("value size cannot be negative")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic Memcached workload."""
+
+    name: str
+    get_fraction: float = 0.9
+    key_population: int = 100_000
+    key_skew: float = 0.99
+    value_sizes: ValueSizeDistribution = fixed_size(64)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.get_fraction <= 1.0:
+            raise ConfigurationError("get_fraction must be in [0, 1]")
+        if self.key_population <= 0:
+            raise ConfigurationError("key population must be positive")
+
+
+#: The paper's evaluation point: small GETs dominate Memcached traffic.
+GET_64B = WorkloadSpec(name="get-64b", get_fraction=1.0, value_sizes=fixed_size(64))
+
+
+class WorkloadGenerator:
+    """Deterministic request stream for a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0):
+        self.spec = spec
+        self._rng = make_rng(f"workload:{spec.name}", seed)
+        self._keys = ZipfKeys(spec.key_population, spec.key_skew)
+        self._sizes: dict[bytes, int] = {}
+
+    def next_request(self) -> Request:
+        """Generate the next request.
+
+        A key's value size is fixed at first use so that repeated GETs of
+        one key see a consistent object size, as a real cache would.
+        """
+        key = self._keys.key(self._rng)
+        size = self._sizes.get(key)
+        if size is None:
+            size = self.spec.value_sizes.sample(self._rng)
+            self._sizes[key] = size
+        verb = "GET" if self._rng.random() < self.spec.get_fraction else "PUT"
+        return Request(verb=verb, key=key, value_bytes=size)
+
+    def stream(self, count: int) -> Iterator[Request]:
+        """Yield ``count`` requests."""
+        if count < 0:
+            raise ConfigurationError("count cannot be negative")
+        for _ in range(count):
+            yield self.next_request()

@@ -1,0 +1,31 @@
+"""The request-size sweep used throughout the paper's evaluation.
+
+Section 5.2: request size is varied from 64 B to 1 MB, doubling each
+iteration.  Every figure's x-axis is this sweep; keeping it in one place
+guarantees the benchmarks regenerate exactly the paper's points.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.units import format_size
+
+#: 64 B ... 1 MB, doubling: the 15 x-axis points of Figs. 4-6.
+REQUEST_SIZE_SWEEP: tuple[int, ...] = tuple(64 * 2**i for i in range(15))
+
+
+def sweep_sizes(min_bytes: int = 64, max_bytes: int = 1 << 20) -> list[int]:
+    """A doubling sweep between two (power-of-two multiple) bounds."""
+    if min_bytes <= 0 or max_bytes < min_bytes:
+        raise ConfigurationError("need 0 < min_bytes <= max_bytes")
+    sizes = []
+    size = min_bytes
+    while size <= max_bytes:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def sweep_labels(sizes: tuple[int, ...] = REQUEST_SIZE_SWEEP) -> list[str]:
+    """Axis labels ('64', '128', ..., '1M') for a sweep."""
+    return [format_size(size) for size in sizes]

@@ -1,0 +1,126 @@
+"""Workload trace files: record, load, and replay request streams.
+
+Real Memcached studies (Atikoglu et al., the paper's [3]) work from
+traces.  This module defines a minimal text trace format —
+
+    # comment
+    GET <key> <value_bytes>
+    PUT <key> <value_bytes>
+
+— with writers/readers, a generator-to-trace recorder, and a replay
+helper that drives any store-like object (``KVStore``, cluster, client)
+while collecting hit statistics.  Traces make experiments portable:
+the same byte-identical request stream can drive the functional store,
+the full-system simulation, and an external system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import Request, WorkloadGenerator, WorkloadSpec
+
+
+class StoreLike(Protocol):
+    """Anything replayable: the KVStore, a cluster, or a client facade."""
+
+    def get(self, key: bytes): ...
+
+    def set(self, key: bytes, value: bytes): ...
+
+
+def write_trace(path: str | Path, requests: Iterable[Request]) -> int:
+    """Write requests to a trace file; returns the count written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="ascii") as handle:
+        handle.write("# repro memcached trace v1\n")
+        for request in requests:
+            handle.write(
+                f"{request.verb} {request.key.decode('ascii')} {request.value_bytes}\n"
+            )
+            count += 1
+    return count
+
+
+def read_trace(path: str | Path) -> Iterator[Request]:
+    """Stream requests from a trace file.
+
+    Raises:
+        ConfigurationError: on malformed lines (with line numbers).
+    """
+    path = Path(path)
+    with path.open("r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: expected 'VERB key bytes', got {line!r}"
+                )
+            verb, key, size_text = parts
+            try:
+                size = int(size_text)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: bad size {size_text!r}"
+                ) from None
+            yield Request(verb=verb.upper(), key=key.encode("ascii"), value_bytes=size)
+
+
+def record_workload(
+    path: str | Path, spec: WorkloadSpec, count: int, seed: int = 0
+) -> int:
+    """Materialise ``count`` requests of a workload spec into a trace."""
+    if count < 0:
+        raise ConfigurationError("count cannot be negative")
+    generator = WorkloadGenerator(spec, seed=seed)
+    return write_trace(path, generator.stream(count))
+
+
+@dataclass
+class ReplayStats:
+    """Outcome of replaying a trace against a store."""
+
+    gets: int = 0
+    hits: int = 0
+    puts: int = 0
+    fill_on_miss: bool = True
+
+    @property
+    def requests(self) -> int:
+        return self.gets + self.puts
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.gets if self.gets else 0.0
+
+
+def replay(
+    requests: Iterable[Request],
+    store: StoreLike,
+    fill_on_miss: bool = True,
+) -> ReplayStats:
+    """Drive a store with a request stream.
+
+    With ``fill_on_miss`` (the read-through pattern of Fig. 1b), a GET
+    miss is followed by a ``set`` of the requested size — the cache "does
+    not fill itself" (§2.3), the client does.
+    """
+    stats = ReplayStats(fill_on_miss=fill_on_miss)
+    for request in requests:
+        if request.verb == "GET":
+            stats.gets += 1
+            if store.get(request.key) is not None:
+                stats.hits += 1
+            elif fill_on_miss:
+                store.set(request.key, b"x" * request.value_bytes)
+        else:
+            stats.puts += 1
+            store.set(request.key, b"x" * request.value_bytes)
+    return stats

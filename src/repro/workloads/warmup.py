@@ -1,0 +1,97 @@
+"""Cache warm-up transients: how fast does a cold node become useful?
+
+Memcached's failure model (a dead node loses its share of the cache)
+makes this an operational question: after replacing a node, how long
+until its hit rate — and therefore the database offload — recovers?
+
+Under IRM traffic (independent draws from a popularity law), after n
+requests the expected number of distinct objects seen is
+
+    U(n) = sum_i (1 - (1 - p_i)^n)
+
+and, while the cache is still filling (U(n) < capacity), a request hits
+iff its key was already drawn, giving a transient hit rate
+
+    H(n) = sum_i p_i * (1 - (1 - p_i)^n)
+
+Once U(n) reaches capacity, eviction begins and the hit rate settles at
+Che's steady state.  All sums are vectorised with numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.che import lru_hit_rate
+
+
+def expected_unique(popularities: np.ndarray, requests: float) -> float:
+    """Expected distinct objects after ``requests`` IRM draws."""
+    if requests < 0:
+        raise ConfigurationError("request count cannot be negative")
+    p = np.asarray(popularities, dtype=np.float64)
+    # (1-p)^n via exp(n*log1p(-p)) for numerical stability.
+    return float(np.sum(-np.expm1(requests * np.log1p(-p))))
+
+
+def transient_hit_rate(popularities: np.ndarray, requests: float) -> float:
+    """Instantaneous hit probability after ``requests`` fill-phase draws."""
+    if requests < 0:
+        raise ConfigurationError("request count cannot be negative")
+    p = np.asarray(popularities, dtype=np.float64)
+    return float(np.sum(p * -np.expm1(requests * np.log1p(-p))))
+
+
+def warmup_trajectory(
+    popularities: np.ndarray,
+    cache_items: float,
+    checkpoints: tuple[float, ...],
+) -> list[tuple[float, float]]:
+    """(requests, hit rate) at each checkpoint, capped at steady state.
+
+    During the fill phase the transient formula applies; once the cache
+    is full the rate is clamped to Che's steady-state value (the cache
+    cannot do better than its capacity allows).
+    """
+    if not checkpoints:
+        raise ConfigurationError("need at least one checkpoint")
+    if any(c < 0 for c in checkpoints):
+        raise ConfigurationError("checkpoints cannot be negative")
+    p = np.asarray(popularities, dtype=np.float64)
+    steady = lru_hit_rate(p, cache_items) if cache_items < p.size else 1.0
+    points = []
+    for n in checkpoints:
+        transient = transient_hit_rate(p, n)
+        points.append((n, min(transient, steady)))
+    return points
+
+
+def requests_to_hit_rate(
+    popularities: np.ndarray,
+    cache_items: float,
+    target_fraction_of_steady: float = 0.9,
+) -> float:
+    """Requests needed to reach a fraction of the steady-state hit rate.
+
+    The ops answer: a replacement node is "warm" once its hit rate is,
+    say, 90 % of steady state; this returns how many requests that takes
+    (multiply by 1/arrival-rate for wall-clock time).
+    """
+    if not 0.0 < target_fraction_of_steady < 1.0:
+        raise ConfigurationError("target fraction must be in (0, 1)")
+    p = np.asarray(popularities, dtype=np.float64)
+    steady = lru_hit_rate(p, cache_items) if cache_items < p.size else 1.0
+    target = target_fraction_of_steady * steady
+    low, high = 0.0, 1.0
+    while transient_hit_rate(p, high) < target:
+        high *= 2.0
+        if high > 1e15:  # pragma: no cover - target < steady guarantees exit
+            raise ConfigurationError("warm-up target unreachable")
+    for _ in range(60):
+        mid = (low + high) / 2.0
+        if transient_hit_rate(p, mid) < target:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0

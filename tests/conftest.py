@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.flash import FlashDevice, FlashTiming
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def small_flash() -> FlashDevice:
+    """A tiny flash device so FTL tests run fast."""
+    return FlashDevice(
+        name="test-flash",
+        capacity_bytes=4 * MB,
+        page_bytes=4 * KB,
+        pages_per_block=16,
+        channels=2,
+        timing=FlashTiming(),
+    )

@@ -1,0 +1,164 @@
+"""Tests for table/figure builders, rendering, and headline comparison."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_HEADLINES,
+    compare_headlines,
+    figure4_breakdown,
+    figure5_mercury_latency_sweep,
+    figure6_iridium_latency_sweep,
+    figure7_density_vs_tps,
+    figure8_power_vs_tps,
+    headline_ratios,
+    render_series,
+    render_table,
+    table1_components,
+    table2_memory_technologies,
+    table3_configurations,
+    table4_comparison,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRenderers:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]], caption="cap")
+        lines = text.splitlines()
+        assert lines[0] == "cap"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_table_needs_headers(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+    def test_render_series(self):
+        text = render_series("x", [1, 2], {"y": [10.0, 20.0]})
+        assert "x" in text and "y" in text and "20" in text
+
+    def test_render_series_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            render_series("x", [1, 2], {"y": [1.0]})
+
+    def test_render_series_needs_series(self):
+        with pytest.raises(ConfigurationError):
+            render_series("x", [1], {})
+
+
+class TestTables:
+    def test_table1_matches_catalog(self):
+        headers, rows = table1_components()
+        assert len(rows) == 7
+        assert headers[0] == "Component"
+        names = [row[0] for row in rows]
+        assert "A7@1GHz" in names and "Physical NIC (PHY)" in names
+
+    def test_table2_rows(self):
+        _headers, rows = table2_memory_technologies()
+        assert len(rows) == 7
+        by_name = {row[0]: row for row in rows}
+        assert by_name["HMC I (3D-Stack)"][1] == pytest.approx(128.0)
+
+    def test_table3_full_grid(self):
+        headers, rows = table3_configurations()
+        assert len(rows) == 36
+        assert headers[-1] == "Max BW (GB/s)"
+        for row in rows:
+            stacks = row[3]
+            assert 1 <= stacks <= 96
+
+    def test_table3_renders(self):
+        headers, rows = table3_configurations()
+        text = render_table(headers, rows)
+        assert "Mercury" in text and "Iridium" in text
+
+    def test_table4_rows(self):
+        _headers, rows = table4_comparison()
+        names = [row[0] for row in rows]
+        assert names == [
+            "Mercury-8[A7@1GHz]",
+            "Mercury-16[A7@1GHz]",
+            "Mercury-32[A7@1GHz]",
+            "Iridium-8[A7@1GHz]",
+            "Iridium-16[A7@1GHz]",
+            "Iridium-32[A7@1GHz]",
+            "Memcached 1.4",
+            "Memcached 1.6",
+            "Bags",
+            "TSSP",
+        ]
+
+    def test_table4_mercury_beats_all_baselines_on_tps(self):
+        _headers, rows = table4_comparison()
+        tps = {row[0]: row[5] for row in rows}
+        assert tps["Mercury-32[A7@1GHz]"] > 10 * tps["Bags"]
+
+
+class TestFigures:
+    def test_fig4_panels(self):
+        panels = figure4_breakdown()
+        assert len(panels) == 2
+        for panel in panels:
+            for series in panel.series.values():
+                assert len(series) == 15
+            # Stacked percentages sum to 100 at every size.
+            for i in range(15):
+                total = sum(series[i] for series in panel.series.values())
+                assert total == pytest.approx(100.0)
+
+    def test_fig4_get_network_share_grows(self):
+        get_panel = figure4_breakdown()[0]
+        network = get_panel.series["Network Stack"]
+        assert network[-1] > network[0]
+        assert network[-1] > 95.0
+
+    def test_fig5_panels_and_ordering(self):
+        panels = figure5_mercury_latency_sweep()
+        assert len(panels) == 4
+        for panel in panels:
+            assert len(panel.series) == 8  # 4 latencies x GET/PUT
+            get10 = panel.series["10ns GET"]
+            get100 = panel.series["100ns GET"]
+            assert all(a >= b for a, b in zip(get10, get100))
+
+    def test_fig6_panels(self):
+        panels = figure6_iridium_latency_sweep()
+        assert len(panels) == 4
+        with_l2_a7 = panels[2]
+        assert "A7" in with_l2_a7.title and "2MB L2" in with_l2_a7.title
+        # GETs beat PUTs on flash at every size.
+        get = with_l2_a7.series["10us GET"]
+        put = with_l2_a7.series["10us PUT"]
+        assert all(g > p for g, p in zip(get, put))
+
+    def test_fig7_series(self):
+        mercury, iridium = figure7_density_vs_tps()
+        assert len(mercury.x_values) == 18  # 3 CPUs x 6 core counts
+        max_density_mercury = max(mercury.series["Density (thousands of GB)"])
+        max_density_iridium = max(iridium.series["Density (thousands of GB)"])
+        assert max_density_iridium > 4 * max_density_mercury
+
+    def test_fig8_series(self):
+        mercury, _iridium = figure8_power_vs_tps()
+        assert max(mercury.series["Power (W)"]) <= 750.0
+        assert max(mercury.series["TPS @64B (millions)"]) > 30.0
+
+
+class TestHeadlines:
+    def test_all_headlines_present(self):
+        measured = headline_ratios()
+        assert set(measured) == set(PAPER_HEADLINES)
+
+    def test_all_headlines_within_tolerance(self):
+        # The reproduction's core claim: every abstract ratio within 20%.
+        for comparison in compare_headlines():
+            assert comparison.relative_error < 0.20, comparison
+
+    def test_iridium_density_nearly_exact(self):
+        by_name = {c.name: c for c in compare_headlines()}
+        assert by_name["iridium_density_x"].relative_error < 0.02

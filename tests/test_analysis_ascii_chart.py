@@ -1,0 +1,78 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis.ascii_chart import bar_chart, series_chart
+from repro.errors import ConfigurationError
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        text = bar_chart(["a", "b"], [10.0, 5.0], width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_title_first(self):
+        text = bar_chart(["a"], [1.0], title="My chart")
+        assert text.splitlines()[0] == "My chart"
+
+    def test_zero_values_render_empty(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "#" not in text
+
+    def test_small_nonzero_gets_minimum_bar(self):
+        text = bar_chart(["big", "tiny"], [1000.0, 0.1], width=30)
+        tiny_line = text.splitlines()[1]
+        assert tiny_line.count("#") == 1
+
+    def test_alignment(self):
+        text = bar_chart(["a", "long-label"], [1.0, 2.0])
+        lines = text.splitlines()
+        assert lines[0].index("1") == lines[1].index("2")
+
+    @pytest.mark.parametrize(
+        "labels,values",
+        [([], []), (["a"], []), (["a"], [-1.0])],
+    )
+    def test_bad_inputs_rejected(self, labels, values):
+        with pytest.raises(ConfigurationError):
+            bar_chart(labels, values)
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0], width=5)
+
+
+class TestSeriesChart:
+    def test_sections_share_scale(self):
+        text = series_chart(
+            ["x1", "x2"],
+            {"high": [100.0, 50.0], "low": [10.0, 5.0]},
+            width=20,
+        )
+        lines = text.splitlines()
+        high_bars = [l.count("#") for l in lines if l.startswith("x")][:2]
+        assert high_bars[0] == 20
+        low_section = text.split("-- low")[1]
+        assert max(l.count("#") for l in low_section.splitlines() if l) == 2
+
+    def test_section_headers(self):
+        text = series_chart(["x"], {"alpha": [1.0], "beta": [2.0]})
+        assert "-- alpha" in text and "-- beta" in text
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series_chart(["x1", "x2"], {"s": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series_chart(["x"], {})
+
+    def test_figure_integration(self):
+        from repro.analysis import figure4_breakdown
+
+        panel = figure4_breakdown()[0]
+        text = series_chart(panel.x_values, panel.series, title=panel.title)
+        assert "Network Stack" in text
+        assert "#" in text

@@ -1,0 +1,82 @@
+"""Tests for the day-in-the-life diurnal analysis."""
+
+import pytest
+
+from repro.analysis.diurnal import DayReport, day_in_the_life, fleet_for_peak
+from repro.core import ServerDesign, mercury_stack
+from repro.errors import ConfigurationError
+from repro.workloads.diurnal import DiurnalTraffic
+
+
+def make_traffic(peak=30e6) -> DiurnalTraffic:
+    return DiurnalTraffic(peak_rate_hz=peak, trough_fraction=0.3)
+
+
+class TestFleetSizing:
+    def test_fleet_covers_peak_at_target(self):
+        design = ServerDesign(stack=mercury_stack(32))
+        traffic = make_traffic()
+        servers = fleet_for_peak(design, traffic, utilization_target=0.75)
+        report = day_in_the_life(design, servers, traffic)
+        assert report.peak_utilization <= 0.76
+        assert report.peak_utilization > 0.3
+
+    def test_tighter_target_means_more_servers(self):
+        design = ServerDesign(stack=mercury_stack(32))
+        traffic = make_traffic()
+        relaxed = fleet_for_peak(design, traffic, utilization_target=0.9)
+        tight = fleet_for_peak(design, traffic, utilization_target=0.5)
+        assert tight >= relaxed
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fleet_for_peak(
+                ServerDesign(stack=mercury_stack(32)), make_traffic(),
+                utilization_target=0.0,
+            )
+
+
+class TestDayReport:
+    def run_day(self) -> DayReport:
+        design = ServerDesign(stack=mercury_stack(32))
+        traffic = make_traffic()
+        servers = fleet_for_peak(design, traffic)
+        return day_in_the_life(design, servers, traffic)
+
+    def test_24_hours(self):
+        report = self.run_day()
+        assert len(report.hours) == 24
+        assert [state.hour for state in report.hours] == list(range(24))
+
+    def test_utilization_follows_traffic(self):
+        report = self.run_day()
+        by_hour = {state.hour: state.utilization for state in report.hours}
+        assert by_hour[13] == report.peak_utilization  # midday peak
+        assert by_hour[1] < by_hour[13]
+
+    def test_stranded_capacity_matches_curve(self):
+        # trough 0.3 -> mean/peak = 0.65 -> ~35% stranded.
+        report = self.run_day()
+        assert report.stranded_fraction == pytest.approx(0.35, abs=0.02)
+
+    def test_sla_holds_all_day(self):
+        report = self.run_day()
+        assert report.worst_sla > 0.99
+
+    def test_energy_is_flat_power_times_day(self):
+        # The §2.2 point: the tier burns peak-provisioned power all day.
+        report = self.run_day()
+        first = report.hours[0].power_w
+        assert all(state.power_w == first for state in report.hours)
+        assert report.energy_kwh == pytest.approx(first * 24 / 1000)
+
+    def test_undersized_fleet_raises(self):
+        design = ServerDesign(stack=mercury_stack(32))
+        with pytest.raises(ConfigurationError, match="saturated"):
+            day_in_the_life(design, 1, make_traffic(peak=60e6))
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            day_in_the_life(
+                ServerDesign(stack=mercury_stack(32)), 0, make_traffic()
+            )

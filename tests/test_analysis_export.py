@@ -1,0 +1,65 @@
+"""Tests for CSV/JSON export of tables and figures."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import figure4_breakdown, table1_components, table4_comparison
+from repro.analysis.export import (
+    figure_to_json,
+    table_to_csv,
+    table_to_json,
+    write_artefact,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCsv:
+    def test_roundtrip_table1(self):
+        headers, rows = table1_components()
+        text = table_to_csv(headers, rows)
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[0] == headers
+        assert len(parsed) == len(rows) + 1
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table_to_csv(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table_to_csv([], [])
+
+
+class TestJson:
+    def test_table4_records(self):
+        headers, rows = table4_comparison()
+        records = json.loads(table_to_json(headers, rows))
+        assert len(records) == len(rows)
+        assert records[0]["System"] == "Mercury-8[A7@1GHz]"
+        assert "TPS (millions)" in records[0]
+
+    def test_figure_panel(self):
+        panel = figure4_breakdown()[0]
+        payload = json.loads(figure_to_json(panel))
+        assert payload["x"][0] == "64"
+        assert set(payload["series"]) == {
+            "Memcached", "Network Stack", "Hash Computation",
+        }
+        assert len(payload["series"]["Memcached"]) == len(payload["x"])
+
+
+class TestWriteArtefact:
+    def test_write_csv_and_json(self, tmp_path):
+        headers, rows = table1_components()
+        csv_path = write_artefact(tmp_path / "t1.csv", headers, rows)
+        json_path = write_artefact(tmp_path / "t1.json", headers, rows)
+        assert csv_path.read_text().startswith("Component")
+        assert json.loads(json_path.read_text())
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        headers, rows = table1_components()
+        with pytest.raises(ConfigurationError, match="suffix"):
+            write_artefact(tmp_path / "t1.xlsx", headers, rows)

@@ -1,0 +1,47 @@
+"""Tests for the one-shot report builder."""
+
+import json
+
+import pytest
+
+from repro.analysis.report_builder import build_report
+from repro.errors import ConfigurationError
+
+
+class TestBuildReport:
+    def test_writes_every_artefact(self, tmp_path):
+        written = build_report(tmp_path / "report")
+        names = {path.name for path in written}
+        for table in ("table1", "table2", "table3", "table4"):
+            assert f"{table}.txt" in names
+            assert f"{table}.csv" in names
+        for figure in ("fig4", "fig5", "fig6", "fig7", "fig8"):
+            assert f"{figure}.txt" in names
+            assert f"{figure}.json" in names
+        assert "headlines.txt" in names
+        assert "thermal.txt" in names
+        assert "INDEX.md" in names
+
+    def test_contents_are_valid(self, tmp_path):
+        directory = tmp_path / "report"
+        build_report(directory)
+        table4 = (directory / "table4.txt").read_text()
+        assert "Mercury-32" in table4 and "TSSP" in table4
+        fig5 = json.loads((directory / "fig5.json").read_text())
+        assert len(fig5) == 4
+        headlines = (directory / "headlines.txt").read_text()
+        assert "worst-case error" in headlines
+        index = (directory / "INDEX.md").read_text()
+        assert "Table 4" in index
+
+    def test_idempotent(self, tmp_path):
+        directory = tmp_path / "report"
+        first = build_report(directory)
+        second = build_report(directory)
+        assert {p.name for p in first} == {p.name for p in second}
+
+    def test_refuses_file_target(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("x")
+        with pytest.raises(ConfigurationError):
+            build_report(target)

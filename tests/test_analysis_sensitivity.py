@@ -1,0 +1,94 @@
+"""Tests for the calibration sensitivity sweep."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    PERTURBABLE_FIELDS,
+    headline_under,
+    perturb,
+    sensitivity_sweep,
+)
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.errors import ConfigurationError
+
+
+class TestPerturb:
+    def test_scales_plain_field(self):
+        doubled = perturb(DEFAULT_CALIBRATION, "memcached_get_instructions", 2.0)
+        assert doubled.memcached_get_instructions == pytest.approx(
+            2 * DEFAULT_CALIBRATION.memcached_get_instructions
+        )
+
+    def test_scales_nested_tcp_field(self):
+        halved = perturb(DEFAULT_CALIBRATION, "tcp.per_packet_instructions", 0.5)
+        assert halved.tcp.per_packet_instructions == pytest.approx(
+            DEFAULT_CALIBRATION.tcp.per_packet_instructions / 2
+        )
+        # the rest of the TCP model is untouched
+        assert halved.tcp.per_byte_instructions == (
+            DEFAULT_CALIBRATION.tcp.per_byte_instructions
+        )
+
+    def test_write_amplification_floored_at_one(self):
+        floored = perturb(DEFAULT_CALIBRATION, "flash_write_amplification", 0.01)
+        assert floored.flash_write_amplification == 1.0
+
+    def test_original_untouched(self):
+        before = DEFAULT_CALIBRATION.memcached_get_instructions
+        perturb(DEFAULT_CALIBRATION, "memcached_get_instructions", 3.0)
+        assert DEFAULT_CALIBRATION.memcached_get_instructions == before
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            perturb(DEFAULT_CALIBRATION, "warp_factor", 2.0)
+        with pytest.raises(ConfigurationError):
+            perturb(DEFAULT_CALIBRATION, "tcp.warp_factor", 2.0)
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            perturb(DEFAULT_CALIBRATION, "data_accesses_get", 0.0)
+
+
+class TestSweep:
+    def test_baseline_headlines(self):
+        baseline = headline_under(DEFAULT_CALIBRATION)
+        assert baseline["mercury_tps_x"] > 10
+        assert baseline["iridium_density_x"] == pytest.approx(14.85, rel=0.02)
+
+    def test_densities_immune_to_timing_constants(self):
+        # Density is power/area arithmetic; timing perturbations must not
+        # move it beyond the packing solver's stack granularity.
+        baseline = headline_under(DEFAULT_CALIBRATION)
+        for field in ("memcached_get_instructions", "tcp.per_transaction_instructions"):
+            for factor in (0.5, 2.0):
+                variant = headline_under(perturb(DEFAULT_CALIBRATION, field, factor))
+                assert variant["iridium_density_x"] == pytest.approx(
+                    baseline["iridium_density_x"], rel=0.01
+                )
+                assert variant["mercury_density_x"] == pytest.approx(
+                    baseline["mercury_density_x"], rel=0.1
+                )
+
+    def test_conclusions_survive_50pct_perturbations(self):
+        # The reproduction's robustness claim: every ordering-level
+        # conclusion holds when any single constant is off by 1.5x.
+        baseline = headline_under(DEFAULT_CALIBRATION)
+        for row in sensitivity_sweep(factor=1.5):
+            assert row.conclusions_hold(baseline), row.field
+
+    def test_tcp_transaction_cost_is_the_dominant_knob(self):
+        # 87% of a request is network stack, so its fixed cost should
+        # move headlines more than the memcached path length does.
+        baseline = headline_under(DEFAULT_CALIBRATION)
+        rows = {row.field: row for row in sensitivity_sweep(factor=1.5)}
+        tcp_swing = rows["tcp.per_transaction_instructions"].max_relative_swing(baseline)
+        mc_swing = rows["memcached_get_instructions"].max_relative_swing(baseline)
+        assert tcp_swing > mc_swing
+
+    def test_sweep_covers_declared_fields(self):
+        rows = sensitivity_sweep(factor=1.2, fields=PERTURBABLE_FIELDS[:3])
+        assert [row.field for row in rows] == list(PERTURBABLE_FIELDS[:3])
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sensitivity_sweep(factor=1.0)

@@ -1,0 +1,115 @@
+"""Tests for the commodity, TSSP, and TILEPro64 baselines."""
+
+import pytest
+
+from repro.baselines import (
+    COMMODITY_BASELINES,
+    MEMCACHED_14,
+    MEMCACHED_16,
+    MEMCACHED_BAGS,
+    TILEPRO64,
+    TSSP,
+    CommodityServer,
+    TsspAccelerator,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCommodityCalibration:
+    """The published Wiggins & Langston / Table 4 numbers, computed."""
+
+    def test_memcached_14_tps(self):
+        assert MEMCACHED_14.tps == pytest.approx(0.41e6, rel=0.05)
+
+    def test_memcached_16_tps(self):
+        assert MEMCACHED_16.tps == pytest.approx(0.52e6, rel=0.05)
+
+    def test_bags_tps(self):
+        # "greater than 3.1 MTPS ... over 6x an unmodified implementation".
+        assert MEMCACHED_BAGS.tps == pytest.approx(3.15e6, rel=0.05)
+        assert MEMCACHED_BAGS.tps > 6 * MEMCACHED_14.tps
+
+    def test_power_column(self):
+        assert MEMCACHED_14.power_w == pytest.approx(143, rel=0.03)
+        assert MEMCACHED_16.power_w == pytest.approx(159, rel=0.03)
+        assert MEMCACHED_BAGS.power_w == pytest.approx(285, rel=0.03)
+
+    def test_efficiency_column(self):
+        assert MEMCACHED_14.tps_per_watt / 1e3 == pytest.approx(2.9, rel=0.05)
+        assert MEMCACHED_16.tps_per_watt / 1e3 == pytest.approx(3.29, rel=0.05)
+        assert MEMCACHED_BAGS.tps_per_watt / 1e3 == pytest.approx(11.1, rel=0.05)
+
+    def test_tps_per_gb_column(self):
+        assert MEMCACHED_14.tps_per_gb / 1e3 == pytest.approx(34.2, rel=0.05)
+        assert MEMCACHED_BAGS.tps_per_gb / 1e3 == pytest.approx(24.6, rel=0.05)
+
+    def test_bandwidth_column(self):
+        assert MEMCACHED_BAGS.bandwidth_bytes_s(64) == pytest.approx(0.2e9, rel=0.05)
+
+    def test_catalog_membership(self):
+        assert COMMODITY_BASELINES == (MEMCACHED_14, MEMCACHED_16, MEMCACHED_BAGS)
+
+
+class TestContentionStructure:
+    def test_lock_improvements_reduce_serial_fraction(self):
+        # 1.4 global lock > 1.6 striped+LRU lock > Bags.
+        assert (
+            MEMCACHED_14.serial_fraction
+            > MEMCACHED_16.serial_fraction
+            > MEMCACHED_BAGS.serial_fraction
+        )
+
+    def test_bags_scales_nearly_linearly(self):
+        scaling = MEMCACHED_BAGS.tps / (
+            MEMCACHED_BAGS.single_thread_tps * MEMCACHED_BAGS.threads
+        )
+        assert scaling > 0.75
+
+    def test_14_wastes_most_of_its_threads(self):
+        scaling = MEMCACHED_14.tps / (
+            MEMCACHED_14.single_thread_tps * MEMCACHED_14.threads
+        )
+        assert scaling < 0.45
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CommodityServer(name="bad", threads=0)
+        with pytest.raises(ConfigurationError):
+            CommodityServer(name="bad", core_utilization=1.5)
+        with pytest.raises(ConfigurationError):
+            CommodityServer(name="bad", request_instructions=0)
+
+
+class TestTssp:
+    def test_published_efficiency_point(self):
+        # Lim et al.: 17.63 KTPS/W.
+        assert TSSP.tps_per_watt / 1e3 == pytest.approx(17.63, rel=0.02)
+
+    def test_published_throughput_and_power(self):
+        assert TSSP.tps == pytest.approx(0.28e6, rel=0.02)
+        assert TSSP.power_w == pytest.approx(16.0, rel=0.02)
+
+    def test_mixed_workload_bounded_by_host_path(self):
+        mixed = TsspAccelerator(get_fraction=0.9)
+        assert TSSP.tps > mixed.tps > TsspAccelerator(get_fraction=0.0).tps
+
+    def test_all_put_uses_host_rate(self):
+        assert TsspAccelerator(get_fraction=0.0).tps == pytest.approx(40_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TsspAccelerator(accelerator_tps=0)
+        with pytest.raises(ConfigurationError):
+            TsspAccelerator(get_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            TSSP.bandwidth_bytes_s(0)
+
+
+class TestTilePro:
+    def test_published_efficiency(self):
+        # Berezecki et al.: 5.75 KTPS/W.
+        assert TILEPRO64.tps_per_watt / 1e3 == pytest.approx(5.75, rel=0.02)
+
+    def test_beats_commodity_loses_to_tssp(self):
+        assert TILEPRO64.tps_per_watt > MEMCACHED_14.tps_per_watt
+        assert TILEPRO64.tps_per_watt < TSSP.tps_per_watt

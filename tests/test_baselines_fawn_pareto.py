@@ -1,0 +1,87 @@
+"""Tests for the FAWN baseline and the Pareto-frontier analysis."""
+
+import pytest
+
+from repro.analysis.pareto import OBJECTIVES, ParetoPoint, pareto_frontier
+from repro.baselines import MEMCACHED_14, TSSP
+from repro.baselines.fawn import FAWN_KV, FawnCluster
+from repro.errors import ConfigurationError
+
+
+class TestFawn:
+    def test_published_efficiency_ballpark(self):
+        # Andersen et al. report ~330-365 queries/joule.
+        assert FAWN_KV.queries_per_joule == pytest.approx(350, rel=0.05)
+
+    def test_beats_disk_systems_by_two_orders(self):
+        # The FAWN paper's claim is vs *disk-based* clusters (~1-5
+        # queries/joule); in-memory memcached on a Xeon is a different
+        # class and actually exceeds FAWN's per-watt rate.
+        disk_based_queries_per_joule = 3.0
+        assert FAWN_KV.queries_per_joule > 100 * disk_based_queries_per_joule
+        assert FAWN_KV.tps_per_watt < MEMCACHED_14.tps_per_watt
+
+    def test_absolute_throughput_is_tiny(self):
+        # FAWN wins joules, not TPS: a 21-node cluster serves ~27 KTPS.
+        assert FAWN_KV.tps < 50_000
+        assert FAWN_KV.tps < TSSP.tps
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FawnCluster(nodes=0)
+        with pytest.raises(ConfigurationError):
+            FawnCluster(per_node_qps=0)
+
+
+class TestParetoPoint:
+    def test_domination(self):
+        a = ParetoPoint(metrics=None, scores=(2.0, 2.0))
+        b = ParetoPoint(metrics=None, scores=(1.0, 2.0))
+        c = ParetoPoint(metrics=None, scores=(3.0, 1.0))
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(c) and not c.dominates(a)
+        assert not a.dominates(a)
+
+
+class TestFrontier:
+    def test_frontier_is_nonempty_subset(self):
+        frontier = pareto_frontier(("tps", "density_gb"))
+        assert 1 <= len(frontier) <= 36
+
+    def test_endpoint_designs_on_tps_density_frontier(self):
+        # Mercury-32/A7 (TPS winner) and Iridium-*/A7 (density winner)
+        # must both sit on the TPS-vs-density frontier.
+        names = {
+            point.metrics.name for point in pareto_frontier(("tps", "density_gb"))
+        }
+        assert "Mercury-32[A7@1GHz]" in names
+        assert any(name.startswith("Iridium") for name in names)
+
+    def test_no_point_dominated_within_frontier(self):
+        frontier = pareto_frontier(("tps", "tps_per_watt", "density_gb"))
+        for a in frontier:
+            assert not any(b.dominates(a) for b in frontier)
+
+    def test_a15_designs_mostly_dominated(self):
+        # The A7's power advantage makes most A15 configs dominated on
+        # (TPS, efficiency, density) simultaneously.
+        frontier = pareto_frontier(("tps", "tps_per_watt", "density_gb"))
+        a15_count = sum(1 for p in frontier if "A15" in p.metrics.name)
+        assert a15_count <= len(frontier) / 2
+
+    def test_sorted_by_first_objective(self):
+        frontier = pareto_frontier(("tps", "density_gb"))
+        scores = [point.scores[0] for point in frontier]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            pareto_frontier(("tps",))
+        with pytest.raises(ConfigurationError):
+            pareto_frontier(("tps", "blast_radius"))
+
+    def test_objectives_registry_complete(self):
+        assert set(OBJECTIVES) == {
+            "tps", "tps_per_watt", "tps_per_gb", "density_gb", "low_power",
+        }

@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestTablesAndFigures:
+    @pytest.mark.parametrize("artefact", ["table1", "table2", "table4"])
+    def test_tables_render(self, capsys, artefact):
+        out = run(capsys, artefact)
+        assert "Table" in out
+        assert len(out.splitlines()) > 5
+
+    def test_table3_has_all_rows(self, capsys):
+        out = run(capsys, "table3")
+        assert out.count("Mercury") == 18
+        assert out.count("Iridium") == 18
+
+    @pytest.mark.parametrize("artefact", ["fig4", "fig6"])
+    def test_figures_render(self, capsys, artefact):
+        out = run(capsys, artefact)
+        assert "Figure" in out
+        assert "1M" in out  # the sweep reaches 1 MB
+
+    def test_figure_chart_mode(self, capsys):
+        out = run(capsys, "fig4", "--chart")
+        assert "#" in out
+        assert "-- Network Stack" in out
+
+    def test_headlines(self, capsys):
+        out = run(capsys, "headlines")
+        assert "mercury_tps_x" in out
+        assert "paper" in out
+
+
+class TestAnalysisCommands:
+    def test_sensitivity(self, capsys):
+        out = run(capsys, "sensitivity", "--factor", "1.2")
+        assert "conclusions hold" in out
+        assert "NO" not in out.replace("NO_", "")  # every row holds
+
+    def test_thermal(self, capsys):
+        out = run(capsys, "thermal", "--cores", "32")
+        assert "passive cooling OK" in out
+
+    def test_evaluate_sizes_parse(self, capsys):
+        out = run(capsys, "evaluate", "--family", "mercury", "--size", "1M")
+        assert "Mercury-32" in out
+        assert "MTPS" in out
+
+    def test_evaluate_put(self, capsys):
+        get = run(capsys, "evaluate", "--verb", "GET")
+        put = run(capsys, "evaluate", "--verb", "PUT")
+        assert get != put
+
+    def test_plan(self, capsys):
+        out = run(
+            capsys, "plan", "--dataset-gb", "50000", "--tps", "1e6"
+        )
+        assert "Cheapest: Iridium" in out
+
+    def test_plan_hot_tier_prefers_mercury(self, capsys):
+        out = run(
+            capsys, "plan", "--dataset-gb", "1000", "--tps", "300e6"
+        )
+        assert "Cheapest: Mercury" in out
+
+
+class TestExport:
+    def test_table_export_csv(self, capsys, tmp_path):
+        target = tmp_path / "t4.csv"
+        out = run(capsys, "table4", "--export", str(target))
+        assert "wrote" in out
+        assert target.read_text().startswith("System")
+
+    def test_table_export_json(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "t1.json"
+        run(capsys, "table1", "--export", str(target))
+        assert json.loads(target.read_text())[0]["Component"] == "A7@1GHz"
+
+    def test_figure_export_json(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "fig4.json"
+        run(capsys, "fig4", "--export", str(target))
+        panels = json.loads(target.read_text())
+        assert len(panels) == 2
+        assert panels[0]["x"][0] == "64"
+
+
+class TestPareto:
+    def test_default_frontier(self, capsys):
+        out = run(capsys, "pareto")
+        assert "Pareto frontier" in out
+        assert "Mercury-32" in out
+
+    def test_custom_objectives(self, capsys):
+        out = run(capsys, "pareto", "--objectives", "tps_per_watt,low_power")
+        assert "of 36 designs survive" in out
+
+
+class TestReport:
+    def test_report_writes_directory(self, capsys, tmp_path):
+        out = run(capsys, "report", "--out", str(tmp_path / "r"))
+        assert "21 artefacts" in out
+        assert (tmp_path / "r" / "table4.csv").exists()
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["warp"])
+
+    def test_missing_required_plan_args_exit(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan"])

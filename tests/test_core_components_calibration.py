@@ -1,0 +1,99 @@
+"""Tests for the Table 1 catalogue and the calibration constants."""
+
+import pytest
+
+from repro.core import DEFAULT_CALIBRATION, CalibrationConstants, component_by_name
+from repro.core.components import COMPONENT_CATALOG
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestComponentCatalog:
+    def test_table1_has_seven_rows(self):
+        assert len(COMPONENT_CATALOG) == 7
+
+    @pytest.mark.parametrize(
+        "name,power_w,area_mm2",
+        [
+            ("A7@1GHz", 0.100, 0.58),
+            ("A15@1GHz", 0.600, 2.82),
+            ("A15@1.5GHz", 1.000, 2.82),
+            ("3D Stack NIC (MAC)", 0.120, 0.43),
+            ("Physical NIC (PHY)", 0.300, 220.0),
+        ],
+    )
+    def test_fixed_power_rows(self, name, power_w, area_mm2):
+        component = component_by_name(name)
+        assert component.power_w == pytest.approx(power_w)
+        assert component.area_mm2 == pytest.approx(area_mm2)
+
+    def test_dram_row_is_bandwidth_proportional(self):
+        dram = component_by_name("3D DRAM (4GB)")
+        assert dram.power_w_per_gbs == pytest.approx(0.210)
+        assert dram.power_at(10 * GB) == pytest.approx(2.10)
+
+    def test_flash_row(self):
+        flash = component_by_name("3D NAND Flash (19.8GB)")
+        assert flash.power_w_per_gbs == pytest.approx(0.006)
+        assert flash.area_mm2 == pytest.approx(279.0)
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(ConfigurationError):
+            component_by_name("quantum link")
+
+    def test_all_rows_have_provenance(self):
+        for component in COMPONENT_CATALOG:
+            assert component.provenance
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            component_by_name("3D DRAM (4GB)").power_at(-1.0)
+
+    def test_catalog_matches_cpu_models(self):
+        # Table 1 and the CPU catalogue must agree.
+        from repro.cpu import CORTEX_A7, CORTEX_A15_1GHZ
+
+        assert component_by_name("A7@1GHz").power_w == CORTEX_A7.power_w
+        assert component_by_name("A15@1GHz").area_mm2 == CORTEX_A15_1GHZ.area_mm2
+
+
+class TestCalibration:
+    def test_defaults_validate(self):
+        assert DEFAULT_CALIBRATION.tcp.per_transaction_instructions > 0
+
+    def test_hash_instructions_linear(self):
+        cal = DEFAULT_CALIBRATION
+        assert cal.hash_instructions(64) > cal.hash_instructions(8)
+        assert cal.hash_instructions() == cal.hash_instructions(cal.default_key_bytes)
+
+    def test_hash_bad_key_length(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_CALIBRATION.hash_instructions(0)
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CalibrationConstants(memcached_get_instructions=-1)
+
+    def test_sub_unit_mlp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CalibrationConstants(ifetch_mlp_cap=0.5)
+
+    def test_write_amplification_floor(self):
+        with pytest.raises(ConfigurationError):
+            CalibrationConstants(flash_write_amplification=0.9)
+
+    def test_no_l2_footprint_larger_than_with_l2(self):
+        # The premise: losing the L2 exposes far more instruction misses.
+        cal = DEFAULT_CALIBRATION
+        assert cal.ifetch_misses_without_l2 > 10 * cal.ifetch_misses_with_l2
+
+    def test_put_heavier_than_get(self):
+        cal = DEFAULT_CALIBRATION
+        assert cal.memcached_put_instructions > cal.memcached_get_instructions
+        assert cal.data_accesses_put > cal.data_accesses_get
+
+    def test_ablation_constants_are_overridable(self):
+        custom = CalibrationConstants(memcached_get_instructions=9_999.0)
+        assert custom.memcached_get_instructions == 9_999.0
+        # and the default is untouched (frozen instances)
+        assert DEFAULT_CALIBRATION.memcached_get_instructions != 9_999.0

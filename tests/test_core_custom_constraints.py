@@ -1,0 +1,125 @@
+"""What-if tests: non-default enclosures, budgets, and L2 sizes.
+
+The models are parameterised for design-space work beyond the paper's
+fixed 1.5U/750W/2MB assumptions; these tests exercise those knobs.
+"""
+
+import pytest
+
+from repro.area.floorplan import Floorplan
+from repro.core import ServerConstraints, ServerDesign, mercury_stack, iridium_stack
+from repro.core.stack import StackConfig
+from repro.cpu import CORTEX_A7
+from repro.errors import ConfigurationError
+from repro.memory import TEZZARON_4GB
+from repro.power.model import PowerBudget
+from repro.units import KB, MB
+
+
+class TestCustomPowerBudget:
+    def test_bigger_supply_admits_more_stacks(self):
+        stock = ServerDesign(stack=mercury_stack(32))
+        beefy = ServerDesign(
+            stack=mercury_stack(32),
+            constraints=ServerConstraints(budget=PowerBudget(supply_w=1_200.0)),
+        )
+        assert beefy.num_stacks >= stock.num_stacks
+        assert beefy.num_stacks == 96  # ports become the binding limit
+
+    def test_small_supply_sheds_stacks(self):
+        lean = ServerDesign(
+            stack=mercury_stack(32),
+            constraints=ServerConstraints(budget=PowerBudget(supply_w=400.0)),
+        )
+        assert lean.num_stacks < 50
+        assert lean.binding_constraint == "power"
+
+    def test_hopeless_supply_raises(self):
+        constraints = ServerConstraints(
+            budget=PowerBudget(supply_w=165.0, other_components_w=160.0)
+        )
+        with pytest.raises(ConfigurationError, match="exceeds the power budget"):
+            ServerDesign(stack=mercury_stack(32), constraints=constraints).num_stacks
+
+
+class TestCustomFloorplan:
+    def test_fewer_rear_ports_bind(self):
+        small = ServerDesign(
+            stack=mercury_stack(8),
+            constraints=ServerConstraints(
+                floorplan=Floorplan(max_ethernet_ports=48)
+            ),
+        )
+        assert small.num_stacks == 48
+        assert small.binding_constraint == "ports"
+
+    def test_tiny_board_binds_on_area(self):
+        cramped = ServerDesign(
+            stack=mercury_stack(8),
+            constraints=ServerConstraints(
+                floorplan=Floorplan(board_side_mm=150.0, max_ethernet_ports=96)
+            ),
+        )
+        assert cramped.binding_constraint == "area"
+        assert cramped.num_stacks < 30
+
+    def test_density_scales_with_admitted_stacks(self):
+        half_ports = ServerDesign(
+            stack=iridium_stack(8),
+            constraints=ServerConstraints(
+                floorplan=Floorplan(max_ethernet_ports=48)
+            ),
+        )
+        full = ServerDesign(stack=iridium_stack(8))
+        assert half_ports.density_gb == pytest.approx(full.density_gb / 2)
+
+
+class TestCustomL2:
+    def test_small_l2_slows_iridium_dramatically(self):
+        stock = iridium_stack(8)
+        starved = StackConfig(
+            core=CORTEX_A7, cores=8, flash=stock.flash, has_l2=True,
+            l2_bytes=256 * KB,
+        )
+        assert starved.latency_model().tps("GET", 64) < (
+            stock.latency_model().tps("GET", 64) / 10
+        )
+
+    def test_oversized_l2_changes_nothing_once_footprint_fits(self):
+        stock = mercury_stack(8)
+        huge = StackConfig(
+            core=CORTEX_A7, cores=8, dram=TEZZARON_4GB, has_l2=True,
+            l2_bytes=8 * MB,
+        )
+        assert huge.latency_model().tps("GET", 64) == pytest.approx(
+            stock.latency_model().tps("GET", 64)
+        )
+
+    def test_bad_l2_size_rejected(self):
+        from repro.core import LatencyModel, dram_spec
+
+        with pytest.raises(ConfigurationError):
+            LatencyModel(CORTEX_A7, dram_spec(), l2_bytes=0)
+
+
+class TestCustomMemoryDevices:
+    def test_hmc_class_stack(self):
+        # A denser future part: 8 GB at the same port structure.
+        from dataclasses import replace
+
+        big_dram = replace(TEZZARON_4GB, name="future-8GB",
+                           die_capacity_bytes=TEZZARON_4GB.die_capacity_bytes * 2)
+        stack = StackConfig(core=CORTEX_A7, cores=8, dram=big_dram)
+        design = ServerDesign(stack=stack)
+        assert design.density_gb == pytest.approx(
+            2 * ServerDesign(stack=mercury_stack(8)).density_gb
+        )
+
+    def test_slower_port_bandwidth_reduces_peak(self):
+        from dataclasses import replace
+
+        slow = replace(TEZZARON_4GB, name="slow",
+                       port_bandwidth_bytes_s=TEZZARON_4GB.port_bandwidth_bytes_s / 4)
+        assert slow.peak_bandwidth_bytes_s == pytest.approx(
+            TEZZARON_4GB.peak_bandwidth_bytes_s / 4
+        )

@@ -1,0 +1,127 @@
+"""Tests for the hybrid (DRAM-fronted flash) stack extension."""
+
+import pytest
+
+from repro.core.hybrid import (
+    DRAM_LAYER_BYTES,
+    FLASH_PER_LAYER_BYTES,
+    HybridStack,
+    TOTAL_LAYERS,
+    hybrid_sweep,
+)
+from repro.core.stack import iridium_stack, mercury_stack
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestEndpoints:
+    def test_all_dram_is_mercury(self):
+        hybrid = HybridStack(cores=32, dram_layers=8)
+        mercury = mercury_stack(32)
+        assert hybrid.capacity_bytes == mercury.capacity_bytes
+        assert hybrid.get_tps(64) == pytest.approx(
+            mercury.latency_model().tps("GET", 64)
+        )
+        assert hybrid.hot_hit_rate() == 1.0
+
+    def test_all_flash_is_iridium(self):
+        hybrid = HybridStack(cores=32, dram_layers=0)
+        iridium = iridium_stack(32)
+        assert hybrid.capacity_bytes == pytest.approx(
+            iridium.capacity_bytes, rel=0.01
+        )
+        assert hybrid.get_tps(64) == pytest.approx(
+            iridium.latency_model().tps("GET", 64)
+        )
+        assert hybrid.hot_hit_rate() == 0.0
+
+    def test_to_stack_config_endpoints(self):
+        assert HybridStack(8, 8).to_stack_config().family == "Mercury"
+        assert HybridStack(8, 3).to_stack_config().family == "Iridium"
+
+
+class TestGeometry:
+    def test_layer_accounting(self):
+        hybrid = HybridStack(cores=16, dram_layers=2)
+        assert hybrid.dram_bytes == 2 * DRAM_LAYER_BYTES
+        assert hybrid.flash_bytes == 6 * FLASH_PER_LAYER_BYTES
+
+    def test_density_monotone_in_flash_layers(self):
+        capacities = [
+            HybridStack(cores=16, dram_layers=n).capacity_bytes
+            for n in range(TOTAL_LAYERS)  # exclude all-DRAM discontinuity
+        ]
+        assert capacities == sorted(capacities, reverse=True)
+
+    def test_one_dram_layer_keeps_most_density(self):
+        # The design insight: 1 DRAM layer costs only 1/8 of the flash
+        # capacity but captures a large hit fraction.
+        hybrid = HybridStack(cores=32, dram_layers=1)
+        iridium_capacity = HybridStack(cores=32, dram_layers=0).capacity_bytes
+        assert hybrid.capacity_bytes > 0.85 * iridium_capacity
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HybridStack(cores=0, dram_layers=2)
+        with pytest.raises(ConfigurationError):
+            HybridStack(cores=8, dram_layers=9)
+
+
+class TestTiering:
+    def test_hit_rate_grows_with_dram(self):
+        rates = [HybridStack(16, n).hot_hit_rate() for n in range(9)]
+        assert rates == sorted(rates)
+        assert rates[0] == 0.0 and rates[-1] == 1.0
+
+    def test_small_hot_tier_is_disproportionately_effective(self):
+        # Zipf heavy head: ~3% of capacity in DRAM catches far more than
+        # 3% of traffic.
+        hybrid = HybridStack(cores=32, dram_layers=1)
+        assert hybrid.hot_tier_fraction < 0.05
+        assert hybrid.hot_hit_rate() > 0.5
+
+    def test_get_tps_between_endpoints(self):
+        iridium_tps = HybridStack(32, 0).get_tps(64)
+        mercury_tps = HybridStack(32, 8).get_tps(64)
+        for layers in range(1, 8):
+            tps = HybridStack(32, layers).get_tps(64)
+            assert iridium_tps < tps <= mercury_tps
+        # Strictly between as long as the DRAM tier cannot hold all data.
+        for layers in range(1, 7):
+            assert HybridStack(32, layers).get_tps(64) < mercury_tps
+
+    def test_put_path_is_flash_bound_when_flash_present(self):
+        assert HybridStack(32, 4).put_tps(64) == pytest.approx(
+            HybridStack(32, 0).put_tps(64)
+        )
+        assert HybridStack(32, 8).put_tps(64) > 5 * HybridStack(32, 4).put_tps(64)
+
+    def test_skew_sensitivity(self):
+        uniform_ish = HybridStack(32, 1).hot_hit_rate(zipf_skew=0.5)
+        heavy = HybridStack(32, 1).hot_hit_rate(zipf_skew=0.99)
+        assert heavy > uniform_ish
+
+
+class TestPowerAndSweep:
+    def test_power_blend(self):
+        # All-DRAM pays 210 mW/GBps; all-flash pays 6.
+        dram_heavy = HybridStack(8, 8).power_w(10 * GB)
+        flash_heavy = HybridStack(8, 0).power_w(10 * GB)
+        assert dram_heavy - flash_heavy == pytest.approx((0.210 - 0.006) * 10, rel=0.01)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HybridStack(8, 4).power_w(-1)
+
+    def test_sweep_shape(self):
+        rows = hybrid_sweep(cores=32)
+        assert len(rows) == 9
+        assert rows[0]["dram_layers"] == 0
+        assert rows[-1]["hot_hit_rate"] == 1.0
+        # The sweet spot claim: 1-2 DRAM layers recover >60% of Mercury's
+        # per-core GET rate at >5x Mercury's density.
+        mercury_tps = rows[8]["get_ktps_per_core"]
+        mercury_gb = rows[8]["capacity_gb"]
+        one_layer = rows[1]
+        assert one_layer["get_ktps_per_core"] > 0.5 * mercury_tps
+        assert one_layer["capacity_gb"] > 4 * mercury_gb

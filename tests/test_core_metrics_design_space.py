@@ -1,0 +1,141 @@
+"""Tests for server metrics, the design-space sweep, and thermal checks."""
+
+import pytest
+
+from repro.core import (
+    OperatingPoint,
+    ServerDesign,
+    best_config,
+    design_space,
+    evaluate_server,
+    flash_spec,
+    iridium_stack,
+    mercury_stack,
+    thermal_report,
+)
+from repro.core.design_space import CORES_PER_STACK_SWEEP, EVALUATED_CORES
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestOperatingPoint:
+    def test_defaults_are_64b_get(self):
+        point = OperatingPoint()
+        assert point.verb == "GET"
+        assert point.value_bytes == 64
+
+    def test_bad_point_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(verb="SCAN")
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(value_bytes=-1)
+
+
+class TestEvaluateServer:
+    def test_tps_is_per_core_times_cores(self):
+        design = ServerDesign(stack=mercury_stack(8))
+        metrics = evaluate_server(design)
+        per_core = design.stack.latency_model().tps("GET", 64)
+        assert metrics.tps == pytest.approx(per_core * design.total_cores)
+
+    def test_derived_ratios(self):
+        metrics = evaluate_server(ServerDesign(stack=mercury_stack(8)))
+        assert metrics.tps_per_watt == pytest.approx(metrics.tps / metrics.power_w)
+        assert metrics.tps_per_gb == pytest.approx(metrics.tps / metrics.density_gb)
+        assert metrics.ktps_per_watt == pytest.approx(metrics.tps_per_watt / 1e3)
+
+    def test_bandwidth_is_tps_times_size(self):
+        point = OperatingPoint(value_bytes=128)
+        metrics = evaluate_server(ServerDesign(stack=mercury_stack(8)), point)
+        assert metrics.bandwidth_bytes_s == pytest.approx(metrics.tps * 128)
+
+    def test_memory_override_flows_through(self):
+        design = ServerDesign(stack=iridium_stack(8))
+        fast = evaluate_server(design, OperatingPoint(memory=flash_spec(10e-6)))
+        slow = evaluate_server(design, OperatingPoint(memory=flash_spec(20e-6)))
+        assert fast.tps > slow.tps
+
+    def test_put_point_slower_than_get(self):
+        design = ServerDesign(stack=iridium_stack(8))
+        get = evaluate_server(design, OperatingPoint(verb="GET"))
+        put = evaluate_server(design, OperatingPoint(verb="PUT"))
+        assert put.tps < get.tps / 3
+
+    def test_large_requests_draw_more_power(self):
+        design = ServerDesign(stack=mercury_stack(32))
+        small = evaluate_server(design, OperatingPoint(value_bytes=64))
+        large = evaluate_server(design, OperatingPoint(value_bytes=1 << 20))
+        assert large.power_w > small.power_w
+        assert large.tps < small.tps
+
+
+class TestDesignSpace:
+    def test_full_grid_size(self):
+        designs = list(design_space())
+        assert len(designs) == 2 * len(EVALUATED_CORES) * len(CORES_PER_STACK_SWEEP)
+
+    def test_sweep_values_match_paper(self):
+        assert CORES_PER_STACK_SWEEP == (1, 2, 4, 8, 16, 32)
+        assert [c.name for c in EVALUATED_CORES] == [
+            "A15@1.5GHz",
+            "A15@1GHz",
+            "A7@1GHz",
+        ]
+
+    def test_family_filter(self):
+        mercuries = list(design_space(families=("Mercury",)))
+        assert all(d.stack.family == "Mercury" for d in mercuries)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(design_space(families=("Osmium",)))
+
+    def test_best_throughput_is_a7_mercury_32(self):
+        # §6.4: "A Mercury-32 system using A7s is the most efficient
+        # design" and also the TPS winner.
+        design, _metrics = best_config(lambda m: m.tps)
+        assert design.stack.name == "Mercury-32[A7@1GHz]"
+
+    def test_best_efficiency_is_a7_mercury_32(self):
+        design, _ = best_config(lambda m: m.tps_per_watt)
+        assert design.stack.name == "Mercury-32[A7@1GHz]"
+
+    def test_best_density_is_iridium(self):
+        design, metrics = best_config(lambda m: m.density_gb)
+        assert design.stack.family == "Iridium"
+        assert metrics.density_gb == pytest.approx(1901, rel=0.01)
+
+    def test_a7_dominates_a15_on_efficiency_at_same_n(self):
+        # §6.3-6.4: the A7's low power always wins TPS/W at equal n.
+        from repro.cpu import CORTEX_A7, CORTEX_A15_1GHZ
+
+        for n in (8, 16, 32):
+            a7 = evaluate_server(ServerDesign(stack=mercury_stack(n, core=CORTEX_A7)))
+            a15 = evaluate_server(
+                ServerDesign(stack=mercury_stack(n, core=CORTEX_A15_1GHZ))
+            )
+            assert a7.tps_per_watt > a15.tps_per_watt
+
+
+class TestThermal:
+    def test_mercury32_passively_coolable(self):
+        # §6.5: per-stack TDP ~6.2 W, within passive cooling.
+        report = thermal_report(ServerDesign(stack=mercury_stack(32)))
+        assert report.per_stack_tdp_w < 10.0
+        assert report.passively_coolable
+        assert report.per_stack_tdp_w == pytest.approx(6.2, rel=0.3)
+
+    def test_server_tdp_matches_budget_power(self):
+        design = ServerDesign(stack=mercury_stack(32))
+        report = thermal_report(design)
+        assert report.server_tdp_w == pytest.approx(design.budget_power_w())
+
+    def test_power_density_far_below_a_xeon(self):
+        # A Xeon package dissipates >50 W/cm^2; a stack is ~1 W/cm^2.
+        report = thermal_report(ServerDesign(stack=mercury_stack(32)))
+        assert report.power_density_w_per_cm2 < 3.0
+
+    def test_headroom_positive_for_all_a7_configs(self):
+        for n in (1, 2, 4, 8, 16, 32):
+            report = thermal_report(ServerDesign(stack=mercury_stack(n)))
+            assert report.headroom_w > 0

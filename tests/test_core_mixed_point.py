@@ -1,0 +1,57 @@
+"""Tests for mixed GET/PUT operating points."""
+
+import pytest
+
+from repro.core import OperatingPoint, ServerDesign, evaluate_server, iridium_stack, mercury_stack
+from repro.errors import ConfigurationError
+
+
+class TestMixedOperatingPoint:
+    def test_pure_mix_equals_verb(self):
+        design = ServerDesign(stack=mercury_stack(8))
+        pure_get = evaluate_server(design, OperatingPoint(verb="GET"))
+        mix_get = evaluate_server(design, OperatingPoint(get_fraction=1.0))
+        assert mix_get.tps == pytest.approx(pure_get.tps)
+        pure_put = evaluate_server(design, OperatingPoint(verb="PUT"))
+        mix_put = evaluate_server(design, OperatingPoint(get_fraction=0.0))
+        assert mix_put.tps == pytest.approx(pure_put.tps)
+
+    def test_mix_between_endpoints(self):
+        design = ServerDesign(stack=iridium_stack(8))
+        get = evaluate_server(design, OperatingPoint(get_fraction=1.0)).tps
+        put = evaluate_server(design, OperatingPoint(get_fraction=0.0)).tps
+        mixed = evaluate_server(design, OperatingPoint(get_fraction=0.5)).tps
+        assert put < mixed < get
+
+    def test_etc_like_mix_close_to_get_rate(self):
+        # Facebook's ETC pool is ~30 GETs per PUT; on Mercury the blended
+        # rate stays within ~10% of the pure-GET rate.
+        design = ServerDesign(stack=mercury_stack(8))
+        get = evaluate_server(design, OperatingPoint(get_fraction=1.0)).tps
+        etc = evaluate_server(design, OperatingPoint(get_fraction=30 / 31)).tps
+        assert etc > 0.9 * get
+
+    def test_put_mix_hurts_iridium_much_more(self):
+        # Iridium's flash PUT path makes it far more mix-sensitive — the
+        # reason the paper targets it at low-write pools.
+        mercury = ServerDesign(stack=mercury_stack(8))
+        iridium = ServerDesign(stack=iridium_stack(8))
+
+        def degradation(design):
+            pure = evaluate_server(design, OperatingPoint(get_fraction=1.0)).tps
+            mixed = evaluate_server(design, OperatingPoint(get_fraction=0.9)).tps
+            return pure / mixed
+
+        assert degradation(iridium) > 1.5
+        assert degradation(mercury) < 1.1
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(get_fraction=1.5)
+
+    def test_mean_request_time_blends(self):
+        model = mercury_stack(1).latency_model()
+        point = OperatingPoint(get_fraction=0.5, value_bytes=64)
+        get_t = model.request_timing("GET", 64).total_s
+        put_t = model.request_timing("PUT", 64).total_s
+        assert point.mean_request_time(model) == pytest.approx((get_t + put_t) / 2)

@@ -1,0 +1,72 @@
+"""Tests for multiget batching in the latency model."""
+
+import pytest
+
+from repro.core import mercury_stack
+from repro.cpu import CORTEX_A7
+from repro.errors import ConfigurationError
+
+
+def model():
+    return mercury_stack(1).latency_model()
+
+
+class TestMultigetTiming:
+    def test_single_key_close_to_plain_get(self):
+        m = model()
+        plain = m.request_timing("GET", 64).total_s
+        batched = m.multiget_timing(1, 64).total_s
+        assert batched == pytest.approx(plain, rel=0.02)
+
+    def test_batched_rtt_grows_sublinearly(self):
+        m = model()
+        one = m.multiget_timing(1, 64).total_s
+        ten = m.multiget_timing(10, 64).total_s
+        assert ten < 10 * one
+        assert ten > one
+
+    def test_per_key_throughput_improves_with_batch(self):
+        m = model()
+        rates = [m.multiget_per_key_tps(n, 64) for n in (1, 4, 16, 64)]
+        assert rates == sorted(rates)
+        # Amortising the 33K-instruction transaction cost over 16 keys
+        # should better than double per-key throughput.
+        assert rates[2] > 2 * rates[0]
+
+    def test_amortisation_saturates(self):
+        # Past the point where per-key work dominates, batching stops
+        # helping much: the marginal gain from 64->256 keys is small.
+        m = model()
+        g64 = m.multiget_per_key_tps(64, 64)
+        g256 = m.multiget_per_key_tps(256, 64)
+        assert g256 / g64 < 1.5
+
+    def test_large_values_gain_little(self):
+        # Batching amortises fixed cost; 64 KB values are per-byte bound.
+        m = model()
+        gain_small = m.multiget_per_key_tps(16, 64) / m.multiget_per_key_tps(1, 64)
+        gain_large = m.multiget_per_key_tps(16, 65536) / m.multiget_per_key_tps(
+            1, 65536
+        )
+        assert gain_small > 2.0
+        assert gain_large < 1.2
+
+    def test_hash_and_memcached_scale_linearly_with_keys(self):
+        m = model()
+        one = m.multiget_timing(1, 64)
+        eight = m.multiget_timing(8, 64)
+        assert eight.hash_s == pytest.approx(8 * one.hash_s)
+        assert eight.memcached_s == pytest.approx(8 * one.memcached_s, rel=0.01)
+
+    def test_zero_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            model().multiget_timing(0, 64)
+
+    def test_batching_gain_is_bounded_and_symmetric(self):
+        # A 16-key multiget lifts per-key rate ~5x — but the lift applies
+        # to Mercury and the commodity baseline alike (it is a client
+        # technique, not a server property), so the paper's relative
+        # conclusions are unchanged by batching.
+        m = model()
+        gain = m.multiget_per_key_tps(16, 64) / m.multiget_per_key_tps(1, 64)
+        assert 2.0 < gain < 6.5

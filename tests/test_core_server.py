@@ -1,0 +1,90 @@
+"""Tests for the 1.5U packing solver (Table 3's machinery)."""
+
+import pytest
+
+from repro.core import ServerDesign, iridium_stack, mercury_stack
+from repro.cpu import CORTEX_A7, CORTEX_A15_1GHZ, CORTEX_A15_1_5GHZ
+from repro.units import GB
+
+
+class TestPortLimitedConfigs:
+    def test_a7_mercury_small_n_is_port_limited_at_96(self):
+        for n in (1, 2, 4, 8, 16):
+            design = ServerDesign(stack=mercury_stack(n))
+            assert design.num_stacks == 96
+            assert design.binding_constraint == "ports"
+
+    def test_a7_iridium_all_port_limited(self):
+        # Table 3: every A7 Iridium config fits 96 stacks (flash is cheap).
+        for n in (1, 2, 4, 8, 16, 32):
+            design = ServerDesign(stack=iridium_stack(n))
+            assert design.num_stacks == 96
+
+    def test_iridium_96_stacks_density_is_1901_gb(self):
+        design = ServerDesign(stack=iridium_stack(32))
+        assert design.density_gb == pytest.approx(1901, rel=0.01)
+
+
+class TestPowerLimitedConfigs:
+    def test_a7_mercury_32_sheds_stacks(self):
+        # Paper: 93 stacks / 371-372 GB; we land within a couple.
+        design = ServerDesign(stack=mercury_stack(32))
+        assert design.binding_constraint == "power"
+        assert design.num_stacks == pytest.approx(93, abs=3)
+
+    def test_a15_1ghz_mercury_8(self):
+        # Paper: 75 stacks / 300 GB.
+        design = ServerDesign(stack=mercury_stack(8, core=CORTEX_A15_1GHZ))
+        assert design.num_stacks == pytest.approx(75, abs=5)
+
+    def test_a15_15ghz_mercury_8(self):
+        # Paper: 50 stacks / 200 GB.
+        design = ServerDesign(stack=mercury_stack(8, core=CORTEX_A15_1_5GHZ))
+        assert design.num_stacks == pytest.approx(50, abs=3)
+
+    def test_a15_1ghz_iridium_8(self):
+        # Paper: 90 stacks / 1,782 GB — reproduced exactly by the budget.
+        design = ServerDesign(stack=iridium_stack(8, core=CORTEX_A15_1GHZ))
+        assert design.num_stacks == 90
+        assert design.density_gb == pytest.approx(1782, rel=0.01)
+
+    def test_power_limited_configs_fill_the_budget(self):
+        design = ServerDesign(stack=mercury_stack(32))
+        assert 700 <= design.budget_power_w() <= 750
+
+    def test_more_cores_never_increases_stacks(self):
+        counts = [
+            ServerDesign(stack=mercury_stack(n, core=CORTEX_A15_1GHZ)).num_stacks
+            for n in (1, 2, 4, 8, 16, 32)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestTable3Columns:
+    def test_area_column(self):
+        # 96 stacks + 48 dual-PHY chips, all 441 mm^2: 635 cm^2.
+        design = ServerDesign(stack=mercury_stack(8))
+        assert design.area_cm2 == pytest.approx(635, rel=0.01)
+
+    def test_density_column(self):
+        design = ServerDesign(stack=mercury_stack(8))
+        assert design.density_gb == pytest.approx(384, rel=0.01)
+
+    def test_max_bw_column_a7_mercury_1(self):
+        # Paper: 19 GB/s for the 96-stack single-A7 Mercury server.
+        design = ServerDesign(stack=mercury_stack(1))
+        assert design.max_bandwidth_bytes_s() / GB == pytest.approx(19, rel=0.2)
+
+    def test_total_cores(self):
+        design = ServerDesign(stack=mercury_stack(8))
+        assert design.total_cores == 96 * 8
+
+    def test_budget_power_includes_base_and_margin(self):
+        design = ServerDesign(stack=mercury_stack(1))
+        stacks_power = design.num_stacks * design.stack_max_power_w()
+        assert design.budget_power_w() == pytest.approx(160 + stacks_power / 0.8)
+
+    def test_operating_point_power_below_budget_power(self):
+        design = ServerDesign(stack=mercury_stack(8))
+        at_64b = design.power_at_bandwidth_w(1e6)  # ~nothing
+        assert at_64b < design.budget_power_w()

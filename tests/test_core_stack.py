@@ -1,0 +1,110 @@
+"""Tests for Mercury/Iridium stack configurations."""
+
+import pytest
+
+from repro.core import StackConfig, iridium_stack, mercury_stack
+from repro.cpu import CORTEX_A7, CORTEX_A15_1GHZ
+from repro.errors import ConfigurationError
+from repro.memory import PBICS_19GB, TEZZARON_4GB
+from repro.units import GB
+
+
+class TestConstruction:
+    def test_mercury_defaults(self):
+        stack = mercury_stack(8)
+        assert stack.family == "Mercury"
+        assert stack.capacity_bytes == 4 * GB
+        assert stack.name == "Mercury-8[A7@1GHz]"
+        assert not stack.is_flash
+
+    def test_iridium_defaults(self):
+        stack = iridium_stack(8)
+        assert stack.family == "Iridium"
+        assert stack.capacity_bytes == int(19.8 * GB)
+        assert stack.is_flash
+
+    def test_exactly_one_memory_required(self):
+        with pytest.raises(ConfigurationError):
+            StackConfig(core=CORTEX_A7, cores=1)
+        with pytest.raises(ConfigurationError):
+            StackConfig(core=CORTEX_A7, cores=1, dram=TEZZARON_4GB, flash=PBICS_19GB)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mercury_stack(0)
+
+    def test_uneven_port_sharing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mercury_stack(24)  # 24 cores cannot share 16 ports evenly
+
+    def test_logic_die_area_budget(self):
+        # §5.5: >400 A7 cores fit on the logic die — so 32 easily do...
+        assert mercury_stack(32).logic_die_utilization < 0.1
+        # ...but 512 A15s would not.
+        with pytest.raises(ConfigurationError, match="logic die"):
+            mercury_stack(512, core=CORTEX_A15_1GHZ)
+
+    def test_400_a7_cores_fit(self):
+        stack = mercury_stack(400)
+        assert stack.core_die_area_mm2 < stack.logic_die_area_mm2
+
+
+class TestPortAssignment:
+    def test_sixteen_cores_one_port_each(self):
+        assignment = mercury_stack(16).port_assignment()
+        assert assignment.cores_per_port == 1
+
+    def test_thirty_two_cores_share(self):
+        assignment = mercury_stack(32).port_assignment()
+        assert assignment.cores_per_port == 2
+
+    def test_iridium_uses_flash_channels(self):
+        assert iridium_stack(16).memory_ports == 16
+
+
+class TestMemorySpec:
+    def test_mercury_default_spec_is_device_latency(self):
+        spec = mercury_stack(1).default_memory_spec()
+        assert spec.kind == "dram"
+        assert spec.read_latency_s == TEZZARON_4GB.closed_page_latency_s
+
+    def test_iridium_default_spec(self):
+        spec = iridium_stack(1).default_memory_spec()
+        assert spec.kind == "flash"
+        assert spec.write_latency_s == PBICS_19GB.timing.program_latency_s
+
+    def test_latency_model_override(self):
+        from repro.core import dram_spec
+
+        stack = mercury_stack(1)
+        fast = stack.latency_model(dram_spec(10e-9)).tps("GET", 64)
+        slow = stack.latency_model(dram_spec(100e-9)).tps("GET", 64)
+        assert fast > slow
+
+
+class TestPower:
+    def test_idle_memory_power(self):
+        stack = mercury_stack(8)
+        # 8 A7s + MAC + PHY with no memory traffic.
+        expected = 8 * 0.1 + 0.12 + 0.3
+        assert stack.power_w(0.0) == pytest.approx(expected)
+
+    def test_phy_excludable(self):
+        stack = mercury_stack(8)
+        assert stack.power_w(0.0) - stack.power_w(0.0, include_phy=False) == (
+            pytest.approx(0.3)
+        )
+
+    def test_dram_power_scales_with_bandwidth(self):
+        stack = mercury_stack(8)
+        assert stack.power_w(10 * GB) - stack.power_w(0.0) == pytest.approx(2.1)
+
+    def test_iridium_memory_power_negligible(self):
+        stack = iridium_stack(8)
+        assert stack.power_w(10 * GB) - stack.power_w(0.0) == pytest.approx(0.06)
+
+    def test_peak_memory_bandwidth(self):
+        assert mercury_stack(1).peak_memory_bandwidth_bytes_s == pytest.approx(
+            100 * GB
+        )
+        assert iridium_stack(1).peak_memory_bandwidth_bytes_s < 100 * GB

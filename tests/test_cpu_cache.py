@@ -1,0 +1,155 @@
+"""Tests for the set-associative cache simulator and miss estimator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.cache import (
+    Cache,
+    FootprintComponent,
+    estimate_miss_rate,
+    misses_per_request,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCacheBasics:
+    def test_first_access_misses_second_hits(self):
+        cache = Cache(size_bytes=1024, line_size=64, associativity=2)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(63) is True  # same line
+
+    def test_different_lines_are_independent(self):
+        cache = Cache(size_bytes=1024, line_size=64, associativity=2)
+        cache.access(0)
+        assert cache.access(64) is False
+
+    def test_capacity_eviction_is_lru(self):
+        # 2 sets x 2 ways; lines mapping to set 0 are multiples of 128.
+        cache = Cache(size_bytes=256, line_size=64, associativity=2)
+        cache.access(0)
+        cache.access(128)
+        cache.access(0)  # 0 is now MRU
+        cache.access(256)  # evicts 128 (LRU of set 0)
+        assert cache.contains(0)
+        assert not cache.contains(128)
+        assert cache.contains(256)
+
+    def test_writeback_counted_for_dirty_victims(self):
+        cache = Cache(size_bytes=256, line_size=64, associativity=2)
+        cache.access(0, write=True)
+        cache.access(128)
+        cache.access(256)  # evicts dirty 0
+        assert cache.stats.writebacks == 1
+
+    def test_flush_reports_dirty_lines(self):
+        cache = Cache(size_bytes=1024, line_size=64, associativity=2)
+        cache.access(0, write=True)
+        cache.access(64)
+        assert cache.flush() == 1
+        assert cache.resident_lines == 0
+
+    def test_stats_rates(self):
+        cache = Cache(size_bytes=1024)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.accesses == 2
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_access_range_counts_line_misses(self):
+        cache = Cache(size_bytes=64 * 1024)
+        misses = cache.access_range(0, 640)  # 10 lines
+        assert misses == 10
+        assert cache.access_range(0, 640) == 0  # all resident now
+
+    def test_negative_address_rejected(self):
+        cache = Cache(size_bytes=1024)
+        with pytest.raises(ConfigurationError):
+            cache.access(-1)
+
+
+class TestCacheValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size_bytes": 1000},  # not multiple of line*assoc
+            {"size_bytes": 0},
+            {"size_bytes": 1024, "line_size": 48},  # not power of two
+            {"size_bytes": 1024, "associativity": 0},
+        ],
+    )
+    def test_bad_geometry_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Cache(**kwargs)
+
+
+class TestCacheProperties:
+    @given(
+        addresses=st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=300)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_residency_never_exceeds_capacity(self, addresses):
+        cache = Cache(size_bytes=4096, line_size=64, associativity=4)
+        for address in addresses:
+            cache.access(address)
+        assert cache.resident_lines <= 4096 // 64
+        assert cache.stats.accesses == len(addresses)
+
+    @given(
+        addresses=st.lists(st.integers(min_value=0, max_value=1 << 16), max_size=200)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_repeat_pass_with_small_footprint_all_hits(self, addresses):
+        # If the touched footprint fits entirely, a second pass never misses.
+        cache = Cache(size_bytes=1 << 17, line_size=64, associativity=8)
+        for address in addresses:
+            cache.access(address)
+        before = cache.stats.misses
+        for address in addresses:
+            cache.access(address)
+        assert cache.stats.misses == before
+
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 22), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_misses_bounded_by_accesses(self, addresses):
+        cache = Cache(size_bytes=1024, line_size=64, associativity=2)
+        for address in addresses:
+            cache.access(address)
+        assert cache.stats.misses <= cache.stats.accesses
+
+
+class TestMissEstimator:
+    def test_fitting_footprint_never_misses(self):
+        assert estimate_miss_rate(2 << 20, 1 << 20) == 0.0
+
+    def test_oversized_footprint_misses_proportionally(self):
+        assert estimate_miss_rate(1 << 20, 2 << 20) == pytest.approx(0.5)
+
+    def test_zero_footprint(self):
+        assert estimate_miss_rate(1024, 0) == 0.0
+
+    def test_monotone_in_cache_size(self):
+        rates = [estimate_miss_rate(c, 1 << 20) for c in (1 << 18, 1 << 19, 1 << 20)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_misses_per_request_compulsory_traffic(self):
+        # A streaming component (reuse 0) always misses.
+        stream = FootprintComponent("values", footprint_bytes=1 << 30,
+                                    accesses_per_request=10, reuse=0.0)
+        assert misses_per_request([stream], cache_size_bytes=1 << 21) == 10
+
+    def test_misses_per_request_resident_component(self):
+        code = FootprintComponent("code", footprint_bytes=1 << 19,
+                                  accesses_per_request=100, reuse=1.0)
+        assert misses_per_request([code], cache_size_bytes=1 << 21) == 0.0
+
+    def test_l2_captures_memcached_instruction_footprint(self):
+        # The calibration's premise: a ~1 MB instruction+metadata footprint
+        # fits a 2 MB L2 but not a 32 KB L1.
+        code = FootprintComponent("code", footprint_bytes=1 << 20,
+                                  accesses_per_request=10_000, reuse=1.0)
+        assert misses_per_request([code], cache_size_bytes=2 << 20) == 0.0
+        l1_misses = misses_per_request([code], cache_size_bytes=32 << 10)
+        assert l1_misses > 9_000

@@ -1,0 +1,94 @@
+"""Tests for repro.cpu.core_model."""
+
+import pytest
+
+from repro.cpu import (
+    ATOM_CORE,
+    CORE_CATALOG,
+    CORTEX_A7,
+    CORTEX_A15_1GHZ,
+    CORTEX_A15_1_5GHZ,
+    CoreModel,
+    XEON_CORE,
+    core_by_name,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCatalog:
+    def test_table1_power(self):
+        # Table 1: A7 100 mW, A15@1GHz 600 mW, A15@1.5GHz 1 W.
+        assert CORTEX_A7.power_w == pytest.approx(0.100)
+        assert CORTEX_A15_1GHZ.power_w == pytest.approx(0.600)
+        assert CORTEX_A15_1_5GHZ.power_w == pytest.approx(1.000)
+
+    def test_table1_area(self):
+        assert CORTEX_A7.area_mm2 == pytest.approx(0.58)
+        assert CORTEX_A15_1GHZ.area_mm2 == pytest.approx(2.82)
+
+    def test_lookup_by_name(self):
+        assert core_by_name("A7@1GHz") is CORTEX_A7
+        assert core_by_name("Xeon@2.5GHz") is XEON_CORE
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown core"):
+            core_by_name("M1@3GHz")
+
+    def test_catalog_keys_match_names(self):
+        for name, core in CORE_CATALOG.items():
+            assert core.name == name
+
+    def test_a15_15ghz_matches_1ghz_effective_ips(self):
+        # §6.2: A15@1.5GHz results "nearly identical" to A15@1GHz — the
+        # extra clock hits the memory wall.  Within 5%.
+        ratio = CORTEX_A15_1_5GHZ.effective_ips / CORTEX_A15_1GHZ.effective_ips
+        assert ratio == pytest.approx(1.0, rel=0.05)
+
+    def test_in_order_cores_have_unit_mlp(self):
+        assert CORTEX_A7.memory_level_parallelism == 1.0
+        assert ATOM_CORE.memory_level_parallelism == 1.0
+        assert not CORTEX_A7.out_of_order
+
+    def test_ooo_cores_overlap_misses(self):
+        assert CORTEX_A15_1GHZ.out_of_order
+        assert CORTEX_A15_1GHZ.memory_level_parallelism > 1.0
+
+
+class TestTiming:
+    def test_compute_time(self):
+        core = CoreModel(
+            name="t", frequency_hz=1e9, effective_ipc=1.0, out_of_order=False,
+            memory_level_parallelism=1.0, power_w=0.1, area_mm2=1.0,
+        )
+        assert core.compute_time(1_000_000) == pytest.approx(1e-3)
+
+    def test_stall_time_divided_by_mlp(self):
+        core = CoreModel(
+            name="t", frequency_hz=1e9, effective_ipc=1.0, out_of_order=True,
+            memory_level_parallelism=4.0, power_w=0.1, area_mm2=1.0,
+        )
+        assert core.stall_time(100, 10e-9) == pytest.approx(250e-9)
+
+    def test_negative_instructions_raise(self):
+        with pytest.raises(ConfigurationError):
+            CORTEX_A7.compute_time(-1)
+
+    def test_negative_misses_raise(self):
+        with pytest.raises(ConfigurationError):
+            CORTEX_A7.stall_time(-1, 10e-9)
+
+
+class TestValidation:
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreModel(
+                name="bad", frequency_hz=0, effective_ipc=1.0, out_of_order=False,
+                memory_level_parallelism=1.0, power_w=0.1, area_mm2=1.0,
+            )
+
+    def test_sub_unit_mlp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreModel(
+                name="bad", frequency_hz=1e9, effective_ipc=1.0, out_of_order=False,
+                memory_level_parallelism=0.5, power_w=0.1, area_mm2=1.0,
+            )

@@ -1,0 +1,101 @@
+"""Documentation consistency: the docs must not drift from the code.
+
+These tests parse DESIGN.md, README.md, and EXPERIMENTS.md for module
+and file references and verify they exist, and check that the benchmark
+inventory matches the experiment index.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def read(name: str) -> str:
+    return (REPO / name).read_text()
+
+
+class TestDesignDoc:
+    def test_referenced_modules_exist(self):
+        text = read("DESIGN.md")
+        for match in re.finditer(r"`(?:src/)?(repro/[\w/]+\.py)`", text):
+            path = REPO / "src" / match.group(1)
+            assert path.exists(), f"DESIGN.md references missing {match.group(1)}"
+
+    def test_referenced_benchmarks_exist(self):
+        text = read("DESIGN.md")
+        for match in re.finditer(r"`(benchmarks/[\w]+\.py)`", text):
+            assert (REPO / match.group(1)).exists(), match.group(1)
+
+    def test_every_table_and_figure_has_a_bench(self):
+        benches = {p.name for p in (REPO / "benchmarks").glob("bench_*.py")}
+        for required in (
+            "bench_table1_components.py",
+            "bench_table2_memtech.py",
+            "bench_table3_configs.py",
+            "bench_table4_comparison.py",
+            "bench_fig4_breakdown.py",
+            "bench_fig5_mercury_latency.py",
+            "bench_fig6_iridium_latency.py",
+            "bench_fig7_density_tps.py",
+            "bench_fig8_power_tps.py",
+        ):
+            assert required in benches
+
+    def test_paper_match_is_confirmed(self):
+        assert "matches the target paper" in read("DESIGN.md")
+
+
+class TestReadme:
+    def test_example_table_matches_directory(self):
+        text = read("README.md")
+        examples = {p.name for p in (REPO / "examples").glob("*.py")}
+        referenced = set(re.findall(r"`(\w+\.py)`", text))
+        for example in examples:
+            assert example in referenced, f"README example table missing {example}"
+
+    def test_cli_commands_exist(self):
+        from repro.cli import build_parser
+
+        text = read("README.md")
+        parser = build_parser()
+        subcommands = set(parser._subparsers._group_actions[0].choices)  # noqa: SLF001
+        for command in re.findall(r"python -m repro (\w+)", text):
+            assert command in subcommands, f"README shows unknown command {command}"
+
+    def test_quickstart_import_line_valid(self):
+        import repro
+
+        for name in ("mercury_stack", "iridium_stack", "ServerDesign",
+                     "evaluate_server"):
+            assert hasattr(repro, name)
+
+
+class TestExperimentsDoc:
+    def test_references_existing_benchmarks(self):
+        text = read("EXPERIMENTS.md")
+        for match in re.finditer(r"`(bench_[\w]+\.py)`", text):
+            assert (REPO / "benchmarks" / match.group(1)).exists(), match.group(1)
+
+    def test_covers_all_tables_and_figures(self):
+        text = read("EXPERIMENTS.md")
+        for artefact in ("Table 1", "Table 2", "Table 3", "Table 4",
+                         "Figure 4", "Figure 5", "Figure 6", "Figure 7",
+                         "Figure 8"):
+            assert artefact in text, f"EXPERIMENTS.md missing {artefact}"
+
+
+class TestModelingDoc:
+    def test_exists_and_documents_the_equation(self):
+        text = read("docs/MODELING.md")
+        assert "RTT(V, S)" in text
+        assert "calibration.py" in text
+
+    def test_worked_example_matches_model(self):
+        # The doc claims the A7/64B/10ns anchor computes to ~11.9 KTPS.
+        from repro.core import mercury_stack
+
+        tps = mercury_stack(1).latency_model().tps("GET", 64)
+        assert tps == pytest.approx(11_900, rel=0.02)

@@ -1,0 +1,157 @@
+"""Assorted edge-case hardening across modules.
+
+Each test pins down a boundary behaviour that no other test exercises:
+zero-sized things, exactly-at-the-limit values, degenerate
+configurations, and formatting corner cases.
+"""
+
+import pytest
+
+from repro.analysis.report import render_series, render_table
+from repro.core import OperatingPoint, dram_spec, mercury_stack
+from repro.cpu.cache import Cache
+from repro.errors import CapacityError, ConfigurationError, StorageError
+from repro.kvstore import Item, KVStore, SlabAllocator
+from repro.memory import TEZZARON_4GB
+from repro.sim import Simulator
+from repro.units import MB
+
+
+class TestRenderingEdges:
+    def test_negative_and_zero_cells(self):
+        text = render_table(["x"], [[-1.5], [0], [0.0001], [12345.6]])
+        assert "-1.5" in text
+        assert "0" in text
+        assert "12,346" in text
+
+    def test_empty_rows_table(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and len(text.splitlines()) == 2
+
+    def test_series_with_single_point(self):
+        text = render_series("x", ["only"], {"s": [1.0]})
+        assert "only" in text
+
+
+class TestStoreEdges:
+    def test_zero_byte_value(self):
+        store = KVStore(2 * MB)
+        store.set(b"empty", b"")
+        item = store.get(b"empty")
+        assert item is not None and item.value == b""
+
+    def test_value_exactly_at_page_limit(self):
+        store = KVStore(4 * MB)
+        max_value = store.slabs.max_item_bytes - 56 - 1  # overhead + 1B key
+        assert store.set(b"k", b"x" * max_value).name == "STORED"
+
+    def test_value_over_page_limit_is_oom(self):
+        store = KVStore(4 * MB)
+        over = store.slabs.max_item_bytes
+        assert store.set(b"k", b"x" * over).name == "OUT_OF_MEMORY"
+
+    def test_key_at_250_limit(self):
+        store = KVStore(2 * MB)
+        key = b"k" * 250
+        store.set(key, b"v")
+        assert store.get(key) is not None
+        with pytest.raises(StorageError):
+            Item(key=b"k" * 251, value=b"")
+
+    def test_touch_to_never_expire(self):
+        store = KVStore(2 * MB)
+        store.set(b"k", b"v", expire=5)
+        store.touch(b"k", 0)
+        store.advance_time(1e9)
+        assert store.get(b"k") is not None
+
+    def test_incr_wraps_large_numbers(self):
+        store = KVStore(2 * MB)
+        store.set(b"n", str(2**63).encode())
+        assert store.incr(b"n", 1) == 2**63 + 1
+
+
+class TestSlabEdges:
+    def test_one_byte_item_uses_min_chunk(self):
+        slabs = SlabAllocator(2 * MB)
+        assert slabs.class_for(1).chunk_size == slabs.classes[0].chunk_size
+
+    def test_item_exactly_chunk_size(self):
+        slabs = SlabAllocator(2 * MB)
+        chunk = slabs.classes[3].chunk_size
+        assert slabs.class_for(chunk).chunk_size == chunk
+
+    def test_item_one_over_chunk_size(self):
+        slabs = SlabAllocator(2 * MB)
+        chunk = slabs.classes[3].chunk_size
+        assert slabs.class_for(chunk + 1).chunk_size > chunk
+
+
+class TestCacheEdges:
+    def test_direct_mapped_cache(self):
+        cache = Cache(size_bytes=256, line_size=64, associativity=1)
+        cache.access(0)
+        cache.access(256)  # same set, evicts
+        assert not cache.contains(0)
+
+    def test_fully_associative_cache(self):
+        cache = Cache(size_bytes=256, line_size=64, associativity=4)
+        assert cache.num_sets == 1
+        for address in (0, 64, 128, 192):
+            cache.access(address)
+        assert cache.resident_lines == 4
+
+    def test_access_range_zero_length(self):
+        cache = Cache(size_bytes=1024)
+        assert cache.access_range(100, 0) == 0
+
+    def test_access_range_crossing_one_line_boundary(self):
+        cache = Cache(size_bytes=1024)
+        assert cache.access_range(60, 8) == 2  # straddles lines 0 and 1
+
+
+class TestModelEdges:
+    def test_zero_byte_get(self):
+        model = mercury_stack(1).latency_model()
+        timing = model.request_timing("GET", 0)
+        assert timing.total_s > 0
+        assert timing.tps > model.tps("GET", 1 << 20)
+
+    def test_lowercase_verbs_accepted(self):
+        model = mercury_stack(1).latency_model()
+        assert model.request_timing("get", 64).total_s == (
+            model.request_timing("GET", 64).total_s
+        )
+        assert OperatingPoint(verb="put").verb == "put"
+
+    def test_dram_address_space_last_byte(self):
+        port, bank, _row = TEZZARON_4GB.decompose_address(
+            TEZZARON_4GB.capacity_bytes - 1
+        )
+        assert port == 15 and bank == 7
+
+    def test_memory_spec_extreme_latency(self):
+        model = mercury_stack(1).latency_model(dram_spec(1e-6))  # 1 us DRAM
+        assert model.tps("GET", 64) < mercury_stack(1).latency_model().tps("GET", 64)
+
+
+class TestSimEdges:
+    def test_zero_delay_event_fires_now(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.0]
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()  # no effect, no error
+
+    def test_run_until_exact_event_time_includes_it(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(1))
+        sim.run(until=2.0)
+        assert fired == [1]

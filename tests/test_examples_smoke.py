@@ -1,0 +1,32 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Examples are a deliverable, not decoration; each is executed as a real
+subprocess (the way a user runs it) and must exit 0 with non-trivial
+output.  The slowest simulations are capped by a generous timeout.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 10
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_cleanly(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert len(result.stdout.splitlines()) >= 3, "examples must narrate"
+    assert "Traceback" not in result.stderr

@@ -1,0 +1,156 @@
+"""Failure injection: the system under partial failure and pressure.
+
+Memcached's failure model is brutal and simple — a dead node loses its
+data (§2.3: "data will be removed from your cache if a server goes
+down") — and the slab allocator's failure mode is class starvation.
+These tests inject those failures mid-traffic and assert the system
+degrades the way production Memcached does: reduced hit rate, never
+corruption, never a crash.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.kvstore import KVStore, MemcachedCluster, StoreResult
+from repro.sim.rng import make_rng
+from repro.units import KB, MB
+from repro.workloads import WorkloadGenerator, WorkloadSpec
+from repro.workloads.traces import replay
+
+
+class TestNodeFailureMidTraffic:
+    def run_with_failure(self, kill_at: int, nodes: int = 6):
+        cluster = MemcachedCluster(
+            [f"mc{i}" for i in range(nodes)], memory_per_node_bytes=8 * MB
+        )
+        generator = WorkloadGenerator(
+            WorkloadSpec(name="fail", get_fraction=0.9, key_population=3_000),
+            seed=11,
+        )
+        hits = misses = 0
+        for index, request in enumerate(generator.stream(6_000)):
+            if index == kill_at:
+                victim = sorted(cluster.node_names)[0]
+                cluster.kill_node(victim)
+            if request.verb == "GET":
+                if cluster.get(request.key) is not None:
+                    hits += 1
+                else:
+                    misses += 1
+                    cluster.set(request.key, b"x" * request.value_bytes)
+            else:
+                cluster.set(request.key, b"x" * request.value_bytes)
+        return cluster, hits / max(1, hits + misses)
+
+    def test_cluster_survives_node_death(self):
+        cluster, hit_rate = self.run_with_failure(kill_at=3_000)
+        assert 0.3 < hit_rate < 1.0
+        for store in cluster.stores.values():
+            store.check_invariants()
+
+    def test_node_death_dents_hit_rate(self):
+        _cluster, with_failure = self.run_with_failure(kill_at=3_000)
+        _cluster2, without_failure = self.run_with_failure(kill_at=10**9)
+        assert with_failure < without_failure
+
+    def test_cache_refills_after_failure(self):
+        cluster, _ = self.run_with_failure(kill_at=1_000)
+        # After the failure, surviving + refilled nodes hold data again.
+        assert cluster.item_count() > 1_000
+
+    def test_cascading_failures_leave_last_node_serving(self):
+        cluster = MemcachedCluster(
+            [f"mc{i}" for i in range(4)], memory_per_node_bytes=4 * MB
+        )
+        for i in range(200):
+            cluster.set(b"key-%d" % i, b"v")
+        for victim in ["mc0", "mc1", "mc2"]:
+            cluster.kill_node(victim)
+            cluster.set(b"probe-after-" + victim.encode(), b"v")
+        assert cluster.node_names == ["mc3"]
+        assert cluster.get(b"probe-after-mc2") is not None
+
+
+class TestMemoryPressureFailure:
+    def test_slab_class_starvation_degrades_not_crashes(self):
+        # Fill the budget with small items, then demand huge ones: the
+        # big class cannot get pages, so sets fail with SERVER_ERROR
+        # semantics while small traffic keeps working.
+        store = KVStore(2 * MB)
+        for i in range(20_000):
+            store.set(b"small-%d" % i, b"x" * 40)
+        result = store.set(b"huge", b"x" * 900 * KB)
+        assert result is StoreResult.OUT_OF_MEMORY
+        assert store.set(b"small-again", b"y" * 40) is StoreResult.STORED
+        store.check_invariants()
+
+    def test_failed_set_preserves_old_value(self):
+        store = KVStore(2 * MB)
+        # The victim shares a slab class with the filler items (same
+        # total size bucket), so storing it succeeds via LRU eviction.
+        store.set(b"victim", b"o" * 45)
+        for i in range(20_000):
+            store.set(b"small-%d" % i, b"x" * 40)
+            store.get(b"victim")  # keep it hot through the churn
+        assert store.get(b"victim") is not None
+        # An oversize overwrite fails (its class can get no pages) and
+        # must leave the old value untouched.
+        result = store.set(b"victim", b"x" * 900 * KB)
+        assert result is StoreResult.OUT_OF_MEMORY
+        assert store.get(b"victim").value == b"o" * 45
+
+    def test_eviction_storm_under_replay(self):
+        # A store 100x smaller than its working set must churn violently
+        # yet stay consistent.
+        from repro.workloads.distributions import fixed_size
+
+        store = KVStore(1 * MB)
+        generator = WorkloadGenerator(
+            WorkloadSpec(
+                name="storm",
+                get_fraction=0.5,
+                key_population=50_000,
+                value_sizes=fixed_size(2048),
+            ),
+            seed=13,
+        )
+        stats = replay(generator.stream(4_000), store)
+        assert store.stats.evictions > 100
+        assert stats.hit_rate < 0.6
+        store.check_invariants()
+
+
+class TestRingChurnConsistency:
+    def test_add_remove_storm_keeps_routing_total(self):
+        cluster = MemcachedCluster(["a", "b"], memory_per_node_bytes=2 * MB)
+        rng = make_rng("churn", 1)
+        next_id = 0
+        for _round in range(30):
+            if rng.random() < 0.5 and len(cluster.node_names) < 10:
+                cluster.add_node(f"n{next_id}", 2 * MB)
+                next_id += 1
+            elif len(cluster.node_names) > 1:
+                cluster.kill_node(rng.choice(cluster.node_names))
+            # Routing must stay total and consistent after every change.
+            for i in range(50):
+                key = b"key-%d" % i
+                assert cluster.node_for(key) in cluster.stores
+                assert cluster.node_for(key) == cluster.node_for(key)
+
+    def test_no_operation_raises_unexpectedly_under_churn(self):
+        cluster = MemcachedCluster(["a", "b", "c"], memory_per_node_bytes=2 * MB)
+        rng = make_rng("churn-ops", 2)
+        for step in range(500):
+            key = b"key-%d" % rng.randrange(200)
+            try:
+                action = rng.random()
+                if action < 0.45:
+                    cluster.set(key, b"x" * rng.randrange(1, 2000))
+                elif action < 0.9:
+                    cluster.get(key)
+                elif action < 0.95 and len(cluster.node_names) > 1:
+                    cluster.kill_node(cluster.node_names[0])
+                elif len(cluster.node_names) < 8:
+                    cluster.add_node(f"new-{step}", 2 * MB)
+            except ReproError as error:  # pragma: no cover
+                pytest.fail(f"operation raised under churn: {error}")

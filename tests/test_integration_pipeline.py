@@ -1,0 +1,156 @@
+"""Integration: protocol bytes -> store -> response bytes, end to end.
+
+Drives the functional Memcached through real wire framing, the way a
+client would, including the cluster path.
+"""
+
+import pytest
+
+from repro.kvstore import (
+    Command,
+    KVStore,
+    MemcachedCluster,
+    Response,
+    StoreResult,
+    parse_command,
+    parse_response,
+    render_command,
+    render_response,
+)
+from repro.units import MB
+
+
+def serve(store: KVStore, wire: bytes) -> bytes:
+    """A minimal server loop: parse every command, apply it, render."""
+    out = bytearray()
+    rest = wire
+    while rest:
+        command, rest = parse_command(rest)
+        out += apply_command(store, command)
+    return bytes(out)
+
+
+def apply_command(store: KVStore, command: Command) -> bytes:
+    if command.verb in ("get", "gets"):
+        values = []
+        for key in command.keys:
+            item = store.get(key)
+            if item is not None:
+                cas = item.cas if command.verb == "gets" else None
+                values.append((key, item.flags, item.value, cas))
+        return render_response(Response(status="END", values=tuple(values)))
+    if command.verb == "set":
+        result = store.set(command.key, command.data, command.flags, command.exptime)
+    elif command.verb == "add":
+        result = store.add(command.key, command.data, command.flags, command.exptime)
+    elif command.verb == "replace":
+        result = store.replace(command.key, command.data, command.flags, command.exptime)
+    elif command.verb == "append":
+        result = store.append(command.key, command.data)
+    elif command.verb == "prepend":
+        result = store.prepend(command.key, command.data)
+    elif command.verb == "cas":
+        result = store.cas(command.key, command.data, command.cas, command.flags, command.exptime)
+    elif command.verb == "delete":
+        result = store.delete(command.key)
+    elif command.verb in ("incr", "decr"):
+        if command.verb == "incr":
+            value = store.incr(command.key, command.delta)
+        else:
+            value = store.decr(command.key, command.delta)
+        if value is None:
+            return b"NOT_FOUND\r\n"
+        return b"%d\r\n" % value
+    elif command.verb == "touch":
+        result = store.touch(command.key, command.exptime)
+    elif command.verb == "flush_all":
+        store.flush_all()
+        return b"OK\r\n"
+    else:
+        return b"ERROR\r\n"
+    if command.noreply:
+        return b""
+    return result.value.encode() + b"\r\n"
+
+
+class TestWireLevelSession:
+    def test_set_then_get(self):
+        store = KVStore(4 * MB)
+        reply = serve(store, b"set greeting 5 0 5\r\nhello\r\n")
+        assert reply == b"STORED\r\n"
+        reply = serve(store, b"get greeting\r\n")
+        response = parse_response(reply)
+        assert response.values[0][2] == b"hello"
+        assert response.values[0][1] == 5
+        assert response.status == "END"
+
+    def test_multi_get_partial_hits(self):
+        store = KVStore(4 * MB)
+        serve(store, b"set a 0 0 1\r\nx\r\n")
+        response = parse_response(serve(store, b"get a b c\r\n"))
+        assert len(response.values) == 1
+
+    def test_cas_session(self):
+        store = KVStore(4 * MB)
+        serve(store, b"set k 0 0 3\r\nold\r\n")
+        response = parse_response(serve(store, b"gets k\r\n"))
+        cas = response.values[0][3]
+        assert serve(store, b"cas k 0 0 3 %d\r\nnew\r\n" % cas) == b"STORED\r\n"
+        assert serve(store, b"cas k 0 0 3 %d\r\nxxx\r\n" % cas) == b"EXISTS\r\n"
+
+    def test_counter_session(self):
+        store = KVStore(4 * MB)
+        serve(store, b"set hits 0 0 1\r\n5\r\n")
+        assert serve(store, b"incr hits 3\r\n") == b"8\r\n"
+        assert serve(store, b"decr hits 10\r\n") == b"0\r\n"
+        assert serve(store, b"incr ghost 1\r\n") == b"NOT_FOUND\r\n"
+
+    def test_pipelined_batch(self):
+        store = KVStore(4 * MB)
+        batch = (
+            b"set a 0 0 1\r\n1\r\n"
+            b"set b 0 0 1\r\n2\r\n"
+            b"get a b\r\n"
+            b"delete a\r\n"
+        )
+        reply = serve(store, batch)
+        assert reply.count(b"STORED") == 2
+        assert b"VALUE a" in reply and b"VALUE b" in reply
+        assert reply.endswith(b"DELETED\r\n")
+
+    def test_noreply_suppresses_response(self):
+        store = KVStore(4 * MB)
+        assert serve(store, b"set a 0 0 1 noreply\r\nx\r\n") == b""
+        assert store.get(b"a") is not None
+
+    def test_flush_all_session(self):
+        store = KVStore(4 * MB)
+        serve(store, b"set a 0 0 1\r\nx\r\n")
+        store.advance_time(1.0)
+        assert serve(store, b"flush_all\r\n") == b"OK\r\n"
+        response = parse_response(serve(store, b"get a\r\n"))
+        assert response.values == ()
+
+    def test_render_command_feeds_server(self):
+        store = KVStore(4 * MB)
+        wire = render_command(Command(verb="set", keys=(b"k",), data=b"v" * 100))
+        wire += render_command(Command(verb="get", keys=(b"k",)))
+        reply = serve(store, wire)
+        assert parse_response(reply[len(b"STORED\r\n"):]).values[0][2] == b"v" * 100
+
+
+class TestClusterSession:
+    def test_cluster_serves_wire_protocol_per_node(self):
+        cluster = MemcachedCluster(["n0", "n1", "n2"], memory_per_node_bytes=4 * MB)
+        for i in range(60):
+            key = b"key-%d" % i
+            node = cluster.store_for(key)
+            reply = serve(node, b"set %s 0 0 2\r\nhi\r\n" % key)
+            assert reply == b"STORED\r\n"
+        hits = 0
+        for i in range(60):
+            key = b"key-%d" % i
+            node = cluster.store_for(key)
+            response = parse_response(serve(node, b"get %s\r\n" % key))
+            hits += len(response.values)
+        assert hits == 60

@@ -1,0 +1,83 @@
+"""Integration: the paper's linear-scaling methodology (§5.3), validated.
+
+The paper computes server TPS as single-core TPS x core count.  Here the
+discrete-event simulator runs multi-core stacks with the latency model's
+service times and confirms that assumption holds below saturation — and
+quantifies where it stops holding (the part the analytic model can't see).
+"""
+
+import pytest
+
+from repro.core import iridium_stack, mercury_stack
+from repro.sim import StackSimulation, sla_fraction_met
+
+
+class TestLinearScalingAssumption:
+    def test_mercury_stack_scales_linearly_at_70pct_load(self):
+        stack = mercury_stack(1)
+        service = stack.latency_model().request_timing("GET", 64).total_s
+
+        def measured_tps(cores: int) -> float:
+            sim = StackSimulation(cores=cores, service_time=lambda: service, seed=11)
+            return sim.run(
+                offered_rate_hz=0.7 * cores / service,
+                duration_s=400 * service,
+                warmup_s=50 * service,
+            ).throughput_hz
+
+        t1 = measured_tps(1)
+        t8 = measured_tps(8)
+        assert t8 == pytest.approx(8 * t1, rel=0.1)
+
+    def test_latency_flat_until_high_load(self):
+        stack = mercury_stack(8)
+        service = stack.latency_model().request_timing("GET", 64).total_s
+        sim = StackSimulation(cores=8, service_time=lambda: service, seed=13)
+
+        def mean_rtt(load: float) -> float:
+            return sim.run(
+                offered_rate_hz=load * 8 / service,
+                duration_s=600 * service,
+                warmup_s=100 * service,
+            ).mean_rtt
+
+        # Random core assignment makes each core an M/D/1 queue: the mean
+        # RTT at rho=0.5 is 1.5x the service time, and it blows up near 1.
+        assert mean_rtt(0.5) < 1.7 * service
+        assert mean_rtt(0.95) > 2.5 * service
+
+    def test_des_sla_agrees_with_analytic_mg1(self):
+        stack = iridium_stack(4)
+        service = stack.latency_model().request_timing("GET", 64).total_s
+        load = 0.8
+        rate = load * 4 / service
+        sim = StackSimulation(cores=4, service_time=lambda: service, seed=17)
+        measured = sim.run(
+            offered_rate_hz=rate, duration_s=3000 * service, warmup_s=300 * service
+        ).sla_fraction(1e-3)
+        analytic = sla_fraction_met(rate / 4, service, 1e-3)
+        assert measured == pytest.approx(analytic, abs=0.05)
+
+    def test_paper_sla_claim_iridium_majority_submillisecond(self):
+        # §6: Iridium services "a majority of requests within the
+        # sub-millisecond range" — true even at 90% load.
+        stack = iridium_stack(8)
+        service = stack.latency_model().request_timing("GET", 64).total_s
+        sim = StackSimulation(cores=8, service_time=lambda: service, seed=19)
+        results = sim.run(
+            offered_rate_hz=0.9 * 8 / service,
+            duration_s=2000 * service,
+            warmup_s=200 * service,
+        )
+        assert results.sla_fraction(1e-3) > 0.5
+
+    def test_mercury_sla_comfortably_met(self):
+        stack = mercury_stack(8)
+        service = stack.latency_model().request_timing("GET", 64).total_s
+        sim = StackSimulation(cores=8, service_time=lambda: service, seed=23)
+        results = sim.run(
+            offered_rate_hz=0.8 * 8 / service,
+            duration_s=2000 * service,
+            warmup_s=200 * service,
+        )
+        assert results.sla_fraction(1e-3) > 0.95

@@ -1,0 +1,285 @@
+"""Tests for the memcached binary protocol."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.kvstore import KVStore
+from repro.kvstore.binary_protocol import (
+    HEADER_LENGTH,
+    REQUEST_MAGIC,
+    RESPONSE_MAGIC,
+    BinaryMessage,
+    BinaryServer,
+    Opcode,
+    Status,
+    arith_request,
+    decode,
+    encode,
+    get_request,
+    needs_more_bytes,
+    set_request,
+    simple_request,
+)
+from repro.units import MB
+
+safe_keys = st.lists(
+    st.integers(min_value=33, max_value=126), min_size=1, max_size=64
+).map(bytes)
+
+
+def make_server() -> BinaryServer:
+    return BinaryServer(KVStore(4 * MB))
+
+
+def roundtrip(server: BinaryServer, request: BinaryMessage) -> BinaryMessage:
+    response, rest = decode(server.handle(encode(request)))
+    assert rest == b""
+    return response
+
+
+class TestCodec:
+    def test_header_is_24_bytes(self):
+        wire = encode(simple_request(Opcode.NOOP))
+        assert len(wire) == HEADER_LENGTH
+
+    def test_encode_decode_roundtrip(self):
+        original = set_request(b"key", b"value", flags=7, expiry=60, opaque=123)
+        decoded, rest = decode(encode(original))
+        assert rest == b""
+        assert decoded == original
+
+    @given(
+        key=safe_keys,
+        value=st.binary(max_size=512),
+        flags=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        opaque=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        cas=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, key, value, flags, opaque, cas):
+        original = set_request(key, value, flags=flags, cas=cas, opaque=opaque)
+        decoded, _ = decode(encode(original))
+        assert decoded == original
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ProtocolError, match="short"):
+            decode(b"\x80\x00")
+
+    def test_bad_magic_rejected(self):
+        wire = bytearray(encode(simple_request(Opcode.NOOP)))
+        wire[0] = 0x55
+        with pytest.raises(ProtocolError, match="magic"):
+            decode(bytes(wire))
+
+    def test_unknown_opcode_rejected(self):
+        wire = bytearray(encode(simple_request(Opcode.NOOP)))
+        wire[1] = 0x7F
+        with pytest.raises(ProtocolError, match="opcode"):
+            decode(bytes(wire))
+
+    def test_truncated_body_rejected(self):
+        wire = encode(set_request(b"k", b"v" * 100))
+        with pytest.raises(ProtocolError, match="incomplete"):
+            decode(wire[:-1])
+
+    def test_needs_more_bytes(self):
+        wire = encode(set_request(b"k", b"v" * 100))
+        assert needs_more_bytes(wire[:10])
+        assert needs_more_bytes(wire[:-1])
+        assert not needs_more_bytes(wire)
+
+    def test_pipelined_messages(self):
+        wire = encode(simple_request(Opcode.NOOP)) + encode(get_request(b"k"))
+        first, rest = decode(wire)
+        second, rest2 = decode(rest)
+        assert first.opcode is Opcode.NOOP
+        assert second.opcode is Opcode.GET
+        assert rest2 == b""
+
+
+class TestServerOps:
+    def test_set_then_get(self):
+        server = make_server()
+        response = roundtrip(server, set_request(b"k", b"hello", flags=9))
+        assert response.status == Status.NO_ERROR
+        assert response.cas > 0
+        response = roundtrip(server, get_request(b"k"))
+        assert response.value == b"hello"
+        assert struct.unpack(">I", response.extras)[0] == 9
+
+    def test_get_miss(self):
+        response = roundtrip(make_server(), get_request(b"ghost"))
+        assert response.status == Status.KEY_NOT_FOUND
+
+    def test_getq_miss_is_silent(self):
+        server = make_server()
+        assert server.handle(encode(get_request(b"ghost", quiet=True))) == b""
+
+    def test_getq_hit_responds(self):
+        server = make_server()
+        roundtrip(server, set_request(b"k", b"v"))
+        response = roundtrip(server, get_request(b"k", quiet=True))
+        assert response.value == b"v"
+
+    def test_add_and_replace_semantics(self):
+        server = make_server()
+        assert roundtrip(server, set_request(b"k", b"1", opcode=Opcode.ADD)).status == Status.NO_ERROR
+        assert roundtrip(server, set_request(b"k", b"2", opcode=Opcode.ADD)).status == Status.ITEM_NOT_STORED
+        assert roundtrip(server, set_request(b"k", b"3", opcode=Opcode.REPLACE)).status == Status.NO_ERROR
+        assert roundtrip(server, set_request(b"x", b"4", opcode=Opcode.REPLACE)).status == Status.ITEM_NOT_STORED
+
+    def test_cas_via_set(self):
+        server = make_server()
+        cas = roundtrip(server, set_request(b"k", b"old")).cas
+        ok = roundtrip(server, set_request(b"k", b"new", cas=cas))
+        assert ok.status == Status.NO_ERROR
+        stale = roundtrip(server, set_request(b"k", b"xxx", cas=cas))
+        assert stale.status == Status.KEY_EXISTS
+
+    def test_delete(self):
+        server = make_server()
+        roundtrip(server, set_request(b"k", b"v"))
+        assert roundtrip(server, simple_request(Opcode.DELETE, b"k")).status == Status.NO_ERROR
+        assert roundtrip(server, simple_request(Opcode.DELETE, b"k")).status == Status.KEY_NOT_FOUND
+
+    def test_increment_existing(self):
+        server = make_server()
+        roundtrip(server, set_request(b"n", b"10"))
+        response = roundtrip(server, arith_request(b"n", delta=5))
+        assert struct.unpack(">Q", response.value)[0] == 15
+
+    def test_increment_seeds_initial(self):
+        server = make_server()
+        response = roundtrip(server, arith_request(b"n", delta=5, initial=100, expiry=0))
+        assert struct.unpack(">Q", response.value)[0] == 100
+        response = roundtrip(server, arith_request(b"n", delta=5))
+        assert struct.unpack(">Q", response.value)[0] == 105
+
+    def test_increment_without_initial_misses(self):
+        response = roundtrip(make_server(), arith_request(b"n", delta=5))
+        assert response.status == Status.KEY_NOT_FOUND
+
+    def test_decrement_floors_at_zero(self):
+        server = make_server()
+        roundtrip(server, set_request(b"n", b"3"))
+        response = roundtrip(server, arith_request(b"n", delta=10, decrement=True))
+        assert struct.unpack(">Q", response.value)[0] == 0
+
+    def test_increment_non_numeric_is_delta_badval(self):
+        server = make_server()
+        roundtrip(server, set_request(b"n", b"abc"))
+        response = roundtrip(server, arith_request(b"n", delta=1))
+        assert response.status == Status.DELTA_BADVAL
+
+    def test_append_prepend(self):
+        server = make_server()
+        roundtrip(server, set_request(b"k", b"mid"))
+        append = BinaryMessage(magic=REQUEST_MAGIC, opcode=Opcode.APPEND, key=b"k", value=b"-end")
+        prepend = BinaryMessage(magic=REQUEST_MAGIC, opcode=Opcode.PREPEND, key=b"k", value=b"pre-")
+        assert roundtrip(server, append).status == Status.NO_ERROR
+        assert roundtrip(server, prepend).status == Status.NO_ERROR
+        assert roundtrip(server, get_request(b"k")).value == b"pre-mid-end"
+
+    def test_touch(self):
+        server = make_server()
+        roundtrip(server, set_request(b"k", b"v"))
+        touch = BinaryMessage(
+            magic=REQUEST_MAGIC, opcode=Opcode.TOUCH, key=b"k",
+            extras=struct.pack(">I", 500),
+        )
+        assert roundtrip(server, touch).status == Status.NO_ERROR
+        server.store.advance_time(100)
+        assert roundtrip(server, get_request(b"k")).status == Status.NO_ERROR
+
+    def test_gat_fetches_and_extends(self):
+        server = make_server()
+        roundtrip(server, set_request(b"k", b"v", expiry=5))
+        gat = BinaryMessage(
+            magic=REQUEST_MAGIC, opcode=Opcode.GAT, key=b"k",
+            extras=struct.pack(">I", 500),
+        )
+        response = roundtrip(server, gat)
+        assert response.status == Status.NO_ERROR
+        assert response.value == b"v"
+        server.store.advance_time(100)  # beyond the original 5s TTL
+        assert roundtrip(server, get_request(b"k")).status == Status.NO_ERROR
+
+    def test_gat_miss(self):
+        gat = BinaryMessage(
+            magic=REQUEST_MAGIC, opcode=Opcode.GAT, key=b"ghost",
+            extras=struct.pack(">I", 500),
+        )
+        assert roundtrip(make_server(), gat).status == Status.KEY_NOT_FOUND
+
+    def test_gatq_miss_is_silent(self):
+        server = make_server()
+        gatq = BinaryMessage(
+            magic=REQUEST_MAGIC, opcode=Opcode.GATQ, key=b"ghost",
+            extras=struct.pack(">I", 500),
+        )
+        assert server.handle(encode(gatq)) == b""
+
+    def test_gat_bad_extras(self):
+        gat = BinaryMessage(magic=REQUEST_MAGIC, opcode=Opcode.GAT, key=b"k")
+        assert roundtrip(make_server(), gat).status == Status.INVALID_ARGUMENTS
+
+    def test_version_noop_flush_quit(self):
+        server = make_server()
+        assert roundtrip(server, simple_request(Opcode.NOOP)).status == Status.NO_ERROR
+        assert b"memcached" in roundtrip(server, simple_request(Opcode.VERSION)).value
+        roundtrip(server, set_request(b"k", b"v"))
+        server.store.advance_time(1.0)
+        assert roundtrip(server, simple_request(Opcode.FLUSH)).status == Status.NO_ERROR
+        assert roundtrip(server, get_request(b"k")).status == Status.KEY_NOT_FOUND
+        assert roundtrip(server, simple_request(Opcode.QUIT)).status == Status.NO_ERROR
+        assert server.closed
+
+    def test_opaque_echoed(self):
+        server = make_server()
+        response = roundtrip(server, get_request(b"ghost", opaque=0xDEADBEEF))
+        assert response.opaque == 0xDEADBEEF
+
+    def test_malformed_extras_invalid_arguments(self):
+        bad_set = BinaryMessage(
+            magic=REQUEST_MAGIC, opcode=Opcode.SET, key=b"k", extras=b"\x00", value=b"v"
+        )
+        assert roundtrip(make_server(), bad_set).status == Status.INVALID_ARGUMENTS
+
+    def test_response_magic(self):
+        response = roundtrip(make_server(), simple_request(Opcode.NOOP))
+        assert response.magic == RESPONSE_MAGIC
+
+
+class TestServerStream:
+    def test_pipelined_batch(self):
+        server = make_server()
+        wire = (
+            encode(set_request(b"a", b"1"))
+            + encode(set_request(b"b", b"2"))
+            + encode(get_request(b"a"))
+        )
+        out = server.handle(wire)
+        r1, rest = decode(out)
+        r2, rest = decode(rest)
+        r3, rest = decode(rest)
+        assert rest == b""
+        assert (r1.status, r2.status) == (Status.NO_ERROR, Status.NO_ERROR)
+        assert r3.value == b"1"
+
+    def test_partial_message_left_unhandled(self):
+        server = make_server()
+        wire = encode(set_request(b"k", b"v" * 50))
+        assert server.handle(wire[:30]) == b""
+
+    def test_text_and_binary_share_one_store(self):
+        from repro.kvstore.server_loop import MemcachedServer
+
+        store = KVStore(4 * MB)
+        text = MemcachedServer(store)
+        binary = BinaryServer(store)
+        text.handle(b"set k 0 0 5\r\nhello\r\n")
+        assert roundtrip(binary, get_request(b"k")).value == b"hello"

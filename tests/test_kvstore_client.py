@@ -1,0 +1,119 @@
+"""Tests for the cluster-aware client library, on both protocols."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kvstore.client import MemcachedClient
+from repro.units import MB
+
+
+def make_client(protocol: str, nodes: int = 4) -> MemcachedClient:
+    return MemcachedClient(
+        node_names=[f"mc{i}" for i in range(nodes)],
+        memory_per_node_bytes=4 * MB,
+        protocol=protocol,
+    )
+
+
+@pytest.fixture(params=["ascii", "binary"])
+def client(request) -> MemcachedClient:
+    return make_client(request.param)
+
+
+class TestCrudBothProtocols:
+    def test_set_get_roundtrip(self, client):
+        assert client.set(b"k", b"hello")
+        result = client.get(b"k")
+        assert result is not None
+        assert result.value == b"hello"
+
+    def test_get_missing(self, client):
+        assert client.get(b"ghost") is None
+
+    def test_add_replace_semantics(self, client):
+        assert client.add(b"k", b"1")
+        assert not client.add(b"k", b"2")
+        assert client.replace(b"k", b"3")
+        assert not client.replace(b"x", b"4")
+        assert client.get(b"k").value == b"3"
+
+    def test_delete(self, client):
+        client.set(b"k", b"v")
+        assert client.delete(b"k")
+        assert not client.delete(b"k")
+        assert client.get(b"k") is None
+
+    def test_cas_cycle(self, client):
+        client.set(b"k", b"old")
+        cas = client.get(b"k").cas
+        assert cas is not None
+        assert client.cas(b"k", b"new", cas)
+        assert not client.cas(b"k", b"stale", cas)
+        assert client.get(b"k").value == b"new"
+
+    def test_incr_decr(self, client):
+        client.set(b"n", b"10")
+        assert client.incr(b"n", 5) == 15
+        assert client.decr(b"n", 100) == 0
+        # ascii: NOT_FOUND; binary without initial: KEY_NOT_FOUND.
+        assert client.incr(b"ghost", 1) is None
+
+    def test_expiry_via_logical_time(self, client):
+        client.set(b"k", b"v", expire=10)
+        client.advance_time(11)
+        assert client.get(b"k") is None
+
+    def test_flush_all(self, client):
+        for i in range(20):
+            client.set(b"key-%d" % i, b"v")
+        client.advance_time(0.001)
+        client.flush_all()
+        assert all(client.get(b"key-%d" % i) is None for i in range(20))
+
+    def test_hit_rate(self, client):
+        client.set(b"k", b"v")
+        client.get(b"k")
+        client.get(b"ghost")
+        assert client.hit_rate() == pytest.approx(0.5)
+
+
+class TestSharding:
+    def test_keys_spread_over_nodes(self):
+        client = make_client("ascii", nodes=8)
+        for i in range(500):
+            client.set(b"key-%d" % i, b"v")
+        populated = sum(
+            1 for name in client.ring.nodes if len(client._stores[name]) > 0
+        )
+        assert populated == 8
+
+    def test_multi_get_batches_per_node(self):
+        client = make_client("ascii", nodes=4)
+        keys = [b"key-%d" % i for i in range(50)]
+        for key in keys:
+            client.set(key, b"v-" + key)
+        results = client.get_many(keys + [b"missing-1", b"missing-2"])
+        assert set(results) == set(keys)
+        assert all(results[k].value == b"v-" + k for k in keys)
+
+    def test_binary_multi_get(self):
+        client = make_client("binary", nodes=2)
+        client.set(b"a", b"1")
+        client.set(b"b", b"2")
+        results = client.get_many([b"a", b"b", b"c"])
+        assert {k: r.value for k, r in results.items()} == {b"a": b"1", b"b": b"2"}
+
+    def test_ascii_flags_roundtrip(self):
+        client = make_client("ascii")
+        client.set(b"k", b"v", flags=1234)
+        assert client.get(b"k").flags == 1234
+
+
+class TestValidation:
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemcachedClient([], 4 * MB)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemcachedClient(["a"], 4 * MB, protocol="grpc")

@@ -1,0 +1,113 @@
+"""Tests for the sharded Memcached cluster."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kvstore import MemcachedCluster
+from repro.units import MB
+
+
+def make_cluster(nodes=4) -> MemcachedCluster:
+    return MemcachedCluster(
+        node_names=[f"mc{i}" for i in range(nodes)],
+        memory_per_node_bytes=4 * MB,
+    )
+
+
+class TestSharding:
+    def test_set_get_through_cluster(self):
+        cluster = make_cluster()
+        cluster.set(b"k", b"v")
+        assert cluster.get(b"k").value == b"v"
+
+    def test_key_lives_on_exactly_one_node(self):
+        # §2.3: "a key should only be on one server".
+        cluster = make_cluster()
+        cluster.set(b"k", b"v")
+        holders = [
+            name for name, store in cluster.stores.items()
+            if store.table.find(b"k") is not None
+        ]
+        assert len(holders) == 1
+        assert holders[0] == cluster.node_for(b"k")
+
+    def test_keys_spread_across_nodes(self):
+        cluster = make_cluster(nodes=8)
+        for i in range(2000):
+            cluster.set(b"key-%d" % i, b"v")
+        populated = [name for name, s in cluster.stores.items() if len(s) > 0]
+        assert len(populated) == 8
+
+    def test_aggregate_capacity(self):
+        # §2.3: "the cache is the aggregate size of all servers".
+        cluster = make_cluster(nodes=4)
+        assert cluster.total_capacity_bytes == 16 * MB
+
+    def test_delete_routes_to_owner(self):
+        cluster = make_cluster()
+        cluster.set(b"k", b"v")
+        cluster.delete(b"k")
+        assert cluster.get(b"k") is None
+
+
+class TestMembershipChanges:
+    def test_node_death_loses_only_its_data(self):
+        cluster = make_cluster(nodes=4)
+        keys = [b"key-%d" % i for i in range(400)]
+        for key in keys:
+            cluster.set(key, b"v")
+        victim = cluster.node_for(keys[0])
+        lost = [k for k in keys if cluster.node_for(k) == victim]
+        cluster.kill_node(victim)
+        hits = sum(1 for k in keys if cluster.get(k) is not None)
+        # Everything not owned by the victim must still be present.
+        assert hits == len(keys) - len(lost)
+
+    def test_add_node_keeps_most_data_warm(self):
+        cluster = make_cluster(nodes=4)
+        keys = [b"key-%d" % i for i in range(400)]
+        for key in keys:
+            cluster.set(key, b"v")
+        cluster.add_node("mc-new", 4 * MB)
+        hits = sum(1 for k in keys if cluster.get(k) is not None)
+        # Only keys remapping to the new node go cold (~1/5 of them).
+        assert hits > 400 * 0.6
+
+    def test_duplicate_add_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(ConfigurationError):
+            cluster.add_node("mc0", 4 * MB)
+
+    def test_kill_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cluster().kill_node("ghost")
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemcachedCluster(node_names=[], memory_per_node_bytes=4 * MB)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemcachedCluster(node_names=["a", "a"], memory_per_node_bytes=4 * MB)
+
+
+class TestClusterAccounting:
+    def test_hit_rate_aggregates_nodes(self):
+        cluster = make_cluster()
+        cluster.set(b"k", b"v")
+        cluster.get(b"k")
+        cluster.get(b"missing")
+        assert cluster.hit_rate() == pytest.approx(0.5)
+
+    def test_item_count(self):
+        cluster = make_cluster()
+        for i in range(25):
+            cluster.set(b"key-%d" % i, b"v")
+        assert cluster.item_count() == 25
+
+    def test_advance_time_expires_cluster_wide(self):
+        cluster = make_cluster()
+        for i in range(20):
+            cluster.set(b"key-%d" % i, b"v", expire=5)
+        cluster.advance_time(6)
+        assert all(cluster.get(b"key-%d" % i) is None for i in range(20))

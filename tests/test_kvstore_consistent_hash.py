@@ -1,0 +1,118 @@
+"""Tests for the consistent-hash ring (§3.8's substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.kvstore import ConsistentHashRing
+from repro.sim.rng import make_rng
+
+
+def sample_keys(count: int, seed: int = 0) -> list[bytes]:
+    rng = make_rng("chash-test", seed)
+    return [b"key-%d" % rng.randrange(10**9) for _ in range(count)]
+
+
+class TestMembership:
+    def test_add_and_lookup(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert ring.node_for(b"some-key") in {"a", "b", "c"}
+        assert len(ring) == 3
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            ConsistentHashRing().node_for(b"k")
+
+    def test_duplicate_node_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ConfigurationError):
+            ring.add_node("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing(["a"]).remove_node("b")
+
+    def test_remove_leaves_others(self):
+        ring = ConsistentHashRing(["a", "b"])
+        ring.remove_node("a")
+        assert ring.nodes == frozenset({"b"})
+        assert ring.node_for(b"k") == "b"
+
+    def test_bad_vnodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing(vnodes=0)
+
+
+class TestConsistency:
+    def test_lookup_is_deterministic(self):
+        ring = ConsistentHashRing(["a", "b", "c"], vnodes=64)
+        for key in sample_keys(100):
+            assert ring.node_for(key) == ring.node_for(key)
+
+    def test_monotonicity_on_node_add(self):
+        # Consistent hashing's defining property: adding a node only moves
+        # keys TO the new node, never between old nodes.
+        ring = ConsistentHashRing(["a", "b", "c"], vnodes=64)
+        keys = sample_keys(500)
+        before = {key: ring.node_for(key) for key in keys}
+        ring.add_node("d")
+        for key in keys:
+            after = ring.node_for(key)
+            assert after == before[key] or after == "d"
+
+    def test_remove_only_moves_victims_keys(self):
+        ring = ConsistentHashRing(["a", "b", "c"], vnodes=64)
+        keys = sample_keys(500, seed=1)
+        before = {key: ring.node_for(key) for key in keys}
+        ring.remove_node("b")
+        for key in keys:
+            if before[key] != "b":
+                assert ring.node_for(key) == before[key]
+
+    def test_add_then_remove_restores_mapping(self):
+        ring = ConsistentHashRing(["a", "b"], vnodes=32)
+        keys = sample_keys(200, seed=2)
+        before = {key: ring.node_for(key) for key in keys}
+        ring.add_node("c")
+        ring.remove_node("c")
+        assert {key: ring.node_for(key) for key in keys} == before
+
+    @given(node_count=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=15, deadline=None)
+    def test_all_keys_routed_to_member_nodes(self, node_count):
+        names = [f"n{i}" for i in range(node_count)]
+        ring = ConsistentHashRing(names, vnodes=16)
+        for key in sample_keys(100, seed=node_count):
+            assert ring.node_for(key) in set(names)
+
+
+class TestLoadDistribution:
+    def test_arc_fractions_sum_to_one(self):
+        ring = ConsistentHashRing(["a", "b", "c"], vnodes=100)
+        assert sum(ring.arc_fractions().values()) == pytest.approx(1.0)
+
+    def test_vnodes_even_out_arcs(self):
+        keys = sample_keys(4000, seed=3)
+        few = ConsistentHashRing(["a", "b", "c", "d"], vnodes=1)
+        many = ConsistentHashRing(["a", "b", "c", "d"], vnodes=200)
+        assert many.hottest_fraction(keys) <= few.hottest_fraction(keys)
+
+    def test_load_distribution_counts_every_key(self):
+        ring = ConsistentHashRing(["a", "b"], vnodes=32)
+        keys = sample_keys(300, seed=4)
+        loads = ring.load_distribution(keys)
+        assert sum(loads.values()) == 300
+
+    def test_more_physical_nodes_reduce_hotspots(self):
+        # §3.8's claim, the property Mercury's density provides for free.
+        keys = sample_keys(6000, seed=5)
+        shares = []
+        for count in (4, 16, 64):
+            ring = ConsistentHashRing([f"n{i}" for i in range(count)], vnodes=50)
+            shares.append(ring.hottest_fraction(keys))
+        assert shares[0] > shares[1] > shares[2]
+
+    def test_hottest_fraction_of_nothing_is_zero(self):
+        ring = ConsistentHashRing(["a"])
+        assert ring.hottest_fraction([]) == 0.0

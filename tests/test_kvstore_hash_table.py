@@ -1,0 +1,149 @@
+"""Tests for the chained hash table with incremental rehash."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.kvstore import HashTable, Item
+
+
+def make_item(index: int) -> Item:
+    return Item(key=b"key-%d" % index, value=b"v")
+
+
+class TestBasics:
+    def test_insert_find(self):
+        table = HashTable()
+        item = make_item(1)
+        table.insert(item)
+        assert table.find(b"key-1") is item
+        assert b"key-1" in table
+        assert len(table) == 1
+
+    def test_find_missing_returns_none(self):
+        assert HashTable().find(b"nope") is None
+
+    def test_duplicate_insert_rejected(self):
+        table = HashTable()
+        table.insert(make_item(1))
+        with pytest.raises(StorageError, match="duplicate"):
+            table.insert(make_item(1))
+
+    def test_remove(self):
+        table = HashTable()
+        item = make_item(1)
+        table.insert(item)
+        assert table.remove(b"key-1") is item
+        assert table.find(b"key-1") is None
+        assert len(table) == 0
+
+    def test_remove_missing_returns_none(self):
+        assert HashTable().remove(b"nope") is None
+
+    def test_replace_returns_old(self):
+        table = HashTable()
+        old = make_item(1)
+        table.insert(old)
+        new = Item(key=b"key-1", value=b"new")
+        assert table.replace(new) is old
+        assert table.find(b"key-1") is new
+        assert len(table) == 1
+
+    def test_replace_missing_inserts(self):
+        table = HashTable()
+        assert table.replace(make_item(1)) is None
+        assert len(table) == 1
+
+    def test_iteration_yields_all(self):
+        table = HashTable()
+        for i in range(50):
+            table.insert(make_item(i))
+        assert {item.key for item in table} == {b"key-%d" % i for i in range(50)}
+
+    def test_bad_initial_power_rejected(self):
+        with pytest.raises(StorageError):
+            HashTable(initial_power=0)
+
+
+class TestIncrementalRehash:
+    def test_growth_doubles_buckets(self):
+        table = HashTable(initial_power=4)
+        start = table.bucket_count
+        for i in range(start * 2):
+            table.insert(make_item(i))
+        table.finish_rehash()
+        assert table.bucket_count > start
+        assert table.expansions >= 1
+
+    def test_items_survive_expansion(self):
+        table = HashTable(initial_power=2)
+        for i in range(200):
+            table.insert(make_item(i))
+        for i in range(200):
+            assert table.find(b"key-%d" % i) is not None
+
+    def test_rehash_is_incremental(self):
+        table = HashTable(initial_power=4)
+        # Push just past the growth threshold.
+        for i in range(int(table.bucket_count * 1.5) + 1):
+            table.insert(make_item(i))
+        # Growth started but the old table should not be fully drained
+        # by a single operation.
+        assert table.rehashing
+
+    def test_operations_during_rehash_work(self):
+        table = HashTable(initial_power=2)
+        for i in range(30):
+            table.insert(make_item(i))
+        # interleave finds/removes while migration is in flight
+        assert table.find(b"key-0") is not None
+        assert table.remove(b"key-1") is not None
+        table.insert(make_item(1000))
+        table.finish_rehash()
+        assert table.find(b"key-1000") is not None
+        assert len(table) == 30
+
+    def test_load_factor_bounded_after_settling(self):
+        table = HashTable(initial_power=2)
+        for i in range(5000):
+            table.insert(make_item(i))
+        table.finish_rehash()
+        assert table.load_factor <= 1.5
+
+    def test_chain_lengths_reasonable(self):
+        table = HashTable(initial_power=2)
+        for i in range(2000):
+            table.insert(make_item(i))
+        table.finish_rehash()
+        assert max(table.chain_lengths()) < 20
+
+
+class TestHashTableProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "remove", "find"]),
+                st.integers(min_value=0, max_value=60),
+            ),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict_semantics(self, ops):
+        table = HashTable(initial_power=2)
+        reference: dict[bytes, Item] = {}
+        for op, index in ops:
+            key = b"key-%d" % index
+            if op == "insert":
+                if key in reference:
+                    continue
+                item = make_item(index)
+                table.insert(item)
+                reference[key] = item
+            elif op == "remove":
+                assert table.remove(key) is reference.pop(key, None)
+            else:
+                assert table.find(key) is reference.get(key)
+        assert len(table) == len(reference)
+        assert {i.key for i in table} == set(reference)

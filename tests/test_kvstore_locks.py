@@ -1,0 +1,102 @@
+"""Tests for the lock-contention scaling model and striped locks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.kvstore import LockContentionModel, StripedLocks
+from repro.kvstore.hashing import jenkins_oaat
+
+
+class TestContentionModel:
+    def test_no_serial_fraction_scales_linearly(self):
+        model = LockContentionModel(0.0)
+        assert model.throughput(16, 100.0) == pytest.approx(1600.0)
+        assert model.saturation_rate(100.0) == float("inf")
+
+    def test_full_serialisation_never_scales(self):
+        model = LockContentionModel(1.0)
+        assert model.throughput(16, 100.0) == pytest.approx(100.0)
+
+    def test_throughput_monotone_in_threads(self):
+        model = LockContentionModel(0.3)
+        rates = [model.throughput(n, 100.0) for n in range(1, 33)]
+        assert rates == sorted(rates)
+
+    def test_throughput_bounded_by_saturation(self):
+        model = LockContentionModel(0.3)
+        ceiling = model.saturation_rate(100.0)
+        assert model.throughput(10_000, 100.0) < ceiling
+        assert model.throughput(10_000, 100.0) == pytest.approx(ceiling, rel=0.01)
+
+    def test_single_thread_unaffected(self):
+        assert LockContentionModel(0.9).throughput(1, 123.0) == pytest.approx(123.0)
+
+    def test_speedup_relative(self):
+        model = LockContentionModel(0.1)
+        assert model.speedup(1) == pytest.approx(1.0)
+        assert model.speedup(4) == pytest.approx(4 / 1.3)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LockContentionModel(-0.1)
+        with pytest.raises(ConfigurationError):
+            LockContentionModel(1.1)
+
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LockContentionModel(0.1).throughput(0, 100.0)
+
+    @given(
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+        threads=st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scaling_between_one_and_n(self, fraction, threads):
+        model = LockContentionModel(fraction)
+        speedup = model.speedup(threads)
+        assert 1.0 <= speedup + 1e-9
+        assert speedup <= threads + 1e-9
+
+
+class TestStripedLocks:
+    def test_stripe_selection_is_stable(self):
+        locks = StripedLocks(8)
+        digest = jenkins_oaat(b"key-1")
+        assert locks.stripe_for(digest) == locks.stripe_for(digest)
+
+    def test_acquire_release_cycle(self):
+        locks = StripedLocks(4)
+        stripe = locks.acquire(13)
+        locks.release(stripe)
+        assert locks.acquisitions[stripe] == 1
+        assert locks.contended == 0
+
+    def test_contention_counted(self):
+        locks = StripedLocks(1)
+        locks.acquire(0)
+        locks.acquire(1)  # same single stripe, still held
+        assert locks.contended == 1
+
+    def test_release_unheld_rejected(self):
+        locks = StripedLocks(4)
+        with pytest.raises(ConfigurationError):
+            locks.release(0)
+
+    def test_release_bad_index_rejected(self):
+        locks = StripedLocks(4)
+        with pytest.raises(ConfigurationError):
+            locks.release(9)
+
+    def test_striping_spreads_load(self):
+        locks = StripedLocks(16)
+        for i in range(4000):
+            stripe = locks.acquire(jenkins_oaat(b"key-%d" % i))
+            locks.release(stripe)
+        assert locks.imbalance() < 1.5
+        assert locks.contended == 0
+
+    def test_zero_stripes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StripedLocks(0)

@@ -1,0 +1,174 @@
+"""Tests for the strict LRU list and the Bags pseudo-LRU."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.kvstore import BagLru, Item, LruList
+
+
+def make_item(index: int, last_access: float = 0.0) -> Item:
+    return Item(key=b"key-%d" % index, value=b"v", last_access=last_access)
+
+
+class TestLruList:
+    def test_insert_and_victim(self):
+        lru = LruList()
+        lru.insert(make_item(1))
+        lru.insert(make_item(2))
+        assert lru.victim().key == b"key-1"
+        assert len(lru) == 2
+
+    def test_touch_moves_to_front(self):
+        lru = LruList()
+        for i in (1, 2, 3):
+            lru.insert(make_item(i))
+        lru.touch(b"key-1")
+        assert lru.victim().key == b"key-2"
+        assert lru.keys_mru_order() == [b"key-1", b"key-3", b"key-2"]
+
+    def test_pop_victim_order_is_lru(self):
+        lru = LruList()
+        for i in range(5):
+            lru.insert(make_item(i))
+        order = [lru.pop_victim().key for _ in range(5)]
+        assert order == [b"key-%d" % i for i in range(5)]
+        assert lru.pop_victim() is None
+
+    def test_remove_middle(self):
+        lru = LruList()
+        for i in (1, 2, 3):
+            lru.insert(make_item(i))
+        lru.remove(b"key-2")
+        assert lru.keys_mru_order() == [b"key-3", b"key-1"]
+        assert b"key-2" not in lru
+
+    def test_remove_head_and_tail(self):
+        lru = LruList()
+        for i in (1, 2, 3):
+            lru.insert(make_item(i))
+        lru.remove(b"key-3")  # head
+        lru.remove(b"key-1")  # tail
+        assert lru.keys_mru_order() == [b"key-2"]
+
+    def test_duplicate_insert_rejected(self):
+        lru = LruList()
+        lru.insert(make_item(1))
+        with pytest.raises(StorageError):
+            lru.insert(make_item(1))
+
+    def test_touch_missing_rejected(self):
+        with pytest.raises(StorageError):
+            LruList().touch(b"nope")
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(StorageError):
+            LruList().remove(b"nope")
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "touch", "remove", "pop"]),
+                st.integers(min_value=0, max_value=30),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_model_equivalence_with_ordered_list(self, ops):
+        lru = LruList()
+        model: list[bytes] = []  # MRU first
+        for op, index in ops:
+            key = b"key-%d" % index
+            if op == "insert":
+                if key in model:
+                    continue
+                lru.insert(make_item(index))
+                model.insert(0, key)
+            elif op == "touch":
+                if key not in model:
+                    continue
+                lru.touch(key)
+                model.remove(key)
+                model.insert(0, key)
+            elif op == "remove":
+                if key not in model:
+                    continue
+                lru.remove(key)
+                model.remove(key)
+            else:
+                victim = lru.pop_victim()
+                if model:
+                    assert victim.key == model.pop()
+                else:
+                    assert victim is None
+        assert lru.keys_mru_order() == model
+
+
+class TestBagLru:
+    def test_insert_and_evict_oldest(self):
+        bags = BagLru(bag_capacity=2)
+        for i in range(4):
+            bags.insert(make_item(i))
+        assert bags.bag_count == 2
+        assert bags.pop_victim().key == b"key-0"
+
+    def test_touched_items_get_a_pass(self):
+        bags = BagLru(bag_capacity=10)
+        cold = make_item(0, last_access=0.0)
+        hot = make_item(1, last_access=0.0)
+        bags.insert(cold)
+        bags.insert(hot)
+        hot.last_access = 5.0  # the store stamps this on GET
+        # Eviction order: hot was bagged first? No — cold first.  Make hot
+        # oldest to exercise the re-file path.
+        victim = bags.pop_victim()
+        assert victim.key == b"key-0"  # cold goes first anyway
+        bags2 = BagLru(bag_capacity=10)
+        hot2 = make_item(2, last_access=0.0)
+        cold2 = make_item(3, last_access=0.0)
+        bags2.insert(hot2)
+        bags2.insert(cold2)
+        hot2.last_access = 9.0
+        assert bags2.pop_victim().key == b"key-3"  # hot2 re-filed, cold2 evicted
+
+    def test_removed_items_are_skipped(self):
+        bags = BagLru(bag_capacity=4)
+        for i in range(3):
+            bags.insert(make_item(i))
+        bags.remove(b"key-0")
+        assert bags.pop_victim().key == b"key-1"
+        assert len(bags) == 1
+
+    def test_empty_pop_returns_none(self):
+        assert BagLru().pop_victim() is None
+
+    def test_duplicate_insert_rejected(self):
+        bags = BagLru()
+        bags.insert(make_item(1))
+        with pytest.raises(StorageError):
+            bags.insert(make_item(1))
+
+    def test_touch_missing_rejected(self):
+        with pytest.raises(StorageError):
+            BagLru().touch(b"nope")
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            BagLru(bag_capacity=0)
+
+    @given(count=st.integers(min_value=1, max_value=120))
+    @settings(max_examples=30, deadline=None)
+    def test_all_items_eventually_evictable(self, count):
+        bags = BagLru(bag_capacity=7)
+        for i in range(count):
+            bags.insert(make_item(i))
+        evicted = set()
+        while True:
+            victim = bags.pop_victim()
+            if victim is None:
+                break
+            evicted.add(victim.key)
+        assert evicted == {b"key-%d" % i for i in range(count)}
+        assert len(bags) == 0

@@ -1,0 +1,148 @@
+"""Tests for the slab allocator, including conservation properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.kvstore import SlabAllocator
+from repro.units import MB
+
+
+class TestClassGeometry:
+    def test_chunk_sizes_grow_geometrically(self):
+        slabs = SlabAllocator(16 * MB)
+        sizes = [c.chunk_size for c in slabs.classes]
+        assert sizes == sorted(sizes)
+        for small, large in zip(sizes, sizes[1:-1]):
+            assert large <= small * 1.5  # 1.25 growth + 8B alignment slack
+
+    def test_chunks_are_aligned(self):
+        slabs = SlabAllocator(16 * MB)
+        for slab_class in slabs.classes:
+            assert slab_class.chunk_size % 8 == 0
+
+    def test_terminal_class_is_full_page(self):
+        slabs = SlabAllocator(16 * MB)
+        assert slabs.classes[-1].chunk_size == slabs.page_bytes
+        assert slabs.classes[-1].chunks_per_page == 1
+
+    def test_class_for_picks_smallest_fit(self):
+        slabs = SlabAllocator(16 * MB)
+        chosen = slabs.class_for(100)
+        assert chosen.chunk_size >= 100
+        index = slabs.classes.index(chosen)
+        if index > 0:
+            assert slabs.classes[index - 1].chunk_size < 100
+
+    def test_oversized_item_rejected(self):
+        slabs = SlabAllocator(16 * MB)
+        with pytest.raises(CapacityError, match="exceeds max storable"):
+            slabs.class_for(slabs.page_bytes + 1)
+
+    def test_nonpositive_item_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlabAllocator(16 * MB).class_for(0)
+
+    def test_too_small_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlabAllocator(100)
+
+    def test_bad_growth_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlabAllocator(16 * MB, growth_factor=1.0)
+
+
+class TestAllocation:
+    def test_allocate_consumes_budget_page_at_a_time(self):
+        slabs = SlabAllocator(4 * MB)
+        slabs.allocate(100)
+        assert slabs.pages_allocated == 1
+        assert slabs.bytes_committed == slabs.page_bytes
+
+    def test_allocations_within_page_reuse_it(self):
+        slabs = SlabAllocator(4 * MB)
+        slab_class = slabs.allocate(100)
+        for _ in range(slab_class.chunks_per_page - 1):
+            slabs.allocate(100)
+        assert slabs.pages_allocated == 1
+        slabs.allocate(100)
+        assert slabs.pages_allocated == 2
+
+    def test_free_recycles_chunks(self):
+        slabs = SlabAllocator(4 * MB)
+        slabs.allocate(100)
+        slabs.free(100)
+        slabs.allocate(100)
+        assert slabs.pages_allocated == 1
+
+    def test_exhaustion_raises(self):
+        slabs = SlabAllocator(1 * MB)  # exactly one page
+        big = slabs.page_bytes
+        slabs.allocate(big)
+        with pytest.raises(CapacityError, match="out of memory"):
+            slabs.allocate(big)
+
+    def test_classes_do_not_share_pages(self):
+        # memcached 1.4 semantics: a page assigned to a class stays there.
+        slabs = SlabAllocator(1 * MB)
+        slabs.allocate(100)  # takes the only page for the small class
+        with pytest.raises(CapacityError):
+            slabs.allocate(slabs.page_bytes)
+
+    def test_double_free_rejected(self):
+        slabs = SlabAllocator(4 * MB)
+        slabs.allocate(100)
+        slabs.free(100)
+        with pytest.raises(CapacityError, match="double free"):
+            slabs.free(100)
+
+    def test_stats_only_report_active_classes(self):
+        slabs = SlabAllocator(4 * MB)
+        slabs.allocate(100)
+        stats = slabs.stats()
+        assert len(stats) == 1
+        (_, entry), = stats.items()
+        assert entry["used_chunks"] == 1
+
+    def test_overhead_ratio_reflects_fragmentation(self):
+        slabs = SlabAllocator(4 * MB)
+        assert slabs.overhead_ratio() == 1.0
+        slabs.allocate(100)  # one chunk used out of a whole page
+        assert slabs.overhead_ratio() > 100
+
+
+class TestSlabProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=1, max_value=900_000)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_under_random_alloc_free(self, ops):
+        slabs = SlabAllocator(8 * MB)
+        live: list[int] = []
+        for is_alloc, size in ops:
+            if is_alloc:
+                try:
+                    slabs.allocate(size)
+                except CapacityError:
+                    continue
+                live.append(size)
+            elif live:
+                slabs.free(live.pop())
+        slabs.check_invariants()
+        assert sum(c.used_chunks for c in slabs.classes) == len(live)
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=1_000_000), max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_commitment_never_exceeds_budget(self, sizes):
+        slabs = SlabAllocator(4 * MB)
+        for size in sizes:
+            try:
+                slabs.allocate(size)
+            except CapacityError:
+                pass
+        assert slabs.bytes_committed <= slabs.memory_limit_bytes
+        slabs.check_invariants()

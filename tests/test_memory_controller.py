@@ -1,0 +1,89 @@
+"""Tests for port allocation and the M/D/1 channel model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory import PortAllocator, QueuedChannel
+from repro.units import GB
+
+
+class TestPortAllocator:
+    def test_one_core_gets_all_ports(self):
+        assignment = PortAllocator(16, 6.25 * GB).assign(1)
+        assert assignment.ports_per_core == 16
+        assert assignment.bandwidth_per_core_bytes_s == pytest.approx(100 * GB)
+
+    def test_sixteen_cores_one_port_each(self):
+        assignment = PortAllocator(16, 6.25 * GB).assign(16)
+        assert assignment.ports_per_core == 1
+        assert assignment.cores_per_port == 1
+        assert assignment.bandwidth_per_core_bytes_s == pytest.approx(6.25 * GB)
+
+    def test_thirty_two_cores_share_ports(self):
+        # §4.1.2/§5.3: past 16 cores, two Memcached threads share a port.
+        assignment = PortAllocator(16, 6.25 * GB).assign(32)
+        assert assignment.cores_per_port == 2
+        assert assignment.ports_per_core == 0
+        assert assignment.bandwidth_per_core_bytes_s == pytest.approx(3.125 * GB)
+
+    def test_uneven_sharing_rejected(self):
+        with pytest.raises(ConfigurationError, match="evenly"):
+            PortAllocator(16, 6.25 * GB).assign(24)
+
+    def test_odd_core_counts_below_ports_allowed(self):
+        assignment = PortAllocator(16, 6.25 * GB).assign(3)
+        assert assignment.ports_per_core == 5  # one port left idle
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PortAllocator(16, 6.25 * GB).assign(0)
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PortAllocator(0, 6.25 * GB)
+        with pytest.raises(ConfigurationError):
+            PortAllocator(16, 0.0)
+
+
+class TestQueuedChannel:
+    def test_zero_load_means_no_wait(self):
+        channel = QueuedChannel(service_time_s=1e-6)
+        assert channel.waiting_time(0.0) == 0.0
+        assert channel.response_time(0.0) == pytest.approx(1e-6)
+
+    def test_wait_grows_with_load(self):
+        channel = QueuedChannel(service_time_s=1e-6)
+        waits = [channel.waiting_time(rate) for rate in (1e5, 5e5, 9e5)]
+        assert waits == sorted(waits)
+        assert waits[-1] > waits[0] * 5
+
+    def test_md1_formula_at_half_load(self):
+        channel = QueuedChannel(service_time_s=1e-6)
+        # rho=0.5: W_q = 0.5*S/(2*0.5) = S/2.
+        assert channel.waiting_time(5e5) == pytest.approx(0.5e-6)
+
+    def test_saturation_rejected(self):
+        channel = QueuedChannel(service_time_s=1e-6)
+        with pytest.raises(ConfigurationError, match="saturated"):
+            channel.waiting_time(1e6)
+
+    def test_max_rate_for_response_inverts(self):
+        channel = QueuedChannel(service_time_s=1e-6)
+        target = 2e-6
+        rate = channel.max_rate_for_response(target)
+        assert channel.response_time(rate) == pytest.approx(target, rel=1e-6)
+
+    def test_max_rate_unreachable_target(self):
+        channel = QueuedChannel(service_time_s=1e-6)
+        assert channel.max_rate_for_response(0.5e-6) == 0.0
+
+    def test_port_sharing_is_benign_at_64b(self):
+        # Validates the paper's linear-scaling assumption for Mercury-32:
+        # two A7s sharing one DRAM port at 64 B-request rates add
+        # negligible queueing delay.
+        per_core_tps = 12_000.0
+        bytes_per_request = 2 * 200  # item in + out, generously
+        service = bytes_per_request / (6.25 * GB)
+        channel = QueuedChannel(service_time_s=service)
+        wait = channel.waiting_time(2 * per_core_tps)
+        assert wait < 1e-9  # far below any RTT component

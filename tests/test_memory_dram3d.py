@@ -1,0 +1,106 @@
+"""Tests for the 3D-stacked DRAM model (Fig. 3's geometry)."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.memory import TEZZARON_4GB, StackedDram
+from repro.units import GB, MB, NS
+
+
+class TestGeometry:
+    def test_capacity_is_4gb(self):
+        assert TEZZARON_4GB.capacity_bytes == 4 * GB
+
+    def test_port_address_space_is_256mb(self):
+        # §4.1.1: 16 ports, each accessing an independent 256 MB space.
+        assert TEZZARON_4GB.ports == 16
+        assert TEZZARON_4GB.port_capacity_bytes == 256 * MB
+
+    def test_bank_is_32mb(self):
+        assert TEZZARON_4GB.bank_capacity_bytes == 32 * MB
+
+    def test_subarray_geometry_matches_bank_capacity(self):
+        # Fig. 3a: (256x256)b x 64x64 = 256 Mb per bank.
+        assert TEZZARON_4GB.bank_bits_from_subarrays == 256 * 1024 * 1024
+        assert TEZZARON_4GB.bank_bits_from_subarrays == (
+            TEZZARON_4GB.bank_capacity_bytes * 8
+        )
+
+    def test_max_open_pages_is_2048(self):
+        # §4.1.1: 128 8kb pages/bank x 16 banks per layer.
+        assert TEZZARON_4GB.max_open_pages == 2048
+
+    def test_footprint_matches_table1(self):
+        assert TEZZARON_4GB.area_mm2 == pytest.approx(279.0)
+        assert TEZZARON_4GB.width_mm * TEZZARON_4GB.height_mm == pytest.approx(279.0)
+
+
+class TestBandwidthLatency:
+    def test_peak_bandwidth_100gbs(self):
+        assert TEZZARON_4GB.peak_bandwidth_bytes_s == pytest.approx(100 * GB)
+
+    def test_closed_page_latency_11ns(self):
+        assert TEZZARON_4GB.access_latency() == pytest.approx(11 * NS)
+
+    def test_transfer_time_scales_with_ports(self):
+        one = TEZZARON_4GB.transfer_time(1 * MB, ports_used=1)
+        four = TEZZARON_4GB.transfer_time(1 * MB, ports_used=4)
+        assert one == pytest.approx(4 * four)
+
+    def test_transfer_bad_ports_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TEZZARON_4GB.transfer_time(64, ports_used=0)
+        with pytest.raises(ConfigurationError):
+            TEZZARON_4GB.transfer_time(64, ports_used=17)
+
+
+class TestAddressing:
+    def test_port_partitioning(self):
+        # Address 0 is port 0; the next 256 MB boundary is port 1.
+        assert TEZZARON_4GB.decompose_address(0) == (0, 0, 0)
+        port, _bank, _row = TEZZARON_4GB.decompose_address(256 * MB)
+        assert port == 1
+
+    def test_bank_within_port(self):
+        _port, bank, _row = TEZZARON_4GB.decompose_address(32 * MB)
+        assert bank == 1
+
+    def test_rows_advance_with_page_size(self):
+        page_bytes = TEZZARON_4GB.page_bits // 8
+        _p, _b, row0 = TEZZARON_4GB.decompose_address(0)
+        _p, _b, row1 = TEZZARON_4GB.decompose_address(page_bytes)
+        assert row1 == row0 + 1
+
+    def test_every_port_reachable(self):
+        ports = {
+            TEZZARON_4GB.decompose_address(p * 256 * MB)[0] for p in range(16)
+        }
+        assert ports == set(range(16))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(CapacityError):
+            TEZZARON_4GB.decompose_address(4 * GB)
+        with pytest.raises(CapacityError):
+            TEZZARON_4GB.decompose_address(-1)
+
+
+class TestPower:
+    def test_power_is_210mw_per_gbs(self):
+        assert TEZZARON_4GB.power_w(1 * GB) == pytest.approx(0.210)
+        assert TEZZARON_4GB.power_w(100 * GB) == pytest.approx(21.0)
+
+    def test_zero_bandwidth_zero_power(self):
+        assert TEZZARON_4GB.power_w(0.0) == 0.0
+
+    def test_beyond_peak_rejected(self):
+        with pytest.raises(CapacityError):
+            TEZZARON_4GB.power_w(101 * GB)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TEZZARON_4GB.power_w(-1.0)
+
+
+def test_inconsistent_geometry_rejected():
+    with pytest.raises(ConfigurationError):
+        StackedDram(memory_dies=0)

@@ -1,0 +1,41 @@
+"""Tests for the Table 2 memory-technology catalogue."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory import MEMORY_TECH_CATALOG, memory_tech_by_name
+from repro.units import GB, MB
+
+
+class TestCatalog:
+    def test_table2_row_count(self):
+        assert len(MEMORY_TECH_CATALOG) == 7
+
+    def test_ddr3_row(self):
+        tech = memory_tech_by_name("DDR3-1333")
+        assert tech.bandwidth_bytes_s == pytest.approx(10.7 * GB)
+        assert tech.capacity_bytes == 2 * GB
+        assert not tech.stacked
+
+    def test_future_tezzaron_row(self):
+        tech = memory_tech_by_name("Future Tezzaron (3D-stack)")
+        assert tech.bandwidth_bytes_s == pytest.approx(100 * GB)
+        assert tech.capacity_bytes == 4 * GB
+        assert tech.stacked
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown memory technology"):
+            memory_tech_by_name("HBM5")
+
+    def test_stacked_parts_beat_dimms_on_bandwidth_density(self):
+        # The comparison Table 2 exists to make: per-byte bandwidth of the
+        # stacked parts exceeds every DIMM package.
+        dimms = [t for t in MEMORY_TECH_CATALOG if not t.stacked]
+        stacked = [t for t in MEMORY_TECH_CATALOG if t.stacked]
+        best_dimm = max(t.bandwidth_per_byte for t in dimms)
+        for tech in stacked:
+            assert tech.bandwidth_per_byte > best_dimm
+
+    def test_all_entries_cited(self):
+        for tech in MEMORY_TECH_CATALOG:
+            assert tech.citation

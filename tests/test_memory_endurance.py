@@ -1,0 +1,83 @@
+"""Tests for the flash endurance / Iridium lifetime model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory import PBICS_19GB
+from repro.memory.endurance import (
+    DEFAULT_PE_CYCLES,
+    endurance_report,
+    max_put_rate_for_lifetime,
+)
+
+
+class TestEnduranceReport:
+    def test_no_writes_lasts_forever(self):
+        report = endurance_report(PBICS_19GB, put_rate_hz=0.0, value_bytes=64)
+        assert report.lifetime_years == float("inf")
+        assert report.drive_writes_per_day == 0.0
+
+    def test_lifetime_inverse_in_rate(self):
+        slow = endurance_report(PBICS_19GB, put_rate_hz=100.0, value_bytes=64)
+        fast = endurance_report(PBICS_19GB, put_rate_hz=200.0, value_bytes=64)
+        assert slow.lifetime_s == pytest.approx(2 * fast.lifetime_s)
+
+    def test_amplification_shortens_life(self):
+        lean = endurance_report(
+            PBICS_19GB, 100.0, 64, write_amplification=1.0
+        )
+        heavy = endurance_report(
+            PBICS_19GB, 100.0, 64, write_amplification=2.0
+        )
+        assert heavy.lifetime_s == pytest.approx(lean.lifetime_s / 2)
+
+    def test_mcdipper_rate_survives_deployment(self):
+        # McDipper-style photo traffic is write-once/read-many: 2 PUT/s of
+        # 64 KB turns the 19.8 GB device over every ~2 days and must still
+        # outlive a 3-year depreciation window on MLC endurance.
+        report = endurance_report(PBICS_19GB, put_rate_hz=2.0, value_bytes=64 * 1024)
+        assert report.outlives(3.0)
+
+    def test_write_heavy_traffic_wears_out(self):
+        # Full-rate small PUTs (the Iridium PUT ceiling ~1 KTPS/core x 32
+        # cores) would exhaust MLC endurance well within a year if values
+        # are large.
+        report = endurance_report(
+            PBICS_19GB, put_rate_hz=32_000.0, value_bytes=4096
+        )
+        assert not report.outlives(1.0)
+
+    def test_dwpd_sanity(self):
+        report = endurance_report(PBICS_19GB, put_rate_hz=100.0, value_bytes=2048)
+        expected = report.write_bytes_per_s * 86_400 / PBICS_19GB.capacity_bytes
+        assert report.drive_writes_per_day == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            endurance_report(PBICS_19GB, -1.0, 64)
+        with pytest.raises(ConfigurationError):
+            endurance_report(PBICS_19GB, 1.0, 64, write_amplification=0.5)
+        with pytest.raises(ConfigurationError):
+            endurance_report(PBICS_19GB, 1.0, 64, pe_cycles=0)
+        report = endurance_report(PBICS_19GB, 1.0, 64)
+        with pytest.raises(ConfigurationError):
+            report.outlives(0.0)
+
+
+class TestPlanningInverse:
+    def test_inverse_consistency(self):
+        rate = max_put_rate_for_lifetime(PBICS_19GB, years=3.0, value_bytes=1024)
+        report = endurance_report(PBICS_19GB, put_rate_hz=rate, value_bytes=1024)
+        assert report.lifetime_years == pytest.approx(3.0, rel=1e-6)
+
+    def test_longer_target_means_lower_rate(self):
+        three = max_put_rate_for_lifetime(PBICS_19GB, 3.0, 1024)
+        five = max_put_rate_for_lifetime(PBICS_19GB, 5.0, 1024)
+        assert five < three
+
+    def test_defaults_documented(self):
+        assert DEFAULT_PE_CYCLES == 3_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            max_put_rate_for_lifetime(PBICS_19GB, 0.0, 64)

@@ -1,0 +1,98 @@
+"""Tests for the p-BiCS NAND flash device model."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.memory import PBICS_19GB, FlashDevice, FlashTiming
+from repro.units import GB, KB, MS, US
+
+
+class TestDefaults:
+    def test_capacity_is_19_8gb(self):
+        assert PBICS_19GB.capacity_bytes == int(19.8 * GB)
+
+    def test_density_advantage_over_dram(self):
+        # §4.2.1: ~4.9x the 4 GB Mercury stack in the same footprint.
+        from repro.memory import TEZZARON_4GB
+
+        ratio = PBICS_19GB.capacity_bytes / TEZZARON_4GB.capacity_bytes
+        assert ratio == pytest.approx(4.95, rel=0.01)
+        assert PBICS_19GB.area_mm2 == TEZZARON_4GB.area_mm2
+
+    def test_sixteen_channels_match_mercury_ports(self):
+        assert PBICS_19GB.channels == 16
+
+    def test_sixteen_monolithic_layers(self):
+        assert PBICS_19GB.monolithic_layers == 16
+
+    def test_timing_defaults(self):
+        assert PBICS_19GB.timing.read_latency_s == pytest.approx(10 * US)
+        assert PBICS_19GB.timing.program_latency_s == pytest.approx(200 * US)
+        assert PBICS_19GB.timing.erase_latency_s == pytest.approx(1.5 * MS)
+
+
+class TestGeometry:
+    def test_block_bytes(self, small_flash):
+        assert small_flash.block_bytes == small_flash.page_bytes * 16
+
+    def test_total_pages_times_page_is_capacity(self, small_flash):
+        assert small_flash.total_pages * small_flash.page_bytes == (
+            small_flash.capacity_bytes
+        )
+
+    def test_pages_for(self, small_flash):
+        assert small_flash.pages_for(0) == 0
+        assert small_flash.pages_for(1) == 1
+        assert small_flash.pages_for(small_flash.page_bytes) == 1
+        assert small_flash.pages_for(small_flash.page_bytes + 1) == 2
+
+    def test_pages_for_negative_rejected(self, small_flash):
+        with pytest.raises(ConfigurationError):
+            small_flash.pages_for(-1)
+
+
+class TestTiming:
+    def test_read_time_includes_transfer(self):
+        full = PBICS_19GB.read_time()
+        assert full > PBICS_19GB.timing.read_latency_s
+        assert full == pytest.approx(
+            PBICS_19GB.timing.read_latency_s + PBICS_19GB.page_transfer_time()
+        )
+
+    def test_partial_read_transfers_less(self):
+        assert PBICS_19GB.read_time(64) < PBICS_19GB.read_time()
+
+    def test_read_beyond_page_rejected(self):
+        with pytest.raises(CapacityError):
+            PBICS_19GB.read_time(PBICS_19GB.page_bytes + 1)
+
+    def test_program_slower_than_read(self):
+        assert PBICS_19GB.program_time() > PBICS_19GB.read_time()
+
+    def test_erase_slowest(self):
+        assert PBICS_19GB.erase_time() > PBICS_19GB.program_time()
+
+
+class TestPowerBandwidth:
+    def test_power_6mw_per_gbs(self):
+        assert PBICS_19GB.power_w(1 * GB) == pytest.approx(0.006)
+
+    def test_flash_far_cheaper_than_dram_per_gbs(self):
+        from repro.memory import TEZZARON_4GB
+
+        assert PBICS_19GB.power_w_per_gbs < TEZZARON_4GB.power_w_per_gbs / 10
+
+    def test_peak_read_bandwidth_positive(self):
+        assert PBICS_19GB.peak_read_bandwidth_bytes_s > 1 * GB
+
+
+class TestValidation:
+    def test_bad_timing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlashTiming(read_latency_s=0)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlashDevice(capacity_bytes=0)
+        with pytest.raises(ConfigurationError):
+            FlashDevice(channels=0)

@@ -1,0 +1,107 @@
+"""Tests for Ethernet framing and segmentation arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network import (
+    ETHERNET_10GBE,
+    request_wire_payloads,
+    segments_for_payload,
+    wire_bytes_for_payload,
+    wire_time,
+)
+
+
+class TestFraming:
+    def test_line_rate_is_10gbe(self):
+        # 10 Gb/s decimal = 1.25e9 bytes/second.
+        assert ETHERNET_10GBE.line_rate_bytes_s == pytest.approx(1.25e9)
+
+    def test_mss_is_1448(self):
+        # 1500 MTU - 20 IP - 20 TCP - 12 options.
+        assert ETHERNET_10GBE.mss == 1448
+
+    def test_per_packet_overhead(self):
+        assert ETHERNET_10GBE.per_packet_overhead == 14 + 4 + 20 + 20 + 20 + 12
+
+
+class TestSegmentation:
+    @pytest.mark.parametrize(
+        "payload,expected",
+        [(0, 1), (1, 1), (1448, 1), (1449, 2), (64 * 1024, 46), (1 << 20, 725)],
+    )
+    def test_segments(self, payload, expected):
+        assert segments_for_payload(payload) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            segments_for_payload(-1)
+
+    def test_paper_claim_64kb_needs_multiple_packets(self):
+        # §5.2: "requests that are 64KB or larger have to be split up".
+        assert segments_for_payload(64 * 1024) > 1
+
+    @given(payload=st.integers(min_value=1, max_value=2 << 20))
+    @settings(max_examples=100, deadline=None)
+    def test_segments_cover_payload_exactly(self, payload):
+        segments = segments_for_payload(payload)
+        assert (segments - 1) * ETHERNET_10GBE.mss < payload
+        assert payload <= segments * ETHERNET_10GBE.mss
+
+
+class TestWireAccounting:
+    def test_wire_bytes_include_framing(self):
+        assert wire_bytes_for_payload(100) == 100 + ETHERNET_10GBE.per_packet_overhead
+
+    def test_wire_time_at_line_rate(self):
+        assert wire_time(1 << 20) == pytest.approx(
+            wire_bytes_for_payload(1 << 20) / 1.25e9
+        )
+
+    @given(payload=st.integers(min_value=0, max_value=1 << 20))
+    @settings(max_examples=50, deadline=None)
+    def test_wire_bytes_monotone(self, payload):
+        assert wire_bytes_for_payload(payload + 1) >= wire_bytes_for_payload(payload)
+
+
+class TestRequestWire:
+    def test_small_get_is_three_packets(self):
+        wire = request_wire_payloads("GET", 64)
+        assert wire.request_segments == 1
+        assert wire.response_segments == 1
+        assert wire.ack_packets == 1
+        assert wire.total_packets == 3
+
+    def test_get_response_carries_value(self):
+        small = request_wire_payloads("GET", 64)
+        large = request_wire_payloads("GET", 1 << 20)
+        assert large.response_payload - small.response_payload == (1 << 20) - 64
+        assert large.response_segments > 700
+
+    def test_put_request_carries_value(self):
+        wire = request_wire_payloads("PUT", 4096)
+        assert wire.request_payload > 4096
+        assert wire.response_segments == 1  # "STORED\r\n"
+
+    def test_set_is_alias_for_put(self):
+        assert request_wire_payloads("SET", 64) == request_wire_payloads("PUT", 64)
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(ConfigurationError):
+            request_wire_payloads("FROB", 64)
+
+    def test_delayed_acks_scale_with_bulk_direction(self):
+        wire = request_wire_payloads("GET", 1 << 20)
+        assert wire.ack_packets == pytest.approx(wire.response_segments // 2, abs=1)
+
+    @given(
+        verb=st.sampled_from(["GET", "PUT"]),
+        value=st.integers(min_value=0, max_value=1 << 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_packet_counts_positive_and_consistent(self, verb, value):
+        wire = request_wire_payloads(verb, value)
+        assert wire.total_packets >= 3
+        assert wire.total_payload == wire.request_payload + wire.response_payload

@@ -1,0 +1,121 @@
+"""Tests for the TCP cost model and the NIC MAC/PHY."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network import DEFAULT_TCP_COSTS, NicMac, NicPhy, TcpCostModel
+from repro.network.packets import request_wire_payloads
+
+
+class TestTcpCostModel:
+    def test_instruction_components_add_up(self):
+        model = TcpCostModel(
+            per_transaction_instructions=1000,
+            per_packet_instructions=100,
+            per_byte_instructions=1.0,
+        )
+        wire = request_wire_payloads("GET", 64)
+        expected = 1000 + 100 * wire.total_packets + wire.total_payload
+        assert model.instructions_for(wire) == pytest.approx(expected)
+
+    def test_cost_grows_with_value_size(self):
+        small = DEFAULT_TCP_COSTS.instructions_for(request_wire_payloads("GET", 64))
+        large = DEFAULT_TCP_COSTS.instructions_for(request_wire_payloads("GET", 1 << 20))
+        assert large > 50 * small
+
+    def test_packet_burst_costs(self):
+        assert DEFAULT_TCP_COSTS.instructions_for_packets(0, 0) == 0.0
+        assert DEFAULT_TCP_COSTS.instructions_for_packets(2, 100) == pytest.approx(
+            2 * DEFAULT_TCP_COSTS.per_packet_instructions
+            + 100 * DEFAULT_TCP_COSTS.per_byte_instructions
+        )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_TCP_COSTS.instructions_for_packets(-1, 0)
+        with pytest.raises(ConfigurationError):
+            TcpCostModel(per_transaction_instructions=-1)
+
+
+class TestNicPhy:
+    def test_table1_power_and_area(self):
+        phy = NicPhy()
+        assert phy.power_w == pytest.approx(0.300)
+        assert phy.area_mm2 == pytest.approx(220.0)
+
+    def test_dual_phy_chip_area(self):
+        # §5.5: each 441 mm^2 PHY chip carries two PHYs.
+        assert NicPhy().chip_area_mm2 == pytest.approx(440.0)
+
+    def test_wire_time(self):
+        phy = NicPhy()
+        assert phy.wire_time(1_250_000_000) == pytest.approx(1.0, rel=0.01)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NicPhy().wire_time(-1)
+
+
+class TestNicMac:
+    def test_table1_power_and_area(self):
+        mac = NicMac()
+        assert mac.power_w == pytest.approx(0.120)
+        assert mac.area_mm2 == pytest.approx(0.43)
+
+    def test_routing_by_tcp_port(self):
+        # §4.1.4: cores on one stack run Memcached on different TCP ports.
+        mac = NicMac()
+        mac.bind(11211, core_id=0)
+        mac.bind(11212, core_id=1)
+        assert mac.core_for_port(11211) == 0
+        assert mac.core_for_port(11212) == 1
+
+    def test_duplicate_bind_rejected(self):
+        mac = NicMac()
+        mac.bind(11211, core_id=0)
+        with pytest.raises(ConfigurationError):
+            mac.bind(11211, core_id=1)
+
+    def test_unbound_port_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NicMac().core_for_port(11211)
+
+    def test_enqueue_dequeue_fifo(self):
+        mac = NicMac()
+        mac.bind(11211, core_id=0)
+        assert mac.enqueue(11211, 100)
+        assert mac.enqueue(11211, 200)
+        assert mac.queue_depth(0) == 2
+        assert mac.dequeue(0) == (11211, 100)
+        assert mac.dequeue(0) == (11211, 200)
+        assert mac.dequeue(0) is None
+        assert mac.forwarded == 2
+
+    def test_buffer_overflow_drops(self):
+        mac = NicMac(buffer_bytes=1000)
+        mac.bind(11211, core_id=0)
+        assert mac.enqueue(11211, 900)
+        assert not mac.enqueue(11211, 200)
+        assert mac.drops == 1
+        assert mac.buffered_bytes == 900
+
+    def test_dequeue_frees_buffer_space(self):
+        mac = NicMac(buffer_bytes=1000)
+        mac.bind(11211, core_id=0)
+        mac.enqueue(11211, 900)
+        mac.dequeue(0)
+        assert mac.enqueue(11211, 900)
+
+    def test_per_core_queues_are_independent(self):
+        mac = NicMac()
+        mac.bind(1, core_id=0)
+        mac.bind(2, core_id=1)
+        mac.enqueue(2, 64)
+        assert mac.dequeue(0) is None
+        assert mac.dequeue(1) == (2, 64)
+
+    def test_bad_packet_size_rejected(self):
+        mac = NicMac()
+        mac.bind(1, core_id=0)
+        with pytest.raises(ConfigurationError):
+            mac.enqueue(1, 0)

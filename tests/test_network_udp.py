@@ -1,0 +1,119 @@
+"""Tests for the UDP transport model and its latency-model hookup."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LatencyModel, dram_spec
+from repro.cpu import CORTEX_A7
+from repro.errors import ConfigurationError
+from repro.network.udp import (
+    DEFAULT_UDP_COSTS,
+    UdpCostModel,
+    datagram_payload,
+    datagrams_for_payload,
+    udp_get_instructions,
+    udp_get_wire,
+)
+
+
+class TestFraming:
+    def test_datagram_payload_below_mtu(self):
+        payload = datagram_payload()
+        assert 1400 < payload < 1500
+
+    def test_small_get_is_two_datagrams_total(self):
+        wire = udp_get_wire(64)
+        assert wire.request_datagrams == 1
+        assert wire.response_datagrams == 1
+        assert wire.total_packets == 2  # no ACKs at all
+
+    def test_large_response_splits(self):
+        wire = udp_get_wire(1 << 20)
+        assert wire.response_datagrams > 700
+
+    def test_zero_payload_still_one_datagram(self):
+        assert datagrams_for_payload(0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            datagrams_for_payload(-1)
+        with pytest.raises(ConfigurationError):
+            udp_get_wire(-1)
+
+    @given(payload=st.integers(min_value=1, max_value=2 << 20))
+    @settings(max_examples=60, deadline=None)
+    def test_datagrams_cover_payload(self, payload):
+        per = datagram_payload()
+        count = datagrams_for_payload(payload)
+        assert (count - 1) * per < payload <= count * per
+
+
+class TestCosts:
+    def test_udp_cheaper_than_tcp_for_small_gets(self):
+        from repro.core.calibration import DEFAULT_CALIBRATION
+        from repro.network.packets import request_wire_payloads
+
+        tcp = DEFAULT_CALIBRATION.tcp.instructions_for(
+            request_wire_payloads("GET", 64)
+        )
+        udp = udp_get_instructions(64)
+        assert udp < tcp / 2
+
+    def test_drop_probability_inflates_cost(self):
+        lossless = UdpCostModel(drop_probability=0.0)
+        lossy = UdpCostModel(drop_probability=0.01)
+        assert udp_get_instructions(64, costs=lossy) > udp_get_instructions(
+            64, costs=lossless
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UdpCostModel(per_transaction_instructions=-1)
+        with pytest.raises(ConfigurationError):
+            UdpCostModel(drop_probability=1.0)
+
+    def test_default_drop_rate_is_facebook_like(self):
+        assert DEFAULT_UDP_COSTS.drop_probability == pytest.approx(0.0025)
+
+
+class TestLatencyModelTransport:
+    def model(self) -> LatencyModel:
+        return LatencyModel(core=CORTEX_A7, memory=dram_spec(10e-9))
+
+    def test_udp_gets_are_faster(self):
+        model = self.model()
+        tcp = model.request_timing("GET", 64, transport="tcp").tps
+        udp = model.request_timing("GET", 64, transport="udp").tps
+        assert udp > 1.4 * tcp
+
+    def test_udp_advantage_shrinks_with_size(self):
+        # Per-byte work dominates at 1 MB; the transport choice fades.
+        model = self.model()
+
+        def gain(size):
+            tcp = model.request_timing("GET", size, transport="tcp").tps
+            udp = model.request_timing("GET", size, transport="udp").tps
+            return udp / tcp
+
+        assert gain(64) > gain(1 << 20)
+        assert gain(1 << 20) < 1.6
+
+    def test_udp_put_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.model().request_timing("PUT", 64, transport="udp")
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.model().request_timing("GET", 64, transport="rdma")
+
+    def test_udp_does_not_close_the_gap_to_mercury(self):
+        # The ablation's conclusion: even with UDP on the Xeon-class
+        # path, the network stack is only part of Mercury's win — density
+        # and power still require the integration.  Here: UDP on the A7
+        # itself still leaves TPS within ~2.5x, so software alone cannot
+        # deliver the paper's 10x.
+        model = self.model()
+        tcp = model.request_timing("GET", 64, transport="tcp").tps
+        udp = model.request_timing("GET", 64, transport="udp").tps
+        assert udp / tcp < 3.0

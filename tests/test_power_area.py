@@ -1,0 +1,92 @@
+"""Tests for the power budget and the board floorplan."""
+
+import pytest
+
+from repro.area import DEFAULT_FLOORPLAN, Floorplan
+from repro.errors import ConfigurationError
+from repro.power import DEFAULT_BUDGET, PowerBudget, server_power_w, stack_power_w
+
+
+class TestPowerBudget:
+    def test_stack_budget_is_472w(self):
+        # §5.4.1: (750 - 160) x 0.8 = 472 W.
+        assert DEFAULT_BUDGET.stack_budget_w == pytest.approx(472.0)
+
+    def test_server_power_inverts_margin(self):
+        assert DEFAULT_BUDGET.server_power_w(472.0) == pytest.approx(750.0)
+        assert DEFAULT_BUDGET.server_power_w(0.0) == pytest.approx(160.0)
+
+    def test_max_stacks(self):
+        assert DEFAULT_BUDGET.max_stacks(4.72) == 100
+        assert DEFAULT_BUDGET.max_stacks(5.0) == 94
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerBudget(supply_w=100, other_components_w=160)
+        with pytest.raises(ConfigurationError):
+            PowerBudget(delivery_margin=0.0)
+        with pytest.raises(ConfigurationError):
+            DEFAULT_BUDGET.max_stacks(0.0)
+        with pytest.raises(ConfigurationError):
+            DEFAULT_BUDGET.server_power_w(-1.0)
+
+
+class TestStackPower:
+    def test_additive(self):
+        total = stack_power_w(
+            core_power_w=0.1, cores=8, mac_power_w=0.12, phy_power_w=0.3,
+            memory_power_w=0.5,
+        )
+        assert total == pytest.approx(0.8 + 0.12 + 0.3 + 0.5)
+
+    def test_server_power_helper(self):
+        assert server_power_w(96, 1.22) == pytest.approx(160 + 96 * 1.22 / 0.8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            stack_power_w(0.1, 0, 0.1, 0.1, 0.1)
+        with pytest.raises(ConfigurationError):
+            stack_power_w(-0.1, 1, 0.1, 0.1, 0.1)
+        with pytest.raises(ConfigurationError):
+            server_power_w(-1, 1.0)
+
+
+class TestFloorplan:
+    def test_board_area(self):
+        # 13 in x 13 in = 1089-1090 cm^2 (§5.5's 1,089 cm^2).
+        assert DEFAULT_FLOORPLAN.board_area_mm2 / 100 == pytest.approx(1090, rel=0.01)
+
+    def test_usable_fraction(self):
+        assert DEFAULT_FLOORPLAN.usable_area_mm2 == pytest.approx(
+            DEFAULT_FLOORPLAN.board_area_mm2 * 0.77
+        )
+
+    def test_phy_chips_shared_two_ways(self):
+        assert DEFAULT_FLOORPLAN.phy_chips_for(96) == 48
+        assert DEFAULT_FLOORPLAN.phy_chips_for(95) == 48
+        assert DEFAULT_FLOORPLAN.phy_chips_for(1) == 1
+        assert DEFAULT_FLOORPLAN.phy_chips_for(0) == 0
+
+    def test_area_for_96_stacks_is_635cm2(self):
+        # Table 3's Area column for full configurations.
+        assert DEFAULT_FLOORPLAN.area_cm2_for(96) == pytest.approx(635, rel=0.01)
+
+    def test_area_limit_approx_126_stacks(self):
+        # §5.5 reports 128; exact floor arithmetic gives 126.
+        assert DEFAULT_FLOORPLAN.max_stacks_by_area == pytest.approx(127, abs=2)
+
+    def test_port_limit_binds(self):
+        # §5.5: only 96 rear Ethernet ports fit, capping the build.
+        assert DEFAULT_FLOORPLAN.max_stacks == 96
+
+    def test_negative_stacks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_FLOORPLAN.phy_chips_for(-1)
+
+    def test_bad_floorplan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Floorplan(usable_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            Floorplan(stack_package_mm2=0)
+        with pytest.raises(ConfigurationError):
+            Floorplan(max_ethernet_ports=0)

@@ -1,0 +1,43 @@
+"""The README's public API surface must keep working as documented."""
+
+import pytest
+
+import repro
+from repro import (
+    MEMCACHED_BAGS,
+    OperatingPoint,
+    ServerDesign,
+    evaluate_server,
+    iridium_stack,
+    mercury_stack,
+)
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_quickstart_snippet(self):
+        # The exact flow documented in the package docstring / README.
+        server = ServerDesign(stack=mercury_stack(cores=32))
+        metrics = evaluate_server(server)
+        assert metrics.tps / 1e6 > 30
+        assert metrics.ktps_per_watt > 50
+
+    def test_headline_comparison_flow(self):
+        mercury = evaluate_server(ServerDesign(stack=mercury_stack(32)))
+        iridium = evaluate_server(ServerDesign(stack=iridium_stack(32)))
+        bags = MEMCACHED_BAGS
+        assert mercury.tps / bags.tps == pytest.approx(10, rel=0.35)
+        assert iridium.density_gb / bags.memory_gb == pytest.approx(14.8, rel=0.1)
+
+    def test_operating_point_customisation(self):
+        server = ServerDesign(stack=mercury_stack(cores=8))
+        photo_point = OperatingPoint(verb="GET", value_bytes=64 * 1024)
+        metrics = evaluate_server(server, photo_point)
+        assert metrics.tps > 0
+        assert metrics.bandwidth_bytes_s == pytest.approx(metrics.tps * 64 * 1024)

@@ -1,0 +1,75 @@
+"""Tests for the M/M/c (Erlang-C) pooling model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import MM1
+from repro.sim.queueing import MMc
+
+
+class TestErlangC:
+    def test_single_server_reduces_to_mm1(self):
+        mmc = MMc(arrival_rate=50, service_rate=100, servers=1)
+        mm1 = MM1(arrival_rate=50, service_rate=100)
+        assert mmc.mean_wait == pytest.approx(mm1.mean_wait)
+        assert mmc.mean_response == pytest.approx(mm1.mean_response)
+        # For M/M/1, P(wait > 0) = rho.
+        assert mmc.erlang_c() == pytest.approx(0.5)
+
+    def test_delay_probability_in_unit_interval(self):
+        for servers in (1, 2, 8, 32):
+            mmc = MMc(arrival_rate=0.7 * servers * 100, service_rate=100,
+                      servers=servers)
+            assert 0.0 < mmc.erlang_c() < 1.0
+
+    def test_pooling_beats_split_queues(self):
+        # The classic result: one pooled M/M/8 queue waits far less than
+        # 8 separate M/M/1 queues at the same per-server load.
+        per_server_rate = 100.0
+        load = 0.8
+        pooled = MMc(
+            arrival_rate=load * 8 * per_server_rate,
+            service_rate=per_server_rate,
+            servers=8,
+        )
+        split = MM1(arrival_rate=load * per_server_rate, service_rate=per_server_rate)
+        assert pooled.mean_wait < split.mean_wait / 3
+
+    def test_wait_grows_with_load(self):
+        waits = [
+            MMc(arrival_rate=load * 400, service_rate=100, servers=4).mean_wait
+            for load in (0.3, 0.6, 0.9)
+        ]
+        assert waits == sorted(waits)
+
+    def test_fraction_under_is_monotone_cdf(self):
+        mmc = MMc(arrival_rate=320, service_rate=100, servers=4)
+        fractions = [mmc.fraction_under(t) for t in (0.001, 0.01, 0.05, 0.2)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > 0.99
+        assert mmc.fraction_under(-1) == 0.0
+
+    def test_fraction_under_at_zero_is_zero(self):
+        mmc = MMc(arrival_rate=100, service_rate=100, servers=2)
+        assert mmc.fraction_under(0.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_saturation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MMc(arrival_rate=400, service_rate=100, servers=4)
+
+    def test_bad_servers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MMc(arrival_rate=1, service_rate=100, servers=0)
+
+    def test_mac_routing_cost_quantified(self):
+        # What the paper's static per-connection routing gives up vs a
+        # pooled design, for a Mercury-8 stack at 80% load: the pooled
+        # wait is an order of magnitude smaller, but both are far below
+        # the 1 ms SLA, so static routing is a sound simplification.
+        service_s = 85e-6
+        mu = 1.0 / service_s
+        load = 0.8
+        pooled = MMc(arrival_rate=load * 8 * mu, service_rate=mu, servers=8)
+        split = MM1(arrival_rate=load * mu, service_rate=mu)
+        assert pooled.mean_wait < split.mean_wait
+        assert split.mean_response < 1e-3  # SLA met even without pooling

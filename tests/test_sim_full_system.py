@@ -1,0 +1,188 @@
+"""Tests for the full-system co-simulation (functional + timing)."""
+
+import pytest
+
+from repro.core import mercury_stack
+from repro.errors import ConfigurationError
+from repro.sim.full_system import FullSystemStack
+from repro.units import MB
+from repro.workloads import WorkloadSpec
+from repro.workloads.distributions import fixed_size
+
+
+def small_workload(get_fraction=0.9, size=64, population=2_000) -> WorkloadSpec:
+    return WorkloadSpec(
+        name="fs-test",
+        get_fraction=get_fraction,
+        key_population=population,
+        value_sizes=fixed_size(size),
+    )
+
+
+def make_stack(cores=4, memory_mb=4) -> FullSystemStack:
+    return FullSystemStack(
+        stack=mercury_stack(cores),
+        memory_per_core_bytes=memory_mb * MB,
+        seed=1,
+    )
+
+
+class TestFunctionalBehaviour:
+    def test_warm_cache_hits(self):
+        system = make_stack()
+        results = system.run(
+            small_workload(get_fraction=1.0),
+            offered_rate_hz=20_000.0,
+            duration_s=0.2,
+            warmup_requests=4_000,
+        )
+        assert results.completed > 1_000
+        assert results.hit_rate > 0.6  # zipf head is warm
+
+    def test_cold_cache_misses(self):
+        system = make_stack()
+        results = system.run(
+            small_workload(get_fraction=1.0),
+            offered_rate_hz=20_000.0,
+            duration_s=0.1,
+        )
+        assert results.hit_rate < 0.9  # first touches miss
+
+    def test_mixed_workload_counts(self):
+        system = make_stack()
+        results = system.run(
+            small_workload(get_fraction=0.7),
+            offered_rate_hz=20_000.0,
+            duration_s=0.2,
+        )
+        total = results.get_hits + results.get_misses + results.puts
+        assert total == pytest.approx(results.completed, abs=system.stack.cores)
+        assert results.puts > 0.2 * total
+
+    def test_keys_shard_consistently(self):
+        system = make_stack(cores=8)
+        assert all(
+            0 <= system.core_for_key(b"key-%d" % i) < 8 for i in range(100)
+        )
+        assert system.core_for_key(b"key-1") == system.core_for_key(b"key-1")
+
+    def test_load_spreads_across_cores(self):
+        system = make_stack(cores=8)
+        results = system.run(
+            small_workload(population=20_000),
+            offered_rate_hz=40_000.0,
+            duration_s=0.2,
+        )
+        assert len(results.per_core_served) == 8
+        assert results.core_load_imbalance() < 2.0
+
+
+class TestTimingBehaviour:
+    def test_throughput_matches_offered_below_saturation(self):
+        system = make_stack(cores=4)
+        capacity = 4 * system.model.tps("GET", 64)
+        results = system.run(
+            small_workload(get_fraction=1.0),
+            offered_rate_hz=0.5 * capacity,
+            duration_s=0.5,
+            warmup_requests=2_000,
+        )
+        assert results.throughput_hz == pytest.approx(0.5 * capacity, rel=0.1)
+
+    def test_breakdown_matches_analytic_fig4(self):
+        system = make_stack(cores=2)
+        results = system.run(
+            small_workload(get_fraction=1.0),
+            offered_rate_hz=8_000.0,
+            duration_s=0.3,
+            warmup_requests=2_000,
+        )
+        measured = results.breakdown_fractions()
+        # Hits dominate after warmup, so the measured split should sit
+        # near the analytic 64 B GET split.
+        analytic = system.model.request_timing("GET", 100).fractions()
+        assert measured["network"] == pytest.approx(analytic["network"], abs=0.06)
+        assert measured["hash"] == pytest.approx(analytic["hash"], abs=0.03)
+
+    def test_rtt_reflects_queueing_at_high_load(self):
+        system = make_stack(cores=2)
+        capacity = 2 * system.model.tps("GET", 64)
+        light = system.run(
+            small_workload(get_fraction=1.0), 0.2 * capacity, 0.2,
+            warmup_requests=1_000,
+        )
+        heavy = make_stack(cores=2).run(
+            small_workload(get_fraction=1.0), 0.9 * capacity, 0.2,
+            warmup_requests=1_000,
+        )
+        assert heavy.mean_rtt > light.mean_rtt
+
+    def test_sla_fraction_reported(self):
+        system = make_stack(cores=4)
+        results = system.run(
+            small_workload(), offered_rate_hz=10_000.0, duration_s=0.2
+        )
+        assert 0.9 < results.sla_fraction(1e-3) <= 1.0
+
+
+class TestFiniteBuffering:
+    def test_overload_drops_instead_of_queueing_forever(self):
+        system = FullSystemStack(
+            stack=mercury_stack(2),
+            memory_per_core_bytes=4 * MB,
+            max_queue_per_core=8,
+            seed=5,
+        )
+        capacity = 2 * system.model.tps("GET", 64)
+        results = system.run(
+            small_workload(get_fraction=1.0),
+            offered_rate_hz=3 * capacity,
+            duration_s=0.1,
+        )
+        assert results.mac_drops > 0
+        # Bounded queues bound the RTT: nothing waits more than the
+        # buffer depth's worth of service.
+        service = system.model.request_timing("GET", 64).total_s
+        assert max(results.rtts) < 12 * service
+
+    def test_unbounded_queue_never_drops(self):
+        system = FullSystemStack(
+            stack=mercury_stack(2),
+            memory_per_core_bytes=4 * MB,
+            max_queue_per_core=None,
+            seed=5,
+        )
+        capacity = 2 * system.model.tps("GET", 64)
+        results = system.run(
+            small_workload(get_fraction=1.0),
+            offered_rate_hz=2 * capacity,
+            duration_s=0.05,
+        )
+        assert results.mac_drops == 0
+
+    def test_bad_queue_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FullSystemStack(
+                stack=mercury_stack(2),
+                memory_per_core_bytes=4 * MB,
+                max_queue_per_core=0,
+            )
+
+
+class TestValidation:
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_stack().run(small_workload(), 0.0, 1.0)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_stack().run(small_workload(), 1000.0, 0.0)
+
+    def test_tiny_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FullSystemStack(stack=mercury_stack(4), memory_per_core_bytes=1024)
+
+    def test_default_memory_is_port_share(self):
+        system = FullSystemStack(stack=mercury_stack(16))
+        limit = system.servers[0].store.slabs.memory_limit_bytes
+        assert limit == mercury_stack(16).capacity_bytes // 16

@@ -1,0 +1,88 @@
+"""Tests for the packet-level simulation."""
+
+import pytest
+
+from repro.core import mercury_stack
+from repro.errors import ConfigurationError
+from repro.sim.packet_sim import PacketLevelSimulation
+from repro.workloads import REQUEST_SIZE_SWEEP
+
+
+def make_sim() -> PacketLevelSimulation:
+    return PacketLevelSimulation(mercury_stack(1).latency_model())
+
+
+class TestCosts:
+    def test_small_get_is_mostly_fixed_cost(self):
+        sim = make_sim()
+        costs = sim.costs("GET", 64)
+        assert costs.request_segments == 1
+        assert costs.response_segments == 1
+        assert costs.fixed_request_s > 5 * costs.rx_packet_s
+
+    def test_large_get_is_mostly_per_packet(self):
+        sim = make_sim()
+        costs = sim.costs("GET", 1 << 20)
+        assert costs.response_segments > 700
+        per_packet_total = costs.tx_packet_s * costs.response_segments
+        assert per_packet_total > costs.fixed_request_s
+
+    def test_cost_decomposition_sums_to_analytic(self):
+        sim = make_sim()
+        for size in (64, 4096, 1 << 20):
+            costs = sim.costs("GET", size)
+            total = (
+                costs.fixed_request_s
+                + costs.rx_packet_s * costs.request_segments
+                + costs.tx_packet_s * costs.response_segments
+                + costs.wire_packet_s
+                * (costs.request_segments + costs.response_segments)
+            )
+            analytic = sim.model.request_timing("GET", size).total_s
+            assert total == pytest.approx(analytic, rel=0.01)
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_sim().costs("SCAN", 64)
+
+
+class TestPipelining:
+    def test_small_requests_have_no_pipelining_gain(self):
+        result = make_sim().simulate_request("GET", 64)
+        assert result.pipelining_gain == pytest.approx(1.0, abs=0.02)
+
+    def test_large_requests_pipeline(self):
+        # Wire and CPU overlap across ~725 response segments: the serial
+        # model over-charges noticeably.
+        result = make_sim().simulate_request("GET", 1 << 20)
+        assert result.pipelining_gain > 1.05
+        assert result.rtt_s < result.analytic_rtt_s
+
+    def test_gain_grows_with_size(self):
+        profile = make_sim().pipelining_profile("GET", (64, 65536, 1 << 20))
+        gains = [gain for _size, gain in profile]
+        assert gains[0] < gains[1] < gains[2]
+
+    def test_rtt_positive_and_bounded(self):
+        for size in (64, 8192):
+            result = make_sim().simulate_request("PUT", size)
+            assert 0 < result.rtt_s <= result.analytic_rtt_s * 1.01
+
+    def test_mac_buffering_bounded_for_small(self):
+        result = make_sim().simulate_request("GET", 64)
+        assert result.max_mac_buffered_packets <= 1
+
+    def test_large_put_buffers_request_segments(self):
+        # A 1 MB PUT's request segments arrive faster than the core
+        # drains them (wire at 1.25 GB/s vs per-packet CPU on an A7).
+        result = make_sim().simulate_request("PUT", 1 << 20)
+        assert result.max_mac_buffered_packets > 1
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_sim().pipelining_profile("GET", ())
+
+    def test_sweep_runs_on_paper_sizes(self):
+        profile = make_sim().pipelining_profile("GET", REQUEST_SIZE_SWEEP[:8])
+        assert len(profile) == 8
+        assert all(gain >= 0.99 for _s, gain in profile)

@@ -1,0 +1,112 @@
+"""Tests for the analytic queueing models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim import MG1, MM1, sla_fraction_met
+
+
+class TestMM1:
+    def test_utilization(self):
+        assert MM1(arrival_rate=50, service_rate=100).utilization == pytest.approx(0.5)
+
+    def test_unstable_queue_rejected(self):
+        with pytest.raises(ConfigurationError, match="unstable"):
+            _ = MM1(arrival_rate=100, service_rate=100).utilization
+
+    def test_mean_response_formula(self):
+        # W = 1 / (mu - lambda).
+        queue = MM1(arrival_rate=50, service_rate=100)
+        assert queue.mean_response == pytest.approx(1.0 / 50.0)
+
+    def test_mean_wait_is_response_minus_service(self):
+        queue = MM1(arrival_rate=50, service_rate=100)
+        assert queue.mean_wait == pytest.approx(queue.mean_response - 0.01)
+
+    def test_queue_length_littles_law(self):
+        queue = MM1(arrival_rate=50, service_rate=100)
+        # L = lambda * W for the queue+service population: rho/(1-rho).
+        assert queue.mean_queue_length == pytest.approx(1.0)
+
+    def test_percentile_median_below_mean(self):
+        queue = MM1(arrival_rate=50, service_rate=100)
+        assert queue.response_percentile(0.5) < queue.mean_response
+        assert queue.response_percentile(0.99) > queue.mean_response
+
+    def test_fraction_under_is_cdf(self):
+        queue = MM1(arrival_rate=50, service_rate=100)
+        p99 = queue.response_percentile(0.99)
+        assert queue.fraction_under(p99) == pytest.approx(0.99, rel=1e-6)
+
+    def test_bad_percentile_rejected(self):
+        queue = MM1(arrival_rate=1, service_rate=10)
+        with pytest.raises(ConfigurationError):
+            queue.response_percentile(0.0)
+
+    @given(rho=st.floats(min_value=0.01, max_value=0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_response_grows_with_load(self, rho):
+        slow = MM1(arrival_rate=rho * 100, service_rate=100)
+        slower = MM1(arrival_rate=min(0.99, rho * 1.02) * 100, service_rate=100)
+        assert slower.mean_response >= slow.mean_response
+
+
+class TestMG1:
+    def test_deterministic_service_halves_wait_vs_exponential(self):
+        # P-K: W_q(D) = W_q(M) / 2 at equal rho.
+        det = MG1(arrival_rate=50, mean_service=0.01, scv=0.0)
+        exp = MG1(arrival_rate=50, mean_service=0.01, scv=1.0)
+        assert det.mean_wait == pytest.approx(exp.mean_wait / 2.0)
+
+    def test_exponential_matches_mm1(self):
+        mg1 = MG1(arrival_rate=50, mean_service=0.01, scv=1.0)
+        mm1 = MM1(arrival_rate=50, service_rate=100)
+        assert mg1.mean_response == pytest.approx(mm1.mean_response)
+
+    def test_zero_load_response_is_service(self):
+        queue = MG1(arrival_rate=0.0, mean_service=0.01)
+        assert queue.mean_response == pytest.approx(0.01)
+
+    def test_fraction_under_monotone_in_deadline(self):
+        queue = MG1(arrival_rate=80, mean_service=0.01, scv=0.5)
+        fractions = [queue.fraction_under(d) for d in (0.01, 0.02, 0.05, 0.2)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > 0.99
+
+    def test_percentile_never_below_service(self):
+        queue = MG1(arrival_rate=10, mean_service=0.01)
+        assert queue.response_percentile(0.1) >= 0.01
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MG1(arrival_rate=1, mean_service=0)
+        with pytest.raises(ConfigurationError):
+            MG1(arrival_rate=1, mean_service=0.01, scv=-1)
+
+
+class TestSlaFraction:
+    def test_zero_load_meets_sla_iff_service_fits(self):
+        assert sla_fraction_met(0.0, 0.5e-3, 1e-3) == 1.0
+        assert sla_fraction_met(0.0, 2e-3, 1e-3) == 0.0
+
+    def test_light_load_meets_sla(self):
+        # Mercury-ish: 85 us service, 1 ms deadline, 30% load.
+        fraction = sla_fraction_met(0.3 / 85e-6, 85e-6, 1e-3)
+        assert fraction > 0.99
+
+    def test_fraction_degrades_with_load(self):
+        service = 193e-6  # Iridium-ish
+        fractions = [
+            sla_fraction_met(load / service, service, 1e-3)
+            for load in (0.3, 0.6, 0.9)
+        ]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_majority_threshold_interpretation(self):
+        # The paper's claim: Iridium keeps a *majority* under 1 ms.
+        service = 193e-6
+        assert sla_fraction_met(0.9 / service, service, 1e-3) > 0.5

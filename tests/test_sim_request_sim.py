@@ -1,0 +1,150 @@
+"""Tests for the stack-level discrete-event simulation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import MG1, SimResults, StackSimulation
+from repro.sim.rng import make_rng
+
+
+def constant(value: float):
+    return lambda: value
+
+
+class TestSimResults:
+    def test_throughput(self):
+        results = SimResults(duration_s=2.0, offered_rate_hz=10.0, completed=20)
+        assert results.throughput_hz == pytest.approx(10.0)
+
+    def test_percentile_and_sla(self):
+        results = SimResults(
+            duration_s=1.0, offered_rate_hz=1.0, completed=4,
+            rtts=[1e-4, 2e-4, 3e-4, 2e-3],
+        )
+        assert results.rtt_percentile(0.5) == pytest.approx(3e-4)
+        assert results.sla_fraction(1e-3) == pytest.approx(0.75)
+
+    def test_empty_results(self):
+        results = SimResults(duration_s=1.0, offered_rate_hz=1.0, completed=0)
+        assert results.mean_rtt == 0.0
+        assert results.sla_fraction() == 0.0
+
+    def test_bad_percentile_rejected(self):
+        results = SimResults(duration_s=1.0, offered_rate_hz=1.0, completed=0)
+        with pytest.raises(ConfigurationError):
+            results.rtt_percentile(1.5)
+
+
+class TestStackSimulation:
+    def test_light_load_rtt_is_service_plus_wire(self):
+        service, wire = 100e-6, 5e-6
+        sim = StackSimulation(cores=4, service_time=constant(service), wire_time=wire)
+        results = sim.run(offered_rate_hz=100.0, duration_s=1.0)
+        assert results.completed > 50
+        assert results.mean_rtt == pytest.approx(service + wire, rel=0.05)
+        assert results.mean_wait < service * 0.1
+
+    def test_throughput_tracks_offered_load_below_saturation(self):
+        service = 100e-6
+        sim = StackSimulation(cores=8, service_time=constant(service))
+        capacity = 8 / service
+        results = sim.run(offered_rate_hz=0.5 * capacity, duration_s=0.5)
+        assert results.throughput_hz == pytest.approx(0.5 * capacity, rel=0.05)
+
+    def test_saturation_caps_throughput(self):
+        service = 100e-6
+        sim = StackSimulation(cores=2, service_time=constant(service))
+        capacity = 2 / service
+        results = sim.run(offered_rate_hz=3 * capacity, duration_s=0.2)
+        assert results.throughput_hz < capacity * 1.05
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            return StackSimulation(
+                cores=2, service_time=constant(1e-4), seed=seed
+            ).run(offered_rate_hz=5_000.0, duration_s=0.2)
+
+        a, b = run(42), run(42)
+        assert a.completed == b.completed
+        assert a.rtts == b.rtts
+        c = run(43)
+        assert c.rtts != a.rtts
+
+    def test_warmup_excluded_from_measurement(self):
+        # Arrivals during warm-up are served but not measured: the count
+        # reflects only the measurement window, not warmup + window.
+        sim = StackSimulation(cores=1, service_time=constant(1e-4))
+        results = sim.run(offered_rate_hz=1000.0, duration_s=0.5, warmup_s=0.5)
+        assert results.completed == pytest.approx(500, rel=0.2)
+
+    def test_matches_mg1_mean_wait(self):
+        # A 1-core deterministic-service stack at 60% load is an M/D/1
+        # queue; the DES must agree with Pollaczek-Khinchine.
+        service = 100e-6
+        rate = 0.6 / service
+        sim = StackSimulation(cores=1, service_time=constant(service), seed=9)
+        results = sim.run(offered_rate_hz=rate, duration_s=3.0, warmup_s=0.5)
+        analytic = MG1(arrival_rate=rate, mean_service=service, scv=0.0)
+        assert results.mean_wait == pytest.approx(analytic.mean_wait, rel=0.15)
+
+    def test_linear_scaling_across_cores(self):
+        # §5.3's methodology: n independent cores serve n times the load
+        # at the same per-request latency.
+        service = 100e-6
+
+        def throughput(cores: int) -> float:
+            sim = StackSimulation(cores=cores, service_time=constant(service), seed=3)
+            return sim.run(
+                offered_rate_hz=0.7 * cores / service, duration_s=0.3
+            ).throughput_hz
+
+        t1, t4 = throughput(1), throughput(4)
+        assert t4 == pytest.approx(4 * t1, rel=0.1)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StackSimulation(cores=0, service_time=constant(1.0))
+        with pytest.raises(ConfigurationError):
+            StackSimulation(cores=1, service_time=constant(1.0), wire_time=-1)
+        sim = StackSimulation(cores=1, service_time=constant(1.0))
+        with pytest.raises(ConfigurationError):
+            sim.run(offered_rate_hz=0.0, duration_s=1.0)
+        with pytest.raises(ConfigurationError):
+            sim.run(offered_rate_hz=1.0, duration_s=0.0)
+
+
+class TestSaturationSearch:
+    def test_finds_sla_boundary(self):
+        service = 200e-6
+        sim = StackSimulation(cores=1, service_time=constant(service), seed=5)
+        rate = sim.saturation_throughput(
+            start_rate_hz=100.0, duration_s=0.3, sla_deadline_s=1e-3, sla_target=0.5
+        )
+        # Must be below the hard capacity and above a trivial load.
+        assert 0.3 / service < rate < 1.0 / service
+
+    def test_bad_target_rejected(self):
+        sim = StackSimulation(cores=1, service_time=constant(1e-4))
+        with pytest.raises(ConfigurationError):
+            sim.saturation_throughput(100.0, 0.1, sla_target=0.0)
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        assert make_rng("a", 1).random() == make_rng("a", 1).random()
+        assert make_rng("a", 1).random() != make_rng("a", 2).random()
+        assert make_rng("a", 1).random() != make_rng("b", 1).random()
+
+    def test_exponential_positive(self):
+        from repro.sim.rng import exponential
+
+        rng = make_rng("exp", 0)
+        samples = [exponential(rng, 10.0) for _ in range(100)]
+        assert all(s > 0 for s in samples)
+        assert sum(samples) / 100 == pytest.approx(0.1, rel=0.5)
+
+    def test_exponential_bad_rate(self):
+        from repro.sim.rng import exponential
+
+        with pytest.raises(ValueError):
+            exponential(make_rng("exp", 0), 0.0)

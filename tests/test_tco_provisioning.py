@@ -1,0 +1,147 @@
+"""Tests for the TCO model and the capacity planner."""
+
+import pytest
+
+from repro.baselines import MEMCACHED_BAGS
+from repro.core import ServerDesign, iridium_stack, mercury_stack
+from repro.core.provisioning import (
+    Demand,
+    ServerCandidate,
+    candidate_from_baseline,
+    candidate_from_design,
+    cheapest_plan,
+    plan_fleet,
+)
+from repro.errors import ConfigurationError
+from repro.power.tco import DEFAULT_COSTS, CostModel, FleetCost
+
+
+class TestCostModel:
+    def test_energy_cost_scales_with_power_and_pue(self):
+        base = DEFAULT_COSTS.energy_cost_usd(100.0)
+        assert DEFAULT_COSTS.energy_cost_usd(200.0) == pytest.approx(2 * base)
+        lean = CostModel(pue=1.0)
+        assert lean.energy_cost_usd(100.0) < base
+
+    def test_energy_cost_magnitude(self):
+        # 600 W at PUE 1.5, $0.07/kWh over 3 years: ~$1.6-1.7K.
+        cost = DEFAULT_COSTS.energy_cost_usd(600.0)
+        assert 1_300 < cost < 2_100
+
+    def test_space_cost(self):
+        cost = DEFAULT_COSTS.space_cost_usd(1.5)
+        assert cost == pytest.approx(1.5 * 18.0 * 36)
+
+    def test_server_tco_additive(self):
+        total = DEFAULT_COSTS.server_tco_usd(5_000, 600.0, 1.5)
+        assert total == pytest.approx(
+            5_000
+            + DEFAULT_COSTS.energy_cost_usd(600.0)
+            + DEFAULT_COSTS.space_cost_usd(1.5)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(pue=0.9)
+        with pytest.raises(ConfigurationError):
+            CostModel(depreciation_years=0)
+        with pytest.raises(ConfigurationError):
+            DEFAULT_COSTS.energy_cost_usd(-1)
+        with pytest.raises(ConfigurationError):
+            DEFAULT_COSTS.server_tco_usd(-1, 100)
+
+    def test_fleet_cost_ratios(self):
+        fleet = FleetCost(
+            server_name="x", servers=2, tco_usd=20_000, tps=2e6,
+            capacity_gb=256, rack_units=3.0,
+        )
+        assert fleet.usd_per_mtps == pytest.approx(10_000)
+        assert fleet.usd_per_gb == pytest.approx(78.125)
+
+
+class TestCandidates:
+    def test_candidate_from_design(self):
+        candidate = candidate_from_design(
+            ServerDesign(stack=mercury_stack(32)), capex_usd=8_000
+        )
+        assert candidate.tps > 30e6
+        assert candidate.capacity_gb == pytest.approx(376, rel=0.02)
+
+    def test_candidate_from_baseline(self):
+        candidate = candidate_from_baseline(MEMCACHED_BAGS, capex_usd=6_000)
+        assert candidate.name == "Bags"
+        assert candidate.capacity_gb == 128
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServerCandidate(name="x", tps=0, capacity_gb=1, wall_power_w=1,
+                            capex_usd=1)
+
+
+class TestPlanning:
+    def mercury(self) -> ServerCandidate:
+        return candidate_from_design(
+            ServerDesign(stack=mercury_stack(32)), capex_usd=8_000
+        )
+
+    def iridium(self) -> ServerCandidate:
+        return candidate_from_design(
+            ServerDesign(stack=iridium_stack(32)), capex_usd=9_000
+        )
+
+    def commodity(self) -> ServerCandidate:
+        return candidate_from_baseline(MEMCACHED_BAGS, capex_usd=6_000)
+
+    def test_throughput_bound_demand(self):
+        demand = Demand(dataset_gb=100, peak_tps=100e6)
+        plan = plan_fleet(self.mercury(), demand)
+        assert plan.binding == "throughput"
+        assert plan.servers == pytest.approx(4, abs=1)
+        assert plan.cost.tps >= demand.peak_tps
+
+    def test_capacity_bound_demand(self):
+        demand = Demand(dataset_gb=50_000, peak_tps=1e6)
+        plan = plan_fleet(self.iridium(), demand)
+        assert plan.binding == "capacity"
+        assert plan.cost.capacity_gb >= demand.dataset_gb
+
+    def test_utilization_headroom_respected(self):
+        tight = Demand(dataset_gb=1, peak_tps=1e6, utilization_target=0.5)
+        loose = Demand(dataset_gb=1, peak_tps=1e6, utilization_target=1.0)
+        candidate = self.commodity()
+        assert plan_fleet(candidate, tight).servers >= plan_fleet(
+            candidate, loose
+        ).servers
+
+    def test_mercury_wins_hot_tiers(self):
+        # High rate, modest dataset: the paper's Mercury use case.
+        demand = Demand(dataset_gb=2_000, peak_tps=200e6)
+        best = cheapest_plan(
+            [self.mercury(), self.iridium(), self.commodity()], demand
+        )
+        assert best.candidate.name.startswith("Mercury")
+
+    def test_iridium_wins_cold_footprint_tiers(self):
+        # Huge dataset, low rate: the McDipper use case.
+        demand = Demand(dataset_gb=500_000, peak_tps=5e6)
+        best = cheapest_plan(
+            [self.mercury(), self.iridium(), self.commodity()], demand
+        )
+        assert best.candidate.name.startswith("Iridium")
+
+    def test_both_3d_designs_beat_commodity_on_density_tiers(self):
+        demand = Demand(dataset_gb=28 * 1024, peak_tps=10e6)
+        commodity_plan = plan_fleet(self.commodity(), demand)
+        mercury_plan = plan_fleet(self.mercury(), demand)
+        assert mercury_plan.cost.tco_usd < commodity_plan.cost.tco_usd
+        assert mercury_plan.tier_rack_units < commodity_plan.tier_rack_units / 2
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cheapest_plan([], Demand(dataset_gb=1, peak_tps=1))
+
+    def test_demand_validation(self):
+        with pytest.raises(ConfigurationError):
+            Demand(dataset_gb=0, peak_tps=1)
+        with pytest.raises(ConfigurationError):
+            Demand(dataset_gb=1, peak_tps=1, utilization_target=0.0)

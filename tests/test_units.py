@@ -1,0 +1,72 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_time_scale(self):
+        assert units.US == pytest.approx(1000 * units.NS)
+        assert units.MS == pytest.approx(1000 * units.US)
+        assert units.SECOND == pytest.approx(1000 * units.MS)
+
+    def test_size_scale(self):
+        assert units.MB == 1024 * units.KB
+        assert units.GB == 1024 * units.MB
+        assert units.TB == 1024 * units.GB
+
+    def test_area(self):
+        assert units.CM2 == 100 * units.MM2
+        assert units.INCH == pytest.approx(25.4)
+
+
+class TestConversions:
+    def test_to_kilo_and_million(self):
+        assert units.to_kilo(27_000) == 27.0
+        assert units.to_million(3_150_000) == pytest.approx(3.15)
+
+    def test_gb(self):
+        assert units.gb(4 * units.GB) == 4.0
+
+    def test_gbps(self):
+        assert units.gbps(6.25 * units.GB) == pytest.approx(6.25)
+
+    def test_mm2_to_cm2(self):
+        assert units.mm2_to_cm2(441.0) == pytest.approx(4.41)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64", 64),
+            ("128", 128),
+            ("1K", 1024),
+            ("4k", 4096),
+            ("1M", 1 << 20),
+            ("2G", 2 << 30),
+            (" 512 ", 512),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert units.parse_size(text) == expected
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            units.parse_size("banana")
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(64, "64"), (1024, "1K"), (65536, "64K"), (1 << 20, "1M"), (96, "96")],
+    )
+    def test_round_labels(self, value, expected):
+        assert units.format_size(value) == expected
+
+    def test_roundtrip_on_sweep(self):
+        from repro.workloads.sweep import REQUEST_SIZE_SWEEP
+
+        for size in REQUEST_SIZE_SWEEP:
+            assert units.parse_size(units.format_size(size)) == size

@@ -1,0 +1,169 @@
+"""Tests for cache warm-up transients and crossover finding."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.crossover import (
+    find_crossover,
+    iridium_put_fraction_crossover,
+    mercury_efficiency_factor_crossover,
+    mercury_iridium_tco_crossover,
+)
+from repro.errors import ConfigurationError
+from repro.kvstore import KVStore
+from repro.sim.rng import make_rng
+from repro.units import MB
+from repro.workloads.che import zipf_popularities
+from repro.workloads.distributions import ZipfKeys
+from repro.workloads.warmup import (
+    expected_unique,
+    requests_to_hit_rate,
+    transient_hit_rate,
+    warmup_trajectory,
+)
+
+
+class TestExpectedUnique:
+    def test_zero_requests_zero_unique(self):
+        p = zipf_popularities(1000, 0.99)
+        assert expected_unique(p, 0) == 0.0
+
+    def test_monotone_and_bounded(self):
+        p = zipf_popularities(1000, 0.99)
+        values = [expected_unique(p, n) for n in (10, 100, 1_000, 100_000)]
+        assert values == sorted(values)
+        assert values[-1] <= 1000
+
+    def test_uniform_matches_closed_form(self):
+        # Uniform popularity: U(n) = N(1 - (1-1/N)^n).
+        population = 500
+        p = zipf_popularities(population, 0.0)
+        n = 700
+        expected = population * (1 - (1 - 1 / population) ** n)
+        assert expected_unique(p, n) == pytest.approx(expected, rel=1e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_unique(zipf_popularities(10, 1.0), -1)
+
+
+class TestTransientHitRate:
+    def test_cold_cache_misses(self):
+        p = zipf_popularities(1000, 0.99)
+        assert transient_hit_rate(p, 0) == 0.0
+
+    def test_approaches_one_with_huge_cache(self):
+        p = zipf_popularities(1000, 0.99)
+        assert transient_hit_rate(p, 10_000_000) > 0.99
+
+    def test_matches_real_store_fill_phase(self):
+        # Ground truth: replay a zipf stream against a big KVStore (no
+        # evictions) and compare the miss curve.
+        population, skew = 2_000, 0.99
+        store = KVStore(64 * MB)
+        zipf = ZipfKeys(population, skew)
+        rng = make_rng("warmup", 3)
+        hits = 0
+        n = 8_000
+        for _ in range(n):
+            key = zipf.key(rng)
+            if store.get(key) is not None:
+                hits += 1
+            else:
+                store.set(key, b"x")
+        # Average hit rate over the run = (1/n) * sum H(k); approximate
+        # via the analytic instantaneous rate at n/2.
+        p = zipf_popularities(population, skew)
+        midpoint = transient_hit_rate(p, n / 2)
+        assert hits / n == pytest.approx(midpoint, abs=0.05)
+
+
+class TestTrajectory:
+    def test_clamped_at_steady_state(self):
+        p = zipf_popularities(10_000, 0.99)
+        trajectory = warmup_trajectory(p, cache_items=500, checkpoints=(1e7,))
+        from repro.workloads.che import lru_hit_rate
+
+        assert trajectory[0][1] == pytest.approx(lru_hit_rate(p, 500))
+
+    def test_monotone_in_requests(self):
+        p = zipf_popularities(10_000, 0.99)
+        trajectory = warmup_trajectory(p, 2_000, (100, 1_000, 10_000, 100_000))
+        rates = [rate for _n, rate in trajectory]
+        assert rates == sorted(rates)
+
+    def test_validation(self):
+        p = zipf_popularities(100, 0.99)
+        with pytest.raises(ConfigurationError):
+            warmup_trajectory(p, 10, ())
+        with pytest.raises(ConfigurationError):
+            warmup_trajectory(p, 10, (-1.0,))
+
+
+class TestRequestsToHitRate:
+    def test_target_reached(self):
+        p = zipf_popularities(50_000, 0.99)
+        needed = requests_to_hit_rate(p, cache_items=5_000, target_fraction_of_steady=0.9)
+        from repro.workloads.che import lru_hit_rate
+
+        steady = lru_hit_rate(p, 5_000)
+        assert transient_hit_rate(p, needed) == pytest.approx(0.9 * steady, rel=0.01)
+
+    def test_higher_target_takes_longer(self):
+        p = zipf_popularities(50_000, 0.99)
+        fast = requests_to_hit_rate(p, 5_000, 0.5)
+        slow = requests_to_hit_rate(p, 5_000, 0.95)
+        assert slow > fast
+
+    def test_validation(self):
+        p = zipf_popularities(100, 0.99)
+        with pytest.raises(ConfigurationError):
+            requests_to_hit_rate(p, 10, 1.0)
+
+
+class TestFindCrossover:
+    def test_linear_function_root(self):
+        assert find_crossover(lambda x: x - 3.0, 0.0, 10.0) == pytest.approx(3.0)
+
+    def test_no_sign_change_returns_none(self):
+        assert find_crossover(lambda x: x + 1.0, 0.0, 10.0) is None
+
+    def test_endpoints_exact(self):
+        assert find_crossover(lambda x: x, 0.0, 5.0) == 0.0
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            find_crossover(lambda x: x, 5.0, 5.0)
+
+
+class TestPaperCrossovers:
+    def test_iridium_tolerates_substantial_put_fractions(self):
+        # Iridium beats Bags on TPS until PUTs exceed roughly half the
+        # mix — far beyond any caching workload (ETC is ~3% PUTs).
+        crossover = iridium_put_fraction_crossover()
+        assert crossover is not None
+        assert 0.3 < crossover < 0.9
+
+    def test_tco_boundary_between_mercury_and_iridium(self):
+        # For a 20 MTPS tier, Mercury is the cheaper fleet below ~1 TB
+        # and Iridium above — the Mercury/McDipper deployment boundary.
+        crossover = mercury_iridium_tco_crossover(peak_tps=20e6)
+        assert crossover is not None
+        assert 300 < crossover < 3_000
+
+    def test_tco_boundary_moves_with_rate(self):
+        low_rate = mercury_iridium_tco_crossover(peak_tps=5e6)
+        high_rate = mercury_iridium_tco_crossover(peak_tps=80e6)
+        assert low_rate is not None and high_rate is not None
+        # More traffic pushes the boundary outward (Mercury stays the
+        # right answer for bigger datasets).
+        assert high_rate > low_rate
+
+    def test_mercury_efficiency_lead_never_collapses_to_2x(self):
+        # Across the whole 64 B - 1 MB sweep, Mercury's TPS/W lead over
+        # the wire-scaled Bags baseline stays above 2x: no crossover.
+        assert mercury_efficiency_factor_crossover(2.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mercury_efficiency_factor_crossover(0.0)

@@ -1,0 +1,200 @@
+"""Tests for workload generation: distributions, streams, diurnal, sweep."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import make_rng
+from repro.workloads import (
+    ETC_VALUE_SIZES,
+    NETFLIX_LIKE,
+    REQUEST_SIZE_SWEEP,
+    DiurnalTraffic,
+    Request,
+    WorkloadGenerator,
+    WorkloadSpec,
+    ZipfKeys,
+    sweep_sizes,
+)
+from repro.workloads.distributions import ValueSizeDistribution, fixed_size, lognormal_sizes
+from repro.workloads.sweep import sweep_labels
+
+
+class TestZipfKeys:
+    def test_probabilities_sum_to_one(self):
+        zipf = ZipfKeys(population=100, skew=0.99)
+        assert sum(zipf.probability(r) for r in range(100)) == pytest.approx(1.0)
+
+    def test_rank_zero_is_hottest(self):
+        zipf = ZipfKeys(population=1000, skew=0.99)
+        assert zipf.probability(0) > zipf.probability(1) > zipf.probability(999)
+
+    def test_sampling_respects_skew(self):
+        rng = make_rng("zipf", 0)
+        zipf = ZipfKeys(population=10_000, skew=0.99)
+        ranks = [zipf.rank(rng) for _ in range(5_000)]
+        top_ten_share = sum(1 for r in ranks if r < 10) / len(ranks)
+        assert top_ten_share > 0.2  # heavy head
+
+    def test_uniform_when_skew_zero(self):
+        rng = make_rng("zipf", 1)
+        zipf = ZipfKeys(population=10, skew=0.0)
+        for rank in range(10):
+            assert zipf.probability(rank) == pytest.approx(0.1)
+
+    def test_keys_are_stable_labels(self):
+        rng = make_rng("zipf", 2)
+        key = ZipfKeys(population=10).key(rng)
+        assert key.startswith(b"key-")
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfKeys(population=0)
+        with pytest.raises(ConfigurationError):
+            ZipfKeys(population=10, skew=-1)
+        with pytest.raises(ConfigurationError):
+            ZipfKeys(population=10).probability(10)
+
+    @given(skew=st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_ranks_always_in_range(self, skew):
+        rng = make_rng("zipf-prop", 0)
+        zipf = ZipfKeys(population=50, skew=skew)
+        for _ in range(200):
+            assert 0 <= zipf.rank(rng) < 50
+
+
+class TestValueSizes:
+    def test_fixed_size_always_same(self):
+        rng = make_rng("sizes", 0)
+        dist = fixed_size(64)
+        assert all(dist.sample(rng) == 64 for _ in range(20))
+        assert dist.mean == 64.0
+
+    def test_etc_mix_mean_is_sub_kb(self):
+        # Atikoglu et al.: ETC values concentrate well below 1 KB.
+        assert ETC_VALUE_SIZES.mean < 4096
+
+    def test_etc_samples_come_from_the_mix(self):
+        rng = make_rng("sizes", 1)
+        allowed = {size for size, _w in ETC_VALUE_SIZES.points}
+        for _ in range(200):
+            assert ETC_VALUE_SIZES.sample(rng) in allowed
+
+    def test_lognormal_builder(self):
+        dist = lognormal_sizes("photos", median_bytes=65536, sigma=1.0)
+        assert dist.mean > 10_000
+        rng = make_rng("sizes", 2)
+        assert all(dist.sample(rng) >= 1 for _ in range(100))
+
+    def test_lognormal_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            lognormal_sizes("x", median_bytes=0, sigma=1.0)
+        with pytest.raises(ConfigurationError):
+            lognormal_sizes("x", median_bytes=1 << 30, sigma=0.1, max_bytes=1024)
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ValueSizeDistribution(name="empty", points=())
+
+
+class TestWorkloadGenerator:
+    def test_all_get_spec(self):
+        spec = WorkloadSpec(name="g", get_fraction=1.0)
+        generator = WorkloadGenerator(spec, seed=0)
+        assert all(r.verb == "GET" for r in generator.stream(100))
+
+    def test_mixed_spec_roughly_matches_fraction(self):
+        spec = WorkloadSpec(name="m", get_fraction=0.7)
+        generator = WorkloadGenerator(spec, seed=0)
+        gets = sum(1 for r in generator.stream(2000) if r.verb == "GET")
+        assert 0.6 < gets / 2000 < 0.8
+
+    def test_value_size_stable_per_key(self):
+        spec = WorkloadSpec(name="s", value_sizes=ETC_VALUE_SIZES, key_population=50)
+        generator = WorkloadGenerator(spec, seed=0)
+        sizes: dict[bytes, int] = {}
+        for request in generator.stream(500):
+            if request.key in sizes:
+                assert sizes[request.key] == request.value_bytes
+            sizes[request.key] = request.value_bytes
+
+    def test_deterministic_given_seed(self):
+        spec = WorkloadSpec(name="d")
+        a = [r for r in WorkloadGenerator(spec, seed=5).stream(50)]
+        b = [r for r in WorkloadGenerator(spec, seed=5).stream(50)]
+        assert a == b
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="bad", get_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="bad", key_population=0)
+
+    def test_bad_request_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Request(verb="SCAN", key=b"k", value_bytes=1)
+        with pytest.raises(ConfigurationError):
+            Request(verb="GET", key=b"k", value_bytes=-1)
+
+    def test_negative_count_rejected(self):
+        generator = WorkloadGenerator(WorkloadSpec(name="n"))
+        with pytest.raises(ConfigurationError):
+            list(generator.stream(-1))
+
+
+class TestDiurnal:
+    def test_peak_at_peak_hour(self):
+        traffic = DiurnalTraffic(peak_rate_hz=1000.0, trough_fraction=0.2, peak_hour=13)
+        assert traffic.rate(13) == pytest.approx(1000.0)
+        assert traffic.rate(1) == pytest.approx(200.0)
+
+    def test_mean_rate_between_trough_and_peak(self):
+        assert NETFLIX_LIKE.mean_rate() == pytest.approx(
+            NETFLIX_LIKE.peak_rate_hz * 0.65
+        )
+
+    def test_rate_wraps_around_midnight(self):
+        traffic = DiurnalTraffic(peak_rate_hz=100.0)
+        assert traffic.rate(0.0) == pytest.approx(traffic.rate(24.0))
+
+    def test_servers_needed_tracks_traffic(self):
+        peak = NETFLIX_LIKE.servers_needed(13, per_server_rate_hz=20_000)
+        trough = NETFLIX_LIKE.servers_needed(1, per_server_rate_hz=20_000)
+        assert peak > trough >= 1
+
+    def test_stranded_capacity(self):
+        traffic = DiurnalTraffic(peak_rate_hz=100.0, trough_fraction=0.0)
+        assert traffic.stranded_capacity_fraction() == pytest.approx(0.5)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalTraffic(peak_rate_hz=0)
+        with pytest.raises(ConfigurationError):
+            DiurnalTraffic(peak_rate_hz=1, trough_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            NETFLIX_LIKE.servers_needed(1, per_server_rate_hz=0)
+
+
+class TestSweep:
+    def test_paper_sweep_is_64b_to_1mb_doubling(self):
+        assert REQUEST_SIZE_SWEEP[0] == 64
+        assert REQUEST_SIZE_SWEEP[-1] == 1 << 20
+        assert len(REQUEST_SIZE_SWEEP) == 15
+        for small, large in zip(REQUEST_SIZE_SWEEP, REQUEST_SIZE_SWEEP[1:]):
+            assert large == 2 * small
+
+    def test_sweep_sizes_builder(self):
+        assert sweep_sizes(64, 256) == [64, 128, 256]
+
+    def test_sweep_labels(self):
+        labels = sweep_labels()
+        assert labels[0] == "64"
+        assert labels[-1] == "1M"
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_sizes(0, 64)
+        with pytest.raises(ConfigurationError):
+            sweep_sizes(128, 64)

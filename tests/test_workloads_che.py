@@ -1,0 +1,146 @@
+"""Tests for Che's approximation, validated against the real LRU."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.kvstore import Item, LruList
+from repro.sim.rng import make_rng
+from repro.workloads.che import (
+    cache_items_for_hit_rate,
+    characteristic_time,
+    lru_hit_rate,
+    zipf_lru_hit_rate,
+    zipf_popularities,
+)
+from repro.workloads.distributions import ZipfKeys
+
+
+def simulate_lru_hit_rate(
+    population: int, skew: float, cache_items: int, requests: int, seed: int = 0
+) -> float:
+    """Ground truth: drive a real LRU list with a Zipf stream."""
+    lru = LruList()
+    zipf = ZipfKeys(population, skew)
+    rng = make_rng("che-validate", seed)
+    hits = 0
+    for _ in range(requests):
+        key = zipf.key(rng)
+        if key in lru:
+            hits += 1
+            lru.touch(key)
+        else:
+            if len(lru) >= cache_items:
+                lru.pop_victim()
+            lru.insert(Item(key=key, value=b""))
+    return hits / requests
+
+
+class TestPopularities:
+    def test_zipf_sums_to_one(self):
+        p = zipf_popularities(1000, 0.99)
+        assert p.sum() == pytest.approx(1.0)
+        assert p[0] > p[1] > p[-1]
+
+    def test_zero_skew_is_uniform(self):
+        p = zipf_popularities(100, 0.0)
+        assert np.allclose(p, 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_popularities(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            zipf_popularities(10, -1.0)
+
+
+class TestCharacteristicTime:
+    def test_occupancy_at_t_equals_cache_size(self):
+        p = zipf_popularities(10_000, 0.99)
+        cache = 500
+        t = characteristic_time(p, cache)
+        occupancy = np.sum(-np.expm1(-p * t))
+        assert occupancy == pytest.approx(cache, rel=1e-6)
+
+    def test_t_grows_with_cache(self):
+        p = zipf_popularities(10_000, 0.99)
+        assert characteristic_time(p, 2_000) > characteristic_time(p, 200)
+
+    def test_validation(self):
+        p = zipf_popularities(100, 0.99)
+        with pytest.raises(ConfigurationError):
+            characteristic_time(p, 0)
+        with pytest.raises(ConfigurationError):
+            characteristic_time(p, 100)
+        with pytest.raises(ConfigurationError):
+            characteristic_time(np.array([0.5, 0.6]), 1)  # not normalised
+
+
+class TestHitRate:
+    def test_full_cache_hits_everything(self):
+        p = zipf_popularities(100, 0.99)
+        assert lru_hit_rate(p, 100) == 1.0
+
+    def test_hit_rate_monotone_in_cache_size(self):
+        p = zipf_popularities(50_000, 0.99)
+        rates = [lru_hit_rate(p, c) for c in (100, 1_000, 10_000)]
+        assert rates == sorted(rates)
+
+    def test_heavier_skew_means_higher_hit_rate(self):
+        for cache in (100, 1_000):
+            light = lru_hit_rate(zipf_popularities(50_000, 0.6), cache)
+            heavy = lru_hit_rate(zipf_popularities(50_000, 1.1), cache)
+            assert heavy > light
+
+    def test_matches_real_lru_simulation(self):
+        # The headline validation: Che vs the kvstore LRU within a few
+        # points across cache sizes.
+        population, skew = 5_000, 0.99
+        p = zipf_popularities(population, skew)
+        for cache in (100, 500, 1_500):
+            analytic = lru_hit_rate(p, cache)
+            simulated = simulate_lru_hit_rate(
+                population, skew, cache, requests=40_000
+            )
+            assert analytic == pytest.approx(simulated, abs=0.04)
+
+    @given(
+        cache=st.integers(min_value=10, max_value=900),
+        skew=st.floats(min_value=0.3, max_value=1.3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_hit_rate_always_in_unit_interval(self, cache, skew):
+        p = zipf_popularities(1_000, skew)
+        assert 0.0 < lru_hit_rate(p, cache) < 1.0
+
+
+class TestZipfHelper:
+    def test_fraction_endpoints(self):
+        assert zipf_lru_hit_rate(0.0) == 0.0
+        assert zipf_lru_hit_rate(1.0) == 1.0
+
+    def test_small_hot_tier_is_effective(self):
+        # The hybrid-stack premise: ~3% of a zipf-0.99 set absorbs the
+        # majority of the traffic.
+        assert zipf_lru_hit_rate(0.03, skew=0.99, population=200_000) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_lru_hit_rate(1.5)
+
+
+class TestSizingInverse:
+    def test_inverse_consistency(self):
+        p = zipf_popularities(20_000, 0.99)
+        cache = cache_items_for_hit_rate(p, 0.7)
+        assert lru_hit_rate(p, cache) == pytest.approx(0.7, abs=0.01)
+
+    def test_higher_target_needs_bigger_cache(self):
+        p = zipf_popularities(20_000, 0.99)
+        assert cache_items_for_hit_rate(p, 0.9) > cache_items_for_hit_rate(p, 0.5)
+
+    def test_validation(self):
+        p = zipf_popularities(100, 0.99)
+        with pytest.raises(ConfigurationError):
+            cache_items_for_hit_rate(p, 1.0)

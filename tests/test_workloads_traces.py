@@ -1,0 +1,101 @@
+"""Tests for trace record/load/replay."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kvstore import KVStore, MemcachedCluster
+from repro.units import MB
+from repro.workloads import WorkloadSpec
+from repro.workloads.generator import Request, WorkloadGenerator
+from repro.workloads.traces import (
+    read_trace,
+    record_workload,
+    replay,
+    write_trace,
+)
+
+
+class TestTraceFiles:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        requests = [
+            Request(verb="GET", key=b"key-1", value_bytes=64),
+            Request(verb="PUT", key=b"key-2", value_bytes=1024),
+        ]
+        assert write_trace(path, requests) == 2
+        assert list(read_trace(path)) == requests
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\nGET k 64\n# mid\nPUT p 10\n")
+        assert len(list(read_trace(path))) == 2
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("GET k 64\nGARBAGE\n")
+        with pytest.raises(ConfigurationError, match=":2:"):
+            list(read_trace(path))
+
+    def test_bad_size_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("GET k banana\n")
+        with pytest.raises(ConfigurationError, match="bad size"):
+            list(read_trace(path))
+
+    def test_record_workload_is_deterministic(self, tmp_path):
+        spec = WorkloadSpec(name="t", key_population=100)
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        record_workload(a, spec, count=200, seed=7)
+        record_workload(b, spec, count=200, seed=7)
+        assert a.read_text() == b.read_text()
+        assert len(list(read_trace(a))) == 200
+
+    def test_negative_count_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            record_workload(tmp_path / "x.txt", WorkloadSpec(name="t"), count=-1)
+
+
+class TestReplay:
+    def test_read_through_fill(self):
+        store = KVStore(4 * MB)
+        requests = [Request(verb="GET", key=b"k", value_bytes=64)] * 3
+        stats = replay(requests, store)
+        assert stats.gets == 3
+        assert stats.hits == 2  # first miss fills, next two hit
+
+    def test_no_fill_never_hits(self):
+        store = KVStore(4 * MB)
+        requests = [Request(verb="GET", key=b"k", value_bytes=64)] * 3
+        stats = replay(requests, store, fill_on_miss=False)
+        assert stats.hits == 0
+
+    def test_put_then_get_hits(self):
+        store = KVStore(4 * MB)
+        stats = replay(
+            [
+                Request(verb="PUT", key=b"k", value_bytes=10),
+                Request(verb="GET", key=b"k", value_bytes=10),
+            ],
+            store,
+        )
+        assert stats.puts == 1
+        assert stats.hit_rate == 1.0
+
+    def test_replay_against_cluster(self):
+        cluster = MemcachedCluster(["a", "b"], memory_per_node_bytes=4 * MB)
+        generator = WorkloadGenerator(
+            WorkloadSpec(name="r", get_fraction=0.8, key_population=500), seed=3
+        )
+        stats = replay(generator.stream(2_000), cluster)
+        assert stats.requests == 2_000
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_trace_file_to_store_pipeline(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        spec = WorkloadSpec(name="p", get_fraction=0.9, key_population=200)
+        record_workload(path, spec, count=1_000, seed=1)
+        store = KVStore(8 * MB)
+        stats = replay(read_trace(path), store)
+        assert stats.requests == 1_000
+        # zipf reuse means a healthy hit rate once warm.
+        assert stats.hit_rate > 0.4
