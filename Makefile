@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench report examples telemetry-demo clean
 
 install:
 	pip install -e .[dev]
@@ -21,6 +21,10 @@ examples:
 		echo "== $$script"; \
 		$(PYTHON) $$script || exit 1; \
 	done
+
+telemetry-demo:
+	PYTHONPATH=src $(PYTHON) -m repro telemetry --cores 8 --duration 0.2 \
+		--out benchmarks/out
 
 clean:
 	rm -rf report benchmarks/out .pytest_cache

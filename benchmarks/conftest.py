@@ -4,13 +4,29 @@ Every benchmark regenerates one of the paper's tables or figures, prints
 it (visible with ``pytest benchmarks/ --benchmark-only -s`` or in the
 captured output), and archives it under ``benchmarks/out/`` so that
 EXPERIMENTS.md's paper-vs-measured records can be re-derived at any time.
+
+The harness also keeps a session-wide telemetry registry: ``emit``
+counts artefacts, every benchmark's wall-clock time streams into a
+histogram, and the whole registry is written to
+``benchmarks/out/metrics.prom`` at session end — a machine-readable
+record of each run alongside the human-readable ``.txt`` artefacts.
+Benches that run with their own :class:`TelemetrySession` can archive
+its registry too, via ``emit_metrics``.
 """
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
+import pytest
+
+from repro.telemetry import MetricsRegistry, write_prometheus
+
 OUT_DIR = Path(__file__).parent / "out"
+
+#: Session-wide registry snapshotted to benchmarks/out/metrics.prom.
+REGISTRY = MetricsRegistry()
 
 
 def emit(name: str, text: str) -> None:
@@ -19,3 +35,24 @@ def emit(name: str, text: str) -> None:
     print(text)
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    REGISTRY.counter("bench_artefacts_total").inc()
+
+
+def emit_metrics(name: str, registry: MetricsRegistry) -> Path:
+    """Archive a benchmark's own registry as a Prometheus snapshot."""
+    return write_prometheus(OUT_DIR / f"{name}.prom", registry)
+
+
+@pytest.fixture(autouse=True)
+def _time_benchmark(request):
+    """Stream every benchmark's wall time into the session registry."""
+    started = time.perf_counter()
+    yield
+    REGISTRY.histogram(
+        "bench_wall_seconds", labels={"bench": request.node.name}
+    ).record(time.perf_counter() - started)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if len(REGISTRY):
+        write_prometheus(OUT_DIR / "metrics.prom", REGISTRY)

@@ -51,6 +51,7 @@ from repro.baselines import (
 from repro.cpu import CORTEX_A7, CORTEX_A15_1GHZ, CORTEX_A15_1_5GHZ
 from repro.kvstore import KVStore, MemcachedClient, MemcachedCluster, MemcachedServer
 from repro.sim import FullSystemStack
+from repro.telemetry import MetricsRegistry, StreamingHistogram, TelemetrySession
 from repro.workloads import REQUEST_SIZE_SWEEP
 
 __version__ = "1.0.0"
@@ -87,6 +88,9 @@ __all__ = [
     "MemcachedCluster",
     "MemcachedServer",
     "FullSystemStack",
+    "MetricsRegistry",
+    "StreamingHistogram",
+    "TelemetrySession",
     "Demand",
     "cheapest_plan",
     "plan_fleet",

@@ -10,6 +10,8 @@ Usage::
     python -m repro plan --dataset-gb 28672 --tps 50e6 [--value-bytes 64]
     python -m repro evaluate [--family mercury] [--cores 32] [--verb GET]
                              [--size 64]
+    python -m repro telemetry [--family mercury] [--cores 8] [--load 0.6]
+                              [--duration 0.2] [--out telemetry-out]
 """
 
 from __future__ import annotations
@@ -220,6 +222,58 @@ def _cmd_pareto(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from repro.sim.full_system import FullSystemStack
+    from repro.telemetry import (
+        TelemetrySession,
+        summary_table,
+        write_prometheus,
+        write_trace_jsonl,
+    )
+    from repro.units import MB
+    from repro.workloads import WorkloadSpec
+    from repro.workloads.distributions import fixed_size
+
+    stack = _stack_for(args.family, args.cores)
+    system = FullSystemStack(
+        stack=stack, memory_per_core_bytes=args.memory_mb * MB, seed=args.seed
+    )
+    workload = WorkloadSpec(
+        name="telemetry-demo",
+        get_fraction=0.9,
+        key_population=20_000,
+        value_sizes=fixed_size(parse_size(args.size)),
+    )
+    capacity = stack.cores * system.model.tps("GET", parse_size(args.size))
+    telemetry = TelemetrySession(max_traces=args.trace_limit)
+    results = system.run(
+        workload,
+        offered_rate_hz=args.load * capacity,
+        duration_s=args.duration,
+        warmup_requests=10_000,
+        telemetry=telemetry,
+    )
+    out = Path(args.out)
+    trace_path = write_trace_jsonl(out / "trace.jsonl", telemetry.tracer)
+    metrics_path = write_prometheus(out / "metrics.prom", telemetry.registry)
+    header = (
+        f"{stack.name} @ {args.load:.0%} load for {args.duration}s simulated: "
+        f"{results.completed} requests, {results.throughput_hz / 1e3:.1f} KTPS, "
+        f"mean RTT {results.mean_rtt * 1e6:.0f} us, "
+        f"p99 {results.rtt_percentile(0.99) * 1e6:.0f} us, "
+        f"hit rate {results.hit_rate:.1%}, {results.mac_drops} MAC drops"
+    )
+    footer = (
+        f"wrote {trace_path} ({len(telemetry.tracer.traces)} traces) and "
+        f"{metrics_path}"
+    )
+    return "\n\n".join(
+        [header, summary_table(telemetry.registry, telemetry.tracer), footer]
+    )
+
+
 def _cmd_report(args: argparse.Namespace) -> str:
     from repro.analysis.report_builder import build_report
 
@@ -263,6 +317,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verb", choices=["GET", "PUT", "get", "put"], default="GET")
     p.add_argument("--size", default="64", help="value size (64, 4K, 1M, ...)")
     p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="full-system run with tracing on: JSONL trace + metrics snapshot",
+    )
+    p.add_argument("--family", choices=["mercury", "iridium"], default="mercury")
+    p.add_argument("--cores", type=int, default=8)
+    p.add_argument("--load", type=float, default=0.6,
+                   help="offered load as a fraction of linear-scaling capacity")
+    p.add_argument("--duration", type=float, default=0.2,
+                   help="simulated seconds to run")
+    p.add_argument("--size", default="64", help="value size (64, 4K, ...)")
+    p.add_argument("--memory-mb", type=int, default=16,
+                   help="per-core store budget in MB")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--trace-limit", type=int, default=100_000,
+                   help="max traces retained for the JSONL dump")
+    p.add_argument("--out", default="telemetry-out",
+                   help="directory for trace.jsonl and metrics.prom")
+    p.set_defaults(func=_cmd_telemetry)
 
     p = sub.add_parser("pareto", help="Pareto frontier over the design space")
     p.add_argument(

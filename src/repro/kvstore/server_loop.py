@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.errors import ProtocolError
 from repro.kvstore.protocol import Command, Response, parse_command, render_response
 from repro.kvstore.store import KVStore, StoreResult
+from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
 
 #: Server banner returned by ``version``.
 VERSION_STRING = "repro-memcached 1.4"
@@ -27,6 +28,12 @@ class ConnectionStats:
     bytes_out: int = 0
     protocol_errors: int = 0
 
+    def reset(self) -> None:
+        self.commands = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.protocol_errors = 0
+
 
 class Connection:
     """One client connection's receive buffer and command execution."""
@@ -36,6 +43,13 @@ class Connection:
         self._buffer = b""
         self.stats = ConnectionStats()
         self.closed = False
+        registry = server.registry
+        self._commands_total = registry.counter("memcached_commands_total")
+        self._bytes_in_total = registry.counter("memcached_bytes_in_total")
+        self._bytes_out_total = registry.counter("memcached_bytes_out_total")
+        self._protocol_errors_total = registry.counter(
+            "memcached_protocol_errors_total"
+        )
 
     def feed(self, data: bytes) -> bytes:
         """Accept incoming bytes; returns response bytes (possibly empty).
@@ -47,6 +61,7 @@ class Connection:
         if self.closed:
             raise ProtocolError("connection is closed")
         self.stats.bytes_in += len(data)
+        self._bytes_in_total.inc(len(data))
         self._buffer += data
         out = bytearray()
         while self._buffer and not self.closed:
@@ -60,6 +75,7 @@ class Connection:
             self._buffer = rest
             out += self._execute(command)
         self.stats.bytes_out += len(out)
+        self._bytes_out_total.inc(len(out))
         return bytes(out)
 
     @property
@@ -96,12 +112,14 @@ class Connection:
 
     def _discard_bad_line(self) -> bytes:
         self.stats.protocol_errors += 1
+        self._protocol_errors_total.inc()
         end = self._buffer.find(b"\r\n")
         self._buffer = self._buffer[end + 2 :] if end >= 0 else b""
         return b"ERROR\r\n"
 
     def _execute(self, command: Command) -> bytes:
         self.stats.commands += 1
+        self._commands_total.inc()
         store = self.server.store
         verb = command.verb
         if verb in ("get", "gets"):
@@ -125,9 +143,7 @@ class Connection:
             if topic == b"items":
                 return self._render_item_stats()
             if topic == b"reset":
-                from repro.kvstore.store import StoreStats
-
-                self.server.store.stats = StoreStats()
+                self.server.reset_stats()
                 return b"RESET\r\n"
             return self._render_stats()
         if verb == "verbosity":
@@ -176,7 +192,9 @@ class Connection:
         raise ProtocolError(f"unhandled verb {verb!r}")  # pragma: no cover
 
     def _render_stats(self) -> bytes:
-        stats = self.server.store.stats
+        server = self.server
+        stats = server.store.stats
+        connections = server.connection_stats()
         rows = {
             "cmd_get": stats.cmd_get,
             "cmd_set": stats.cmd_set,
@@ -188,8 +206,19 @@ class Connection:
             "total_items": stats.total_items,
             "bytes_read": stats.bytes_read,
             "bytes_written": stats.bytes_written,
-            "curr_items": len(self.server.store),
+            "curr_items": len(server.store),
+            "curr_connections": server.connection_count,
+            "total_connections": server.total_connections,
+            "cmd_total": connections.commands,
+            "conn_bytes_in": connections.bytes_in,
+            "conn_bytes_out": connections.bytes_out,
+            "protocol_errors": connections.protocol_errors,
         }
+        if server.queue is not None:
+            rows["queue_depth"] = server.queue.queue_depth
+            rows["queue_depth_hwm"] = server.queue.max_queue_depth
+            rows["queue_wait_total_usec"] = int(server.queue.total_wait * 1e6)
+            rows["queue_jobs_served"] = server.queue.jobs_served
         out = bytearray()
         for name, value in rows.items():
             out += b"STAT %s %d\r\n" % (name.encode(), value)
@@ -223,18 +252,54 @@ class Connection:
 
 
 class MemcachedServer:
-    """A Memcached node: one store, many connections."""
+    """A Memcached node: one store, many connections.
 
-    def __init__(self, store: KVStore):
+    ``registry`` (default: the shared no-op) receives connection-level
+    counters; ``queue`` is the DES FifoResource this node runs behind,
+    attached by the full-system simulation so ``stats`` can surface
+    queueing alongside cache state.
+    """
+
+    def __init__(self, store: KVStore, registry: MetricsRegistry = NULL_REGISTRY):
         self.store = store
+        self.registry = registry
         self.verbosity = 0
+        self.total_connections = 0
+        self.queue = None  # optional FifoResource, set via attach_queue()
         self._connections: list[Connection] = []
 
     def connect(self) -> Connection:
         """Open a new client connection."""
         connection = Connection(self)
         self._connections.append(connection)
+        self.total_connections += 1
         return connection
+
+    def attach_queue(self, queue) -> None:
+        """Associate the DES queue this server drains (for ``stats``)."""
+        self.queue = queue
+
+    def connection_stats(self) -> ConnectionStats:
+        """Aggregate counters across every connection ever opened."""
+        total = ConnectionStats()
+        for connection in self._connections:
+            total.commands += connection.stats.commands
+            total.bytes_in += connection.stats.bytes_in
+            total.bytes_out += connection.stats.bytes_out
+            total.protocol_errors += connection.stats.protocol_errors
+        return total
+
+    def reset_stats(self) -> None:
+        """``stats reset``: clear store *and* connection counters.
+
+        (``total_connections`` survives, as in memcached: it counts
+        lifetime accepts, not activity since the last reset.)
+        """
+        from repro.kvstore.store import StoreStats
+
+        self.store.stats = StoreStats()
+        for connection in self._connections:
+            connection.stats.reset()
 
     @property
     def connection_count(self) -> int:

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import CapacityError, ConfigurationError
 from repro.network.packets import ETHERNET_10GBE, EthernetParams
+from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.units import KB, US
 
 
@@ -53,6 +54,7 @@ class NicMac:
         area_mm2: float = 0.43,
         buffer_bytes: int = 256 * KB,
         forward_latency_s: float = 1 * US,
+        registry: MetricsRegistry = NULL_REGISTRY,
     ):
         if buffer_bytes <= 0:
             raise ConfigurationError("buffer must be positive")
@@ -68,6 +70,9 @@ class NicMac:
         self._port_to_core: dict[int, int] = {}
         self.drops = 0
         self.forwarded = 0
+        self._drops_total = registry.counter("nic_mac_drops_total")
+        self._forwarded_total = registry.counter("nic_mac_forwarded_total")
+        self._buffered_gauge = registry.gauge("nic_mac_buffered_bytes")
 
     # --- routing table -----------------------------------------------------
 
@@ -97,8 +102,10 @@ class NicMac:
         core = self.core_for_port(tcp_port)
         if self._buffered_bytes + packet_bytes > self.buffer_bytes:
             self.drops += 1
+            self._drops_total.inc()
             return False
         self._buffered_bytes += packet_bytes
+        self._buffered_gauge.set(self._buffered_bytes)
         self._queues[core].append((tcp_port, packet_bytes))
         return True
 
@@ -109,7 +116,9 @@ class NicMac:
             return None
         tcp_port, size = queue.pop(0)
         self._buffered_bytes -= size
+        self._buffered_gauge.set(self._buffered_bytes)
         self.forwarded += 1
+        self._forwarded_total.inc()
         return tcp_port, size
 
     def queue_depth(self, core_id: int) -> int:

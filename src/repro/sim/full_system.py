@@ -27,6 +27,8 @@ from repro.network.packets import request_wire_payloads, wire_bytes_for_payload
 from repro.sim.events import Simulator
 from repro.sim.resources import FifoResource
 from repro.sim.rng import make_rng
+from repro.telemetry.metrics import StreamingHistogram
+from repro.telemetry.tracing import NULL_TELEMETRY, TelemetrySession
 
 # Imported lazily inside run(): repro.workloads.generator itself imports
 # repro.sim.rng, and a module-level import here would close that cycle
@@ -41,16 +43,30 @@ _BASE_TCP_PORT = 11211
 
 @dataclass
 class FullSystemResults:
-    """Measured outcomes of a full-system run."""
+    """Measured outcomes of a full-system run.
+
+    Latency outcomes stream into fixed-bucket log histograms (exact
+    count/mean/min/max, percentiles within one bucket width) instead of
+    per-sample lists; pass ``keep_samples=True`` to additionally retain
+    the raw ``rtts``/``waits`` samples for validation runs that need
+    exact order statistics.
+    """
 
     duration_s: float
     offered_rate_hz: float
     completed: int = 0
+    keep_samples: bool = False
+    rtt_histogram: StreamingHistogram = field(
+        default_factory=lambda: StreamingHistogram("request_rtt_seconds")
+    )
+    wait_histogram: StreamingHistogram = field(
+        default_factory=lambda: StreamingHistogram("queue_wait_seconds")
+    )
     rtts: list[float] = field(default_factory=list)
     waits: list[float] = field(default_factory=list)
-    hash_time_s: float = 0.0
-    memcached_time_s: float = 0.0
-    network_time_s: float = 0.0
+    component_seconds: dict[str, float] = field(
+        default_factory=lambda: {"hash": 0.0, "memcached": 0.0, "network": 0.0}
+    )
     get_hits: int = 0
     get_misses: int = 0
     puts: int = 0
@@ -58,13 +74,38 @@ class FullSystemResults:
     mac_drops: int = 0
     per_core_served: dict[int, int] = field(default_factory=dict)
 
+    def record(self, rtt_s: float, wait_s: float) -> None:
+        """Count one completed request's latency outcome."""
+        self.completed += 1
+        self.rtt_histogram.record(rtt_s)
+        self.wait_histogram.record(wait_s)
+        if self.keep_samples:
+            self.rtts.append(rtt_s)
+            self.waits.append(wait_s)
+
     @property
     def throughput_hz(self) -> float:
         return self.completed / self.duration_s if self.duration_s > 0 else 0.0
 
     @property
     def mean_rtt(self) -> float:
-        return sum(self.rtts) / len(self.rtts) if self.rtts else 0.0
+        return self.rtt_histogram.mean
+
+    @property
+    def max_rtt(self) -> float:
+        return self.rtt_histogram.maximum
+
+    @property
+    def mean_wait(self) -> float:
+        return self.wait_histogram.mean
+
+    def rtt_percentile(self, p: float) -> float:
+        """RTT quantile: exact when samples are kept, else histogram-based."""
+        if self.rtts:
+            ordered = sorted(self.rtts)
+            index = min(len(ordered) - 1, int(p * len(ordered)))
+            return ordered[index]
+        return self.rtt_histogram.percentile(p)
 
     @property
     def hit_rate(self) -> float:
@@ -72,19 +113,30 @@ class FullSystemResults:
         return self.get_hits / gets if gets else 0.0
 
     def sla_fraction(self, deadline_s: float = 1e-3) -> float:
-        if not self.rtts:
-            return 0.0
-        return sum(1 for r in self.rtts if r <= deadline_s) / len(self.rtts)
+        if self.rtts:
+            return sum(1 for r in self.rtts if r <= deadline_s) / len(self.rtts)
+        return self.rtt_histogram.fraction_below(deadline_s)
+
+    # Component totals kept as named accessors for the Fig. 4 consumers.
+    @property
+    def hash_time_s(self) -> float:
+        return self.component_seconds.get("hash", 0.0)
+
+    @property
+    def memcached_time_s(self) -> float:
+        return self.component_seconds.get("memcached", 0.0)
+
+    @property
+    def network_time_s(self) -> float:
+        return self.component_seconds.get("network", 0.0)
 
     def breakdown_fractions(self) -> dict[str, float]:
         """Measured Fig. 4-style component shares of total service time."""
-        total = self.hash_time_s + self.memcached_time_s + self.network_time_s
+        total = sum(self.component_seconds.values())
         if total == 0.0:
-            return {"hash": 0.0, "memcached": 0.0, "network": 0.0}
+            return {name: 0.0 for name in self.component_seconds}
         return {
-            "hash": self.hash_time_s / total,
-            "memcached": self.memcached_time_s / total,
-            "network": self.network_time_s / total,
+            name: seconds / total for name, seconds in self.component_seconds.items()
         }
 
     def core_load_imbalance(self) -> float:
@@ -149,25 +201,50 @@ class FullSystemStack:
         offered_rate_hz: float,
         duration_s: float,
         warmup_requests: int = 0,
+        telemetry: TelemetrySession | None = None,
+        keep_samples: bool = False,
     ) -> FullSystemResults:
         """Drive the stack with ``workload`` at ``offered_rate_hz``.
 
         ``warmup_requests`` PUTs pre-populate the stores (zero simulated
-        time) so GET hit rates reflect a warm cache.
+        time) so GET hit rates reflect a warm cache.  ``telemetry``
+        (default: the shared no-op session) receives per-request span
+        traces and registry metrics; it observes the simulation without
+        perturbing it, so results are identical with it on or off.
+        ``keep_samples`` retains raw RTT/wait sample lists alongside the
+        streaming histograms.
         """
         from repro.workloads.generator import WorkloadGenerator
 
         if offered_rate_hz <= 0 or duration_s <= 0:
             raise ConfigurationError("rate and duration must be positive")
+        if telemetry is None:
+            telemetry = NULL_TELEMETRY
+        registry, tracer = telemetry.registry, telemetry.tracer
         sim = Simulator()
         rng = make_rng("full-system", self.seed)
         generator = WorkloadGenerator(workload, seed=self.seed)
         cores = [
-            FifoResource(sim, name=f"core{i}") for i in range(self.stack.cores)
+            FifoResource(sim, name=f"core{i}", registry=registry)
+            for i in range(self.stack.cores)
         ]
+        for server, core in zip(self.servers, cores):
+            server.attach_queue(core)
         results = FullSystemResults(
-            duration_s=duration_s, offered_rate_hz=offered_rate_hz
+            duration_s=duration_s,
+            offered_rate_hz=offered_rate_hz,
+            keep_samples=keep_samples,
         )
+        completed_total = registry.counter("requests_completed_total")
+        drops_total = registry.counter("mac_drops_total")
+        hits_total = registry.counter("get_hits_total")
+        misses_total = registry.counter("get_misses_total")
+        puts_total = registry.counter("puts_total")
+        response_bytes_total = registry.counter("response_bytes_total")
+        served_per_core = [
+            registry.counter("requests_served_total", {"core": str(i)})
+            for i in range(self.stack.cores)
+        ]
         for _ in range(warmup_requests):
             request = generator.next_request()
             self._execute(request.key, "PUT", request.value_bytes)
@@ -186,6 +263,7 @@ class FullSystemStack:
                 # MAC buffer full for this core: the packet is dropped
                 # (the client would retry; we just count it).
                 results.mac_drops += 1
+                drops_total.inc()
                 sim.schedule(rng.expovariate(offered_rate_hz), arrive)
                 return
 
@@ -197,23 +275,50 @@ class FullSystemStack:
             if request.verb == "GET":
                 if hit:
                     results.get_hits += 1
+                    hits_total.inc()
                 else:
                     results.get_misses += 1
+                    misses_total.inc()
             else:
                 results.puts += 1
+                puts_total.inc()
             results.response_bytes += response_len
+            response_bytes_total.inc(response_len)
+            trace = tracer.begin(
+                arrival,
+                core=core_index,
+                verb=request.verb,
+                value_bytes=served_bytes,
+                hit=hit,
+            )
 
             def complete(wait: float) -> None:
                 if sim.now <= duration_s:
-                    results.completed += 1
-                    results.rtts.append(sim.now - arrival)
-                    results.waits.append(wait)
-                    results.hash_time_s += timing.hash_s
-                    results.memcached_time_s += timing.memcached_s
-                    results.network_time_s += timing.network_s
+                    results.record(sim.now - arrival, wait)
+                    completed_total.inc()
+                    results.component_seconds["hash"] += timing.hash_s
+                    results.component_seconds["memcached"] += timing.memcached_s
+                    results.component_seconds["network"] += timing.network_s
                     results.per_core_served[core_index] = (
                         results.per_core_served.get(core_index, 0) + 1
                     )
+                    served_per_core[core_index].inc()
+                    # The span walk retraces the request's path through
+                    # the pipeline: MAC queue, then the latency model's
+                    # network / hash-lookup / memcached-service stages.
+                    trace.add_span("queue", arrival, wait)
+                    served_at = arrival + wait
+                    trace.add_span("network", served_at, timing.network_s)
+                    trace.add_span(
+                        "hash", served_at + timing.network_s, timing.hash_s
+                    )
+                    trace.add_span(
+                        "memcached",
+                        served_at + timing.network_s + timing.hash_s,
+                        timing.memcached_s,
+                    )
+                    trace.finish(sim.now)
+                    tracer.commit(trace)
 
             cores[core_index].submit(timing.total_s, complete)
             sim.schedule(rng.expovariate(offered_rate_hz), arrive)

@@ -14,6 +14,7 @@ from typing import Callable
 
 from repro.errors import SimulationError
 from repro.sim.events import Simulator
+from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
 
 
 @dataclass
@@ -24,9 +25,21 @@ class _Job:
 
 
 class FifoResource:
-    """An s-server FIFO queue attached to a simulator."""
+    """An s-server FIFO queue attached to a simulator.
 
-    def __init__(self, sim: Simulator, name: str, servers: int = 1):
+    With a live ``registry`` the resource streams its waiting times into
+    a ``queue_wait_seconds{resource=...}`` histogram and mirrors its
+    depth in a ``queue_depth{resource=...}`` gauge; the default
+    :data:`~repro.telemetry.metrics.NULL_REGISTRY` records nothing.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        servers: int = 1,
+        registry: MetricsRegistry = NULL_REGISTRY,
+    ):
         if servers <= 0:
             raise SimulationError("a resource needs at least one server")
         self.sim = sim
@@ -38,6 +51,9 @@ class FifoResource:
         self.total_wait = 0.0
         self.total_service = 0.0
         self.max_queue_depth = 0
+        labels = {"resource": name}
+        self._wait_histogram = registry.histogram("queue_wait_seconds", labels)
+        self._depth_gauge = registry.gauge("queue_depth", labels)
 
     @property
     def busy(self) -> int:
@@ -57,12 +73,14 @@ class FifoResource:
         else:
             self._queue.append(job)
             self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+            self._depth_gauge.set(len(self._queue))
 
     def _start(self, job: _Job) -> None:
         self._busy += 1
         wait = self.sim.now - job.enqueued_at
         self.total_wait += wait
         self.total_service += job.service_time
+        self._wait_histogram.record(wait)
 
         def finish() -> None:
             self._busy -= 1
@@ -70,6 +88,7 @@ class FifoResource:
             job.on_complete(wait)
             if self._queue and self._busy < self.servers:
                 self._start(self._queue.popleft())
+                self._depth_gauge.set(len(self._queue))
 
         self.sim.schedule(job.service_time, finish)
 

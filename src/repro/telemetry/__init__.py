@@ -1,0 +1,58 @@
+"""Telemetry: metric primitives, request tracing, pluggable exporters.
+
+The observability layer for the simulator and kvstore.  Everything is
+opt-in: instrumented components default to :data:`NULL_TELEMETRY` /
+:data:`NULL_REGISTRY`, whose methods are no-ops, so a run without
+telemetry is byte-for-byte identical to the uninstrumented code path.
+
+Enable it by constructing a :class:`TelemetrySession` and passing it to
+``FullSystemStack.run(..., telemetry=session)``, then export with
+:func:`write_trace_jsonl`, :func:`prometheus_text`, or
+:func:`summary_table` — or from the shell: ``python -m repro telemetry``.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    StreamingHistogram,
+)
+from repro.telemetry.tracing import (
+    NullTracer,
+    NULL_TELEMETRY,
+    NULL_TRACER,
+    RequestTrace,
+    Span,
+    TelemetrySession,
+    Tracer,
+)
+from repro.telemetry.exporters import (
+    prometheus_text,
+    summary_table,
+    trace_to_jsonl,
+    write_prometheus,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "StreamingHistogram",
+    "NullTracer",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "RequestTrace",
+    "Span",
+    "TelemetrySession",
+    "Tracer",
+    "prometheus_text",
+    "summary_table",
+    "trace_to_jsonl",
+    "write_prometheus",
+    "write_trace_jsonl",
+]

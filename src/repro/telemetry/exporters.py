@@ -1,0 +1,162 @@
+"""Pluggable metric/trace export: JSONL traces, Prometheus text, summaries.
+
+Three consumers, three formats:
+
+* ``trace_to_jsonl`` / ``write_trace_jsonl`` — one JSON object per
+  request, spans inline, for offline tooling (jq, pandas, perfetto-style
+  converters).
+* ``prometheus_text`` / ``write_prometheus`` — the text exposition
+  format scrapers and dashboards already speak: counters and gauges as
+  samples, histograms as summary quantiles plus ``_sum``/``_count``/
+  ``_min``/``_max``.
+* ``summary_table`` — a human-readable digest (quantile table plus an
+  ASCII component-breakdown chart) for terminals and bench logs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+)
+from repro.telemetry.tracing import RequestTrace, Tracer
+
+#: Quantiles reported for every histogram in every exporter.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99, 0.999)
+
+
+def _labels_text(labels: Sequence[tuple[str, str]], extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{%s}" % ",".join(parts) if parts else ""
+
+
+def _format_number(value: float) -> str:
+    if value != value or value in (float("inf"), float("-inf")):
+        return str(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+# --- traces ------------------------------------------------------------------------
+
+
+def trace_to_jsonl(traces: Iterable[RequestTrace]) -> str:
+    """Serialise finished traces, one compact JSON object per line."""
+    return "".join(
+        json.dumps(trace.to_dict(), separators=(",", ":")) + "\n" for trace in traces
+    )
+
+
+def write_trace_jsonl(path: str | Path, tracer: Tracer) -> Path:
+    """Dump a tracer's retained traces to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(trace_to_jsonl(tracer.traces))
+    return path
+
+
+# --- prometheus text exposition -------------------------------------------------
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every metric in the registry as Prometheus text format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+
+    for metric in registry:
+        name = metric.name
+        if isinstance(metric, Counter):
+            declare(name, "counter")
+            lines.append(f"{name}{_labels_text(metric.labels)} {metric.value}")
+        elif isinstance(metric, Gauge):
+            declare(name, "gauge")
+            lines.append(
+                f"{name}{_labels_text(metric.labels)} "
+                f"{_format_number(metric.value)}"
+            )
+            lines.append(
+                f"{name}_high_water{_labels_text(metric.labels)} "
+                f"{_format_number(metric.high_water)}"
+            )
+        elif isinstance(metric, StreamingHistogram):
+            declare(name, "summary")
+            for quantile in SUMMARY_QUANTILES:
+                value = metric.percentile(quantile) if metric.count else 0.0
+                quantile_label = 'quantile="%s"' % quantile
+                lines.append(
+                    f"{name}{_labels_text(metric.labels, quantile_label)} "
+                    f"{_format_number(value)}"
+                )
+            labels = _labels_text(metric.labels)
+            lines.append(f"{name}_sum{labels} {_format_number(metric.total)}")
+            lines.append(f"{name}_count{labels} {metric.count}")
+            lines.append(f"{name}_min{labels} {_format_number(metric.minimum)}")
+            lines.append(f"{name}_max{labels} {_format_number(metric.maximum)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path: str | Path, registry: MetricsRegistry) -> Path:
+    """Write the registry snapshot to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(registry))
+    return path
+
+
+# --- human summary ------------------------------------------------------------------
+
+
+def summary_table(registry: MetricsRegistry, tracer: Tracer | None = None) -> str:
+    """A terminal-friendly digest of a registry (and optional tracer)."""
+    from repro.analysis.ascii_chart import bar_chart
+
+    sections: list[str] = []
+    histogram_rows: list[str] = []
+    scalar_rows: list[str] = []
+    for metric in registry:
+        label = metric.name + "".join(f" {k}={v}" for k, v in metric.labels)
+        if isinstance(metric, StreamingHistogram):
+            if metric.count == 0:
+                continue
+            qs = {q: metric.percentile(q) for q in SUMMARY_QUANTILES}
+            histogram_rows.append(
+                f"{label:44s} n={metric.count:<9d} mean={metric.mean * 1e6:9.1f}us "
+                f"p50={qs[0.5] * 1e6:9.1f}us p95={qs[0.95] * 1e6:9.1f}us "
+                f"p99={qs[0.99] * 1e6:9.1f}us max={metric.maximum * 1e6:9.1f}us"
+            )
+        elif isinstance(metric, Gauge):
+            scalar_rows.append(
+                f"{label:44s} {metric.value:>14g}  (high water {metric.high_water:g})"
+            )
+        elif isinstance(metric, Counter):
+            scalar_rows.append(f"{label:44s} {metric.value:>14d}")
+    if histogram_rows:
+        sections.append("latency histograms\n" + "\n".join(histogram_rows))
+    if scalar_rows:
+        sections.append("counters & gauges\n" + "\n".join(scalar_rows))
+    if tracer is not None and tracer.component_seconds:
+        names = sorted(
+            tracer.component_seconds, key=tracer.component_seconds.get, reverse=True
+        )
+        sections.append(
+            bar_chart(
+                names,
+                [tracer.component_seconds[n] for n in names],
+                title=f"time by component (s, {tracer.committed} requests traced)",
+            )
+        )
+    return "\n\n".join(sections) if sections else "(no metrics recorded)"

@@ -1,0 +1,354 @@
+"""Low-overhead metric primitives: counters, gauges, streaming histograms.
+
+The simulator produces millions of latency samples per run; storing and
+sorting them all (the seed approach) costs memory linear in request count
+and makes percentiles O(n log n).  :class:`StreamingHistogram` instead
+bins samples into fixed log-spaced buckets (HDR-histogram style): O(1)
+per sample, a few hundred integers of state, and any percentile within
+one bucket width of the exact order statistic.
+
+A :class:`MetricsRegistry` names and owns metrics; :data:`NULL_REGISTRY`
+is a no-op drop-in so instrumented code pays nothing when telemetry is
+off — the hot path does one attribute call on an object whose methods do
+nothing, and no sample is ever recorded.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterator, Mapping
+
+from repro.errors import ConfigurationError
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default histogram range: 100 ns .. 100 s covers every simulated
+#: latency the models produce (service times are ~10 us, RTTs < 1 s).
+DEFAULT_MIN_VALUE = 1e-7
+DEFAULT_MAX_VALUE = 100.0
+DEFAULT_BUCKETS_PER_DECADE = 25
+
+
+def _label_key(labels: Mapping[str, str] | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that moves both ways, with a high-water mark."""
+
+    __slots__ = ("name", "labels", "value", "high_water")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class StreamingHistogram:
+    """Fixed-bucket log-spaced histogram with streaming percentiles.
+
+    Buckets span ``[min_value, max_value)`` with ``buckets_per_decade``
+    bins per factor of ten, so each bucket covers a relative width of
+    ``10**(1/buckets_per_decade)`` (~9.6 % at the default 25).  Samples
+    below the range land in bucket 0, above it in the last bucket; the
+    exact min/max/sum are tracked alongside, so ``mean`` is exact and
+    percentile estimates are clamped to the observed extremes.
+    """
+
+    __slots__ = (
+        "name", "labels", "min_value", "max_value", "buckets_per_decade",
+        "counts", "count", "total", "min_seen", "max_seen",
+    )
+
+    def __init__(
+        self,
+        name: str = "",
+        labels: tuple[tuple[str, str], ...] = (),
+        min_value: float = DEFAULT_MIN_VALUE,
+        max_value: float = DEFAULT_MAX_VALUE,
+        buckets_per_decade: int = DEFAULT_BUCKETS_PER_DECADE,
+    ):
+        if min_value <= 0 or max_value <= min_value:
+            raise ConfigurationError("need 0 < min_value < max_value")
+        if buckets_per_decade < 1:
+            raise ConfigurationError("need at least one bucket per decade")
+        self.name = name
+        self.labels = labels
+        self.min_value = min_value
+        self.max_value = max_value
+        self.buckets_per_decade = buckets_per_decade
+        decades = math.log10(max_value / min_value)
+        self.counts = [0] * (int(math.ceil(decades * buckets_per_decade)) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min_seen = math.inf
+        self.max_seen = -math.inf
+
+    # --- recording ---------------------------------------------------------------
+
+    def _index(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        index = int(math.log10(value / self.min_value) * self.buckets_per_decade)
+        return min(index, len(self.counts) - 1)
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ConfigurationError("histogram values must be non-negative")
+        self.counts[self._index(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min_seen:
+            self.min_seen = value
+        if value > self.max_seen:
+            self.max_seen = value
+
+    # --- bucket geometry ---------------------------------------------------------
+
+    def bucket_upper_bound(self, index: int) -> float:
+        """Upper edge of bucket ``index`` (the last bucket is open-ended)."""
+        if index >= len(self.counts) - 1:
+            return math.inf
+        return self.min_value * 10 ** ((index + 1) / self.buckets_per_decade)
+
+    @property
+    def bucket_ratio(self) -> float:
+        """Relative width of one bucket (upper/lower edge ratio)."""
+        return 10 ** (1 / self.buckets_per_decade)
+
+    # --- statistics --------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return self.min_seen if self.count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self.max_seen if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Value at quantile ``p`` in (0, 1), within one bucket width.
+
+        Returns the upper edge of the bucket where the cumulative count
+        crosses ``p * count``, clamped to the observed min/max so the
+        estimate never leaves the sampled range.
+        """
+        if not 0.0 < p < 1.0:
+            raise ConfigurationError("percentile must be in (0, 1)")
+        if self.count == 0:
+            return 0.0
+        rank = p * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                edge = self.bucket_upper_bound(index)
+                return min(self.max_seen, max(self.min_seen, edge))
+        return self.max_seen  # pragma: no cover - rank <= count always hits
+
+    def quantiles(self, ps: tuple[float, ...] = (0.5, 0.95, 0.99, 0.999)) -> dict[float, float]:
+        return {p: self.percentile(p) for p in ps}
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples <= ``threshold`` (interpolated in-bucket)."""
+        if self.count == 0:
+            return 0.0
+        if threshold >= self.max_seen:
+            return 1.0
+        if threshold < self.min_seen:
+            return 0.0
+        below = 0.0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            upper = self.bucket_upper_bound(index)
+            lower = upper / self.bucket_ratio if index else 0.0
+            if upper <= threshold:
+                below += bucket_count
+            elif lower < threshold:
+                # log-linear interpolation within the straddling bucket
+                if upper == math.inf:
+                    upper = self.max_seen
+                span = upper - lower
+                below += bucket_count * ((threshold - lower) / span if span > 0 else 1.0)
+        return min(1.0, below / self.count)
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Combine two histograms with identical bucket geometry."""
+        if (
+            other.min_value != self.min_value
+            or other.max_value != self.max_value
+            or other.buckets_per_decade != self.buckets_per_decade
+        ):
+            raise ConfigurationError("cannot merge histograms with different buckets")
+        merged = StreamingHistogram(
+            name=self.name,
+            labels=self.labels,
+            min_value=self.min_value,
+            max_value=self.max_value,
+            buckets_per_decade=self.buckets_per_decade,
+        )
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        merged.min_seen = min(self.min_seen, other.min_seen)
+        merged.max_seen = max(self.max_seen, other.max_seen)
+        return merged
+
+    def to_dict(self) -> dict:
+        """Snapshot for machine-readable export (only occupied buckets)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "buckets": {
+                f"{self.bucket_upper_bound(i):.6g}": c
+                for i, c in enumerate(self.counts)
+                if c
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and shared thereafter."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+
+    def _get(self, kind: type, name: str, labels: Mapping[str, str] | None, **kwargs):
+        if not _METRIC_NAME.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = kind(name, key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, kind):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, labels: Mapping[str, str] | None = None) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None = None,
+        **kwargs,
+    ) -> StreamingHistogram:
+        return self._get(StreamingHistogram, name, labels, **kwargs)
+
+    def __iter__(self) -> Iterator[object]:
+        """Metrics in registration order."""
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str, labels: Mapping[str, str] | None = None):
+        """Look up an existing metric, or None."""
+        return self._metrics.get((name, _label_key(labels)))
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(StreamingHistogram):
+    __slots__ = ()
+
+    def record(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """The default: every metric is a shared do-nothing singleton."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._histogram = _NullHistogram("null")
+
+    def counter(self, name: str, labels: Mapping[str, str] | None = None) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> Gauge:
+        return self._gauge
+
+    def histogram(self, name, labels=None, **kwargs) -> StreamingHistogram:
+        return self._histogram
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def get(self, name, labels=None):
+        return None
+
+
+#: Shared no-op registry: the default for every instrumented component.
+NULL_REGISTRY = NullRegistry()

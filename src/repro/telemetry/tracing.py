@@ -1,0 +1,195 @@
+"""Span-based request tracing on the simulated clock.
+
+A request crossing the full-system pipeline touches the NIC MAC, a
+core's FIFO queue, and the Memcached service components; each stage is a
+:class:`Span` with a start time and duration in *simulated* seconds.
+Committed traces feed two consumers: the JSONL trace dump (every span of
+every request, for offline analysis) and the per-component histograms in
+the :class:`~repro.telemetry.metrics.MetricsRegistry` (for percentiles
+without retaining traces).
+
+Span durations within a trace are contiguous and exhaustive by
+construction: they sum to the request's RTT, which is what makes the
+Fig. 4-style component breakdown an identity rather than an estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
+
+#: Traces retained by default before the tracer starts dropping (the
+#: aggregates keep counting; only the per-request span lists are capped).
+DEFAULT_MAX_TRACES = 100_000
+
+
+@dataclass(frozen=True)
+class Span:
+    """One pipeline stage of one request, on the simulated clock."""
+
+    name: str
+    start_s: float
+    duration_s: float
+
+
+@dataclass
+class RequestTrace:
+    """The spans and outcome of a single request."""
+
+    request_id: int
+    arrival_s: float
+    attrs: dict = field(default_factory=dict)
+    spans: list[Span] = field(default_factory=list)
+    end_s: float | None = None
+
+    def add_span(self, name: str, start_s: float, duration_s: float) -> None:
+        if duration_s < 0:
+            raise ConfigurationError("span duration cannot be negative")
+        self.spans.append(Span(name, start_s, duration_s))
+
+    def finish(self, end_s: float) -> None:
+        if end_s < self.arrival_s:
+            raise ConfigurationError("trace cannot end before it arrived")
+        self.end_s = end_s
+
+    @property
+    def rtt_s(self) -> float:
+        if self.end_s is None:
+            raise ConfigurationError("trace not finished")
+        return self.end_s - self.arrival_s
+
+    def span_total_s(self) -> float:
+        return sum(span.duration_s for span in self.spans)
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "arrival_s": self.arrival_s,
+            "rtt_s": self.rtt_s,
+            **self.attrs,
+            "spans": [
+                {"name": s.name, "start_s": s.start_s, "duration_s": s.duration_s}
+                for s in self.spans
+            ],
+        }
+
+
+class Tracer:
+    """Collects request traces and folds them into component aggregates."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        max_traces: int = DEFAULT_MAX_TRACES,
+    ):
+        if max_traces < 0:
+            raise ConfigurationError("max_traces cannot be negative")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.max_traces = max_traces
+        self.traces: list[RequestTrace] = []
+        self.committed = 0
+        self.dropped_traces = 0
+        self.component_seconds: dict[str, float] = {}
+        self._next_id = 0
+
+    def begin(self, arrival_s: float, **attrs) -> RequestTrace:
+        """Open a trace for a request arriving at ``arrival_s``."""
+        trace = RequestTrace(
+            request_id=self._next_id, arrival_s=arrival_s, attrs=dict(attrs)
+        )
+        self._next_id += 1
+        return trace
+
+    def commit(self, trace: RequestTrace) -> None:
+        """Finalize a finished trace: aggregate spans, retain if room."""
+        if trace.end_s is None:
+            raise ConfigurationError("commit requires a finished trace")
+        self.committed += 1
+        for span in trace.spans:
+            self.component_seconds[span.name] = (
+                self.component_seconds.get(span.name, 0.0) + span.duration_s
+            )
+            self.registry.histogram(
+                "span_duration_seconds", labels={"component": span.name}
+            ).record(span.duration_s)
+        self.registry.histogram("request_rtt_seconds").record(trace.rtt_s)
+        if len(self.traces) < self.max_traces:
+            self.traces.append(trace)
+        else:
+            self.dropped_traces += 1
+
+    def breakdown_fractions(self) -> dict[str, float]:
+        """Component shares of total traced time (the Fig. 4 split)."""
+        total = sum(self.component_seconds.values())
+        if total == 0.0:
+            return {name: 0.0 for name in self.component_seconds}
+        return {
+            name: seconds / total for name, seconds in self.component_seconds.items()
+        }
+
+
+class _NullTrace(RequestTrace):
+    def add_span(self, name: str, start_s: float, duration_s: float) -> None:
+        pass
+
+    def finish(self, end_s: float) -> None:
+        pass
+
+
+class NullTracer(Tracer):
+    """No-op tracer: begin() hands out one shared inert trace."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(registry=NULL_REGISTRY, max_traces=0)
+        self._trace = _NullTrace(request_id=-1, arrival_s=0.0)
+
+    def begin(self, arrival_s: float, **attrs) -> RequestTrace:
+        return self._trace
+
+    def commit(self, trace: RequestTrace) -> None:
+        pass
+
+
+#: Shared no-op tracer, the default wherever tracing is optional.
+NULL_TRACER = NullTracer()
+
+
+class TelemetrySession:
+    """One run's registry + tracer, handed to instrumented components.
+
+    ``TelemetrySession()`` gives live telemetry; :data:`NULL_TELEMETRY`
+    (the default everywhere) gives the zero-cost no-op pair.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        max_traces: int = DEFAULT_MAX_TRACES,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(self.registry, max_traces=max_traces)
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled or self.tracer.enabled
+
+
+class _NullTelemetry(TelemetrySession):
+    def __init__(self) -> None:
+        super().__init__(registry=NULL_REGISTRY, tracer=NULL_TRACER)
+
+
+#: Shared disabled session: instrumentation against it records nothing.
+NULL_TELEMETRY = _NullTelemetry()

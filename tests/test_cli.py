@@ -114,6 +114,27 @@ class TestReport:
         assert (tmp_path / "r" / "table4.csv").exists()
 
 
+class TestTelemetry:
+    def test_telemetry_writes_trace_and_metrics(self, capsys, tmp_path):
+        import json
+
+        out = run(
+            capsys, "telemetry", "--cores", "2", "--duration", "0.05",
+            "--memory-mb", "4", "--out", str(tmp_path),
+        )
+        assert "requests" in out
+        assert "p99" in out
+        assert "time by component" in out
+        metrics = (tmp_path / "metrics.prom").read_text()
+        assert 'request_rtt_seconds{quantile="0.99"}' in metrics
+        first_trace = json.loads(
+            (tmp_path / "trace.jsonl").read_text().splitlines()[0]
+        )
+        assert {span["name"] for span in first_trace["spans"]} == {
+            "queue", "network", "hash", "memcached",
+        }
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

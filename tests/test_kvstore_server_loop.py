@@ -66,6 +66,55 @@ class TestBasicSessions:
         # The data itself survives a stats reset.
         assert server.store.get(b"k") is not None
 
+    def test_stats_connection_counters(self):
+        server = make_server()
+        conn = server.connect()
+        conn.feed(b"set k 0 0 1\r\nx\r\n")
+        reply = conn.feed(b"stats\r\n")
+        assert b"STAT curr_connections 1\r\n" in reply
+        assert b"STAT total_connections 1\r\n" in reply
+        assert b"STAT cmd_total 2\r\n" in reply  # the set + this stats
+        assert b"STAT conn_bytes_in %d\r\n" % (
+            len(b"set k 0 0 1\r\nx\r\n") + len(b"stats\r\n")
+        ) in reply
+        assert b"STAT protocol_errors 0\r\n" in reply
+
+    def test_stats_reset_clears_connection_counters(self):
+        server = make_server()
+        conn = server.connect()
+        conn.feed(b"set k 0 0 1\r\nx\r\n")
+        conn.feed(b"bogus\r\n")  # one protocol error
+        assert server.connection_stats().protocol_errors == 1
+        conn.feed(b"stats reset\r\n")
+        aggregated = server.connection_stats()
+        assert aggregated.commands == 0
+        assert aggregated.bytes_in == 0
+        # The RESET reply itself is post-reset traffic.
+        assert aggregated.bytes_out == len(b"RESET\r\n")
+        assert aggregated.protocol_errors == 0
+        # Lifetime accept count survives, like memcached's.
+        assert server.total_connections == 1
+
+    def test_stats_surfaces_attached_queue(self):
+        from repro.sim.events import Simulator
+        from repro.sim.resources import FifoResource
+
+        server = make_server()
+        sim = Simulator()
+        queue = FifoResource(sim, name="core0")
+        queue.submit(1e-5, lambda wait: None)
+        queue.submit(1e-5, lambda wait: None)  # queued behind the first
+        server.attach_queue(queue)
+        reply = server.handle(b"stats\r\n")
+        assert b"STAT queue_depth 1\r\n" in reply
+        assert b"STAT queue_depth_hwm 1\r\n" in reply
+        assert b"STAT queue_wait_total_usec 0\r\n" in reply
+        sim.run()
+        reply = server.handle(b"stats\r\n")
+        assert b"STAT queue_depth 0\r\n" in reply
+        assert b"STAT queue_jobs_served 2\r\n" in reply
+        assert b"STAT queue_wait_total_usec 10\r\n" in reply
+
     def test_verbosity(self):
         server = make_server()
         conn = server.connect()

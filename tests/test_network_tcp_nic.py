@@ -119,3 +119,18 @@ class TestNicMac:
         mac.bind(1, core_id=0)
         with pytest.raises(ConfigurationError):
             mac.enqueue(1, 0)
+
+    def test_telemetry_registry_mirrors_buffering(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        mac = NicMac(buffer_bytes=1000, registry=registry)
+        mac.bind(11211, core_id=0)
+        mac.enqueue(11211, 900)
+        assert not mac.enqueue(11211, 200)
+        mac.dequeue(0)
+        assert registry.counter("nic_mac_drops_total").value == 1
+        assert registry.counter("nic_mac_forwarded_total").value == 1
+        gauge = registry.gauge("nic_mac_buffered_bytes")
+        assert gauge.value == 0
+        assert gauge.high_water == 900

@@ -1,0 +1,122 @@
+"""Span tracing: schema, aggregation, JSONL export, no-op behaviour."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    MetricsRegistry,
+    NULL_TELEMETRY,
+    NULL_TRACER,
+    TelemetrySession,
+    Tracer,
+    trace_to_jsonl,
+)
+
+
+def make_trace(tracer, arrival=1.0, waits=(2e-5, 3e-5)):
+    trace = tracer.begin(arrival, core=2, verb="GET", hit=True)
+    start = arrival
+    for index, duration in enumerate(waits):
+        trace.add_span(f"stage{index}", start, duration)
+        start += duration
+    trace.finish(start)
+    return trace
+
+
+class TestRequestTrace:
+    def test_spans_sum_to_rtt(self):
+        tracer = Tracer(MetricsRegistry())
+        trace = make_trace(tracer)
+        assert trace.span_total_s() == pytest.approx(trace.rtt_s)
+
+    def test_unfinished_trace_has_no_rtt(self):
+        tracer = Tracer(MetricsRegistry())
+        trace = tracer.begin(0.0)
+        with pytest.raises(ConfigurationError):
+            _ = trace.rtt_s
+        with pytest.raises(ConfigurationError):
+            tracer.commit(trace)
+
+    def test_negative_span_rejected(self):
+        trace = Tracer(MetricsRegistry()).begin(0.0)
+        with pytest.raises(ConfigurationError):
+            trace.add_span("bad", 0.0, -1e-6)
+
+    def test_cannot_finish_before_arrival(self):
+        trace = Tracer(MetricsRegistry()).begin(5.0)
+        with pytest.raises(ConfigurationError):
+            trace.finish(4.0)
+
+
+class TestTracer:
+    def test_commit_aggregates_components(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        for _ in range(3):
+            tracer.commit(make_trace(tracer))
+        assert tracer.committed == 3
+        assert tracer.component_seconds["stage0"] == pytest.approx(3 * 2e-5)
+        assert tracer.component_seconds["stage1"] == pytest.approx(3 * 3e-5)
+        histogram = registry.get(
+            "span_duration_seconds", {"component": "stage0"}
+        )
+        assert histogram.count == 3
+        assert registry.get("request_rtt_seconds").count == 3
+
+    def test_breakdown_fractions_sum_to_one(self):
+        tracer = Tracer(MetricsRegistry())
+        tracer.commit(make_trace(tracer))
+        fractions = tracer.breakdown_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["stage1"] == pytest.approx(0.6)
+
+    def test_trace_retention_is_capped(self):
+        tracer = Tracer(MetricsRegistry(), max_traces=2)
+        for _ in range(5):
+            tracer.commit(make_trace(tracer))
+        assert len(tracer.traces) == 2
+        assert tracer.dropped_traces == 3
+        assert tracer.committed == 5  # aggregates keep counting
+
+    def test_request_ids_are_unique(self):
+        tracer = Tracer(MetricsRegistry())
+        ids = {tracer.begin(0.0).request_id for _ in range(10)}
+        assert len(ids) == 10
+
+
+class TestJsonlExport:
+    def test_one_object_per_line_with_schema(self):
+        tracer = Tracer(MetricsRegistry())
+        tracer.commit(make_trace(tracer))
+        tracer.commit(make_trace(tracer, arrival=2.0))
+        lines = trace_to_jsonl(tracer.traces).strip().split("\n")
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["request_id"] == 0
+        assert record["core"] == 2
+        assert record["verb"] == "GET"
+        assert record["hit"] is True
+        assert [s["name"] for s in record["spans"]] == ["stage0", "stage1"]
+        assert sum(s["duration_s"] for s in record["spans"]) == pytest.approx(
+            record["rtt_s"]
+        )
+
+
+class TestNullTelemetry:
+    def test_null_tracer_records_nothing(self):
+        trace = NULL_TRACER.begin(0.0, core=1)
+        trace.add_span("x", 0.0, 1.0)
+        trace.finish(1.0)
+        NULL_TRACER.commit(trace)
+        assert NULL_TRACER.traces == []
+        assert NULL_TRACER.committed == 0
+        assert NULL_TRACER.component_seconds == {}
+        assert not NULL_TRACER.enabled
+
+    def test_null_session_disabled_live_session_enabled(self):
+        assert not NULL_TELEMETRY.enabled
+        session = TelemetrySession()
+        assert session.enabled
+        assert session.tracer.registry is session.registry
