@@ -1,0 +1,146 @@
+"""Resilience benchmark: SLA violations and recovery under injected faults.
+
+The density argument (§4) holds operationally only if a rack of wimpy
+stacks degrades gracefully: one dead stack must cost its share of the
+cache and nothing more.  This benchmark replays the PR's acceptance
+scenario — one core crashes and later restarts cold, under 1 % packet
+loss — against the full-system DES three ways (no faults, faults with a
+naive client, faults with the resilient client) and reports the
+SLA-violation rate and the post-restart recovery time.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.core import mercury_stack
+from repro.faults import (
+    DEFAULT_RESILIENCE,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.sim.full_system import FullSystemStack
+from repro.units import MB
+from repro.workloads import WorkloadSpec
+from repro.workloads.distributions import fixed_size
+
+CORES = 4
+DURATION_S = 2.5
+WINDOW_S = 0.25
+CRASH_S, RESTART_S = 0.6, 1.2
+DEADLINE_S = 1e-3
+
+#: The acceptance scenario, scaled to benchmark duration: crash + cold
+#: restart of one core with 1% packet loss throughout.
+SCHEDULE = FaultSchedule(
+    name="bench-crash-restart-lossy",
+    events=(
+        FaultEvent(kind="node_crash", at_s=CRASH_S, node="core0"),
+        FaultEvent(kind="node_restart", at_s=RESTART_S, node="core0"),
+        FaultEvent(kind="packet_loss", at_s=0.0, probability=0.01),
+    ),
+)
+
+WORKLOAD = WorkloadSpec(
+    name="resilience-bench",
+    get_fraction=0.9,
+    key_population=20_000,
+    value_sizes=fixed_size(64),
+)
+
+
+def _run(faults=None, resilience=None, duration_s=DURATION_S):
+    system = FullSystemStack(
+        stack=mercury_stack(cores=CORES),
+        memory_per_core_bytes=8 * MB,
+        seed=42,
+    )
+    capacity = CORES * system.model.tps("GET", 64)
+    return system.run(
+        WORKLOAD,
+        offered_rate_hz=0.4 * capacity,
+        duration_s=duration_s,
+        warmup_requests=10_000,
+        window_s=WINDOW_S,
+        fill_on_miss=True,
+        faults=faults,
+        resilience=resilience,
+    )
+
+
+@pytest.mark.slow
+def test_resilience_sla_and_recovery(benchmark):
+    base = _run()
+    naive = _run(faults=SCHEDULE)
+    resilient = benchmark.pedantic(
+        lambda: _run(faults=SCHEDULE, resilience=DEFAULT_RESILIENCE),
+        rounds=1,
+        iterations=1,
+    )
+
+    reference = base.hit_rate_after(RESTART_S)
+    recovery = resilient.recovery_time_s(reference, after_s=RESTART_S)
+    rows = [
+        [name, r.completed, r.failed, f"{r.hit_rate:.1%}",
+         f"{r.sla_violation_rate(DEADLINE_S):.2%}", r.retries, r.failovers]
+        for name, r in (
+            ("no faults", base),
+            ("faults, naive client", naive),
+            ("faults, resilient client", resilient),
+        )
+    ]
+    recovery_line = (
+        f"post-restart recovery to within 5% of baseline hit rate: "
+        f"{recovery:.2f}s" if recovery is not None else
+        "post-restart hit rate did NOT recover to within 5% of baseline"
+    )
+    emit(
+        "resilience",
+        render_table(
+            ["Client", "Completed", "Failed", "Hit rate",
+             f"SLA viol (<{DEADLINE_S * 1e3:.0f}ms)", "Retries", "Failovers"],
+            rows,
+            caption=(
+                f"Crash(t={CRASH_S}s) + restart(t={RESTART_S}s) + 1% loss "
+                f"on Mercury-{CORES}, {DURATION_S}s simulated"
+            ),
+        )
+        + "\n\n" + recovery_line,
+    )
+
+    # A naive client turns dropped packets and the dead core into failed
+    # requests; the resilient client absorbs all of them.
+    assert naive.failed > 0
+    assert resilient.failed == 0
+    assert resilient.retries > 0
+    # Retries cost latency but beat failing: the resilient client's SLA
+    # violation rate must be well below the naive client's.
+    assert (
+        resilient.sla_violation_rate(DEADLINE_S)
+        < naive.sla_violation_rate(DEADLINE_S)
+    )
+    # The acceptance bar: hit rate returns to within 5% of the no-fault
+    # run after the cold restart.
+    assert recovery is not None, "hit rate never recovered post-restart"
+
+
+def test_fault_run_is_deterministic(benchmark):
+    """Same (schedule, seed) twice -> bit-identical stats (acceptance)."""
+
+    def twice():
+        runs = [
+            _run(faults=SCHEDULE, resilience=DEFAULT_RESILIENCE, duration_s=1.0)
+            for _ in range(2)
+        ]
+        return [
+            (
+                r.completed, r.failed, r.retries, r.failovers, r.hedges,
+                r.fault_timeouts, r.hit_rate, r.sla_violation_rate(DEADLINE_S),
+                tuple(sorted(r.window_gets.items())),
+                tuple(sorted(r.window_hits.items())),
+            )
+            for r in runs
+        ]
+
+    first, second = benchmark.pedantic(twice, rounds=1, iterations=1)
+    assert first == second

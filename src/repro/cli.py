@@ -44,6 +44,7 @@ from repro.core import (
     thermal_report,
 )
 from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.faults.schedule import PRESETS as _FAULT_PRESETS
 from repro.core.provisioning import (
     Demand,
     candidate_from_baseline,
@@ -274,6 +275,122 @@ def _cmd_telemetry(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_faults(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.faults import (
+        DEFAULT_RESILIENCE,
+        NO_RESILIENCE,
+        PRESETS,
+        FaultSchedule,
+    )
+    from repro.sim.full_system import FullSystemStack
+    from repro.units import MB
+    from repro.workloads import WorkloadSpec
+    from repro.workloads.distributions import fixed_size
+
+    if args.list:
+        lines = ["available fault scenarios (--scenario NAME):"]
+        for name, schedule in PRESETS.items():
+            kinds = ", ".join(sorted({e.kind for e in schedule.events}))
+            lines.append(f"  {name:22s} {len(schedule.events)} events ({kinds})")
+        return "\n".join(lines)
+
+    if args.schedule:
+        schedule = FaultSchedule.load(args.schedule)
+    else:
+        schedule = PRESETS[args.scenario]
+    policy = NO_RESILIENCE if args.no_resilience else DEFAULT_RESILIENCE
+    workload = WorkloadSpec(
+        name="faults-demo",
+        get_fraction=0.9,
+        key_population=20_000,
+        value_sizes=fixed_size(parse_size(args.size)),
+    )
+    deadline_s = args.deadline_us * 1e-6
+
+    def build() -> FullSystemStack:
+        return FullSystemStack(
+            stack=_stack_for(args.family, args.cores),
+            memory_per_core_bytes=args.memory_mb * MB,
+            seed=args.seed,
+        )
+
+    base_system = build()
+    capacity = args.cores * base_system.model.tps("GET", parse_size(args.size))
+    kwargs = dict(
+        offered_rate_hz=args.load * capacity,
+        duration_s=args.duration,
+        warmup_requests=10_000,
+        window_s=args.window,
+        fill_on_miss=True,
+    )
+    base = base_system.run(workload, **kwargs)
+    faulty = build().run(
+        workload, faults=schedule, resilience=policy, **kwargs
+    )
+
+    restarts = [e.at_s for e in schedule.events if e.kind == "node_restart"]
+    recovery = None
+    if restarts:
+        recovery = faulty.recovery_time_s(
+            base.hit_rate_after(restarts[-1]), after_s=restarts[-1]
+        )
+    stats = {
+        "scenario": schedule.name,
+        "resilience": "off" if args.no_resilience else "on",
+        "baseline": {
+            "completed": base.completed,
+            "hit_rate": round(base.hit_rate, 4),
+            "sla_violation_rate": round(base.sla_violation_rate(deadline_s), 6),
+        },
+        "faulted": {
+            "completed": faulty.completed,
+            "failed": faulty.failed,
+            "hit_rate": round(faulty.hit_rate, 4),
+            "sla_violation_rate": round(faulty.sla_violation_rate(deadline_s), 6),
+            "retries": faulty.retries,
+            "timeouts": faulty.fault_timeouts,
+            "failovers": faulty.failovers,
+            "hedges": faulty.hedges,
+        },
+        "recovery_time_s": recovery,
+    }
+    if args.export:
+        from pathlib import Path
+
+        path = Path(args.export)
+        path.write_text(json.dumps(stats, indent=2))
+        return f"wrote {path}"
+    lines = [
+        f"fault scenario {schedule.name!r} on {base_system.stack.name} "
+        f"({args.cores} cores, {args.load:.0%} load, {args.duration}s simulated, "
+        f"resilience {stats['resilience']}):",
+        "",
+        f"{'':24s}{'no faults':>12s}{'faulted':>12s}",
+        f"{'completed':24s}{base.completed:>12d}{faulty.completed:>12d}",
+        f"{'failed':24s}{0:>12d}{faulty.failed:>12d}",
+        f"{'hit rate':24s}{base.hit_rate:>12.1%}{faulty.hit_rate:>12.1%}",
+        (
+            f"{'SLA violations':24s}"
+            f"{base.sla_violation_rate(deadline_s):>12.2%}"
+            f"{faulty.sla_violation_rate(deadline_s):>12.2%}"
+            f"   (deadline {args.deadline_us:.0f} us)"
+        ),
+        "",
+        f"client: {faulty.retries} retries, {faulty.fault_timeouts} timeouts, "
+        f"{faulty.failovers} failovers, {faulty.hedges} hedged GETs",
+    ]
+    if recovery is not None:
+        lines.append(
+            f"recovered to within 5% of baseline hit rate "
+            f"{recovery:.2f}s after the restart"
+        )
+    elif restarts:
+        lines.append("hit rate did NOT recover to within 5% of baseline")
+    return "\n".join(lines)
+
+
 def _cmd_report(args: argparse.Namespace) -> str:
     from repro.analysis.report_builder import build_report
 
@@ -337,6 +454,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="telemetry-out",
                    help="directory for trace.jsonl and metrics.prom")
     p.set_defaults(func=_cmd_telemetry)
+
+    p = sub.add_parser(
+        "faults",
+        help="replay a fault schedule against the full-system DES, "
+        "with and without client resilience",
+    )
+    p.add_argument("--scenario", choices=sorted(_FAULT_PRESETS), default="crash-restart-lossy",
+                   help="named fault schedule to replay")
+    p.add_argument("--schedule", help="path to a fault-schedule JSON file "
+                   "(overrides --scenario)")
+    p.add_argument("--list", action="store_true", help="list named scenarios")
+    p.add_argument("--family", choices=["mercury", "iridium"], default="mercury")
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--load", type=float, default=0.5,
+                   help="offered load as a fraction of linear-scaling capacity")
+    p.add_argument("--duration", type=float, default=4.0,
+                   help="simulated seconds to run")
+    p.add_argument("--size", default="64", help="value size (64, 4K, ...)")
+    p.add_argument("--memory-mb", type=int, default=8,
+                   help="per-core store budget in MB")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--window", type=float, default=0.25,
+                   help="hit-rate timeline bucket width in seconds")
+    p.add_argument("--deadline-us", type=float, default=1000.0,
+                   help="SLA deadline in microseconds")
+    p.add_argument("--no-resilience", action="store_true",
+                   help="disable client retries/failover (faults become failures)")
+    p.add_argument("--export", help="write the comparison as JSON instead of text")
+    p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser("pareto", help="Pareto frontier over the design space")
     p.add_argument(

@@ -29,3 +29,16 @@ class StorageError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an invalid state."""
+
+
+class NodeUnavailableError(ReproError):
+    """A request to a cluster node timed out or the node is down.
+
+    Raised by the fault-aware transport; resilient clients catch it and
+    retry, hedge, or fail over instead of surfacing it to callers.
+    """
+
+    def __init__(self, node: str, reason: str = "timeout"):
+        super().__init__(f"node {node!r} unavailable ({reason})")
+        self.node = node
+        self.reason = reason

@@ -1,0 +1,255 @@
+"""The fault injector: turns a schedule into simulator state and draws.
+
+One :class:`FaultInjector` owns the mutable fault state of a run: which
+nodes are currently down, the active packet-loss/corruption probability,
+and the current service-time degradation factor per memory kind.  It is
+deterministic by construction — state flips happen at exact simulated
+times via :meth:`install`, and per-request loss/corruption draws come
+from a dedicated :func:`~repro.sim.rng.make_rng` stream, so two runs of
+the same schedule with the same seed make identical decisions request
+for request.
+
+The injector also carries the telemetry for the fault plane: counters
+for injected events, fault-dropped and fault-corrupted packets, and a
+``degraded_mode`` gauge (number of fault windows currently active, plus
+nodes down) that dashboards can alert on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.sim.events import Simulator
+from repro.sim.rng import make_rng
+from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
+
+from typing import Callable
+
+
+class FaultInjector:
+    """Replays a :class:`FaultSchedule` against live components."""
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        seed: int = 0,
+        registry: MetricsRegistry = NULL_REGISTRY,
+    ):
+        self.schedule = schedule
+        self.seed = seed
+        self.rng = make_rng(f"faults:{schedule.name}", seed)
+        self._down: set[str] = set()
+        self._loss_probability = 0.0
+        self._corrupt_probability = 0.0
+        self._memory_factor = {"dram": 1.0, "flash": 1.0}
+        self._active_windows = 0
+        self.fault_drops = 0
+        self.fault_corruptions = 0
+        self.crashes = 0
+        self.restarts = 0
+        self._registry = registry
+        self._events_total = {
+            kind: registry.counter("fault_events_total", {"kind": kind})
+            for kind in ("node_crash", "node_restart", "window_open", "window_close")
+        }
+        self._drops_total = registry.counter("fault_packets_dropped_total")
+        self._corruptions_total = registry.counter("fault_packets_corrupted_total")
+        self._degraded_gauge = registry.gauge("degraded_mode")
+        self._nodes_down_gauge = registry.gauge("nodes_down")
+
+    # --- state queries (the per-request API) -----------------------------------
+
+    @property
+    def nodes_down(self) -> frozenset[str]:
+        return frozenset(self._down)
+
+    def node_is_down(self, node: str) -> bool:
+        return node in self._down
+
+    @property
+    def loss_probability(self) -> float:
+        return self._loss_probability
+
+    @property
+    def corrupt_probability(self) -> float:
+        return self._corrupt_probability
+
+    def should_drop(self) -> bool:
+        """Draw: is this packet lost to the active loss window?"""
+        if self._loss_probability <= 0.0:
+            return False
+        if self.rng.random() < self._loss_probability:
+            self.fault_drops += 1
+            self._drops_total.inc()
+            return True
+        return False
+
+    def should_corrupt(self) -> bool:
+        """Draw: is this packet corrupted in flight?  (A corrupted frame
+        fails its checksum, so callers treat it as a loss that the
+        client can distinguish in its counters.)"""
+        if self._corrupt_probability <= 0.0:
+            return False
+        if self.rng.random() < self._corrupt_probability:
+            self.fault_corruptions += 1
+            self._corruptions_total.inc()
+            return True
+        return False
+
+    def service_factor(self, memory_kind: str) -> float:
+        """Current service-time multiplier for ``memory_kind`` accesses."""
+        if memory_kind not in self._memory_factor:
+            raise ConfigurationError(f"unknown memory kind {memory_kind!r}")
+        return self._memory_factor[memory_kind]
+
+    @property
+    def degraded(self) -> bool:
+        """True while any fault is active (the degraded-mode signal)."""
+        return bool(self._down) or self._active_windows > 0
+
+    # --- state transitions --------------------------------------------------------
+
+    def _gauges(self) -> None:
+        self._degraded_gauge.set(self._active_windows + len(self._down))
+        self._nodes_down_gauge.set(len(self._down))
+
+    def crash(self, event: FaultEvent) -> None:
+        self._down.add(event.node)
+        self.crashes += 1
+        self._events_total["node_crash"].inc()
+        self._gauges()
+
+    def restart(self, event: FaultEvent) -> None:
+        self._down.discard(event.node)
+        self.restarts += 1
+        self._events_total["node_restart"].inc()
+        self._gauges()
+
+    def open_window(self, event: FaultEvent) -> None:
+        if event.kind == "packet_loss":
+            self._loss_probability = _combine(
+                self._loss_probability, event.probability
+            )
+        elif event.kind == "packet_corruption":
+            self._corrupt_probability = _combine(
+                self._corrupt_probability, event.probability
+            )
+        else:
+            self._memory_factor[event.memory_kind] *= event.factor
+        self._active_windows += 1
+        self._events_total["window_open"].inc()
+        self._gauges()
+
+    def close_window(self, event: FaultEvent) -> None:
+        if event.kind == "packet_loss":
+            self._loss_probability = _uncombine(
+                self._loss_probability, event.probability
+            )
+        elif event.kind == "packet_corruption":
+            self._corrupt_probability = _uncombine(
+                self._corrupt_probability, event.probability
+            )
+        else:
+            self._memory_factor[event.memory_kind] /= event.factor
+        self._active_windows -= 1
+        self._events_total["window_close"].inc()
+        self._gauges()
+
+    # --- wiring into a simulator ---------------------------------------------------
+
+    def install(
+        self,
+        sim: Simulator,
+        horizon_s: float,
+        on_crash: Callable[[str], None] | None = None,
+        on_restart: Callable[[str], None] | None = None,
+    ) -> None:
+        """Schedule every fault transition on ``sim``.
+
+        ``on_crash(node)`` / ``on_restart(node)`` let the host system add
+        its own semantics (the DES flushes the dead core's store — §2.3's
+        "data will be removed from your cache if a server goes down" —
+        and a resilient client rebalances its ring).  Transitions beyond
+        ``horizon_s`` are not scheduled, so the run still quiesces.
+        """
+        if sim.now > 0:
+            raise ConfigurationError("install the injector before the run starts")
+
+        def at(time_s: float, action: Callable[[], None]) -> None:
+            if time_s <= horizon_s:
+                sim.schedule_at(time_s, action)
+
+        for event in self.schedule:
+            if event.kind == "node_crash":
+                def crash(e: FaultEvent = event) -> None:
+                    self.crash(e)
+                    if on_crash is not None:
+                        on_crash(e.node)
+
+                at(event.at_s, crash)
+            elif event.kind == "node_restart":
+                def restart(e: FaultEvent = event) -> None:
+                    self.restart(e)
+                    if on_restart is not None:
+                        on_restart(e.node)
+
+                at(event.at_s, restart)
+            else:
+                at(event.at_s, lambda e=event: self.open_window(e))
+                if event.until_s != float("inf"):
+                    at(event.until_s, lambda e=event: self.close_window(e))
+
+    # --- stepped (non-DES) drivers -----------------------------------------------
+
+    def apply_until(
+        self,
+        now_s: float,
+        on_crash: Callable[[str], None] | None = None,
+        on_restart: Callable[[str], None] | None = None,
+    ) -> None:
+        """Advance fault state to logical time ``now_s`` without a DES.
+
+        For hosts that step time themselves (the cluster tests replay a
+        request stream and advance a logical clock): applies, in order,
+        every not-yet-applied transition at or before ``now_s``.
+        """
+        applied = getattr(self, "_applied", 0)
+        transitions: list[tuple[float, int, str, FaultEvent]] = []
+        for index, event in enumerate(self.schedule):
+            if event.kind in ("node_crash", "node_restart"):
+                transitions.append((event.at_s, index, event.kind, event))
+            else:
+                transitions.append((event.at_s, index, "open", event))
+                if event.until_s != float("inf"):
+                    transitions.append((event.until_s, index, "close", event))
+        transitions.sort(key=lambda t: (t[0], t[1]))
+        for time_s, _index, action, event in transitions[applied:]:
+            if time_s > now_s:
+                break
+            applied += 1
+            if action == "node_crash":
+                self.crash(event)
+                if on_crash is not None:
+                    on_crash(event.node)
+            elif action == "node_restart":
+                self.restart(event)
+                if on_restart is not None:
+                    on_restart(event.node)
+            elif action == "open":
+                self.open_window(event)
+            else:
+                self.close_window(event)
+        self._applied = applied
+
+
+def _combine(current: float, extra: float) -> float:
+    """Combine independent loss probabilities: 1-(1-a)(1-b)."""
+    return 1.0 - (1.0 - current) * (1.0 - extra)
+
+
+def _uncombine(current: float, extra: float) -> float:
+    """Inverse of :func:`_combine` when one window closes."""
+    if extra >= 1.0:
+        return 0.0
+    remaining = 1.0 - (1.0 - current) / (1.0 - extra)
+    return max(0.0, remaining)

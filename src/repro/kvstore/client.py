@@ -7,6 +7,15 @@ binary).  Requests are *actually serialised* to protocol bytes and parsed
 back, so the client exercises the same wire path a socket would — the
 transport is simply an in-process :class:`MemcachedServer` /
 :class:`BinaryServer` per node.
+
+:class:`ResilientClient` layers a production-shaped failure story on
+top: a :class:`FaultyNetwork` decides per request whether the link to a
+node delivers (down nodes and lossy links both look like timeouts), and
+a :class:`~repro.faults.resilience.ResiliencePolicy` governs how the
+client responds — retries with exponential backoff and jitter, hedged
+GETs to the next ring node, and failover rebalancing with health-check
+readmission.  All draws come from seeded streams, so a faulty run is
+reproducible bit for bit.
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import ConfigurationError, NodeUnavailableError, ProtocolError
 from repro.kvstore.binary_protocol import (
     BinaryServer,
     Opcode,
@@ -26,10 +35,13 @@ from repro.kvstore.binary_protocol import (
     set_request,
     simple_request,
 )
+from repro.faults.resilience import DEFAULT_RESILIENCE, ResiliencePolicy
 from repro.kvstore.consistent_hash import ConsistentHashRing
 from repro.kvstore.protocol import Command, parse_response, render_command
 from repro.kvstore.server_loop import Connection, MemcachedServer
 from repro.kvstore.store import KVStore
+from repro.sim.rng import make_rng
+from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
 
 
 @dataclass(frozen=True)
@@ -232,3 +244,298 @@ class MemcachedClient:
         gets = sum(s.stats.cmd_get for s in self._stores.values())
         hits = sum(s.stats.get_hits for s in self._stores.values())
         return hits / gets if gets else 0.0
+
+
+class FaultyNetwork:
+    """The client's view of its links to the fleet, with injected faults.
+
+    Each roundtrip asks :meth:`delivers` whether the request (and its
+    reply) make it: a down node never answers, and a lossy link drops
+    the exchange with the configured probability.  Per-node loss and a
+    ``global_loss`` compose independently, 1-(1-a)(1-b).  The drop draw
+    comes from a dedicated seeded stream so runs replay exactly.
+    """
+
+    def __init__(self, seed: int = 0, latency_s: float = 100e-6):
+        if latency_s < 0:
+            raise ConfigurationError("latency cannot be negative")
+        self.rng = make_rng("faults:client-network", seed)
+        self.latency_s = latency_s
+        self.global_loss = 0.0
+        self._down: set[str] = set()
+        self._loss: dict[str, float] = {}
+        self.drops = 0
+
+    def crash(self, node: str) -> None:
+        self._down.add(node)
+
+    def restart(self, node: str) -> None:
+        self._down.discard(node)
+
+    def node_is_down(self, node: str) -> bool:
+        return node in self._down
+
+    def set_loss(self, probability: float, node: str | None = None) -> None:
+        """Set link loss for ``node``, or the shared ``global_loss``."""
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError("loss probability must be in [0, 1]")
+        if node is None:
+            self.global_loss = probability
+        elif probability == 0.0:
+            self._loss.pop(node, None)
+        else:
+            self._loss[node] = probability
+
+    def loss_for(self, node: str) -> float:
+        link = self._loss.get(node, 0.0)
+        return 1.0 - (1.0 - self.global_loss) * (1.0 - link)
+
+    def delivers(self, node: str) -> bool:
+        if node in self._down:
+            return False
+        loss = self.loss_for(node)
+        if loss > 0.0 and self.rng.random() < loss:
+            self.drops += 1
+            return False
+        return True
+
+
+#: A network with no faults — ResilientClient's default transport.
+def _clean_network() -> FaultyNetwork:
+    return FaultyNetwork(seed=0)
+
+
+class ResilientClient(MemcachedClient):
+    """A :class:`MemcachedClient` that survives the faults it is dealt.
+
+    Every operation runs under the :class:`ResiliencePolicy`: an
+    undelivered exchange costs one request timeout, then the client
+    backs off (exponentially, with seeded jitter) and retries — against
+    whatever node the ring *now* maps the key to, so a failed-over
+    node's keys retry on the survivors.  GETs can hedge to the next
+    distinct ring node.  After ``failover_after`` consecutive timeouts a
+    node is removed from the ring; once per ``health_check_interval_s``
+    the client probes it and readmits it when it answers again.
+
+    Wall-clock is modelled, not real: ``clock_s`` advances by the link
+    latency per delivered exchange, by ``request_timeout_s`` per
+    timeout, and by the backoff between attempts.  Telemetry lands in
+    ``client_*`` counters and the ``client_degraded_nodes`` gauge.
+    """
+
+    def __init__(
+        self,
+        node_names: list[str],
+        memory_per_node_bytes: int,
+        protocol: str = "ascii",
+        vnodes: int = 128,
+        policy: ResiliencePolicy = DEFAULT_RESILIENCE,
+        network: FaultyNetwork | None = None,
+        registry: MetricsRegistry = NULL_REGISTRY,
+        seed: int = 0,
+    ):
+        super().__init__(node_names, memory_per_node_bytes, protocol, vnodes)
+        self.policy = policy
+        self.network = network if network is not None else _clean_network()
+        self.clock_s = 0.0
+        self._retry_rng = make_rng("faults:client-retry", seed)
+        self._consecutive_timeouts: dict[str, int] = {}
+        self._failed_over: dict[str, float] = {}
+        self.retries = 0
+        self.timeouts = 0
+        self.failovers = 0
+        self.readmissions = 0
+        self.hedges = 0
+        self.giveups = 0
+        self._retries_total = registry.counter("client_retries_total")
+        self._timeouts_total = registry.counter("client_timeouts_total")
+        self._failovers_total = registry.counter("client_failovers_total")
+        self._readmissions_total = registry.counter("client_readmissions_total")
+        self._hedges_total = registry.counter("client_hedges_total")
+        self._giveups_total = registry.counter("client_giveups_total")
+        self._degraded_gauge = registry.gauge("client_degraded_nodes")
+
+    # --- fault-aware transport ---------------------------------------------------
+
+    def _exchange(self, node: str) -> None:
+        """Account one roundtrip to ``node``; raise if it never answers."""
+        if not self.network.delivers(node):
+            self.clock_s += self.policy.request_timeout_s
+            self.timeouts += 1
+            self._timeouts_total.inc()
+            count = self._consecutive_timeouts.get(node, 0) + 1
+            self._consecutive_timeouts[node] = count
+            if self.policy.should_fail_over(count):
+                self._fail_over(node)
+            reason = "down" if self.network.node_is_down(node) else "timeout"
+            raise NodeUnavailableError(node, reason)
+        self.clock_s += self.network.latency_s
+        self._consecutive_timeouts[node] = 0
+
+    def _ascii_roundtrip(self, node: str, command: Command) -> bytes:
+        self._exchange(node)
+        return super()._ascii_roundtrip(node, command)
+
+    def _binary_roundtrip(self, node: str, request) -> tuple[Status, bytes, int]:
+        self._exchange(node)
+        return super()._binary_roundtrip(node, request)
+
+    # --- failover and health checks ------------------------------------------------
+
+    def _fail_over(self, node: str) -> None:
+        if node not in self.ring.nodes or len(self.ring) <= 1:
+            return
+        self.ring.remove_node(node)
+        self._failed_over[node] = self.clock_s
+        self.failovers += 1
+        self._failovers_total.inc()
+        self._degraded_gauge.set(len(self._failed_over))
+
+    def _health_check(self) -> None:
+        """Readmit failed-over nodes that answer a probe again."""
+        due = [
+            node
+            for node, since in self._failed_over.items()
+            if self.clock_s - since >= self.policy.health_check_interval_s
+        ]
+        for node in due:
+            if self.network.node_is_down(node):
+                # Still dead: probe again a full interval from now.
+                self._failed_over[node] = self.clock_s
+                continue
+            del self._failed_over[node]
+            self.ring.add_node(node)
+            self._consecutive_timeouts[node] = 0
+            self.readmissions += 1
+            self._readmissions_total.inc()
+        self._degraded_gauge.set(len(self._failed_over))
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self._failed_over)
+
+    # --- the retry loop ---------------------------------------------------------------
+
+    def _resilient(self, operation, fallback, hedge=None):
+        """Run ``operation`` under the policy; ``fallback`` on give-up.
+
+        ``operation`` is re-invoked from scratch each attempt, so node
+        selection sees ring changes made by failover in between.
+        ``hedge``, when provided (GETs), is tried once after the first
+        timeout — the duplicate request that a real hedging client
+        would have in flight after ``hedge_after_s`` without a reply.
+        """
+        self._health_check()
+        hedged = False
+        for attempt in range(self.policy.max_attempts):
+            try:
+                return operation()
+            except NodeUnavailableError:
+                if (
+                    hedge is not None
+                    and not hedged
+                    and self.policy.hedge_after_s is not None
+                ):
+                    hedged = True
+                    self.hedges += 1
+                    self._hedges_total.inc()
+                    try:
+                        return hedge()
+                    except NodeUnavailableError:
+                        pass
+                if attempt + 1 < self.policy.max_attempts:
+                    self.clock_s += self.policy.backoff_s(attempt, self._retry_rng)
+                    self.retries += 1
+                    self._retries_total.inc()
+                    self._health_check()
+        self.giveups += 1
+        self._giveups_total.inc()
+        return fallback
+
+    def _hedge_node(self, key: bytes) -> str | None:
+        """The next distinct ring node after the key's owner, if any."""
+        nodes = sorted(self.ring.nodes)
+        if len(nodes) < 2:
+            return None
+        primary = self.node_for(key)
+        return nodes[(nodes.index(primary) + 1) % len(nodes)]
+
+    def _get_from(self, node: str, key: bytes) -> GetResult | None:
+        if self.protocol == "binary":
+            status, value, cas = self._binary_roundtrip(node, get_request(key))
+            if status is Status.KEY_NOT_FOUND:
+                return None
+            if status is not Status.NO_ERROR:
+                raise ProtocolError(f"GET failed: {status.name}")
+            return GetResult(value=value, flags=0, cas=cas)
+        reply = self._ascii_roundtrip(node, Command(verb="gets", keys=(key,)))
+        response = parse_response(reply)
+        if not response.values:
+            return None
+        _key, flags, value, cas = response.values[0]
+        return GetResult(value=value, flags=flags, cas=cas)
+
+    # --- resilient operations ----------------------------------------------------------
+
+    def get(self, key: bytes) -> GetResult | None:
+        def hedge() -> GetResult | None:
+            node = self._hedge_node(key)
+            if node is None:
+                raise NodeUnavailableError("<none>", "no hedge target")
+            return self._get_from(node, key)
+
+        return self._resilient(
+            lambda: self._get_from(self.node_for(key), key), None, hedge=hedge
+        )
+
+    def get_many(self, keys: list[bytes]) -> dict[bytes, GetResult]:
+        results: dict[bytes, GetResult] = {}
+        for key in keys:
+            result = self.get(key)
+            if result is not None:
+                results[key] = result
+        return results
+
+    def set(self, key: bytes, value: bytes, flags: int = 0, expire: float = 0) -> bool:
+        return self._resilient(
+            lambda: MemcachedClient.set(self, key, value, flags, expire), False
+        )
+
+    def add(self, key: bytes, value: bytes, flags: int = 0, expire: float = 0) -> bool:
+        return self._resilient(
+            lambda: MemcachedClient.add(self, key, value, flags, expire), False
+        )
+
+    def replace(self, key: bytes, value: bytes, flags: int = 0,
+                expire: float = 0) -> bool:
+        return self._resilient(
+            lambda: MemcachedClient.replace(self, key, value, flags, expire), False
+        )
+
+    def cas(self, key: bytes, value: bytes, cas: int, flags: int = 0,
+            expire: float = 0) -> bool:
+        return self._resilient(
+            lambda: MemcachedClient.cas(self, key, value, cas, flags, expire), False
+        )
+
+    def delete(self, key: bytes) -> bool:
+        return self._resilient(lambda: MemcachedClient.delete(self, key), False)
+
+    def incr(self, key: bytes, delta: int = 1) -> int | None:
+        return self._resilient(lambda: MemcachedClient.incr(self, key, delta), None)
+
+    def decr(self, key: bytes, delta: int = 1) -> int | None:
+        return self._resilient(lambda: MemcachedClient.decr(self, key, delta), None)
+
+    def flush_all(self) -> None:
+        """Flush every *reachable* node; unreachable ones are skipped
+        (their contents are gone when they come back anyway — §2.3)."""
+        for name in self._stores:
+            try:
+                if self.protocol == "binary":
+                    self._binary_roundtrip(name, simple_request(Opcode.FLUSH))
+                else:
+                    self._exchange(name)
+                    self._ascii[name].feed(b"flush_all\r\n")
+            except NodeUnavailableError:
+                continue

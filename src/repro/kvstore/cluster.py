@@ -6,6 +6,16 @@ nodes (§2.3).  This module wires :class:`ConsistentHashRing` to per-node
 :class:`KVStore` instances, giving examples and integration tests a whole
 cluster with real data movement, misses, and node-failure semantics
 (a downed node simply loses its share of the cache).
+
+Two failure shapes are modelled, mirroring production:
+
+* :meth:`MemcachedCluster.kill_node` — permanent decommissioning: the
+  node leaves both the ring and the cluster;
+* :meth:`MemcachedCluster.crash_node` / :meth:`restart_node` — transient
+  failure: the node's data is lost immediately (§2.3), and while it is
+  down the client either rebalances its arcs onto the survivors
+  (``rebalance_on_failure=True``, production client behaviour) or keeps
+  routing to the dead node and eats misses/failed stores.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ class MemcachedCluster:
         memory_per_node_bytes: int,
         vnodes: int = 100,
         policy: str = "lru",
+        rebalance_on_failure: bool = True,
     ):
         if not node_names:
             raise ConfigurationError("a cluster needs at least one node")
@@ -34,12 +45,25 @@ class MemcachedCluster:
         self.stores: dict[str, KVStore] = {
             name: KVStore(memory_per_node_bytes, policy=policy) for name in node_names
         }
+        self.rebalance_on_failure = rebalance_on_failure
+        self._down: set[str] = set()
+        #: Operations that hit a down node (only possible without
+        #: rebalancing, or when every node is down).
+        self.failed_gets = 0
+        self.failed_sets = 0
 
     # --- membership -------------------------------------------------------------
 
     @property
     def node_names(self) -> list[str]:
         return sorted(self.stores)
+
+    @property
+    def live_nodes(self) -> list[str]:
+        return sorted(set(self.stores) - self._down)
+
+    def node_is_down(self, name: str) -> bool:
+        return name in self._down
 
     def add_node(self, name: str, memory_bytes: int) -> None:
         """Grow the cluster; keys rehash onto the new node lazily (as
@@ -50,11 +74,34 @@ class MemcachedCluster:
         self.stores[name] = KVStore(memory_bytes)
 
     def kill_node(self, name: str) -> None:
-        """Take a node down; its cached data is lost (no persistence)."""
+        """Decommission a node permanently; its cached data is lost."""
         if name not in self.stores:
             raise ConfigurationError(f"node {name!r} not in the cluster")
-        self.ring.remove_node(name)
+        if name not in self._down or not self.rebalance_on_failure:
+            self.ring.remove_node(name)
+        self._down.discard(name)
         del self.stores[name]
+
+    def crash_node(self, name: str) -> None:
+        """Transient failure: data lost now, node expected back later."""
+        if name not in self.stores:
+            raise ConfigurationError(f"node {name!r} not in the cluster")
+        if name in self._down:
+            raise ConfigurationError(f"node {name!r} is already down")
+        self._down.add(name)
+        # §2.3: "data will be removed from your cache if a server goes
+        # down" — the store's contents do not survive the crash.
+        self.stores[name].flush_all()
+        if self.rebalance_on_failure and len(self.ring) > 1:
+            self.ring.remove_node(name)
+
+    def restart_node(self, name: str) -> None:
+        """Bring a crashed node back, cold; its arcs return to it."""
+        if name not in self._down:
+            raise ConfigurationError(f"node {name!r} is not down")
+        self._down.discard(name)
+        if name not in self.ring.nodes:
+            self.ring.add_node(name)
 
     # --- data plane ---------------------------------------------------------------
 
@@ -65,13 +112,24 @@ class MemcachedCluster:
         return self.stores[self.node_for(key)]
 
     def set(self, key: bytes, value: bytes, flags: int = 0, expire: float = 0) -> StoreResult:
-        return self.store_for(key).set(key, value, flags, expire)
+        node = self.node_for(key)
+        if node in self._down:
+            self.failed_sets += 1
+            return StoreResult.NOT_STORED
+        return self.stores[node].set(key, value, flags, expire)
 
     def get(self, key: bytes) -> Item | None:
-        return self.store_for(key).get(key)
+        node = self.node_for(key)
+        if node in self._down:
+            self.failed_gets += 1
+            return None
+        return self.stores[node].get(key)
 
     def delete(self, key: bytes) -> StoreResult:
-        return self.store_for(key).delete(key)
+        node = self.node_for(key)
+        if node in self._down:
+            return StoreResult.NOT_FOUND
+        return self.stores[node].delete(key)
 
     def advance_time(self, delta: float) -> None:
         for store in self.stores.values():

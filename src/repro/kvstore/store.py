@@ -298,7 +298,11 @@ class KVStore:
             raise StorageError(
                 "cannot increment or decrement non-numeric value"
             ) from None
-        new_value = max(0, current + delta)
+        # Counters are 64-bit unsigned: incr wraps at 2^64 (and decr
+        # floors at zero), exactly as memcached does.  Without the wrap
+        # a counter at 2^64-1 overflows struct.pack(">Q") in the binary
+        # protocol's response encoder.
+        new_value = max(0, current + delta) % (1 << 64)
         encoded = str(new_value).encode()
         # Re-store through set() so slab accounting tracks any size change.
         self.set(key, encoded, flags=item.flags)

@@ -11,6 +11,7 @@ board, two PHYs per 441 mm^2 package.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import CapacityError, ConfigurationError
 from repro.network.packets import ETHERNET_10GBE, EthernetParams
@@ -70,9 +71,33 @@ class NicMac:
         self._port_to_core: dict[int, int] = {}
         self.drops = 0
         self.forwarded = 0
+        self.link_drops = 0
+        self.link_corruptions = 0
+        self._should_drop: Callable[[], bool] | None = None
+        self._should_corrupt: Callable[[], bool] | None = None
         self._drops_total = registry.counter("nic_mac_drops_total")
         self._forwarded_total = registry.counter("nic_mac_forwarded_total")
+        self._link_drops_total = registry.counter("nic_link_drops_total")
+        self._link_corruptions_total = registry.counter("nic_link_corruptions_total")
         self._buffered_gauge = registry.gauge("nic_mac_buffered_bytes")
+
+    # --- fault injection ----------------------------------------------------
+
+    def attach_link_faults(
+        self,
+        should_drop: Callable[[], bool] | None = None,
+        should_corrupt: Callable[[], bool] | None = None,
+    ) -> None:
+        """Plug a fault injector into the link side of the MAC.
+
+        ``should_drop`` / ``should_corrupt`` are drawn once per arriving
+        packet (a :class:`~repro.faults.injector.FaultInjector`'s bound
+        methods fit directly).  A corrupted frame fails its Ethernet FCS
+        at the MAC and is discarded, so both look like loss to the host
+        — but they are counted separately, as real NICs do.
+        """
+        self._should_drop = should_drop
+        self._should_corrupt = should_corrupt
 
     # --- routing table -----------------------------------------------------
 
@@ -96,10 +121,19 @@ class NicMac:
         return self._buffered_bytes
 
     def enqueue(self, tcp_port: int, packet_bytes: int) -> bool:
-        """Buffer an arriving packet for its core; False (+drop) if full."""
+        """Buffer an arriving packet for its core; False (+drop) if full,
+        lost on the wire, or corrupted (failed FCS)."""
         if packet_bytes <= 0:
             raise ConfigurationError("packet size must be positive")
         core = self.core_for_port(tcp_port)
+        if self._should_drop is not None and self._should_drop():
+            self.link_drops += 1
+            self._link_drops_total.inc()
+            return False
+        if self._should_corrupt is not None and self._should_corrupt():
+            self.link_corruptions += 1
+            self._link_corruptions_total.inc()
+            return False
         if self._buffered_bytes + packet_bytes > self.buffer_bytes:
             self.drops += 1
             self._drops_total.inc()

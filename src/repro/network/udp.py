@@ -53,6 +53,18 @@ class UdpCostModel:
         if not 0.0 <= self.drop_probability < 1.0:
             raise ConfigurationError("drop probability must be in [0, 1)")
 
+    def effective_drop_probability(self, link_loss: float = 0.0) -> float:
+        """Datagram drop rate with an injected link fault composed in.
+
+        The baseline (congestion) drop rate and an injected link-loss
+        window are independent, so they compose as 1-(1-a)(1-b).
+        """
+        if not 0.0 <= link_loss < 1.0:
+            raise ConfigurationError("link loss must be in [0, 1)")
+        if link_loss == 0.0:
+            return self.drop_probability
+        return 1.0 - (1.0 - self.drop_probability) * (1.0 - link_loss)
+
 
 DEFAULT_UDP_COSTS = UdpCostModel()
 
@@ -114,12 +126,14 @@ def udp_get_instructions(
     value_bytes: int,
     costs: UdpCostModel = DEFAULT_UDP_COSTS,
     key_bytes: int = 64,
+    link_loss: float = 0.0,
 ) -> float:
     """Expected network-stack instructions for one UDP GET.
 
     The drop-retry path (full TCP transaction) is folded in at its
     probability; the TCP fallback cost is approximated as 3x the UDP
-    cost, which is what the ablation benchmark assumes.
+    cost, which is what the ablation benchmark assumes.  ``link_loss``
+    composes an injected fault window into the baseline drop rate.
     """
     wire = udp_get_wire(value_bytes, key_bytes=key_bytes)
     base = (
@@ -127,4 +141,4 @@ def udp_get_instructions(
         + costs.per_packet_instructions * wire.total_packets
         + costs.per_byte_instructions * wire.total_payload
     )
-    return base * (1.0 + 2.0 * costs.drop_probability)
+    return base * (1.0 + 2.0 * costs.effective_drop_probability(link_loss))

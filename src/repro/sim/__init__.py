@@ -3,9 +3,6 @@
 from repro.sim.events import Simulator, Event
 from repro.sim.resources import FifoResource
 from repro.sim.queueing import MM1, MG1, MMc, sla_fraction_met
-from repro.sim.request_sim import StackSimulation, SimResults
-from repro.sim.full_system import FullSystemStack, FullSystemResults
-from repro.sim.packet_sim import PacketLevelSimulation, PacketSimResult
 from repro.sim.rng import make_rng
 
 __all__ = [
@@ -24,3 +21,27 @@ __all__ = [
     "PacketSimResult",
     "make_rng",
 ]
+
+# The simulation front-ends sit above kvstore and core, which themselves
+# use the engine primitives and the fault plane; importing them eagerly
+# here would close an import cycle (kvstore.client -> faults ->
+# sim.events -> this package -> full_system -> core -> kvstore).  PEP 562
+# lazy attributes keep ``from repro.sim import FullSystemStack`` working
+# without the cycle.
+_LAZY = {
+    "StackSimulation": "repro.sim.request_sim",
+    "SimResults": "repro.sim.request_sim",
+    "FullSystemStack": "repro.sim.full_system",
+    "FullSystemResults": "repro.sim.full_system",
+    "PacketLevelSimulation": "repro.sim.packet_sim",
+    "PacketSimResult": "repro.sim.packet_sim",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

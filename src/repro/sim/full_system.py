@@ -17,9 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.latency_model import MemorySpec
+from repro.core.latency_model import MemorySpec, RequestTiming
 from repro.core.stack import StackConfig
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.resilience import ResiliencePolicy
+from repro.faults.schedule import FaultSchedule
 from repro.kvstore.consistent_hash import ConsistentHashRing
 from repro.kvstore.server_loop import MemcachedServer
 from repro.kvstore.store import KVStore
@@ -73,6 +76,16 @@ class FullSystemResults:
     response_bytes: int = 0
     mac_drops: int = 0
     per_core_served: dict[int, int] = field(default_factory=dict)
+    # Fault-plane outcomes (all zero on a fault-free run).
+    failed: int = 0
+    retries: int = 0
+    failovers: int = 0
+    hedges: int = 0
+    fault_timeouts: int = 0
+    # Optional windowed hit-rate timeline for recovery analysis.
+    window_s: float | None = None
+    window_gets: dict[int, int] = field(default_factory=dict)
+    window_hits: dict[int, int] = field(default_factory=dict)
 
     def record(self, rtt_s: float, wait_s: float) -> None:
         """Count one completed request's latency outcome."""
@@ -116,6 +129,64 @@ class FullSystemResults:
         if self.rtts:
             return sum(1 for r in self.rtts if r <= deadline_s) / len(self.rtts)
         return self.rtt_histogram.fraction_below(deadline_s)
+
+    def sla_violation_rate(self, deadline_s: float = 1e-3) -> float:
+        """Share of requests that missed ``deadline_s`` *or never
+        completed at all* — the SLA a fault schedule actually violates."""
+        total = self.completed + self.failed
+        if total == 0:
+            return 0.0
+        late = self.completed * (1.0 - self.sla_fraction(deadline_s))
+        return (late + self.failed) / total
+
+    # --- windowed hit-rate timeline (fault recovery analysis) ----------------
+
+    def note_window_get(self, arrival_s: float, hit: bool) -> None:
+        """Bucket one GET outcome into its arrival-time window."""
+        if self.window_s is None:
+            return
+        index = int(arrival_s / self.window_s)
+        self.window_gets[index] = self.window_gets.get(index, 0) + 1
+        if hit:
+            self.window_hits[index] = self.window_hits.get(index, 0) + 1
+
+    def hit_rate_timeline(self) -> list[tuple[float, float]]:
+        """(window start, hit rate) pairs; empty unless ``window_s`` set."""
+        if self.window_s is None:
+            return []
+        return [
+            (
+                index * self.window_s,
+                self.window_hits.get(index, 0) / gets if gets else 0.0,
+            )
+            for index, gets in sorted(self.window_gets.items())
+        ]
+
+    def hit_rate_after(self, t_s: float) -> float:
+        """Aggregate hit rate over windows starting at or after ``t_s``."""
+        if self.window_s is None:
+            raise ConfigurationError("run with window_s to get a timeline")
+        gets = hits = 0
+        for index, count in self.window_gets.items():
+            if index * self.window_s >= t_s:
+                gets += count
+                hits += self.window_hits.get(index, 0)
+        return hits / gets if gets else 0.0
+
+    def recovery_time_s(
+        self,
+        reference_hit_rate: float,
+        after_s: float,
+        within: float = 0.05,
+    ) -> float | None:
+        """Seconds from ``after_s`` (e.g. a restart) until the windowed
+        hit rate is back within ``within`` of ``reference_hit_rate``;
+        None if it never recovers inside the run."""
+        floor = reference_hit_rate * (1.0 - within)
+        for start_s, rate in self.hit_rate_timeline():
+            if start_s >= after_s and rate >= floor:
+                return max(0.0, start_s - after_s)
+        return None
 
     # Component totals kept as named accessors for the Fig. 4 consumers.
     @property
@@ -195,6 +266,20 @@ class FullSystemStack:
 
     # --- the run -----------------------------------------------------------------
 
+    def _core_index(self, node: str) -> int:
+        """Map a fault-schedule node label (``core3``, ``3``, or a TCP
+        port) to a core index."""
+        label = node[4:] if node.startswith("core") else node
+        try:
+            index = int(label)
+        except ValueError:
+            raise ConfigurationError(f"unknown full-system node {node!r}") from None
+        if index >= _BASE_TCP_PORT:
+            index -= _BASE_TCP_PORT
+        if not 0 <= index < self.stack.cores:
+            raise ConfigurationError(f"no core for fault target {node!r}")
+        return index
+
     def run(
         self,
         workload: "WorkloadSpec",
@@ -203,6 +288,10 @@ class FullSystemStack:
         warmup_requests: int = 0,
         telemetry: TelemetrySession | None = None,
         keep_samples: bool = False,
+        faults: FaultSchedule | None = None,
+        resilience: ResiliencePolicy | None = None,
+        window_s: float | None = None,
+        fill_on_miss: bool = False,
     ) -> FullSystemResults:
         """Drive the stack with ``workload`` at ``offered_rate_hz``.
 
@@ -213,11 +302,29 @@ class FullSystemStack:
         perturbing it, so results are identical with it on or off.
         ``keep_samples`` retains raw RTT/wait sample lists alongside the
         streaming histograms.
+
+        ``faults`` replays a :class:`FaultSchedule` during the run: a
+        crashed core loses its data (§2.3) and times out requests until
+        its restart; packet loss/corruption windows eat attempts; memory
+        degradation windows stretch service times.  ``resilience`` is
+        the client's answer — timeouts, retries with backoff + jitter,
+        hedged GETs, and failover rebalancing of the client-side ring;
+        without it a faulted request simply fails.  Both are driven by
+        dedicated RNG streams, so a fault-free run is request-for-request
+        identical to one without these arguments, and the same
+        (schedule, seed) pair reproduces outcomes bit-for-bit.
+        ``window_s`` buckets GET outcomes into an arrival-time hit-rate
+        timeline for recovery analysis.  ``fill_on_miss`` models the
+        cache-aside pattern: a GET miss is followed by an out-of-band
+        store of the value (the application re-fetching from its
+        database), which is what actually refills a restarted node.
         """
         from repro.workloads.generator import WorkloadGenerator
 
         if offered_rate_hz <= 0 or duration_s <= 0:
             raise ConfigurationError("rate and duration must be positive")
+        if window_s is not None and window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
         if telemetry is None:
             telemetry = NULL_TELEMETRY
         registry, tracer = telemetry.registry, telemetry.tracer
@@ -234,6 +341,7 @@ class FullSystemStack:
             duration_s=duration_s,
             offered_rate_hz=offered_rate_hz,
             keep_samples=keep_samples,
+            window_s=window_s,
         )
         completed_total = registry.counter("requests_completed_total")
         drops_total = registry.counter("mac_drops_total")
@@ -245,54 +353,141 @@ class FullSystemStack:
             registry.counter("requests_served_total", {"core": str(i)})
             for i in range(self.stack.cores)
         ]
-        for _ in range(warmup_requests):
-            request = generator.next_request()
-            self._execute(request.key, "PUT", request.value_bytes)
+        failed_total = registry.counter("requests_failed_total")
+        retries_total = registry.counter("client_retries_total")
+        timeouts_total = registry.counter("client_timeouts_total")
+        failovers_total = registry.counter("client_failovers_total")
+        hedges_total = registry.counter("client_hedged_requests_total")
 
-        def arrive() -> None:
-            if sim.now >= duration_s:
-                return
-            request = generator.next_request()
-            core_index = self.core_for_key(request.key)
-            arrival = sim.now
+        policy = resilience
+        retry_rng = make_rng("resilience", self.seed)
+        memory_kind = "flash" if self.model.memory.is_flash else "dram"
+        # The client's live view of the cluster: failover removes nodes
+        # here and health checks re-add them; ``self.ring`` (the MAC's
+        # port map) is never mutated.
+        client_ring = ConsistentHashRing(
+            (str(_BASE_TCP_PORT + i) for i in range(self.stack.cores)), vnodes=128
+        )
+        down_cores: set[int] = set()
+        failed_over: set[str] = set()
+        consecutive_timeouts: dict[str, int] = {}
 
-            if (
-                self.max_queue_per_core is not None
-                and cores[core_index].queue_depth >= self.max_queue_per_core
-            ):
-                # MAC buffer full for this core: the packet is dropped
-                # (the client would retry; we just count it).
-                results.mac_drops += 1
-                drops_total.inc()
-                sim.schedule(rng.expovariate(offered_rate_hz), arrive)
-                return
+        injector: FaultInjector | None = None
+        if faults is not None:
+            injector = FaultInjector(faults, seed=self.seed, registry=registry)
 
-            hit, response_len = self._execute(
-                request.key, request.verb, request.value_bytes
+            def crash_core(node: str) -> None:
+                # §2.3: a downed node loses its share of the cache.
+                index = self._core_index(node)
+                down_cores.add(index)
+                self.servers[index].store.flush_all()
+
+            def restart_core(node: str) -> None:
+                down_cores.discard(self._core_index(node))
+
+            injector.install(
+                sim, horizon_s=duration_s,
+                on_crash=crash_core, on_restart=restart_core,
             )
+
+        def try_readmit(port: str) -> None:
+            """Health check: re-add a failed-over node once it is up."""
+            if port not in failed_over:
+                return
+            if self._core_index(port) not in down_cores:
+                failed_over.discard(port)
+                client_ring.add_node(port)
+                consecutive_timeouts[port] = 0
+            elif sim.now < duration_s:
+                sim.schedule(
+                    policy.health_check_interval_s, lambda: try_readmit(port)
+                )
+
+        def fail_over(port: str) -> None:
+            if port in failed_over or len(client_ring) <= 1:
+                return
+            failed_over.add(port)
+            client_ring.remove_node(port)
+            results.failovers += 1
+            failovers_total.inc()
+            if sim.now < duration_s:
+                sim.schedule(
+                    policy.health_check_interval_s, lambda: try_readmit(port)
+                )
+
+        def give_up(request, state) -> None:
+            results.failed += 1
+            failed_total.inc()
+            if request.verb == "GET":
+                results.note_window_get(state["arrival"], hit=False)
+
+        def timed_out(request, state, attempt: int, port: str) -> None:
+            results.fault_timeouts += 1
+            timeouts_total.inc()
+            consecutive_timeouts[port] = consecutive_timeouts.get(port, 0) + 1
+            if policy is not None and policy.should_fail_over(
+                consecutive_timeouts[port]
+            ):
+                fail_over(port)
+            if policy is not None and attempt + 1 < policy.max_attempts:
+                results.retries += 1
+                retries_total.inc()
+                delay = policy.request_timeout_s + policy.backoff_s(
+                    attempt, retry_rng
+                )
+                sim.schedule(delay, lambda: dispatch(request, state, attempt + 1))
+            else:
+                give_up(request, state)
+
+        def serve(request, state, core_index: int, port: str) -> None:
+            arrival = state["arrival"]
+            dispatched = sim.now
+            hit, response_len = self._execute(
+                request.key, request.verb, request.value_bytes, core_index
+            )
+            if fill_on_miss and request.verb == "GET" and not hit:
+                # Cache-aside refill: the application fetches the value
+                # from its backing store and re-caches it (functional
+                # only; the DB round trip is outside the simulated SLA).
+                self._execute(request.key, "PUT", request.value_bytes, core_index)
             served_bytes = response_len if request.verb == "GET" else request.value_bytes
             timing = self.model.request_timing(request.verb, served_bytes)
-            if request.verb == "GET":
-                if hit:
-                    results.get_hits += 1
-                    hits_total.inc()
-                else:
-                    results.get_misses += 1
-                    misses_total.inc()
-            else:
-                results.puts += 1
-                puts_total.inc()
-            results.response_bytes += response_len
-            response_bytes_total.inc(response_len)
-            trace = tracer.begin(
-                arrival,
-                core=core_index,
-                verb=request.verb,
-                value_bytes=served_bytes,
+            if injector is not None:
+                factor = injector.service_factor(memory_kind)
+                if factor != 1.0:
+                    timing = RequestTiming(
+                        verb=timing.verb,
+                        value_bytes=timing.value_bytes,
+                        hash_s=timing.hash_s,
+                        memcached_s=timing.memcached_s * factor,
+                        network_s=timing.network_s,
+                    )
+            attrs = dict(
+                core=core_index, verb=request.verb, value_bytes=served_bytes,
                 hit=hit,
             )
+            if state["attempts"] > 1:
+                attrs["attempts"] = state["attempts"]
+            trace = tracer.begin(arrival, **attrs)
 
             def complete(wait: float) -> None:
+                if state["done"]:
+                    return  # a hedged twin already answered
+                state["done"] = True
+                consecutive_timeouts[port] = 0
+                if request.verb == "GET":
+                    if hit:
+                        results.get_hits += 1
+                        hits_total.inc()
+                    else:
+                        results.get_misses += 1
+                        misses_total.inc()
+                    results.note_window_get(arrival, hit)
+                else:
+                    results.puts += 1
+                    puts_total.inc()
+                results.response_bytes += response_len
+                response_bytes_total.inc(response_len)
                 if sim.now <= duration_s:
                     results.record(sim.now - arrival, wait)
                     completed_total.inc()
@@ -304,10 +499,13 @@ class FullSystemStack:
                     )
                     served_per_core[core_index].inc()
                     # The span walk retraces the request's path through
-                    # the pipeline: MAC queue, then the latency model's
-                    # network / hash-lookup / memcached-service stages.
-                    trace.add_span("queue", arrival, wait)
-                    served_at = arrival + wait
+                    # the pipeline: any client retry wait, the MAC
+                    # queue, then the latency model's network /
+                    # hash-lookup / memcached-service stages.
+                    if dispatched > arrival:
+                        trace.add_span("retry", arrival, dispatched - arrival)
+                    trace.add_span("queue", dispatched, wait)
+                    served_at = dispatched + wait
                     trace.add_span("network", served_at, timing.network_s)
                     trace.add_span(
                         "hash", served_at + timing.network_s, timing.hash_s
@@ -321,7 +519,73 @@ class FullSystemStack:
                     tracer.commit(trace)
 
             cores[core_index].submit(timing.total_s, complete)
+
+            if (
+                policy is not None
+                and policy.hedge_after_s is not None
+                and request.verb == "GET"
+            ):
+                def hedge() -> None:
+                    if state["done"] or len(client_ring) < 2:
+                        return
+                    nodes = sorted(client_ring.nodes)
+                    try:
+                        alt = nodes[(nodes.index(port) + 1) % len(nodes)]
+                    except ValueError:  # primary failed over meanwhile
+                        alt = nodes[0]
+                    alt_core = self._core_index(alt)
+                    if alt_core in down_cores:
+                        return
+                    if (
+                        self.max_queue_per_core is not None
+                        and cores[alt_core].queue_depth >= self.max_queue_per_core
+                    ):
+                        return
+                    results.hedges += 1
+                    hedges_total.inc()
+                    serve(request, state, alt_core, alt)
+
+                sim.schedule(policy.hedge_after_s, hedge)
+
+        def dispatch(request, state, attempt: int) -> None:
+            """One attempt of one logical request (``attempt`` 0-based)."""
+            state["attempts"] = attempt + 1
+            if len(client_ring) == 0:
+                give_up(request, state)
+                return
+            port = client_ring.node_for(request.key)
+            core_index = int(port) - _BASE_TCP_PORT
+
+            lost = False
+            if injector is not None:
+                if core_index in down_cores:
+                    lost = True
+                elif injector.should_drop() or injector.should_corrupt():
+                    lost = True
+            if not lost and (
+                self.max_queue_per_core is not None
+                and cores[core_index].queue_depth >= self.max_queue_per_core
+            ):
+                # MAC buffer full for this core: the packet is dropped
+                # and the client sees it as a timeout.
+                results.mac_drops += 1
+                drops_total.inc()
+                lost = True
+            if lost:
+                timed_out(request, state, attempt, port)
+                return
+            serve(request, state, core_index, port)
+
+        def arrive() -> None:
+            if sim.now >= duration_s:
+                return
+            request = generator.next_request()
+            dispatch(request, {"done": False, "arrival": sim.now, "attempts": 0}, 0)
             sim.schedule(rng.expovariate(offered_rate_hz), arrive)
+
+        for _ in range(warmup_requests):
+            request = generator.next_request()
+            self._execute(request.key, "PUT", request.value_bytes)
 
         sim.schedule(rng.expovariate(offered_rate_hz), arrive)
         sim.run()
@@ -329,9 +593,12 @@ class FullSystemStack:
 
     # --- functional execution -------------------------------------------------------
 
-    def _execute(self, key: bytes, verb: str, value_bytes: int) -> tuple[bool, int]:
+    def _execute(
+        self, key: bytes, verb: str, value_bytes: int, core_index: int | None = None
+    ) -> tuple[bool, int]:
         """Run the request against the real store; (hit, response bytes)."""
-        core_index = self.core_for_key(key)
+        if core_index is None:
+            core_index = self.core_for_key(key)
         connection = self.connections[core_index]
         if verb == "GET":
             reply = connection.feed(b"get %s\r\n" % key)

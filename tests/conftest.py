@@ -8,6 +8,22 @@ from repro.memory.flash import FlashDevice, FlashTiming
 from repro.units import KB, MB
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from current model output "
+        "instead of comparing against it",
+    )
+
+
+@pytest.fixture
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should rewrite golden fixtures, not check them."""
+    return request.config.getoption("--regen-golden")
+
+
 @pytest.fixture
 def small_flash() -> FlashDevice:
     """A tiny flash device so FTL tests run fast."""

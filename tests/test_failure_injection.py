@@ -1,62 +1,114 @@
-"""Failure injection: the system under partial failure and pressure.
+"""Failure injection: the system under scheduled faults and pressure.
 
 Memcached's failure model is brutal and simple — a dead node loses its
 data (§2.3: "data will be removed from your cache if a server goes
 down") — and the slab allocator's failure mode is class starvation.
-These tests inject those failures mid-traffic and assert the system
-degrades the way production Memcached does: reduced hit rate, never
-corruption, never a crash.
+These tests replay declarative :mod:`repro.faults` schedules against the
+cluster and the resilient client mid-traffic, and assert the system
+degrades the way production Memcached does: a hit-rate dip that recovers
+after the cold restart, never corruption, never a crash.
 """
 
 import pytest
 
 from repro.errors import ReproError
+from repro.faults import FaultInjector, FaultSchedule, crash_restart
+from repro.faults.resilience import ResiliencePolicy
 from repro.kvstore import KVStore, MemcachedCluster, StoreResult
+from repro.kvstore.client import FaultyNetwork, ResilientClient
 from repro.sim.rng import make_rng
 from repro.units import KB, MB
 from repro.workloads import WorkloadGenerator, WorkloadSpec
 from repro.workloads.traces import replay
 
 
-class TestNodeFailureMidTraffic:
-    def run_with_failure(self, kill_at: int, nodes: int = 6):
+class TestScheduledFaultsEndToEnd:
+    """A FaultSchedule replayed against the cluster with a logical clock."""
+
+    DT = 1e-3  # one request per simulated millisecond
+    REQUESTS = 6_000
+    WINDOWS = 12
+
+    def run_schedule(self, schedule: FaultSchedule | None, nodes: int = 6):
+        """Replay traffic under ``schedule``; returns per-window hit rates."""
         cluster = MemcachedCluster(
             [f"mc{i}" for i in range(nodes)], memory_per_node_bytes=8 * MB
+        )
+        injector = (
+            FaultInjector(schedule, seed=11) if schedule is not None else None
         )
         generator = WorkloadGenerator(
             WorkloadSpec(name="fail", get_fraction=0.9, key_population=3_000),
             seed=11,
         )
+        per_window = self.REQUESTS // self.WINDOWS
+        window_rates: list[float] = []
         hits = misses = 0
-        for index, request in enumerate(generator.stream(6_000)):
-            if index == kill_at:
-                victim = sorted(cluster.node_names)[0]
-                cluster.kill_node(victim)
+        for index, request in enumerate(generator.stream(self.REQUESTS)):
+            if injector is not None:
+                injector.apply_until(
+                    index * self.DT,
+                    on_crash=cluster.crash_node,
+                    on_restart=cluster.restart_node,
+                )
             if request.verb == "GET":
                 if cluster.get(request.key) is not None:
                     hits += 1
                 else:
                     misses += 1
+                    # Cache-aside refill: the app re-fetches from its DB.
                     cluster.set(request.key, b"x" * request.value_bytes)
             else:
                 cluster.set(request.key, b"x" * request.value_bytes)
-        return cluster, hits / max(1, hits + misses)
+            if (index + 1) % per_window == 0:
+                window_rates.append(hits / max(1, hits + misses))
+                hits = misses = 0
+        return cluster, injector, window_rates
 
-    def test_cluster_survives_node_death(self):
-        cluster, hit_rate = self.run_with_failure(kill_at=3_000)
-        assert 0.3 < hit_rate < 1.0
+    def schedule_for(self, crash_at: float, restart_at: float) -> FaultSchedule:
+        return crash_restart("mc0", crash_at, restart_at)
+
+    def test_crash_mid_warmup_recovers(self):
+        """A node dying while the cache is still filling is absorbed:
+        the run completes warm and the injector state is clean."""
+        horizon = self.REQUESTS * self.DT
+        schedule = self.schedule_for(0.3 * horizon, 0.5 * horizon)
+        cluster, injector, rates = self.run_schedule(schedule)
+        assert injector.crashes == 1 and injector.restarts == 1
+        assert not injector.degraded
+        assert cluster.node_is_down("mc0") is False
+        assert rates[-1] > 0.5  # warm again by the end
         for store in cluster.stores.values():
             store.check_invariants()
 
-    def test_node_death_dents_hit_rate(self):
-        _cluster, with_failure = self.run_with_failure(kill_at=3_000)
-        _cluster2, without_failure = self.run_with_failure(kill_at=10**9)
-        assert with_failure < without_failure
+    def test_hit_rate_dips_then_recovers_after_restart(self):
+        """The §2.3 failure story, end to end: crash dents the hit rate,
+        the cold restart refills, and the final windows are back within
+        5% of a fault-free run of the same seeded traffic."""
+        horizon = self.REQUESTS * self.DT
+        schedule = self.schedule_for(0.4 * horizon, 0.6 * horizon)
+        _cluster, _injector, faulted = self.run_schedule(schedule)
+        _base_cluster, _none, baseline = self.run_schedule(None)
+        crash_window = int(0.4 * self.WINDOWS)
+        outage_min = min(faulted[crash_window : crash_window + 3])
+        assert outage_min < baseline[crash_window] - 0.02, (
+            "the crash should visibly dent the hit rate"
+        )
+        assert faulted[-1] >= baseline[-1] * 0.95, (
+            f"post-restart hit rate {faulted[-1]:.3f} never returned to "
+            f"within 5% of the fault-free run's {baseline[-1]:.3f}"
+        )
 
-    def test_cache_refills_after_failure(self):
-        cluster, _ = self.run_with_failure(kill_at=1_000)
-        # After the failure, surviving + refilled nodes hold data again.
-        assert cluster.item_count() > 1_000
+    def test_dead_node_takes_no_traffic_while_down(self):
+        """With rebalancing, the ring absorbs the dead node's arcs: no
+        request fails and the dead store sees zero reads while down."""
+        horizon = self.REQUESTS * self.DT
+        schedule = self.schedule_for(0.4 * horizon, 0.8 * horizon)
+        cluster, injector, _rates = self.run_schedule(schedule)
+        assert cluster.failed_gets == 0 and cluster.failed_sets == 0
+        # The crash flushed the store; every item it now holds arrived
+        # after the restart (its post-crash get counter started at 0).
+        assert injector.crashes == 1
 
     def test_cascading_failures_leave_last_node_serving(self):
         cluster = MemcachedCluster(
@@ -69,6 +121,87 @@ class TestNodeFailureMidTraffic:
             cluster.set(b"probe-after-" + victim.encode(), b"v")
         assert cluster.node_names == ["mc3"]
         assert cluster.get(b"probe-after-mc2") is not None
+
+    def test_two_runs_are_bit_identical(self):
+        """Same schedule + seed -> identical window rates and counters."""
+        horizon = self.REQUESTS * self.DT
+        schedule = self.schedule_for(0.4 * horizon, 0.6 * horizon)
+        first = self.run_schedule(schedule)
+        second = self.run_schedule(schedule)
+        assert first[2] == second[2]
+        assert first[0].hit_rate() == second[0].hit_rate()
+        assert first[0].item_count() == second[0].item_count()
+
+
+class TestResilientClientUnderFaults:
+    """The client-side story: retries, failover, readmission, recovery."""
+
+    def build(self, policy: ResiliencePolicy, seed: int = 5):
+        network = FaultyNetwork(seed=seed)
+        client = ResilientClient(
+            [f"mc{i}" for i in range(4)],
+            memory_per_node_bytes=4 * MB,
+            policy=policy,
+            network=network,
+            seed=seed,
+        )
+        return client, network
+
+    def test_client_survives_crash_and_recovers_hit_rate(self):
+        policy = ResiliencePolicy(
+            failover_after=2, health_check_interval_s=0.05
+        )
+        client, network = self.build(policy)
+        keys = [b"key-%d" % i for i in range(300)]
+        for key in keys:
+            assert client.set(key, b"v")
+        victim = client.node_for(keys[0])
+        # Crash: the node stops answering and (§2.3) loses its data.
+        network.crash(victim)
+        client._stores[victim].flush_all()
+        for key in keys:
+            if client.get(key) is None:
+                client.set(key, b"v")  # cache-aside refill
+        assert client.failovers >= 1 and victim not in client.ring.nodes
+        # Restart; the next health check readmits the node cold.
+        network.restart(victim)
+        client.clock_s += policy.health_check_interval_s
+        refilled = 0
+        for key in keys:
+            if client.get(key) is None:
+                client.set(key, b"v")
+            else:
+                refilled += 1
+        assert client.readmissions == 1 and victim in client.ring.nodes
+        # One more pass is fully warm: every key hits.
+        assert all(client.get(key) is not None for key in keys)
+        assert client.giveups == 0
+
+    def test_loss_window_is_absorbed_by_retries(self):
+        policy = ResiliencePolicy(max_retries=9, failover_after=None)
+        client, network = self.build(policy)
+        keys = [b"key-%d" % i for i in range(200)]
+        for key in keys:
+            assert client.set(key, b"v")
+        network.set_loss(0.2)
+        hits = sum(1 for key in keys if client.get(key) is not None)
+        network.set_loss(0.0)
+        # 20% loss with 9 retries: losing all 10 attempts needs a run of
+        # 10 consecutive drops; this seed's longest run is 7.
+        assert hits == len(keys)
+        assert client.retries > 0 and client.giveups == 0
+
+    def test_no_resilience_turns_faults_into_misses(self):
+        from repro.faults.resilience import NO_RESILIENCE
+
+        client, network = self.build(NO_RESILIENCE)
+        keys = [b"key-%d" % i for i in range(200)]
+        for key in keys:
+            client.set(key, b"v")
+        network.set_loss(0.3)
+        hits = sum(1 for key in keys if client.get(key) is not None)
+        assert hits < len(keys)
+        assert client.giveups > 0 and client.retries == 0
 
 
 class TestMemoryPressureFailure:

@@ -1,0 +1,363 @@
+"""Unit tests for the fault-injection subsystem (:mod:`repro.faults`).
+
+Schedules are pure data with hard validation; the injector replays them
+deterministically (DES-installed or stepped); the resilience policy is
+pure arithmetic.  The last class runs the PR's acceptance scenario
+against the full-system DES at reduced scale: same (schedule, seed)
+twice is bit-identical, and the resilient client's hit rate recovers
+after the cold restart.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    DEFAULT_RESILIENCE,
+    KINDS,
+    NO_RESILIENCE,
+    PRESETS,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    ResiliencePolicy,
+    acceptance_schedule,
+    crash_restart,
+    lossy_link,
+)
+from repro.sim.events import Simulator
+from repro.sim.full_system import FullSystemStack
+from repro.sim.rng import make_rng
+from repro.core import mercury_stack
+from repro.units import MB
+from repro.workloads import WorkloadSpec
+from repro.workloads.distributions import fixed_size
+
+
+class TestFaultEventValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(kind="meteor_strike", at_s=1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(kind="packet_loss", at_s=-0.1, probability=0.1)
+
+    def test_node_faults_need_a_node(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(kind="node_crash", at_s=1.0)
+
+    def test_window_must_end_after_start(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(kind="packet_loss", at_s=2.0, until_s=2.0, probability=0.1)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(kind="packet_loss", at_s=0.0, probability=1.5)
+
+    def test_degradation_factor_must_not_speed_up(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(kind="dram_degradation", at_s=0.0, until_s=1.0, factor=0.5)
+
+    def test_memory_kind_mapping(self):
+        dram = FaultEvent(kind="dram_degradation", at_s=0.0, until_s=1.0, factor=2.0)
+        flash = FaultEvent(kind="flash_wearout", at_s=0.0, factor=2.0)
+        assert dram.memory_kind == "dram" and flash.memory_kind == "flash"
+
+
+class TestFaultScheduleValidation:
+    def test_events_are_sorted_by_time(self):
+        schedule = FaultSchedule(
+            name="s",
+            events=(
+                FaultEvent(kind="node_restart", at_s=3.0, node="a"),
+                FaultEvent(kind="node_crash", at_s=1.0, node="a"),
+            ),
+        )
+        assert [e.at_s for e in schedule] == [1.0, 3.0]
+
+    def test_double_crash_without_restart_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(
+                name="s",
+                events=(
+                    FaultEvent(kind="node_crash", at_s=1.0, node="a"),
+                    FaultEvent(kind="node_crash", at_s=2.0, node="a"),
+                ),
+            )
+
+    def test_restart_without_crash_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(
+                name="s",
+                events=(FaultEvent(kind="node_restart", at_s=1.0, node="a"),),
+            )
+
+    def test_events_between_is_half_open(self):
+        schedule = crash_restart("a", 1.0, 3.0)
+        assert [e.kind for e in schedule.events_between(0.0, 1.0)] == ["node_crash"]
+        assert schedule.events_between(1.0, 2.9) == ()
+        assert [e.kind for e in schedule.events_between(1.0, 3.0)] == ["node_restart"]
+
+    def test_json_roundtrip_is_identity(self):
+        schedule = acceptance_schedule()
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "schedule.json"
+        path.write_text(lossy_link(0.25, 1.0, 2.0).to_json())
+        loaded = FaultSchedule.load(path)
+        assert loaded.events[0].probability == 0.25
+        assert loaded.events[0].until_s == 2.0
+
+    def test_bad_json_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_json("{not json")
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_dict(
+                {"name": "s", "events": [{"kind": "packet_loss", "at_s": 0,
+                                          "bogus_field": 1}]}
+            )
+
+    def test_presets_cover_every_kind(self):
+        kinds = {e.kind for schedule in PRESETS.values() for e in schedule}
+        assert kinds == set(KINDS)
+
+
+class TestFaultInjectorStepped:
+    def test_apply_until_fires_each_transition_once(self):
+        injector = FaultInjector(crash_restart("a", 1.0, 3.0), seed=0)
+        crashed, restarted = [], []
+        injector.apply_until(0.5, crashed.append, restarted.append)
+        assert crashed == [] and not injector.degraded
+        injector.apply_until(1.0, crashed.append, restarted.append)
+        assert crashed == ["a"] and injector.node_is_down("a")
+        injector.apply_until(2.0, crashed.append, restarted.append)
+        assert crashed == ["a"]  # not re-fired
+        injector.apply_until(5.0, crashed.append, restarted.append)
+        assert restarted == ["a"] and not injector.degraded
+        assert injector.crashes == 1 and injector.restarts == 1
+
+    def test_loss_windows_compose_independently(self):
+        schedule = FaultSchedule(
+            name="s",
+            events=(
+                FaultEvent(kind="packet_loss", at_s=0.0, until_s=10.0,
+                           probability=0.1),
+                FaultEvent(kind="packet_loss", at_s=1.0, until_s=2.0,
+                           probability=0.2),
+            ),
+        )
+        injector = FaultInjector(schedule, seed=0)
+        injector.apply_until(0.0)
+        assert injector.loss_probability == pytest.approx(0.1)
+        injector.apply_until(1.0)
+        # 1 - (1-0.1)(1-0.2) = 0.28
+        assert injector.loss_probability == pytest.approx(0.28)
+        injector.apply_until(2.0)
+        assert injector.loss_probability == pytest.approx(0.1)
+        injector.apply_until(10.0)
+        assert injector.loss_probability == pytest.approx(0.0)
+        assert not injector.degraded
+
+    def test_memory_degradation_scales_service_factor(self):
+        injector = FaultInjector(PRESETS["degraded-dram"], seed=0)
+        assert injector.service_factor("dram") == 1.0
+        injector.apply_until(1.0)
+        assert injector.service_factor("dram") == 8.0
+        assert injector.service_factor("flash") == 1.0
+        injector.apply_until(3.0)
+        assert injector.service_factor("dram") == 1.0
+        with pytest.raises(ConfigurationError):
+            injector.service_factor("tape")
+
+    def test_drop_draws_are_seed_deterministic(self):
+        def draws(seed: int) -> list[bool]:
+            injector = FaultInjector(lossy_link(0.3), seed=seed)
+            injector.apply_until(0.0)
+            return [injector.should_drop() for _ in range(200)]
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+        injector = FaultInjector(lossy_link(0.3), seed=7)
+        injector.apply_until(0.0)
+        [injector.should_drop() for _ in range(200)]
+        assert injector.fault_drops == sum(draws(7))
+
+    def test_no_draws_consumed_while_no_window_active(self):
+        """A fault-free period must not touch the RNG stream, so adding
+        a schedule never perturbs an otherwise identical run."""
+        injector = FaultInjector(lossy_link(0.5, start_s=5.0), seed=3)
+        before = injector.rng.random()
+        injector2 = FaultInjector(lossy_link(0.5, start_s=5.0), seed=3)
+        assert not any(injector2.should_drop() for _ in range(50))
+        assert injector2.rng.random() == before
+
+    def test_corruption_counted_separately_from_loss(self):
+        injector = FaultInjector(PRESETS["corruption-burst"], seed=1)
+        injector.apply_until(1.5)
+        for _ in range(2000):
+            injector.should_corrupt()
+        assert injector.fault_corruptions > 0
+        assert injector.fault_drops == 0
+
+
+class TestFaultInjectorInstalled:
+    def test_install_flips_state_at_exact_times(self):
+        sim = Simulator()
+        injector = FaultInjector(crash_restart("a", 1.0, 3.0), seed=0)
+        seen: list[tuple[float, str]] = []
+        injector.install(
+            sim, horizon_s=10.0,
+            on_crash=lambda node: seen.append((sim.now, f"crash:{node}")),
+            on_restart=lambda node: seen.append((sim.now, f"restart:{node}")),
+        )
+        sim.run()
+        assert seen == [(1.0, "crash:a"), (3.0, "restart:a")]
+
+    def test_install_respects_horizon(self):
+        sim = Simulator()
+        injector = FaultInjector(crash_restart("a", 1.0, 3.0), seed=0)
+        injector.install(sim, horizon_s=2.0)
+        sim.run()
+        assert injector.crashes == 1 and injector.restarts == 0
+
+    def test_install_after_start_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        injector = FaultInjector(crash_restart("a", 2.0, 3.0), seed=0)
+        with pytest.raises(ConfigurationError):
+            injector.install(sim, horizon_s=10.0)
+
+
+class TestResiliencePolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(request_timeout_s=0)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(backoff_multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(jitter_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(failover_after=0)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(hedge_after_s=0.0)
+
+    def test_backoff_grows_exponentially_then_caps(self):
+        policy = ResiliencePolicy(jitter_fraction=0.0)
+        rng = make_rng("test", 0)
+        waits = [policy.backoff_s(k, rng) for k in range(10)]
+        assert waits[0] == policy.backoff_base_s
+        assert waits[1] == 2 * waits[0] and waits[2] == 2 * waits[1]
+        assert waits[-1] == policy.backoff_cap_s
+        assert all(b >= a for a, b in zip(waits, waits[1:]))
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = ResiliencePolicy(jitter_fraction=0.1)
+        rng = make_rng("jitter", 9)
+        for attempt in range(6):
+            base = min(
+                policy.backoff_cap_s,
+                policy.backoff_base_s * policy.backoff_multiplier**attempt,
+            )
+            wait = policy.backoff_s(attempt, rng)
+            assert base <= wait <= base * 1.1
+        a = [policy.backoff_s(0, make_rng("j", 1)) for _ in range(3)]
+        assert a[0] == a[1] == a[2]
+
+    def test_failover_threshold(self):
+        policy = ResiliencePolicy(failover_after=3)
+        assert not policy.should_fail_over(2)
+        assert policy.should_fail_over(3)
+        assert not NO_RESILIENCE.should_fail_over(10**6)
+
+    def test_canned_policies(self):
+        assert NO_RESILIENCE.max_attempts == 1
+        assert DEFAULT_RESILIENCE.max_attempts == 4
+        assert DEFAULT_RESILIENCE.failover_after == 3
+
+
+class TestFullSystemAcceptance:
+    """The PR acceptance scenario, scaled down for the tier-1 suite."""
+
+    CORES = 4
+    CRASH_S, RESTART_S = 0.3, 0.6
+    DURATION_S = 1.2
+    WINDOW_S = 0.1
+
+    SCHEDULE = FaultSchedule(
+        name="acceptance-small",
+        events=(
+            FaultEvent(kind="node_crash", at_s=CRASH_S, node="core0"),
+            FaultEvent(kind="node_restart", at_s=RESTART_S, node="core0"),
+            FaultEvent(kind="packet_loss", at_s=0.0, probability=0.01),
+        ),
+    )
+
+    def _run(self, faults=None, resilience=None):
+        system = FullSystemStack(
+            stack=mercury_stack(cores=self.CORES),
+            memory_per_core_bytes=8 * MB,
+            seed=42,
+        )
+        capacity = self.CORES * system.model.tps("GET", 64)
+        workload = WorkloadSpec(
+            name="acceptance",
+            get_fraction=0.9,
+            key_population=20_000,
+            value_sizes=fixed_size(64),
+        )
+        return system.run(
+            workload,
+            offered_rate_hz=0.4 * capacity,
+            duration_s=self.DURATION_S,
+            warmup_requests=10_000,
+            window_s=self.WINDOW_S,
+            fill_on_miss=True,
+            faults=faults,
+            resilience=resilience,
+        )
+
+    @staticmethod
+    def _stats(r):
+        return (
+            r.completed, r.failed, r.retries, r.failovers, r.hedges,
+            r.fault_timeouts, r.get_hits, r.get_misses,
+            r.sla_violation_rate(1e-3),
+            tuple(sorted(r.window_gets.items())),
+            tuple(sorted(r.window_hits.items())),
+        )
+
+    def test_seeded_fault_run_is_bit_identical(self):
+        first = self._run(faults=self.SCHEDULE, resilience=DEFAULT_RESILIENCE)
+        second = self._run(faults=self.SCHEDULE, resilience=DEFAULT_RESILIENCE)
+        assert self._stats(first) == self._stats(second)
+        assert first.mean_rtt == second.mean_rtt
+
+    def test_resilient_client_absorbs_faults_and_recovers(self):
+        base = self._run()
+        faulted = self._run(faults=self.SCHEDULE, resilience=DEFAULT_RESILIENCE)
+        # Retries absorb every fault: nothing fails outright.
+        assert faulted.failed == 0
+        assert faulted.retries > 0 and faulted.fault_timeouts > 0
+        # Post-restart, the hit rate comes back to within 5% of the
+        # fault-free run over the same tail windows.
+        reference = base.hit_rate_after(self.RESTART_S)
+        recovery = faulted.recovery_time_s(reference, after_s=self.RESTART_S)
+        assert recovery is not None, (
+            f"hit rate never recovered; baseline tail {reference:.3f}, "
+            f"timeline {faulted.hit_rate_timeline()}"
+        )
+
+    def test_fault_free_run_unperturbed_by_fault_plumbing(self):
+        """run() with no faults/resilience must be identical to the
+        pre-fault-subsystem behaviour: the fault args are pure opt-in."""
+        plain = self._run()
+        assert plain.failed == 0 and plain.retries == 0
+        assert plain.fault_timeouts == 0 and plain.failovers == 0
+        assert plain.completed > 0
+        assert not math.isnan(plain.mean_rtt)

@@ -6,13 +6,27 @@ raises :class:`ProtocolError`.  The server loop additionally must stay
 and the store invariants hold.
 """
 
+import struct
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ProtocolError, ReproError
 from repro.kvstore import KVStore
-from repro.kvstore.binary_protocol import decode, needs_more_bytes
+from repro.kvstore.binary_protocol import (
+    REQUEST_MAGIC,
+    BinaryMessage,
+    BinaryServer,
+    Opcode,
+    arith_request,
+    decode,
+    encode,
+    get_request,
+    needs_more_bytes,
+    set_request,
+    simple_request,
+)
 from repro.kvstore.protocol import parse_command, parse_response
 from repro.kvstore.server_loop import MemcachedServer
 from repro.units import MB
@@ -98,6 +112,131 @@ class TestServerLoopRobustness:
         for key in keys:
             reply = conn.feed(b"get %s\r\n" % key)
             assert reply == b"VALUE %s 0 1\r\nx\r\nEND\r\n" % key
+        server.store.check_invariants()
+
+
+class TestBinaryServerRobustness:
+    """The binary server must parse-or-ProtocolError, never crash."""
+
+    @given(blob=st.binary(max_size=256))
+    @settings(max_examples=200, deadline=None)
+    def test_binary_server_survives_garbage(self, blob):
+        server = BinaryServer(KVStore(2 * MB))
+        try:
+            server.handle(blob)
+        except ProtocolError:
+            pass
+        # After arbitrary garbage the server must still serve well-formed
+        # requests and keep its store consistent.
+        reply = server.handle(encode(set_request(b"ok", b"hi")))
+        response, rest = decode(reply)
+        assert response.status == 0 and rest == b""
+        server.store.check_invariants()
+
+    @given(
+        magic=st.integers(min_value=0, max_value=255),
+        opcode=st.integers(min_value=0, max_value=255),
+        key_length=st.integers(min_value=0, max_value=0xFFFF),
+        extras_length=st.integers(min_value=0, max_value=255),
+        total_body=st.integers(min_value=0, max_value=512),
+        body=st.binary(max_size=512),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_malformed_headers_never_crash(
+        self, magic, opcode, key_length, extras_length, total_body, body
+    ):
+        """Headers with inconsistent lengths / bad magic / unknown opcodes."""
+        header = struct.pack(
+            ">BBHBBHIIQ", magic, opcode, key_length, extras_length, 0, 0,
+            total_body, 0, 0,
+        )
+        server = BinaryServer(KVStore(2 * MB))
+        try:
+            server.handle(header + body)
+        except ProtocolError:
+            pass
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_truncated_frames_are_buffered_not_crashed(self, data):
+        """Any prefix of a valid frame is an incomplete message: the
+        server waits for more bytes instead of raising or responding."""
+        full = encode(set_request(b"some-key", b"some-value-payload"))
+        cut = data.draw(st.integers(min_value=0, max_value=len(full) - 1))
+        server = BinaryServer(KVStore(2 * MB))
+        assert server.handle(full[:cut]) == b""
+
+    @given(
+        current=st.integers(min_value=0, max_value=2**64 - 1),
+        delta=st.integers(min_value=0, max_value=2**64 - 1),
+        decrement=st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_arith_full_uint64_range(self, current, delta, decrement):
+        """Counters are uint64: incr wraps at 2^64, decr floors at 0.
+
+        This found a real crash: incr past 2^64-1 used to overflow
+        struct.pack(">Q") in the response encoder.
+        """
+        server = BinaryServer(KVStore(2 * MB))
+        server.handle(encode(set_request(b"ctr", str(current).encode())))
+        reply = server.handle(
+            encode(arith_request(b"ctr", delta, decrement=decrement))
+        )
+        response, rest = decode(reply)
+        assert rest == b"" and response.status == 0
+        value = struct.unpack(">Q", response.value)[0]
+        expected = max(0, current - delta) if decrement else (current + delta) % 2**64
+        assert value == expected
+
+    def test_incr_wrap_regression(self):
+        """The exact overflow: a counter at 2^64-1 incremented by 1."""
+        server = BinaryServer(KVStore(2 * MB))
+        server.handle(encode(set_request(b"ctr", str(2**64 - 1).encode())))
+        reply = server.handle(encode(arith_request(b"ctr", 1)))
+        response, _rest = decode(reply)
+        assert response.status == 0
+        assert struct.unpack(">Q", response.value)[0] == 0
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(
+                    [Opcode.SET, Opcode.GET, Opcode.ADD, Opcode.DELETE,
+                     Opcode.INCREMENT, Opcode.APPEND]
+                ),
+                st.integers(min_value=0, max_value=15),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_valid_binary_streams(self, ops):
+        """Every response in a random valid stream decodes cleanly."""
+        server = BinaryServer(KVStore(8 * MB))
+        wire = bytearray()
+        for opcode, index in ops:
+            key = b"key-%d" % index
+            if opcode in (Opcode.SET, Opcode.ADD):
+                request = encode(set_request(key, b"7", opcode=opcode))
+            elif opcode is Opcode.APPEND:
+                request = encode(
+                    BinaryMessage(
+                        magic=REQUEST_MAGIC, opcode=Opcode.APPEND,
+                        key=key, value=b"x",
+                    )
+                )
+            elif opcode is Opcode.INCREMENT:
+                request = encode(arith_request(key, 3, initial=0, expiry=0))
+            elif opcode is Opcode.DELETE:
+                request = encode(simple_request(Opcode.DELETE, key))
+            else:
+                request = encode(get_request(key))
+            wire += request
+        out = server.handle(bytes(wire))
+        while out:
+            response, out = decode(out)
+            assert not response.is_request
         server.store.check_invariants()
 
 

@@ -1,0 +1,163 @@
+"""Golden regression tests: pin the paper artefacts to checked-in JSON.
+
+The analytical models behind Tables 1-4 and Figures 5-8 are the paper
+reproduction's contract — refactors elsewhere in the tree (fault
+injection, telemetry, network plumbing) must not move a single number.
+These tests regenerate each artefact and compare it against fixtures
+under ``tests/golden/`` with explicit tolerances: strings and integers
+must match exactly, floats to ``REL_TOL`` relative error (they are pure
+arithmetic, so anything beyond round-off means the model changed).
+
+To bless an *intentional* model change::
+
+    pytest tests/test_golden_anchors.py --regen-golden
+
+then review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    figure5_mercury_latency_sweep,
+    figure6_iridium_latency_sweep,
+    figure7_density_vs_tps,
+    figure8_power_vs_tps,
+    table1_components,
+    table2_memory_technologies,
+    table3_configurations,
+    table4_comparison,
+)
+from repro.core import iridium_stack, mercury_stack
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Relative tolerance for floats.  The artefacts are closed-form
+#: arithmetic on fixed constants; 1e-9 admits float round-off across
+#: platforms and nothing else.
+REL_TOL = 1e-9
+
+_TABLES = {
+    "table1": table1_components,
+    "table2": table2_memory_technologies,
+    "table3": table3_configurations,
+    "table4": table4_comparison,
+}
+
+_FIGURES = {
+    "fig5": figure5_mercury_latency_sweep,
+    "fig6": figure6_iridium_latency_sweep,
+    "fig7": figure7_density_vs_tps,
+    "fig8": figure8_power_vs_tps,
+}
+
+#: Latency-model anchor points: (family, cores, verb, value_bytes).
+_ANCHORS = [
+    ("mercury", 32, "GET", 64),
+    ("mercury", 32, "GET", 1024),
+    ("mercury", 32, "PUT", 64),
+    ("iridium", 32, "GET", 64),
+    ("iridium", 32, "GET", 4096),
+    ("iridium", 32, "PUT", 1024),
+]
+
+
+def _assert_close(expected, actual, path: str = "$") -> None:
+    """Structural equality with float tolerance; paths name mismatches."""
+    if isinstance(expected, (int, float)) and not isinstance(expected, bool):
+        assert isinstance(actual, (int, float)) and not isinstance(actual, bool), (
+            f"{path}: expected a number, got {actual!r}"
+        )
+        assert math.isclose(expected, actual, rel_tol=REL_TOL, abs_tol=1e-12), (
+            f"{path}: {actual!r} != golden {expected!r} (rel_tol={REL_TOL})"
+        )
+    elif isinstance(expected, list):
+        assert isinstance(actual, list) and len(actual) == len(expected), (
+            f"{path}: length {len(actual) if isinstance(actual, list) else 'n/a'} "
+            f"!= golden {len(expected)}"
+        )
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            _assert_close(e, a, f"{path}[{index}]")
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict) and set(actual) == set(expected), (
+            f"{path}: keys {sorted(actual) if isinstance(actual, dict) else 'n/a'} "
+            f"!= golden {sorted(expected)}"
+        )
+        for key in expected:
+            _assert_close(expected[key], actual[key], f"{path}.{key}")
+    else:
+        assert expected == actual, f"{path}: {actual!r} != golden {expected!r}"
+
+
+def _check(name: str, payload, regen: bool) -> None:
+    """Compare ``payload`` against the fixture, or rewrite it."""
+    # Round-trip through JSON so tuples become lists and numbers take
+    # their serialised types — the same shapes the fixture holds.
+    payload = json.loads(json.dumps(payload))
+    path = GOLDEN_DIR / f"{name}.json"
+    if regen:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return
+    if not path.exists():
+        pytest.fail(
+            f"missing golden fixture {path}; generate it with --regen-golden"
+        )
+    _assert_close(json.loads(path.read_text()), payload, path=name)
+
+
+def _tables_payload() -> dict:
+    payload = {}
+    for name, builder in _TABLES.items():
+        headers, rows = builder()
+        payload[name] = {"headers": list(headers), "rows": [list(r) for r in rows]}
+    return payload
+
+
+def _figures_payload() -> dict:
+    payload = {}
+    for name, builder in _FIGURES.items():
+        payload[name] = [
+            {
+                "title": panel.title,
+                "x_label": panel.x_label,
+                "x_values": list(panel.x_values),
+                "series": {k: list(v) for k, v in panel.series.items()},
+            }
+            for panel in builder()
+        ]
+    return payload
+
+
+def _latency_payload() -> dict:
+    payload = {}
+    for family, cores, verb, value_bytes in _ANCHORS:
+        build = mercury_stack if family == "mercury" else iridium_stack
+        timing = build(cores=cores).latency_model().request_timing(
+            verb, value_bytes
+        )
+        payload[f"{family}-{cores} {verb} {value_bytes}B"] = {
+            "hash_s": timing.hash_s,
+            "memcached_s": timing.memcached_s,
+            "network_s": timing.network_s,
+            "total_s": timing.total_s,
+            "tps": timing.tps,
+        }
+    return payload
+
+
+def test_tables_match_golden(regen_golden):
+    _check("tables", _tables_payload(), regen_golden)
+
+
+def test_figures_match_golden(regen_golden):
+    _check("figures", _figures_payload(), regen_golden)
+
+
+def test_latency_anchors_match_golden(regen_golden):
+    _check("latency_anchors", _latency_payload(), regen_golden)

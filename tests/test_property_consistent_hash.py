@@ -1,0 +1,153 @@
+"""Property-based tests for the consistent-hash ring and cluster routing.
+
+The §3.8 contention argument rests on consistent hashing behaving like
+the literature says it does: node arrival/departure moves only the keys
+it must (monotonicity), the moved fraction is bounded by roughly the
+departing/arriving node's arc share, and a dead node is never routed to.
+Hypothesis explores node sets and key populations far beyond what the
+example-based tests cover.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.cluster import MemcachedCluster
+from repro.kvstore.consistent_hash import ConsistentHashRing
+from repro.units import MB
+
+node_names = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+        min_size=1,
+        max_size=8,
+    ),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+keys = st.lists(st.binary(min_size=1, max_size=24), min_size=1, max_size=200)
+
+#: Keys acceptable to the store (memcached forbids whitespace/CR/LF).
+store_keys = st.lists(
+    st.lists(
+        st.integers(min_value=33, max_value=126), min_size=1, max_size=24
+    ).map(bytes),
+    min_size=1,
+    max_size=100,
+    unique=True,
+)
+
+
+def _owners(ring: ConsistentHashRing, key_list) -> dict[bytes, str]:
+    return {key: ring.node_for(key) for key in key_list}
+
+
+class TestRingMonotonicity:
+    @given(nodes=node_names, key_list=keys, new_node=st.just("zz-new"))
+    @settings(max_examples=100, deadline=None)
+    def test_adding_a_node_only_moves_keys_onto_it(
+        self, nodes, key_list, new_node
+    ):
+        """Monotonicity: a key either keeps its owner or moves to the
+        newcomer — never from one old node to another old node."""
+        ring = ConsistentHashRing(nodes, vnodes=64)
+        before = _owners(ring, key_list)
+        ring.add_node(new_node)
+        after = _owners(ring, key_list)
+        for key in key_list:
+            if after[key] != before[key]:
+                assert after[key] == new_node
+
+    @given(nodes=node_names, key_list=keys)
+    @settings(max_examples=100, deadline=None)
+    def test_removing_a_node_only_moves_its_own_keys(self, nodes, key_list):
+        """Keys on surviving nodes stay put when another node leaves."""
+        ring = ConsistentHashRing(nodes, vnodes=64)
+        victim = sorted(nodes)[0]
+        before = _owners(ring, key_list)
+        ring.remove_node(victim)
+        after = _owners(ring, key_list)
+        for key in key_list:
+            if before[key] != victim:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != victim
+
+    @given(nodes=node_names, key_list=keys)
+    @settings(max_examples=60, deadline=None)
+    def test_remove_then_readd_is_identity(self, nodes, key_list):
+        """A crash/restart cycle restores the exact original mapping."""
+        ring = ConsistentHashRing(nodes, vnodes=64)
+        victim = sorted(nodes)[-1]
+        before = _owners(ring, key_list)
+        ring.remove_node(victim)
+        ring.add_node(victim)
+        assert _owners(ring, key_list) == before
+
+
+class TestBoundedKeyMovement:
+    @given(nodes=node_names)
+    @settings(max_examples=60, deadline=None)
+    def test_moved_fraction_is_bounded(self, nodes):
+        """Adding one node to n moves ~1/(n+1) of keys; with 128 vnodes
+        the arc-size variance keeps it well under 4x the ideal."""
+        key_list = [b"key-%d" % i for i in range(500)]
+        ring = ConsistentHashRing(nodes, vnodes=128)
+        before = _owners(ring, key_list)
+        ring.add_node("zz-new")
+        after = _owners(ring, key_list)
+        moved = sum(1 for key in key_list if after[key] != before[key])
+        ideal = 1.0 / (len(nodes) + 1)
+        assert moved / len(key_list) <= min(1.0, 4.0 * ideal)
+
+    @given(nodes=node_names)
+    @settings(max_examples=60, deadline=None)
+    def test_arc_fractions_sum_to_one(self, nodes):
+        ring = ConsistentHashRing(nodes, vnodes=64)
+        fractions = ring.arc_fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+        assert set(fractions) == set(nodes)
+
+
+class TestClusterNeverRoutesToDeadNodes:
+    @given(nodes=node_names, key_list=store_keys, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_kill_node_never_routes_to_dead_node(self, nodes, key_list, data):
+        cluster = MemcachedCluster(list(nodes), 1 * MB)
+        victim = data.draw(st.sampled_from(sorted(nodes)))
+        cluster.kill_node(victim)
+        for key in key_list:
+            assert cluster.node_for(key) != victim
+        # And every op lands on a live store.
+        for key in key_list:
+            cluster.set(key, b"v")
+            assert cluster.get(key) is not None
+
+    @given(nodes=node_names, key_list=keys, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_crashed_node_never_routed_while_down(self, nodes, key_list, data):
+        """With rebalancing on, a crashed (not killed) node takes no
+        traffic until its restart, after which the mapping is restored."""
+        cluster = MemcachedCluster(list(nodes), 1 * MB)
+        before = {key: cluster.node_for(key) for key in key_list}
+        victim = data.draw(st.sampled_from(sorted(nodes)))
+        cluster.crash_node(victim)
+        for key in key_list:
+            assert cluster.node_for(key) != victim
+        assert cluster.failed_gets == 0 and cluster.failed_sets == 0
+        cluster.restart_node(victim)
+        assert {key: cluster.node_for(key) for key in key_list} == before
+
+    @given(nodes=node_names, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_sequential_kills_always_route_live(self, nodes, data):
+        """Killing nodes one by one, routing always targets a survivor."""
+        cluster = MemcachedCluster(list(nodes), 1 * MB)
+        order = data.draw(st.permutations(sorted(nodes)))
+        probes = [b"probe-%d" % i for i in range(50)]
+        for victim in order[:-1]:  # keep one node alive
+            cluster.kill_node(victim)
+            live = set(cluster.node_names)
+            for key in probes:
+                assert cluster.node_for(key) in live
