@@ -95,5 +95,34 @@ __all__ = [
     "cheapest_plan",
     "plan_fleet",
     "REQUEST_SIZE_SWEEP",
+    "QuorumConfig",
+    "ReplicationConfig",
+    "ReplicationCoordinator",
+    "ReplicaPlacement",
+    "HintQueue",
+    "AntiEntropySweeper",
     "__version__",
 ]
+
+# The replication subsystem sits above kvstore (its coordinator owns
+# per-node stores) while kvstore.client imports replication's placement;
+# eager re-exports here would re-enter that partially-initialised chain.
+# PEP 562 lazy attributes (the same pattern as ``repro.sim``) keep
+# ``from repro import ReplicationCoordinator`` working without the cycle.
+_LAZY = {
+    "QuorumConfig": "repro.replication.config",
+    "ReplicationConfig": "repro.replication.config",
+    "ReplicationCoordinator": "repro.replication.coordinator",
+    "ReplicaPlacement": "repro.replication.placement",
+    "HintQueue": "repro.replication.handoff",
+    "AntiEntropySweeper": "repro.replication.antientropy",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

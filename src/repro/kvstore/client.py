@@ -40,6 +40,8 @@ from repro.kvstore.consistent_hash import ConsistentHashRing
 from repro.kvstore.protocol import Command, parse_response, render_command
 from repro.kvstore.server_loop import Connection, MemcachedServer
 from repro.kvstore.store import KVStore
+from repro.replication.config import QuorumConfig
+from repro.replication.placement import ReplicaPlacement
 from repro.sim.rng import make_rng
 from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
 
@@ -317,6 +319,14 @@ class ResilientClient(MemcachedClient):
     node is removed from the ring; once per ``health_check_interval_s``
     the client probes it and readmits it when it answers again.
 
+    With a :class:`~repro.replication.config.QuorumConfig` (``n > 1``)
+    the client is replica-aware: SETs and DELETEs fan out to the key's
+    preferred list (a SET succeeds at ``w`` acks), and the hedged GET
+    goes to the key's *next replica* — which actually holds a copy —
+    instead of the next ring node, which usually doesn't.  ``n=1``
+    (or ``quorum=None``) preserves the original sharded behaviour
+    exactly.
+
     Wall-clock is modelled, not real: ``clock_s`` advances by the link
     latency per delivered exchange, by ``request_timeout_s`` per
     timeout, and by the backoff between attempts.  Telemetry lands in
@@ -333,8 +343,21 @@ class ResilientClient(MemcachedClient):
         network: FaultyNetwork | None = None,
         registry: MetricsRegistry = NULL_REGISTRY,
         seed: int = 0,
+        quorum: QuorumConfig | None = None,
     ):
         super().__init__(node_names, memory_per_node_bytes, protocol, vnodes)
+        if quorum is not None and quorum.n > len(node_names):
+            raise ConfigurationError(
+                f"replication factor {quorum.n} exceeds the "
+                f"{len(node_names)}-node cluster"
+            )
+        self.quorum = quorum
+        # Placement wraps the live ring, so preferred lists follow
+        # failover/readmission automatically.
+        self.placement = (
+            ReplicaPlacement(self.ring, quorum.n) if quorum is not None else None
+        )
+        self.replica_writes = 0
         self.policy = policy
         self.network = network if network is not None else _clean_network()
         self.clock_s = 0.0
@@ -353,6 +376,7 @@ class ResilientClient(MemcachedClient):
         self._readmissions_total = registry.counter("client_readmissions_total")
         self._hedges_total = registry.counter("client_hedges_total")
         self._giveups_total = registry.counter("client_giveups_total")
+        self._replica_writes_total = registry.counter("client_replica_writes_total")
         self._degraded_gauge = registry.gauge("client_degraded_nodes")
 
     # --- fault-aware transport ---------------------------------------------------
@@ -453,7 +477,12 @@ class ResilientClient(MemcachedClient):
         return fallback
 
     def _hedge_node(self, key: bytes) -> str | None:
-        """The next distinct ring node after the key's owner, if any."""
+        """Where a hedged GET goes: the key's second replica when the
+        client is replica-aware (that node holds a copy), else the next
+        distinct ring node (the pre-replication guess)."""
+        if self.quorum is not None and self.quorum.n > 1:
+            replicas = self.placement.replicas_for(key)
+            return replicas[1] if len(replicas) > 1 else None
         nodes = sorted(self.ring.nodes)
         if len(nodes) < 2:
             return None
@@ -474,6 +503,28 @@ class ResilientClient(MemcachedClient):
             return None
         _key, flags, value, cas = response.values[0]
         return GetResult(value=value, flags=flags, cas=cas)
+
+    def _set_on(self, node: str, key: bytes, value: bytes, flags: int,
+                expire: float) -> bool:
+        """One SET addressed to a specific replica (not the ring owner)."""
+        if self.protocol == "binary":
+            status, _v, _c = self._binary_roundtrip(
+                node, set_request(key, value, flags, int(expire))
+            )
+            return status is Status.NO_ERROR
+        command = Command(
+            verb="set", keys=(key,), data=value, flags=flags, exptime=expire
+        )
+        return self._ascii_roundtrip(node, command).strip() == b"STORED"
+
+    def _delete_on(self, node: str, key: bytes) -> bool:
+        if self.protocol == "binary":
+            status, _v, _c = self._binary_roundtrip(
+                node, simple_request(Opcode.DELETE, key)
+            )
+            return status is Status.NO_ERROR
+        reply = self._ascii_roundtrip(node, Command(verb="delete", keys=(key,)))
+        return reply.strip() == b"DELETED"
 
     # --- resilient operations ----------------------------------------------------------
 
@@ -497,9 +548,21 @@ class ResilientClient(MemcachedClient):
         return results
 
     def set(self, key: bytes, value: bytes, flags: int = 0, expire: float = 0) -> bool:
-        return self._resilient(
-            lambda: MemcachedClient.set(self, key, value, flags, expire), False
-        )
+        if self.quorum is None or self.quorum.n == 1:
+            return self._resilient(
+                lambda: MemcachedClient.set(self, key, value, flags, expire), False
+            )
+        replicas = self.placement.replicas_for(key)
+        acks = 0
+        for node in replicas:
+            stored = self._resilient(
+                lambda n=node: self._set_on(n, key, value, flags, expire), False
+            )
+            if stored:
+                acks += 1
+                self.replica_writes += 1
+                self._replica_writes_total.inc()
+        return acks >= min(self.quorum.w, len(replicas))
 
     def add(self, key: bytes, value: bytes, flags: int = 0, expire: float = 0) -> bool:
         return self._resilient(
@@ -519,7 +582,13 @@ class ResilientClient(MemcachedClient):
         )
 
     def delete(self, key: bytes) -> bool:
-        return self._resilient(lambda: MemcachedClient.delete(self, key), False)
+        if self.quorum is None or self.quorum.n == 1:
+            return self._resilient(lambda: MemcachedClient.delete(self, key), False)
+        deleted = False
+        for node in self.placement.replicas_for(key):
+            if self._resilient(lambda n=node: self._delete_on(n, key), False):
+                deleted = True
+        return deleted
 
     def incr(self, key: bytes, delta: int = 1) -> int | None:
         return self._resilient(lambda: MemcachedClient.incr(self, key, delta), None)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 from collections import Counter
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 
 from repro.errors import ConfigurationError
 
@@ -86,6 +86,28 @@ class ConsistentHashRing:
         if index == len(self._points):
             index = 0
         return self._owners[index]
+
+    def successors(self, key: bytes) -> Iterator[str]:
+        """Distinct physical nodes in ring order from ``key``'s point.
+
+        The first yielded node is :meth:`node_for`; the rest are the
+        owners of the following arcs, each physical node reported once.
+        This is the successor walk replica placement is built on
+        (FAWN-KV chains replicas along exactly this ordering).
+        """
+        if not self._points:
+            return
+        start = bisect.bisect(self._points, _point(key))
+        if start == len(self._points):
+            start = 0
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner
+                if len(seen) == len(self._nodes):
+                    return
 
     # --- analysis (the §3.8 contention argument) -----------------------------------
 

@@ -325,6 +325,29 @@ class KVStore:
         """Number of table entries, including not-yet-reaped dead items."""
         return len(self.table)
 
+    def peek(self, key: bytes) -> Item | None:
+        """Side-effect-free lookup: no stats, no LRU recency bump.
+
+        Replication's read-repair and anti-entropy sweeps compare
+        replicas through this so that inspecting a store never perturbs
+        its hit-rate accounting or eviction order.
+        """
+        item = self.table.find(key)
+        if item is None or self._is_dead(item):
+            return None
+        return item
+
+    def items_live(self) -> list[Item]:
+        """Key-sorted snapshot of the live items (anti-entropy's view).
+
+        Dead (expired/flushed) entries are skipped but *not* reaped, so
+        the snapshot is read-only with respect to store state.
+        """
+        return sorted(
+            (item for item in self.table if not self._is_dead(item)),
+            key=lambda item: item.key,
+        )
+
     @property
     def live_bytes(self) -> int:
         """Value bytes of items currently in the table (incl. unreaped)."""

@@ -1,0 +1,43 @@
+"""Quorum replication over the DHT: placement, coordination, repair.
+
+The subsystem splits along Dynamo's seams:
+
+* :mod:`~repro.replication.config` — the N/R/W knobs.
+* :mod:`~repro.replication.placement` — preferred lists: N distinct
+  physical successors on the ring, stack-aware.
+* :mod:`~repro.replication.coordinator` — the client-side quorum
+  coordinator (fan-out writes, version-resolved reads, read-repair).
+* :mod:`~repro.replication.handoff` — hinted handoff for down replicas.
+* :mod:`~repro.replication.antientropy` — background digest sweeps.
+"""
+
+# kvstore.client imports placement/config from this package while
+# ``repro.kvstore`` is itself mid-import; eager re-exports here would
+# close that cycle.  PEP 562 lazy attributes (the same pattern as
+# ``repro.sim``) keep ``from repro.replication import X`` working
+# without it.
+_LAZY = {
+    "QuorumConfig": "repro.replication.config",
+    "ReplicationConfig": "repro.replication.config",
+    "SINGLE_COPY": "repro.replication.config",
+    "DEFAULT_REPLICATION": "repro.replication.config",
+    "ReplicaPlacement": "repro.replication.placement",
+    "default_stack_of": "repro.replication.placement",
+    "ReplicationCoordinator": "repro.replication.coordinator",
+    "WriteOutcome": "repro.replication.coordinator",
+    "Hint": "repro.replication.handoff",
+    "HintQueue": "repro.replication.handoff",
+    "AntiEntropySweeper": "repro.replication.antientropy",
+    "SweepReport": "repro.replication.antientropy",
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,203 @@
+"""Anti-entropy: background digest sweeps that reconverge replicas.
+
+Hinted handoff repairs the failures the coordinator *saw*; anti-entropy
+repairs the ones it didn't (dropped hints, a coordinator restart, a
+replica that lost data silently).  Replicas periodically compare
+compact digests of their key ranges and copy the newest version of any
+key where they disagree.
+
+The model is Merkle-less but keeps the property that makes Merkle trees
+cheap: synchronized buckets are skipped without looking at their items.
+Each node's live keys are folded into ``buckets`` FNV-hashed buckets per
+replica group; only buckets whose (key, version) digests differ across
+the group are expanded into per-key comparison and repair.  Repairs per
+sweep are capped so a cold restarted node warms over several sweeps
+instead of one giant stall — the cap is the sweep's "instruction
+budget" in the cost model (docs/MODELING.md).
+
+:meth:`AntiEntropySweeper.install` schedules sweeps as recurring events
+on a :class:`~repro.sim.events.Simulator`, which is how the full-system
+DES runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.kvstore.hashing import fnv1a_32
+from repro.kvstore.items import Item
+from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """What one anti-entropy sweep found and fixed.
+
+    ``repairs_by_node``/``bytes_by_node`` break the repair writes down
+    per receiving node, which is what lets a timing layer (the
+    full-system DES) charge each core the service time its repairs
+    cost.
+    """
+
+    buckets_scanned: int
+    buckets_dirty: int
+    keys_compared: int
+    repairs: int
+    truncated: bool
+    repairs_by_node: dict[str, int] = field(default_factory=dict)
+    bytes_by_node: dict[str, int] = field(default_factory=dict)
+
+
+class AntiEntropySweeper:
+    """Periodic digest comparison + repair across a replica group.
+
+    ``coordinator`` is duck-typed: anything with ``stores`` (name ->
+    KVStore), ``live_nodes``, ``node_is_down``, and
+    ``placement.replicas_for`` works — both the client-side
+    :class:`~repro.replication.coordinator.ReplicationCoordinator` and
+    the full-system DES's store fabric qualify.
+    """
+
+    def __init__(
+        self,
+        coordinator,
+        buckets: int = 64,
+        max_repairs_per_sweep: int = 10_000,
+        registry: MetricsRegistry = NULL_REGISTRY,
+    ):
+        if buckets < 1:
+            raise ConfigurationError("anti-entropy needs at least one bucket")
+        if max_repairs_per_sweep < 1:
+            raise ConfigurationError("max_repairs_per_sweep must be positive")
+        self.coordinator = coordinator
+        self.buckets = buckets
+        self.max_repairs_per_sweep = max_repairs_per_sweep
+        self.sweeps = 0
+        self.total_repairs = 0
+        self._sweeps_total = registry.counter("replication_antientropy_sweeps_total")
+        self._repairs_total = registry.counter(
+            "replication_antientropy_repairs_total"
+        )
+        self._dirty_total = registry.counter(
+            "replication_antientropy_dirty_buckets_total"
+        )
+
+    def _bucket_of(self, key: bytes) -> int:
+        return fnv1a_32(key) % self.buckets
+
+    def sweep(self) -> SweepReport:
+        """One full pass: compare digests group-wise, repair to newest.
+
+        The comparison unit is *(replica group, bucket)*: keys sharing a
+        preferred list must be identical across that list's live
+        members, and a bucket whose order-independent (key, version)
+        digest matches on every live member is skipped without touching
+        its items — the Merkle-tree property, flattened to one level.
+        A live member holding nothing in a bucket digests to zero, so
+        "restarted cold" reads as every bucket dirty, as it should.
+        """
+        live = list(self.coordinator.live_nodes)
+        repairs = 0
+        compared = 0
+        truncated = False
+        repairs_by_node: dict[str, int] = {}
+        bytes_by_node: dict[str, int] = {}
+        group_of: dict[bytes, tuple[str, ...]] = {}
+        # (group, bucket) -> node -> digest / items held there.
+        digests: dict[tuple, dict[str, int]] = {}
+        contents: dict[tuple, dict[str, list[Item]]] = {}
+        for node in live:
+            for item in self.coordinator.stores[node].items_live():
+                group = group_of.get(item.key)
+                if group is None:
+                    group = self.coordinator.placement.replicas_for(item.key)
+                    group_of[item.key] = group
+                if node not in group:
+                    continue  # a leftover copy placement no longer maps here
+                cell = (group, self._bucket_of(item.key))
+                fold = (
+                    fnv1a_32(item.key) * 2_654_435_761 + item.flags
+                ) & 0xFFFFFFFFFFFFFFFF
+                per = digests.setdefault(cell, {})
+                per[node] = (per.get(node, 0) + fold) & 0xFFFFFFFFFFFFFFFF
+                contents.setdefault(cell, {}).setdefault(node, []).append(item)
+        scanned = len(digests)
+        dirty = 0
+        for cell in sorted(digests, key=lambda c: (c[0], c[1])):
+            group, _bucket = cell
+            members = [n for n in group if not self.coordinator.node_is_down(n)]
+            if len(members) < 2:
+                continue  # nobody to reconverge with
+            if len({digests[cell].get(n, 0) for n in members}) <= 1:
+                continue  # all live members agree on this bucket
+            dirty += 1
+            self._dirty_total.inc()
+            # Newest version of every key any live member holds here.
+            newest: dict[bytes, Item] = {}
+            holders: dict[bytes, dict[str, int]] = {}
+            for node in members:
+                for item in contents[cell].get(node, ()):
+                    compared += 1
+                    holders.setdefault(item.key, {})[node] = item.flags
+                    best = newest.get(item.key)
+                    if best is None or item.flags > best.flags:
+                        newest[item.key] = item
+            for key in sorted(newest):
+                winner = newest[key]
+                for node in members:
+                    have = holders.get(key, {}).get(node)
+                    if have is not None and have >= winner.flags:
+                        continue
+                    if repairs >= self.max_repairs_per_sweep:
+                        truncated = True
+                        break
+                    store = self.coordinator.stores[node]
+                    ttl = (
+                        max(winner.expire_at - store.now, 0.0)
+                        if winner.expire_at
+                        else 0.0
+                    )
+                    store.set(key, winner.value, flags=winner.flags, expire=ttl)
+                    repairs += 1
+                    repairs_by_node[node] = repairs_by_node.get(node, 0) + 1
+                    bytes_by_node[node] = bytes_by_node.get(node, 0) + len(
+                        winner.value
+                    )
+                if truncated:
+                    break
+            if truncated:
+                break
+        self.sweeps += 1
+        self.total_repairs += repairs
+        self._sweeps_total.inc()
+        self._repairs_total.inc(repairs)
+        return SweepReport(
+            buckets_scanned=scanned,
+            buckets_dirty=dirty,
+            keys_compared=compared,
+            repairs=repairs,
+            truncated=truncated,
+            repairs_by_node=repairs_by_node,
+            bytes_by_node=bytes_by_node,
+        )
+
+    def install(self, sim, interval_s: float, horizon_s: float) -> None:
+        """Schedule recurring sweeps on a DES until the horizon.
+
+        ``sim`` is duck-typed to :class:`repro.sim.events.Simulator`
+        (needs ``schedule_at``).  The first sweep fires at
+        ``interval_s``, not at zero — an empty cluster has nothing to
+        reconverge.
+        """
+        if interval_s <= 0:
+            raise ConfigurationError("anti-entropy interval must be positive")
+
+        def fire(t: float):
+            self.sweep()
+            nxt = t + interval_s
+            if nxt <= horizon_s:
+                sim.schedule_at(nxt, lambda: fire(nxt))
+
+        if interval_s <= horizon_s:
+            sim.schedule_at(interval_s, lambda: fire(interval_s))

@@ -19,6 +19,7 @@ __all__ = [
     "FullSystemResults",
     "PacketLevelSimulation",
     "PacketSimResult",
+    "ReplicationConfig",
     "make_rng",
 ]
 
@@ -35,6 +36,9 @@ _LAZY = {
     "FullSystemResults": "repro.sim.full_system",
     "PacketLevelSimulation": "repro.sim.packet_sim",
     "PacketSimResult": "repro.sim.packet_sim",
+    # Re-exported so full-system callers can configure replicated runs
+    # without importing the replication package path themselves.
+    "ReplicationConfig": "repro.replication.config",
 }
 
 

@@ -27,6 +27,10 @@ from repro.kvstore.consistent_hash import ConsistentHashRing
 from repro.kvstore.server_loop import MemcachedServer
 from repro.kvstore.store import KVStore
 from repro.network.packets import request_wire_payloads, wire_bytes_for_payload
+from repro.replication.antientropy import AntiEntropySweeper
+from repro.replication.config import ReplicationConfig
+from repro.replication.handoff import HintQueue
+from repro.replication.placement import ReplicaPlacement
 from repro.sim.events import Simulator
 from repro.sim.resources import FifoResource
 from repro.sim.rng import make_rng
@@ -82,6 +86,15 @@ class FullSystemResults:
     failovers: int = 0
     hedges: int = 0
     fault_timeouts: int = 0
+    # Replication outcomes (all zero on an unreplicated run).
+    replica_puts: int = 0
+    redirected_reads: int = 0
+    verify_reads: int = 0
+    read_repairs: int = 0
+    hints_queued: int = 0
+    hints_replayed: int = 0
+    antientropy_sweeps: int = 0
+    antientropy_repairs: int = 0
     # Optional windowed hit-rate timeline for recovery analysis.
     window_s: float | None = None
     window_gets: dict[int, int] = field(default_factory=dict)
@@ -124,6 +137,16 @@ class FullSystemResults:
     def hit_rate(self) -> float:
         gets = self.get_hits + self.get_misses
         return self.get_hits / gets if gets else 0.0
+
+    @property
+    def write_amplification(self) -> float:
+        """Physical replica writes per logical PUT (≈N when healthy;
+        exactly 1.0 for an unreplicated run)."""
+        if not self.puts:
+            return 0.0
+        if not self.replica_puts:
+            return 1.0
+        return self.replica_puts / self.puts
 
     def sla_fraction(self, deadline_s: float = 1e-3) -> float:
         if self.rtts:
@@ -219,6 +242,35 @@ class FullSystemResults:
         return max(counts) / mean if mean else 1.0
 
 
+class _ReplicaFabric:
+    """A coordinator-shaped view of the stack's per-core stores.
+
+    :class:`~repro.replication.antientropy.AntiEntropySweeper` is
+    duck-typed against the client-side coordinator; this adapter gives
+    it the same surface (``stores``, ``live_nodes``, ``node_is_down``,
+    ``placement``) over the DES's cores, keyed by TCP port.  ``down``
+    is shared with the run loop, so the sweeper always sees the current
+    crash state.
+    """
+
+    def __init__(
+        self,
+        stores: dict[str, KVStore],
+        placement: ReplicaPlacement,
+        down: set[str],
+    ):
+        self.stores = stores
+        self.placement = placement
+        self._down = down
+
+    @property
+    def live_nodes(self) -> list[str]:
+        return sorted(port for port in self.stores if port not in self._down)
+
+    def node_is_down(self, port: str) -> bool:
+        return port in self._down
+
+
 class FullSystemStack:
     """One simulated 3D stack running real Memcached instances."""
 
@@ -292,6 +344,7 @@ class FullSystemStack:
         resilience: ResiliencePolicy | None = None,
         window_s: float | None = None,
         fill_on_miss: bool = False,
+        replication: ReplicationConfig | None = None,
     ) -> FullSystemResults:
         """Drive the stack with ``workload`` at ``offered_rate_hz``.
 
@@ -318,6 +371,18 @@ class FullSystemStack:
         cache-aside pattern: a GET miss is followed by an out-of-band
         store of the value (the application re-fetching from its
         database), which is what actually refills a restarted node.
+
+        ``replication`` (with ``n > 1``) runs the stack as a quorum
+        replica group: each PUT fans to the key's N preferred cores
+        (each copy charged full service time — the ≈N× write
+        amplification shows up in core load and TPS), completing at the
+        W-th ack; GETs target the preferred list with retries and
+        hedges walking to the *next replica*, plus ``r - 1`` background
+        verify-reads charging the read-quorum cost; copies for a
+        crashed core are parked as hints and replayed at its restart;
+        and an anti-entropy sweep reconverges replicas on a DES timer.
+        ``n=1`` (or ``None``) is the original sharded behaviour,
+        request-for-request identical.
         """
         from repro.workloads.generator import WorkloadGenerator
 
@@ -372,6 +437,36 @@ class FullSystemStack:
         failed_over: set[str] = set()
         consecutive_timeouts: dict[str, int] = {}
 
+        repl = replication
+        if repl is not None and repl.n > self.stack.cores:
+            raise ConfigurationError(
+                f"replication factor {repl.n} exceeds the "
+                f"{self.stack.cores}-core stack"
+            )
+        replicated = repl is not None and repl.n > 1
+        down_ports: set[str] = set()
+        placement: ReplicaPlacement | None = None
+        hintq: HintQueue | None = None
+        put_seq = [0]  # the DES's version epoch (hint resolution order)
+        if replicated:
+            # Each core is its own failure domain here — the whole run
+            # is one physical stack — so placement skips by node; the
+            # rack/stack-aware rule matters in the multi-stack client.
+            placement = ReplicaPlacement(
+                self.ring, repl.n, stack_of=lambda port: port
+            )
+            hintq = HintQueue(registry=registry)
+            replica_writes_total = registry.counter(
+                "replication_replica_writes_total"
+            )
+            redirected_total = registry.counter(
+                "replication_redirected_reads_total"
+            )
+            verify_total = registry.counter("replication_verify_reads_total")
+            read_repairs_total = registry.counter(
+                "replication_read_repairs_total"
+            )
+
         injector: FaultInjector | None = None
         if faults is not None:
             injector = FaultInjector(faults, seed=self.seed, registry=registry)
@@ -380,15 +475,69 @@ class FullSystemStack:
                 # §2.3: a downed node loses its share of the cache.
                 index = self._core_index(node)
                 down_cores.add(index)
+                down_ports.add(str(_BASE_TCP_PORT + index))
                 self.servers[index].store.flush_all()
 
             def restart_core(node: str) -> None:
-                down_cores.discard(self._core_index(node))
+                index = self._core_index(node)
+                down_cores.discard(index)
+                down_ports.discard(str(_BASE_TCP_PORT + index))
+                if replicated and repl.hinted_handoff:
+                    hints = hintq.drain(str(_BASE_TCP_PORT + index))
+                    if hints:
+                        replay_service = 0.0
+                        for hint in hints:
+                            self._execute(hint.key, "PUT", hint.payload, index)
+                            replay_service += self.model.request_timing(
+                                "PUT", hint.payload
+                            ).total_s
+                        results.hints_replayed += len(hints)
+                        # Replay occupies the restarted core like one
+                        # back-to-back burst of PUTs.
+                        cores[index].submit(replay_service, lambda wait: None)
 
             injector.install(
                 sim, horizon_s=duration_s,
                 on_crash=crash_core, on_restart=restart_core,
             )
+
+        if replicated and repl.anti_entropy_interval_s is not None:
+            fabric = _ReplicaFabric(
+                {
+                    str(_BASE_TCP_PORT + i): server.store
+                    for i, server in enumerate(self.servers)
+                },
+                placement,
+                down_ports,
+            )
+            sweeper = AntiEntropySweeper(
+                fabric,
+                buckets=repl.anti_entropy_buckets,
+                max_repairs_per_sweep=repl.max_repairs_per_sweep,
+                registry=registry,
+            )
+            ae_interval = repl.anti_entropy_interval_s
+
+            def antientropy_fire(t: float) -> None:
+                report = sweeper.sweep()
+                results.antientropy_sweeps += 1
+                results.antientropy_repairs += report.repairs
+                for port, count in sorted(report.repairs_by_node.items()):
+                    # Charge each receiving core the service time of its
+                    # repair writes (functional copies already landed).
+                    mean_bytes = report.bytes_by_node[port] // count
+                    service = (
+                        self.model.request_timing("PUT", mean_bytes).total_s * count
+                    )
+                    cores[int(port) - _BASE_TCP_PORT].submit(
+                        service, lambda wait: None
+                    )
+                nxt = t + ae_interval
+                if nxt <= duration_s:
+                    sim.schedule_at(nxt, lambda: antientropy_fire(nxt))
+
+            if ae_interval <= duration_s:
+                sim.schedule_at(ae_interval, lambda: antientropy_fire(ae_interval))
 
         def try_readmit(port: str) -> None:
             """Health check: re-add a failed-over node once it is up."""
@@ -445,11 +594,51 @@ class FullSystemStack:
             hit, response_len = self._execute(
                 request.key, request.verb, request.value_bytes, core_index
             )
+            if replicated and request.verb == "GET" and not hit:
+                # Quorum read: the coordinator consults R replicas and
+                # any copy answers — a replica that misses while a live
+                # peer holds the key is read-repaired with that copy.
+                for peer_port in placement.replicas_for(request.key):
+                    peer_core = int(peer_port) - _BASE_TCP_PORT
+                    if peer_core == core_index or peer_core in down_cores:
+                        continue
+                    if self.servers[peer_core].store.peek(request.key) is None:
+                        continue
+                    hit, response_len = self._execute(
+                        request.key, "GET", request.value_bytes, peer_core
+                    )
+                    if hit:
+                        self._execute(
+                            request.key, "PUT", request.value_bytes, core_index
+                        )
+                        results.read_repairs += 1
+                        read_repairs_total.inc()
+                        # The repair write occupies the lagging core.
+                        cores[core_index].submit(
+                            self.model.request_timing(
+                                "PUT", request.value_bytes
+                            ).total_s,
+                            lambda wait: None,
+                        )
+                    break
             if fill_on_miss and request.verb == "GET" and not hit:
                 # Cache-aside refill: the application fetches the value
                 # from its backing store and re-caches it (functional
                 # only; the DB round trip is outside the simulated SLA).
-                self._execute(request.key, "PUT", request.value_bytes, core_index)
+                if replicated:
+                    for fill_port in placement.replicas_for(request.key):
+                        fill_core = int(fill_port) - _BASE_TCP_PORT
+                        if fill_core not in down_cores:
+                            self._execute(
+                                request.key, "PUT", request.value_bytes, fill_core
+                            )
+                else:
+                    self._execute(request.key, "PUT", request.value_bytes, core_index)
+            if replicated and request.verb == "GET":
+                preferred = placement.replicas_for(request.key)
+                if port != preferred[0]:
+                    results.redirected_reads += 1
+                    redirected_total.inc()
             served_bytes = response_len if request.verb == "GET" else request.value_bytes
             timing = self.model.request_timing(request.verb, served_bytes)
             if injector is not None:
@@ -521,18 +710,66 @@ class FullSystemStack:
             cores[core_index].submit(timing.total_s, complete)
 
             if (
+                replicated
+                and repl.r > 1
+                and request.verb == "GET"
+                and not state.get("verified", False)
+            ):
+                # Read-quorum cost: the coordinator also consults r-1
+                # more replicas.  Their replies don't gate the RTT (the
+                # fastest copy answers the caller) but the reads occupy
+                # those replicas' cores.
+                state["verified"] = True
+                extra = 0
+                for verify_port in placement.replicas_for(request.key):
+                    if extra == repl.r - 1:
+                        break
+                    if verify_port == port:
+                        continue
+                    verify_core = int(verify_port) - _BASE_TCP_PORT
+                    if verify_core in down_cores:
+                        continue
+                    verify_timing = self.model.request_timing(
+                        "GET", request.value_bytes
+                    )
+                    cores[verify_core].submit(
+                        verify_timing.total_s, lambda wait: None
+                    )
+                    results.verify_reads += 1
+                    verify_total.inc()
+                    extra += 1
+
+            if (
                 policy is not None
                 and policy.hedge_after_s is not None
                 and request.verb == "GET"
             ):
                 def hedge() -> None:
-                    if state["done"] or len(client_ring) < 2:
+                    if state["done"]:
                         return
-                    nodes = sorted(client_ring.nodes)
-                    try:
-                        alt = nodes[(nodes.index(port) + 1) % len(nodes)]
-                    except ValueError:  # primary failed over meanwhile
-                        alt = nodes[0]
+                    if replicated:
+                        # Hedge to the key's next replica — the node
+                        # that actually holds a copy.
+                        preferred = placement.replicas_for(request.key)
+                        start = (
+                            preferred.index(port) if port in preferred else -1
+                        )
+                        alt = None
+                        for offset in range(1, len(preferred)):
+                            candidate = preferred[(start + offset) % len(preferred)]
+                            if self._core_index(candidate) not in down_cores:
+                                alt = candidate
+                                break
+                        if alt is None:
+                            return
+                    else:
+                        if len(client_ring) < 2:
+                            return
+                        nodes = sorted(client_ring.nodes)
+                        try:
+                            alt = nodes[(nodes.index(port) + 1) % len(nodes)]
+                        except ValueError:  # primary failed over meanwhile
+                            alt = nodes[0]
                     alt_core = self._core_index(alt)
                     if alt_core in down_cores:
                         return
@@ -547,13 +784,154 @@ class FullSystemStack:
 
                 sim.schedule(policy.hedge_after_s, hedge)
 
+        def put_copy_resolved(
+            request, state, copy_state, attempt: int,
+            ok: bool, wait: float, response_len: int,
+        ) -> None:
+            """One replica copy of a fanned PUT finished (or timed out)."""
+            copy_state["resolved"] += 1
+            if ok:
+                copy_state["acks"] += 1
+                if (
+                    copy_state["acks"] == copy_state["need"]
+                    and not state["done"]
+                ):
+                    # The W-th ack completes the logical PUT.
+                    state["done"] = True
+                    results.puts += 1
+                    puts_total.inc()
+                    results.response_bytes += response_len
+                    response_bytes_total.inc(response_len)
+                    if sim.now <= duration_s:
+                        results.record(sim.now - state["arrival"], wait)
+                        completed_total.inc()
+            if (
+                copy_state["resolved"] == copy_state["total"]
+                and not state["done"]
+            ):
+                # Every copy resolved and the quorum never formed.
+                if policy is not None and attempt + 1 < policy.max_attempts:
+                    results.retries += 1
+                    retries_total.inc()
+                    delay = policy.backoff_s(attempt, retry_rng)
+                    sim.schedule(
+                        delay, lambda: dispatch(request, state, attempt + 1)
+                    )
+                else:
+                    give_up(request, state)
+
+        def send_put_copy(
+            request, state, copy_state, port: str, attempt: int, version: int
+        ) -> None:
+            """Fan one physical copy of a PUT to one replica core."""
+            core_index = int(port) - _BASE_TCP_PORT
+            down = core_index in down_cores
+            lost = down
+            if not lost and injector is not None and (
+                injector.should_drop() or injector.should_corrupt()
+            ):
+                lost = True
+            if not lost and (
+                self.max_queue_per_core is not None
+                and cores[core_index].queue_depth >= self.max_queue_per_core
+            ):
+                results.mac_drops += 1
+                drops_total.inc()
+                lost = True
+            if lost:
+                if down and repl.hinted_handoff:
+                    if hintq.park(
+                        port, request.key, version, request.value_bytes
+                    ):
+                        results.hints_queued += 1
+                results.fault_timeouts += 1
+                timeouts_total.inc()
+                consecutive_timeouts[port] = consecutive_timeouts.get(port, 0) + 1
+                if policy is not None and policy.should_fail_over(
+                    consecutive_timeouts[port]
+                ):
+                    fail_over(port)
+                timeout = (
+                    policy.request_timeout_s if policy is not None else 0.0
+                )
+                sim.schedule(
+                    timeout,
+                    lambda: put_copy_resolved(
+                        request, state, copy_state, attempt,
+                        ok=False, wait=0.0, response_len=0,
+                    ),
+                )
+                return
+            _hit, response_len = self._execute(
+                request.key, "PUT", request.value_bytes, core_index
+            )
+            timing = self.model.request_timing("PUT", request.value_bytes)
+            if injector is not None:
+                factor = injector.service_factor(memory_kind)
+                if factor != 1.0:
+                    timing = RequestTiming(
+                        verb=timing.verb,
+                        value_bytes=timing.value_bytes,
+                        hash_s=timing.hash_s,
+                        memcached_s=timing.memcached_s * factor,
+                        network_s=timing.network_s,
+                    )
+            results.replica_puts += 1
+            replica_writes_total.inc()
+
+            def complete(wait: float) -> None:
+                consecutive_timeouts[port] = 0
+                if sim.now <= duration_s:
+                    results.component_seconds["hash"] += timing.hash_s
+                    results.component_seconds["memcached"] += timing.memcached_s
+                    results.component_seconds["network"] += timing.network_s
+                    results.per_core_served[core_index] = (
+                        results.per_core_served.get(core_index, 0) + 1
+                    )
+                    served_per_core[core_index].inc()
+                put_copy_resolved(
+                    request, state, copy_state, attempt,
+                    ok=True, wait=wait, response_len=response_len,
+                )
+
+            cores[core_index].submit(timing.total_s, complete)
+
+        def dispatch_replicated_put(request, state, attempt: int) -> None:
+            """Fan a logical PUT to its preferred list (W-quorum)."""
+            state["attempts"] = attempt + 1
+            preferred = placement.replicas_for(request.key)
+            put_seq[0] += 1
+            copy_state = {
+                "acks": 0,
+                "resolved": 0,
+                "total": len(preferred),
+                "need": min(repl.w, len(preferred)),
+            }
+            for port in preferred:
+                send_put_copy(
+                    request, state, copy_state, port, attempt, put_seq[0]
+                )
+
         def dispatch(request, state, attempt: int) -> None:
             """One attempt of one logical request (``attempt`` 0-based)."""
-            state["attempts"] = attempt + 1
-            if len(client_ring) == 0:
-                give_up(request, state)
+            if replicated and request.verb != "GET":
+                dispatch_replicated_put(request, state, attempt)
                 return
-            port = client_ring.node_for(request.key)
+            state["attempts"] = attempt + 1
+            if replicated:
+                # Read path: walk the key's preferred list, skipping
+                # failed-over members; retries rotate to the next
+                # replica instead of hammering the same node.
+                preferred = placement.replicas_for(request.key)
+                candidates = [
+                    p for p in preferred if p not in failed_over
+                ] or list(preferred)
+                port = candidates[attempt % len(candidates)]
+            else:
+                if len(client_ring) == 0:
+                    give_up(request, state)
+                    return
+                port = client_ring.node_for(request.key)
             core_index = int(port) - _BASE_TCP_PORT
 
             lost = False
@@ -585,7 +963,14 @@ class FullSystemStack:
 
         for _ in range(warmup_requests):
             request = generator.next_request()
-            self._execute(request.key, "PUT", request.value_bytes)
+            if replicated:
+                for warm_port in placement.replicas_for(request.key):
+                    self._execute(
+                        request.key, "PUT", request.value_bytes,
+                        int(warm_port) - _BASE_TCP_PORT,
+                    )
+            else:
+                self._execute(request.key, "PUT", request.value_bytes)
 
         sim.schedule(rng.expovariate(offered_rate_hz), arrive)
         sim.run()

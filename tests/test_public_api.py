@@ -41,3 +41,55 @@ class TestTopLevelExports:
         metrics = evaluate_server(server, photo_point)
         assert metrics.tps > 0
         assert metrics.bandwidth_bytes_s == pytest.approx(metrics.tps * 64 * 1024)
+
+
+class TestReplicationExports:
+    """PR 3's lazy (PEP 562) replication exports and cycle freedom."""
+
+    LAZY_NAMES = [
+        "QuorumConfig",
+        "ReplicationConfig",
+        "ReplicationCoordinator",
+        "ReplicaPlacement",
+        "HintQueue",
+        "AntiEntropySweeper",
+    ]
+
+    def test_lazy_exports_resolve_and_are_listed(self):
+        for name in self.LAZY_NAMES:
+            assert name in repro.__all__, name
+            assert getattr(repro, name) is not None, name
+
+    def test_sim_reexports_replication_config(self):
+        import repro.sim
+
+        assert repro.sim.ReplicationConfig is repro.ReplicationConfig
+        assert "ReplicationConfig" in repro.sim.__all__
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.sim
+
+        with pytest.raises(AttributeError):
+            repro.no_such_symbol  # noqa: B018
+        with pytest.raises(AttributeError):
+            repro.sim.no_such_symbol  # noqa: B018
+
+    def test_fresh_import_is_cycle_free(self):
+        """Regression for the kvstore.client <-> replication cycle: a
+        fresh interpreter must import every entry point in any order."""
+        import subprocess
+        import sys
+
+        scripts = [
+            "import repro; import repro.kvstore.client; import repro.replication",
+            "import repro.replication; import repro.kvstore.client; import repro",
+            "import repro.kvstore.client; from repro import ReplicationCoordinator",
+            "from repro.sim import FullSystemStack, ReplicationConfig",
+        ]
+        for script in scripts:
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+            )
+            assert proc.returncode == 0, f"{script!r} failed:\n{proc.stderr}"

@@ -1,0 +1,163 @@
+"""Golden regression for the replication availability/recovery curve.
+
+Pins the full-system crash experiment for N ∈ {1, 2, 3}: per-window
+availability relative to a fault-free run of the same configuration,
+plus the replication bookkeeping (write amplification, hints,
+anti-entropy repairs).  The DES is seeded and single-threaded, so the
+fixture matches exactly up to float round-off; any drift means the
+replicated request path changed and the diff should be reviewed like a
+model change.
+
+To bless an intentional change::
+
+    pytest tests/test_replication_golden.py --regen-golden
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.core import mercury_stack
+from repro.faults.resilience import DEFAULT_RESILIENCE
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.replication.config import ReplicationConfig
+from repro.sim.full_system import FullSystemStack
+from repro.units import MB
+from repro.workloads import WorkloadSpec
+from repro.workloads.distributions import fixed_size
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REL_TOL = 1e-9
+
+CORES = 4
+CRASH_S, RESTART_S = 0.3, 0.6
+DURATION_S = 1.2
+WINDOW_S = 0.1
+
+SCHEDULE = FaultSchedule(
+    name="replication-golden",
+    events=(
+        FaultEvent(kind="node_crash", at_s=CRASH_S, node="core0"),
+        FaultEvent(kind="node_restart", at_s=RESTART_S, node="core0"),
+    ),
+)
+
+
+def _run(n: int, faults: FaultSchedule | None):
+    system = FullSystemStack(
+        stack=mercury_stack(cores=CORES),
+        memory_per_core_bytes=8 * MB,
+        seed=42,
+    )
+    capacity = CORES * system.model.tps("GET", 64)
+    workload = WorkloadSpec(
+        name="replication-golden",
+        get_fraction=0.9,
+        key_population=8_000,
+        value_sizes=fixed_size(64),
+    )
+    replication = (
+        ReplicationConfig(n=n, r=min(2, n), w=min(2, n)) if n > 1 else None
+    )
+    return system.run(
+        workload,
+        offered_rate_hz=0.3 * capacity,
+        duration_s=DURATION_S,
+        warmup_requests=24_000,
+        window_s=WINDOW_S,
+        fill_on_miss=True,
+        faults=faults,
+        resilience=DEFAULT_RESILIENCE if faults else None,
+        replication=replication,
+    )
+
+
+def _availability_payload() -> dict:
+    payload = {}
+    for n in (1, 2, 3):
+        baseline = _run(n, faults=None)
+        faulted = _run(n, faults=SCHEDULE)
+        windows = []
+        for window in sorted(baseline.window_gets):
+            base_gets = baseline.window_gets[window]
+            gets = faulted.window_gets.get(window, 0)
+            if not base_gets or not gets:
+                continue
+            base_rate = baseline.window_hits.get(window, 0) / base_gets
+            rate = faulted.window_hits.get(window, 0) / gets
+            windows.append(
+                {
+                    "window_s": round(window * WINDOW_S, 6),
+                    "availability": rate / base_rate if base_rate else 0.0,
+                }
+            )
+        payload[f"n{n}"] = {
+            "quorum": {
+                "n": n,
+                "r": min(2, n) if n > 1 else 1,
+                "w": min(2, n) if n > 1 else 1,
+            },
+            "write_amplification": faulted.write_amplification,
+            "min_availability": min(w["availability"] for w in windows),
+            "availability_curve": windows,
+            "hints_queued": faulted.hints_queued,
+            "hints_replayed": faulted.hints_replayed,
+            "antientropy_repairs": faulted.antientropy_repairs,
+            "completed": faulted.completed,
+            "failed": faulted.failed,
+        }
+    return payload
+
+
+def _assert_close(expected, actual, path: str = "$") -> None:
+    if isinstance(expected, (int, float)) and not isinstance(expected, bool):
+        assert isinstance(actual, (int, float)) and not isinstance(actual, bool), (
+            f"{path}: expected a number, got {actual!r}"
+        )
+        assert math.isclose(expected, actual, rel_tol=REL_TOL, abs_tol=1e-12), (
+            f"{path}: {actual!r} != golden {expected!r} (rel_tol={REL_TOL})"
+        )
+    elif isinstance(expected, list):
+        assert isinstance(actual, list) and len(actual) == len(expected), (
+            f"{path}: length mismatch vs golden"
+        )
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            _assert_close(e, a, f"{path}[{index}]")
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict) and set(actual) == set(expected), (
+            f"{path}: key mismatch vs golden"
+        )
+        for key in expected:
+            _assert_close(expected[key], actual[key], f"{path}.{key}")
+    else:
+        assert expected == actual, f"{path}: {actual!r} != golden {expected!r}"
+
+
+@pytest.mark.slow
+def test_replication_availability_matches_golden(regen_golden):
+    payload = json.loads(json.dumps(_availability_payload()))
+    path = GOLDEN_DIR / "replication_availability.json"
+    if regen_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return
+    if not path.exists():
+        pytest.fail(f"missing golden fixture {path}; generate with --regen-golden")
+    _assert_close(json.loads(path.read_text()), payload, "replication_availability")
+
+
+@pytest.mark.slow
+def test_golden_fixture_tells_the_availability_story():
+    """Independent of exact numbers, the checked-in fixture must show
+    the claim: N=3 never dips below 99% while N=1 troughs visibly."""
+    path = GOLDEN_DIR / "replication_availability.json"
+    if not path.exists():
+        pytest.skip("fixture not generated yet")
+    payload = json.loads(path.read_text())
+    assert payload["n3"]["min_availability"] >= 0.99
+    assert payload["n1"]["min_availability"] < 0.95
+    assert payload["n3"]["write_amplification"] > 2.0
