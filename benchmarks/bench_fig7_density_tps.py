@@ -2,7 +2,7 @@
 configuration (the density/throughput trade-off)."""
 
 import pytest
-from conftest import emit
+from conftest import emit, track
 
 from repro.analysis import figure7_density_vs_tps, render_series
 
@@ -12,6 +12,12 @@ def test_fig7(benchmark):
     for name, panel in (("fig7_a_mercury", mercury), ("fig7_b_iridium", iridium)):
         emit(name, render_series(panel.x_label, panel.x_values, panel.series,
                                  caption=panel.title))
+    track(
+        "fig7_mercury32_a7",
+        tps=dict(
+            zip(mercury.x_values, mercury.series["TPS @64B (millions)"])
+        )["Mercury-32 A7@1GHz"] * 1e6,
+    )
 
     m_density = dict(zip(mercury.x_values, mercury.series["Density (thousands of GB)"]))
     m_tps = dict(zip(mercury.x_values, mercury.series["TPS @64B (millions)"]))

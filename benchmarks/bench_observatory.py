@@ -1,0 +1,124 @@
+"""Observatory benchmark: the PR 4 acceptance timeline as an artefact.
+
+Runs the crash-restart scenario twice — fault-free and faulted, no
+client resilience so the crash is visible as failures — with the full
+observatory attached: a :class:`TimeSeriesRecorder` snapshotting every
+0.1 simulated seconds, an :class:`SloMonitor` burning against the
+paper's 1.1 ms / 99.9 % objectives, and a :class:`SimProfiler` on the
+event loop.  The windowed timeline lands in
+``benchmarks/out/timeseries.jsonl`` (CI uploads it), the human-readable
+story — fault window, burn-rate alert firing, recovery clearing — in
+``benchmarks/out/observatory.txt``, and the run's throughput in the
+regression tracker.
+"""
+
+from conftest import OUT_DIR, emit, track
+
+from repro.core import mercury_stack
+from repro.faults import FaultEvent, FaultSchedule
+from repro.sim.full_system import FullSystemStack
+from repro.telemetry import (
+    MetricsRegistry,
+    SimProfiler,
+    SloMonitor,
+    TelemetrySession,
+    TimeSeriesRecorder,
+    default_burn_rules,
+    paper_sla_objectives,
+    write_timeseries_jsonl,
+)
+from repro.units import MB
+from repro.workloads import WorkloadSpec
+from repro.workloads.distributions import fixed_size
+
+CORES = 4
+DURATION_S = 1.2
+CRASH_S, RESTART_S = 0.3, 0.6
+SCHEDULE = FaultSchedule(
+    name="observatory-crash-restart",
+    events=(
+        FaultEvent(kind="node_crash", at_s=CRASH_S, node="core0"),
+        FaultEvent(kind="node_restart", at_s=RESTART_S, node="core0"),
+    ),
+)
+WORKLOAD = WorkloadSpec(
+    name="observatory-bench",
+    get_fraction=0.9,
+    key_population=8_000,
+    value_sizes=fixed_size(64),
+)
+
+
+def _observed_run(faults=None):
+    registry = MetricsRegistry()
+    objectives = paper_sla_objectives()
+    slo = SloMonitor(
+        objectives,
+        default_burn_rules(
+            objectives, short_window_s=0.1, long_window_s=0.3, threshold=5.0
+        ),
+        resolution_s=0.05,
+        registry=registry,
+    )
+    recorder = TimeSeriesRecorder(registry, interval_s=0.1)
+    profiler = SimProfiler()
+    system = FullSystemStack(
+        stack=mercury_stack(cores=CORES), memory_per_core_bytes=8 * MB, seed=42
+    )
+    capacity = CORES * system.model.tps("GET", 64)
+    results = system.run(
+        WORKLOAD,
+        offered_rate_hz=0.4 * capacity,
+        duration_s=DURATION_S,
+        warmup_requests=16_000,
+        window_s=0.1,
+        fill_on_miss=True,
+        faults=faults,
+        telemetry=TelemetrySession(registry=registry, max_traces=0),
+        timeseries=recorder,
+        slo=slo,
+        profiler=profiler,
+    )
+    return results, recorder, profiler
+
+
+def test_observatory_timeline(benchmark):
+    results, recorder, profiler = benchmark.pedantic(
+        lambda: _observed_run(faults=SCHEDULE), rounds=1, iterations=1
+    )
+    write_timeseries_jsonl(OUT_DIR / "timeseries.jsonl", recorder)
+
+    lines = [
+        f"crash(t={CRASH_S}s) + restart(t={RESTART_S}s) on Mercury-{CORES}, "
+        f"{DURATION_S}s simulated, no client resilience",
+        f"completed={results.completed} failed={results.failed} "
+        f"mean_rtt={results.mean_rtt * 1e6:.1f}us",
+        "",
+        "slo alerts:",
+    ]
+    for alert in results.slo_alerts:
+        lines.append(
+            f"  {alert.rule:20s} fired={alert.fired_at_s:.2f}s "
+            f"cleared={alert.cleared_at_s:.2f}s peak_burn={alert.peak_burn:.0f}x"
+        )
+    lines += ["", profiler.report(top_n=8)]
+    emit("observatory", "\n".join(lines))
+
+    track(
+        "observatory_crash_restart",
+        tps=results.completed / DURATION_S,
+        rtt_s=results.mean_rtt,
+    )
+
+    # The acceptance timeline: the crash burns the budget, the alert
+    # fires inside the fault window and clears after the restart.
+    assert results.failed > 0
+    fired = {alert.rule: alert for alert in results.slo_alerts}
+    assert "availability_burn" in fired
+    alert = fired["availability_burn"]
+    assert CRASH_S <= alert.fired_at_s <= RESTART_S
+    assert alert.cleared_at_s is not None and alert.cleared_at_s >= RESTART_S
+    # One firing per rule: a sustained violation does not re-fire.
+    assert len(results.slo_alerts) == len(fired)
+    # The JSONL timeline has one snapshot per interval.
+    assert len(recorder.to_jsonl().splitlines()) >= int(DURATION_S / 0.1) - 1

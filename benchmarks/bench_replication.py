@@ -14,7 +14,7 @@ session registry so CI can assert they reach ``benchmarks/out/metrics.prom``.
 """
 
 import pytest
-from conftest import REGISTRY, emit
+from conftest import REGISTRY, emit, track
 
 from repro.analysis import render_table
 from repro.faults import DEFAULT_RESILIENCE, PRESETS, crash_restart
@@ -88,6 +88,12 @@ def test_replication_smoke(benchmark):
                 _min_availability(faulted, baseline),
                 faulted.write_amplification,
             )
+            if n == 3:
+                track(
+                    "replication_smoke_n3_crash",
+                    tps=faulted.completed / 1.2,
+                    rtt_s=faulted.mean_rtt,
+                )
         return out
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)

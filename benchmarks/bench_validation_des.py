@@ -1,7 +1,7 @@
 """Validation benchmark: the §5.3 linear-scaling methodology, checked
 against the discrete-event simulator instead of assumed."""
 
-from conftest import emit
+from conftest import emit, track
 
 from repro.analysis import render_table
 from repro.analysis.validation import validation_table
@@ -32,6 +32,14 @@ def test_des_validation(benchmark):
              "Analytic sub-ms", "Measured sub-ms"],
             table_rows,
             caption="DES validation of the linear-scaling methodology (S5.3)",
+        ),
+    )
+    track(
+        "validation_des_mercury8_load09",
+        tps=next(
+            row.measured_tps
+            for row in rows
+            if "Mercury-8" in row.name and row.load == 0.9
         ),
     )
     for row in rows:

@@ -12,21 +12,52 @@ histogram, and the whole registry is written to
 record of each run alongside the human-readable ``.txt`` artefacts.
 Benches that run with their own :class:`TelemetrySession` can archive
 its registry too, via ``emit_metrics``.
+
+On top of that sits the regression tracker: every benchmark's wall time
+(and, where the bench calls ``track``, its TPS / RTT) is appended as one
+run to ``benchmarks/out/BENCH_history.json`` at session end, and the
+delta against the previous run lands in
+``benchmarks/out/bench_regressions.txt``.  CI replays the same diff with
+``python -m repro.analysis.bench_track --check`` and fails on a >10 %
+TPS drop.
 """
 
 from __future__ import annotations
 
+import platform
 import time
 from pathlib import Path
 
 import pytest
 
+from repro.analysis.bench_track import append_run, load_history, regression_report, render_report
 from repro.telemetry import MetricsRegistry, write_prometheus
 
 OUT_DIR = Path(__file__).parent / "out"
 
+#: History file consumed by ``repro.analysis.bench_track``.
+HISTORY_PATH = OUT_DIR / "BENCH_history.json"
+
 #: Session-wide registry snapshotted to benchmarks/out/metrics.prom.
 REGISTRY = MetricsRegistry()
+
+#: Per-benchmark measurements accumulated this session: name -> fields.
+_RECORDS: dict[str, dict[str, float]] = {}
+
+
+def track(name: str, tps: float | None = None, rtt_s: float | None = None, **extra: float) -> None:
+    """Record a benchmark's headline numbers for the regression tracker.
+
+    Call once per benchmark with whatever it measures; fields merge into
+    the same record as the autouse wall-clock timing.
+    """
+    fields = _RECORDS.setdefault(name, {})
+    if tps is not None:
+        fields["tps"] = float(tps)
+    if rtt_s is not None:
+        fields["rtt_s"] = float(rtt_s)
+    for key, value in extra.items():
+        fields[key] = float(value)
 
 
 def emit(name: str, text: str) -> None:
@@ -45,14 +76,25 @@ def emit_metrics(name: str, registry: MetricsRegistry) -> Path:
 
 @pytest.fixture(autouse=True)
 def _time_benchmark(request):
-    """Stream every benchmark's wall time into the session registry."""
+    """Stream every benchmark's wall time into the session registry and
+    the regression-tracker record."""
     started = time.perf_counter()
     yield
+    elapsed = time.perf_counter() - started
     REGISTRY.histogram(
         "bench_wall_seconds", labels={"bench": request.node.name}
-    ).record(time.perf_counter() - started)
+    ).record(elapsed)
+    _RECORDS.setdefault(request.node.name, {})["wall_s"] = elapsed
 
 
 def pytest_sessionfinish(session, exitstatus):
     if len(REGISTRY):
         write_prometheus(OUT_DIR / "metrics.prom", REGISTRY)
+    if _RECORDS:
+        append_run(
+            HISTORY_PATH,
+            _RECORDS,
+            meta={"python": platform.python_version(), "exitstatus": int(exitstatus)},
+        )
+        report = render_report(regression_report(load_history(HISTORY_PATH)))
+        (OUT_DIR / "bench_regressions.txt").write_text(report + "\n")

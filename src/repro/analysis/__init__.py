@@ -34,6 +34,22 @@ from repro.analysis.crossover import (
 )
 from repro.analysis.ascii_chart import bar_chart, series_chart
 
+# bench_track is also an executable module (python -m
+# repro.analysis.bench_track); importing it eagerly here would make
+# runpy warn about the module already being in sys.modules.
+_BENCH_TRACK_EXPORTS = frozenset(
+    {"append_run", "load_history", "regression_report", "render_report"}
+)
+
+
+def __getattr__(name):
+    if name in _BENCH_TRACK_EXPORTS:
+        from repro.analysis import bench_track
+
+        return getattr(bench_track, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "table1_components",
     "table2_memory_technologies",
@@ -70,4 +86,8 @@ __all__ = [
     "mercury_iridium_tco_crossover",
     "bar_chart",
     "series_chart",
+    "append_run",
+    "load_history",
+    "regression_report",
+    "render_report",
 ]

@@ -1,0 +1,248 @@
+"""Benchmark-regression tracker: append per-run records, diff vs last run.
+
+The benchmark harness measures throughput and latency every run, but a
+number printed once is a number forgotten: a 15 % TPS regression hides
+easily inside a 20-benchmark session.  This module keeps the history.
+
+Each benchmark session appends one *run* to a JSON history file
+(``benchmarks/out/BENCH_history.json`` by default): a monotonically
+increasing ``seq``, optional free-form ``meta``, and a ``records`` map
+of benchmark name → measurements (``wall_s`` always; ``tps`` / ``rtt_s``
+when the bench reports them).  :func:`regression_report` then diffs the
+newest run against the previous one and flags any tracked benchmark
+whose TPS dropped (or wall-clock grew) by more than a threshold.
+
+The file format is deliberately dumb JSON — greppable, mergeable, and
+diff-able in code review — and the module doubles as a CLI::
+
+    python -m repro.analysis.bench_track --history benchmarks/out/BENCH_history.json --check
+
+which exits non-zero when the latest run regressed, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+#: Current schema version of the history file.
+SCHEMA_VERSION = 1
+
+#: Default relative TPS drop that flags a regression (10 %).
+DEFAULT_TPS_THRESHOLD = 0.10
+
+#: Default relative wall-clock growth that flags a regression (75 % —
+#: wall time on shared CI machines is noisy, so the gate is loose).
+DEFAULT_WALL_THRESHOLD = 0.75
+
+#: Measurement fields where *smaller* is better.
+_LOWER_IS_BETTER = frozenset({"wall_s", "rtt_s"})
+
+
+def _empty_history() -> dict:
+    return {"version": SCHEMA_VERSION, "runs": []}
+
+
+def load_history(path: str | Path) -> dict:
+    """Load a history file, returning an empty history if absent.
+
+    A corrupt or wrong-version file raises :class:`ConfigurationError`
+    rather than silently starting over — losing the baseline is exactly
+    the failure a tracker exists to prevent.
+    """
+    path = Path(path)
+    if not path.exists():
+        return _empty_history()
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"unreadable bench history {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"bench history {path} has unsupported version "
+            f"{payload.get('version') if isinstance(payload, dict) else payload!r}"
+        )
+    if not isinstance(payload.get("runs"), list):
+        raise ConfigurationError(f"bench history {path} has no runs list")
+    return payload
+
+
+def append_run(
+    path: str | Path,
+    records: Mapping[str, Mapping[str, float]],
+    meta: Mapping[str, Any] | None = None,
+    max_runs: int = 200,
+) -> dict:
+    """Append one run of measurements and rewrite the history file.
+
+    ``records`` maps benchmark name → {field: value}; non-finite values
+    are dropped.  History is capped at ``max_runs`` (oldest evicted) so
+    a long-lived checkout never grows an unbounded file.  Returns the
+    run entry that was written.
+    """
+    if not records:
+        raise ConfigurationError("refusing to append an empty benchmark run")
+    history = load_history(path)
+    clean: dict[str, dict[str, float]] = {}
+    for name, fields in sorted(records.items()):
+        row = {
+            key: float(value)
+            for key, value in sorted(fields.items())
+            if isinstance(value, (int, float)) and math.isfinite(float(value))
+        }
+        if row:
+            clean[str(name)] = row
+    if not clean:
+        raise ConfigurationError("no finite measurements in benchmark run")
+    runs = history["runs"]
+    seq = (runs[-1]["seq"] + 1) if runs else 1
+    entry: dict[str, Any] = {"seq": seq, "records": clean}
+    if meta:
+        entry["meta"] = dict(meta)
+    runs.append(entry)
+    del runs[:-max_runs]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return entry
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One benchmark measurement compared across two runs."""
+
+    bench: str
+    field: str
+    previous: float
+    current: float
+    flagged: bool
+
+    @property
+    def ratio(self) -> float:
+        """current / previous (inf when previous is zero)."""
+        if self.previous == 0:
+            return math.inf if self.current else 1.0
+        return self.current / self.previous
+
+    @property
+    def change(self) -> float:
+        """Signed relative change, e.g. -0.12 for a 12 % drop."""
+        return self.ratio - 1.0
+
+
+def regression_report(
+    history: Mapping[str, Any],
+    tps_threshold: float = DEFAULT_TPS_THRESHOLD,
+    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+) -> list[Delta]:
+    """Diff the newest run against the previous one.
+
+    Returns every comparable (bench, field) pair as a :class:`Delta`;
+    ``flagged`` is set when TPS dropped by more than ``tps_threshold``
+    or wall-clock grew by more than ``wall_threshold``.  Latency
+    (``rtt_s``) deltas are reported but never flagged on their own —
+    the simulated RTT is deterministic, so a real change there shows up
+    in review, while the gate watches throughput.
+    """
+    runs = history.get("runs", [])
+    if len(runs) < 2:
+        return []
+    previous, current = runs[-2]["records"], runs[-1]["records"]
+    deltas: list[Delta] = []
+    for bench in sorted(set(previous) & set(current)):
+        before, after = previous[bench], current[bench]
+        for field in sorted(set(before) & set(after)):
+            old, new = float(before[field]), float(after[field])
+            flagged = False
+            if field == "tps" and old > 0:
+                flagged = (new - old) / old < -tps_threshold
+            elif field == "wall_s" and old > 0:
+                flagged = (new - old) / old > wall_threshold
+            deltas.append(Delta(bench, field, old, new, flagged))
+    return deltas
+
+
+def render_report(deltas: list[Delta]) -> str:
+    """Human-readable delta table, flagged rows marked ``!!``."""
+    if not deltas:
+        return "bench tracker: fewer than two runs recorded, nothing to compare"
+    lines = [
+        "benchmark regression report (latest run vs previous)",
+        f"{'':2s} {'benchmark':40s} {'field':8s} {'previous':>14s} "
+        f"{'current':>14s} {'change':>8s}",
+    ]
+    for d in deltas:
+        marker = "!!" if d.flagged else "  "
+        arrow = "" if abs(d.change) < 5e-4 else ("+" if d.change > 0 else "")
+        lines.append(
+            f"{marker} {d.bench:40s} {d.field:8s} {d.previous:>14.6g} "
+            f"{d.current:>14.6g} {arrow}{d.change:>7.1%}"
+        )
+    flagged = [d for d in deltas if d.flagged]
+    if flagged:
+        lines.append("")
+        lines.append(f"{len(flagged)} regression(s) flagged:")
+        for d in flagged:
+            direction = "dropped" if d.field not in _LOWER_IS_BETTER else "grew"
+            lines.append(
+                f"  {d.bench}: {d.field} {direction} "
+                f"{abs(d.change):.1%} ({d.previous:g} -> {d.current:g})"
+            )
+    else:
+        lines.append("")
+        lines.append("no regressions flagged")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.bench_track",
+        description="Diff the latest benchmark run against the previous one.",
+    )
+    parser.add_argument(
+        "--history",
+        default="benchmarks/out/BENCH_history.json",
+        help="history file written by the benchmark harness",
+    )
+    parser.add_argument(
+        "--tps-threshold",
+        type=float,
+        default=DEFAULT_TPS_THRESHOLD,
+        help="relative TPS drop that counts as a regression (default 0.10)",
+    )
+    parser.add_argument(
+        "--wall-threshold",
+        type=float,
+        default=DEFAULT_WALL_THRESHOLD,
+        help="relative wall-clock growth that counts as a regression",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when any regression is flagged (CI gate)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        history = load_history(args.history)
+    except ConfigurationError as exc:
+        print(f"error: {exc}")
+        return 2
+    deltas = regression_report(
+        history,
+        tps_threshold=args.tps_threshold,
+        wall_threshold=args.wall_threshold,
+    )
+    print(render_report(deltas))
+    if args.check and any(d.flagged for d in deltas):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

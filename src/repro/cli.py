@@ -12,6 +12,8 @@ Usage::
                              [--size 64]
     python -m repro telemetry [--family mercury] [--cores 8] [--load 0.6]
                               [--duration 0.2] [--out telemetry-out]
+                              [--profile] [--interval 0.05]
+                              [--scenario crash-restart]
     python -m repro replication [--replicas 1,2,3] [--scenario crash-restart]
                                 [--cores 4] [--load 0.3] [--duration 4.0]
 """
@@ -228,11 +230,18 @@ def _cmd_pareto(args: argparse.Namespace) -> str:
 def _cmd_telemetry(args: argparse.Namespace) -> str:
     from pathlib import Path
 
+    from repro.faults import PRESETS
     from repro.sim.full_system import FullSystemStack
     from repro.telemetry import (
+        SimProfiler,
+        SloMonitor,
         TelemetrySession,
+        TimeSeriesRecorder,
+        default_burn_rules,
+        paper_sla_objectives,
         summary_table,
         write_prometheus,
+        write_timeseries_jsonl,
         write_trace_jsonl,
     )
     from repro.units import MB
@@ -251,16 +260,41 @@ def _cmd_telemetry(args: argparse.Namespace) -> str:
     )
     capacity = stack.cores * system.model.tps("GET", parse_size(args.size))
     telemetry = TelemetrySession(max_traces=args.trace_limit)
+
+    objectives = paper_sla_objectives(
+        deadline_s=args.slo_deadline_us * 1e-6, target=args.slo_target
+    )
+    slo = SloMonitor(
+        objectives,
+        default_burn_rules(
+            objectives,
+            short_window_s=args.duration / 12,
+            long_window_s=args.duration / 4,
+            threshold=args.burn_threshold,
+        ),
+        resolution_s=args.duration / 24,
+        registry=telemetry.registry,
+    )
+    interval = args.interval if args.interval else args.duration / 20
+    recorder = TimeSeriesRecorder(telemetry.registry, interval_s=interval)
+    profiler = SimProfiler() if args.profile else None
+
     results = system.run(
         workload,
         offered_rate_hz=args.load * capacity,
         duration_s=args.duration,
         warmup_requests=10_000,
+        fill_on_miss=args.scenario is not None,
+        faults=PRESETS[args.scenario] if args.scenario else None,
         telemetry=telemetry,
+        timeseries=recorder,
+        slo=slo,
+        profiler=profiler,
     )
     out = Path(args.out)
     trace_path = write_trace_jsonl(out / "trace.jsonl", telemetry.tracer)
     metrics_path = write_prometheus(out / "metrics.prom", telemetry.registry)
+    series_path = write_timeseries_jsonl(out / "timeseries.jsonl", recorder)
     header = (
         f"{stack.name} @ {args.load:.0%} load for {args.duration}s simulated: "
         f"{results.completed} requests, {results.throughput_hz / 1e3:.1f} KTPS, "
@@ -268,13 +302,32 @@ def _cmd_telemetry(args: argparse.Namespace) -> str:
         f"p99 {results.rtt_percentile(0.99) * 1e6:.0f} us, "
         f"hit rate {results.hit_rate:.1%}, {results.mac_drops} MAC drops"
     )
-    footer = (
-        f"wrote {trace_path} ({len(telemetry.tracer.traces)} traces) and "
-        f"{metrics_path}"
+    if args.scenario:
+        header += f"\nfault scenario: {args.scenario} (no client resilience)"
+    sections = [header, summary_table(telemetry.registry, telemetry.tracer)]
+    if results.slo_alerts:
+        alert_lines = ["slo alerts (fired once, cleared on recovery):"]
+        for alert in results.slo_alerts:
+            cleared = (
+                f"{alert.cleared_at_s:.3f}s"
+                if alert.cleared_at_s is not None
+                else "still firing"
+            )
+            alert_lines.append(
+                f"  {alert.rule:20s} fired={alert.fired_at_s:.3f}s "
+                f"cleared={cleared} peak_burn={alert.peak_burn:.1f}x"
+            )
+        sections.append("\n".join(alert_lines))
+    else:
+        sections.append("slo alerts: none fired")
+    if profiler is not None:
+        sections.append(profiler.report(top_n=10))
+    sections.append(
+        f"wrote {trace_path} ({len(telemetry.tracer.traces)} traces), "
+        f"{metrics_path}, and {series_path} "
+        f"({len(recorder.to_jsonl().splitlines())} snapshots)"
     )
-    return "\n\n".join(
-        [header, summary_table(telemetry.registry, telemetry.tracer), footer]
-    )
+    return "\n\n".join(sections)
 
 
 def _cmd_faults(args: argparse.Namespace) -> str:
@@ -558,7 +611,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-limit", type=int, default=100_000,
                    help="max traces retained for the JSONL dump")
     p.add_argument("--out", default="telemetry-out",
-                   help="directory for trace.jsonl and metrics.prom")
+                   help="directory for trace.jsonl, metrics.prom, "
+                        "timeseries.jsonl")
+    p.add_argument("--profile", action="store_true",
+                   help="attach the DES hot-path profiler and print its report")
+    p.add_argument("--interval", type=float, default=None,
+                   help="time-series snapshot cadence in simulated seconds "
+                        "(default duration/20)")
+    p.add_argument("--scenario", choices=sorted(_FAULT_PRESETS), default=None,
+                   help="inject a fault preset (no client resilience) so the "
+                        "SLO burn timeline shows the fault")
+    p.add_argument("--slo-deadline-us", type=float, default=1100.0,
+                   help="latency SLO deadline in microseconds "
+                        "(paper SLA: 1100)")
+    p.add_argument("--slo-target", type=float, default=0.999,
+                   help="good fraction promised by both SLOs")
+    p.add_argument("--burn-threshold", type=float, default=10.0,
+                   help="error-budget burn multiple that fires an alert")
     p.set_defaults(func=_cmd_telemetry)
 
     p = sub.add_parser(

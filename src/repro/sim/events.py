@@ -37,6 +37,10 @@ class Simulator:
         self._sequence = 0
         self.now = 0.0
         self.events_processed = 0
+        #: Optional hot-path profiler (duck-typed to
+        #: :class:`repro.telemetry.profiler.SimProfiler`); None costs a
+        #: single attribute check per event.
+        self.profiler = None
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -66,8 +70,17 @@ class Simulator:
                 continue
             if event.time < self.now:
                 raise SimulationError("event queue went backwards in time")
+            advance = event.time - self.now
             self.now = event.time
-            event.callback()
+            profiler = self.profiler
+            if profiler is None:
+                event.callback()
+            else:
+                start = profiler.clock()
+                event.callback()
+                profiler.record_event(
+                    event.callback, profiler.clock() - start, advance
+                )
             self.events_processed += 1
             return True
         return False

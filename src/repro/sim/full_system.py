@@ -15,6 +15,8 @@ finite per-core memory, queueing at each core, and MAC buffer drops.
 
 from __future__ import annotations
 
+import math
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.core.latency_model import MemorySpec, RequestTiming
@@ -35,6 +37,9 @@ from repro.sim.events import Simulator
 from repro.sim.resources import FifoResource
 from repro.sim.rng import make_rng
 from repro.telemetry.metrics import StreamingHistogram
+from repro.telemetry.profiler import SimProfiler
+from repro.telemetry.slo import SloMonitor
+from repro.telemetry.timeseries import TimeSeriesRecorder, WindowedSeries
 from repro.telemetry.tracing import NULL_TELEMETRY, TelemetrySession
 
 # Imported lazily inside run(): repro.workloads.generator itself imports
@@ -95,10 +100,23 @@ class FullSystemResults:
     hints_replayed: int = 0
     antientropy_sweeps: int = 0
     antientropy_repairs: int = 0
-    # Optional windowed hit-rate timeline for recovery analysis.
+    # Optional windowed hit-rate timeline for recovery analysis; the
+    # series share the dict-style {window_index: count} surface the
+    # old ad-hoc maps had.
     window_s: float | None = None
-    window_gets: dict[int, int] = field(default_factory=dict)
-    window_hits: dict[int, int] = field(default_factory=dict)
+    window_gets: WindowedSeries | None = None
+    window_hits: WindowedSeries | None = None
+    # Observatory outcomes: SLO alert lifecycle and the time-series
+    # recorder, populated when run() is given an SloMonitor / recorder.
+    slo_alerts: list = field(default_factory=list)
+    timeseries: TimeSeriesRecorder | None = None
+
+    def __post_init__(self) -> None:
+        interval = self.window_s if self.window_s is not None else 1.0
+        if self.window_gets is None:
+            self.window_gets = WindowedSeries("window_gets", interval)
+        if self.window_hits is None:
+            self.window_hits = WindowedSeries("window_hits", interval)
 
     def record(self, rtt_s: float, wait_s: float) -> None:
         """Count one completed request's latency outcome."""
@@ -168,32 +186,23 @@ class FullSystemResults:
         """Bucket one GET outcome into its arrival-time window."""
         if self.window_s is None:
             return
-        index = int(arrival_s / self.window_s)
-        self.window_gets[index] = self.window_gets.get(index, 0) + 1
+        self.window_gets.observe(arrival_s)
         if hit:
-            self.window_hits[index] = self.window_hits.get(index, 0) + 1
+            self.window_hits.observe(arrival_s)
 
     def hit_rate_timeline(self) -> list[tuple[float, float]]:
         """(window start, hit rate) pairs; empty unless ``window_s`` set."""
         if self.window_s is None:
             return []
-        return [
-            (
-                index * self.window_s,
-                self.window_hits.get(index, 0) / gets if gets else 0.0,
-            )
-            for index, gets in sorted(self.window_gets.items())
-        ]
+        return self.window_hits.rate_timeline(self.window_gets)
 
     def hit_rate_after(self, t_s: float) -> float:
         """Aggregate hit rate over windows starting at or after ``t_s``."""
         if self.window_s is None:
             raise ConfigurationError("run with window_s to get a timeline")
-        gets = hits = 0
-        for index, count in self.window_gets.items():
-            if index * self.window_s >= t_s:
-                gets += count
-                hits += self.window_hits.get(index, 0)
+        horizon = math.inf
+        gets = self.window_gets.sum_over(t_s, horizon)
+        hits = self.window_hits.sum_over(t_s, horizon)
         return hits / gets if gets else 0.0
 
     def recovery_time_s(
@@ -345,6 +354,9 @@ class FullSystemStack:
         window_s: float | None = None,
         fill_on_miss: bool = False,
         replication: ReplicationConfig | None = None,
+        timeseries: TimeSeriesRecorder | None = None,
+        slo: SloMonitor | None = None,
+        profiler: SimProfiler | None = None,
     ) -> FullSystemResults:
         """Drive the stack with ``workload`` at ``offered_rate_hz``.
 
@@ -383,6 +395,17 @@ class FullSystemStack:
         and an anti-entropy sweep reconverges replicas on a DES timer.
         ``n=1`` (or ``None``) is the original sharded behaviour,
         request-for-request identical.
+
+        The observatory hooks ride on the same simulated clock:
+        ``timeseries`` (a :class:`TimeSeriesRecorder`, typically over
+        ``telemetry.registry``) is installed as a recurring DES event
+        and snapshots windowed metric deltas — it ends up in
+        ``results.timeseries``; ``slo`` (an :class:`SloMonitor`) is fed
+        every request outcome at its completion time and evaluated on
+        its own cadence, with the alert lifecycle in
+        ``results.slo_alerts``; ``profiler`` attaches to the simulator
+        and attributes wall-clock to event types.  All three observe
+        without perturbing the simulation.
         """
         from repro.workloads.generator import WorkloadGenerator
 
@@ -394,6 +417,13 @@ class FullSystemStack:
             telemetry = NULL_TELEMETRY
         registry, tracer = telemetry.registry, telemetry.tracer
         sim = Simulator()
+        if profiler is not None:
+            profiler.attach(sim)
+        if timeseries is not None:
+            timeseries.install(sim, horizon_s=duration_s)
+        if slo is not None:
+            slo.install(sim, horizon_s=duration_s)
+        slo_record = slo.record if slo is not None else None
         rng = make_rng("full-system", self.seed)
         generator = WorkloadGenerator(workload, seed=self.seed)
         cores = [
@@ -444,6 +474,23 @@ class FullSystemStack:
                 f"{self.stack.cores}-core stack"
             )
         replicated = repl is not None and repl.n > 1
+        # Background busy-time histograms: simulated core seconds charged
+        # to replication housekeeping, windowed into the time-series
+        # recorder like any other metric so a run's timeline shows the
+        # fault -> hint replay -> anti-entropy -> recovery sequence.
+        hint_replay_busy = registry.histogram(
+            "background_busy_seconds", {"task": "hint_replay"}
+        )
+        antientropy_busy = registry.histogram(
+            "background_busy_seconds", {"task": "antientropy"}
+        )
+        read_repair_busy = registry.histogram(
+            "background_busy_seconds", {"task": "read_repair"}
+        )
+        verify_read_busy = registry.histogram(
+            "background_busy_seconds", {"task": "verify_read"}
+        )
+        replica_put_wait = registry.histogram("replica_put_wait_seconds")
         down_ports: set[str] = set()
         placement: ReplicaPlacement | None = None
         hintq: HintQueue | None = None
@@ -492,6 +539,7 @@ class FullSystemStack:
                                 "PUT", hint.payload
                             ).total_s
                         results.hints_replayed += len(hints)
+                        hint_replay_busy.record(replay_service)
                         # Replay occupies the restarted core like one
                         # back-to-back burst of PUTs.
                         cores[index].submit(replay_service, lambda wait: None)
@@ -529,6 +577,7 @@ class FullSystemStack:
                     service = (
                         self.model.request_timing("PUT", mean_bytes).total_s * count
                     )
+                    antientropy_busy.record(service)
                     cores[int(port) - _BASE_TCP_PORT].submit(
                         service, lambda wait: None
                     )
@@ -567,6 +616,8 @@ class FullSystemStack:
         def give_up(request, state) -> None:
             results.failed += 1
             failed_total.inc()
+            if slo_record is not None:
+                slo_record(sim.now, ok=False)
             if request.verb == "GET":
                 results.note_window_get(state["arrival"], hit=False)
 
@@ -614,12 +665,11 @@ class FullSystemStack:
                         results.read_repairs += 1
                         read_repairs_total.inc()
                         # The repair write occupies the lagging core.
-                        cores[core_index].submit(
-                            self.model.request_timing(
-                                "PUT", request.value_bytes
-                            ).total_s,
-                            lambda wait: None,
-                        )
+                        repair_service = self.model.request_timing(
+                            "PUT", request.value_bytes
+                        ).total_s
+                        read_repair_busy.record(repair_service)
+                        cores[core_index].submit(repair_service, lambda wait: None)
                     break
             if fill_on_miss and request.verb == "GET" and not hit:
                 # Cache-aside refill: the application fetches the value
@@ -680,6 +730,8 @@ class FullSystemStack:
                 if sim.now <= duration_s:
                     results.record(sim.now - arrival, wait)
                     completed_total.inc()
+                    if slo_record is not None:
+                        slo_record(sim.now, latency_s=sim.now - arrival, ok=True)
                     results.component_seconds["hash"] += timing.hash_s
                     results.component_seconds["memcached"] += timing.memcached_s
                     results.component_seconds["network"] += timing.network_s
@@ -732,6 +784,7 @@ class FullSystemStack:
                     verify_timing = self.model.request_timing(
                         "GET", request.value_bytes
                     )
+                    verify_read_busy.record(verify_timing.total_s)
                     cores[verify_core].submit(
                         verify_timing.total_s, lambda wait: None
                     )
@@ -805,6 +858,12 @@ class FullSystemStack:
                     if sim.now <= duration_s:
                         results.record(sim.now - state["arrival"], wait)
                         completed_total.inc()
+                        if slo_record is not None:
+                            slo_record(
+                                sim.now,
+                                latency_s=sim.now - state["arrival"],
+                                ok=True,
+                            )
             if (
                 copy_state["resolved"] == copy_state["total"]
                 and not state["done"]
@@ -881,6 +940,7 @@ class FullSystemStack:
 
             def complete(wait: float) -> None:
                 consecutive_timeouts[port] = 0
+                replica_put_wait.record(wait)
                 if sim.now <= duration_s:
                     results.component_seconds["hash"] += timing.hash_s
                     results.component_seconds["memcached"] += timing.memcached_s
@@ -961,19 +1021,29 @@ class FullSystemStack:
             dispatch(request, {"done": False, "arrival": sim.now, "attempts": 0}, 0)
             sim.schedule(rng.expovariate(offered_rate_hz), arrive)
 
-        for _ in range(warmup_requests):
-            request = generator.next_request()
-            if replicated:
-                for warm_port in placement.replicas_for(request.key):
-                    self._execute(
-                        request.key, "PUT", request.value_bytes,
-                        int(warm_port) - _BASE_TCP_PORT,
-                    )
-            else:
-                self._execute(request.key, "PUT", request.value_bytes)
+        warm_span = (
+            profiler.span("warmup") if profiler is not None else nullcontext()
+        )
+        with warm_span:
+            for _ in range(warmup_requests):
+                request = generator.next_request()
+                if replicated:
+                    for warm_port in placement.replicas_for(request.key):
+                        self._execute(
+                            request.key, "PUT", request.value_bytes,
+                            int(warm_port) - _BASE_TCP_PORT,
+                        )
+                else:
+                    self._execute(request.key, "PUT", request.value_bytes)
 
         sim.schedule(rng.expovariate(offered_rate_hz), arrive)
         sim.run()
+        if slo is not None:
+            slo.evaluate(sim.now)
+            results.slo_alerts = list(slo.alerts)
+        if timeseries is not None:
+            timeseries.flush(sim.now)
+            results.timeseries = timeseries
         return results
 
     # --- functional execution -------------------------------------------------------

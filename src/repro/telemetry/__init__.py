@@ -18,6 +18,8 @@ from repro.telemetry.metrics import (
     NullRegistry,
     NULL_REGISTRY,
     StreamingHistogram,
+    describe_metric,
+    metric_description,
 )
 from repro.telemetry.tracing import (
     NullTracer,
@@ -29,12 +31,27 @@ from repro.telemetry.tracing import (
     Tracer,
 )
 from repro.telemetry.exporters import (
+    escape_label_value,
     prometheus_text,
     summary_table,
     trace_to_jsonl,
     write_prometheus,
     write_trace_jsonl,
 )
+from repro.telemetry.timeseries import (
+    TimeSeriesRecorder,
+    WindowedSeries,
+    write_timeseries_jsonl,
+)
+from repro.telemetry.slo import (
+    Alert,
+    BurnRateRule,
+    SloMonitor,
+    SloObjective,
+    default_burn_rules,
+    paper_sla_objectives,
+)
+from repro.telemetry.profiler import SimProfiler
 
 __all__ = [
     "Counter",
@@ -43,6 +60,8 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "StreamingHistogram",
+    "describe_metric",
+    "metric_description",
     "NullTracer",
     "NULL_TELEMETRY",
     "NULL_TRACER",
@@ -50,9 +69,20 @@ __all__ = [
     "Span",
     "TelemetrySession",
     "Tracer",
+    "escape_label_value",
     "prometheus_text",
     "summary_table",
     "trace_to_jsonl",
     "write_prometheus",
     "write_trace_jsonl",
+    "TimeSeriesRecorder",
+    "WindowedSeries",
+    "write_timeseries_jsonl",
+    "Alert",
+    "BurnRateRule",
+    "SloMonitor",
+    "SloObjective",
+    "default_burn_rules",
+    "paper_sla_objectives",
+    "SimProfiler",
 ]

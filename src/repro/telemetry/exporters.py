@@ -24,6 +24,7 @@ from repro.telemetry.metrics import (
     Gauge,
     MetricsRegistry,
     StreamingHistogram,
+    metric_description,
 )
 from repro.telemetry.tracing import RequestTrace, Tracer
 
@@ -31,8 +32,24 @@ from repro.telemetry.tracing import RequestTrace, Tracer
 SUMMARY_QUANTILES = (0.5, 0.95, 0.99, 0.999)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double quote, and line feed."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """``# HELP`` text escaping: backslash and line feed only."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _labels_text(labels: Sequence[tuple[str, str]], extra: str = "") -> str:
-    parts = [f'{key}="{value}"' for key, value in labels]
+    parts = [f'{key}="{escape_label_value(value)}"' for key, value in labels]
     if extra:
         parts.append(extra)
     return "{%s}" % ",".join(parts) if parts else ""
@@ -74,6 +91,9 @@ def prometheus_text(registry: MetricsRegistry) -> str:
 
     def declare(name: str, kind: str) -> None:
         if name not in typed:
+            help_text = metric_description(name)
+            if help_text:
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {name} {kind}")
             typed.add(name)
 

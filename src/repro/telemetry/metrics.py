@@ -231,18 +231,69 @@ class StreamingHistogram:
         return merged
 
     def to_dict(self) -> dict:
-        """Snapshot for machine-readable export (only occupied buckets)."""
+        """Snapshot for machine-readable export (only occupied buckets).
+
+        Carries the bucket geometry and the exact min/max/sum alongside
+        the counts, so :meth:`from_dict` restores a histogram whose
+        ``minimum``/``maximum``/``mean`` — and any later :meth:`merge` —
+        are exact, not bucket-quantised.
+        """
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.minimum,
             "max": self.maximum,
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+            "buckets_per_decade": self.buckets_per_decade,
             "buckets": {
                 f"{self.bucket_upper_bound(i):.6g}": c
                 for i, c in enumerate(self.counts)
                 if c
             },
         }
+
+    @classmethod
+    def from_dict(
+        cls,
+        payload: Mapping,
+        name: str = "",
+        labels: tuple[tuple[str, str], ...] = (),
+    ) -> "StreamingHistogram":
+        """Rebuild a histogram from a :meth:`to_dict` snapshot.
+
+        Bucket keys are mapped back to indices through the geometry (the
+        ``.6g``-formatted upper bound is only used to locate the bucket,
+        never as a sample), and the exact count/sum/min/max are restored
+        verbatim — the round trip loses nothing.
+        """
+        histogram = cls(
+            name=name,
+            labels=labels,
+            min_value=payload.get("min_value", DEFAULT_MIN_VALUE),
+            max_value=payload.get("max_value", DEFAULT_MAX_VALUE),
+            buckets_per_decade=payload.get(
+                "buckets_per_decade", DEFAULT_BUCKETS_PER_DECADE
+            ),
+        )
+        last = len(histogram.counts) - 1
+        for key, bucket_count in payload["buckets"].items():
+            upper = float(key)
+            if math.isinf(upper):
+                index = last
+            else:
+                index = round(
+                    math.log10(upper / histogram.min_value)
+                    * histogram.buckets_per_decade
+                ) - 1
+                index = min(max(index, 0), last)
+            histogram.counts[index] += bucket_count
+        histogram.count = payload["count"]
+        histogram.total = payload["sum"]
+        if histogram.count:
+            histogram.min_seen = payload["min"]
+            histogram.max_seen = payload["max"]
+        return histogram
 
 
 class MetricsRegistry:
@@ -352,3 +403,67 @@ class NullRegistry(MetricsRegistry):
 
 #: Shared no-op registry: the default for every instrumented component.
 NULL_REGISTRY = NullRegistry()
+
+
+#: Human descriptions for well-known metric names, emitted as ``# HELP``
+#: lines by the Prometheus exporter.  Components register new names via
+#: :func:`describe_metric` at import time.
+METRIC_DESCRIPTIONS: dict[str, str] = {
+    "request_rtt_seconds": "End-to-end request round-trip time on the simulated clock",
+    "queue_wait_seconds": "Time a job waited in a FIFO resource before service",
+    "queue_depth": "Jobs currently queued at a FIFO resource",
+    "span_duration_seconds": "Per-component span durations from committed request traces",
+    "requests_completed_total": "Requests that completed within the run horizon",
+    "requests_served_total": "Requests served, by core",
+    "requests_failed_total": "Requests the client gave up on",
+    "mac_drops_total": "Packets dropped by the on-stack MAC buffer",
+    "get_hits_total": "GET requests answered from the store",
+    "get_misses_total": "GET requests that missed",
+    "puts_total": "Logical PUT requests completed",
+    "response_bytes_total": "Response payload bytes returned to clients",
+    "client_retries_total": "Client retry attempts after timeouts",
+    "client_timeouts_total": "Request attempts the client timed out",
+    "client_failovers_total": "Nodes removed from the client ring after repeated timeouts",
+    "client_hedged_requests_total": "Hedged duplicate GETs issued by the client",
+    "fault_events_total": "Fault-schedule transitions applied, by kind",
+    "fault_packets_dropped_total": "Packets lost to injected loss windows",
+    "fault_packets_corrupted_total": "Packets corrupted in flight by injected windows",
+    "degraded_mode": "Active fault windows plus nodes currently down",
+    "nodes_down": "Nodes currently crashed",
+    "nic_mac_drops_total": "Frames dropped because the MAC buffer was full",
+    "nic_mac_forwarded_total": "Frames forwarded from the MAC to a core",
+    "nic_link_drops_total": "Frames lost on the link by fault injection",
+    "nic_link_corruptions_total": "Frames that failed the FCS after injected corruption",
+    "nic_mac_buffered_bytes": "Bytes currently buffered in the on-stack MAC",
+    "replication_replica_writes_total": "Physical replica copies written for logical PUTs",
+    "replication_redirected_reads_total": "GETs served by a non-primary replica",
+    "replication_verify_reads_total": "Background read-quorum verification reads",
+    "replication_read_repairs_total": "Stale replicas repaired on the read path",
+    "replication_hints_queued_total": "Writes parked as hints for down replicas",
+    "replication_hints_replayed_total": "Parked hints replayed at node readmission",
+    "replication_hints_dropped_total": "Hints dropped because the hint queue was full",
+    "replication_hint_queue_depth": "Hints currently parked across all nodes",
+    "replication_antientropy_sweeps_total": "Anti-entropy digest sweeps completed",
+    "replication_antientropy_repairs_total": "Keys repaired by anti-entropy sweeps",
+    "replication_antientropy_dirty_buckets_total": "Digest buckets found divergent",
+    "background_busy_seconds": "Simulated core-busy time charged to background tasks",
+    "replica_put_wait_seconds": "Queue wait for replica PUT copies at follower cores",
+    "slo_alerts_fired_total": "SLO burn-rate alert firings, by rule",
+    "slo_alerts_cleared_total": "SLO burn-rate alert clearings, by rule",
+    "slo_alerts_active": "SLO alerts currently firing",
+    "slo_burn_rate": "Error-budget burn multiple, by rule and window",
+    "bench_artefacts_total": "Benchmark artefacts regenerated this session",
+    "bench_wall_seconds": "Wall-clock time per benchmark",
+}
+
+
+def describe_metric(name: str, help_text: str) -> None:
+    """Register (or update) the ``# HELP`` description for a metric."""
+    if not _METRIC_NAME.match(name):
+        raise ConfigurationError(f"invalid metric name {name!r}")
+    METRIC_DESCRIPTIONS[name] = help_text
+
+
+def metric_description(name: str) -> str | None:
+    """The registered description for ``name``, if any."""
+    return METRIC_DESCRIPTIONS.get(name)

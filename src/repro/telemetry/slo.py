@@ -1,0 +1,324 @@
+"""SLO monitoring: objectives, multi-window burn-rate alerts, sinks.
+
+The paper's headline claims are service-level claims (a 1.1 ms RTT SLA
+at load), so the observatory tracks them the way a production service
+would: an :class:`SloObjective` states the promise ("99.9 % of requests
+answer within 1.1 ms", "99.9 % of requests succeed"), and a
+:class:`BurnRateRule` alerts on the *rate* the error budget is being
+spent — the Google-SRE multi-window form, where an alert fires only
+when both a long window (evidence the burn is sustained) and a short
+window (evidence it is still happening) exceed the threshold, and
+clears when the short window recovers.
+
+Everything runs on the simulated clock: request outcomes fold into
+per-objective :class:`~repro.telemetry.timeseries.WindowedSeries`, and
+:meth:`SloMonitor.install` evaluates the rules on a recurring DES
+event.  Two identical-seed runs therefore fire and clear alerts at
+identical simulated times.  Firings are appended to
+:attr:`SloMonitor.alerts`, counted in the metrics registry
+(``slo_alerts_fired_total`` / ``slo_alerts_cleared_total``, burn-rate
+gauges), and pushed to pluggable alert sinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.telemetry.timeseries import WindowedSeries
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One promise about request outcomes.
+
+    ``target`` is the good fraction promised (e.g. 0.999).  With
+    ``deadline_s`` set this is a latency objective: a request is good
+    only if it completed within the deadline.  Without it, it is an
+    availability objective: completed at all = good.  Failed requests
+    are bad under every objective.
+    """
+
+    name: str
+    target: float
+    deadline_s: float | None = None
+
+    def __post_init__(self):
+        if not 0.0 < self.target < 1.0:
+            raise ConfigurationError("SLO target must be in (0, 1)")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError("SLO deadline must be positive")
+
+    @property
+    def error_budget(self) -> float:
+        """Bad fraction the objective tolerates (1 - target)."""
+        return 1.0 - self.target
+
+    def is_good(self, latency_s: float | None, ok: bool) -> bool:
+        if not ok:
+            return False
+        if self.deadline_s is None:
+            return True
+        return latency_s is not None and latency_s <= self.deadline_s
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Fire when the budget burns ``threshold``× too fast, sustained.
+
+    Burn rate over a window = (bad fraction in window) / error budget;
+    1.0 means the budget is being spent exactly at the rate the
+    objective allows.  The rule fires when *both* the long and short
+    windows burn at ≥ ``threshold`` and clears when the short window
+    drops below it.  Windows are in simulated seconds.
+    """
+
+    name: str
+    objective: str
+    long_window_s: float
+    short_window_s: float
+    threshold: float
+
+    def __post_init__(self):
+        if self.short_window_s <= 0 or self.long_window_s <= 0:
+            raise ConfigurationError("burn-rate windows must be positive")
+        if self.short_window_s > self.long_window_s:
+            raise ConfigurationError("short window cannot exceed the long window")
+        if self.threshold <= 0:
+            raise ConfigurationError("burn threshold must be positive")
+
+
+@dataclass
+class Alert:
+    """One firing of one rule, with its lifecycle on the simulated clock."""
+
+    rule: str
+    objective: str
+    fired_at_s: float
+    cleared_at_s: float | None = None
+    peak_burn: float = 0.0
+
+    @property
+    def active(self) -> bool:
+        return self.cleared_at_s is None
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "objective": self.objective,
+            "fired_at_s": self.fired_at_s,
+            "cleared_at_s": self.cleared_at_s,
+            "peak_burn": round(self.peak_burn, 6),
+        }
+
+
+#: An alert sink: called as ``sink(event, alert, now_s)`` with event
+#: ``"fire"`` or ``"clear"``.
+AlertSink = Callable[[str, Alert, float], None]
+
+
+class SloMonitor:
+    """Tracks objectives from per-request outcomes and runs burn rules.
+
+    Feed it with :meth:`record` (one call per finished or failed
+    request, at the simulated completion time) and either call
+    :meth:`evaluate` yourself on a cadence or :meth:`install` it on a
+    simulator.  ``resolution_s`` is the internal bucketing of outcomes;
+    rule windows are rounded up to whole resolution buckets, so choose
+    a resolution that divides the short window.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[SloObjective],
+        rules: Sequence[BurnRateRule] = (),
+        resolution_s: float = 0.05,
+        registry: MetricsRegistry = NULL_REGISTRY,
+        sinks: Iterable[AlertSink] = (),
+    ):
+        if not objectives:
+            raise ConfigurationError("an SLO monitor needs at least one objective")
+        if resolution_s <= 0:
+            raise ConfigurationError("resolution must be positive")
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("objective names must be unique")
+        self.objectives = {o.name: o for o in objectives}
+        for rule in rules:
+            if rule.objective not in self.objectives:
+                raise ConfigurationError(
+                    f"rule {rule.name!r} references unknown objective "
+                    f"{rule.objective!r}"
+                )
+            if rule.short_window_s < resolution_s:
+                raise ConfigurationError(
+                    f"rule {rule.name!r} short window is finer than the "
+                    f"monitor resolution"
+                )
+        rule_names = [r.name for r in rules]
+        if len(set(rule_names)) != len(rule_names):
+            raise ConfigurationError("rule names must be unique")
+        self.rules = tuple(rules)
+        self.resolution_s = resolution_s
+        self.sinks = list(sinks)
+        self.alerts: list[Alert] = []
+        self._active: dict[str, Alert] = {}
+        self._good: dict[str, WindowedSeries] = {}
+        self._total: dict[str, WindowedSeries] = {}
+        for name in self.objectives:
+            self._good[name] = WindowedSeries(f"{name}_good", resolution_s)
+            self._total[name] = WindowedSeries(f"{name}_total", resolution_s)
+        self._registry = registry
+        self._fired_total = {
+            r.name: registry.counter("slo_alerts_fired_total", {"rule": r.name})
+            for r in self.rules
+        }
+        self._cleared_total = {
+            r.name: registry.counter("slo_alerts_cleared_total", {"rule": r.name})
+            for r in self.rules
+        }
+        self._burn_gauges = {
+            (r.name, span): registry.gauge(
+                "slo_burn_rate", {"rule": r.name, "window": span}
+            )
+            for r in self.rules
+            for span in ("short", "long")
+        }
+        self._active_gauge = registry.gauge("slo_alerts_active")
+
+    # --- outcome intake ----------------------------------------------------------
+
+    def record(
+        self, t_s: float, latency_s: float | None = None, ok: bool = True
+    ) -> None:
+        """Fold one request outcome (at its completion time) into every
+        objective's good/total windows."""
+        for name, objective in self.objectives.items():
+            self._total[name].observe(t_s)
+            if objective.is_good(latency_s, ok):
+                self._good[name].observe(t_s)
+
+    # --- burn-rate math ----------------------------------------------------------
+
+    def bad_fraction(self, objective: str, window_s: float, now_s: float) -> float:
+        """Bad fraction of outcomes in the trailing ``window_s``
+        (0.0 when the window saw no traffic)."""
+        start = now_s - window_s
+        total = self._total[objective].sum_over(start, now_s)
+        if total <= 0:
+            return 0.0
+        good = self._good[objective].sum_over(start, now_s)
+        return max(0.0, 1.0 - good / total)
+
+    def burn_rate(self, objective: str, window_s: float, now_s: float) -> float:
+        """Error-budget burn multiple over the trailing window."""
+        return (
+            self.bad_fraction(objective, window_s, now_s)
+            / self.objectives[objective].error_budget
+        )
+
+    # --- evaluation --------------------------------------------------------------
+
+    def evaluate(self, now_s: float) -> list[tuple[str, Alert]]:
+        """Run every rule at simulated time ``now_s``.
+
+        Returns the ``(event, alert)`` transitions that happened — an
+        alert in steady state (still firing, still clear) produces no
+        transition, so a sustained violation fires exactly once.
+        """
+        transitions: list[tuple[str, Alert]] = []
+        for rule in self.rules:
+            short = self.burn_rate(rule.objective, rule.short_window_s, now_s)
+            long = self.burn_rate(rule.objective, rule.long_window_s, now_s)
+            self._burn_gauges[(rule.name, "short")].set(short)
+            self._burn_gauges[(rule.name, "long")].set(long)
+            active = self._active.get(rule.name)
+            if active is not None:
+                active.peak_burn = max(active.peak_burn, short, long)
+            if active is None and short >= rule.threshold and long >= rule.threshold:
+                alert = Alert(
+                    rule=rule.name,
+                    objective=rule.objective,
+                    fired_at_s=now_s,
+                    peak_burn=max(short, long),
+                )
+                self._active[rule.name] = alert
+                self.alerts.append(alert)
+                self._fired_total[rule.name].inc()
+                transitions.append(("fire", alert))
+            elif active is not None and short < rule.threshold:
+                active.cleared_at_s = now_s
+                del self._active[rule.name]
+                self._cleared_total[rule.name].inc()
+                transitions.append(("clear", active))
+        self._active_gauge.set(len(self._active))
+        for event, alert in transitions:
+            for sink in self.sinks:
+                sink(event, alert, now_s)
+        return transitions
+
+    @property
+    def active_alerts(self) -> tuple[Alert, ...]:
+        return tuple(self._active.values())
+
+    # --- DES wiring --------------------------------------------------------------
+
+    def install(self, sim, horizon_s: float, interval_s: float | None = None) -> None:
+        """Evaluate the rules on a recurring DES event until the horizon.
+
+        The default cadence is half the shortest rule window (at least
+        the monitor resolution) — fine enough that a violation window is
+        detected within a window of when it became sustained.
+        """
+        if not self.rules:
+            return
+        if interval_s is None:
+            interval_s = max(
+                self.resolution_s,
+                min(rule.short_window_s for rule in self.rules) / 2.0,
+            )
+        if interval_s <= 0:
+            raise ConfigurationError("evaluation interval must be positive")
+
+        def tick(t: float) -> None:
+            self.evaluate(t)
+            nxt = t + interval_s
+            if nxt <= horizon_s:
+                sim.schedule_at(nxt, lambda: tick(nxt))
+
+        if interval_s <= horizon_s:
+            sim.schedule_at(interval_s, lambda: tick(interval_s))
+
+
+def paper_sla_objectives(
+    deadline_s: float = 1.1e-3, target: float = 0.999
+) -> tuple[SloObjective, SloObjective]:
+    """The reproduction's default promises: the paper's 1.1 ms RTT SLA
+    as a latency objective, plus request availability at the same
+    target."""
+    return (
+        SloObjective("latency", target=target, deadline_s=deadline_s),
+        SloObjective("availability", target=target),
+    )
+
+
+def default_burn_rules(
+    objectives: Iterable[SloObjective],
+    short_window_s: float,
+    long_window_s: float,
+    threshold: float = 10.0,
+) -> tuple[BurnRateRule, ...]:
+    """One multi-window rule per objective, sized for simulated runs
+    (seconds, not the 5-min/1-h windows of wall-clock dashboards)."""
+    return tuple(
+        BurnRateRule(
+            name=f"{o.name}_burn",
+            objective=o.name,
+            long_window_s=long_window_s,
+            short_window_s=short_window_s,
+            threshold=threshold,
+        )
+        for o in objectives
+    )

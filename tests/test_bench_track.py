@@ -1,0 +1,169 @@
+"""Unit tests for :mod:`repro.analysis.bench_track`.
+
+History append/load round-trips through real files (tmp_path); the
+regression report is checked against hand-built runs; the CLI entry
+point's exit codes are what CI gates on.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.bench_track import (
+    Delta,
+    append_run,
+    load_history,
+    main,
+    regression_report,
+    render_report,
+)
+from repro.errors import ConfigurationError
+
+
+class TestHistoryFile:
+    def test_load_missing_is_empty(self, tmp_path):
+        history = load_history(tmp_path / "BENCH_history.json")
+        assert history == {"version": 1, "runs": []}
+
+    def test_append_and_reload(self, tmp_path):
+        path = tmp_path / "BENCH_history.json"
+        entry = append_run(
+            path,
+            {"bench_a": {"tps": 1000.0, "wall_s": 0.5}},
+            meta={"python": "3.12"},
+        )
+        assert entry["seq"] == 1
+        append_run(path, {"bench_a": {"tps": 900.0, "wall_s": 0.6}})
+        history = load_history(path)
+        assert [run["seq"] for run in history["runs"]] == [1, 2]
+        assert history["runs"][0]["meta"]["python"] == "3.12"
+        assert history["runs"][1]["records"]["bench_a"]["tps"] == 900.0
+
+    def test_append_drops_non_finite_and_rejects_empty(self, tmp_path):
+        path = tmp_path / "h.json"
+        entry = append_run(
+            path, {"b": {"tps": 100.0, "rtt_s": float("nan")}}
+        )
+        assert entry["records"]["b"] == {"tps": 100.0}
+        with pytest.raises(ConfigurationError):
+            append_run(path, {})
+        with pytest.raises(ConfigurationError):
+            append_run(path, {"b": {"tps": float("inf")}})
+
+    def test_history_capped(self, tmp_path):
+        path = tmp_path / "h.json"
+        for i in range(5):
+            append_run(path, {"b": {"wall_s": float(i + 1)}}, max_runs=3)
+        runs = load_history(path)["runs"]
+        assert [run["seq"] for run in runs] == [3, 4, 5]
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_history(path)
+        path.write_text(json.dumps({"version": 99, "runs": []}))
+        with pytest.raises(ConfigurationError):
+            load_history(path)
+
+
+def _history(*runs):
+    return {
+        "version": 1,
+        "runs": [
+            {"seq": i + 1, "records": records} for i, records in enumerate(runs)
+        ],
+    }
+
+
+class TestRegressionReport:
+    def test_needs_two_runs(self):
+        assert regression_report(_history()) == []
+        assert regression_report(_history({"b": {"tps": 1.0}})) == []
+
+    def test_flags_tps_drop_over_threshold(self):
+        history = _history(
+            {"fast": {"tps": 1000.0}, "slow": {"tps": 1000.0}},
+            {"fast": {"tps": 950.0}, "slow": {"tps": 850.0}},
+        )
+        deltas = regression_report(history, tps_threshold=0.10)
+        by_bench = {d.bench: d for d in deltas}
+        assert not by_bench["fast"].flagged  # -5% is inside the budget
+        assert by_bench["slow"].flagged  # -15% is not
+        assert by_bench["slow"].change == pytest.approx(-0.15)
+
+    def test_flags_wall_clock_growth(self):
+        history = _history(
+            {"b": {"wall_s": 1.0}},
+            {"b": {"wall_s": 2.0}},
+        )
+        assert regression_report(history, wall_threshold=0.75)[0].flagged
+        assert not regression_report(history, wall_threshold=1.5)[0].flagged
+
+    def test_rtt_reported_but_never_flagged(self):
+        history = _history(
+            {"b": {"rtt_s": 1e-4}},
+            {"b": {"rtt_s": 9e-4}},
+        )
+        (delta,) = regression_report(history)
+        assert delta.field == "rtt_s" and not delta.flagged
+
+    def test_disjoint_benchmarks_skipped(self):
+        history = _history(
+            {"old_bench": {"tps": 1.0}},
+            {"new_bench": {"tps": 1.0}},
+        )
+        assert regression_report(history) == []
+
+    def test_render(self):
+        history = _history(
+            {"b": {"tps": 1000.0}},
+            {"b": {"tps": 800.0}},
+        )
+        text = render_report(regression_report(history))
+        assert "1 regression(s) flagged" in text
+        assert "tps dropped 20.0%" in text
+        assert render_report([]).startswith("bench tracker: fewer than two runs")
+        clean = render_report(
+            regression_report(_history({"b": {"tps": 1.0}}, {"b": {"tps": 1.0}}))
+        )
+        assert "no regressions flagged" in clean
+
+    def test_delta_ratio_edge_cases(self):
+        assert Delta("b", "tps", 0.0, 5.0, False).ratio == float("inf")
+        assert Delta("b", "tps", 0.0, 0.0, False).ratio == 1.0
+        assert Delta("b", "tps", 2.0, 1.0, False).change == pytest.approx(-0.5)
+
+
+class TestCli:
+    def _write(self, tmp_path, *runs):
+        path = tmp_path / "BENCH_history.json"
+        path.write_text(json.dumps(_history(*runs)))
+        return path
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, {"b": {"tps": 1000.0}}, {"b": {"tps": 1010.0}}
+        )
+        assert main(["--history", str(path), "--check"]) == 0
+        assert "no regressions flagged" in capsys.readouterr().out
+
+    def test_regression_fails_check(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, {"b": {"tps": 1000.0}}, {"b": {"tps": 800.0}}
+        )
+        assert main(["--history", str(path), "--check"]) == 1
+        # Without --check it reports but does not fail.
+        assert main(["--history", str(path)]) == 0
+
+    def test_threshold_flag(self, tmp_path):
+        path = self._write(
+            tmp_path, {"b": {"tps": 1000.0}}, {"b": {"tps": 800.0}}
+        )
+        assert main(["--history", str(path), "--check", "--tps-threshold", "0.3"]) == 0
+
+    def test_corrupt_history_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        path.write_text("{not json")
+        assert main(["--history", str(path)]) == 2
+        assert "error:" in capsys.readouterr().out

@@ -133,6 +133,29 @@ class TestTelemetry:
         assert {span["name"] for span in first_trace["spans"]} == {
             "queue", "network", "hash", "memcached",
         }
+        # The observatory rides along by default: a timeseries timeline
+        # and HELP-documented metrics.
+        assert (tmp_path / "timeseries.jsonl").exists()
+        assert "# HELP request_rtt_seconds" in metrics
+
+    def test_telemetry_profile_and_scenario(self, capsys, tmp_path):
+        import json
+
+        out = run(
+            capsys, "telemetry", "--cores", "2", "--duration", "0.06",
+            "--memory-mb", "4", "--out", str(tmp_path),
+            "--profile", "--scenario", "lossy-link", "--interval", "0.01",
+        )
+        assert "event loop:" in out  # the profiler report
+        assert "us/event" in out
+        assert "fault scenario: lossy-link" in out
+        assert "slo alerts" in out
+        rows = [
+            json.loads(line)
+            for line in (tmp_path / "timeseries.jsonl").read_text().splitlines()
+        ]
+        assert len(rows) >= 5
+        assert any(row.get("requests_completed_total", 0) > 0 for row in rows)
 
 
 class TestParser:

@@ -1,0 +1,154 @@
+"""PR 4 acceptance: the observatory attached to a crash-restart run.
+
+One scaled-down crash-restart scenario (no client resilience, so the
+crash is visible as failed requests) with the full observatory on:
+windowed time-series snapshots every 0.1 simulated seconds, the paper's
+SLO objectives under multi-window burn rules, and the DES profiler.
+The timeline must tell the whole story — healthy traffic, the fault
+window burning the error budget, the alert firing exactly once inside
+it, and the clear after the restart — and must be bit-identical across
+two identical-seed runs.
+"""
+
+import json
+
+import pytest
+
+from repro.core import mercury_stack
+from repro.faults import FaultEvent, FaultSchedule
+from repro.sim.full_system import FullSystemStack
+from repro.telemetry import (
+    MetricsRegistry,
+    SimProfiler,
+    SloMonitor,
+    TelemetrySession,
+    TimeSeriesRecorder,
+    default_burn_rules,
+    paper_sla_objectives,
+)
+from repro.units import MB
+from repro.workloads import WorkloadSpec
+from repro.workloads.distributions import fixed_size
+
+CORES = 4
+DURATION_S = 1.2
+CRASH_S, RESTART_S = 0.3, 0.6
+INTERVAL_S = 0.1
+
+SCHEDULE = FaultSchedule(
+    name="observatory-acceptance",
+    events=(
+        FaultEvent(kind="node_crash", at_s=CRASH_S, node="core0"),
+        FaultEvent(kind="node_restart", at_s=RESTART_S, node="core0"),
+    ),
+)
+WORKLOAD = WorkloadSpec(
+    name="observatory-acceptance",
+    get_fraction=0.9,
+    key_population=20_000,
+    value_sizes=fixed_size(64),
+)
+
+
+def _observed_run(profile=False):
+    registry = MetricsRegistry()
+    objectives = paper_sla_objectives()
+    slo = SloMonitor(
+        objectives,
+        default_burn_rules(
+            objectives, short_window_s=0.1, long_window_s=0.3, threshold=5.0
+        ),
+        resolution_s=0.05,
+        registry=registry,
+    )
+    recorder = TimeSeriesRecorder(registry, interval_s=INTERVAL_S)
+    profiler = SimProfiler() if profile else None
+    system = FullSystemStack(
+        stack=mercury_stack(cores=CORES), memory_per_core_bytes=8 * MB, seed=42
+    )
+    capacity = CORES * system.model.tps("GET", 64)
+    results = system.run(
+        WORKLOAD,
+        offered_rate_hz=0.4 * capacity,
+        duration_s=DURATION_S,
+        warmup_requests=10_000,
+        window_s=INTERVAL_S,
+        fill_on_miss=True,
+        faults=SCHEDULE,
+        telemetry=TelemetrySession(registry=registry, max_traces=0),
+        timeseries=recorder,
+        slo=slo,
+        profiler=profiler,
+    )
+    return results, recorder, profiler
+
+
+@pytest.fixture(scope="module")
+def observed():
+    return _observed_run(profile=True)
+
+
+class TestAcceptanceTimeline:
+    def test_results_carry_the_observatory(self, observed):
+        results, recorder, _ = observed
+        assert results.timeseries is recorder
+        assert results.failed > 0
+
+    def test_fault_window_visible_in_timeseries(self, observed):
+        _, recorder, _ = observed
+        rows = [json.loads(line) for line in recorder.to_jsonl().splitlines()]
+        assert len(rows) >= int(DURATION_S / INTERVAL_S) - 1
+        failures = {row["t_s"]: row.get("requests_failed_total", 0) for row in rows}
+        in_fault = sum(
+            count for t, count in failures.items() if CRASH_S < t <= RESTART_S + INTERVAL_S
+        )
+        outside = sum(
+            count for t, count in failures.items() if t <= CRASH_S
+        )
+        # Failures concentrate in the crash window; none before it.
+        assert in_fault > 0
+        assert outside == 0
+        # Healthy traffic is visible on both sides of the fault.
+        completed = {
+            row["t_s"]: row.get("requests_completed_total", 0) for row in rows
+        }
+        assert completed[0.1] > 0
+        recovered = sum(
+            count for t, count in completed.items() if t > RESTART_S + INTERVAL_S
+        )
+        assert recovered > 0
+
+    def test_burn_alert_fires_once_in_fault_window_and_clears(self, observed):
+        results, _, _ = observed
+        by_rule = {}
+        for alert in results.slo_alerts:
+            by_rule.setdefault(alert.rule, []).append(alert)
+        assert "availability_burn" in by_rule
+        # Exactly one firing per rule: sustained violations do not re-fire.
+        for rule, alerts in by_rule.items():
+            assert len(alerts) == 1, rule
+        alert = by_rule["availability_burn"][0]
+        assert CRASH_S <= alert.fired_at_s <= RESTART_S
+        assert alert.cleared_at_s is not None
+        assert alert.cleared_at_s >= RESTART_S
+        assert alert.peak_burn >= 5.0
+
+    def test_profiler_saw_the_run_without_perturbing_it(self, observed):
+        results, _, profiler = observed
+        assert profiler.total_events > results.completed
+        assert "warmup" in profiler.spans
+        top = profiler.top_events(3)
+        assert top and top[0].calls > 0
+        # The profiled run's simulated outcomes match an unprofiled one.
+        unprofiled, _, _ = _observed_run(profile=False)
+        assert unprofiled.completed == results.completed
+        assert unprofiled.failed == results.failed
+        assert unprofiled.mean_rtt == results.mean_rtt
+
+    def test_timeline_and_alerts_bit_identical_across_runs(self, observed):
+        results, recorder, _ = observed
+        repeat, repeat_recorder, _ = _observed_run(profile=False)
+        assert recorder.to_jsonl() == repeat_recorder.to_jsonl()
+        assert [a.to_dict() for a in results.slo_alerts] == [
+            a.to_dict() for a in repeat.slo_alerts
+        ]

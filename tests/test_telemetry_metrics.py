@@ -11,6 +11,9 @@ from repro.telemetry import (
     MetricsRegistry,
     NULL_REGISTRY,
     StreamingHistogram,
+    describe_metric,
+    escape_label_value,
+    metric_description,
     prometheus_text,
     summary_table,
 )
@@ -158,6 +161,52 @@ class TestStreamingHistogram:
         assert snapshot["count"] == 1
         assert len(snapshot["buckets"]) == 1
 
+    def test_dict_round_trip_is_exact(self):
+        rng = random.Random(5)
+        histogram = StreamingHistogram("h")
+        for _ in range(5_000):
+            histogram.record(rng.lognormvariate(-8.0, 1.2))
+        histogram.record(3e-8)   # below range
+        histogram.record(500.0)  # above range
+        restored = StreamingHistogram.from_dict(histogram.to_dict(), name="h")
+        # Bucket keys map back to the same indices; nothing quantised.
+        assert restored.counts == histogram.counts
+        assert restored.count == histogram.count
+        assert restored.total == histogram.total
+        assert restored.minimum == histogram.minimum == 3e-8
+        assert restored.maximum == histogram.maximum == 500.0
+        assert restored.percentile(0.99) == histogram.percentile(0.99)
+
+    def test_round_trip_then_merge_carries_min_max_exactly(self):
+        a = StreamingHistogram("h")
+        b = StreamingHistogram("h")
+        a.record(2.5e-5)
+        b.record(7.7e-3)
+        revived_a = StreamingHistogram.from_dict(a.to_dict())
+        merged = revived_a.merge(b)
+        assert merged.minimum == 2.5e-5
+        assert merged.maximum == 7.7e-3
+        assert merged.count == 2
+        # And a second round trip of the merge is still exact.
+        again = StreamingHistogram.from_dict(merged.to_dict())
+        assert again.minimum == 2.5e-5 and again.maximum == 7.7e-3
+        assert again.counts == merged.counts
+
+    def test_round_trip_empty_histogram(self):
+        restored = StreamingHistogram.from_dict(StreamingHistogram("h").to_dict())
+        assert restored.count == 0
+        assert restored.minimum == 0.0 and restored.maximum == 0.0
+
+    def test_round_trip_preserves_custom_geometry(self):
+        histogram = StreamingHistogram(
+            "h", min_value=1e-3, max_value=10.0, buckets_per_decade=5
+        )
+        histogram.record(0.5)
+        restored = StreamingHistogram.from_dict(histogram.to_dict())
+        assert restored.buckets_per_decade == 5
+        assert restored.min_value == 1e-3
+        assert restored.counts == histogram.counts
+
 
 class TestNullRegistry:
     def test_records_nothing(self):
@@ -202,3 +251,66 @@ class TestExporters:
         assert "ops_total" in text
         assert "rtt_seconds" in text
         assert "p99" in text
+
+    def test_label_value_escaping(self):
+        assert escape_label_value('plain') == "plain"
+        assert escape_label_value('a\\b') == "a\\\\b"
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("two\nlines") == "two\\nlines"
+        # Order matters: the backslash introduced by the quote escape
+        # must not be doubled again.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", {"path": 'C:\\tmp\n"x"'}).inc()
+        text = prometheus_text(registry)
+        assert 'ops_total{path="C:\\\\tmp\\n\\"x\\""} 1' in text
+        # The raw newline never reaches the exposition output.
+        assert all("\n" not in line or line == "" for line in text.split("\n"))
+
+    def test_help_lines_from_description_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_completed_total").inc()
+        registry.counter("totally_undocumented_total").inc()
+        text = prometheus_text(registry)
+        assert (
+            "# HELP requests_completed_total "
+            "Requests that completed within the run horizon" in text
+        )
+        # HELP precedes TYPE for documented metrics; undocumented ones
+        # still get their TYPE line, just no HELP.
+        lines = text.splitlines()
+        help_index = lines.index(
+            "# HELP requests_completed_total "
+            "Requests that completed within the run horizon"
+        )
+        assert lines[help_index + 1] == "# TYPE requests_completed_total counter"
+        assert "# HELP totally_undocumented_total" not in text
+        assert "# TYPE totally_undocumented_total counter" in text
+
+    def test_help_text_escaped(self):
+        describe_metric("weird_total", "line one\nline \\two")
+        try:
+            registry = MetricsRegistry()
+            registry.counter("weird_total").inc()
+            text = prometheus_text(registry)
+            assert "# HELP weird_total line one\\nline \\\\two" in text
+        finally:
+            from repro.telemetry.metrics import METRIC_DESCRIPTIONS
+
+            METRIC_DESCRIPTIONS.pop("weird_total", None)
+
+    def test_describe_metric_validates_and_reads_back(self):
+        with pytest.raises(ConfigurationError):
+            describe_metric("bad name!", "nope")
+        assert metric_description("requests_completed_total")
+        assert metric_description("never_registered_total") is None
+
+    def test_help_emitted_once_per_metric_name(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_served_total", {"core": "0"}).inc()
+        registry.counter("requests_served_total", {"core": "1"}).inc()
+        text = prometheus_text(registry)
+        assert text.count("# HELP requests_served_total") == 1
+        assert text.count("# TYPE requests_served_total") == 1

@@ -1,0 +1,110 @@
+"""Unit tests for :mod:`repro.telemetry.profiler`.
+
+The profiler uses an injectable clock, so every wall-clock number here
+is deterministic.  The one integration test pins the observe-don't-
+perturb contract: a simulated run's outcomes are identical with the
+profiler attached or not.
+"""
+
+from repro.sim.events import Simulator
+from repro.telemetry import SimProfiler
+from repro.telemetry.profiler import _label
+
+
+class FakeClock:
+    """Advances a fixed amount per reading."""
+
+    def __init__(self, step=0.001):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def test_label_compression():
+    def outer():
+        def arrive():
+            pass
+
+        return arrive
+
+    assert _label(outer()) == "outer.arrive"
+    assert _label(test_label_compression) == "test_label_compression"
+    assert _label(FakeClock()) == "FakeClock"
+
+
+def test_attach_times_every_event():
+    profiler = SimProfiler(clock=FakeClock())
+    sim = Simulator()
+    profiler.attach(sim)
+    assert sim.profiler is profiler
+
+    def ping():
+        pass
+
+    def pong():
+        pass
+
+    sim.schedule_at(1.0, ping)
+    sim.schedule_at(3.0, pong)
+    sim.schedule_at(4.5, ping)
+    sim.run()
+    assert profiler.total_events == 3
+    ping_stats = profiler.events["test_attach_times_every_event.ping"]
+    assert ping_stats.calls == 2
+    # Each callback costs exactly one clock step; sim-time attribution
+    # is the advance the event caused.
+    assert ping_stats.wall_s == 0.002
+    assert ping_stats.sim_s == 1.0 + 1.5
+    assert profiler.events["test_attach_times_every_event.pong"].sim_s == 2.0
+
+
+def test_span_and_report():
+    profiler = SimProfiler(clock=FakeClock(step=0.01))
+    with profiler.span("warmup"):
+        pass
+    assert profiler.spans["warmup"].calls == 1
+    assert profiler.spans["warmup"].wall_s == 0.01
+    report = profiler.report(top_n=5)
+    assert "warmup" in report
+    assert "event loop: 0 events" in report
+
+
+def test_top_events_ordering_and_to_dict():
+    profiler = SimProfiler(clock=FakeClock())
+
+    def cheap():
+        pass
+
+    def costly():
+        pass
+
+    profiler.record_event(cheap, 0.001, 0.0)
+    profiler.record_event(costly, 0.1, 0.5)
+    top = profiler.top_events(1)
+    assert top[0].name.endswith("costly")
+    payload = profiler.to_dict()
+    assert payload["total_events"] == 2
+    assert payload["events"][0]["name"].endswith("costly")
+    assert payload["events"][0]["max_wall_s"] == 0.1
+
+
+def test_profiler_does_not_perturb_the_simulation():
+    def run(profiled):
+        sim = Simulator()
+        if profiled:
+            SimProfiler(clock=FakeClock()).attach(sim)
+        trace = []
+
+        def tick(i):
+            trace.append((round(sim.now, 9), i))
+            if i < 20:
+                sim.schedule(0.1, lambda: tick(i + 1))
+
+        sim.schedule(0.0, lambda: tick(0))
+        sim.run()
+        return trace, sim.now, sim.events_processed
+
+    assert run(profiled=False) == run(profiled=True)

@@ -1,0 +1,205 @@
+"""Unit tests for :mod:`repro.telemetry.slo`.
+
+The burn-rate arithmetic is checked against hand-computed fractions;
+the lifecycle tests drive a synthetic violation window through
+``evaluate`` and assert the PR's alerting contract: a sustained
+violation fires exactly once, and the alert clears when the short
+window recovers.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.events import Simulator
+from repro.telemetry import (
+    BurnRateRule,
+    MetricsRegistry,
+    SloMonitor,
+    SloObjective,
+    default_burn_rules,
+    paper_sla_objectives,
+)
+
+
+def _monitor(threshold=10.0, registry=None, sinks=()):
+    objective = SloObjective("availability", target=0.99)
+    rule = BurnRateRule(
+        name="availability_burn",
+        objective="availability",
+        long_window_s=1.0,
+        short_window_s=0.5,
+        threshold=threshold,
+    )
+    return SloMonitor(
+        [objective],
+        [rule],
+        resolution_s=0.1,
+        registry=registry if registry is not None else MetricsRegistry(),
+        sinks=sinks,
+    )
+
+
+class TestValidation:
+    def test_objective_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SloObjective("x", target=1.0)
+        with pytest.raises(ConfigurationError):
+            SloObjective("x", target=0.999, deadline_s=0.0)
+
+    def test_rule_bounds(self):
+        with pytest.raises(ConfigurationError):
+            BurnRateRule("r", "o", long_window_s=1.0, short_window_s=2.0, threshold=1.0)
+        with pytest.raises(ConfigurationError):
+            BurnRateRule("r", "o", long_window_s=1.0, short_window_s=0.5, threshold=0.0)
+
+    def test_monitor_cross_checks(self):
+        objective = SloObjective("a", target=0.99)
+        with pytest.raises(ConfigurationError):
+            SloMonitor([], [])
+        with pytest.raises(ConfigurationError):
+            SloMonitor(
+                [objective],
+                [BurnRateRule("r", "missing", 1.0, 0.5, 10.0)],
+            )
+        with pytest.raises(ConfigurationError):
+            # Short window finer than the resolution.
+            SloMonitor(
+                [objective],
+                [BurnRateRule("r", "a", 1.0, 0.01, 10.0)],
+                resolution_s=0.1,
+            )
+        with pytest.raises(ConfigurationError):
+            SloMonitor([objective, SloObjective("a", target=0.9)])
+
+
+class TestObjectiveSemantics:
+    def test_latency_objective_needs_deadline_met(self):
+        objective = SloObjective("lat", target=0.999, deadline_s=1e-3)
+        assert objective.is_good(5e-4, ok=True)
+        assert not objective.is_good(2e-3, ok=True)
+        assert not objective.is_good(None, ok=True)
+        assert not objective.is_good(5e-4, ok=False)
+        assert objective.error_budget == pytest.approx(1e-3)
+
+    def test_availability_objective_ignores_latency(self):
+        objective = SloObjective("avail", target=0.99)
+        assert objective.is_good(None, ok=True)
+        assert objective.is_good(10.0, ok=True)
+        assert not objective.is_good(None, ok=False)
+
+
+class TestBurnMath:
+    def test_bad_fraction_and_burn(self):
+        monitor = _monitor()
+        # 10 outcomes in [0, 0.5): 8 good, 2 bad -> bad fraction 0.2.
+        for i in range(10):
+            monitor.record(0.04 * (i + 1), ok=i >= 2)
+        assert monitor.bad_fraction("availability", 0.5, 0.5) == pytest.approx(0.2)
+        # Budget is 0.01, so burn = 20x.
+        assert monitor.burn_rate("availability", 0.5, 0.5) == pytest.approx(20.0)
+
+    def test_empty_window_burns_nothing(self):
+        monitor = _monitor()
+        assert monitor.bad_fraction("availability", 0.5, 10.0) == 0.0
+        assert monitor.burn_rate("availability", 0.5, 10.0) == 0.0
+
+
+class TestAlertLifecycle:
+    def _feed(self, monitor, start_s, end_s, ok, rate_hz=100):
+        step = 1.0 / rate_hz
+        t = start_s
+        while t < end_s:
+            monitor.record(t, ok=ok)
+            t += step
+
+    def test_sustained_violation_fires_exactly_once_then_clears(self):
+        events = []
+        registry = MetricsRegistry()
+        monitor = _monitor(
+            registry=registry,
+            sinks=[lambda event, alert, now: events.append((event, alert.rule, now))],
+        )
+        # Healthy for 1s, hard outage for 1s, healthy again.
+        self._feed(monitor, 0.0, 1.0, ok=True)
+        self._feed(monitor, 1.0, 2.0, ok=False)
+        self._feed(monitor, 2.0, 4.0, ok=True)
+        transitions = []
+        for tick in range(1, 41):
+            transitions += monitor.evaluate(tick * 0.1)
+        fired = [t for t in transitions if t[0] == "fire"]
+        cleared = [t for t in transitions if t[0] == "clear"]
+        assert len(fired) == 1 and len(cleared) == 1
+        alert = fired[0][1]
+        assert alert is cleared[0][1]
+        # Fired inside the outage (needs the long window >= threshold,
+        # so not instantly), cleared once the short window recovered.
+        assert 1.0 <= alert.fired_at_s <= 2.0
+        assert alert.cleared_at_s > 2.0
+        assert alert.peak_burn >= 10.0
+        assert not alert.active
+        assert monitor.active_alerts == ()
+        # Sinks saw the same two transitions.
+        assert [event for event, _, _ in events] == ["fire", "clear"]
+        # And the registry counted them.
+        assert registry.get(
+            "slo_alerts_fired_total", {"rule": "availability_burn"}
+        ).value == 1
+        assert registry.get(
+            "slo_alerts_cleared_total", {"rule": "availability_burn"}
+        ).value == 1
+        assert registry.get("slo_alerts_active").value == 0
+
+    def test_short_blip_does_not_fire(self):
+        monitor = _monitor()
+        self._feed(monitor, 0.0, 1.0, ok=True)
+        self._feed(monitor, 1.0, 1.03, ok=False)  # 3 bad outcomes
+        self._feed(monitor, 1.03, 2.0, ok=True)
+        for tick in range(1, 21):
+            monitor.evaluate(tick * 0.1)
+        # Neither window sustains a 10x burn from a 30 ms blip.
+        assert monitor.alerts == []
+
+    def test_evaluate_in_steady_violation_is_quiet(self):
+        monitor = _monitor()
+        self._feed(monitor, 0.0, 2.0, ok=False)
+        first = monitor.evaluate(2.0)
+        second = monitor.evaluate(2.1)
+        assert [event for event, _ in first] == ["fire"]
+        assert second == []
+        assert len(monitor.alerts) == 1
+
+    def test_install_evaluates_on_the_simulated_clock(self):
+        monitor = _monitor()
+        sim = Simulator()
+        monitor.install(sim, horizon_s=4.0)
+
+        def outcomes(t: float, ok: bool) -> None:
+            monitor.record(t, ok=ok)
+
+        t = 0.01
+        while t < 4.0:
+            sim.schedule_at(t, lambda t=t: outcomes(t, not 1.0 <= t < 2.0))
+            t += 0.01
+        sim.run()
+        assert len(monitor.alerts) == 1
+        alert = monitor.alerts[0]
+        assert 1.0 <= alert.fired_at_s <= 2.0
+        assert alert.cleared_at_s is not None and alert.cleared_at_s >= 2.0
+        payload = alert.to_dict()
+        assert payload["rule"] == "availability_burn"
+        assert payload["peak_burn"] > 0
+
+
+class TestHelpers:
+    def test_paper_objectives(self):
+        latency, availability = paper_sla_objectives()
+        assert latency.deadline_s == pytest.approx(1.1e-3)
+        assert availability.deadline_s is None
+        assert latency.target == availability.target == 0.999
+
+    def test_default_rules_one_per_objective(self):
+        rules = default_burn_rules(
+            paper_sla_objectives(), short_window_s=0.1, long_window_s=0.3
+        )
+        assert [rule.name for rule in rules] == ["latency_burn", "availability_burn"]
+        assert all(rule.threshold == 10.0 for rule in rules)
