@@ -17,6 +17,7 @@ from conftest import OUT_DIR, emit, track
 from repro.core import mercury_stack
 from repro.faults import FaultEvent, FaultSchedule
 from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
 from repro.telemetry import (
     MetricsRegistry,
     SimProfiler,
@@ -68,16 +69,18 @@ def _observed_run(faults=None):
     capacity = CORES * system.model.tps("GET", 64)
     results = system.run(
         WORKLOAD,
-        offered_rate_hz=0.4 * capacity,
-        duration_s=DURATION_S,
-        warmup_requests=16_000,
-        window_s=0.1,
-        fill_on_miss=True,
-        faults=faults,
-        telemetry=TelemetrySession(registry=registry, max_traces=0),
-        timeseries=recorder,
-        slo=slo,
-        profiler=profiler,
+        RunOptions(
+            offered_rate_hz=0.4 * capacity,
+            duration_s=DURATION_S,
+            warmup_requests=16_000,
+            window_s=0.1,
+            fill_on_miss=True,
+            faults=faults,
+            telemetry=TelemetrySession(registry=registry, max_traces=0),
+            timeseries=recorder,
+            slo=slo,
+            profiler=profiler,
+        ),
     )
     return results, recorder, profiler
 

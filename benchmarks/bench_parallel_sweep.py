@@ -1,0 +1,128 @@
+"""Parallel experiment engine: bit-identity, caching, and speedup.
+
+The engine's contract is that scheduling is invisible: a grid run
+serially, across worker processes, or answered from the result cache
+produces byte-identical results.  The smoke test proves that on the
+Fig. 7 design-point grid; the slow test does it on a 12-point
+full-system DES grid and, on hosts with enough cores, also checks the
+wall-clock win from ``parallel=4``.
+"""
+
+import json
+import os
+import time
+from dataclasses import replace
+
+import pytest
+from conftest import emit, track
+
+from repro.exp import (
+    GridSpec,
+    ResultCache,
+    StackSpec,
+    design_point_grid,
+    get_scenario,
+    run_experiments,
+)
+from repro.telemetry import MetricsRegistry
+from repro.units import MB
+
+
+def _dumps(report):
+    return [json.dumps(result, sort_keys=True) for result in report.results]
+
+
+def test_parallel_sweep_smoke(benchmark, tmp_path):
+    specs = design_point_grid().expand()
+    serial = benchmark(lambda: run_experiments(specs))
+
+    cache = ResultCache(tmp_path / "expcache")
+    registry = MetricsRegistry()
+    fanned = run_experiments(specs, parallel=2, cache=cache, registry=registry)
+    assert _dumps(fanned) == _dumps(serial)
+    assert fanned.cache_misses == len(specs)
+
+    rerun = run_experiments(specs, parallel=2, cache=cache, registry=registry)
+    assert _dumps(rerun) == _dumps(serial)
+    assert rerun.executed == 0
+    assert rerun.cache_hits == len(specs)
+    assert registry.counter("exp_cache_hits_total").value == len(specs)
+    assert registry.counter("exp_jobs_executed_total").value == len(specs)
+
+    emit(
+        "parallel_sweep_smoke",
+        f"experiment engine, Fig. 7 grid ({len(specs)} design points):\n"
+        f"  serial == parallel(2) == cached rerun (byte-identical)\n"
+        f"  rerun: {rerun.cache_hits}/{rerun.jobs} cache hits, "
+        f"{rerun.executed} executed",
+    )
+    track(
+        "parallel_sweep_smoke",
+        jobs=len(specs),
+        rerun_hit_rate=rerun.hit_rate,
+        rerun_executed=rerun.executed,
+    )
+
+
+@pytest.mark.slow
+def test_parallel_full_system_grid(tmp_path):
+    base = replace(
+        get_scenario("baseline").to_spec(
+            StackSpec(cores=1, memory_per_core_bytes=4 * MB),
+            offered_rate_hz=4_000.0,
+            duration_s=0.4,
+            seed=11,
+            warmup_requests=2_000,
+        ),
+        label="",
+    )
+    grid = GridSpec(
+        name="fs-grid",
+        base=base,
+        axes=(
+            ("stack.cores", (1, 2, 4)),
+            ("options.offered_rate_hz", (4e3, 8e3, 12e3, 16e3)),
+        ),
+    )
+    specs = grid.expand()
+    assert len(specs) == 12
+
+    started = time.perf_counter()
+    serial = run_experiments(specs)
+    serial_s = time.perf_counter() - started
+
+    cache = ResultCache(tmp_path / "expcache")
+    started = time.perf_counter()
+    fanned = run_experiments(specs, parallel=4, cache=cache)
+    parallel_s = time.perf_counter() - started
+    assert _dumps(fanned) == _dumps(serial)
+
+    # The speedup claim needs physical parallelism to be measurable.
+    if (os.cpu_count() or 1) >= 4:
+        assert parallel_s < serial_s / 2, (
+            f"parallel=4 took {parallel_s:.2f}s vs serial {serial_s:.2f}s"
+        )
+
+    started = time.perf_counter()
+    rerun = run_experiments(specs, parallel=4, cache=cache)
+    rerun_s = time.perf_counter() - started
+    assert rerun.executed == 0, "cached rerun must run zero simulations"
+    assert rerun.cache_hits == len(specs)
+    assert _dumps(rerun) == _dumps(serial)
+
+    emit(
+        "parallel_sweep_grid",
+        f"experiment engine, 12-point full-system grid "
+        f"(cores x offered rate, 0.4s DES each):\n"
+        f"  serial   {serial_s:7.2f}s\n"
+        f"  parallel {parallel_s:7.2f}s (4 workers, cold cache)\n"
+        f"  rerun    {rerun_s:7.2f}s ({rerun.cache_hits}/{rerun.jobs} "
+        f"cache hits, {rerun.executed} simulations)",
+    )
+    track(
+        "parallel_sweep_grid",
+        serial_s=serial_s,
+        parallel_s=parallel_s,
+        rerun_s=rerun_s,
+        speedup=serial_s / parallel_s if parallel_s else 0.0,
+    )

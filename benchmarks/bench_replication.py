@@ -21,6 +21,7 @@ from repro.faults import DEFAULT_RESILIENCE, PRESETS, crash_restart
 from repro.core import mercury_stack
 from repro.replication import ReplicationConfig
 from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
 from repro.telemetry import TelemetrySession
 from repro.units import MB
 from repro.workloads import WorkloadSpec
@@ -46,15 +47,17 @@ def _run(n, faults=None, duration_s=1.2, window_s=0.1, warmup=24_000,
     replication = ReplicationConfig(n=n, r=min(2, n), w=min(2, n)) if n > 1 else None
     return system.run(
         WORKLOAD,
-        offered_rate_hz=0.3 * capacity,
-        duration_s=duration_s,
-        warmup_requests=warmup,
-        window_s=window_s,
-        fill_on_miss=True,
-        faults=faults,
-        resilience=DEFAULT_RESILIENCE if faults else None,
-        replication=replication,
-        telemetry=telemetry,
+        RunOptions(
+            offered_rate_hz=0.3 * capacity,
+            duration_s=duration_s,
+            warmup_requests=warmup,
+            window_s=window_s,
+            fill_on_miss=True,
+            faults=faults,
+            resilience=DEFAULT_RESILIENCE if faults else None,
+            replication=replication,
+            telemetry=telemetry,
+        ),
     )
 
 

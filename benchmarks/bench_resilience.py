@@ -20,6 +20,7 @@ from repro.faults import (
     FaultSchedule,
 )
 from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
 from repro.units import MB
 from repro.workloads import WorkloadSpec
 from repro.workloads.distributions import fixed_size
@@ -58,13 +59,15 @@ def _run(faults=None, resilience=None, duration_s=DURATION_S):
     capacity = CORES * system.model.tps("GET", 64)
     return system.run(
         WORKLOAD,
-        offered_rate_hz=0.4 * capacity,
-        duration_s=duration_s,
-        warmup_requests=10_000,
-        window_s=WINDOW_S,
-        fill_on_miss=True,
-        faults=faults,
-        resilience=resilience,
+        RunOptions(
+            offered_rate_hz=0.4 * capacity,
+            duration_s=duration_s,
+            warmup_requests=10_000,
+            window_s=WINDOW_S,
+            fill_on_miss=True,
+            faults=faults,
+            resilience=resilience,
+        ),
     )
 
 

@@ -9,6 +9,7 @@ Run:  python examples/full_system_demo.py
 
 from repro.core import mercury_stack
 from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
 from repro.units import MB
 from repro.workloads import WorkloadSpec
 from repro.workloads.distributions import ETC_VALUE_SIZES
@@ -31,9 +32,11 @@ def main() -> None:
     for load in (0.3, 0.6, 0.85):
         results = system.run(
             workload,
-            offered_rate_hz=load * capacity,
-            duration_s=0.4,
-            warmup_requests=30_000,
+            RunOptions(
+                offered_rate_hz=load * capacity,
+                duration_s=0.4,
+                warmup_requests=30_000,
+            ),
         )
         breakdown = results.breakdown_fractions()
         print(f"load {load:.0%}: {results.throughput_hz / 1e3:6.1f} KTPS, "

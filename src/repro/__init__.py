@@ -88,6 +88,13 @@ __all__ = [
     "MemcachedCluster",
     "MemcachedServer",
     "FullSystemStack",
+    "RunOptions",
+    "ExperimentSpec",
+    "GridSpec",
+    "ResultCache",
+    "Scenario",
+    "StackSpec",
+    "run_experiments",
     "MetricsRegistry",
     "StreamingHistogram",
     "TelemetrySession",
@@ -110,6 +117,15 @@ __all__ = [
 # PEP 562 lazy attributes (the same pattern as ``repro.sim``) keep
 # ``from repro import ReplicationCoordinator`` working without the cycle.
 _LAZY = {
+    "RunOptions": "repro.sim.run_options",
+    # The experiment engine imports analysis/sim front-ends; lazy
+    # re-exports keep package import light and cycle-free.
+    "ExperimentSpec": "repro.exp",
+    "GridSpec": "repro.exp",
+    "ResultCache": "repro.exp",
+    "Scenario": "repro.exp",
+    "StackSpec": "repro.exp",
+    "run_experiments": "repro.exp",
     "QuorumConfig": "repro.replication.config",
     "ReplicationConfig": "repro.replication.config",
     "ReplicationCoordinator": "repro.replication.coordinator",

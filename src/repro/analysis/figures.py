@@ -126,21 +126,81 @@ def figure6_iridium_latency_sweep() -> list[FigureSeries]:
     return panels
 
 
-def _config_sweep(
-    family: str, metric_tps: bool, point: OperatingPoint
-) -> FigureSeries:
+def _config_rows(
+    family: str,
+    point: OperatingPoint,
+    *,
+    parallel: int | None = None,
+    cache=None,
+    registry=None,
+) -> list[dict]:
+    """Every (core, cores-per-stack) cell of a family as result dicts.
+
+    Plain operating points route through the experiment engine
+    (:mod:`repro.exp`), which makes the sweep parallelisable and
+    cacheable; points with a memory override or a GET/PUT mix fall back
+    to direct evaluation, since specs only address verb + size.  Both
+    paths produce identical numbers — engine results are float-exact
+    through their JSON round trip.
+    """
+    if point.memory is None and point.get_fraction is None:
+        from repro.exp import ExperimentSpec, StackSpec, run_experiments
+        from repro.telemetry.metrics import NULL_REGISTRY
+
+        specs = [
+            ExperimentSpec(
+                kind="design_point",
+                stack=StackSpec(
+                    family=family.lower(), cores=n, core=core.name
+                ),
+                verb=point.verb,
+                value_bytes=point.value_bytes,
+                label=f"{family}-{n} {core.name}",
+            )
+            for core in EVALUATED_CORES
+            for n in CORES_PER_STACK_SWEEP
+        ]
+        report = run_experiments(
+            specs,
+            parallel=parallel,
+            cache=cache,
+            registry=registry if registry is not None else NULL_REGISTRY,
+        )
+        return report.labelled_results()
     build = mercury_stack if family == "Mercury" else iridium_stack
-    labels = []
-    density: list[float] = []
-    power: list[float] = []
-    tps: list[float] = []
+    rows = []
     for core in EVALUATED_CORES:
         for n in CORES_PER_STACK_SWEEP:
-            metrics = evaluate_server(ServerDesign(stack=build(cores=n, core=core)), point)
-            labels.append(f"{family}-{n} {core.name}")
-            density.append(metrics.density_gb / 1e3)  # thousands of GB
-            power.append(metrics.power_w)
-            tps.append(metrics.tps / 1e6)
+            metrics = evaluate_server(
+                ServerDesign(stack=build(cores=n, core=core)), point
+            )
+            rows.append(
+                {
+                    "label": f"{family}-{n} {core.name}",
+                    "density_gb": metrics.density_gb,
+                    "power_w": metrics.power_w,
+                    "tps": metrics.tps,
+                }
+            )
+    return rows
+
+
+def _config_sweep(
+    family: str,
+    metric_tps: bool,
+    point: OperatingPoint,
+    *,
+    parallel: int | None = None,
+    cache=None,
+    registry=None,
+) -> FigureSeries:
+    rows = _config_rows(
+        family, point, parallel=parallel, cache=cache, registry=registry
+    )
+    labels = [row["label"] for row in rows]
+    density = [row["density_gb"] / 1e3 for row in rows]  # thousands of GB
+    power = [row["power_w"] for row in rows]
+    tps = [row["tps"] / 1e6 for row in rows]
     if metric_tps:
         series = {"Density (thousands of GB)": tuple(density), "TPS @64B (millions)": tuple(tps)}
         title = f"Figure 7: {family} density vs TPS"
@@ -155,17 +215,40 @@ def _config_sweep(
     )
 
 
-def figure7_density_vs_tps(point: OperatingPoint = OperatingPoint()) -> list[FigureSeries]:
-    """Fig. 7: density and TPS@64B for every Mercury/Iridium config."""
+def figure7_density_vs_tps(
+    point: OperatingPoint = OperatingPoint(),
+    *,
+    parallel: int | None = None,
+    cache=None,
+    registry=None,
+) -> list[FigureSeries]:
+    """Fig. 7: density and TPS@64B for every Mercury/Iridium config.
+
+    ``parallel``/``cache``/``registry`` pass through to the experiment
+    engine (:func:`repro.exp.run_experiments`).
+    """
     return [
-        _config_sweep("Mercury", metric_tps=True, point=point),
-        _config_sweep("Iridium", metric_tps=True, point=point),
+        _config_sweep("Mercury", metric_tps=True, point=point,
+                      parallel=parallel, cache=cache, registry=registry),
+        _config_sweep("Iridium", metric_tps=True, point=point,
+                      parallel=parallel, cache=cache, registry=registry),
     ]
 
 
-def figure8_power_vs_tps(point: OperatingPoint = OperatingPoint()) -> list[FigureSeries]:
-    """Fig. 8: power and TPS@64B for every Mercury/Iridium config."""
+def figure8_power_vs_tps(
+    point: OperatingPoint = OperatingPoint(),
+    *,
+    parallel: int | None = None,
+    cache=None,
+    registry=None,
+) -> list[FigureSeries]:
+    """Fig. 8: power and TPS@64B for every Mercury/Iridium config.
+
+    Takes the same engine pass-throughs as :func:`figure7_density_vs_tps`.
+    """
     return [
-        _config_sweep("Mercury", metric_tps=False, point=point),
-        _config_sweep("Iridium", metric_tps=False, point=point),
+        _config_sweep("Mercury", metric_tps=False, point=point,
+                      parallel=parallel, cache=cache, registry=registry),
+        _config_sweep("Iridium", metric_tps=False, point=point,
+                      parallel=parallel, cache=cache, registry=registry),
     ]

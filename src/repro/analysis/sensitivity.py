@@ -119,10 +119,55 @@ def sensitivity_sweep(
     factor: float = 1.5,
     fields: tuple[str, ...] = PERTURBABLE_FIELDS,
     point: OperatingPoint = OperatingPoint(),
+    *,
+    parallel: int | None = None,
+    cache=None,
+    registry=None,
 ) -> list[SensitivityRow]:
-    """Perturb each field by x``factor`` and /``factor``; report swings."""
+    """Perturb each field by x``factor`` and /``factor``; report swings.
+
+    With ``parallel``/``cache`` the 2x|fields| headline evaluations run
+    through the experiment engine (each perturbation is one ``headline``
+    spec), so repeated ablations are cache hits.  Plain operating points
+    only; a memory override or GET/PUT mix falls back to the direct loop.
+    """
     if factor <= 1.0:
         raise ConfigurationError("factor must exceed 1 (it is applied both ways)")
+    if point.memory is None and point.get_fraction is None:
+        from repro.exp import ExperimentSpec, run_experiments
+        from repro.telemetry.metrics import NULL_REGISTRY
+
+        specs = []
+        for field in fields:
+            for direction, scale in (("low", 1.0 / factor), ("high", factor)):
+                specs.append(
+                    ExperimentSpec(
+                        kind="headline",
+                        verb=point.verb,
+                        value_bytes=point.value_bytes,
+                        calibration_scale=((field, scale),),
+                        label=f"sensitivity[{field} {direction} x{factor:g}]",
+                    )
+                )
+        report = run_experiments(
+            specs,
+            parallel=parallel,
+            cache=cache,
+            registry=registry if registry is not None else NULL_REGISTRY,
+        )
+        ratios = [
+            {k: v for k, v in result.items() if k != "kind"}
+            for result in report.results
+        ]
+        return [
+            SensitivityRow(
+                field=field,
+                factor=factor,
+                low=ratios[2 * i],
+                high=ratios[2 * i + 1],
+            )
+            for i, field in enumerate(fields)
+        ]
     rows = []
     for field in fields:
         low = headline_under(perturb(DEFAULT_CALIBRATION, field, 1.0 / factor), point)

@@ -16,6 +16,8 @@ Usage::
                               [--scenario crash-restart]
     python -m repro replication [--replicas 1,2,3] [--scenario crash-restart]
                                 [--cores 4] [--load 0.3] [--duration 4.0]
+    python -m repro sweep [--kind fig7|sensitivity|full-system]
+                          [--parallel 4] [--no-cache] [--export out.json]
 """
 
 from __future__ import annotations
@@ -230,7 +232,7 @@ def _cmd_pareto(args: argparse.Namespace) -> str:
 def _cmd_telemetry(args: argparse.Namespace) -> str:
     from pathlib import Path
 
-    from repro.faults import PRESETS
+    from repro.exp.scenarios import get_scenario
     from repro.sim.full_system import FullSystemStack
     from repro.telemetry import (
         SimProfiler,
@@ -245,19 +247,13 @@ def _cmd_telemetry(args: argparse.Namespace) -> str:
         write_trace_jsonl,
     )
     from repro.units import MB
-    from repro.workloads import WorkloadSpec
-    from repro.workloads.distributions import fixed_size
 
+    scenario = get_scenario(args.scenario or "baseline")
     stack = _stack_for(args.family, args.cores)
     system = FullSystemStack(
         stack=stack, memory_per_core_bytes=args.memory_mb * MB, seed=args.seed
     )
-    workload = WorkloadSpec(
-        name="telemetry-demo",
-        get_fraction=0.9,
-        key_population=20_000,
-        value_sizes=fixed_size(parse_size(args.size)),
-    )
+    workload = scenario.workload(parse_size(args.size))
     capacity = stack.cores * system.model.tps("GET", parse_size(args.size))
     telemetry = TelemetrySession(max_traces=args.trace_limit)
 
@@ -279,18 +275,12 @@ def _cmd_telemetry(args: argparse.Namespace) -> str:
     recorder = TimeSeriesRecorder(telemetry.registry, interval_s=interval)
     profiler = SimProfiler() if args.profile else None
 
-    results = system.run(
-        workload,
-        offered_rate_hz=args.load * capacity,
-        duration_s=args.duration,
-        warmup_requests=10_000,
-        fill_on_miss=args.scenario is not None,
-        faults=PRESETS[args.scenario] if args.scenario else None,
-        telemetry=telemetry,
-        timeseries=recorder,
-        slo=slo,
-        profiler=profiler,
+    options = scenario.run_options(
+        offered_rate_hz=args.load * capacity, duration_s=args.duration
+    ).with_instruments(
+        telemetry=telemetry, timeseries=recorder, slo=slo, profiler=profiler
     )
+    results = system.run(workload, options)
     out = Path(args.out)
     trace_path = write_trace_jsonl(out / "trace.jsonl", telemetry.tracer)
     metrics_path = write_prometheus(out / "metrics.prom", telemetry.registry)
@@ -333,16 +323,12 @@ def _cmd_telemetry(args: argparse.Namespace) -> str:
 def _cmd_faults(args: argparse.Namespace) -> str:
     import json
 
-    from repro.faults import (
-        DEFAULT_RESILIENCE,
-        NO_RESILIENCE,
-        PRESETS,
-        FaultSchedule,
-    )
+    from dataclasses import replace
+
+    from repro.exp.scenarios import get_scenario
+    from repro.faults import DEFAULT_RESILIENCE, NO_RESILIENCE, PRESETS, FaultSchedule
     from repro.sim.full_system import FullSystemStack
     from repro.units import MB
-    from repro.workloads import WorkloadSpec
-    from repro.workloads.distributions import fixed_size
 
     if args.list:
         lines = ["available fault scenarios (--scenario NAME):"]
@@ -351,17 +337,13 @@ def _cmd_faults(args: argparse.Namespace) -> str:
             lines.append(f"  {name:22s} {len(schedule.events)} events ({kinds})")
         return "\n".join(lines)
 
+    scenario = get_scenario(args.scenario)
     if args.schedule:
         schedule = FaultSchedule.load(args.schedule)
     else:
-        schedule = PRESETS[args.scenario]
+        schedule = scenario.fault_schedule()
     policy = NO_RESILIENCE if args.no_resilience else DEFAULT_RESILIENCE
-    workload = WorkloadSpec(
-        name="faults-demo",
-        get_fraction=0.9,
-        key_population=20_000,
-        value_sizes=fixed_size(parse_size(args.size)),
-    )
+    workload = scenario.workload(parse_size(args.size))
     deadline_s = args.deadline_us * 1e-6
 
     def build() -> FullSystemStack:
@@ -373,16 +355,15 @@ def _cmd_faults(args: argparse.Namespace) -> str:
 
     base_system = build()
     capacity = args.cores * base_system.model.tps("GET", parse_size(args.size))
-    kwargs = dict(
+    base_options = scenario.run_options(
         offered_rate_hz=args.load * capacity,
         duration_s=args.duration,
-        warmup_requests=10_000,
         window_s=args.window,
-        fill_on_miss=True,
     )
-    base = base_system.run(workload, **kwargs)
+    base_options = replace(base_options, faults=None)
+    base = base_system.run(workload, base_options)
     faulty = build().run(
-        workload, faults=schedule, resilience=policy, **kwargs
+        workload, replace(base_options, faults=schedule, resilience=policy)
     )
 
     restarts = [e.at_s for e in schedule.events if e.kind == "node_restart"]
@@ -449,23 +430,20 @@ def _cmd_faults(args: argparse.Namespace) -> str:
 def _cmd_replication(args: argparse.Namespace) -> str:
     import json
 
-    from repro.faults import DEFAULT_RESILIENCE, PRESETS, FaultSchedule
+    from dataclasses import replace
+
+    from repro.exp.scenarios import get_scenario
+    from repro.faults import DEFAULT_RESILIENCE, FaultSchedule
     from repro.replication.config import ReplicationConfig
     from repro.sim.full_system import FullSystemStack
     from repro.units import MB
-    from repro.workloads import WorkloadSpec
-    from repro.workloads.distributions import fixed_size
 
+    scenario = get_scenario(args.scenario)
     if args.schedule:
         schedule = FaultSchedule.load(args.schedule)
     else:
-        schedule = PRESETS[args.scenario]
-    workload = WorkloadSpec(
-        name="replication-demo",
-        get_fraction=0.9,
-        key_population=20_000,
-        value_sizes=fixed_size(parse_size(args.size)),
-    )
+        schedule = scenario.fault_schedule()
+    workload = scenario.workload(parse_size(args.size))
 
     def build() -> FullSystemStack:
         return FullSystemStack(
@@ -475,12 +453,13 @@ def _cmd_replication(args: argparse.Namespace) -> str:
         )
 
     capacity = args.cores * build().model.tps("GET", parse_size(args.size))
-    kwargs = dict(
-        offered_rate_hz=args.load * capacity,
-        duration_s=args.duration,
-        warmup_requests=10_000,
-        window_s=args.window,
-        fill_on_miss=True,
+    base_options = replace(
+        scenario.run_options(
+            offered_rate_hz=args.load * capacity,
+            duration_s=args.duration,
+            window_s=args.window,
+        ),
+        faults=None,
         resilience=DEFAULT_RESILIENCE,
     )
     replica_counts = sorted(set(int(n) for n in args.replicas.split(",")))
@@ -489,9 +468,10 @@ def _cmd_replication(args: argparse.Namespace) -> str:
         config = ReplicationConfig(
             n=n, r=min(args.read_quorum, n), w=min(args.write_quorum, n)
         )
-        base = build().run(workload, replication=config, **kwargs)
+        base = build().run(workload, replace(base_options, replication=config))
         faulted = build().run(
-            workload, faults=schedule, replication=config, **kwargs
+            workload,
+            replace(base_options, replication=config, faults=schedule),
         )
         base_windows = dict(base.hit_rate_timeline())
         availability = min(
@@ -547,6 +527,119 @@ def _cmd_replication(args: argparse.Namespace) -> str:
     lines.append(
         "replication buys availability through the crash at ~N x write cost."
     )
+    return "\n".join(lines)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    import json
+    import sys
+    from pathlib import Path
+
+    from repro.exp import (
+        DEFAULT_CACHE_DIR,
+        ExperimentSpec,
+        ResultCache,
+        StackSpec,
+        design_point_grid,
+        get_scenario,
+        run_experiments,
+    )
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.units import MB
+
+    if args.kind == "fig7":
+        specs = design_point_grid(
+            name="fig7", verb=args.verb, value_bytes=parse_size(args.size)
+        ).expand()
+    elif args.kind == "sensitivity":
+        from repro.analysis.sensitivity import PERTURBABLE_FIELDS
+
+        specs = [
+            ExperimentSpec(
+                kind="headline",
+                verb=args.verb,
+                value_bytes=parse_size(args.size),
+                calibration_scale=((name, scale),),
+                label=f"sensitivity[{name} x{scale:g}]",
+            )
+            for name in PERTURBABLE_FIELDS
+            for scale in (1.0 / args.factor, args.factor)
+        ]
+    else:  # full-system
+        scenario = get_scenario(args.scenario)
+        specs = [
+            scenario.to_spec(
+                StackSpec(
+                    family=args.family,
+                    cores=cores,
+                    memory_per_core_bytes=args.memory_mb * MB,
+                ),
+                offered_rate_hz=rate,
+                duration_s=args.duration,
+                seed=args.seed,
+                value_bytes=parse_size(args.size),
+                label=f"{scenario.name}[cores={cores},rate={rate:g}]",
+            )
+            for cores in (int(c) for c in args.cores_list.split(","))
+            for rate in (float(r) for r in args.rates.split(","))
+        ]
+
+    cache = None if args.no_cache else ResultCache(
+        args.cache_dir if args.cache_dir else DEFAULT_CACHE_DIR
+    )
+    registry = MetricsRegistry()
+    progress = None
+    if args.progress:
+
+        def progress(index, total, spec, status):
+            print(
+                f"[{index + 1:>{len(str(total))}}/{total}] {status:9s}"
+                f"{spec.label}",
+                file=sys.stderr,
+            )
+
+    report = run_experiments(
+        specs,
+        parallel=args.parallel,
+        cache=cache,
+        registry=registry,
+        progress=progress,
+    )
+
+    stats = report.stats()
+    stats["kind"] = args.kind
+    stats["parallel"] = args.parallel
+    stats["cache_dir"] = str(cache.root) if cache is not None else None
+    stats["cache_entries"] = len(cache) if cache is not None else 0
+
+    lines = []
+    if args.export:
+        path = Path(args.export)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(report.labelled_results(), indent=1, sort_keys=True)
+            + "\n"
+        )
+        lines.append(f"wrote {path}")
+    if args.stats_export:
+        path = Path(args.stats_export)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(stats, indent=1, sort_keys=True) + "\n")
+        lines.append(f"wrote {path}")
+    workers = (
+        "serial"
+        if not args.parallel or args.parallel <= 1
+        else f"{args.parallel} workers"
+    )
+    lines.insert(
+        0,
+        f"{report.jobs} {args.kind} jobs in {report.wall_s:.2f}s ({workers}): "
+        f"{report.cache_hits} cache hits, {report.executed} executed, "
+        f"cache {'off' if cache is None else 'at ' + str(cache.root)}",
+    )
+    if not args.export:
+        for spec in report.specs:
+            lines.append(f"  {spec.label}")
     return "\n".join(lines)
 
 
@@ -689,6 +782,51 @@ def build_parser() -> argparse.ArgumentParser:
                    help="hit-rate timeline bucket width in seconds")
     p.add_argument("--export", help="write the sweep as JSON instead of text")
     p.set_defaults(func=_cmd_replication)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run an experiment grid through the parallel engine "
+        "(content-addressed result caching; serial and parallel runs "
+        "are bit-identical)",
+    )
+    p.add_argument("--kind", choices=["fig7", "sensitivity", "full-system"],
+                   default="fig7",
+                   help="grid to run: the Fig. 7/8 design-point sweep, the "
+                        "calibration sensitivity ablation, or a full-system "
+                        "DES grid over cores x offered rate")
+    p.add_argument("--parallel", type=int, default=None,
+                   help="worker processes (default: run in-process)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the result cache entirely")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-cache directory "
+                        "(default benchmarks/out/expcache)")
+    p.add_argument("--export", help="write results as deterministic JSON")
+    p.add_argument("--stats-export",
+                   help="write run stats (hits/misses/wall time) as JSON")
+    p.add_argument("--progress", action="store_true",
+                   help="print one line per job to stderr as it finishes")
+    p.add_argument("--verb", choices=["GET", "PUT"], default="GET")
+    p.add_argument("--size", default="64", help="value size (64, 4K, ...)")
+    p.add_argument("--factor", type=float, default=1.5,
+                   help="sensitivity perturbation factor")
+    p.add_argument("--scenario", default="baseline",
+                   help="full-system scenario name (see repro faults --list; "
+                        "plus 'baseline')")
+    p.add_argument("--family", choices=["mercury", "iridium"],
+                   default="mercury")
+    p.add_argument("--cores-list", default="2,4",
+                   help="comma-separated cores-per-stack values "
+                        "(full-system grids)")
+    p.add_argument("--rates", default="20000,40000",
+                   help="comma-separated offered rates in Hz "
+                        "(full-system grids)")
+    p.add_argument("--duration", type=float, default=0.5,
+                   help="simulated seconds per full-system job")
+    p.add_argument("--memory-mb", type=int, default=8,
+                   help="per-core store budget in MB (full-system grids)")
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("pareto", help="Pareto frontier over the design space")
     p.add_argument(

@@ -1,0 +1,155 @@
+"""Content-addressed, on-disk result cache for experiment jobs.
+
+A cache key is the SHA-256 of the canonical JSON of three things:
+
+* the **spec dict** — every field that influences the outcome
+  (design point, workload, run options, seed);
+* the **model-constants fingerprint** — a hash of the default
+  calibration, so editing any fitted constant invalidates every cached
+  result it fed;
+* the **repo version** — so a release that changes model code without
+  touching calibration still starts cold.
+
+Anything not in the key (display labels, instruments, wall-clock) by
+definition cannot change a result.  Entries live under
+``benchmarks/out/expcache/<k0:2>/<key>.json``; writes are atomic
+(temp file + rename) so concurrent workers and repeated runs never see
+torn entries, and a re-run of an unchanged figure or sweep is a pure
+cache hit that executes zero simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.exp.spec import ExperimentSpec
+
+#: Bump when the result payload format changes shape incompatibly.
+CACHE_SCHEMA = 1
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Default cache location: benchmarks/out/expcache under the repo root
+#: (falling back to the working directory for installed copies).
+DEFAULT_CACHE_DIR = (
+    _REPO_ROOT / "benchmarks" / "out" / "expcache"
+    if (_REPO_ROOT / "benchmarks").is_dir()
+    else Path("benchmarks/out/expcache")
+)
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def constants_fingerprint() -> str:
+    """A stable hash of the default calibration constants.
+
+    Any change to a fitted constant (including the nested TCP cost
+    model) changes this fingerprint and therefore every cache key.
+    """
+    from repro.core.calibration import DEFAULT_CALIBRATION
+
+    payload = dataclasses.asdict(DEFAULT_CALIBRATION)
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:16]
+
+
+def repo_version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+def cache_key(spec: ExperimentSpec) -> str:
+    """The content address of one experiment's result."""
+    payload = spec.to_dict()
+    payload.pop("label", None)  # display-only, not identity
+    envelope = {
+        "schema": CACHE_SCHEMA,
+        "spec": payload,
+        "constants": constants_fingerprint(),
+        "version": repo_version(),
+    }
+    return hashlib.sha256(canonical_json(envelope).encode()).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed experiment results.
+
+    ``get``/``put`` speak result dicts (the values
+    :meth:`ExperimentSpec.execute` returns).  The stored envelope also
+    carries the spec dict for human inspection — the key alone is the
+    lookup.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        if len(key) < 8:
+            raise ConfigurationError(f"implausible cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached result for ``key``, or None on a miss (including
+        unreadable/stale-schema entries, which behave as misses)."""
+        path = self._path(key)
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if envelope.get("schema") != CACHE_SCHEMA:
+            return None
+        return envelope.get("result")
+
+    def put(self, key: str, spec: ExperimentSpec, result: dict) -> Path:
+        """Store ``result`` under ``key`` atomically; returns the path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "constants": constants_fingerprint(),
+            "version": repo_version(),
+            "spec": spec.to_dict(),
+            "result": result,
+        }
+        text = json.dumps(envelope, sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,185 @@
+"""Execute experiment specs — serially or across worker processes.
+
+:func:`run_experiments` is the engine's one entry point.  It takes a
+list of :class:`~repro.exp.spec.ExperimentSpec` jobs and returns their
+results **in spec order**, regardless of scheduling:
+
+* each job is self-contained (own seed, builds its own simulator), so a
+  worker process needs nothing but the spec's dict form;
+* results are merged by job index, never by completion order;
+* every result — fresh, parallel, or cached — is normalised through a
+  sorted-key JSON round trip, so the three paths are bit-identical and a
+  byte compare of exported results is a valid regression check.
+
+The optional :class:`~repro.exp.cache.ResultCache` short-circuits jobs
+whose content address already has a stored result; cache hits, misses,
+and executed-job wall time flow through the telemetry registry
+(``exp_*`` metrics) like every other subsystem.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.exp.cache import ResultCache, cache_key
+from repro.exp.spec import ExperimentSpec
+from repro.telemetry.metrics import NULL_REGISTRY, MetricsRegistry
+
+#: progress callback: (index, total, spec, status) with status one of
+#: "hit" | "executed".
+ProgressFn = Callable[[int, int, ExperimentSpec, str], None]
+
+
+def _normalise(result: dict) -> dict:
+    """Canonicalise a result dict through a JSON round trip.
+
+    Python float repr survives a JSON round trip exactly, so this does
+    not lose precision — it only forces key order and container types to
+    the JSON-decoded forms, making fresh, cross-process, and cached
+    results compare (and serialise) identically.
+    """
+    return json.loads(json.dumps(result, sort_keys=True))
+
+
+def _execute_job(payload: dict) -> tuple[dict, float]:
+    """Worker entry point: run one spec (as a dict) to completion.
+
+    Top-level so it pickles for :class:`ProcessPoolExecutor`; also the
+    serial path, so both paths share one code path.  Returns the
+    normalised result and the job's wall-clock seconds.
+    """
+    started = time.perf_counter()
+    result = ExperimentSpec.from_dict(payload).execute()
+    return _normalise(result), time.perf_counter() - started
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """What :func:`run_experiments` did: results plus cache accounting.
+
+    ``results[i]`` is the outcome of ``specs[i]`` — always, independent
+    of worker count and completion order.
+    """
+
+    specs: tuple[ExperimentSpec, ...]
+    results: tuple[dict, ...]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+    wall_s: float = field(default=0.0, compare=False)
+
+    @property
+    def jobs(self) -> int:
+        return len(self.specs)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.jobs if self.jobs else 0.0
+
+    def labelled_results(self) -> list[dict]:
+        """Results with each spec's label attached, for export."""
+        rows = []
+        for spec, result in zip(self.specs, self.results):
+            row = dict(result)
+            row["label"] = spec.label
+            rows.append(row)
+        return rows
+
+    def stats(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "executed": self.executed,
+            "hit_rate": round(self.hit_rate, 4),
+            "wall_s": round(self.wall_s, 3),
+        }
+
+
+def run_experiments(
+    specs: Sequence[ExperimentSpec],
+    *,
+    parallel: int | None = None,
+    cache: ResultCache | None = None,
+    registry: MetricsRegistry = NULL_REGISTRY,
+    progress: ProgressFn | None = None,
+) -> ExperimentReport:
+    """Run ``specs`` and return their results in spec order.
+
+    ``parallel`` is the worker-process count; ``None``/``0``/``1`` run
+    in-process.  ``cache`` short-circuits jobs whose content address
+    already holds a result and stores every newly executed one.
+    """
+    specs = tuple(specs)
+    if parallel is not None and parallel < 0:
+        raise ConfigurationError("parallel worker count cannot be negative")
+    total = len(specs)
+    started = time.perf_counter()
+
+    jobs_total = registry.counter("exp_jobs_total")
+    hits_total = registry.counter("exp_cache_hits_total")
+    misses_total = registry.counter("exp_cache_misses_total")
+    executed_total = registry.counter("exp_jobs_executed_total")
+    job_wall = registry.histogram(
+        "exp_job_wall_seconds", min_value=1e-6, max_value=1e4
+    )
+    jobs_total.inc(total)
+
+    results: list[dict | None] = [None] * total
+    pending: list[tuple[int, str | None]] = []
+    hits = 0
+    for index, spec in enumerate(specs):
+        key = cache_key(spec) if cache is not None else None
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            results[index] = _normalise(cached)
+            hits += 1
+            hits_total.inc()
+            if progress is not None:
+                progress(index, total, spec, "hit")
+        else:
+            pending.append((index, key))
+            if cache is not None:
+                misses_total.inc()
+
+    def record(index: int, key: str | None, result: dict, elapsed: float):
+        results[index] = result
+        job_wall.record(elapsed)
+        executed_total.inc()
+        if cache is not None and key is not None:
+            cache.put(key, specs[index], result)
+        if progress is not None:
+            progress(index, total, specs[index], "executed")
+
+    if pending and (parallel is None or parallel <= 1):
+        for index, key in pending:
+            result, elapsed = _execute_job(specs[index].to_dict())
+            record(index, key, result, elapsed)
+    elif pending:
+        workers = min(parallel, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_job, specs[index].to_dict()): (index, key)
+                for index, key in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, key = futures[future]
+                    result, elapsed = future.result()
+                    record(index, key, result, elapsed)
+
+    return ExperimentReport(
+        specs=specs,
+        results=tuple(results),  # type: ignore[arg-type]
+        cache_hits=hits,
+        cache_misses=len(pending) if cache is not None else 0,
+        executed=len(pending),
+        wall_s=time.perf_counter() - started,
+    )

@@ -1,0 +1,145 @@
+"""Named scenarios: the preset configurations behind the demo CLIs.
+
+Before this module, each CLI command re-assembled its own demo workload
+and fault wiring inline ("telemetry-demo", "faults-demo", ...), so the
+same scenario existed as three slightly different copies.  A
+:class:`Scenario` names that configuration once — which fault preset to
+inject, whether the store is pre-fillable, whether the client runs the
+default resilience policy — and every front-end (``repro telemetry``,
+``repro faults``, ``repro sweep``) resolves the name through
+:data:`SCENARIOS`.
+
+A scenario is deliberately *partial*: it fixes the workload shape and
+fault plan but not the design point or load, which stay per-command
+knobs.  :meth:`Scenario.to_spec` closes over those to produce a
+cacheable :class:`~repro.exp.spec.ExperimentSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.exp.spec import ExperimentSpec, StackSpec
+from repro.faults.schedule import PRESETS, FaultSchedule
+from repro.sim.run_options import RunOptions
+from repro.workloads.distributions import fixed_size
+from repro.workloads.generator import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named preset: fault plan + demo-workload shape.
+
+    ``faults`` names a :data:`repro.faults.schedule.PRESETS` entry (or
+    None for a fault-free baseline).  ``fill_on_miss`` mirrors the CLI
+    behaviour of pre-filling under faults so hit rate measures fault
+    impact, not cold-start misses.
+    """
+
+    name: str
+    description: str
+    faults: str | None = None
+    fill_on_miss: bool = False
+    resilience: bool = False
+    get_fraction: float = 0.9
+    key_population: int = 20_000
+
+    def __post_init__(self) -> None:
+        if self.faults is not None and self.faults not in PRESETS:
+            raise ConfigurationError(
+                f"scenario {self.name!r} names unknown fault preset "
+                f"{self.faults!r} (want one of {sorted(PRESETS)})"
+            )
+
+    def fault_schedule(self) -> FaultSchedule | None:
+        return PRESETS[self.faults] if self.faults else None
+
+    def workload(self, value_bytes: int = 64) -> WorkloadSpec:
+        return WorkloadSpec(
+            name=f"{self.name}-demo",
+            get_fraction=self.get_fraction,
+            key_population=self.key_population,
+            value_sizes=fixed_size(value_bytes),
+        )
+
+    def run_options(
+        self,
+        offered_rate_hz: float,
+        duration_s: float,
+        *,
+        warmup_requests: int = 10_000,
+        window_s: float | None = None,
+    ) -> RunOptions:
+        from repro.faults import DEFAULT_RESILIENCE
+
+        return RunOptions(
+            offered_rate_hz=offered_rate_hz,
+            duration_s=duration_s,
+            warmup_requests=warmup_requests,
+            window_s=window_s,
+            fill_on_miss=self.fill_on_miss,
+            faults=self.fault_schedule(),
+            resilience=DEFAULT_RESILIENCE if self.resilience else None,
+        )
+
+    def to_spec(
+        self,
+        stack: StackSpec,
+        offered_rate_hz: float,
+        duration_s: float,
+        *,
+        seed: int = 0,
+        value_bytes: int = 64,
+        warmup_requests: int = 10_000,
+        window_s: float | None = None,
+        label: str = "",
+    ) -> ExperimentSpec:
+        """This scenario at a concrete design point and load."""
+        return ExperimentSpec(
+            kind="full_system",
+            stack=stack,
+            seed=seed,
+            workload=self.workload(value_bytes),
+            options=self.run_options(
+                offered_rate_hz,
+                duration_s,
+                warmup_requests=warmup_requests,
+                window_s=window_s,
+            ),
+            label=label or f"{self.name}@{offered_rate_hz:.0f}Hz",
+        )
+
+
+def _build_registry() -> dict[str, Scenario]:
+    scenarios = {
+        "baseline": Scenario(
+            name="baseline",
+            description="fault-free demo workload (90% GETs, zipf keys)",
+        ),
+    }
+    for preset in sorted(PRESETS):
+        scenarios[preset] = Scenario(
+            name=preset,
+            description=f"demo workload under the {preset!r} fault preset",
+            faults=preset,
+            fill_on_miss=True,
+        )
+    return scenarios
+
+
+#: Every named scenario: ``baseline`` plus one per fault preset.
+SCENARIOS: dict[str, Scenario] = _build_registry()
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r} (want one of {sorted(SCENARIOS)})"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)

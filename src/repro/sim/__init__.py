@@ -17,6 +17,7 @@ __all__ = [
     "SimResults",
     "FullSystemStack",
     "FullSystemResults",
+    "RunOptions",
     "PacketLevelSimulation",
     "PacketSimResult",
     "ReplicationConfig",
@@ -34,6 +35,7 @@ _LAZY = {
     "SimResults": "repro.sim.request_sim",
     "FullSystemStack": "repro.sim.full_system",
     "FullSystemResults": "repro.sim.full_system",
+    "RunOptions": "repro.sim.run_options",
     "PacketLevelSimulation": "repro.sim.packet_sim",
     "PacketSimResult": "repro.sim.packet_sim",
     # Re-exported so full-system callers can configure replicated runs

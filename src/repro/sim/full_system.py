@@ -16,8 +16,9 @@ finite per-core memory, queueing at each core, and MAC buffer drops.
 from __future__ import annotations
 
 import math
+import warnings
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.core.latency_model import MemorySpec, RequestTiming
 from repro.core.stack import StackConfig
@@ -36,6 +37,7 @@ from repro.replication.placement import ReplicaPlacement
 from repro.sim.events import Simulator
 from repro.sim.resources import FifoResource
 from repro.sim.rng import make_rng
+from repro.sim.run_options import RunOptions
 from repro.telemetry.metrics import StreamingHistogram
 from repro.telemetry.profiler import SimProfiler
 from repro.telemetry.slo import SloMonitor
@@ -250,6 +252,56 @@ class FullSystemResults:
         mean = sum(counts) / len(counts)
         return max(counts) / mean if mean else 1.0
 
+    def to_dict(self) -> dict:
+        """The measured outcomes as a JSON-safe dict.
+
+        This is the transport format of the experiment engine: workers
+        return it across process boundaries and the result cache stores
+        it verbatim, so it must be a pure function of the run (live
+        instruments — ``slo_alerts``/``timeseries`` — are excluded, as
+        are the raw sample lists, whose aggregate histograms are kept
+        exactly).  Keys are stable and values round-trip through JSON
+        bit-for-bit.
+        """
+        payload: dict = {
+            "duration_s": self.duration_s,
+            "offered_rate_hz": self.offered_rate_hz,
+            "completed": self.completed,
+            "get_hits": self.get_hits,
+            "get_misses": self.get_misses,
+            "puts": self.puts,
+            "response_bytes": self.response_bytes,
+            "mac_drops": self.mac_drops,
+            "failed": self.failed,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "hedges": self.hedges,
+            "fault_timeouts": self.fault_timeouts,
+            "replica_puts": self.replica_puts,
+            "redirected_reads": self.redirected_reads,
+            "verify_reads": self.verify_reads,
+            "read_repairs": self.read_repairs,
+            "hints_queued": self.hints_queued,
+            "hints_replayed": self.hints_replayed,
+            "antientropy_sweeps": self.antientropy_sweeps,
+            "antientropy_repairs": self.antientropy_repairs,
+            "component_seconds": {
+                name: self.component_seconds[name]
+                for name in sorted(self.component_seconds)
+            },
+            "per_core_served": {
+                str(core): self.per_core_served[core]
+                for core in sorted(self.per_core_served)
+            },
+            "rtt_histogram": self.rtt_histogram.to_dict(),
+            "wait_histogram": self.wait_histogram.to_dict(),
+            "window_s": self.window_s,
+        }
+        if self.window_s is not None:
+            payload["window_gets"] = self.window_gets.to_dict()
+            payload["window_hits"] = self.window_hits.to_dict()
+        return payload
+
 
 class _ReplicaFabric:
     """A coordinator-shaped view of the stack's per-core stores.
@@ -344,21 +396,21 @@ class FullSystemStack:
     def run(
         self,
         workload: "WorkloadSpec",
-        offered_rate_hz: float,
-        duration_s: float,
-        warmup_requests: int = 0,
-        telemetry: TelemetrySession | None = None,
-        keep_samples: bool = False,
-        faults: FaultSchedule | None = None,
-        resilience: ResiliencePolicy | None = None,
-        window_s: float | None = None,
-        fill_on_miss: bool = False,
-        replication: ReplicationConfig | None = None,
-        timeseries: TimeSeriesRecorder | None = None,
-        slo: SloMonitor | None = None,
-        profiler: SimProfiler | None = None,
+        options: RunOptions | float | None = None,
+        duration_s: float | None = None,
+        **legacy,
     ) -> FullSystemResults:
-        """Drive the stack with ``workload`` at ``offered_rate_hz``.
+        """Drive the stack with ``workload`` under ``options``.
+
+        The primary signature is ``run(workload, RunOptions(...))`` —
+        one frozen, serialisable value object carrying the rate,
+        duration, fault/replication configuration, and any attached
+        instruments (see :class:`~repro.sim.run_options.RunOptions`).
+
+        The pre-``RunOptions`` keyword form
+        (``run(workload, offered_rate_hz=..., duration_s=..., ...)``)
+        still works but emits a :class:`DeprecationWarning`; it is a
+        thin shim that packs the keywords into a ``RunOptions``.
 
         ``warmup_requests`` PUTs pre-populate the stores (zero simulated
         time) so GET hit rates reflect a warm cache.  ``telemetry``
@@ -407,12 +459,53 @@ class FullSystemStack:
         and attributes wall-clock to event types.  All three observe
         without perturbing the simulation.
         """
+        if isinstance(options, RunOptions):
+            if duration_s is not None or legacy:
+                raise ConfigurationError(
+                    "pass either a RunOptions value or legacy keyword "
+                    "arguments, not both"
+                )
+            return self._run(workload, options)
+        legacy_kwargs = dict(legacy)
+        if options is not None:
+            legacy_kwargs["offered_rate_hz"] = options
+        if duration_s is not None:
+            legacy_kwargs["duration_s"] = duration_s
+        warnings.warn(
+            "FullSystemStack.run(offered_rate_hz=..., duration_s=..., ...) "
+            "is deprecated; pass run(workload, RunOptions(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        try:
+            resolved = RunOptions(**legacy_kwargs)
+        except TypeError:
+            unknown = sorted(
+                set(legacy_kwargs) - {f.name for f in fields(RunOptions)}
+            )
+            raise ConfigurationError(
+                f"unsupported run() arguments {unknown}"
+            ) from None
+        return self._run(workload, resolved)
+
+    def _run(
+        self, workload: "WorkloadSpec", options: RunOptions
+    ) -> FullSystemResults:
         from repro.workloads.generator import WorkloadGenerator
 
-        if offered_rate_hz <= 0 or duration_s <= 0:
-            raise ConfigurationError("rate and duration must be positive")
-        if window_s is not None and window_s <= 0:
-            raise ConfigurationError("window_s must be positive")
+        offered_rate_hz = options.offered_rate_hz
+        duration_s = options.duration_s
+        warmup_requests = options.warmup_requests
+        keep_samples = options.keep_samples
+        window_s = options.window_s
+        fill_on_miss = options.fill_on_miss
+        faults = options.faults
+        resilience = options.resilience
+        replication = options.replication
+        telemetry = options.telemetry
+        timeseries = options.timeseries
+        slo = options.slo
+        profiler = options.profiler
         if telemetry is None:
             telemetry = NULL_TELEMETRY
         registry, tracer = telemetry.registry, telemetry.tracer

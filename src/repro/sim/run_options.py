@@ -1,0 +1,185 @@
+"""The full-system run configuration, as one frozen value object.
+
+``FullSystemStack.run`` historically grew thirteen loose keyword
+arguments — unpicklable as a job description and unhashable as a cache
+key.  :class:`RunOptions` consolidates them: the *configuration* half
+(rates, durations, fault schedules, quorum settings) is plain data that
+round-trips exactly through :meth:`to_dict`/:meth:`from_dict`, which is
+what lets the experiment engine (:mod:`repro.exp`) ship runs to worker
+processes and content-address their results on disk.
+
+The *instrument* half (telemetry session, time-series recorder, SLO
+monitor, profiler) is live-object state that observes a run without
+changing its outcome.  Instruments ride along on the same options object
+for call-site convenience but are excluded from equality and from
+serialisation — two options values that differ only in instruments
+describe the same simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.faults.resilience import ResiliencePolicy
+from repro.faults.schedule import FaultSchedule
+from repro.replication.config import ReplicationConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.profiler import SimProfiler
+    from repro.telemetry.slo import SloMonitor
+    from repro.telemetry.timeseries import TimeSeriesRecorder
+    from repro.telemetry.tracing import TelemetrySession
+
+#: Serialisable configuration fields, in canonical dict order.
+_CONFIG_FIELDS = (
+    "offered_rate_hz",
+    "duration_s",
+    "warmup_requests",
+    "keep_samples",
+    "window_s",
+    "fill_on_miss",
+    "faults",
+    "resilience",
+    "replication",
+)
+
+#: Live observers excluded from equality, hashing, and serialisation.
+_INSTRUMENT_FIELDS = ("telemetry", "timeseries", "slo", "profiler")
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Everything one :meth:`FullSystemStack.run` needs beyond the workload.
+
+    ``offered_rate_hz`` and ``duration_s`` define the Poisson arrival
+    process; ``warmup_requests`` PUTs pre-populate the stores outside
+    simulated time.  ``faults``/``resilience``/``replication`` carry the
+    fault-injection schedule, the client resilience policy, and the
+    quorum configuration (all ``None`` = the plain sharded run).
+    ``window_s`` buckets GET outcomes into a hit-rate timeline;
+    ``fill_on_miss`` models cache-aside refill; ``keep_samples`` retains
+    raw latency samples next to the streaming histograms.
+
+    ``telemetry``/``timeseries``/``slo``/``profiler`` are instruments:
+    they observe without perturbing, never travel through
+    :meth:`to_dict`, and are ignored by ``==``.  Attach them with
+    :meth:`with_instruments` when reusing a serialised options value.
+    """
+
+    offered_rate_hz: float
+    duration_s: float
+    warmup_requests: int = 0
+    keep_samples: bool = False
+    window_s: float | None = None
+    fill_on_miss: bool = False
+    faults: FaultSchedule | None = None
+    resilience: ResiliencePolicy | None = None
+    replication: ReplicationConfig | None = None
+    telemetry: "TelemetrySession | None" = field(
+        default=None, compare=False, repr=False
+    )
+    timeseries: "TimeSeriesRecorder | None" = field(
+        default=None, compare=False, repr=False
+    )
+    slo: "SloMonitor | None" = field(default=None, compare=False, repr=False)
+    profiler: "SimProfiler | None" = field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.offered_rate_hz <= 0 or self.duration_s <= 0:
+            raise ConfigurationError("rate and duration must be positive")
+        if self.warmup_requests < 0:
+            raise ConfigurationError("warmup_requests cannot be negative")
+        if self.window_s is not None and self.window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+
+    # --- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The configuration half as a JSON-safe dict (instruments are
+        runtime-only and never serialised)."""
+        payload: dict[str, Any] = {
+            "offered_rate_hz": self.offered_rate_hz,
+            "duration_s": self.duration_s,
+            "warmup_requests": self.warmup_requests,
+            "keep_samples": self.keep_samples,
+            "window_s": self.window_s,
+            "fill_on_miss": self.fill_on_miss,
+            "faults": self.faults.to_dict() if self.faults else None,
+            "resilience": (
+                dataclasses.asdict(self.resilience) if self.resilience else None
+            ),
+            "replication": (
+                dataclasses.asdict(self.replication) if self.replication else None
+            ),
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunOptions":
+        """Rebuild options from :meth:`to_dict` output (exact round trip)."""
+        unknown = set(payload) - set(_CONFIG_FIELDS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown RunOptions fields {sorted(unknown)}"
+            )
+        data = dict(payload)
+        for key in ("offered_rate_hz", "duration_s"):
+            if key not in data:
+                raise ConfigurationError(f"RunOptions dict needs {key!r}")
+        faults = data.get("faults")
+        if faults is not None and not isinstance(faults, FaultSchedule):
+            faults = FaultSchedule.from_dict(faults)
+        resilience = data.get("resilience")
+        if resilience is not None and not isinstance(resilience, ResiliencePolicy):
+            resilience = ResiliencePolicy(**resilience)
+        replication = data.get("replication")
+        if replication is not None and not isinstance(
+            replication, ReplicationConfig
+        ):
+            replication = ReplicationConfig(**replication)
+        return cls(
+            offered_rate_hz=data["offered_rate_hz"],
+            duration_s=data["duration_s"],
+            warmup_requests=data.get("warmup_requests", 0),
+            keep_samples=data.get("keep_samples", False),
+            window_s=data.get("window_s"),
+            fill_on_miss=data.get("fill_on_miss", False),
+            faults=faults,
+            resilience=resilience,
+            replication=replication,
+        )
+
+    # --- ergonomics ---------------------------------------------------------
+
+    @property
+    def has_instruments(self) -> bool:
+        return any(
+            getattr(self, name) is not None for name in _INSTRUMENT_FIELDS
+        )
+
+    def with_instruments(
+        self,
+        telemetry: "TelemetrySession | None" = None,
+        timeseries: "TimeSeriesRecorder | None" = None,
+        slo: "SloMonitor | None" = None,
+        profiler: "SimProfiler | None" = None,
+    ) -> "RunOptions":
+        """A copy with the given live observers attached (None = keep)."""
+        return dataclasses.replace(
+            self,
+            telemetry=telemetry if telemetry is not None else self.telemetry,
+            timeseries=timeseries if timeseries is not None else self.timeseries,
+            slo=slo if slo is not None else self.slo,
+            profiler=profiler if profiler is not None else self.profiler,
+        )
+
+    def without_instruments(self) -> "RunOptions":
+        """A copy with every instrument detached (the serialisable core)."""
+        return dataclasses.replace(
+            self, telemetry=None, timeseries=None, slo=None, profiler=None
+        )

@@ -15,9 +15,21 @@ REQUEST_SIZE_SWEEP: tuple[int, ...] = tuple(64 * 2**i for i in range(15))
 
 
 def sweep_sizes(min_bytes: int = 64, max_bytes: int = 1 << 20) -> list[int]:
-    """A doubling sweep between two (power-of-two multiple) bounds."""
+    """A doubling sweep between two (power-of-two multiple) bounds.
+
+    ``max_bytes`` must be ``min_bytes`` times a power of two, so the
+    sweep actually ends on the requested bound; previously a bound like
+    ``(64, 100)`` silently stopped at 64 and never reached the maximum.
+    """
     if min_bytes <= 0 or max_bytes < min_bytes:
         raise ConfigurationError("need 0 < min_bytes <= max_bytes")
+    ratio = max_bytes // min_bytes
+    if min_bytes * ratio != max_bytes or ratio & (ratio - 1):
+        raise ConfigurationError(
+            f"max_bytes must be min_bytes times a power of two; "
+            f"{max_bytes} / {min_bytes} is not (nearest sweep ends at "
+            f"{min_bytes * (1 << (max(ratio, 1)).bit_length() - 1)})"
+        )
     sizes = []
     size = min_bytes
     while size <= max_bytes:

@@ -158,6 +158,64 @@ class TestTelemetry:
         assert any(row.get("requests_completed_total", 0) > 0 for row in rows)
 
 
+class TestSweep:
+    def test_fig7_sweep_lists_every_cell(self, capsys, tmp_path):
+        out = run(capsys, "sweep", "--cache-dir", str(tmp_path))
+        assert "36 fig7 jobs" in out
+        assert "36 executed" in out
+        assert out.count("fig7[") == 36
+
+    def test_cached_rerun_executes_nothing(self, capsys, tmp_path):
+        run(capsys, "sweep", "--cache-dir", str(tmp_path))
+        out = run(capsys, "sweep", "--cache-dir", str(tmp_path))
+        assert "36 cache hits, 0 executed" in out
+
+    def test_export_is_deterministic(self, capsys, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        run(capsys, "sweep", "--cache-dir", str(tmp_path / "cache"),
+            "--export", str(first))
+        run(capsys, "sweep", "--cache-dir", str(tmp_path / "cache"),
+            "--export", str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_no_cache_always_executes(self, capsys, tmp_path):
+        out = run(capsys, "sweep", "--no-cache")
+        assert "cache off" in out
+        assert "0 cache hits" in out
+
+    def test_stats_export(self, capsys, tmp_path):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        run(capsys, "sweep", "--cache-dir", str(tmp_path / "cache"),
+            "--stats-export", str(stats_path))
+        stats = json.loads(stats_path.read_text())
+        assert stats["jobs"] == 36
+        assert stats["cache_entries"] == 36
+        assert stats["kind"] == "fig7"
+
+    def test_sensitivity_kind(self, capsys, tmp_path):
+        out = run(capsys, "sweep", "--kind", "sensitivity",
+                  "--cache-dir", str(tmp_path), "--factor", "1.2")
+        assert "sensitivity[" in out
+        assert "x1.2]" in out
+
+    def test_full_system_kind_parallel(self, capsys, tmp_path):
+        out = run(capsys, "sweep", "--kind", "full-system",
+                  "--cache-dir", str(tmp_path), "--parallel", "2",
+                  "--cores-list", "1", "--rates", "5000",
+                  "--duration", "0.05", "--memory-mb", "4")
+        assert "1 full-system jobs" in out
+        assert "2 workers" in out
+        assert "baseline[cores=1,rate=5000]" in out
+
+    def test_progress_goes_to_stderr(self, capsys, tmp_path):
+        assert main(["sweep", "--cache-dir", str(tmp_path), "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err.count("executed") == 36
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,136 @@
+"""The content-addressed result cache: keys, invalidation, atomicity."""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro
+from repro.errors import ConfigurationError
+from repro.exp import (
+    ExperimentSpec,
+    ResultCache,
+    StackSpec,
+    cache_key,
+    canonical_json,
+    constants_fingerprint,
+)
+from repro.exp import cache as cache_module
+
+
+def design_spec(**overrides) -> ExperimentSpec:
+    fields = dict(kind="design_point", stack=StackSpec(cores=4), seed=3)
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+class TestCacheKey:
+    def test_same_spec_same_key(self):
+        assert cache_key(design_spec()) == cache_key(design_spec())
+
+    def test_label_does_not_change_key(self):
+        assert cache_key(design_spec(label="a")) == cache_key(
+            design_spec(label="b")
+        )
+
+    def test_any_config_field_changes_key(self):
+        base = cache_key(design_spec())
+        assert cache_key(design_spec(seed=4)) != base
+        assert cache_key(design_spec(verb="PUT")) != base
+        assert cache_key(design_spec(value_bytes=128)) != base
+        assert cache_key(design_spec(stack=StackSpec(cores=8))) != base
+        assert (
+            cache_key(
+                design_spec(
+                    calibration_scale=(("tcp.per_byte_instructions", 1.5),)
+                )
+            )
+            != base
+        )
+
+    def test_constants_fingerprint_change_invalidates(self, monkeypatch):
+        base = cache_key(design_spec())
+        from repro.core import calibration
+
+        perturbed = dataclasses.replace(
+            calibration.DEFAULT_CALIBRATION,
+            memcached_get_instructions=(
+                calibration.DEFAULT_CALIBRATION.memcached_get_instructions + 1
+            ),
+        )
+        monkeypatch.setattr(calibration, "DEFAULT_CALIBRATION", perturbed)
+        assert constants_fingerprint() != ""
+        assert cache_key(design_spec()) != base
+
+    def test_repo_version_change_invalidates(self, monkeypatch):
+        base = cache_key(design_spec())
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        assert cache_key(design_spec()) != base
+
+    def test_canonical_json_is_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = design_spec()
+        key = cache_key(spec)
+        assert cache.get(key) is None
+        result = spec.execute()
+        cache.put(key, spec, result)
+        assert cache.get(key) == result
+        assert len(cache) == 1
+
+    def test_entries_are_sharded_and_inspectable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = design_spec()
+        key = cache_key(spec)
+        path = cache.put(key, spec, spec.execute())
+        assert path.parent.name == key[:2]
+        envelope = json.loads(path.read_text())
+        assert envelope["key"] == key
+        assert envelope["spec"]["kind"] == "design_point"
+        assert envelope["schema"] == cache_module.CACHE_SCHEMA
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = design_spec()
+        key = cache_key(spec)
+        path = cache.put(key, spec, spec.execute())
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = design_spec()
+        key = cache_key(spec)
+        path = cache.put(key, spec, spec.execute())
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = -1
+        path.write_text(json.dumps(envelope))
+        assert cache.get(key) is None
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in range(3):
+            spec = design_spec(seed=seed)
+            cache.put(cache_key(spec), spec, spec.execute())
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = design_spec()
+        cache.put(cache_key(spec), spec, spec.execute())
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_implausible_key_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultCache(tmp_path).get("ab")

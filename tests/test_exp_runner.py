@@ -1,0 +1,141 @@
+"""The experiment runner: spec-order merging, bit-identity, caching."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exp import (
+    ExperimentSpec,
+    GridSpec,
+    ResultCache,
+    StackSpec,
+    design_point_grid,
+    get_scenario,
+    run_experiments,
+)
+from repro.telemetry import MetricsRegistry
+from repro.units import MB
+
+
+def small_fig7_grid() -> list[ExperimentSpec]:
+    return design_point_grid(
+        cores_per_stack=(2, 4, 8), core_models=("A7@1GHz", "A15@1GHz")
+    ).expand()
+
+
+def _dumps(report):
+    return [json.dumps(result, sort_keys=True) for result in report.results]
+
+
+class TestSerialRunner:
+    def test_results_arrive_in_spec_order(self):
+        specs = small_fig7_grid()
+        report = run_experiments(specs)
+        assert report.jobs == 12
+        for spec, result in zip(report.specs, report.results):
+            assert result["cores"] == spec.stack.cores * 94 or result["cores"] > 0
+            assert result["name"].lower().startswith(spec.stack.family)
+
+    def test_progress_callback_sees_every_job(self):
+        specs = small_fig7_grid()
+        seen = []
+        run_experiments(
+            specs,
+            progress=lambda index, total, spec, status: seen.append(
+                (index, total, status)
+            ),
+        )
+        assert sorted(index for index, _t, _s in seen) == list(range(12))
+        assert all(status == "executed" for _i, _t, status in seen)
+
+    def test_negative_parallel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiments(small_fig7_grid(), parallel=-1)
+
+
+class TestParallelBitIdentity:
+    def test_parallel_matches_serial_on_fig7_grid(self):
+        specs = small_fig7_grid()
+        serial = run_experiments(specs)
+        fanned = run_experiments(specs, parallel=3)
+        assert _dumps(fanned) == _dumps(serial)
+
+    @pytest.mark.slow
+    def test_parallel_matches_serial_on_full_system_grid(self):
+        base = get_scenario("baseline").to_spec(
+            StackSpec(cores=2, memory_per_core_bytes=4 * MB),
+            offered_rate_hz=5e3,
+            duration_s=0.1,
+            seed=5,
+            warmup_requests=500,
+        )
+        grid = GridSpec(
+            name="fs",
+            base=base,
+            axes=(("options.offered_rate_hz", (4e3, 8e3)),),
+        )
+        specs = grid.expand()
+        serial = run_experiments(specs)
+        fanned = run_experiments(specs, parallel=2)
+        assert _dumps(fanned) == _dumps(serial)
+        assert all(r["completed"] > 0 for r in serial.results)
+
+
+class TestCachedRuns:
+    def test_rerun_executes_nothing(self, tmp_path):
+        specs = small_fig7_grid()
+        cache = ResultCache(tmp_path)
+        first = run_experiments(specs, cache=cache)
+        assert first.cache_hits == 0
+        assert first.executed == len(specs)
+        second = run_experiments(specs, cache=cache)
+        assert second.executed == 0
+        assert second.cache_hits == len(specs)
+        assert second.hit_rate == 1.0
+        assert _dumps(second) == _dumps(first)
+
+    def test_partial_hits_execute_only_the_new_cells(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        narrow = design_point_grid(
+            cores_per_stack=(2, 4), core_models=("A7@1GHz",)
+        ).expand()
+        run_experiments(narrow, cache=cache)
+        wide = design_point_grid(
+            cores_per_stack=(2, 4, 8), core_models=("A7@1GHz",)
+        ).expand()
+        report = run_experiments(wide, cache=cache)
+        assert report.cache_hits == 4  # two families x two cached counts
+        assert report.executed == 2
+
+    def test_field_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = ExperimentSpec(kind="design_point", stack=StackSpec(cores=4))
+        run_experiments([spec], cache=cache)
+        changed = ExperimentSpec(
+            kind="design_point", stack=StackSpec(cores=4), verb="PUT"
+        )
+        report = run_experiments([changed], cache=cache)
+        assert report.cache_hits == 0
+        assert report.executed == 1
+
+    def test_telemetry_counters_flow(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path)
+        specs = small_fig7_grid()
+        run_experiments(specs, cache=cache, registry=registry)
+        run_experiments(specs, cache=cache, registry=registry)
+        assert registry.counter("exp_jobs_total").value == 24
+        assert registry.counter("exp_cache_misses_total").value == 12
+        assert registry.counter("exp_cache_hits_total").value == 12
+        assert registry.counter("exp_jobs_executed_total").value == 12
+        assert registry.histogram("exp_job_wall_seconds").count == 12
+
+    def test_report_stats_and_labels(self, tmp_path):
+        specs = small_fig7_grid()
+        report = run_experiments(specs, cache=ResultCache(tmp_path))
+        stats = report.stats()
+        assert stats["jobs"] == 12
+        assert stats["cache_misses"] == 12
+        rows = report.labelled_results()
+        assert all(row["label"].startswith("fig7[") for row in rows)

@@ -1,0 +1,75 @@
+"""The scenario registry: names, fault wiring, spec construction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exp import SCENARIOS, Scenario, get_scenario, scenario_names
+from repro.exp.cache import cache_key
+from repro.exp.spec import StackSpec
+from repro.faults import PRESETS
+
+
+class TestRegistry:
+    def test_baseline_plus_every_fault_preset(self):
+        assert set(scenario_names()) == {"baseline"} | set(PRESETS)
+
+    def test_names_are_self_consistent(self):
+        for name, scenario in SCENARIOS.items():
+            assert scenario.name == name
+            assert scenario.description
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            get_scenario("chaos-monkey")
+
+    def test_unknown_fault_preset_rejected(self):
+        with pytest.raises(ConfigurationError, match="fault preset"):
+            Scenario(name="x", description="d", faults="volcano")
+
+
+class TestBehaviour:
+    def test_baseline_has_no_faults(self):
+        baseline = get_scenario("baseline")
+        assert baseline.fault_schedule() is None
+        options = baseline.run_options(offered_rate_hz=1e4, duration_s=1.0)
+        assert options.faults is None
+        assert options.resilience is None
+
+    def test_fault_scenarios_resolve_their_preset(self):
+        for name in PRESETS:
+            scenario = get_scenario(name)
+            assert scenario.fault_schedule() == PRESETS[name]
+            options = scenario.run_options(offered_rate_hz=1e4, duration_s=1.0)
+            assert options.faults == PRESETS[name]
+            assert options.fill_on_miss
+
+    def test_workload_carries_scenario_name(self):
+        workload = get_scenario("lossy-link").workload(value_bytes=128)
+        assert workload.name == "lossy-link-demo"
+        assert workload.value_sizes.mean == 128.0
+
+    def test_to_spec_is_cacheable_and_labelled(self):
+        scenario = get_scenario("crash-restart")
+        spec = scenario.to_spec(
+            StackSpec(cores=2, memory_per_core_bytes=1 << 22),
+            offered_rate_hz=2e4,
+            duration_s=0.5,
+        )
+        assert spec.kind == "full_system"
+        assert spec.label == "crash-restart@20000Hz"
+        assert spec.options.faults == PRESETS["crash-restart"]
+        assert len(cache_key(spec)) == 64
+
+    def test_to_spec_round_trips(self):
+        import json
+
+        from repro.exp import ExperimentSpec
+
+        spec = get_scenario("degraded-dram").to_spec(
+            StackSpec(cores=1, memory_per_core_bytes=1 << 22),
+            offered_rate_hz=5e3,
+            duration_s=0.2,
+            seed=9,
+        )
+        rebuilt = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec

@@ -28,6 +28,7 @@ from repro.faults import (
 )
 from repro.sim.events import Simulator
 from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
 from repro.sim.rng import make_rng
 from repro.core import mercury_stack
 from repro.units import MB
@@ -313,13 +314,15 @@ class TestFullSystemAcceptance:
         )
         return system.run(
             workload,
-            offered_rate_hz=0.4 * capacity,
-            duration_s=self.DURATION_S,
-            warmup_requests=10_000,
-            window_s=self.WINDOW_S,
-            fill_on_miss=True,
-            faults=faults,
-            resilience=resilience,
+            RunOptions(
+                offered_rate_hz=0.4 * capacity,
+                duration_s=self.DURATION_S,
+                warmup_requests=10_000,
+                window_s=self.WINDOW_S,
+                fill_on_miss=True,
+                faults=faults,
+                resilience=resilience,
+            ),
         )
 
     @staticmethod

@@ -17,6 +17,7 @@ import pytest
 from repro.core import mercury_stack
 from repro.faults import FaultEvent, FaultSchedule
 from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
 from repro.telemetry import (
     MetricsRegistry,
     SimProfiler,
@@ -69,16 +70,18 @@ def _observed_run(profile=False):
     capacity = CORES * system.model.tps("GET", 64)
     results = system.run(
         WORKLOAD,
-        offered_rate_hz=0.4 * capacity,
-        duration_s=DURATION_S,
-        warmup_requests=10_000,
-        window_s=INTERVAL_S,
-        fill_on_miss=True,
-        faults=SCHEDULE,
-        telemetry=TelemetrySession(registry=registry, max_traces=0),
-        timeseries=recorder,
-        slo=slo,
-        profiler=profiler,
+        RunOptions(
+            offered_rate_hz=0.4 * capacity,
+            duration_s=DURATION_S,
+            warmup_requests=10_000,
+            window_s=INTERVAL_S,
+            fill_on_miss=True,
+            faults=SCHEDULE,
+            telemetry=TelemetrySession(registry=registry, max_traces=0),
+            timeseries=recorder,
+            slo=slo,
+            profiler=profiler,
+        ),
     )
     return results, recorder, profiler
 

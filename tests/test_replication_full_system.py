@@ -20,6 +20,7 @@ from repro.faults.resilience import DEFAULT_RESILIENCE
 from repro.faults.schedule import FaultEvent, FaultSchedule
 from repro.replication.config import ReplicationConfig
 from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
 from repro.telemetry.tracing import TelemetrySession
 from repro.units import MB
 from repro.workloads import WorkloadSpec
@@ -54,15 +55,17 @@ def run_system(replication=None, faults=None, resilience=None, telemetry=None):
     )
     return system.run(
         workload,
-        offered_rate_hz=0.3 * capacity,
-        duration_s=DURATION_S,
-        warmup_requests=24_000,
-        window_s=WINDOW_S,
-        fill_on_miss=True,
-        faults=faults,
-        resilience=resilience,
-        replication=replication,
-        telemetry=telemetry,
+        RunOptions(
+            offered_rate_hz=0.3 * capacity,
+            duration_s=DURATION_S,
+            warmup_requests=24_000,
+            window_s=WINDOW_S,
+            fill_on_miss=True,
+            faults=faults,
+            resilience=resilience,
+            replication=replication,
+            telemetry=telemetry,
+        ),
     )
 
 

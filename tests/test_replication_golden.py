@@ -26,6 +26,7 @@ from repro.faults.resilience import DEFAULT_RESILIENCE
 from repro.faults.schedule import FaultEvent, FaultSchedule
 from repro.replication.config import ReplicationConfig
 from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
 from repro.units import MB
 from repro.workloads import WorkloadSpec
 from repro.workloads.distributions import fixed_size
@@ -65,14 +66,16 @@ def _run(n: int, faults: FaultSchedule | None):
     )
     return system.run(
         workload,
-        offered_rate_hz=0.3 * capacity,
-        duration_s=DURATION_S,
-        warmup_requests=24_000,
-        window_s=WINDOW_S,
-        fill_on_miss=True,
-        faults=faults,
-        resilience=DEFAULT_RESILIENCE if faults else None,
-        replication=replication,
+        RunOptions(
+            offered_rate_hz=0.3 * capacity,
+            duration_s=DURATION_S,
+            warmup_requests=24_000,
+            window_s=WINDOW_S,
+            fill_on_miss=True,
+            faults=faults,
+            resilience=DEFAULT_RESILIENCE if faults else None,
+            replication=replication,
+        ),
     )
 
 

@@ -5,6 +5,7 @@ import pytest
 from repro.core import mercury_stack
 from repro.errors import ConfigurationError
 from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
 from repro.units import MB
 from repro.workloads import WorkloadSpec
 from repro.workloads.distributions import fixed_size
@@ -32,9 +33,11 @@ class TestFunctionalBehaviour:
         system = make_stack()
         results = system.run(
             small_workload(get_fraction=1.0),
-            offered_rate_hz=20_000.0,
-            duration_s=0.2,
-            warmup_requests=4_000,
+            RunOptions(
+                offered_rate_hz=20_000.0,
+                duration_s=0.2,
+                warmup_requests=4_000,
+            ),
         )
         assert results.completed > 1_000
         assert results.hit_rate > 0.6  # zipf head is warm
@@ -43,8 +46,7 @@ class TestFunctionalBehaviour:
         system = make_stack()
         results = system.run(
             small_workload(get_fraction=1.0),
-            offered_rate_hz=20_000.0,
-            duration_s=0.1,
+            RunOptions(offered_rate_hz=20_000.0, duration_s=0.1),
         )
         assert results.hit_rate < 0.9  # first touches miss
 
@@ -52,8 +54,7 @@ class TestFunctionalBehaviour:
         system = make_stack()
         results = system.run(
             small_workload(get_fraction=0.7),
-            offered_rate_hz=20_000.0,
-            duration_s=0.2,
+            RunOptions(offered_rate_hz=20_000.0, duration_s=0.2),
         )
         total = results.get_hits + results.get_misses + results.puts
         assert total == pytest.approx(results.completed, abs=system.stack.cores)
@@ -70,8 +71,7 @@ class TestFunctionalBehaviour:
         system = make_stack(cores=8)
         results = system.run(
             small_workload(population=20_000),
-            offered_rate_hz=40_000.0,
-            duration_s=0.2,
+            RunOptions(offered_rate_hz=40_000.0, duration_s=0.2),
         )
         assert len(results.per_core_served) == 8
         assert results.core_load_imbalance() < 2.0
@@ -83,9 +83,11 @@ class TestTimingBehaviour:
         capacity = 4 * system.model.tps("GET", 64)
         results = system.run(
             small_workload(get_fraction=1.0),
-            offered_rate_hz=0.5 * capacity,
-            duration_s=0.5,
-            warmup_requests=2_000,
+            RunOptions(
+                offered_rate_hz=0.5 * capacity,
+                duration_s=0.5,
+                warmup_requests=2_000,
+            ),
         )
         assert results.throughput_hz == pytest.approx(0.5 * capacity, rel=0.1)
 
@@ -93,9 +95,11 @@ class TestTimingBehaviour:
         system = make_stack(cores=2)
         results = system.run(
             small_workload(get_fraction=1.0),
-            offered_rate_hz=8_000.0,
-            duration_s=0.3,
-            warmup_requests=2_000,
+            RunOptions(
+                offered_rate_hz=8_000.0,
+                duration_s=0.3,
+                warmup_requests=2_000,
+            ),
         )
         measured = results.breakdown_fractions()
         # Hits dominate after warmup, so the measured split should sit
@@ -108,19 +112,19 @@ class TestTimingBehaviour:
         system = make_stack(cores=2)
         capacity = 2 * system.model.tps("GET", 64)
         light = system.run(
-            small_workload(get_fraction=1.0), 0.2 * capacity, 0.2,
-            warmup_requests=1_000,
+            small_workload(get_fraction=1.0),
+            RunOptions(0.2 * capacity, 0.2, warmup_requests=1_000),
         )
         heavy = make_stack(cores=2).run(
-            small_workload(get_fraction=1.0), 0.9 * capacity, 0.2,
-            warmup_requests=1_000,
+            small_workload(get_fraction=1.0),
+            RunOptions(0.9 * capacity, 0.2, warmup_requests=1_000),
         )
         assert heavy.mean_rtt > light.mean_rtt
 
     def test_sla_fraction_reported(self):
         system = make_stack(cores=4)
         results = system.run(
-            small_workload(), offered_rate_hz=10_000.0, duration_s=0.2
+            small_workload(), RunOptions(offered_rate_hz=10_000.0, duration_s=0.2)
         )
         assert 0.9 < results.sla_fraction(1e-3) <= 1.0
 
@@ -136,8 +140,7 @@ class TestFiniteBuffering:
         capacity = 2 * system.model.tps("GET", 64)
         results = system.run(
             small_workload(get_fraction=1.0),
-            offered_rate_hz=3 * capacity,
-            duration_s=0.1,
+            RunOptions(offered_rate_hz=3 * capacity, duration_s=0.1),
         )
         assert results.mac_drops > 0
         # Bounded queues bound the RTT: nothing waits more than the
@@ -155,8 +158,7 @@ class TestFiniteBuffering:
         capacity = 2 * system.model.tps("GET", 64)
         results = system.run(
             small_workload(get_fraction=1.0),
-            offered_rate_hz=2 * capacity,
-            duration_s=0.05,
+            RunOptions(offered_rate_hz=2 * capacity, duration_s=0.05),
         )
         assert results.mac_drops == 0
 
@@ -172,11 +174,17 @@ class TestFiniteBuffering:
 class TestValidation:
     def test_bad_rate_rejected(self):
         with pytest.raises(ConfigurationError):
-            make_stack().run(small_workload(), 0.0, 1.0)
+            make_stack().run(
+                small_workload(),
+                RunOptions(offered_rate_hz=0.0, duration_s=1.0),
+            )
 
     def test_bad_duration_rejected(self):
         with pytest.raises(ConfigurationError):
-            make_stack().run(small_workload(), 1000.0, 0.0)
+            make_stack().run(
+                small_workload(),
+                RunOptions(offered_rate_hz=1000.0, duration_s=0.0),
+            )
 
     def test_tiny_memory_rejected(self):
         with pytest.raises(ConfigurationError):

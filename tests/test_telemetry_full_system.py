@@ -13,6 +13,7 @@ import pytest
 
 from repro.core import mercury_stack
 from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
 from repro.telemetry import TelemetrySession, prometheus_text, trace_to_jsonl
 from repro.units import MB
 from repro.workloads import WorkloadSpec
@@ -31,11 +32,13 @@ def run_system(telemetry=None, keep_samples=False, seed=3):
     )
     return system.run(
         workload,
-        offered_rate_hz=30_000.0,
-        duration_s=0.2,
-        warmup_requests=5_000,
-        telemetry=telemetry,
-        keep_samples=keep_samples,
+        RunOptions(
+            offered_rate_hz=30_000.0,
+            duration_s=0.2,
+            warmup_requests=5_000,
+            telemetry=telemetry,
+            keep_samples=keep_samples,
+        ),
     )
 
 

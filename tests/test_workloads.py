@@ -187,6 +187,8 @@ class TestSweep:
 
     def test_sweep_sizes_builder(self):
         assert sweep_sizes(64, 256) == [64, 128, 256]
+        assert sweep_sizes(100, 100) == [100]
+        assert sweep_sizes() == list(REQUEST_SIZE_SWEEP)
 
     def test_sweep_labels(self):
         labels = sweep_labels()
@@ -198,3 +200,13 @@ class TestSweep:
             sweep_sizes(0, 64)
         with pytest.raises(ConfigurationError):
             sweep_sizes(128, 64)
+
+    def test_non_power_of_two_multiple_bounds_rejected(self):
+        # A sweep that can never land on max_bytes used to stop early
+        # and silently drop the requested maximum.
+        with pytest.raises(ConfigurationError, match="power of two"):
+            sweep_sizes(64, 100)
+        with pytest.raises(ConfigurationError, match="power of two"):
+            sweep_sizes(64, 192)  # 3x is not a power of two
+        with pytest.raises(ConfigurationError, match="power of two"):
+            sweep_sizes(100, 250)
