@@ -14,6 +14,9 @@ Usage::
                               [--duration 0.2] [--out telemetry-out]
                               [--profile] [--interval 0.05]
                               [--scenario crash-restart]
+    python -m repro trace [--scenario crash-restart] [--replicas 3]
+                          [--cores 4] [--load 0.5] [--duration 0.5]
+                          [--out trace-out]
     python -m repro replication [--replicas 1,2,3] [--scenario crash-restart]
                                 [--cores 4] [--load 0.3] [--duration 4.0]
     python -m repro sweep [--kind fig7|sensitivity|full-system]
@@ -320,6 +323,90 @@ def _cmd_telemetry(args: argparse.Namespace) -> str:
     return "\n\n".join(sections)
 
 
+def _cmd_trace(args: argparse.Namespace) -> str:
+    import json
+
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.exp.scenarios import get_scenario
+    from repro.faults import DEFAULT_RESILIENCE, NO_RESILIENCE
+    from repro.replication.config import ReplicationConfig
+    from repro.sim.full_system import FullSystemStack
+    from repro.telemetry import (
+        TelemetrySession,
+        compute_trace_digest,
+        tail_attribution,
+        validate_trace_events,
+        waterfall,
+        write_trace_events,
+        write_trace_jsonl,
+    )
+    from repro.units import MB
+
+    scenario = get_scenario(args.scenario or "baseline")
+    stack = _stack_for(args.family, args.cores)
+    system = FullSystemStack(
+        stack=stack, memory_per_core_bytes=args.memory_mb * MB, seed=args.seed
+    )
+    workload = scenario.workload(parse_size(args.size))
+    capacity = stack.cores * system.model.tps("GET", parse_size(args.size))
+    telemetry = TelemetrySession(
+        max_traces=args.trace_limit,
+        slo_deadline_s=args.slo_deadline_us * 1e-6,
+        sampling_seed=args.seed,
+    )
+    options = scenario.run_options(
+        offered_rate_hz=args.load * capacity, duration_s=args.duration
+    ).with_instruments(telemetry=telemetry)
+    if args.replicas > 1:
+        options = replace(
+            options,
+            replication=ReplicationConfig(
+                n=args.replicas,
+                r=min(args.read_quorum, args.replicas),
+                w=min(args.write_quorum, args.replicas),
+            ),
+        )
+    if args.no_resilience:
+        options = replace(options, resilience=NO_RESILIENCE)
+    elif options.resilience is None and options.faults is not None:
+        options = replace(options, resilience=DEFAULT_RESILIENCE)
+    results = system.run(workload, options)
+    tracer = telemetry.tracer
+    out = Path(args.out)
+    events_path = write_trace_events(out / "trace_events.json", tracer)
+    jsonl_path = write_trace_jsonl(out / "trace.jsonl", tracer)
+    # Self-check the artefact we just wrote — the same gate CI runs.
+    event_count = validate_trace_events(json.loads(events_path.read_text()))
+    digest = compute_trace_digest(tracer)
+    (out / "digest.json").write_text(
+        json.dumps(digest, indent=2, sort_keys=True) + "\n"
+    )
+    header = (
+        f"{stack.name} @ {args.load:.0%} load for {args.duration}s simulated "
+        f"(scenario {scenario.name!r}): {results.completed} requests, "
+        f"{results.failed} failed, p99 RTT "
+        f"{results.rtt_percentile(0.99) * 1e6:.0f} us; "
+        f"{tracer.committed} traces committed, {len(tracer.traces)} retained "
+        f"({tracer.slo_violations} SLO violators, all kept)"
+    )
+    sections = [header]
+    finished = [t for t in tracer.traces if t.end_s is not None]
+    if finished:
+        sections.append(tail_attribution(tracer.traces).render())
+        slowest = max(finished, key=lambda t: (t.rtt_s, t.request_id))
+        sections.append(
+            "slowest retained trace (# = on the critical path):\n"
+            + waterfall(slowest)
+        )
+    sections.append(
+        f"wrote {events_path} ({event_count} events, schema OK), "
+        f"{jsonl_path}, and {out / 'digest.json'}"
+    )
+    return "\n\n".join(sections)
+
+
 def _cmd_faults(args: argparse.Namespace) -> str:
     import json
 
@@ -583,6 +670,15 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             for cores in (int(c) for c in args.cores_list.split(","))
             for rate in (float(r) for r in args.rates.split(","))
         ]
+        if args.trace_digest:
+            from dataclasses import replace
+
+            # Opting in changes the spec (and so the cache key): digest
+            # cells and plain cells never collide.
+            specs = [
+                replace(spec, options=replace(spec.options, trace_digest=True))
+                for spec in specs
+            ]
 
     cache = None if args.no_cache else ResultCache(
         args.cache_dir if args.cache_dir else DEFAULT_CACHE_DIR
@@ -724,6 +820,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_telemetry)
 
     p = sub.add_parser(
+        "trace",
+        help="full-system run with causal tracing: Perfetto trace-event "
+        "JSON, tail-based sampling, critical-path attribution table, "
+        "ASCII waterfall of the slowest trace",
+    )
+    p.add_argument("--family", choices=["mercury", "iridium"], default="mercury")
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--load", type=float, default=0.5,
+                   help="offered load as a fraction of linear-scaling capacity")
+    p.add_argument("--duration", type=float, default=0.5,
+                   help="simulated seconds to run")
+    p.add_argument("--size", default="64", help="value size (64, 4K, ...)")
+    p.add_argument("--memory-mb", type=int, default=8,
+                   help="per-core store budget in MB")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--scenario", choices=sorted(_FAULT_PRESETS), default=None,
+                   help="inject a fault preset (client resilience on)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="replication factor N (>1 turns on quorum writes)")
+    p.add_argument("--read-quorum", type=int, default=2,
+                   help="read quorum R (capped at N)")
+    p.add_argument("--write-quorum", type=int, default=2,
+                   help="write quorum W (capped at N)")
+    p.add_argument("--no-resilience", action="store_true",
+                   help="disable client retries/failover under faults")
+    p.add_argument("--trace-limit", type=int, default=5_000,
+                   help="tail-sampling retention cap (SLO violators always kept)")
+    p.add_argument("--slo-deadline-us", type=float, default=1100.0,
+                   help="RTT deadline marking a trace as an SLO violator "
+                        "(paper SLA: 1100)")
+    p.add_argument("--out", default="trace-out",
+                   help="directory for trace_events.json, trace.jsonl, "
+                        "digest.json")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
         "faults",
         help="replay a fault schedule against the full-system DES, "
         "with and without client resilience",
@@ -813,6 +945,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenario", default="baseline",
                    help="full-system scenario name (see repro faults --list; "
                         "plus 'baseline')")
+    p.add_argument("--trace-digest", action="store_true",
+                   help="full-system jobs run with causal tracing on and "
+                        "store a critical-path digest in each grid cell")
     p.add_argument("--family", choices=["mercury", "iridium"],
                    default="mercury")
     p.add_argument("--cores-list", default="2,4",

@@ -44,6 +44,7 @@ from repro.replication.config import QuorumConfig
 from repro.replication.placement import ReplicaPlacement
 from repro.sim.rng import make_rng
 from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.telemetry.tracing import NULL_TELEMETRY, RequestTrace, TelemetrySession
 
 
 @dataclass(frozen=True)
@@ -344,6 +345,7 @@ class ResilientClient(MemcachedClient):
         registry: MetricsRegistry = NULL_REGISTRY,
         seed: int = 0,
         quorum: QuorumConfig | None = None,
+        telemetry: TelemetrySession = NULL_TELEMETRY,
     ):
         super().__init__(node_names, memory_per_node_bytes, protocol, vnodes)
         if quorum is not None and quorum.n > len(node_names):
@@ -360,6 +362,12 @@ class ResilientClient(MemcachedClient):
         self.replica_writes = 0
         self.policy = policy
         self.network = network if network is not None else _clean_network()
+        self.tracer = telemetry.tracer
+        # The trace of the operation in flight (spans attach to it from
+        # _exchange, the shared transport choke point) and the prefix
+        # marking hedge-attempt spans apart from primary ones.
+        self._trace: RequestTrace | None = None
+        self._span_prefix = ""
         self.clock_s = 0.0
         self._retry_rng = make_rng("faults:client-retry", seed)
         self._consecutive_timeouts: dict[str, int] = {}
@@ -382,7 +390,16 @@ class ResilientClient(MemcachedClient):
     # --- fault-aware transport ---------------------------------------------------
 
     def _exchange(self, node: str) -> None:
-        """Account one roundtrip to ``node``; raise if it never answers."""
+        """Account one roundtrip to ``node``; raise if it never answers.
+
+        When a causal trace is in flight every attempt becomes a span on
+        it: ``rpc`` for a delivered exchange (duration = link latency),
+        ``rpc_timeout`` for one that never answered (duration = the
+        request timeout the client waited).  Hedge attempts carry a
+        ``hedge_`` prefix, so they sit as distinguishable siblings of
+        the primary attempt's spans.
+        """
+        start = self.clock_s
         if not self.network.delivers(node):
             self.clock_s += self.policy.request_timeout_s
             self.timeouts += 1
@@ -392,9 +409,19 @@ class ResilientClient(MemcachedClient):
             if self.policy.should_fail_over(count):
                 self._fail_over(node)
             reason = "down" if self.network.node_is_down(node) else "timeout"
+            if self._trace is not None:
+                self._trace.add_span(
+                    f"{self._span_prefix}rpc_timeout", start,
+                    self.clock_s - start, kind="client", node=node,
+                )
             raise NodeUnavailableError(node, reason)
         self.clock_s += self.network.latency_s
         self._consecutive_timeouts[node] = 0
+        if self._trace is not None:
+            self._trace.add_span(
+                f"{self._span_prefix}rpc", start,
+                self.clock_s - start, kind="client", node=node,
+            )
 
     def _ascii_roundtrip(self, node: str, command: Command) -> bytes:
         self._exchange(node)
@@ -463,10 +490,13 @@ class ResilientClient(MemcachedClient):
                     hedged = True
                     self.hedges += 1
                     self._hedges_total.inc()
+                    self._span_prefix = "hedge_"
                     try:
                         return hedge()
                     except NodeUnavailableError:
                         pass
+                    finally:
+                        self._span_prefix = ""
                 if attempt + 1 < self.policy.max_attempts:
                     self.clock_s += self.policy.backoff_s(attempt, self._retry_rng)
                     self.retries += 1
@@ -528,6 +558,30 @@ class ResilientClient(MemcachedClient):
 
     # --- resilient operations ----------------------------------------------------------
 
+    def _traced(self, verb: str, operation, finalize=None, **attrs):
+        """Run ``operation`` under a fresh causal trace on ``clock_s``.
+
+        Every transport exchange inside lands as an rpc span; give-ups
+        that happened during the operation annotate the trace as an
+        error so tail sampling always keeps it.  ``finalize(trace,
+        result)`` runs before commit, so outcome annotations (including
+        errors) are visible to the tail sampler.
+        """
+        trace = self.tracer.begin(self.clock_s, verb=verb, **attrs)
+        giveups_before = self.giveups
+        self._trace = trace
+        try:
+            result = operation()
+        finally:
+            self._trace = None
+        if self.giveups > giveups_before:
+            trace.annotate(error="gave_up")
+        if finalize is not None:
+            finalize(trace, result)
+        trace.finish(self.clock_s)
+        self.tracer.commit(trace)
+        return result
+
     def get(self, key: bytes) -> GetResult | None:
         def hedge() -> GetResult | None:
             node = self._hedge_node(key)
@@ -535,8 +589,17 @@ class ResilientClient(MemcachedClient):
                 raise NodeUnavailableError("<none>", "no hedge target")
             return self._get_from(node, key)
 
-        return self._resilient(
-            lambda: self._get_from(self.node_for(key), key), None, hedge=hedge
+        def operation() -> GetResult | None:
+            return self._resilient(
+                lambda: self._get_from(self.node_for(key), key), None, hedge=hedge
+            )
+
+        if not self.tracer.enabled:
+            return operation()
+        return self._traced(
+            "GET",
+            operation,
+            finalize=lambda trace, result: trace.annotate(hit=result is not None),
         )
 
     def get_many(self, keys: list[bytes]) -> dict[bytes, GetResult]:
@@ -548,21 +611,33 @@ class ResilientClient(MemcachedClient):
         return results
 
     def set(self, key: bytes, value: bytes, flags: int = 0, expire: float = 0) -> bool:
-        if self.quorum is None or self.quorum.n == 1:
-            return self._resilient(
-                lambda: MemcachedClient.set(self, key, value, flags, expire), False
-            )
-        replicas = self.placement.replicas_for(key)
-        acks = 0
-        for node in replicas:
-            stored = self._resilient(
-                lambda n=node: self._set_on(n, key, value, flags, expire), False
-            )
-            if stored:
-                acks += 1
-                self.replica_writes += 1
-                self._replica_writes_total.inc()
-        return acks >= min(self.quorum.w, len(replicas))
+        def operation() -> bool:
+            if self.quorum is None or self.quorum.n == 1:
+                return self._resilient(
+                    lambda: MemcachedClient.set(self, key, value, flags, expire),
+                    False,
+                )
+            replicas = self.placement.replicas_for(key)
+            acks = 0
+            for node in replicas:
+                stored = self._resilient(
+                    lambda n=node: self._set_on(n, key, value, flags, expire), False
+                )
+                if stored:
+                    acks += 1
+                    self.replica_writes += 1
+                    self._replica_writes_total.inc()
+            return acks >= min(self.quorum.w, len(replicas))
+
+        def finalize(trace, stored: bool) -> None:
+            trace.annotate(stored=stored)
+            if not stored:
+                trace.annotate(error="set_failed")
+
+        if not self.tracer.enabled:
+            return operation()
+        return self._traced("SET", operation, finalize=finalize,
+                            value_bytes=len(value))
 
     def add(self, key: bytes, value: bytes, flags: int = 0, expire: float = 0) -> bool:
         return self._resilient(

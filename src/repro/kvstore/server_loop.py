@@ -51,12 +51,18 @@ class Connection:
             "memcached_protocol_errors_total"
         )
 
-    def feed(self, data: bytes) -> bytes:
+    def feed(self, data: bytes, trace=None) -> bytes:
         """Accept incoming bytes; returns response bytes (possibly empty).
 
         Incomplete trailing commands stay buffered until more bytes
         arrive.  A malformed *complete* command produces an ``ERROR``
         line and discards the offending line, as memcached does.
+
+        ``trace`` (a :class:`~repro.telemetry.tracing.RequestTrace`)
+        gets one zero-duration ``server_execute`` span per command run —
+        the functional loop has no clock, so the span marks *where* the
+        command executed (the store's local time) while durations stay
+        with the DES.
         """
         if self.closed:
             raise ProtocolError("connection is closed")
@@ -74,6 +80,10 @@ class Connection:
                 break  # wait for more bytes
             self._buffer = rest
             out += self._execute(command)
+            if trace is not None:
+                trace.add_span(
+                    "server_execute", self.server.store.now, 0.0, kind="server"
+                )
         self.stats.bytes_out += len(out)
         self._bytes_out_total.inc(len(out))
         return bytes(out)

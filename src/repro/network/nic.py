@@ -120,23 +120,34 @@ class NicMac:
     def buffered_bytes(self) -> int:
         return self._buffered_bytes
 
-    def enqueue(self, tcp_port: int, packet_bytes: int) -> bool:
+    def enqueue(self, tcp_port: int, packet_bytes: int, trace=None) -> bool:
         """Buffer an arriving packet for its core; False (+drop) if full,
-        lost on the wire, or corrupted (failed FCS)."""
+        lost on the wire, or corrupted (failed FCS).
+
+        ``trace`` (a :class:`~repro.telemetry.tracing.RequestTrace`)
+        gets the drop reason annotated as ``nic_drop`` so a lost
+        request's trace says *where* it died, not just that it did.
+        """
         if packet_bytes <= 0:
             raise ConfigurationError("packet size must be positive")
         core = self.core_for_port(tcp_port)
         if self._should_drop is not None and self._should_drop():
             self.link_drops += 1
             self._link_drops_total.inc()
+            if trace is not None:
+                trace.annotate(nic_drop="link")
             return False
         if self._should_corrupt is not None and self._should_corrupt():
             self.link_corruptions += 1
             self._link_corruptions_total.inc()
+            if trace is not None:
+                trace.annotate(nic_drop="corrupt")
             return False
         if self._buffered_bytes + packet_bytes > self.buffer_bytes:
             self.drops += 1
             self._drops_total.inc()
+            if trace is not None:
+                trace.annotate(nic_drop="buffer_full")
             return False
         self._buffered_bytes += packet_bytes
         self._buffered_gauge.set(self._buffered_bytes)

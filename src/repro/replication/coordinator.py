@@ -37,6 +37,7 @@ from repro.replication.config import QuorumConfig
 from repro.replication.handoff import HintQueue
 from repro.replication.placement import ReplicaPlacement, default_stack_of
 from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.telemetry.tracing import RequestTrace
 
 
 @dataclass(frozen=True)
@@ -182,8 +183,22 @@ class ReplicationCoordinator:
         live = self.placement.replicas_for(key, exclude=self._down)
         return live[: self.quorum.r]
 
-    def put(self, key: bytes, value: bytes, expire: float = 0.0) -> WriteOutcome:
-        """Quorum write: fan to the preferred list, succeed at W acks."""
+    def put(
+        self,
+        key: bytes,
+        value: bytes,
+        expire: float = 0.0,
+        trace: RequestTrace | None = None,
+        now_s: float = 0.0,
+    ) -> WriteOutcome:
+        """Quorum write: fan to the preferred list, succeed at W acks.
+
+        With a ``trace``, each replica interaction becomes a
+        zero-duration child span at ``now_s`` (the coordinator is
+        instantaneous in this functional model — durations belong to the
+        DES): ``replica_put`` per acknowledging replica, ``replica_hint``
+        per copy parked for a down one.
+        """
         version = self._next_version()
         replicas = self.replicas_for(key)
         acks = 0
@@ -191,8 +206,19 @@ class ReplicationCoordinator:
         for node in replicas:
             if node in self._down:
                 if self.hinted_handoff:
-                    if self.hints.park(node, key, version, (value, version, expire)):
+                    if self.hints.park(
+                        node,
+                        key,
+                        version,
+                        (value, version, expire),
+                        trace_id=trace.request_id if trace is not None else None,
+                    ):
                         hinted += 1
+                        if trace is not None:
+                            trace.add_span(
+                                "replica_hint", now_s, 0.0,
+                                kind="producer", node=node,
+                            )
                 continue
             if self.stores[node].set(key, value, flags=version, expire=expire) is (
                 StoreResult.STORED
@@ -200,6 +226,10 @@ class ReplicationCoordinator:
                 acks += 1
                 self.replica_writes += 1
                 self._replica_writes_total.inc()
+                if trace is not None:
+                    trace.add_span(
+                        "replica_put", now_s, 0.0, kind="server", node=node
+                    )
         ok = acks >= min(self.quorum.w, len(replicas))
         if not ok:
             self.quorum_write_failures += 1
@@ -208,13 +238,20 @@ class ReplicationCoordinator:
             ok=ok, version=version, acks=acks, hinted=hinted, replicas=replicas
         )
 
-    def get(self, key: bytes) -> Item | None:
+    def get(
+        self,
+        key: bytes,
+        trace: RequestTrace | None = None,
+        now_s: float = 0.0,
+    ) -> Item | None:
         """Quorum read: newest of R live replicas, repairing the stale.
 
         Returns the winning :class:`Item` (its ``flags`` field is the
         version), or None when every consulted replica misses.  Stats
         (``cmd_get``/hits/misses) accrue on the consulted stores exactly
-        as R independent GETs would.
+        as R independent GETs would.  With a ``trace``, each consulted
+        replica emits a zero-duration ``replica_read`` span and each
+        repaired one a ``read_repair`` span at ``now_s``.
         """
         targets = self.read_targets(key)
         if not targets:
@@ -222,6 +259,9 @@ class ReplicationCoordinator:
             self._unavailable_total.inc()
             return None
         reads = [(node, self.stores[node].get(key)) for node in targets]
+        if trace is not None:
+            for node in targets:
+                trace.add_span("replica_read", now_s, 0.0, kind="server", node=node)
         winner: Item | None = None
         for _node, item in reads:
             if item is not None and (winner is None or item.flags > winner.flags):
@@ -248,6 +288,10 @@ class ReplicationCoordinator:
                 if result is StoreResult.STORED:
                     self.read_repairs += 1
                     self._read_repairs_total.inc()
+                    if trace is not None:
+                        trace.add_span(
+                            "read_repair", now_s, 0.0, kind="server", node=node
+                        )
                 else:
                     healed_all = False
             if healed_all:

@@ -25,12 +25,18 @@ from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
 
 @dataclass(frozen=True)
 class Hint:
-    """One parked write for a down replica."""
+    """One parked write for a down replica.
+
+    ``trace_id`` is the request id of the originating write's causal
+    trace (``None`` when tracing is off): replaying the hint emits a
+    follow-from span linked back to that trace.
+    """
 
     node: str
     key: bytes
     version: int
     payload: object = None
+    trace_id: int | None = None
 
 
 class HintQueue:
@@ -53,7 +59,14 @@ class HintQueue:
         self._dropped_total = registry.counter("replication_hints_dropped_total")
         self._depth_gauge = registry.gauge("replication_hint_queue_depth")
 
-    def park(self, node: str, key: bytes, version: int, payload: object = None) -> bool:
+    def park(
+        self,
+        node: str,
+        key: bytes,
+        version: int,
+        payload: object = None,
+        trace_id: int | None = None,
+    ) -> bool:
         """Park one missed write; returns False if it was dropped.
 
         Per key only the newest version is kept (replaying an old hint
@@ -68,7 +81,9 @@ class HintQueue:
             return False
         if existing is not None and existing.version >= version:
             return False
-        per_node[key] = Hint(node=node, key=key, version=version, payload=payload)
+        per_node[key] = Hint(
+            node=node, key=key, version=version, payload=payload, trace_id=trace_id
+        )
         self.queued += 1
         self._queued_total.inc()
         self._depth_gauge.set(len(self))

@@ -38,11 +38,16 @@ from repro.sim.events import Simulator
 from repro.sim.resources import FifoResource
 from repro.sim.rng import make_rng
 from repro.sim.run_options import RunOptions
+from repro.telemetry.critical_path import compute_trace_digest
 from repro.telemetry.metrics import StreamingHistogram
 from repro.telemetry.profiler import SimProfiler
 from repro.telemetry.slo import SloMonitor
 from repro.telemetry.timeseries import TimeSeriesRecorder, WindowedSeries
 from repro.telemetry.tracing import NULL_TELEMETRY, TelemetrySession
+
+#: Deadline used for tail-based trace sampling when a run only asks for
+#: a digest (matches the paper's 1.1 ms RTT SLA).
+_DIGEST_SLA_DEADLINE_S = 1.1e-3
 
 # Imported lazily inside run(): repro.workloads.generator itself imports
 # repro.sim.rng, and a module-level import here would close that cycle
@@ -112,6 +117,10 @@ class FullSystemResults:
     # recorder, populated when run() is given an SloMonitor / recorder.
     slo_alerts: list = field(default_factory=list)
     timeseries: TimeSeriesRecorder | None = None
+    # Compact causal-trace summary (sampling counters + tail
+    # critical-path shares), populated when RunOptions.trace_digest is
+    # set; JSON-safe so cached experiment cells can carry it.
+    trace_digest: dict | None = None
 
     def __post_init__(self) -> None:
         interval = self.window_s if self.window_s is not None else 1.0
@@ -300,6 +309,10 @@ class FullSystemResults:
         if self.window_s is not None:
             payload["window_gets"] = self.window_gets.to_dict()
             payload["window_hits"] = self.window_hits.to_dict()
+        if self.trace_digest is not None:
+            # Only present when the run asked for it, so digest-free
+            # payloads stay byte-identical to pre-digest cache entries.
+            payload["trace_digest"] = self.trace_digest
         return payload
 
 
@@ -508,7 +521,16 @@ class FullSystemStack:
         profiler = options.profiler
         if telemetry is None:
             telemetry = NULL_TELEMETRY
+        if options.trace_digest and not telemetry.tracer.enabled:
+            # A digest was requested but no live session attached (the
+            # experiment engine's cached cells run instrument-free):
+            # trace internally with the paper SLA as the tail-sampling
+            # deadline, seeded off the stack seed for reproducibility.
+            telemetry = TelemetrySession(
+                slo_deadline_s=_DIGEST_SLA_DEADLINE_S, sampling_seed=self.seed
+            )
         registry, tracer = telemetry.registry, telemetry.tracer
+        stack_label = self.stack.name
         sim = Simulator()
         if profiler is not None:
             profiler.attach(sim)
@@ -516,6 +538,21 @@ class FullSystemStack:
             timeseries.install(sim, horizon_s=duration_s)
         if slo is not None:
             slo.install(sim, horizon_s=duration_s)
+            if tracer.enabled:
+                # Link alerts to representative traces: at fire time the
+                # alert samples the RTT histogram's exemplars from every
+                # bucket reaching past the tightest latency objective.
+                deadlines = [
+                    objective.deadline_s
+                    for objective in slo.objectives.values()
+                    if objective.deadline_s is not None
+                ]
+                if deadlines:
+                    rtt_histogram = registry.histogram("request_rtt_seconds")
+                    exemplar_floor = min(deadlines)
+                    slo.attach_exemplars(
+                        lambda: rtt_histogram.exemplars_above(exemplar_floor)
+                    )
         slo_record = slo.record if slo is not None else None
         rng = make_rng("full-system", self.seed)
         generator = WorkloadGenerator(workload, seed=self.seed)
@@ -628,9 +665,22 @@ class FullSystemStack:
                         replay_service = 0.0
                         for hint in hints:
                             self._execute(hint.key, "PUT", hint.payload, index)
-                            replay_service += self.model.request_timing(
+                            service = self.model.request_timing(
                                 "PUT", hint.payload
                             ).total_s
+                            if tracer.enabled:
+                                # Replay work follows from the PUT that
+                                # parked the hint; laid out back-to-back
+                                # as the burst occupies the core.
+                                tracer.follow_from(
+                                    "handoff_replay",
+                                    sim.now + replay_service,
+                                    service,
+                                    node=f"core{index}",
+                                    stack=stack_label,
+                                    trace=hint.trace_id,
+                                )
+                            replay_service += service
                         results.hints_replayed += len(hints)
                         hint_replay_busy.record(replay_service)
                         # Replay occupies the restarted core like one
@@ -671,6 +721,16 @@ class FullSystemStack:
                         self.model.request_timing("PUT", mean_bytes).total_s * count
                     )
                     antientropy_busy.record(service)
+                    if tracer.enabled:
+                        # Sweeps repair keys from many writers: no
+                        # single originating trace to link.
+                        tracer.follow_from(
+                            "antientropy",
+                            t,
+                            service,
+                            node=f"core{int(port) - _BASE_TCP_PORT}",
+                            stack=stack_label,
+                        )
                     cores[int(port) - _BASE_TCP_PORT].submit(
                         service, lambda wait: None
                     )
@@ -711,6 +771,16 @@ class FullSystemStack:
             failed_total.inc()
             if slo_record is not None:
                 slo_record(sim.now, ok=False)
+            if tracer.enabled:
+                # Error traces are always retained by tail sampling.
+                trace = state["trace"]
+                trace.annotate(
+                    verb=request.verb,
+                    error="gave_up",
+                    attempts=state["attempts"],
+                )
+                trace.finish(sim.now)
+                tracer.commit(trace)
             if request.verb == "GET":
                 results.note_window_get(state["arrival"], hit=False)
 
@@ -732,7 +802,9 @@ class FullSystemStack:
             else:
                 give_up(request, state)
 
-        def serve(request, state, core_index: int, port: str) -> None:
+        def serve(
+            request, state, core_index: int, port: str, via: str | None = None
+        ) -> None:
             arrival = state["arrival"]
             dispatched = sim.now
             hit, response_len = self._execute(
@@ -762,6 +834,15 @@ class FullSystemStack:
                             "PUT", request.value_bytes
                         ).total_s
                         read_repair_busy.record(repair_service)
+                        if tracer.enabled:
+                            tracer.follow_from(
+                                "read_repair",
+                                sim.now,
+                                repair_service,
+                                node=f"core{core_index}",
+                                stack=stack_label,
+                                trace=state["trace"],
+                            )
                         cores[core_index].submit(repair_service, lambda wait: None)
                     break
             if fill_on_miss and request.verb == "GET" and not hit:
@@ -794,17 +875,25 @@ class FullSystemStack:
                         memcached_s=timing.memcached_s * factor,
                         network_s=timing.network_s,
                     )
-            attrs = dict(
-                core=core_index, verb=request.verb, value_bytes=served_bytes,
-                hit=hit,
-            )
-            if state["attempts"] > 1:
-                attrs["attempts"] = state["attempts"]
-            trace = tracer.begin(arrival, **attrs)
+            trace = state["trace"]
+            node_label = f"core{core_index}"
 
             def complete(wait: float) -> None:
                 if state["done"]:
-                    return  # a hedged twin already answered
+                    # A hedged twin already answered: the losing branch
+                    # is causally linked but outside the trace, so the
+                    # RTT identity over the span tree survives.
+                    if tracer.enabled:
+                        tracer.follow_from(
+                            "hedge_straggler" if via == "hedge" else "straggler",
+                            dispatched,
+                            sim.now - dispatched,
+                            node=node_label,
+                            stack=stack_label,
+                            kind="client",
+                            trace=trace,
+                        )
+                    return
                 state["done"] = True
                 consecutive_timeouts[port] = 0
                 if request.verb == "GET":
@@ -832,25 +921,114 @@ class FullSystemStack:
                         results.per_core_served.get(core_index, 0) + 1
                     )
                     served_per_core[core_index].inc()
-                    # The span walk retraces the request's path through
-                    # the pipeline: any client retry wait, the MAC
-                    # queue, then the latency model's network /
-                    # hash-lookup / memcached-service stages.
-                    if dispatched > arrival:
-                        trace.add_span("retry", arrival, dispatched - arrival)
-                    trace.add_span("queue", dispatched, wait)
-                    served_at = dispatched + wait
-                    trace.add_span("network", served_at, timing.network_s)
-                    trace.add_span(
-                        "hash", served_at + timing.network_s, timing.hash_s
-                    )
-                    trace.add_span(
-                        "memcached",
-                        served_at + timing.network_s + timing.hash_s,
-                        timing.memcached_s,
-                    )
-                    trace.finish(sim.now)
-                    tracer.commit(trace)
+                    if tracer.enabled:
+                        # The span tree retraces the request's path: any
+                        # client retry / hedge wait as a root interval,
+                        # then the MAC queue and the latency model's
+                        # network / hash-lookup / memcached stages — as
+                        # roots on the plain path (the flat Fig. 4
+                        # layout), or nested under a "hedge" wrapper
+                        # when the winning attempt was the hedged twin.
+                        trace.annotate(
+                            core=core_index,
+                            verb=request.verb,
+                            value_bytes=served_bytes,
+                            hit=hit,
+                        )
+                        if state["attempts"] > 1:
+                            trace.annotate(attempts=state["attempts"])
+                        parent = None
+                        if via == "hedge":
+                            if dispatched > arrival:
+                                trace.add_span(
+                                    "hedge_wait",
+                                    arrival,
+                                    dispatched - arrival,
+                                    kind="client",
+                                    node="client",
+                                    stack=stack_label,
+                                )
+                            parent = trace.add_span(
+                                "hedge",
+                                dispatched,
+                                sim.now - dispatched,
+                                kind="client",
+                                node=node_label,
+                                stack=stack_label,
+                            )
+                        elif dispatched > arrival:
+                            trace.add_span(
+                                "retry",
+                                arrival,
+                                dispatched - arrival,
+                                kind="client",
+                                node="client",
+                                stack=stack_label,
+                            )
+                        trace.add_span(
+                            "queue",
+                            dispatched,
+                            wait,
+                            parent=parent,
+                            kind="server",
+                            node=node_label,
+                            stack=stack_label,
+                        )
+                        served_at = dispatched + wait
+                        trace.add_span(
+                            "network",
+                            served_at,
+                            timing.network_s,
+                            parent=parent,
+                            kind="server",
+                            node=node_label,
+                            stack=stack_label,
+                        )
+                        trace.add_span(
+                            "hash",
+                            served_at + timing.network_s,
+                            timing.hash_s,
+                            parent=parent,
+                            kind="server",
+                            node=node_label,
+                            stack=stack_label,
+                        )
+                        trace.add_span(
+                            "memcached",
+                            served_at + timing.network_s + timing.hash_s,
+                            timing.memcached_s,
+                            parent=parent,
+                            kind="server",
+                            node=node_label,
+                            stack=stack_label,
+                        )
+                        for v_start, v_duration, v_core in state.get(
+                            "verify_spans", ()
+                        ):
+                            # Verify reads nest only while they fit the
+                            # trace interval; late finishers become
+                            # follow-from spans to keep every span
+                            # inside its parent.
+                            if v_start + v_duration <= sim.now + 1e-12:
+                                trace.add_span(
+                                    "verify_read",
+                                    v_start,
+                                    v_duration,
+                                    kind="server",
+                                    node=f"core{v_core}",
+                                    stack=stack_label,
+                                )
+                            else:
+                                tracer.follow_from(
+                                    "verify_read",
+                                    v_start,
+                                    v_duration,
+                                    node=f"core{v_core}",
+                                    stack=stack_label,
+                                    trace=trace,
+                                )
+                        trace.finish(sim.now)
+                        tracer.commit(trace)
 
             cores[core_index].submit(timing.total_s, complete)
 
@@ -878,6 +1056,14 @@ class FullSystemStack:
                         "GET", request.value_bytes
                     )
                     verify_read_busy.record(verify_timing.total_s)
+                    if tracer.enabled:
+                        # Parked until the winning attempt commits; the
+                        # service interval is known now, the queue wait
+                        # is deliberately ignored (the reply does not
+                        # gate the caller).
+                        state.setdefault("verify_spans", []).append(
+                            (sim.now, verify_timing.total_s, verify_core)
+                        )
                     cores[verify_core].submit(
                         verify_timing.total_s, lambda wait: None
                     )
@@ -926,7 +1112,7 @@ class FullSystemStack:
                         return
                     results.hedges += 1
                     hedges_total.inc()
-                    serve(request, state, alt_core, alt)
+                    serve(request, state, alt_core, alt, via="hedge")
 
                 sim.schedule(policy.hedge_after_s, hedge)
 
@@ -957,6 +1143,18 @@ class FullSystemStack:
                                 latency_s=sim.now - state["arrival"],
                                 ok=True,
                             )
+                        if tracer.enabled:
+                            trace = state["trace"]
+                            trace.annotate(
+                                verb="PUT",
+                                value_bytes=request.value_bytes,
+                                acks=copy_state["acks"],
+                                replicas=copy_state["total"],
+                            )
+                            if state["attempts"] > 1:
+                                trace.annotate(attempts=state["attempts"])
+                            trace.finish(sim.now)
+                            tracer.commit(trace)
             if (
                 copy_state["resolved"] == copy_state["total"]
                 and not state["done"]
@@ -993,9 +1191,27 @@ class FullSystemStack:
             if lost:
                 if down and repl.hinted_handoff:
                     if hintq.park(
-                        port, request.key, version, request.value_bytes
+                        port,
+                        request.key,
+                        version,
+                        request.value_bytes,
+                        trace_id=(
+                            state["trace"].request_id if tracer.enabled else None
+                        ),
                     ):
                         results.hints_queued += 1
+                        if tracer.enabled and state["trace"].end_s is None:
+                            # An instant producer span: the copy was
+                            # parked, its replay follows from this
+                            # trace at the node's restart.
+                            state["trace"].add_span(
+                                "hint",
+                                sim.now,
+                                0.0,
+                                kind="producer",
+                                node=f"core{core_index}",
+                                stack=stack_label,
+                            )
                 results.fault_timeouts += 1
                 timeouts_total.inc()
                 consecutive_timeouts[port] = consecutive_timeouts.get(port, 0) + 1
@@ -1030,6 +1246,8 @@ class FullSystemStack:
                     )
             results.replica_puts += 1
             replica_writes_total.inc()
+            dispatched = sim.now
+            node_label = f"core{core_index}"
 
             def complete(wait: float) -> None:
                 consecutive_timeouts[port] = 0
@@ -1042,6 +1260,68 @@ class FullSystemStack:
                         results.per_core_served.get(core_index, 0) + 1
                     )
                     served_per_core[core_index].inc()
+                if tracer.enabled:
+                    trace = state["trace"]
+                    if trace.end_s is None:
+                        # This copy resolves before the W-th ack, so its
+                        # whole chain nests inside the logical PUT: one
+                        # wrapper per replica, pipeline stages beneath.
+                        wrapper = trace.add_span(
+                            "replica_put",
+                            dispatched,
+                            sim.now - dispatched,
+                            kind="server",
+                            node=node_label,
+                            stack=stack_label,
+                        )
+                        trace.add_span(
+                            "queue",
+                            dispatched,
+                            wait,
+                            parent=wrapper,
+                            kind="server",
+                            node=node_label,
+                            stack=stack_label,
+                        )
+                        served_at = dispatched + wait
+                        trace.add_span(
+                            "network",
+                            served_at,
+                            timing.network_s,
+                            parent=wrapper,
+                            kind="server",
+                            node=node_label,
+                            stack=stack_label,
+                        )
+                        trace.add_span(
+                            "hash",
+                            served_at + timing.network_s,
+                            timing.hash_s,
+                            parent=wrapper,
+                            kind="server",
+                            node=node_label,
+                            stack=stack_label,
+                        )
+                        trace.add_span(
+                            "memcached",
+                            served_at + timing.network_s + timing.hash_s,
+                            timing.memcached_s,
+                            parent=wrapper,
+                            kind="server",
+                            node=node_label,
+                            stack=stack_label,
+                        )
+                    else:
+                        # Acks past W land after the PUT completed.
+                        tracer.follow_from(
+                            "replica_put_straggler",
+                            dispatched,
+                            sim.now - dispatched,
+                            node=node_label,
+                            stack=stack_label,
+                            kind="server",
+                            trace=trace,
+                        )
                 put_copy_resolved(
                     request, state, copy_state, attempt,
                     ok=True, wait=wait, response_len=response_len,
@@ -1111,7 +1391,15 @@ class FullSystemStack:
             if sim.now >= duration_s:
                 return
             request = generator.next_request()
-            dispatch(request, {"done": False, "arrival": sim.now, "attempts": 0}, 0)
+            # The trace opens at arrival so every attempt — retries,
+            # hedges, replica fan-out — shares one causal context.
+            state = {
+                "done": False,
+                "arrival": sim.now,
+                "attempts": 0,
+                "trace": tracer.begin(sim.now, verb=request.verb),
+            }
+            dispatch(request, state, 0)
             sim.schedule(rng.expovariate(offered_rate_hz), arrive)
 
         warm_span = (
@@ -1137,6 +1425,8 @@ class FullSystemStack:
         if timeseries is not None:
             timeseries.flush(sim.now)
             results.timeseries = timeseries
+        if options.trace_digest and tracer.enabled:
+            results.trace_digest = compute_trace_digest(tracer)
         return results
 
     # --- functional execution -------------------------------------------------------

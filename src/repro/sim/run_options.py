@@ -44,6 +44,7 @@ _CONFIG_FIELDS = (
     "faults",
     "resilience",
     "replication",
+    "trace_digest",
 )
 
 #: Live observers excluded from equality, hashing, and serialisation.
@@ -62,6 +63,10 @@ class RunOptions:
     ``window_s`` buckets GET outcomes into a hit-rate timeline;
     ``fill_on_miss`` models cache-aside refill; ``keep_samples`` retains
     raw latency samples next to the streaming histograms.
+    ``trace_digest`` asks the run for a compact causal-trace summary
+    (sampling counters + tail critical-path shares) in
+    ``FullSystemResults.trace_digest`` — it is configuration, not an
+    instrument, because cached experiment cells carry the digest.
 
     ``telemetry``/``timeseries``/``slo``/``profiler`` are instruments:
     they observe without perturbing, never travel through
@@ -78,6 +83,7 @@ class RunOptions:
     faults: FaultSchedule | None = None
     resilience: ResiliencePolicy | None = None
     replication: ReplicationConfig | None = None
+    trace_digest: bool = False
     telemetry: "TelemetrySession | None" = field(
         default=None, compare=False, repr=False
     )
@@ -117,6 +123,11 @@ class RunOptions:
                 dataclasses.asdict(self.replication) if self.replication else None
             ),
         }
+        if self.trace_digest:
+            # Only serialised when set: dicts (and therefore experiment
+            # cache keys) for digest-free runs stay byte-identical to
+            # those written before the field existed.
+            payload["trace_digest"] = True
         return payload
 
     @classmethod
@@ -152,6 +163,7 @@ class RunOptions:
             faults=faults,
             resilience=resilience,
             replication=replication,
+            trace_digest=data.get("trace_digest", False),
         )
 
     # --- ergonomics ---------------------------------------------------------

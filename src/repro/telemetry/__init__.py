@@ -22,6 +22,7 @@ from repro.telemetry.metrics import (
     metric_description,
 )
 from repro.telemetry.tracing import (
+    FollowSpan,
     NullTracer,
     NULL_TELEMETRY,
     NULL_TRACER,
@@ -30,12 +31,24 @@ from repro.telemetry.tracing import (
     TelemetrySession,
     Tracer,
 )
+from repro.telemetry.critical_path import (
+    AttributionTable,
+    PathSegment,
+    compute_trace_digest,
+    critical_path,
+    tail_attribution,
+    waterfall,
+)
 from repro.telemetry.exporters import (
     escape_label_value,
     prometheus_text,
     summary_table,
+    trace_events,
+    trace_events_json,
     trace_to_jsonl,
+    validate_trace_events,
     write_prometheus,
+    write_trace_events,
     write_trace_jsonl,
 )
 from repro.telemetry.timeseries import (
@@ -62,6 +75,7 @@ __all__ = [
     "StreamingHistogram",
     "describe_metric",
     "metric_description",
+    "FollowSpan",
     "NullTracer",
     "NULL_TELEMETRY",
     "NULL_TRACER",
@@ -69,11 +83,21 @@ __all__ = [
     "Span",
     "TelemetrySession",
     "Tracer",
+    "AttributionTable",
+    "PathSegment",
+    "compute_trace_digest",
+    "critical_path",
+    "tail_attribution",
+    "waterfall",
     "escape_label_value",
     "prometheus_text",
     "summary_table",
+    "trace_events",
+    "trace_events_json",
     "trace_to_jsonl",
+    "validate_trace_events",
     "write_prometheus",
+    "write_trace_events",
     "write_trace_jsonl",
     "TimeSeriesRecorder",
     "WindowedSeries",

@@ -1,14 +1,21 @@
-"""Pluggable metric/trace export: JSONL traces, Prometheus text, summaries.
+"""Pluggable metric/trace export: JSONL traces, Perfetto, Prometheus text.
 
-Three consumers, three formats:
+Four consumers, four formats:
 
 * ``trace_to_jsonl`` / ``write_trace_jsonl`` — one JSON object per
-  request, spans inline, for offline tooling (jq, pandas, perfetto-style
-  converters).
+  request, spans inline (user attrs namespaced under ``"attrs"``), for
+  offline tooling (jq, pandas).
+* ``trace_events`` / ``trace_events_json`` / ``write_trace_events`` —
+  Chrome/Perfetto trace-event JSON: every retained span becomes a
+  complete ("X") event on a per-node track, follow-from spans ride on
+  the same tracks with their originating trace id in ``args``.  The
+  JSON rendering is canonical (sorted keys, no whitespace) so two
+  same-seed runs export bit-identical files.
 * ``prometheus_text`` / ``write_prometheus`` — the text exposition
   format scrapers and dashboards already speak: counters and gauges as
   samples, histograms as summary quantiles plus ``_sum``/``_count``/
-  ``_min``/``_max``.
+  ``_min``/``_max`` and exemplar comment lines linking buckets to
+  trace ids.
 * ``summary_table`` — a human-readable digest (quantile table plus an
   ASCII component-breakdown chart) for terminals and bench logs.
 """
@@ -19,6 +26,7 @@ import json
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.errors import ConfigurationError
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -81,6 +89,112 @@ def write_trace_jsonl(path: str | Path, tracer: Tracer) -> Path:
     return path
 
 
+# --- chrome/perfetto trace events ---------------------------------------------------
+
+
+def trace_events(tracer: Tracer) -> dict:
+    """The tracer's retained spans as a Chrome trace-event document.
+
+    One process (`pid` 1), one thread track per distinct ``node`` label
+    (plus ``client`` for unlabeled spans), thread ids assigned in sorted
+    label order so the layout is deterministic.  Every span — in-trace
+    and follow-from — is a complete ("X") event with microsecond
+    ``ts``/``dur``; causal structure rides in ``args`` (``trace_id``,
+    ``span_id``, ``parent_id``, ``follows_from``).
+    """
+    traces = tracer.traces
+    labels = {span.node or "client" for trace in traces for span in trace.spans}
+    labels.update(span.node or "client" for span in tracer.follow_spans)
+    labels.add("client")
+    tids = {label: index + 1 for index, label in enumerate(sorted(labels))}
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": label},
+        }
+        for label, tid in sorted(tids.items(), key=lambda item: item[1])
+    ]
+    for trace in traces:
+        for span in trace.spans:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tids[span.node or "client"],
+                    "name": span.name,
+                    "cat": span.kind,
+                    "ts": span.start_s * 1e6,
+                    "dur": span.duration_s * 1e6,
+                    "args": {
+                        "trace_id": trace.request_id,
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        "stack": span.stack,
+                    },
+                }
+            )
+    for span in tracer.follow_spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": tids[span.node or "client"],
+                "name": span.name,
+                "cat": f"follow:{span.kind}",
+                "ts": span.start_s * 1e6,
+                "dur": span.duration_s * 1e6,
+                "args": {"follows_from": span.follows_from, "stack": span.stack},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def trace_events_json(tracer: Tracer) -> str:
+    """Canonical (sorted-key, whitespace-free) trace-event JSON — two
+    same-seed runs produce bit-identical bytes."""
+    return json.dumps(trace_events(tracer), sort_keys=True, separators=(",", ":"))
+
+
+def write_trace_events(path: str | Path, tracer: Tracer) -> Path:
+    """Write the Perfetto-loadable trace-event file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(trace_events_json(tracer) + "\n")
+    return path
+
+
+def validate_trace_events(payload: object) -> int:
+    """Minimal schema check for a trace-event document (the CI smoke
+    gate).  Returns the event count; raises ``ConfigurationError`` on
+    the first malformed event."""
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("traceEvents"), list
+    ):
+        raise ConfigurationError("trace-event document needs a traceEvents list")
+    for position, event in enumerate(payload["traceEvents"]):
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            raise ConfigurationError(f"{where} is not an object")
+        if not isinstance(event.get("name"), str):
+            raise ConfigurationError(f"{where} has no name")
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            raise ConfigurationError(f"{where} has unsupported phase {phase!r}")
+        if not isinstance(event.get("pid"), int) or not isinstance(
+            event.get("tid"), int
+        ):
+            raise ConfigurationError(f"{where} needs integer pid/tid")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ConfigurationError(f"{where} needs non-negative {key}")
+    return len(payload["traceEvents"])
+
+
 # --- prometheus text exposition -------------------------------------------------
 
 
@@ -126,6 +240,14 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             lines.append(f"{name}_count{labels} {metric.count}")
             lines.append(f"{name}_min{labels} {_format_number(metric.minimum)}")
             lines.append(f"{name}_max{labels} {_format_number(metric.maximum)}")
+            for index in sorted(metric.exemplars):
+                # OpenMetrics-style exemplar, as a comment so strict
+                # text-format parsers skip it: bucket edge -> trace id.
+                upper = metric.bucket_upper_bound(index)
+                lines.append(
+                    f"# EXEMPLAR {name}{labels} le={_format_number(upper)} "
+                    f"trace_id={metric.exemplars[index]}"
+                )
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -88,7 +88,7 @@ class StreamingHistogram:
 
     __slots__ = (
         "name", "labels", "min_value", "max_value", "buckets_per_decade",
-        "counts", "count", "total", "min_seen", "max_seen",
+        "counts", "count", "total", "min_seen", "max_seen", "exemplars",
     )
 
     def __init__(
@@ -114,6 +114,8 @@ class StreamingHistogram:
         self.total = 0.0
         self.min_seen = math.inf
         self.max_seen = -math.inf
+        # bucket index -> latest exemplar (e.g. a trace id) seen there
+        self.exemplars: dict[int, object] = {}
 
     # --- recording ---------------------------------------------------------------
 
@@ -123,16 +125,36 @@ class StreamingHistogram:
         index = int(math.log10(value / self.min_value) * self.buckets_per_decade)
         return min(index, len(self.counts) - 1)
 
-    def record(self, value: float) -> None:
+    def record(self, value: float, exemplar: object | None = None) -> None:
         if value < 0:
             raise ConfigurationError("histogram values must be non-negative")
-        self.counts[self._index(value)] += 1
+        index = self._index(value)
+        self.counts[index] += 1
         self.count += 1
         self.total += value
         if value < self.min_seen:
             self.min_seen = value
         if value > self.max_seen:
             self.max_seen = value
+        if exemplar is not None:
+            self.exemplars[index] = exemplar
+
+    # --- exemplars ---------------------------------------------------------------
+
+    def exemplar_for(self, value: float) -> object | None:
+        """The exemplar stored in the bucket ``value`` would land in."""
+        return self.exemplars.get(self._index(value))
+
+    def exemplars_above(self, threshold: float) -> list[object]:
+        """Exemplars from every bucket that can hold values above
+        ``threshold`` (ascending bucket order) — e.g. trace ids of
+        SLO-violating RTTs.  Buckets straddling the threshold are
+        included, so the list may contain one sub-threshold exemplar."""
+        return [
+            self.exemplars[index]
+            for index in sorted(self.exemplars)
+            if self.bucket_upper_bound(index) > threshold
+        ]
 
     # --- bucket geometry ---------------------------------------------------------
 
@@ -228,6 +250,7 @@ class StreamingHistogram:
         merged.total = self.total + other.total
         merged.min_seen = min(self.min_seen, other.min_seen)
         merged.max_seen = max(self.max_seen, other.max_seen)
+        merged.exemplars = {**self.exemplars, **other.exemplars}
         return merged
 
     def to_dict(self) -> dict:
@@ -238,7 +261,7 @@ class StreamingHistogram:
         ``minimum``/``maximum``/``mean`` — and any later :meth:`merge` —
         are exact, not bucket-quantised.
         """
-        return {
+        payload = {
             "count": self.count,
             "sum": self.total,
             "min": self.minimum,
@@ -252,6 +275,13 @@ class StreamingHistogram:
                 if c
             },
         }
+        if self.exemplars:
+            # Keyed by bucket index; omitted entirely when empty so
+            # exemplar-free snapshots stay byte-identical to older ones.
+            payload["exemplars"] = {
+                str(index): self.exemplars[index] for index in sorted(self.exemplars)
+            }
+        return payload
 
     @classmethod
     def from_dict(
@@ -293,6 +323,8 @@ class StreamingHistogram:
         if histogram.count:
             histogram.min_seen = payload["min"]
             histogram.max_seen = payload["max"]
+        for key, exemplar in payload.get("exemplars", {}).items():
+            histogram.exemplars[min(int(key), last)] = exemplar
         return histogram
 
 
@@ -367,7 +399,7 @@ class _NullGauge(Gauge):
 class _NullHistogram(StreamingHistogram):
     __slots__ = ()
 
-    def record(self, value: float) -> None:
+    def record(self, value: float, exemplar: object | None = None) -> None:
         pass
 
 
@@ -448,6 +480,9 @@ METRIC_DESCRIPTIONS: dict[str, str] = {
     "replication_antientropy_dirty_buckets_total": "Digest buckets found divergent",
     "background_busy_seconds": "Simulated core-busy time charged to background tasks",
     "replica_put_wait_seconds": "Queue wait for replica PUT copies at follower cores",
+    "tracer_committed_total": "Request traces finalized by the tracer",
+    "tracer_dropped_traces_total": "Committed traces not retained by tail sampling",
+    "tracer_sampled_total": "Committed traces admitted to the retained set",
     "slo_alerts_fired_total": "SLO burn-rate alert firings, by rule",
     "slo_alerts_cleared_total": "SLO burn-rate alert clearings, by rule",
     "slo_alerts_active": "SLO alerts currently firing",

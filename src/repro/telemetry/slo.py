@@ -99,19 +99,25 @@ class Alert:
     fired_at_s: float
     cleared_at_s: float | None = None
     peak_burn: float = 0.0
+    #: Representative trace ids captured at fire time (histogram
+    #: exemplars of SLO-violating buckets) — the "which requests" link.
+    exemplar_trace_ids: tuple = ()
 
     @property
     def active(self) -> bool:
         return self.cleared_at_s is None
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "rule": self.rule,
             "objective": self.objective,
             "fired_at_s": self.fired_at_s,
             "cleared_at_s": self.cleared_at_s,
             "peak_burn": round(self.peak_burn, 6),
         }
+        if self.exemplar_trace_ids:
+            payload["exemplar_trace_ids"] = list(self.exemplar_trace_ids)
+        return payload
 
 
 #: An alert sink: called as ``sink(event, alert, now_s)`` with event
@@ -163,6 +169,7 @@ class SloMonitor:
         self.rules = tuple(rules)
         self.resolution_s = resolution_s
         self.sinks = list(sinks)
+        self._exemplar_source: Callable[[], Sequence] | None = None
         self.alerts: list[Alert] = []
         self._active: dict[str, Alert] = {}
         self._good: dict[str, WindowedSeries] = {}
@@ -243,6 +250,11 @@ class SloMonitor:
                     objective=rule.objective,
                     fired_at_s=now_s,
                     peak_burn=max(short, long),
+                    exemplar_trace_ids=(
+                        tuple(self._exemplar_source())
+                        if self._exemplar_source is not None
+                        else ()
+                    ),
                 )
                 self._active[rule.name] = alert
                 self.alerts.append(alert)
@@ -262,6 +274,13 @@ class SloMonitor:
     @property
     def active_alerts(self) -> tuple[Alert, ...]:
         return tuple(self._active.values())
+
+    def attach_exemplars(self, source: Callable[[], Sequence]) -> None:
+        """Attach a callable sampled at every alert *fire*: it returns
+        representative trace ids (e.g.
+        ``StreamingHistogram.exemplars_above`` on the RTT histogram) so
+        each alert links to concrete SLO-violating traces."""
+        self._exemplar_source = source
 
     # --- DES wiring --------------------------------------------------------------
 

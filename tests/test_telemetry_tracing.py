@@ -95,9 +95,9 @@ class TestJsonlExport:
         assert len(lines) == 2
         record = json.loads(lines[0])
         assert record["request_id"] == 0
-        assert record["core"] == 2
-        assert record["verb"] == "GET"
-        assert record["hit"] is True
+        assert record["attrs"]["core"] == 2
+        assert record["attrs"]["verb"] == "GET"
+        assert record["attrs"]["hit"] is True
         assert [s["name"] for s in record["spans"]] == ["stage0", "stage1"]
         assert sum(s["duration_s"] for s in record["spans"]) == pytest.approx(
             record["rtt_s"]

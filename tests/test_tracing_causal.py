@@ -1,0 +1,350 @@
+"""Causal span forest: propagation, tail sampling, determinism, invariants.
+
+The full-system fixture runs the acceptance configuration once per
+module: N=3 R=2 W=2 quorum replication under a crash-restart window with
+hedged GETs enabled, causal tracing on.  The tests then check the
+structural guarantees the tracing tentpole promises — every child span
+nests inside its parent, every critical path sums to its trace's RTT,
+fan-out/hedge/handoff are distinguishable from the pipeline stages, and
+same-seed runs export bit-identical Perfetto files.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import mercury_stack
+from repro.faults import DEFAULT_RESILIENCE, FaultEvent, FaultSchedule
+from repro.faults.resilience import ResiliencePolicy
+from repro.kvstore.client import FaultyNetwork, ResilientClient
+from repro.kvstore.server_loop import MemcachedServer
+from repro.kvstore.store import KVStore
+from repro.network.nic import NicMac
+from repro.replication.config import QuorumConfig, ReplicationConfig
+from repro.replication.coordinator import ReplicationCoordinator
+from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
+from repro.telemetry import (
+    MetricsRegistry,
+    TelemetrySession,
+    Tracer,
+    critical_path,
+    prometheus_text,
+    tail_attribution,
+    trace_events_json,
+)
+from repro.telemetry.tracing import RESERVED_TRACE_KEYS
+from repro.units import MB
+from repro.workloads import WorkloadSpec
+from repro.workloads.distributions import fixed_size
+
+SCHEDULE = FaultSchedule(
+    name="causal-crash-restart",
+    events=(
+        FaultEvent(kind="node_crash", at_s=0.1, node="core0"),
+        FaultEvent(kind="node_restart", at_s=0.25, node="core0"),
+    ),
+)
+WORKLOAD = WorkloadSpec(
+    name="causal-demo",
+    get_fraction=0.9,
+    key_population=4_000,
+    value_sizes=fixed_size(64),
+)
+
+
+def quorum_crash_run(seed=42, max_traces=100_000):
+    telemetry = TelemetrySession(
+        max_traces=max_traces, slo_deadline_s=1.1e-3, sampling_seed=seed
+    )
+    system = FullSystemStack(
+        stack=mercury_stack(cores=4), memory_per_core_bytes=8 * MB, seed=seed
+    )
+    capacity = 4 * system.model.tps("GET", 64)
+    results = system.run(
+        WORKLOAD,
+        RunOptions(
+            offered_rate_hz=0.35 * capacity,
+            duration_s=0.4,
+            warmup_requests=4_000,
+            fill_on_miss=True,
+            faults=SCHEDULE,
+            resilience=replace(DEFAULT_RESILIENCE, hedge_after_s=1e-4),
+            replication=ReplicationConfig(n=3, r=2, w=2),
+            telemetry=telemetry,
+        ),
+    )
+    return results, telemetry
+
+
+@pytest.fixture(scope="module")
+def crash_run():
+    return quorum_crash_run()
+
+
+class TestReservedKeys:
+    def test_attrs_cannot_shadow_schema_keys(self):
+        tracer = Tracer(MetricsRegistry())
+        trace = tracer.begin(0.0, verb="GET", spans="sneaky", rtt_s="bogus")
+        trace.add_span("queue", 0.0, 1e-5)
+        trace.finish(1e-5)
+        record = trace.to_dict()
+        # The reserved keys keep their schema meaning...
+        assert RESERVED_TRACE_KEYS <= set(record)
+        assert isinstance(record["spans"], list)
+        assert record["rtt_s"] == pytest.approx(1e-5)
+        # ...while the user attrs survive, namespaced.
+        assert record["attrs"]["spans"] == "sneaky"
+        assert record["attrs"]["rtt_s"] == "bogus"
+        assert record["attrs"]["verb"] == "GET"
+
+
+class TestTracerCounters:
+    def test_counters_and_help_lines(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry, max_traces=2)
+        for i in range(5):
+            trace = tracer.begin(float(i))
+            trace.add_span("queue", float(i), 1e-5)
+            trace.finish(i + 1e-5)
+            tracer.commit(trace)
+        assert registry.counter("tracer_committed_total").value == 5
+        assert registry.counter("tracer_dropped_traces_total").value == 3
+        assert registry.counter("tracer_sampled_total").value >= 2
+        text = prometheus_text(registry)
+        assert "# HELP tracer_committed_total" in text
+        assert "# HELP tracer_dropped_traces_total" in text
+        assert "# HELP tracer_sampled_total" in text
+
+
+class TestTailSampling:
+    def commit_one(self, tracer, index, rtt, error=False):
+        trace = tracer.begin(float(index))
+        trace.add_span("queue", float(index), rtt)
+        if error:
+            trace.annotate(error="gave_up")
+        trace.finish(index + rtt)
+        tracer.commit(trace)
+        return trace
+
+    def test_every_slo_violator_is_retained_within_the_cap(self):
+        tracer = Tracer(
+            MetricsRegistry(), max_traces=40, slo_deadline_s=1e-3, sampling_seed=7
+        )
+        violators = set()
+        for i in range(200):
+            slow = i % 7 == 0
+            trace = self.commit_one(tracer, i, rtt=2e-3 if slow else 1e-4)
+            if slow:
+                violators.add(trace.request_id)
+        retained = {trace.request_id for trace in tracer.traces}
+        assert violators <= retained  # 100% of violators kept
+        assert len(tracer.traces) == 40  # cap honored (keepers < cap)
+        assert tracer.slo_violations == len(violators)
+        assert tracer.dropped_traces == 200 - 40
+
+    def test_error_traces_are_keepers(self):
+        tracer = Tracer(MetricsRegistry(), max_traces=2, sampling_seed=0)
+        errored = self.commit_one(tracer, 0, rtt=1e-5, error=True)
+        for i in range(1, 50):
+            self.commit_one(tracer, i, rtt=1e-5)
+        assert errored in tracer.traces
+
+    def test_cap_yields_when_violators_exceed_it(self):
+        tracer = Tracer(
+            MetricsRegistry(), max_traces=10, slo_deadline_s=1e-3, sampling_seed=0
+        )
+        for i in range(30):
+            self.commit_one(tracer, i, rtt=2e-3)
+        assert len(tracer.traces) == 30  # evidence beats the cap
+
+    def test_same_seed_same_sample(self):
+        def retained_ids(seed):
+            tracer = Tracer(MetricsRegistry(), max_traces=20, sampling_seed=seed)
+            for i in range(100):
+                self.commit_one(tracer, i, rtt=1e-4)
+            return [trace.request_id for trace in tracer.traces]
+
+        assert retained_ids(5) == retained_ids(5)
+        assert retained_ids(5) != retained_ids(6)
+
+
+class TestFullSystemDeterminism:
+    def test_same_seed_runs_export_identical_bytes(self):
+        _, first = quorum_crash_run(max_traces=300)
+        _, second = quorum_crash_run(max_traces=300)
+        assert trace_events_json(first.tracer) == trace_events_json(second.tracer)
+        assert [t.request_id for t in first.tracer.traces] == [
+            t.request_id for t in second.tracer.traces
+        ]
+
+
+class TestStructuralInvariants:
+    EPS = 1e-9
+
+    def test_children_nest_within_parents(self, crash_run):
+        _, telemetry = crash_run
+        for trace in telemetry.tracer.traces:
+            by_id = {span.span_id: span for span in trace.spans}
+            for span in trace.spans:
+                if span.parent_id is None:
+                    continue
+                parent = by_id[span.parent_id]
+                assert span.start_s >= parent.start_s - self.EPS
+                assert span.end_s <= parent.end_s + self.EPS
+
+    def test_critical_path_sums_to_rtt_for_every_trace(self, crash_run):
+        _, telemetry = crash_run
+        checked = 0
+        for trace in telemetry.tracer.traces:
+            if trace.end_s is None:
+                continue
+            total = sum(seg.duration_s for seg in critical_path(trace))
+            assert total == pytest.approx(trace.rtt_s, rel=1e-9, abs=1e-12)
+            checked += 1
+        assert checked > 1_000
+
+    def test_tail_attribution_distinguishes_fanout_from_pipeline(self, crash_run):
+        results, telemetry = crash_run
+        tracer = telemetry.tracer
+        assert results.hedges > 0 and results.hints_replayed > 0
+        # Run-wide aggregates see every causal flavor...
+        for component in ("hedge", "hedge_wait", "replica_put",
+                          "handoff_replay", "queue", "memcached"):
+            assert component in tracer.component_seconds, component
+        # ...and the p99.9 cohort attributes tail RTT to branch-qualified
+        # replica fan-out, not just the PR 1 pipeline stages.
+        table = tail_attribution(tracer.traces)
+        tail = table.shares[0.999]
+        assert any(
+            name.startswith("replica_put.") and share > 0
+            for name, share in tail.items()
+        )
+        assert sum(tail.values()) == pytest.approx(1.0)
+
+    def test_background_work_is_follow_from_not_nested(self, crash_run):
+        _, telemetry = crash_run
+        follow_names = {span.name for span in telemetry.tracer.follow_spans}
+        assert "handoff_replay" in follow_names
+        assert "antientropy" in follow_names
+        linked = [
+            span
+            for span in telemetry.tracer.follow_spans
+            if span.name == "handoff_replay"
+        ]
+        # Hint replay carries the originating write's trace id.
+        assert linked and all(span.follows_from is not None for span in linked)
+
+
+class TestClientPropagation:
+    def make_client(self, policy=None, telemetry=None, nodes=("a", "b", "c")):
+        return ResilientClient(
+            list(nodes),
+            memory_per_node_bytes=1 * MB,
+            policy=policy or ResiliencePolicy(),
+            network=FaultyNetwork(seed=1),
+            telemetry=telemetry or TelemetrySession(),
+        )
+
+    def key_owned_by(self, client, node):
+        for i in range(10_000):
+            key = b"key-%d" % i
+            if client.node_for(key) == node:
+                return key
+        raise AssertionError(f"no key maps to {node}")
+
+    def test_get_and_set_commit_causal_traces(self):
+        telemetry = TelemetrySession()
+        client = self.make_client(telemetry=telemetry)
+        key = b"hello"
+        assert client.set(key, b"world")
+        assert client.get(key).value == b"world"
+        traces = telemetry.tracer.traces
+        assert [t.attrs["verb"] for t in traces] == ["SET", "GET"]
+        get_trace = traces[1]
+        assert get_trace.attrs["hit"] is True
+        spans = get_trace.spans
+        assert [s.name for s in spans] == ["rpc"]
+        assert spans[0].node == client.node_for(key)
+        assert spans[0].duration_s == pytest.approx(client.network.latency_s)
+
+    def test_hedge_attempt_spans_are_distinguishable_siblings(self):
+        telemetry = TelemetrySession()
+        client = self.make_client(
+            policy=ResiliencePolicy(hedge_after_s=1e-4), telemetry=telemetry
+        )
+        key = self.key_owned_by(client, "a")
+        client.set(key, b"v")  # stored while the primary is healthy
+        client.network.crash("a")
+        client.get(key)  # first attempt times out, the hedge races a sibling
+        get_trace = telemetry.tracer.traces[-1]
+        names = [s.name for s in get_trace.spans]
+        assert "rpc_timeout" in names  # the primary attempt
+        assert "hedge_rpc" in names  # the hedge, a sibling span
+        hedge_span = next(s for s in get_trace.spans if s.name == "hedge_rpc")
+        assert hedge_span.node != "a"
+        assert hedge_span.parent_id is None  # sibling of the primary rpc
+
+    def test_giveup_annotates_error_so_sampling_keeps_it(self):
+        telemetry = TelemetrySession()
+        client = self.make_client(telemetry=telemetry, nodes=("solo",))
+        client.network.crash("solo")
+        assert client.get(b"k") is None
+        trace = telemetry.tracer.traces[-1]
+        assert trace.attrs["error"] == "gave_up"
+        assert telemetry.tracer.is_keeper(trace)
+
+
+class TestCoordinatorPropagation:
+    def test_put_and_get_emit_per_replica_spans(self):
+        coordinator = ReplicationCoordinator(
+            ["a", "b", "c"], memory_per_node_bytes=1 * MB,
+            quorum=QuorumConfig(n=3, r=2, w=2),
+        )
+        tracer = Tracer(MetricsRegistry())
+        put_trace = tracer.begin(0.0, verb="PUT")
+        outcome = coordinator.put(b"k", b"v", trace=put_trace, now_s=0.0)
+        assert outcome.ok
+        put_nodes = [s.node for s in put_trace.spans if s.name == "replica_put"]
+        assert sorted(put_nodes) == sorted(outcome.replicas)
+        get_trace = tracer.begin(1.0, verb="GET")
+        assert coordinator.get(b"k", trace=get_trace, now_s=1.0) is not None
+        reads = [s for s in get_trace.spans if s.name == "replica_read"]
+        assert len(reads) == 2  # R=2 fan-out
+        assert all(s.kind == "server" for s in reads)
+
+    def test_down_replica_put_emits_hint_span_with_trace_link(self):
+        coordinator = ReplicationCoordinator(
+            ["a", "b", "c"], memory_per_node_bytes=1 * MB,
+            quorum=QuorumConfig(n=3, r=2, w=2),
+        )
+        tracer = Tracer(MetricsRegistry())
+        trace = tracer.begin(0.0, verb="PUT")
+        down = coordinator.replicas_for(b"k")[0]
+        coordinator.crash_node(down)
+        coordinator.put(b"k", b"v", trace=trace, now_s=0.0)
+        hints = [s for s in trace.spans if s.name == "replica_hint"]
+        assert [s.node for s in hints] == [down]
+        parked = coordinator.hints.drain(down)
+        assert parked[0].trace_id == trace.request_id
+
+
+class TestEdgeHooks:
+    def test_nic_annotates_drop_reason(self):
+        mac = NicMac(buffer_bytes=100)
+        mac.bind(11211, core_id=0)
+        tracer = Tracer(MetricsRegistry())
+        trace = tracer.begin(0.0)
+        assert mac.enqueue(11211, 90, trace=trace)
+        assert not mac.enqueue(11211, 90, trace=trace)
+        assert trace.attrs["nic_drop"] == "buffer_full"
+
+    def test_server_loop_emits_execute_span(self):
+        server = MemcachedServer(KVStore(1 * MB))
+        connection = server.connect()
+        tracer = Tracer(MetricsRegistry())
+        trace = tracer.begin(0.0)
+        reply = connection.feed(b"set k 0 0 1\r\nv\r\n", trace=trace)
+        assert reply == b"STORED\r\n"
+        assert [s.name for s in trace.spans] == ["server_execute"]
+        assert trace.spans[0].kind == "server"
