@@ -283,6 +283,18 @@ def _cmd_telemetry(args: argparse.Namespace) -> str:
     ).with_instruments(
         telemetry=telemetry, timeseries=recorder, slo=slo, profiler=profiler
     )
+    if args.batch_max > 1:
+        import dataclasses
+
+        from repro.kvstore.batching import BatchPolicy
+
+        options = dataclasses.replace(
+            options,
+            batching=BatchPolicy(
+                batch_max=args.batch_max,
+                linger_s=args.batch_linger_us * 1e-6,
+            ),
+        )
     results = system.run(workload, options)
     out = Path(args.out)
     trace_path = write_trace_jsonl(out / "trace.jsonl", telemetry.tracer)
@@ -297,6 +309,12 @@ def _cmd_telemetry(args: argparse.Namespace) -> str:
     )
     if args.scenario:
         header += f"\nfault scenario: {args.scenario} (no client resilience)"
+    if results.batches:
+        header += (
+            f"\nbatched path: {results.batches} batches, "
+            f"mean size {results.mean_batch_size:.1f}, "
+            f"flushes {dict(sorted(results.batch_flush_reasons.items()))}"
+        )
     sections = [header, summary_table(telemetry.registry, telemetry.tracer)]
     if results.slo_alerts:
         alert_lines = ["slo alerts (fired once, cleared on recovery):"]
@@ -817,6 +835,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="good fraction promised by both SLOs")
     p.add_argument("--burn-threshold", type=float, default=10.0,
                    help="error-budget burn multiple that fires an alert")
+    p.add_argument("--batch-max", type=int, default=1,
+                   help="coalesce up to this many requests per core into "
+                        "one batched frame (1 = serial path)")
+    p.add_argument("--batch-linger-us", type=float, default=100.0,
+                   help="max microseconds the first rider waits for the "
+                        "batch to fill (only with --batch-max > 1)")
     p.set_defaults(func=_cmd_telemetry)
 
     p = sub.add_parser(

@@ -324,6 +324,95 @@ class LatencyModel:
         """Keys served per second when GETs are batched ``keys`` at a time."""
         return keys / self.multiget_timing(keys, value_bytes).total_s
 
+    def batch_timing(self, ops, key_bytes: int | None = None) -> RequestTiming:
+        """RTT of one mixed-verb batch; ``ops`` is ``[(verb, value_bytes)]``.
+
+        The cost model behind the batched request path: per-batch charges
+        (TCP exchange over the combined payloads, instruction-fetch
+        stall, wire time) are paid once, while per-op charges (key hash,
+        memcached lookup/bookkeeping instructions, fixed metadata and
+        value-transfer stalls) are paid per op — which is exactly why a
+        small-value GET, dominated by the per-batch network cost
+        (Fig. 4), speeds up nearly linearly with batch size while a
+        large-value Iridium PUT barely moves.  A one-op batch reduces to
+        :meth:`request_timing` shape (modulo ack rounding).
+        """
+        ops = [(verb.upper(), value_bytes) for verb, value_bytes in ops]
+        if not ops:
+            raise ConfigurationError("a batch needs at least one op")
+        for verb, value_bytes in ops:
+            if verb not in ("GET", "PUT"):
+                raise ConfigurationError(
+                    f"unknown verb {verb!r}; expected GET or PUT"
+                )
+            if value_bytes < 0:
+                raise ConfigurationError("value size cannot be negative")
+        cal = self.cal
+        keylen = cal.default_key_bytes if key_bytes is None else key_bytes
+
+        # Wire accounting: one exchange carrying every op out and every
+        # result back (GETs sized as hits — the conservative payload).
+        request_payload = 8
+        response_payload = 0
+        for verb, value_bytes in ops:
+            if verb == "GET":
+                request_payload += keylen + 1
+                response_payload += 32 + keylen + value_bytes
+            else:
+                request_payload += 32 + keylen + value_bytes
+                response_payload += 8
+        from repro.network.packets import (
+            RequestWire,
+            segments_for_payload,
+            wire_bytes_for_payload,
+        )
+
+        request_segments = segments_for_payload(request_payload)
+        response_segments = segments_for_payload(response_payload)
+        wire = RequestWire(
+            request_payload=request_payload,
+            response_payload=response_payload,
+            request_segments=request_segments,
+            response_segments=response_segments,
+            ack_packets=max(1, max(request_segments, response_segments) // 2),
+        )
+        net_instructions = cal.tcp.instructions_for(wire)
+        wire_time_s = self.phy.wire_time(
+            wire_bytes_for_payload(request_payload)
+        ) + self.phy.wire_time(wire_bytes_for_payload(response_payload))
+
+        hash_instructions = 0.0
+        mc_instructions = 0.0
+        fixed_stall_s = 0.0
+        value_stall_s = 0.0
+        total_value_bytes = 0
+        for verb, value_bytes in ops:
+            total_value_bytes += value_bytes
+            hash_instructions += cal.hash_instructions(keylen)
+            if verb == "GET":
+                mc_instructions += cal.memcached_get_instructions
+            else:
+                mc_instructions += (
+                    cal.memcached_put_instructions
+                    + cal.memcached_put_per_byte_instructions * value_bytes
+                )
+            fixed, value = self._data_stall(verb, value_bytes, keylen)
+            fixed_stall_s += fixed
+            value_stall_s += value
+
+        return RequestTiming(
+            verb="BATCH",
+            value_bytes=total_value_bytes,
+            hash_s=self.core.compute_time(hash_instructions),
+            memcached_s=self.core.compute_time(mc_instructions) + fixed_stall_s,
+            network_s=(
+                self.core.compute_time(net_instructions)
+                + self._ifetch_stall()
+                + value_stall_s
+                + wire_time_s
+            ),
+        )
+
     def memory_bandwidth(self, verb: str, value_bytes: int) -> float:
         """Memory bytes/second one core moves at this operating point.
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.exp.spec import ExperimentSpec, StackSpec
 from repro.faults.schedule import PRESETS, FaultSchedule
+from repro.kvstore.batching import BatchPolicy
 from repro.sim.run_options import RunOptions
 from repro.workloads.distributions import fixed_size
 from repro.workloads.generator import WorkloadSpec
@@ -34,7 +35,9 @@ class Scenario:
     ``faults`` names a :data:`repro.faults.schedule.PRESETS` entry (or
     None for a fault-free baseline).  ``fill_on_miss`` mirrors the CLI
     behaviour of pre-filling under faults so hit rate measures fault
-    impact, not cold-start misses.
+    impact, not cold-start misses.  ``batch_max``/``batch_linger_s``
+    enable the coalesced request path (``batch_max > 1`` becomes a
+    :class:`~repro.kvstore.batching.BatchPolicy` on the run options).
     """
 
     name: str
@@ -44,6 +47,8 @@ class Scenario:
     resilience: bool = False
     get_fraction: float = 0.9
     key_population: int = 20_000
+    batch_max: int = 1
+    batch_linger_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.faults is not None and self.faults not in PRESETS:
@@ -51,6 +56,13 @@ class Scenario:
                 f"scenario {self.name!r} names unknown fault preset "
                 f"{self.faults!r} (want one of {sorted(PRESETS)})"
             )
+        # Validate the knobs eagerly, even when batching stays off.
+        BatchPolicy(batch_max=self.batch_max, linger_s=self.batch_linger_s)
+
+    def batch_policy(self) -> BatchPolicy | None:
+        if self.batch_max <= 1:
+            return None
+        return BatchPolicy(batch_max=self.batch_max, linger_s=self.batch_linger_s)
 
     def fault_schedule(self) -> FaultSchedule | None:
         return PRESETS[self.faults] if self.faults else None
@@ -81,6 +93,7 @@ class Scenario:
             fill_on_miss=self.fill_on_miss,
             faults=self.fault_schedule(),
             resilience=DEFAULT_RESILIENCE if self.resilience else None,
+            batching=self.batch_policy(),
         )
 
     def to_spec(
@@ -118,6 +131,22 @@ def _build_registry() -> dict[str, Scenario]:
             description="fault-free demo workload (90% GETs, zipf keys)",
         ),
     }
+    scenarios["batched"] = Scenario(
+        name="batched",
+        description="fault-free workload over the coalesced request path "
+        "(batch_max=16, 100us linger)",
+        get_fraction=0.95,
+        batch_max=16,
+        batch_linger_s=100e-6,
+    )
+    scenarios["batched-64"] = Scenario(
+        name="batched-64",
+        description="deep batching for peak-density TPS "
+        "(batch_max=64, 200us linger)",
+        get_fraction=0.95,
+        batch_max=64,
+        batch_linger_s=200e-6,
+    )
     for preset in sorted(PRESETS):
         scenarios[preset] = Scenario(
             name=preset,
@@ -128,7 +157,8 @@ def _build_registry() -> dict[str, Scenario]:
     return scenarios
 
 
-#: Every named scenario: ``baseline`` plus one per fault preset.
+#: Every named scenario: ``baseline``, the two batched presets, plus one
+#: per fault preset.
 SCENARIOS: dict[str, Scenario] = _build_registry()
 
 

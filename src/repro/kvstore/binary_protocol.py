@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from enum import IntEnum
 
 from repro.errors import ProtocolError
+from repro.kvstore.batching import MAX_BATCH_OPS
 from repro.kvstore.store import KVStore, StoreResult
 
 REQUEST_MAGIC = 0x80
@@ -52,6 +53,10 @@ class Opcode(IntEnum):
     TOUCH = 0x1C
     GAT = 0x1D   # get-and-touch
     GATQ = 0x1E  # quiet get-and-touch
+    # Batch extensions (vendor range): one frame, many ops.
+    MULTIGET = 0x40
+    MULTISET = 0x41
+    BATCH = 0x42  # envelope of concatenated inner request frames
 
 
 class Status(IntEnum):
@@ -213,6 +218,120 @@ def simple_request(opcode: Opcode, key: bytes = b"", opaque: int = 0) -> BinaryM
     return BinaryMessage(magic=REQUEST_MAGIC, opcode=opcode, key=key, opaque=opaque)
 
 
+# --- batch frames ---------------------------------------------------------------
+#
+# MULTIGET request value:   u16 count, then per key (u16 keylen, key).
+# MULTIGET response value:  u16 found, then per hit
+#                           (u16 keylen, key, u32 flags, u32 vallen, value).
+# MULTISET request value:   u16 count, then per op
+#                           (u16 keylen, key, u32 flags, u32 expiry,
+#                            u32 vallen, value).
+# MULTISET response value:  u16 count, then u16 status per op, frame order.
+# BATCH request value:      u16 count, then that many concatenated inner
+#                           *request* frames (full 24-byte-header messages).
+# BATCH response value:     u16 responded, then the inner response frames
+#                           (quiet inner ops that miss respond nothing).
+#
+# Oversized counts, truncated bodies, and trailing bytes are rejected with
+# INVALID_ARGUMENTS; control opcodes (QUIT/FLUSH/VERSION) and nested batch
+# frames are forbidden inside a BATCH envelope.
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+
+#: Opcodes that may not ride inside a BATCH envelope: connection/cache
+#: control (not per-key data ops) and the batch frames themselves.
+FORBIDDEN_IN_BATCH = frozenset(
+    {Opcode.QUIT, Opcode.FLUSH, Opcode.VERSION,
+     Opcode.BATCH, Opcode.MULTIGET, Opcode.MULTISET}
+)
+
+
+def multiget_request(keys, opaque: int = 0) -> BinaryMessage:
+    keys = list(keys)
+    if len(keys) > MAX_BATCH_OPS:
+        raise ProtocolError(f"multiget of {len(keys)} keys exceeds {MAX_BATCH_OPS}")
+    value = bytearray(_U16.pack(len(keys)))
+    for key in keys:
+        value += _U16.pack(len(key)) + key
+    return BinaryMessage(
+        magic=REQUEST_MAGIC, opcode=Opcode.MULTIGET, value=bytes(value), opaque=opaque
+    )
+
+
+def multiset_request(ops, opaque: int = 0) -> BinaryMessage:
+    """``ops`` is a sequence of ``(key, value, flags, expiry)`` tuples."""
+    ops = list(ops)
+    if len(ops) > MAX_BATCH_OPS:
+        raise ProtocolError(f"multiset of {len(ops)} ops exceeds {MAX_BATCH_OPS}")
+    value = bytearray(_U16.pack(len(ops)))
+    for key, data, flags, expiry in ops:
+        value += _U16.pack(len(key)) + key
+        value += _U32.pack(flags) + _U32.pack(int(expiry)) + _U32.pack(len(data))
+        value += data
+    return BinaryMessage(
+        magic=REQUEST_MAGIC, opcode=Opcode.MULTISET, value=bytes(value), opaque=opaque
+    )
+
+
+def batch_request(messages, opaque: int = 0) -> BinaryMessage:
+    """Wrap inner request messages in one BATCH envelope frame."""
+    messages = list(messages)
+    if len(messages) > MAX_BATCH_OPS:
+        raise ProtocolError(f"batch of {len(messages)} ops exceeds {MAX_BATCH_OPS}")
+    value = bytearray(_U16.pack(len(messages)))
+    for message in messages:
+        if message.opcode in FORBIDDEN_IN_BATCH:
+            raise ProtocolError(f"{message.opcode.name} cannot ride in a batch")
+        value += encode(message)
+    return BinaryMessage(
+        magic=REQUEST_MAGIC, opcode=Opcode.BATCH, value=bytes(value), opaque=opaque
+    )
+
+
+def decode_multiget_response(message: BinaryMessage) -> dict[bytes, tuple[int, bytes]]:
+    """Client-side: unpack a MULTIGET response into ``{key: (flags, value)}``."""
+    blob = message.value
+    try:
+        (found,) = _U16.unpack_from(blob, 0)
+        offset = 2
+        out: dict[bytes, tuple[int, bytes]] = {}
+        for _ in range(found):
+            (key_length,) = _U16.unpack_from(blob, offset)
+            offset += 2
+            key = blob[offset : offset + key_length]
+            if len(key) != key_length:
+                raise ProtocolError("truncated multiget response key")
+            offset += key_length
+            flags, value_length = struct.unpack_from(">II", blob, offset)
+            offset += 8
+            value = blob[offset : offset + value_length]
+            if len(value) != value_length:
+                raise ProtocolError("truncated multiget response value")
+            offset += value_length
+            out[key] = (flags, value)
+    except struct.error:
+        raise ProtocolError("truncated multiget response") from None
+    if offset != len(blob):
+        raise ProtocolError("trailing bytes in multiget response")
+    return out
+
+
+def decode_multiset_response(message: BinaryMessage) -> list[Status]:
+    """Client-side: unpack a MULTISET response into per-op statuses."""
+    blob = message.value
+    try:
+        (count,) = _U16.unpack_from(blob, 0)
+        statuses = [
+            Status(_U16.unpack_from(blob, 2 + 2 * i)[0]) for i in range(count)
+        ]
+    except (struct.error, ValueError):
+        raise ProtocolError("truncated multiset response") from None
+    if 2 + 2 * count != len(blob):
+        raise ProtocolError("trailing bytes in multiset response")
+    return statuses
+
+
 # --- server execution ----------------------------------------------------------------
 
 
@@ -222,6 +341,8 @@ class BinaryServer:
     def __init__(self, store: KVStore):
         self.store = store
         self.closed = False
+        self.batches = 0
+        self.batched_ops = 0
 
     def handle(self, wire: bytes) -> bytes:
         """Execute every complete request in ``wire``; returns responses."""
@@ -384,6 +505,139 @@ class BinaryServer:
         if result is StoreResult.TOUCHED:
             return self._status(request, Status.NO_ERROR)
         return self._status(request, Status.KEY_NOT_FOUND)
+
+    _RESULT_STATUS = {
+        StoreResult.STORED: Status.NO_ERROR,
+        StoreResult.NOT_STORED: Status.ITEM_NOT_STORED,
+        StoreResult.EXISTS: Status.KEY_EXISTS,
+        StoreResult.NOT_FOUND: Status.KEY_NOT_FOUND,
+        StoreResult.OUT_OF_MEMORY: Status.OUT_OF_MEMORY,
+    }
+
+    def _op_multiget(self, request: BinaryMessage) -> BinaryMessage:
+        """One frame, many keys, one batched read-path resolution."""
+        blob = request.value
+        try:
+            (count,) = _U16.unpack_from(blob, 0)
+        except struct.error:
+            return self._status(request, Status.INVALID_ARGUMENTS)
+        if count > MAX_BATCH_OPS:
+            return self._status(request, Status.INVALID_ARGUMENTS)
+        keys = []
+        offset = 2
+        try:
+            for _ in range(count):
+                (key_length,) = _U16.unpack_from(blob, offset)
+                offset += 2
+                key = blob[offset : offset + key_length]
+                if len(key) != key_length or key_length == 0:
+                    return self._status(request, Status.INVALID_ARGUMENTS)
+                offset += key_length
+                keys.append(key)
+        except struct.error:
+            return self._status(request, Status.INVALID_ARGUMENTS)
+        if offset != len(blob):
+            return self._status(request, Status.INVALID_ARGUMENTS)
+        items = self.store.get_many(keys)
+        found = bytearray()
+        hits = 0
+        for key, item in zip(keys, items):
+            if item is None:
+                continue
+            hits += 1
+            found += _U16.pack(len(key)) + key
+            found += _U32.pack(item.flags) + _U32.pack(len(item.value))
+            found += item.value
+        self.batches += 1
+        self.batched_ops += len(keys)
+        return self._status(
+            request, Status.NO_ERROR, value=_U16.pack(hits) + bytes(found)
+        )
+
+    def _op_multiset(self, request: BinaryMessage) -> BinaryMessage:
+        """One frame, many stores, per-op statuses in frame order."""
+        blob = request.value
+        try:
+            (count,) = _U16.unpack_from(blob, 0)
+        except struct.error:
+            return self._status(request, Status.INVALID_ARGUMENTS)
+        if count > MAX_BATCH_OPS:
+            return self._status(request, Status.INVALID_ARGUMENTS)
+        ops = []
+        offset = 2
+        try:
+            for _ in range(count):
+                (key_length,) = _U16.unpack_from(blob, offset)
+                offset += 2
+                key = blob[offset : offset + key_length]
+                if len(key) != key_length or key_length == 0:
+                    return self._status(request, Status.INVALID_ARGUMENTS)
+                offset += key_length
+                flags, expiry, value_length = struct.unpack_from(">III", blob, offset)
+                offset += 12
+                value = blob[offset : offset + value_length]
+                if len(value) != value_length:
+                    return self._status(request, Status.INVALID_ARGUMENTS)
+                offset += value_length
+                ops.append((key, value, flags, expiry))
+        except struct.error:
+            return self._status(request, Status.INVALID_ARGUMENTS)
+        if offset != len(blob):
+            return self._status(request, Status.INVALID_ARGUMENTS)
+        # Frame fully validated before any store mutates: a malformed
+        # multiset never half-applies.
+        statuses = bytearray()
+        for key, value, flags, expiry in ops:
+            result = self.store.set(key, value, flags, float(expiry))
+            statuses += _U16.pack(
+                int(self._RESULT_STATUS.get(result, Status.ITEM_NOT_STORED))
+            )
+        self.batches += 1
+        self.batched_ops += len(ops)
+        return self._status(
+            request, Status.NO_ERROR, value=_U16.pack(len(ops)) + bytes(statuses)
+        )
+
+    def _op_batch(self, request: BinaryMessage) -> BinaryMessage:
+        """A BATCH envelope: decode and validate every inner frame, then
+        execute them in order.  Any structural defect — truncated body,
+        oversized count, trailing bytes, forbidden or nested opcode —
+        rejects the whole envelope before a single op runs."""
+        blob = request.value
+        try:
+            (count,) = _U16.unpack_from(blob, 0)
+        except struct.error:
+            return self._status(request, Status.INVALID_ARGUMENTS)
+        if count > MAX_BATCH_OPS:
+            return self._status(request, Status.INVALID_ARGUMENTS)
+        rest = blob[2:]
+        inner_requests = []
+        for _ in range(count):
+            if needs_more_bytes(rest):
+                return self._status(request, Status.INVALID_ARGUMENTS)
+            try:
+                inner, rest = decode(rest)
+            except ProtocolError:
+                return self._status(request, Status.INVALID_ARGUMENTS)
+            if not inner.is_request or inner.opcode in FORBIDDEN_IN_BATCH:
+                return self._status(request, Status.INVALID_ARGUMENTS)
+            inner_requests.append(inner)
+        if rest:
+            return self._status(request, Status.INVALID_ARGUMENTS)
+        responses = bytearray()
+        responded = 0
+        for inner in inner_requests:
+            response = self.execute(inner)
+            if response is not None:  # quiet inner misses stay silent
+                responses += encode(response)
+                responded += 1
+        self.batches += 1
+        self.batched_ops += len(inner_requests)
+        return self._status(
+            request,
+            Status.NO_ERROR,
+            value=_U16.pack(responded) + bytes(responses),
+        )
 
     def _op_noop(self, request: BinaryMessage) -> BinaryMessage:
         return self._status(request, Status.NO_ERROR)

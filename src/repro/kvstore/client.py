@@ -24,11 +24,23 @@ import struct
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, NodeUnavailableError, ProtocolError
+from repro.kvstore.batching import (
+    MAX_BATCH_OPS,
+    Batch,
+    BatchBuffer,
+    BatchFuture,
+    BatchOp,
+    BatchPolicy,
+    FLUSH_BARRIER,
+    FLUSH_LINGER,
+    FLUSH_REASONS,
+)
 from repro.kvstore.binary_protocol import (
     BinaryServer,
     Opcode,
     Status,
     arith_request,
+    batch_request,
     decode,
     encode,
     get_request,
@@ -37,7 +49,12 @@ from repro.kvstore.binary_protocol import (
 )
 from repro.faults.resilience import DEFAULT_RESILIENCE, ResiliencePolicy
 from repro.kvstore.consistent_hash import ConsistentHashRing
-from repro.kvstore.protocol import Command, parse_response, render_command
+from repro.kvstore.protocol import (
+    Command,
+    parse_one_response,
+    parse_response,
+    render_command,
+)
 from repro.kvstore.server_loop import Connection, MemcachedServer
 from repro.kvstore.store import KVStore
 from repro.replication.config import QuorumConfig
@@ -308,6 +325,48 @@ def _clean_network() -> FaultyNetwork:
     return FaultyNetwork(seed=0)
 
 
+class _FanoutFuture(BatchFuture):
+    """One client-visible future over a replica fan-out.
+
+    Each replica's buffered copy reports in through a
+    :class:`_BranchFuture`; once every branch has resolved, this future
+    resolves to whether the ack count met the quorum requirement.
+    """
+
+    __slots__ = ("required", "pending", "acks", "client")
+
+    def __init__(self, total: int, required: int, client=None):
+        super().__init__()
+        self.pending = total
+        self.required = required
+        self.acks = 0
+        self.client = client
+
+    def _report(self, ok: bool) -> None:
+        if ok:
+            self.acks += 1
+            if self.client is not None:
+                self.client.replica_writes += 1
+                self.client._replica_writes_total.inc()
+        self.pending -= 1
+        if self.pending == 0:
+            self.resolve(self.acks >= self.required)
+
+
+class _BranchFuture(BatchFuture):
+    """A per-replica future that feeds its parent :class:`_FanoutFuture`."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self, parent: _FanoutFuture):
+        super().__init__()
+        self.parent = parent
+
+    def resolve(self, value) -> None:
+        super().resolve(value)
+        self.parent._report(bool(value))
+
+
 class ResilientClient(MemcachedClient):
     """A :class:`MemcachedClient` that survives the faults it is dealt.
 
@@ -346,6 +405,7 @@ class ResilientClient(MemcachedClient):
         seed: int = 0,
         quorum: QuorumConfig | None = None,
         telemetry: TelemetrySession = NULL_TELEMETRY,
+        batching: BatchPolicy | None = None,
     ):
         super().__init__(node_names, memory_per_node_bytes, protocol, vnodes)
         if quorum is not None and quorum.n > len(node_names):
@@ -386,6 +446,27 @@ class ResilientClient(MemcachedClient):
         self._giveups_total = registry.counter("client_giveups_total")
         self._replica_writes_total = registry.counter("client_replica_writes_total")
         self._degraded_gauge = registry.gauge("client_degraded_nodes")
+        # Batching state: per-node accumulation buffers behind the
+        # submit_get/submit_set/submit_delete + barrier() pipeline API.
+        # batch_max=1 (the default) makes every submit flush immediately,
+        # i.e. serial behaviour over the same code path.
+        self.batching = batching if batching is not None else BatchPolicy()
+        self._batch_buffers: dict[str, BatchBuffer] = {}
+        self.batches = 0
+        self.batched_ops = 0
+        self.deduped_gets = 0
+        self.batch_flush_reasons = {reason: 0 for reason in FLUSH_REASONS}
+        self._batch_flushes_total = {
+            reason: registry.counter(
+                "client_batch_flushes_total", {"reason": reason}
+            )
+            for reason in FLUSH_REASONS
+        }
+        self._batched_ops_total = registry.counter("client_batched_ops_total")
+        self._batch_dedup_total = registry.counter("client_batch_dedup_total")
+        self._batch_size_hist = registry.histogram(
+            "client_batch_size", min_value=1.0, max_value=float(MAX_BATCH_OPS)
+        )
 
     # --- fault-aware transport ---------------------------------------------------
 
@@ -683,3 +764,288 @@ class ResilientClient(MemcachedClient):
                     self._ascii[name].feed(b"flush_all\r\n")
             except NodeUnavailableError:
                 continue
+
+    # --- batched/pipelined request path ------------------------------------------------
+    #
+    # The submit API buffers operations per owning node and flushes a
+    # whole buffer as ONE wire exchange — on reaching batch_max ("size"),
+    # on the linger deadline ("linger"), or at an explicit barrier().
+    # Futures resolve at flush time with exactly the values the serial
+    # get()/set()/delete() calls would have returned, in submission
+    # order; if the flush exchange itself times out, every buffered op
+    # falls back through the serial resilient path (retries, failover
+    # and all), so no op is ever dropped.
+
+    def submit_get(self, key: bytes) -> BatchFuture:
+        """Buffer a GET; the future resolves to GetResult-or-None."""
+        self._flush_expired()
+        op = BatchOp(verb="get", key=key)
+        self._append_op(self.node_for(key), op)
+        return op.future
+
+    def submit_set(
+        self, key: bytes, value: bytes, flags: int = 0, expire: float = 0.0
+    ) -> BatchFuture:
+        """Buffer a SET; the future resolves to the stored bool.
+
+        Replica-aware (``n > 1``) clients buffer one copy per replica —
+        each in that replica's own batch — and the returned future
+        resolves once all copies have, to whether ``w`` acked.
+        """
+        self._flush_expired()
+        if self.quorum is None or self.quorum.n == 1:
+            op = BatchOp(verb="set", key=key, value=value, flags=flags, expire=expire)
+            self._append_op(self.node_for(key), op)
+            return op.future
+        replicas = self.placement.replicas_for(key)
+        fanout = _FanoutFuture(
+            len(replicas), min(self.quorum.w, len(replicas)), client=self
+        )
+        for node in replicas:
+            op = BatchOp(
+                verb="set", key=key, value=value, flags=flags, expire=expire,
+                futures=[_BranchFuture(fanout)],
+            )
+            self._append_op(node, op)
+        return fanout
+
+    def submit_delete(self, key: bytes) -> BatchFuture:
+        """Buffer a DELETE; the future resolves to the deleted bool."""
+        self._flush_expired()
+        if self.quorum is None or self.quorum.n == 1:
+            op = BatchOp(verb="delete", key=key)
+            self._append_op(self.node_for(key), op)
+            return op.future
+        replicas = self.placement.replicas_for(key)
+        # Serial semantics: deleted if ANY replica had it.
+        fanout = _FanoutFuture(len(replicas), 1)
+        for node in replicas:
+            op = BatchOp(verb="delete", key=key, futures=[_BranchFuture(fanout)])
+            self._append_op(node, op)
+        return fanout
+
+    def barrier(self) -> None:
+        """Flush every pending buffer now (explicit pipeline barrier)."""
+        self._flush_expired()
+        for node in sorted(self._batch_buffers):
+            batch = self._batch_buffers[node].take(FLUSH_BARRIER, self.clock_s)
+            if batch is not None:
+                self._deliver(node, batch)
+
+    def advance_clock(self, delta: float) -> None:
+        """Advance the client's modelled clock, firing due linger flushes."""
+        if delta < 0:
+            raise ConfigurationError("time cannot go backwards")
+        self.clock_s += delta
+        self._flush_expired()
+
+    def pending_ops(self) -> int:
+        """Ops buffered and not yet flushed (tests, invariant checks)."""
+        return sum(len(buffer) for buffer in self._batch_buffers.values())
+
+    def _append_op(self, node: str, op: BatchOp) -> None:
+        buffer = self._batch_buffers.get(node)
+        if buffer is None:
+            buffer = self._batch_buffers[node] = BatchBuffer(self.batching)
+        before = len(buffer)
+        batch = buffer.append(op, self.clock_s)
+        if batch is None and len(buffer) == before and op.verb == "get":
+            self.deduped_gets += 1
+            self._batch_dedup_total.inc()
+        if batch is not None:
+            self._deliver(node, batch)
+
+    def _flush_expired(self) -> None:
+        for node in sorted(self._batch_buffers):
+            buffer = self._batch_buffers[node]
+            if buffer.expired(self.clock_s):
+                batch = buffer.take(FLUSH_LINGER, self.clock_s)
+                if batch is not None:
+                    self._deliver(node, batch)
+
+    def _deliver(self, node: str, batch: Batch) -> None:
+        """Ship one flushed batch as a single wire exchange."""
+        self.batches += 1
+        self.batched_ops += len(batch)
+        self.batch_flush_reasons[batch.reason] += 1
+        self._batch_flushes_total[batch.reason].inc()
+        self._batched_ops_total.inc(len(batch))
+        self._batch_size_hist.record(float(len(batch)))
+        try:
+            self._exchange(node)
+        except NodeUnavailableError:
+            self._fallback_serial(node, batch)
+            return
+        if self.protocol == "binary":
+            self._deliver_binary(node, batch)
+        else:
+            self._deliver_ascii(node, batch)
+
+    def _deliver_ascii(self, node: str, batch: Batch) -> None:
+        """Coalesce the batch into one ASCII blob and walk the replies.
+
+        Consecutive GETs become one multi-key ``gets``; consecutive SETs
+        become one ``mset`` frame; deletes stay one command each.  The
+        whole blob is fed in a single call — one syscall-equivalent on
+        the server — and responses are peeled sequentially, so each
+        future resolves from exactly the bytes its serial call would
+        have produced.
+        """
+        runs: list[tuple[str, list[BatchOp]]] = []
+        for op in batch.ops:
+            if runs and runs[-1][0] == op.verb and op.verb in ("get", "set"):
+                runs[-1][1].append(op)
+            else:
+                runs.append((op.verb, [op]))
+        blob = bytearray()
+        for verb, ops in runs:
+            if verb == "get":
+                blob += render_command(
+                    Command(verb="gets", keys=tuple(op.key for op in ops))
+                )
+            elif verb == "set":
+                blob += render_command(
+                    Command(
+                        verb="mset",
+                        subcommands=tuple(
+                            Command(
+                                verb="set", keys=(op.key,), data=op.value,
+                                flags=op.flags, exptime=op.expire,
+                            )
+                            for op in ops
+                        ),
+                    )
+                )
+            else:
+                for op in ops:
+                    blob += render_command(Command(verb="delete", keys=(op.key,)))
+        rest = self._ascii[node].feed(bytes(blob))
+        for verb, ops in runs:
+            if verb == "get":
+                response, rest = parse_one_response(rest)
+                if response.status != "END":
+                    raise ProtocolError(
+                        f"batched get ended with {response.status!r}"
+                    )
+                values = response.values
+                index = 0
+                for op in ops:
+                    if index < len(values) and values[index][0] == op.key:
+                        _key, flags, value, cas = values[index]
+                        index += 1
+                        op.resolve(GetResult(value=value, flags=flags, cas=cas))
+                    else:
+                        op.resolve(None)
+                if index != len(values):
+                    raise ProtocolError("unmatched VALUE blocks in batched get")
+            else:
+                for op in ops:
+                    response, rest = parse_one_response(rest)
+                    if verb == "set":
+                        op.resolve(response.status == "STORED")
+                    else:
+                        op.resolve(response.status == "DELETED")
+        if rest:
+            raise ProtocolError("trailing bytes after batched responses")
+
+    def _deliver_binary(self, node: str, batch: Batch) -> None:
+        """Ship the batch as one BATCH envelope; match replies by opaque."""
+        inner = []
+        for index, op in enumerate(batch.ops):
+            if op.verb == "get":
+                inner.append(get_request(op.key, opaque=index))
+            elif op.verb == "set":
+                inner.append(
+                    set_request(op.key, op.value, op.flags, int(op.expire),
+                                opaque=index)
+                )
+            else:
+                inner.append(simple_request(Opcode.DELETE, op.key, opaque=index))
+        wire = self._binary[node].handle(encode(batch_request(inner)))
+        envelope, rest = decode(wire)
+        if rest:
+            raise ProtocolError("unexpected trailing response bytes")
+        if Status(envelope.status) is not Status.NO_ERROR:
+            raise ProtocolError(
+                f"batch envelope failed: {Status(envelope.status).name}"
+            )
+        blob = envelope.value
+        (responded,) = struct.unpack_from(">H", blob, 0)
+        remainder = blob[2:]
+        by_opaque: dict[int, object] = {}
+        for _ in range(responded):
+            inner_response, remainder = decode(remainder)
+            by_opaque[inner_response.opaque] = inner_response
+        if remainder:
+            raise ProtocolError("trailing bytes in batch envelope response")
+        for index, op in enumerate(batch.ops):
+            response = by_opaque.get(index)
+            if response is None:
+                raise ProtocolError(f"batched op {index} got no response")
+            status = Status(response.status)
+            if op.verb == "get":
+                if status is Status.KEY_NOT_FOUND:
+                    op.resolve(None)
+                elif status is Status.NO_ERROR:
+                    # flags=0 matches the serial binary GET path, which
+                    # does not decode the flags extras either.
+                    op.resolve(
+                        GetResult(value=response.value, flags=0, cas=response.cas)
+                    )
+                else:
+                    raise ProtocolError(f"batched GET failed: {status.name}")
+            elif op.verb == "set":
+                op.resolve(status is Status.NO_ERROR)
+            else:
+                op.resolve(status is Status.NO_ERROR)
+
+    def _fallback_serial(self, node: str, batch: Batch) -> None:
+        """The flush exchange never answered: run every buffered op
+        through the serial resilient path, in submission order.
+
+        Replica-addressed ops (quorum fan-out branches) stay addressed
+        to their replica; primary-routed ops re-resolve the ring, so a
+        failover triggered by the dead flush lands them on survivors —
+        exactly what their serial counterparts would do.
+        """
+        replicated = self.quorum is not None and self.quorum.n > 1
+        for op in batch.ops:
+            if op.verb == "get":
+                op.resolve(
+                    self._resilient(
+                        lambda op=op: self._get_from(self.node_for(op.key), op.key),
+                        None,
+                    )
+                )
+            elif op.verb == "set":
+                if replicated:
+                    op.resolve(
+                        self._resilient(
+                            lambda op=op: self._set_on(
+                                node, op.key, op.value, op.flags, op.expire
+                            ),
+                            False,
+                        )
+                    )
+                else:
+                    op.resolve(
+                        self._resilient(
+                            lambda op=op: MemcachedClient.set(
+                                self, op.key, op.value, op.flags, op.expire
+                            ),
+                            False,
+                        )
+                    )
+            else:
+                if replicated:
+                    op.resolve(
+                        self._resilient(
+                            lambda op=op: self._delete_on(node, op.key), False
+                        )
+                    )
+                else:
+                    op.resolve(
+                        self._resilient(
+                            lambda op=op: MemcachedClient.delete(self, op.key), False
+                        )
+                    )

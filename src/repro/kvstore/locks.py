@@ -77,6 +77,8 @@ class StripedLocks:
         self.acquisitions = [0] * stripes
         self._held = [False] * stripes
         self.contended = 0
+        self.batch_acquisitions = 0
+        self.batch_ops = 0
 
     def stripe_for(self, key_hash: int) -> int:
         return key_hash % self.stripes
@@ -91,6 +93,31 @@ class StripedLocks:
         self._held[stripe] = True
         self.acquisitions[stripe] += 1
         return stripe
+
+    def acquire_many(self, key_hashes) -> tuple[int, ...]:
+        """Acquire the distinct stripes covering a batch of key hashes.
+
+        Stripes are taken in ascending index order — the canonical
+        deadlock-avoidance ordering for multi-lock acquisition — and each
+        distinct stripe is acquired once no matter how many batch keys
+        hash to it, which is the whole point: a 64-op batch on a 16-stripe
+        bank pays at most 16 acquisitions instead of 64.  Returns the
+        acquired stripe indices (pass them to :meth:`release_many`).
+        """
+        stripes = sorted({self.stripe_for(h) for h in key_hashes})
+        for stripe in stripes:
+            if self._held[stripe]:
+                self.contended += 1
+            self._held[stripe] = True
+            self.acquisitions[stripe] += 1
+        self.batch_acquisitions += 1
+        self.batch_ops += len(key_hashes)
+        return tuple(stripes)
+
+    def release_many(self, stripes) -> None:
+        """Release stripes acquired by :meth:`acquire_many` (reverse order)."""
+        for stripe in reversed(stripes):
+            self.release(stripe)
 
     def release(self, stripe: int) -> None:
         if not 0 <= stripe < self.stripes:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ProtocolError
+from repro.kvstore.batching import MAX_BATCH_OPS
 
 _CRLF = b"\r\n"
 
@@ -20,6 +21,10 @@ RETRIEVAL_VERBS = frozenset({"get", "gets"})
 SIMPLE_VERBS = frozenset(
     {"delete", "incr", "decr", "touch", "flush_all", "version", "stats", "quit"}
 )
+#: Batch frames.  ``get``/``gets`` already carry multiple keys (the ASCII
+#: multiget); ``mset`` is the storage-side counterpart: a count header
+#: followed by that many ``<key> <flags> <exptime> <bytes>`` sub-blocks.
+BATCH_VERBS = frozenset({"mset"})
 
 
 @dataclass(frozen=True)
@@ -34,6 +39,9 @@ class Command:
     cas: int = 0
     delta: int = 0
     noreply: bool = False
+    # Batch frames (mset) carry their per-op payloads here; each
+    # subcommand is a plain storage Command executed in frame order.
+    subcommands: tuple["Command", ...] = ()
 
     @property
     def key(self) -> bytes:
@@ -130,7 +138,51 @@ def parse_command(blob: bytes) -> tuple[Command, bytes]:
         return Command(verb=verb, delta=level, noreply=noreply), rest
     if verb in ("flush_all", "version", "quit"):
         return Command(verb=verb), rest
+    if verb == "mset":
+        return _parse_mset(parts, rest)
     raise ProtocolError(f"unknown verb {verb!r}")
+
+
+def _parse_mset(parts: list[bytes], rest: bytes) -> tuple[Command, bytes]:
+    """``mset <n>`` followed by n ``<key> <flags> <exptime> <bytes>`` blocks.
+
+    Each sub-block carries a data payload exactly like ``set``; the
+    response is n bare status lines in frame order (no END trailer), so
+    a batched client sees byte-identical per-op outcomes to n serial
+    sets.  A zero-op frame is valid and produces an empty response.
+    """
+    _require(len(parts) == 2, "mset <count>")
+    count = _parse_int(parts[1], "mset count")
+    _require(0 <= count <= MAX_BATCH_OPS, f"mset count out of range: {count}")
+    subcommands = []
+    for _ in range(count):
+        end = rest.find(_CRLF)
+        _require(end >= 0, "incomplete data block")
+        sub_parts = rest[:end].split()
+        _require(len(sub_parts) == 4, "mset sub-block: <key> <flags> <exptime> <bytes>")
+        key = _check_key(sub_parts[0])
+        flags = _parse_int(sub_parts[1], "flags")
+        exptime = _parse_int(sub_parts[2], "exptime")
+        length = _parse_int(sub_parts[3], "bytes")
+        _require(length >= 0, "negative data length")
+        body_start = end + 2
+        _require(len(rest) >= body_start + length + 2, "incomplete data block")
+        data = rest[body_start : body_start + length]
+        _require(
+            rest[body_start + length : body_start + length + 2] == _CRLF,
+            "data block not CRLF-terminated",
+        )
+        rest = rest[body_start + length + 2 :]
+        subcommands.append(
+            Command(
+                verb="set",
+                keys=(key,),
+                flags=flags,
+                exptime=float(exptime),
+                data=data,
+            )
+        )
+    return Command(verb="mset", subcommands=tuple(subcommands)), rest
 
 
 def _parse_storage(verb: str, parts: list[bytes], rest: bytes) -> tuple[Command, bytes]:
@@ -184,6 +236,17 @@ def render_command(command: Command) -> bytes:
         return line + _CRLF + command.data + _CRLF
     if verb in RETRIEVAL_VERBS:
         return verb.encode() + b" " + b" ".join(command.keys) + _CRLF
+    if verb == "mset":
+        out = bytearray(b"mset %d" % len(command.subcommands) + _CRLF)
+        for sub in command.subcommands:
+            out += b"%s %d %d %d" % (
+                sub.key,
+                sub.flags,
+                int(sub.exptime),
+                len(sub.data),
+            )
+            out += _CRLF + sub.data + _CRLF
+        return bytes(out)
     if verb == "delete":
         line = b"delete " + command.key
     elif verb in ("incr", "decr"):
@@ -242,3 +305,41 @@ def parse_response(blob: bytes) -> Response:
         raise ProtocolError("no status line in response")
     status = rest[:end].decode("ascii", "replace") if end >= 0 else ""
     return Response(status=status, values=tuple(values))
+
+
+def parse_one_response(blob: bytes) -> tuple[Response, bytes]:
+    """Parse one response off the front of a coalesced response stream.
+
+    A batched exchange returns many responses back to back — VALUE
+    blocks terminated by ``END`` for retrievals, one bare status line
+    per mutation.  This peels exactly one (zero or more VALUE blocks
+    plus a single status line) and returns ``(response, remainder)`` so
+    a flushing client can walk the stream op by op.
+
+    Raises:
+        ProtocolError: on malformed or truncated responses.
+    """
+    values: list[tuple[bytes, int, bytes, int | None]] = []
+    rest = blob
+    while rest.startswith(b"VALUE "):
+        end = rest.find(_CRLF)
+        _require(end >= 0, "unterminated VALUE line")
+        parts = rest[:end].split()
+        _require(len(parts) in (4, 5), "bad VALUE line")
+        key = parts[1]
+        flags = _parse_int(parts[2], "flags")
+        length = _parse_int(parts[3], "bytes")
+        cas = _parse_int(parts[4], "cas id") if len(parts) == 5 else None
+        body_start = end + 2
+        _require(len(rest) >= body_start + length + 2, "truncated VALUE data")
+        data = rest[body_start : body_start + length]
+        _require(
+            rest[body_start + length : body_start + length + 2] == _CRLF,
+            "VALUE data not CRLF-terminated",
+        )
+        values.append((key, flags, data, cas))
+        rest = rest[body_start + length + 2 :]
+    end = rest.find(_CRLF)
+    _require(end >= 0, "no status line in response")
+    status = rest[:end].decode("ascii", "replace")
+    return Response(status=status, values=tuple(values)), rest[end + 2 :]

@@ -13,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ProtocolError
+from repro.kvstore.batching import MAX_BATCH_OPS
+from repro.kvstore.hashing import hash_key
+from repro.kvstore.locks import StripedLocks
 from repro.kvstore.protocol import Command, Response, parse_command, render_response
 from repro.kvstore.store import KVStore, StoreResult
 from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
@@ -27,12 +30,24 @@ class ConnectionStats:
     bytes_in: int = 0
     bytes_out: int = 0
     protocol_errors: int = 0
+    # Batch-path accounting: one ``feed`` is one syscall-equivalent (a
+    # recv that may carry a whole coalesced batch), one successful frame
+    # parse is one protocol parse — so a multiget/mset of n ops costs one
+    # syscall + one parse where n serial ops cost n of each.
+    syscalls: int = 0
+    parses: int = 0
+    batches: int = 0
+    batched_ops: int = 0
 
     def reset(self) -> None:
         self.commands = 0
         self.bytes_in = 0
         self.bytes_out = 0
         self.protocol_errors = 0
+        self.syscalls = 0
+        self.parses = 0
+        self.batches = 0
+        self.batched_ops = 0
 
 
 class Connection:
@@ -50,6 +65,8 @@ class Connection:
         self._protocol_errors_total = registry.counter(
             "memcached_protocol_errors_total"
         )
+        self._batches_total = registry.counter("memcached_batches_total")
+        self._batched_ops_total = registry.counter("memcached_batched_ops_total")
 
     def feed(self, data: bytes, trace=None) -> bytes:
         """Accept incoming bytes; returns response bytes (possibly empty).
@@ -66,6 +83,7 @@ class Connection:
         """
         if self.closed:
             raise ProtocolError("connection is closed")
+        self.stats.syscalls += 1
         self.stats.bytes_in += len(data)
         self._bytes_in_total.inc(len(data))
         self._buffer += data
@@ -78,6 +96,7 @@ class Connection:
                     out += self._discard_bad_line()
                     continue
                 break  # wait for more bytes
+            self.stats.parses += 1
             self._buffer = rest
             out += self._execute(command)
             if trace is not None:
@@ -118,6 +137,44 @@ class Connection:
             except ValueError:
                 return True
             return len(self._buffer) >= end + 2 + length + 2
+        if verb == b"mset":
+            return self._complete_mset_buffered(end, parts)
+        return True
+
+    def _complete_mset_buffered(self, end: int, parts: list[bytes]) -> bool:
+        """Whether a (possibly malformed) mset frame is fully buffered.
+
+        Structurally hopeless headers (bad/oversized count, garbage
+        sub-block line) are "complete" — parse_command will never accept
+        them no matter how many bytes arrive, so the header line should
+        be discarded now.  A well-formed prefix that is merely short on
+        sub-block bytes is incomplete: keep waiting.
+        """
+        if len(parts) != 2:
+            return True
+        try:
+            count = int(parts[1])
+        except ValueError:
+            return True
+        if not 0 <= count <= MAX_BATCH_OPS:
+            return True
+        offset = end + 2
+        for _ in range(count):
+            line_end = self._buffer.find(b"\r\n", offset)
+            if line_end < 0:
+                return False
+            sub_parts = self._buffer[offset:line_end].split()
+            if len(sub_parts) != 4:
+                return True
+            try:
+                length = int(sub_parts[3])
+            except ValueError:
+                return True
+            if length < 0:
+                return True
+            offset = line_end + 2 + length + 2
+            if len(self._buffer) < offset:
+                return False
         return True
 
     def _discard_bad_line(self) -> bytes:
@@ -133,6 +190,8 @@ class Connection:
         store = self.server.store
         verb = command.verb
         if verb in ("get", "gets"):
+            if len(command.keys) > 1:
+                return self._execute_multiget(verb, command.keys)
             values = []
             for key in command.keys:
                 item = store.get(key)
@@ -140,6 +199,8 @@ class Connection:
                     cas = item.cas if verb == "gets" else None
                     values.append((key, item.flags, item.value, cas))
             return render_response(Response(status="END", values=tuple(values)))
+        if verb == "mset":
+            return self._execute_mset(command)
         if verb == "quit":
             self.closed = True
             return b""
@@ -177,6 +238,49 @@ class Connection:
         if command.noreply:
             return b""
         return result.value.encode() + b"\r\n"
+
+    def _execute_multiget(self, verb: str, keys: tuple[bytes, ...]) -> bytes:
+        """Resolve a multi-key GET as one batch under per-stripe locks.
+
+        The whole batch acquires its (distinct, sorted) stripes once,
+        resolves every key through the store's batched read path, and
+        releases — instead of n global-lock round trips.  Results and
+        store-visible side effects match n serial gets exactly.
+        """
+        store = self.server.store
+        algorithm = store.table.hash_algorithm
+        hashes = [hash_key(key, algorithm) for key in keys]
+        stripes = self.server.read_locks.acquire_many(hashes)
+        try:
+            items = store.get_many(keys)
+        finally:
+            self.server.read_locks.release_many(stripes)
+        values = []
+        for key, item in zip(keys, items):
+            if item is not None:
+                cas = item.cas if verb == "gets" else None
+                values.append((key, item.flags, item.value, cas))
+        self._count_batch(len(keys))
+        return render_response(Response(status="END", values=tuple(values)))
+
+    def _execute_mset(self, command: Command) -> bytes:
+        """Apply an mset frame's sub-stores in frame order.
+
+        One parsed frame, n mutations, n status lines — byte-identical
+        per-op outcomes to n serial sets, minus n-1 parses and syscalls.
+        """
+        out = bytearray()
+        for sub in command.subcommands:
+            result = self._apply_mutation(sub)
+            out += result.value.encode() + b"\r\n"
+        self._count_batch(len(command.subcommands))
+        return bytes(out)
+
+    def _count_batch(self, ops: int) -> None:
+        self.stats.batches += 1
+        self.stats.batched_ops += ops
+        self._batches_total.inc()
+        self._batched_ops_total.inc(ops)
 
     def _apply_mutation(self, command: Command) -> StoreResult:
         store = self.server.store
@@ -223,6 +327,12 @@ class Connection:
             "conn_bytes_in": connections.bytes_in,
             "conn_bytes_out": connections.bytes_out,
             "protocol_errors": connections.protocol_errors,
+            "conn_syscalls": connections.syscalls,
+            "conn_parses": connections.parses,
+            "batches": connections.batches,
+            "batched_ops": connections.batched_ops,
+            "read_lock_batches": server.read_locks.batch_acquisitions,
+            "read_lock_contended": server.read_locks.contended,
         }
         if server.queue is not None:
             rows["queue_depth"] = server.queue.queue_depth
@@ -270,12 +380,17 @@ class MemcachedServer:
     queueing alongside cache state.
     """
 
+    #: Stripe count for the shared read-lock bank (memcached 1.6 ships
+    #: hash-power-dependent striping; 16 is plenty for the modelled cores).
+    READ_LOCK_STRIPES = 16
+
     def __init__(self, store: KVStore, registry: MetricsRegistry = NULL_REGISTRY):
         self.store = store
         self.registry = registry
         self.verbosity = 0
         self.total_connections = 0
         self.queue = None  # optional FifoResource, set via attach_queue()
+        self.read_locks = StripedLocks(self.READ_LOCK_STRIPES)
         self._connections: list[Connection] = []
 
     def connect(self) -> Connection:
@@ -297,6 +412,10 @@ class MemcachedServer:
             total.bytes_in += connection.stats.bytes_in
             total.bytes_out += connection.stats.bytes_out
             total.protocol_errors += connection.stats.protocol_errors
+            total.syscalls += connection.stats.syscalls
+            total.parses += connection.stats.parses
+            total.batches += connection.stats.batches
+            total.batched_ops += connection.stats.batched_ops
         return total
 
     def reset_stats(self) -> None:

@@ -256,6 +256,40 @@ class KVStore:
         self._lru_for(class_id).touch(key)
         return item
 
+    def get_many(self, keys) -> list[Item | None]:
+        """Batched GET: one table-migration step, then per-key resolution.
+
+        Stats, lazy reaping, and LRU recency are charged per key exactly
+        as :meth:`get` would — a batch of N gets leaves the store in the
+        same visible state (contents *and* counters) as N serial gets,
+        which the differential batching suite relies on.  Duplicate keys
+        in one batch behave serially too: if the first occurrence reaps
+        an expired item, later occurrences miss without double-reaping.
+        """
+        found = self.table.find_many(keys)
+        reaped: set[bytes] = set()
+        results: list[Item | None] = []
+        for key, item in zip(keys, found):
+            self.stats.cmd_get += 1
+            if key in reaped:
+                item = None
+            elif item is not None and self._is_dead(item):
+                self._unlink(item)
+                self.stats.expired_unfetched += 1
+                reaped.add(key)
+                item = None
+            if item is None:
+                self.stats.get_misses += 1
+                results.append(None)
+                continue
+            self.stats.get_hits += 1
+            self.stats.bytes_read += len(item.value)
+            item.last_access = self.now
+            class_id = self.slabs.class_for(item.total_bytes).class_id
+            self._lru_for(class_id).touch(key)
+            results.append(item)
+        return results
+
     def gets(self, key: bytes) -> Item | None:
         """GET variant that callers use to obtain the CAS id."""
         return self.get(key)

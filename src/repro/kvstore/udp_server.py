@@ -128,6 +128,7 @@ class UdpMemcachedServer:
             else datagram_payload() + FRAME_HEADER_BYTES
         )
         self.requests_served = 0
+        self.multigets_served = 0
 
     def handle_datagram(self, datagram: bytes) -> list[bytes]:
         """Process one request datagram; returns response datagrams.
@@ -145,4 +146,24 @@ class UdpMemcachedServer:
         if connection.pending_bytes:
             raise ProtocolError("UDP request datagram held an incomplete command")
         self.requests_served += 1
+        if connection.stats.batches:
+            self.multigets_served += connection.stats.batches
         return split_response(frame.request_id, response, self.max_datagram)
+
+
+def multiget_request(request_id: int, keys, gets: bool = False) -> bytes:
+    """Client-side: build a single-datagram UDP multiget.
+
+    Memcached's ASCII multiget (``get k1 k2 ...``) rides UDP unchanged —
+    the whole batch must fit one datagram, which a keys-only request
+    always does for sane batch sizes; the (potentially large) response
+    comes back split across datagrams and reassembles as usual.
+    """
+    keys = list(keys)
+    if not keys:
+        raise ProtocolError("multiget needs at least one key")
+    verb = b"gets" if gets else b"get"
+    payload = verb + b" " + b" ".join(keys) + b"\r\n"
+    return encode_frame(
+        UdpFrame(request_id=request_id, sequence=0, total=1, payload=payload)
+    )

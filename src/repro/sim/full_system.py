@@ -26,6 +26,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.faults.injector import FaultInjector
 from repro.faults.resilience import ResiliencePolicy
 from repro.faults.schedule import FaultSchedule
+from repro.kvstore.batching import FLUSH_LINGER, FLUSH_SIZE, MAX_BATCH_OPS
 from repro.kvstore.consistent_hash import ConsistentHashRing
 from repro.kvstore.server_loop import MemcachedServer
 from repro.kvstore.store import KVStore
@@ -107,6 +108,10 @@ class FullSystemResults:
     hints_replayed: int = 0
     antientropy_sweeps: int = 0
     antientropy_repairs: int = 0
+    # Batched-path outcomes (all zero when batching is off).
+    batches: int = 0
+    batched_ops: int = 0
+    batch_flush_reasons: dict[str, int] = field(default_factory=dict)
     # Optional windowed hit-rate timeline for recovery analysis; the
     # series share the dict-style {window_index: count} surface the
     # old ad-hoc maps had.
@@ -166,6 +171,11 @@ class FullSystemResults:
     def hit_rate(self) -> float:
         gets = self.get_hits + self.get_misses
         return self.get_hits / gets if gets else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Ops per coalesced batch (0.0 when batching never engaged)."""
+        return self.batched_ops / self.batches if self.batches else 0.0
 
     @property
     def write_amplification(self) -> float:
@@ -313,6 +323,15 @@ class FullSystemResults:
             # Only present when the run asked for it, so digest-free
             # payloads stay byte-identical to pre-digest cache entries.
             payload["trace_digest"] = self.trace_digest
+        if self.batches:
+            # Same conditional-key rule as trace_digest: batch-free runs
+            # keep their pre-batching cache-entry byte layout.
+            payload["batches"] = self.batches
+            payload["batched_ops"] = self.batched_ops
+            payload["batch_flush_reasons"] = {
+                reason: self.batch_flush_reasons[reason]
+                for reason in sorted(self.batch_flush_reasons)
+            }
         return payload
 
 
@@ -461,6 +480,20 @@ class FullSystemStack:
         ``n=1`` (or ``None``) is the original sharded behaviour,
         request-for-request identical.
 
+        ``batching`` (a :class:`~repro.kvstore.batching.BatchPolicy`
+        with ``batch_max > 1``) coalesces arrivals per destination
+        core: each op joins its core's open batch, which flushes when
+        it reaches ``batch_max`` ops ("size") or when the oldest rider
+        has lingered ``linger_s`` ("linger").  A flushed batch charges
+        the latency model's *batched* cost — one TCP/wire traversal for
+        the coalesced frame plus per-op hash/memcached work — and
+        occupies the core as a single job, so riders share the queue
+        wait.  Functional outcomes are identical to the serial path
+        (each op still executes in arrival order against the real
+        store); faults eat whole batches, after which every rider
+        retries serially.  Hedging does not apply to batched ops, and
+        batching cannot be combined with replication ``n > 1``.
+
         The observatory hooks ride on the same simulated clock:
         ``timeseries`` (a :class:`TimeSeriesRecorder`, typically over
         ``telemetry.registry``) is installed as a recurring DES event
@@ -604,6 +637,29 @@ class FullSystemStack:
                 f"{self.stack.cores}-core stack"
             )
         replicated = repl is not None and repl.n > 1
+        batching = options.batching
+        batch_enabled = batching is not None and batching.enabled
+        if batch_enabled and replicated:
+            raise ConfigurationError(
+                "batched dispatch and replication (n > 1) cannot be "
+                "combined in the full-system run; batch against a "
+                "sharded stack"
+            )
+        if batch_enabled:
+            # One pending-op list per core: the client-side buffer in
+            # front of each node's coalesced frame.  ``open_id`` detects
+            # stale linger timers — a size flush reopens the buffer and
+            # the old timer must not flush the successor batch early.
+            batch_pending: list[list] = [[] for _ in range(self.stack.cores)]
+            batch_open_id = [0] * self.stack.cores
+            batch_flush_total = {
+                reason: registry.counter("batch_flushes_total", {"reason": reason})
+                for reason in (FLUSH_SIZE, FLUSH_LINGER)
+            }
+            batch_ops_counter = registry.counter("batch_ops_total")
+            batch_size_histogram = registry.histogram(
+                "batch_size", min_value=1.0, max_value=float(MAX_BATCH_OPS)
+            )
         # Background busy-time histograms: simulated core seconds charged
         # to replication housekeeping, windowed into the time-series
         # recorder like any other metric so a run's timeline shows the
@@ -1387,6 +1443,201 @@ class FullSystemStack:
                 return
             serve(request, state, core_index, port)
 
+        def flush_batch(core_index: int, reason: str) -> None:
+            """Ship one core's pending ops as a single coalesced frame."""
+            ops = batch_pending[core_index]
+            if not ops:
+                return
+            batch_pending[core_index] = []
+            batch_open_id[core_index] += 1
+            port = str(_BASE_TCP_PORT + core_index)
+            # The whole batch rides one packet train: a down core, an
+            # injected drop, or a full MAC queue loses every op in it
+            # together.  Each op then retries down the serial path —
+            # coalescing is a fast path, not a reliability change.
+            lost = False
+            if injector is not None:
+                if core_index in down_cores:
+                    lost = True
+                elif injector.should_drop() or injector.should_corrupt():
+                    lost = True
+            if not lost and (
+                self.max_queue_per_core is not None
+                and cores[core_index].queue_depth >= self.max_queue_per_core
+            ):
+                results.mac_drops += 1
+                drops_total.inc()
+                lost = True
+            if lost:
+                for request, state in ops:
+                    timed_out(request, state, 0, port)
+                return
+            results.batches += 1
+            results.batched_ops += len(ops)
+            results.batch_flush_reasons[reason] = (
+                results.batch_flush_reasons.get(reason, 0) + 1
+            )
+            batch_flush_total[reason].inc()
+            batch_ops_counter.inc(len(ops))
+            batch_size_histogram.record(float(len(ops)))
+            dispatched = sim.now
+            node_label = f"core{core_index}"
+            outcomes = []
+            timing_ops = []
+            for request, state in ops:
+                state["attempts"] = 1
+                hit, response_len = self._execute(
+                    request.key, request.verb, request.value_bytes, core_index
+                )
+                if fill_on_miss and request.verb == "GET" and not hit:
+                    self._execute(
+                        request.key, "PUT", request.value_bytes, core_index
+                    )
+                served_bytes = (
+                    response_len if request.verb == "GET" else request.value_bytes
+                )
+                outcomes.append((request, state, hit, response_len, served_bytes))
+                timing_ops.append((request.verb, served_bytes))
+            timing = self.model.batch_timing(timing_ops)
+            if injector is not None:
+                factor = injector.service_factor(memory_kind)
+                if factor != 1.0:
+                    timing = RequestTiming(
+                        verb=timing.verb,
+                        value_bytes=timing.value_bytes,
+                        hash_s=timing.hash_s,
+                        memcached_s=timing.memcached_s * factor,
+                        network_s=timing.network_s,
+                    )
+
+            def complete(wait: float) -> None:
+                served_at = dispatched + wait
+                for request, state, hit, response_len, _served in outcomes:
+                    state["done"] = True
+                    if request.verb == "GET":
+                        if hit:
+                            results.get_hits += 1
+                            hits_total.inc()
+                        else:
+                            results.get_misses += 1
+                            misses_total.inc()
+                        results.note_window_get(state["arrival"], hit)
+                    else:
+                        results.puts += 1
+                        puts_total.inc()
+                    results.response_bytes += response_len
+                    response_bytes_total.inc(response_len)
+                if sim.now > duration_s:
+                    return
+                # The batch occupies the core once: component seconds
+                # and the served counter charge per batch/op exactly as
+                # the latency model splits them, while every rider gets
+                # its own RTT sample back to its own arrival.
+                results.component_seconds["hash"] += timing.hash_s
+                results.component_seconds["memcached"] += timing.memcached_s
+                results.component_seconds["network"] += timing.network_s
+                results.per_core_served[core_index] = (
+                    results.per_core_served.get(core_index, 0) + len(outcomes)
+                )
+                served_per_core[core_index].inc(len(outcomes))
+                for request, state, hit, response_len, served_bytes in outcomes:
+                    arrival = state["arrival"]
+                    results.record(sim.now - arrival, wait)
+                    completed_total.inc()
+                    if slo_record is not None:
+                        slo_record(sim.now, latency_s=sim.now - arrival, ok=True)
+                    if tracer.enabled:
+                        # Per-rider span tree: the time spent waiting
+                        # for the batch to fill, then a "batch" wrapper
+                        # holding the shared pipeline stages.
+                        trace = state["trace"]
+                        trace.annotate(
+                            core=core_index,
+                            verb=request.verb,
+                            value_bytes=served_bytes,
+                            hit=hit,
+                            batch_size=len(outcomes),
+                            batch_flush=reason,
+                        )
+                        if dispatched > arrival:
+                            trace.add_span(
+                                "batch_wait",
+                                arrival,
+                                dispatched - arrival,
+                                kind="client",
+                                node="client",
+                                stack=stack_label,
+                            )
+                        parent = trace.add_span(
+                            "batch",
+                            dispatched,
+                            sim.now - dispatched,
+                            kind="server",
+                            node=node_label,
+                            stack=stack_label,
+                        )
+                        trace.add_span(
+                            "queue",
+                            dispatched,
+                            wait,
+                            parent=parent,
+                            kind="server",
+                            node=node_label,
+                            stack=stack_label,
+                        )
+                        trace.add_span(
+                            "network",
+                            served_at,
+                            timing.network_s,
+                            parent=parent,
+                            kind="server",
+                            node=node_label,
+                            stack=stack_label,
+                        )
+                        trace.add_span(
+                            "hash",
+                            served_at + timing.network_s,
+                            timing.hash_s,
+                            parent=parent,
+                            kind="server",
+                            node=node_label,
+                            stack=stack_label,
+                        )
+                        trace.add_span(
+                            "memcached",
+                            served_at + timing.network_s + timing.hash_s,
+                            timing.memcached_s,
+                            parent=parent,
+                            kind="server",
+                            node=node_label,
+                            stack=stack_label,
+                        )
+                        trace.finish(sim.now)
+                        tracer.commit(trace)
+
+            cores[core_index].submit(timing.total_s, complete)
+
+        def batch_enqueue(request, state) -> None:
+            """Buffer one arrival behind its key's core; flush on size
+            or on the linger deadline, whichever lands first."""
+            if len(client_ring) == 0:
+                give_up(request, state)
+                return
+            port = client_ring.node_for(request.key)
+            core_index = int(port) - _BASE_TCP_PORT
+            pending = batch_pending[core_index]
+            pending.append((request, state))
+            if len(pending) >= batching.batch_max:
+                flush_batch(core_index, FLUSH_SIZE)
+            elif len(pending) == 1:
+                open_id = batch_open_id[core_index]
+
+                def linger_fire() -> None:
+                    if batch_open_id[core_index] == open_id:
+                        flush_batch(core_index, FLUSH_LINGER)
+
+                sim.schedule(batching.linger_s, linger_fire)
+
         def arrive() -> None:
             if sim.now >= duration_s:
                 return
@@ -1399,7 +1650,10 @@ class FullSystemStack:
                 "attempts": 0,
                 "trace": tracer.begin(sim.now, verb=request.verb),
             }
-            dispatch(request, state, 0)
+            if batch_enabled:
+                batch_enqueue(request, state)
+            else:
+                dispatch(request, state, 0)
             sim.schedule(rng.expovariate(offered_rate_hz), arrive)
 
         warm_span = (

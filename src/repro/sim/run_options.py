@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Mapping
 from repro.errors import ConfigurationError
 from repro.faults.resilience import ResiliencePolicy
 from repro.faults.schedule import FaultSchedule
+from repro.kvstore.batching import BatchPolicy
 from repro.replication.config import ReplicationConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -45,6 +46,7 @@ _CONFIG_FIELDS = (
     "resilience",
     "replication",
     "trace_digest",
+    "batching",
 )
 
 #: Live observers excluded from equality, hashing, and serialisation.
@@ -84,6 +86,7 @@ class RunOptions:
     resilience: ResiliencePolicy | None = None
     replication: ReplicationConfig | None = None
     trace_digest: bool = False
+    batching: BatchPolicy | None = None
     telemetry: "TelemetrySession | None" = field(
         default=None, compare=False, repr=False
     )
@@ -128,6 +131,10 @@ class RunOptions:
             # cache keys) for digest-free runs stay byte-identical to
             # those written before the field existed.
             payload["trace_digest"] = True
+        if self.batching is not None:
+            # Same conditional-serialisation rule as trace_digest, same
+            # reason: batch-free cache keys must not change.
+            payload["batching"] = self.batching.to_dict()
         return payload
 
     @classmethod
@@ -153,6 +160,9 @@ class RunOptions:
             replication, ReplicationConfig
         ):
             replication = ReplicationConfig(**replication)
+        batching = data.get("batching")
+        if batching is not None and not isinstance(batching, BatchPolicy):
+            batching = BatchPolicy.from_dict(batching)
         return cls(
             offered_rate_hz=data["offered_rate_hz"],
             duration_s=data["duration_s"],
@@ -164,6 +174,7 @@ class RunOptions:
             resilience=resilience,
             replication=replication,
             trace_digest=data.get("trace_digest", False),
+            batching=batching,
         )
 
     # --- ergonomics ---------------------------------------------------------

@@ -275,10 +275,18 @@ def summary_table(registry: MetricsRegistry, tracer: Tracer | None = None) -> st
             if metric.count == 0:
                 continue
             qs = {q: metric.percentile(q) for q in SUMMARY_QUANTILES}
+            if metric.name.endswith("_seconds"):
+                scale, unit = 1e6, "us"
+            else:
+                # Dimensionless histograms (batch_size, ...): raw values.
+                scale, unit = 1.0, "  "
             histogram_rows.append(
-                f"{label:44s} n={metric.count:<9d} mean={metric.mean * 1e6:9.1f}us "
-                f"p50={qs[0.5] * 1e6:9.1f}us p95={qs[0.95] * 1e6:9.1f}us "
-                f"p99={qs[0.99] * 1e6:9.1f}us max={metric.maximum * 1e6:9.1f}us"
+                f"{label:44s} n={metric.count:<9d} "
+                f"mean={metric.mean * scale:9.1f}{unit} "
+                f"p50={qs[0.5] * scale:9.1f}{unit} "
+                f"p95={qs[0.95] * scale:9.1f}{unit} "
+                f"p99={qs[0.99] * scale:9.1f}{unit} "
+                f"max={metric.maximum * scale:9.1f}{unit}"
             )
         elif isinstance(metric, Gauge):
             scalar_rows.append(

@@ -478,6 +478,15 @@ METRIC_DESCRIPTIONS: dict[str, str] = {
     "replication_antientropy_sweeps_total": "Anti-entropy digest sweeps completed",
     "replication_antientropy_repairs_total": "Keys repaired by anti-entropy sweeps",
     "replication_antientropy_dirty_buckets_total": "Digest buckets found divergent",
+    "batch_flushes_total": "Coalesced batches shipped by the DES batch former, by flush reason",
+    "batch_ops_total": "Requests that rode a coalesced batch in the DES",
+    "batch_size": "Ops per coalesced batch shipped by the DES batch former",
+    "client_batch_flushes_total": "Client batch buffers flushed, by reason (size/linger/barrier)",
+    "client_batched_ops_total": "Operations shipped inside client-side batches",
+    "client_batch_dedup_total": "Duplicate in-flight GETs folded onto an earlier batch rider",
+    "client_batch_size": "Ops per flushed client batch",
+    "memcached_batches_total": "Multi-op frames (multiget/mset) served by the server loop",
+    "memcached_batched_ops_total": "Operations carried inside multi-op frames",
     "background_busy_seconds": "Simulated core-busy time charged to background tasks",
     "replica_put_wait_seconds": "Queue wait for replica PUT copies at follower cores",
     "tracer_committed_total": "Request traces finalized by the tracer",

@@ -1,0 +1,265 @@
+"""Differential harness: the batched path must equal the serial path.
+
+Every test replays one seeded operation stream twice — once through the
+serial ``get``/``set``/``delete`` calls, once through the
+``submit_*``/``barrier`` pipeline — against two identical clusters, and
+then demands bit-identical outcomes: the same per-op results in
+submission order, the same GET miss set, and the same per-node store
+contents afterwards.  Batching is a *wire* optimisation; any observable
+divergence is a bug.
+
+Fault alignment: hedging is off and failover disabled, and the only
+injected fault is a node-down window (``FaultyNetwork.delivers`` draws
+no RNG when loss is zero), so the serial and batched runs keep their
+seeded streams in lockstep and outcomes stay comparable op-for-op.
+Crash/restart transitions land on barrier boundaries, where the batched
+client has nothing in flight — within a window both runs see the same
+cluster state.
+
+The last test repeats the differential inside the full-system DES:
+a fault-free batched run must match the serial run's functional
+outcomes (hits/misses/puts and per-core store contents) exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.faults.resilience import ResiliencePolicy
+from repro.kvstore.batching import BatchPolicy
+from repro.kvstore.client import FaultyNetwork, ResilientClient
+from repro.replication.config import QuorumConfig
+from repro.units import MB
+
+NODES = ["n0", "n1", "n2"]
+#: No hedging, no failover: the two runs must see identical rings.
+POLICY = ResiliencePolicy(
+    request_timeout_s=1e-3,
+    max_retries=1,
+    failover_after=None,
+    hedge_after_s=None,
+)
+#: Barrier cadence for the batched run; fault transitions only land here.
+BARRIER_EVERY = 16
+QUORUM = QuorumConfig(n=3, r=2, w=2)
+
+
+def op_stream(seed: int, n: int = 400, keys: int = 40):
+    """A seeded mixed stream: 60% GET, 30% SET, 10% DELETE."""
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(n):
+        key = f"key-{rng.randrange(keys)}".encode()
+        roll = rng.random()
+        if roll < 0.6:
+            ops.append(("get", key, None))
+        elif roll < 0.9:
+            value = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 48)))
+            ops.append(("set", key, value))
+        else:
+            ops.append(("delete", key, None))
+    return ops
+
+
+def make_client(protocol="ascii", quorum=None, batching=None):
+    return ResilientClient(
+        NODES,
+        memory_per_node_bytes=MB,
+        protocol=protocol,
+        policy=POLICY,
+        network=FaultyNetwork(seed=3),
+        quorum=quorum,
+        batching=batching,
+        seed=9,
+    )
+
+
+def apply_faults(client, fault_plan, index):
+    for at, action, node in fault_plan or ():
+        if at == index:
+            getattr(client.network, action)(node)
+
+
+def run_serial(ops, fault_plan=None, **kw):
+    client = make_client(**kw)
+    results = []
+    for i, (verb, key, value) in enumerate(ops):
+        if i % BARRIER_EVERY == 0:
+            apply_faults(client, fault_plan, i)
+        if verb == "get":
+            got = client.get(key)
+            results.append(("get", key, None if got is None else got.value))
+        elif verb == "set":
+            results.append(("set", key, client.set(key, value)))
+        else:
+            results.append(("delete", key, client.delete(key)))
+    return client, results
+
+
+def run_batched(ops, fault_plan=None, batch_max=8, linger_s=1e-3, **kw):
+    client = make_client(
+        batching=BatchPolicy(batch_max=batch_max, linger_s=linger_s), **kw
+    )
+    futures = []
+    for i, (verb, key, value) in enumerate(ops):
+        if i % BARRIER_EVERY == 0:
+            client.barrier()
+            apply_faults(client, fault_plan, i)
+        if verb == "get":
+            futures.append((verb, key, client.submit_get(key)))
+        elif verb == "set":
+            futures.append((verb, key, client.submit_set(key, value)))
+        else:
+            futures.append((verb, key, client.submit_delete(key)))
+    client.barrier()
+    results = []
+    for verb, key, future in futures:
+        value = future.result()
+        if verb == "get":
+            results.append((verb, key, None if value is None else value.value))
+        else:
+            results.append((verb, key, bool(value)))
+    return client, results
+
+
+def store_contents(client):
+    return {
+        name: sorted(
+            (item.key, bytes(item.value)) for item in store.items_live()
+        )
+        for name, store in client._stores.items()
+    }
+
+
+def miss_set(results):
+    return {key for verb, key, value in results if verb == "get" and value is None}
+
+
+def assert_equivalent(serial, batched):
+    serial_client, serial_results = serial
+    batched_client, batched_results = batched
+    assert batched_results == serial_results
+    assert miss_set(batched_results) == miss_set(serial_results)
+    assert store_contents(batched_client) == store_contents(serial_client)
+
+
+@pytest.mark.parametrize("protocol", ["ascii", "binary"])
+class TestFaultFree:
+    def test_batched_equals_serial(self, protocol):
+        ops = op_stream(seed=11)
+        assert_equivalent(
+            run_serial(ops, protocol=protocol),
+            run_batched(ops, protocol=protocol),
+        )
+
+    def test_deep_batches(self, protocol):
+        ops = op_stream(seed=23, n=600, keys=25)
+        assert_equivalent(
+            run_serial(ops, protocol=protocol),
+            run_batched(ops, protocol=protocol, batch_max=64, linger_s=10.0),
+        )
+
+    def test_batch_of_one_is_serial(self, protocol):
+        """batch_max=2 with an immediate linger degenerates gracefully."""
+        ops = op_stream(seed=5, n=120)
+        assert_equivalent(
+            run_serial(ops, protocol=protocol),
+            run_batched(ops, protocol=protocol, batch_max=2, linger_s=0.0),
+        )
+
+
+@pytest.mark.parametrize("protocol", ["ascii", "binary"])
+class TestCrashWindow:
+    FAULTS = [
+        (6 * BARRIER_EVERY, "crash", "n0"),
+        (13 * BARRIER_EVERY, "restart", "n0"),
+    ]
+
+    def test_batched_equals_serial_through_crash(self, protocol):
+        ops = op_stream(seed=31)
+        serial = run_serial(ops, fault_plan=self.FAULTS, protocol=protocol)
+        batched = run_batched(ops, fault_plan=self.FAULTS, protocol=protocol)
+        assert_equivalent(serial, batched)
+        # The window actually hurt: some op failed, and the batched
+        # client exercised its serial fallback (batches still counted).
+        assert any(value in (None, False) for _v, _k, value in serial[1])
+        assert batched[0].batches > 0
+
+    def test_quorum_through_crash(self, protocol):
+        """N=3 R=2 W=2: a one-replica outage must not change outcomes —
+        writes still reach w=2 acks down both paths."""
+        ops = op_stream(seed=47)
+        serial = run_serial(
+            ops, fault_plan=self.FAULTS, protocol=protocol, quorum=QUORUM
+        )
+        batched = run_batched(
+            ops, fault_plan=self.FAULTS, protocol=protocol, quorum=QUORUM
+        )
+        assert_equivalent(serial, batched)
+        # Every SET that reached quorum succeeded despite the crash.
+        assert any(
+            value is True for verb, _k, value in serial[1] if verb == "set"
+        )
+
+
+@pytest.mark.parametrize("protocol", ["ascii", "binary"])
+class TestQuorum:
+    def test_batched_equals_serial(self, protocol):
+        ops = op_stream(seed=13)
+        serial = run_serial(ops, protocol=protocol, quorum=QUORUM)
+        batched = run_batched(ops, protocol=protocol, quorum=QUORUM)
+        assert_equivalent(serial, batched)
+        # Replica fan-out happened through the batch buffers.
+        assert batched[0].replica_writes == serial[0].replica_writes
+
+
+class TestDesDifferential:
+    def test_fault_free_des_outcomes_identical(self):
+        from repro.core import mercury_stack
+        from repro.sim.full_system import FullSystemStack
+        from repro.sim.run_options import RunOptions
+        from repro.workloads import WorkloadSpec
+        from repro.workloads.distributions import fixed_size
+
+        workload = WorkloadSpec(
+            name="des-differential",
+            get_fraction=0.9,
+            key_population=2_000,
+            value_sizes=fixed_size(64),
+        )
+
+        def run(batching):
+            system = FullSystemStack(
+                stack=mercury_stack(2), memory_per_core_bytes=4 * MB, seed=7
+            )
+            results = system.run(
+                workload,
+                RunOptions(
+                    offered_rate_hz=15_000.0,
+                    duration_s=0.25,
+                    warmup_requests=1_500,
+                    batching=batching,
+                ),
+            )
+            return results, system
+
+        serial, serial_system = run(None)
+        batched, batched_system = run(BatchPolicy(batch_max=16, linger_s=100e-6))
+        assert (batched.get_hits, batched.get_misses, batched.puts) == (
+            serial.get_hits, serial.get_misses, serial.puts
+        )
+        # ``completed`` is horizon-scoped, not functional: a rider whose
+        # batch drains just past duration_s drops out of it.  Allow that
+        # boundary effect, nothing more.
+        assert abs(batched.completed - serial.completed) <= 16
+        for a, b in zip(serial_system.servers, batched_system.servers):
+            assert sorted(
+                (item.key, bytes(item.value)) for item in a.store.items_live()
+            ) == sorted(
+                (item.key, bytes(item.value)) for item in b.store.items_live()
+            )
+        assert batched.batches > 0
+        # Every completed request rode a batch (late riders resolve
+        # past the duration horizon, so batched_ops can exceed
+        # completed, never the reverse).
+        assert batched.batched_ops >= batched.completed

@@ -10,8 +10,10 @@ from repro.faults import PRESETS
 
 
 class TestRegistry:
-    def test_baseline_plus_every_fault_preset(self):
-        assert set(scenario_names()) == {"baseline"} | set(PRESETS)
+    def test_baseline_batched_plus_every_fault_preset(self):
+        assert set(scenario_names()) == (
+            {"baseline", "batched", "batched-64"} | set(PRESETS)
+        )
 
     def test_names_are_self_consistent(self):
         for name, scenario in SCENARIOS.items():

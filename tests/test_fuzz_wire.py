@@ -19,10 +19,16 @@ from repro.kvstore.binary_protocol import (
     BinaryMessage,
     BinaryServer,
     Opcode,
+    Status,
     arith_request,
+    batch_request,
     decode,
+    decode_multiget_response,
+    decode_multiset_response,
     encode,
     get_request,
+    multiget_request,
+    multiset_request,
     needs_more_bytes,
     set_request,
     simple_request,
@@ -238,6 +244,294 @@ class TestBinaryServerRobustness:
             response, out = decode(out)
             assert not response.is_request
         server.store.check_invariants()
+
+
+class TestAsciiMsetRobustness:
+    """``mset`` frames: hostile headers and sub-blocks must degrade to
+    clean errors (or buffering, when merely short on bytes) — never a
+    crash, never a desynced connection, never a half-applied frame."""
+
+    def _server(self):
+        server = MemcachedServer(KVStore(2 * MB))
+        return server, server.connect()
+
+    def _assert_usable(self, server, conn):
+        if conn.closed:
+            conn = server.connect()
+        assert conn.feed(b"set probe 0 0 2\r\nhi\r\n") == b"STORED\r\n"
+        server.store.check_invariants()
+
+    def test_zero_op_mset_is_legal_and_empty(self):
+        server, conn = self._server()
+        assert conn.feed(b"mset 0\r\n") == b""
+        assert server.connection_stats().batches == 1
+        assert server.connection_stats().batched_ops == 0
+        self._assert_usable(server, conn)
+
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            b"mset\r\n",  # missing count
+            b"mset -1\r\n",  # negative count
+            b"mset 9999\r\n",  # count above MAX_BATCH_OPS
+            b"mset nope\r\n",  # non-numeric count
+            b"mset 1 extra\r\n",  # trailing token
+            b"mset 1\r\ngarbage-sub-line\r\n",  # sub-block missing fields
+            b"mset 1\r\nk 0 0 nope\r\n",  # non-numeric data length
+            b"mset 1\r\nk 0 0 -3\r\n",  # negative data length
+            b"mset 1\r\nk 0 0 2\r\nhiX\r\n",  # data block not CRLF-terminated
+        ],
+    )
+    def test_malformed_mset_frames_error_cleanly(self, frame):
+        server, conn = self._server()
+        reply = conn.feed(frame)
+        assert reply.startswith((b"CLIENT_ERROR", b"ERROR"))
+        assert len(server.store) == 0  # nothing half-applied
+        self._assert_usable(server, conn)
+
+    def test_short_data_block_buffers_then_applies(self):
+        """A well-formed prefix short on payload bytes is *incomplete*,
+        not malformed: the server waits, then applies the whole frame."""
+        server, conn = self._server()
+        assert conn.feed(b"mset 2\r\na 0 0 2\r\nhi\r\nb 0 0 3\r\n") == b""
+        assert len(server.store) == 0  # nothing applied yet
+        assert conn.feed(b"xyz\r\n") == b"STORED\r\nSTORED\r\n"
+        assert server.store.get(b"b").value == b"xyz"
+        self._assert_usable(server, conn)
+
+    @given(
+        count=st.integers(min_value=0, max_value=20),
+        blob=st.binary(max_size=120),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_mset_header_with_random_tail_never_crashes(self, count, blob):
+        server, conn = self._server()
+        try:
+            conn.feed(b"mset %d\r\n" % count + blob + b"\r\n")
+        except ReproError:
+            pytest.fail("mset path raised on garbage input")
+        # Flush any legitimately-buffered partial frame, then probe.
+        conn.feed(b"\r\n" * 4)
+        self._assert_usable(server, conn)
+
+    @given(
+        ops=st.lists(
+            st.tuples(ascii_key, st.binary(min_size=1, max_size=16)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_valid_mset_matches_serial_sets(self, ops):
+        """Differential at the wire: one mset frame == n serial sets."""
+        batched_server, batched = self._server()
+        serial_server, serial = self._server()
+        frame = bytearray(b"mset %d\r\n" % len(ops))
+        serial_replies = []
+        for key, value in ops:
+            value = value.replace(b"\r", b" ").replace(b"\n", b" ")
+            frame += b"%s 0 0 %d\r\n%s\r\n" % (key, len(value), value)
+            serial_replies.append(
+                serial.feed(b"set %s 0 0 %d\r\n%s\r\n" % (key, len(value), value))
+            )
+        assert batched.feed(bytes(frame)) == b"".join(serial_replies)
+        assert sorted(
+            (item.key, bytes(item.value))
+            for item in batched_server.store.items_live()
+        ) == sorted(
+            (item.key, bytes(item.value))
+            for item in serial_server.store.items_live()
+        )
+
+
+class TestBinaryBatchFrameRobustness:
+    """MULTIGET/MULTISET/BATCH frames: every structural defect inside an
+    otherwise well-formed frame gets INVALID_ARGUMENTS, and the server
+    keeps serving."""
+
+    def _assert_usable(self, server):
+        reply = server.handle(encode(set_request(b"probe", b"ok")))
+        response, rest = decode(reply)
+        assert response.status == Status.NO_ERROR and rest == b""
+        server.store.check_invariants()
+
+    def _one_status(self, server, message):
+        reply = server.handle(encode(message))
+        response, rest = decode(reply)
+        assert rest == b""
+        return response
+
+    @pytest.mark.parametrize(
+        "opcode", [Opcode.MULTIGET, Opcode.MULTISET, Opcode.BATCH]
+    )
+    @pytest.mark.parametrize(
+        "value",
+        [
+            b"",  # truncated count
+            b"\x00",  # half a count
+            struct.pack(">H", 5000),  # count above MAX_BATCH_OPS
+            struct.pack(">H", 3),  # count promises ops, body empty
+            struct.pack(">H", 1) + b"\xff",  # truncated first op
+        ],
+        ids=["empty", "half-count", "oversized", "missing-ops", "cut-op"],
+    )
+    def test_malformed_counts_rejected(self, opcode, value):
+        server = BinaryServer(KVStore(2 * MB))
+        message = BinaryMessage(
+            magic=REQUEST_MAGIC, opcode=opcode, value=value
+        )
+        assert (
+            self._one_status(server, message).status == Status.INVALID_ARGUMENTS
+        )
+        assert server.batches == 0  # rejected frames don't count
+        self._assert_usable(server)
+
+    def test_zero_op_frames_are_legal(self):
+        server = BinaryServer(KVStore(2 * MB))
+        empty = struct.pack(">H", 0)
+        for opcode in (Opcode.MULTIGET, Opcode.MULTISET, Opcode.BATCH):
+            message = BinaryMessage(
+                magic=REQUEST_MAGIC, opcode=opcode, value=empty
+            )
+            response = self._one_status(server, message)
+            assert response.status == Status.NO_ERROR
+            assert response.value == struct.pack(">H", 0)
+        self._assert_usable(server)
+
+    def test_empty_key_rejected(self):
+        server = BinaryServer(KVStore(2 * MB))
+        blob = struct.pack(">H", 1) + struct.pack(">H", 0)
+        message = BinaryMessage(
+            magic=REQUEST_MAGIC, opcode=Opcode.MULTIGET, value=blob
+        )
+        assert (
+            self._one_status(server, message).status == Status.INVALID_ARGUMENTS
+        )
+        self._assert_usable(server)
+
+    def test_trailing_bytes_rejected(self):
+        server = BinaryServer(KVStore(2 * MB))
+        for build in (
+            lambda: multiget_request([b"k"]),
+            lambda: multiset_request([(b"k", b"v", 0, 0)]),
+            lambda: batch_request([get_request(b"k")]),
+        ):
+            message = build()
+            padded = BinaryMessage(
+                magic=message.magic,
+                opcode=message.opcode,
+                value=message.value + b"\x00",
+            )
+            assert (
+                self._one_status(server, padded).status
+                == Status.INVALID_ARGUMENTS
+            )
+        self._assert_usable(server)
+
+    def test_forbidden_inner_opcodes_reject_whole_envelope(self):
+        """QUIT/FLUSH/nested-batch frames can't ride in a BATCH; the
+        builder refuses them and a hand-built envelope is rejected
+        wholesale — no prefix of it executes."""
+        for inner in (
+            simple_request(Opcode.QUIT),
+            simple_request(Opcode.FLUSH),
+            multiget_request([b"k"]),
+        ):
+            with pytest.raises(ProtocolError, match="cannot ride"):
+                batch_request([set_request(b"a", b"1"), inner])
+            server = BinaryServer(KVStore(2 * MB))
+            blob = struct.pack(">H", 2) + encode(
+                set_request(b"a", b"1")
+            ) + encode(inner)
+            envelope = BinaryMessage(
+                magic=REQUEST_MAGIC, opcode=Opcode.BATCH, value=blob
+            )
+            assert (
+                self._one_status(server, envelope).status
+                == Status.INVALID_ARGUMENTS
+            )
+            assert len(server.store) == 0  # the leading SET did not run
+            assert not server.closed  # the smuggled QUIT did not run
+            self._assert_usable(server)
+
+    def test_mixed_opcode_batch_executes_in_order(self):
+        server = BinaryServer(KVStore(2 * MB))
+        envelope = batch_request([
+            set_request(b"k", b"1"),
+            get_request(b"k"),
+            simple_request(Opcode.DELETE, b"k"),
+            get_request(b"k"),
+        ])
+        response = self._one_status(server, envelope)
+        assert response.status == Status.NO_ERROR
+        (responded,) = struct.unpack_from(">H", response.value, 0)
+        assert responded == 4
+        inner, rest = decode(response.value[2:])
+        statuses = [inner.status]
+        while rest:
+            inner, rest = decode(rest)
+            statuses.append(inner.status)
+        assert statuses == [
+            Status.NO_ERROR,  # set
+            Status.NO_ERROR,  # get hit
+            Status.NO_ERROR,  # delete
+            Status.KEY_NOT_FOUND,  # get after delete
+        ]
+        assert server.batches == 1 and server.batched_ops == 4
+        self._assert_usable(server)
+
+    @given(blob=st.binary(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_random_frame_bodies_never_crash(self, blob):
+        """Arbitrary bytes as the value of each batch opcode: the server
+        answers with *some* status and keeps serving."""
+        server = BinaryServer(KVStore(2 * MB))
+        for opcode in (Opcode.MULTIGET, Opcode.MULTISET, Opcode.BATCH):
+            message = BinaryMessage(
+                magic=REQUEST_MAGIC, opcode=opcode, value=blob
+            )
+            response = self._one_status(server, message)
+            assert not response.is_request
+        self._assert_usable(server)
+
+    @given(
+        keys=st.lists(ascii_key, min_size=0, max_size=12, unique=True),
+        present=st.integers(min_value=0, max_value=11),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_multiget_round_trip(self, keys, present):
+        """A valid multiget returns exactly the stored subset."""
+        server = BinaryServer(KVStore(4 * MB))
+        stored = {key for key in keys[:present]}
+        for key in stored:
+            server.handle(encode(set_request(key, b"v:" + key)))
+        response = self._one_status(server, multiget_request(keys))
+        assert response.status == Status.NO_ERROR
+        found = decode_multiget_response(response)
+        assert set(found) == stored
+        for key, (_flags, value) in found.items():
+            assert value == b"v:" + key
+
+    @given(
+        ops=st.lists(
+            st.tuples(ascii_key, st.binary(max_size=24)),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_multiset_round_trip(self, ops):
+        server = BinaryServer(KVStore(4 * MB))
+        message = multiset_request(
+            [(key, value, 7, 0) for key, value in ops]
+        )
+        response = self._one_status(server, message)
+        assert response.status == Status.NO_ERROR
+        statuses = decode_multiset_response(response)
+        assert statuses == [Status.NO_ERROR] * len(ops)
+        for key, value in ops:  # last write per key wins
+            final = dict(ops)[key]
+            assert bytes(server.store.get(key).value) == final
 
 
 class TestRandomCommandStreams:

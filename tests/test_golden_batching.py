@@ -1,0 +1,139 @@
+"""Golden regression for the batch-size → throughput scaling grid.
+
+Pins three saturated full-system cells — Mercury-2 serial, Mercury-2 at
+batch 16, Iridium-2 at batch 16 — so any change to the batch former,
+the coalesced latency model, or flush accounting shows up as a diff
+against a blessed fixture.  The DES is seeded and single-threaded, so
+the numbers match exactly up to float round-off; drift means the
+batched request path changed and should be reviewed like a model
+change.
+
+To bless an intentional change::
+
+    pytest tests/test_golden_batching.py --regen-golden
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.core import iridium_stack, mercury_stack
+from repro.kvstore.batching import BatchPolicy
+from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
+from repro.units import MB
+from repro.workloads import WorkloadSpec
+from repro.workloads.distributions import fixed_size
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REL_TOL = 1e-9
+
+CORES = 2
+DURATION_S = 0.2
+WORKLOAD = WorkloadSpec(
+    name="batching-golden",
+    get_fraction=0.95,
+    key_population=4_000,
+    value_sizes=fixed_size(64),
+)
+
+#: The three pinned grid cells: (label, stack family, batch policy).
+CELLS = (
+    ("mercury-serial", "mercury", None),
+    ("mercury-b16", "mercury", BatchPolicy(batch_max=16, linger_s=200e-6)),
+    ("iridium-b16", "iridium", BatchPolicy(batch_max=16, linger_s=200e-6)),
+)
+
+
+def _run_cell(family: str, batching: BatchPolicy | None):
+    build = mercury_stack if family == "mercury" else iridium_stack
+    system = FullSystemStack(
+        stack=build(cores=CORES), memory_per_core_bytes=8 * MB, seed=42
+    )
+    capacity = CORES * system.model.tps("GET", 64)
+    return system.run(
+        WORKLOAD,
+        RunOptions(
+            offered_rate_hz=8.0 * capacity,
+            duration_s=DURATION_S,
+            warmup_requests=4_000,
+            batching=batching,
+        ),
+    )
+
+
+def _scaling_payload() -> dict:
+    payload = {}
+    for label, family, batching in CELLS:
+        results = _run_cell(family, batching)
+        gets = results.get_hits + results.get_misses
+        payload[label] = {
+            "batch_max": batching.batch_max if batching else 1,
+            "completed": results.completed,
+            "tps": results.completed / DURATION_S,
+            "batches": results.batches,
+            "batched_ops": results.batched_ops,
+            "mean_batch_size": results.mean_batch_size,
+            "batch_flush_reasons": dict(sorted(results.batch_flush_reasons.items())),
+            "hit_rate": results.get_hits / gets if gets else 0.0,
+            "p99_rtt_s": results.rtt_percentile(0.99),
+        }
+    return payload
+
+
+def _assert_close(expected, actual, path: str = "$") -> None:
+    if isinstance(expected, (int, float)) and not isinstance(expected, bool):
+        assert isinstance(actual, (int, float)) and not isinstance(actual, bool), (
+            f"{path}: expected a number, got {actual!r}"
+        )
+        assert math.isclose(expected, actual, rel_tol=REL_TOL, abs_tol=1e-12), (
+            f"{path}: {actual!r} != golden {expected!r} (rel_tol={REL_TOL})"
+        )
+    elif isinstance(expected, list):
+        assert isinstance(actual, list) and len(actual) == len(expected), (
+            f"{path}: length mismatch vs golden"
+        )
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            _assert_close(e, a, f"{path}[{index}]")
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict) and set(actual) == set(expected), (
+            f"{path}: key mismatch vs golden"
+        )
+        for key in expected:
+            _assert_close(expected[key], actual[key], f"{path}.{key}")
+    else:
+        assert expected == actual, f"{path}: {actual!r} != golden {expected!r}"
+
+
+def test_batching_scaling_matches_golden(regen_golden):
+    payload = json.loads(json.dumps(_scaling_payload()))
+    path = GOLDEN_DIR / "batching_scaling.json"
+    if regen_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return
+    if not path.exists():
+        pytest.fail(f"missing golden fixture {path}; generate with --regen-golden")
+    _assert_close(json.loads(path.read_text()), payload, "batching_scaling")
+
+
+def test_golden_fixture_tells_the_batching_story():
+    """Independent of exact numbers, the checked-in fixture must show
+    the claim: coalescing lifts saturated DRAM-stack throughput by 2x+
+    while the flash stack, device-bound, gains modestly but monotonely."""
+    path = GOLDEN_DIR / "batching_scaling.json"
+    if not path.exists():
+        pytest.skip("fixture not generated yet")
+    payload = json.loads(path.read_text())
+    serial = payload["mercury-serial"]
+    batched = payload["mercury-b16"]
+    assert serial["batches"] == 0
+    assert batched["batches"] > 0
+    assert batched["mean_batch_size"] > 4.0
+    assert batched["tps"] >= 2.0 * serial["tps"]
+    assert set(batched["batch_flush_reasons"]) <= {"size", "linger"}
+    assert payload["iridium-b16"]["batches"] > 0

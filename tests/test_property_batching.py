@@ -1,0 +1,270 @@
+"""Property-based tests for the batching layer.
+
+Hypothesis drives random op streams, clock schedules, and policies at
+:class:`~repro.kvstore.batching.BatchBuffer` and at the client's
+``submit_*``/``barrier`` pipeline, pinning the invariants the
+differential suite relies on:
+
+* **No drop, no dup** — every submitted future resolves exactly once;
+  every non-deduplicated op ships in exactly one batch.
+* **Program order per key** — a buffer never reorders, so each key's
+  mutation sequence inside the concatenated batch stream is its
+  submission sequence (and with dedup off, the GETs too).
+* **Size bound** — no batch exceeds ``batch_max``; size-flushed batches
+  are exactly full.
+* **Linger bound** — a buffer reports expiry exactly at
+  ``opened_at + linger_s``, never later, so a caller that flushes
+  expired buffers first can never hold an op past its deadline.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.kvstore.batching import (
+    FLUSH_BARRIER,
+    FLUSH_SIZE,
+    BatchBuffer,
+    BatchOp,
+    BatchPolicy,
+)
+from repro.kvstore.client import ResilientClient
+from repro.faults.resilience import ResiliencePolicy
+from repro.units import MB
+
+import pytest
+
+policies = st.builds(
+    BatchPolicy,
+    batch_max=st.integers(min_value=1, max_value=8),
+    linger_s=st.floats(
+        min_value=0.0, max_value=1e-2, allow_nan=False, allow_infinity=False
+    ),
+    dedup_gets=st.booleans(),
+)
+
+#: (verb, key-index) streams over a deliberately small key alphabet so
+#: dedup and per-key ordering actually trigger.
+op_specs = st.lists(
+    st.tuples(
+        st.sampled_from(["get", "set", "delete"]),
+        st.integers(min_value=0, max_value=5),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+clock_steps = st.lists(
+    st.floats(min_value=0.0, max_value=5e-3, allow_nan=False, allow_infinity=False),
+    min_size=60,
+    max_size=60,
+)
+
+
+def build_op(index, verb, key_index):
+    key = f"k{key_index}".encode()
+    if verb == "set":
+        return BatchOp(verb=verb, key=key, value=str(index).encode())
+    return BatchOp(verb=verb, key=key)
+
+
+class TestBufferProperties:
+    @given(policy=policies, specs=op_specs, steps=clock_steps)
+    @settings(max_examples=120, deadline=None)
+    def test_no_drop_no_dup_and_size_bound(self, policy, specs, steps):
+        buffer = BatchBuffer(policy)
+        now = 0.0
+        submitted = []  # (op, its futures at submission)
+        batches = []
+        for index, (verb, key_index) in enumerate(specs):
+            now += steps[index]
+            if buffer.expired(now):
+                batch = buffer.take("linger", now)
+                if batch is not None:
+                    batches.append(batch)
+            op = build_op(index, verb, key_index)
+            submitted.append((op, list(op.futures)))
+            batch = buffer.append(op, now)
+            if batch is not None:
+                batches.append(batch)
+        final = buffer.take(FLUSH_BARRIER, now)
+        if final is not None:
+            batches.append(final)
+        assert len(buffer) == 0
+
+        shipped = [op for batch in batches for op in batch.ops]
+        # Size bound: never above batch_max; size flushes exactly full.
+        for batch in batches:
+            assert len(batch) <= policy.batch_max
+            if batch.reason == FLUSH_SIZE:
+                assert len(batch) == policy.batch_max
+            assert batch.flushed_at >= batch.opened_at
+
+        # No drop, no dup: every submitted future appears exactly once
+        # across the shipped ops' fan-out lists.
+        shipped_futures = [f for op in shipped for f in op.futures]
+        assert len(shipped_futures) == len(set(map(id, shipped_futures)))
+        submitted_futures = {id(f) for _op, fs in submitted for f in fs}
+        assert {id(f) for f in shipped_futures} == submitted_futures
+
+        # Resolving each batch resolves every waiter exactly once.
+        for batch in batches:
+            for op in batch.ops:
+                op.resolve("x")
+        assert all(f.done for _op, fs in submitted for f in fs)
+
+    @given(policy=policies, specs=op_specs, steps=clock_steps)
+    @settings(max_examples=120, deadline=None)
+    def test_per_key_program_order(self, policy, specs, steps):
+        buffer = BatchBuffer(policy)
+        now = 0.0
+        batches = []
+        expected = {}  # key -> submitted mutation payloads, in order
+        for index, (verb, key_index) in enumerate(specs):
+            now += steps[index]
+            op = build_op(index, verb, key_index)
+            if verb != "get":
+                expected.setdefault(op.key, []).append((verb, op.value))
+            batch = buffer.append(op, now)
+            if batch is not None:
+                batches.append(batch)
+        final = buffer.take(FLUSH_BARRIER, now)
+        if final is not None:
+            batches.append(final)
+
+        observed = {}
+        for batch in batches:
+            for op in batch.ops:
+                if op.verb != "get":
+                    observed.setdefault(op.key, []).append((op.verb, op.value))
+        assert observed == expected
+
+        if not policy.dedup_gets:
+            # With dedup off the *entire* per-key stream is order-preserved.
+            full_expected, full_observed = {}, {}
+            for index, (verb, key_index) in enumerate(specs):
+                key = f"k{key_index}".encode()
+                full_expected.setdefault(key, []).append(verb)
+            for batch in batches:
+                for op in batch.ops:
+                    full_observed.setdefault(op.key, []).append(op.verb)
+            assert full_observed == full_expected
+
+    @given(
+        policy=policies,
+        opened_at=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        delta=st.floats(min_value=-1e-3, max_value=1e-2, allow_nan=False),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_linger_deadline_is_exact(self, policy, opened_at, delta):
+        buffer = BatchBuffer(policy)
+        assert buffer.deadline is None
+        assert not buffer.expired(opened_at)
+        flushed = buffer.append(BatchOp(verb="get", key=b"k"), opened_at)
+        if flushed is not None:  # batch_max == 1: nothing lingers
+            assert buffer.deadline is None
+            return
+        deadline = buffer.deadline
+        assert deadline == opened_at + policy.linger_s
+        now = opened_at + policy.linger_s + delta
+        # Expiry is exactly ``now >= deadline`` — never early, never late.
+        assert buffer.expired(now) == (now >= deadline)
+        assert buffer.expired(deadline)
+
+
+class TestFutureAndPolicy:
+    def test_future_resolves_exactly_once(self):
+        op = BatchOp(verb="get", key=b"k")
+        with pytest.raises(ProtocolError):
+            op.future.result()
+        op.resolve(41)
+        assert op.future.result() == 41
+        with pytest.raises(ProtocolError):
+            op.resolve(42)
+
+    @given(policy=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_policy_round_trips(self, policy):
+        assert BatchPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(batch_max=0)
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(batch_max=2000)
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(linger_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            BatchPolicy.from_dict({"batch_max": 2, "nope": 1})
+
+
+class TestClientPipelineProperties:
+    """The same invariants at the ResilientClient submit/barrier surface."""
+
+    @given(
+        specs=op_specs,
+        batch_max=st.integers(min_value=1, max_value=8),
+        dedup=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pipeline_resolves_everything_in_order(
+        self, specs, batch_max, dedup, seed
+    ):
+        rng = random.Random(seed)
+        client = ResilientClient(
+            ["a", "b"],
+            memory_per_node_bytes=MB,
+            policy=ResiliencePolicy(failover_after=None, hedge_after_s=None),
+            batching=BatchPolicy(
+                batch_max=batch_max, linger_s=1e-3, dedup_gets=dedup
+            ),
+            seed=seed,
+        )
+        futures = []
+        submitted = 0
+        for index, (verb, key_index) in enumerate(specs):
+            key = f"k{key_index}".encode()
+            if verb == "get":
+                futures.append((verb, key, client.submit_get(key)))
+            elif verb == "set":
+                futures.append(
+                    (verb, key, client.submit_set(key, str(index).encode()))
+                )
+            else:
+                futures.append((verb, key, client.submit_delete(key)))
+            submitted += 1
+            if rng.random() < 0.1:
+                client.advance_clock(rng.random() * 2e-3)
+        client.barrier()
+
+        assert client.pending_ops() == 0
+        # No drop: every submitted future resolved exactly once.
+        assert all(future.done for _v, _k, future in futures)
+        # Accounting: shipped ops + deduplicated folds == submissions.
+        assert client.batched_ops + client.deduped_gets == submitted
+        if not dedup:
+            assert client.deduped_gets == 0
+        if batch_max == 1:
+            assert client.deduped_gets == 0  # nothing lingers to fold onto
+
+        # Outcome correctness: the last mutation wins — a final barriered
+        # GET per key must observe the per-key program order's tail.
+        last_mutation = {}
+        for index, (verb, key_index) in enumerate(specs):
+            key = f"k{key_index}".encode()
+            if verb != "get":
+                last_mutation[key] = (verb, str(index).encode())
+        checks = [
+            (key, client.submit_get(key)) for key in sorted(last_mutation)
+        ]
+        client.barrier()
+        for key, future in checks:
+            verb, value = last_mutation[key]
+            got = future.result()
+            if verb == "set":
+                assert got is not None and got.value == value
+            else:
+                assert got is None
