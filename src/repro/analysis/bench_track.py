@@ -45,6 +45,23 @@ DEFAULT_WALL_THRESHOLD = 0.75
 _LOWER_IS_BETTER = frozenset({"wall_s", "rtt_s"})
 
 
+def _lower_is_better(field: str) -> bool:
+    """Whether growth in ``field`` is the bad direction.
+
+    Beyond the two classic fields, any ``*_s`` duration and any
+    ``*_amplification`` factor (the flashstore benches track write/read
+    amplification) reads as a cost, not a gain.
+    """
+    return field in _LOWER_IS_BETTER or field.endswith(
+        ("_s", "_amplification")
+    )
+
+
+def _is_throughput(field: str) -> bool:
+    """``tps`` and any ``*_tps`` endpoint (e.g. ``put_tps``) gate alike."""
+    return field == "tps" or field.endswith("_tps")
+
+
 def _empty_history() -> dict:
     return {"version": SCHEMA_VERSION, "runs": []}
 
@@ -144,8 +161,9 @@ def regression_report(
     """Diff the newest run against the previous one.
 
     Returns every comparable (bench, field) pair as a :class:`Delta`;
-    ``flagged`` is set when TPS dropped by more than ``tps_threshold``
-    or wall-clock grew by more than ``wall_threshold``.  Latency
+    ``flagged`` is set when a throughput field (``tps`` or any
+    ``*_tps`` endpoint) dropped by more than ``tps_threshold`` or
+    wall-clock grew by more than ``wall_threshold``.  Latency
     (``rtt_s``) deltas are reported but never flagged on their own —
     the simulated RTT is deterministic, so a real change there shows up
     in review, while the gate watches throughput.
@@ -160,7 +178,7 @@ def regression_report(
         for field in sorted(set(before) & set(after)):
             old, new = float(before[field]), float(after[field])
             flagged = False
-            if field == "tps" and old > 0:
+            if _is_throughput(field) and old > 0:
                 flagged = (new - old) / old < -tps_threshold
             elif field == "wall_s" and old > 0:
                 flagged = (new - old) / old > wall_threshold
@@ -189,7 +207,7 @@ def render_report(deltas: list[Delta]) -> str:
         lines.append("")
         lines.append(f"{len(flagged)} regression(s) flagged:")
         for d in flagged:
-            direction = "dropped" if d.field not in _LOWER_IS_BETTER else "grew"
+            direction = "grew" if _lower_is_better(d.field) else "dropped"
             lines.append(
                 f"  {d.bench}: {d.field} {direction} "
                 f"{abs(d.change):.1%} ({d.previous:g} -> {d.current:g})"

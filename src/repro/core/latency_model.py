@@ -264,6 +264,44 @@ class LatencyModel:
         """Single-core TPS at one operating point."""
         return self.request_timing(verb, value_bytes).tps
 
+    def request_timing_tiered(
+        self,
+        verb: str,
+        value_bytes: int,
+        flash_service_s: float,
+        key_bytes: int | None = None,
+    ) -> RequestTiming:
+        """RTT with the calibrated flash-stall charges replaced by a
+        *measured* flash service time from the tiered store.
+
+        The baseline flash path charges ``_data_stall``'s worst-case
+        constants (metadata reads + GC-amplified page programs per op).
+        A tiered-store op instead knows exactly what flash work it did —
+        an amortised share of one sequential page program for a PUT, the
+        actual candidate-page reads for a GET — so this subtracts the
+        calibrated stalls (the fixed metadata stall from ``memcached``,
+        the value-transfer stall from ``network``) and folds
+        ``flash_service_s`` into the memcached component, where the
+        paper's Fig. 4 attributes data-access time.  Instruction work,
+        instruction-fetch stalls, and wire time are untouched.
+        """
+        if not self.memory.is_flash:
+            raise ConfigurationError(
+                "tiered-store timing only applies to flash stacks"
+            )
+        if flash_service_s < 0:
+            raise ConfigurationError("flash service time cannot be negative")
+        base = self.request_timing(verb, value_bytes, key_bytes=key_bytes)
+        keylen = self.cal.default_key_bytes if key_bytes is None else key_bytes
+        fixed_stall, value_stall = self._data_stall(verb, value_bytes, keylen)
+        return RequestTiming(
+            verb=base.verb,
+            value_bytes=base.value_bytes,
+            hash_s=base.hash_s,
+            memcached_s=base.memcached_s - fixed_stall + flash_service_s,
+            network_s=base.network_s - value_stall,
+        )
+
     def multiget_timing(
         self, keys: int, value_bytes: int, key_bytes: int | None = None
     ) -> RequestTiming:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.exp.spec import ExperimentSpec, StackSpec
 from repro.faults.schedule import PRESETS, FaultSchedule
+from repro.flashstore.compaction import TieredStoreConfig
 from repro.kvstore.batching import BatchPolicy
 from repro.sim.run_options import RunOptions
 from repro.workloads.distributions import fixed_size
@@ -38,6 +39,11 @@ class Scenario:
     impact, not cold-start misses.  ``batch_max``/``batch_linger_s``
     enable the coalesced request path (``batch_max > 1`` becomes a
     :class:`~repro.kvstore.batching.BatchPolicy` on the run options).
+    ``flashstore`` routes the data path through the SILT-style tiered
+    flash store (flash stacks only; ``flashstore_segment_pages`` sizes
+    the write-tier log segment).  The knob travels on
+    :class:`~repro.sim.run_options.RunOptions`, so experiment cache keys
+    distinguish tiered from baseline cells automatically.
     """
 
     name: str
@@ -49,6 +55,8 @@ class Scenario:
     key_population: int = 20_000
     batch_max: int = 1
     batch_linger_s: float = 0.0
+    flashstore: bool = False
+    flashstore_segment_pages: int = 256
 
     def __post_init__(self) -> None:
         if self.faults is not None and self.faults not in PRESETS:
@@ -56,13 +64,26 @@ class Scenario:
                 f"scenario {self.name!r} names unknown fault preset "
                 f"{self.faults!r} (want one of {sorted(PRESETS)})"
             )
+        if self.flashstore and self.batch_max > 1:
+            raise ConfigurationError(
+                f"scenario {self.name!r} cannot combine the tiered flash "
+                "store with batching"
+            )
         # Validate the knobs eagerly, even when batching stays off.
         BatchPolicy(batch_max=self.batch_max, linger_s=self.batch_linger_s)
+        TieredStoreConfig(log_segment_pages=self.flashstore_segment_pages)
 
     def batch_policy(self) -> BatchPolicy | None:
         if self.batch_max <= 1:
             return None
         return BatchPolicy(batch_max=self.batch_max, linger_s=self.batch_linger_s)
+
+    def flashstore_config(self) -> TieredStoreConfig | None:
+        if not self.flashstore:
+            return None
+        return TieredStoreConfig(
+            log_segment_pages=self.flashstore_segment_pages
+        )
 
     def fault_schedule(self) -> FaultSchedule | None:
         return PRESETS[self.faults] if self.faults else None
@@ -94,6 +115,7 @@ class Scenario:
             faults=self.fault_schedule(),
             resilience=DEFAULT_RESILIENCE if self.resilience else None,
             batching=self.batch_policy(),
+            flashstore=self.flashstore_config(),
         )
 
     def to_spec(
@@ -147,6 +169,20 @@ def _build_registry() -> dict[str, Scenario]:
         batch_max=64,
         batch_linger_s=200e-6,
     )
+    scenarios["iridium-tiered"] = Scenario(
+        name="iridium-tiered",
+        description="fault-free workload over the SILT-style tiered "
+        "flash store (log/hash/sorted tiers; Iridium stacks only)",
+        flashstore=True,
+    )
+    scenarios["iridium-tiered-writeheavy"] = Scenario(
+        name="iridium-tiered-writeheavy",
+        description="write-heavy (50% PUT) workload over the tiered "
+        "flash store — the regime where log packing beats the page-per-"
+        "item FTL (Iridium stacks only)",
+        get_fraction=0.5,
+        flashstore=True,
+    )
     for preset in sorted(PRESETS):
         scenarios[preset] = Scenario(
             name=preset,
@@ -157,8 +193,8 @@ def _build_registry() -> dict[str, Scenario]:
     return scenarios
 
 
-#: Every named scenario: ``baseline``, the two batched presets, plus one
-#: per fault preset.
+#: Every named scenario: ``baseline``, the two batched presets, the two
+#: tiered-flashstore presets, plus one per fault preset.
 SCENARIOS: dict[str, Scenario] = _build_registry()
 
 

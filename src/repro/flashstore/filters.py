@@ -1,0 +1,212 @@
+"""Partial-key cuckoo filters: the in-memory index in front of each tier.
+
+Each flash tier keeps one of these per store so a GET can reject absent
+keys without touching flash and locate present keys with (usually) one
+page read.  Entries are ``(fingerprint, value)`` pairs — the value is a
+byte offset (log tier) or a page number (hash/sorted tiers) — so the
+structure is SILT's *partial-key cuckoo hash table*: only a short
+fingerprint of the key lives in memory, which is what keeps the index
+at a few bytes per key, at the price of a measurable false-positive
+rate.
+
+Guarantees the tiers rely on:
+
+* **No false negatives.**  An insert either succeeds or leaves the
+  filter exactly as it was (the displacement chain of a failed cuckoo
+  walk is rolled back), so every previously inserted member stays
+  findable through any amount of insert/delete/relocate churn.
+* **Determinism.**  Kick victims come from a dedicated
+  :func:`~repro.sim.rng.make_rng` stream and key hashing is a stable
+  content hash (never Python's salted ``hash()``), so the same op
+  sequence under the same seed rebuilds the same filter bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import make_rng
+
+#: Sentinel distinguishing "delete any matching entry" from value=None.
+_ANY = object()
+
+#: Odd multiplier for the fingerprint-derived alternate-bucket hash
+#: (the standard cuckoo-filter trick: ``i2 = i1 XOR H(fp)`` with a
+#: cheap multiplicative H keeps the pairing involutive).
+_FP_HASH_MULTIPLIER = 0x5BD1E995
+
+#: Target mean load the constructor sizes the table for; 4-way buckets
+#: reach ~95% occupancy before insert failures, so 0.84 leaves margin.
+_TARGET_LOAD = 0.84
+
+
+class CuckooFilter:
+    """A 4-way, two-choice cuckoo hash over key fingerprints.
+
+    ``capacity`` is the expected member count; the bucket array is sized
+    to a power of two holding it at ~84% mean load.  ``fingerprint_bits``
+    trades memory for false-positive rate (the classical bound is
+    ``2 * slots / 2^bits`` per negative lookup).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        fingerprint_bits: int = 12,
+        slots_per_bucket: int = 4,
+        max_kicks: int = 500,
+        seed: int = 0,
+        label: str = "cuckoo",
+    ):
+        if capacity < 1:
+            raise ConfigurationError("filter capacity must be positive")
+        if not 4 <= fingerprint_bits <= 32:
+            raise ConfigurationError("fingerprint_bits must be in [4, 32]")
+        if slots_per_bucket < 1:
+            raise ConfigurationError("slots_per_bucket must be positive")
+        if max_kicks < 1:
+            raise ConfigurationError("max_kicks must be positive")
+        self.fingerprint_bits = fingerprint_bits
+        self.slots_per_bucket = slots_per_bucket
+        self.max_kicks = max_kicks
+        want = max(1, -(-capacity // slots_per_bucket))
+        want = max(1, int(want / _TARGET_LOAD))
+        buckets = 1
+        while buckets < want:
+            buckets *= 2
+        self._mask = buckets - 1
+        self._buckets: list[list[tuple[int, object]]] = [
+            [] for _ in range(buckets)
+        ]
+        self._count = 0
+        self._rng = make_rng(f"cuckoo-{label}", seed)
+        self.kicks = 0
+        self.failed_inserts = 0
+
+    # --- hashing -----------------------------------------------------------
+
+    def _fingerprint_and_bucket(self, key: bytes) -> tuple[int, int]:
+        digest = int.from_bytes(
+            hashlib.blake2b(key, digest_size=8).digest(), "big"
+        )
+        bucket = (digest >> 32) & self._mask
+        fingerprint = digest & ((1 << self.fingerprint_bits) - 1)
+        return fingerprint or 1, bucket
+
+    def _alt_bucket(self, bucket: int, fingerprint: int) -> int:
+        return (bucket ^ (fingerprint * _FP_HASH_MULTIPLIER)) & self._mask
+
+    # --- the member API ----------------------------------------------------
+
+    def insert(self, key: bytes, value: object = None) -> bool:
+        """Add one ``(fingerprint(key), value)`` entry; False if full.
+
+        A failed insert rolls its displacement chain back, so the filter
+        is left exactly as before the call — no member ever becomes a
+        false negative because of somebody else's failed insert.
+        """
+        fingerprint, b1 = self._fingerprint_and_bucket(key)
+        b2 = self._alt_bucket(b1, fingerprint)
+        for bucket in (b1, b2):
+            if len(self._buckets[bucket]) < self.slots_per_bucket:
+                self._buckets[bucket].append((fingerprint, value))
+                self._count += 1
+                return True
+        index = self._rng.choice((b1, b2))
+        entry = (fingerprint, value)
+        chain: list[tuple[int, int, tuple[int, object]]] = []
+        for _ in range(self.max_kicks):
+            slot = self._rng.randrange(self.slots_per_bucket)
+            victim = self._buckets[index][slot]
+            self._buckets[index][slot] = entry
+            chain.append((index, slot, victim))
+            self.kicks += 1
+            entry = victim
+            index = self._alt_bucket(index, entry[0])
+            if len(self._buckets[index]) < self.slots_per_bucket:
+                self._buckets[index].append(entry)
+                self._count += 1
+                return True
+        for bucket, slot, old in reversed(chain):
+            self._buckets[bucket][slot] = old
+        self.failed_inserts += 1
+        return False
+
+    def lookup(self, key: bytes) -> tuple[object, ...]:
+        """Values of every entry whose fingerprint matches ``key``.
+
+        Empty means *definitely absent*; non-empty means the caller must
+        verify the candidates against flash (extras are the filter's
+        false positives).
+        """
+        fingerprint, b1 = self._fingerprint_and_bucket(key)
+        b2 = self._alt_bucket(b1, fingerprint)
+        matches = [
+            value
+            for fp, value in self._buckets[b1]
+            if fp == fingerprint
+        ]
+        if b2 != b1:
+            matches.extend(
+                value for fp, value in self._buckets[b2] if fp == fingerprint
+            )
+        return tuple(matches)
+
+    def contains(self, key: bytes) -> bool:
+        return bool(self.lookup(key))
+
+    def delete(self, key: bytes, value: object = _ANY) -> bool:
+        """Remove one matching entry (by fingerprint, and by value when
+        given); False when nothing matched."""
+        fingerprint, b1 = self._fingerprint_and_bucket(key)
+        for bucket in (b1, self._alt_bucket(b1, fingerprint)):
+            entries = self._buckets[bucket]
+            for i, (fp, held) in enumerate(entries):
+                if fp != fingerprint:
+                    continue
+                if value is not _ANY and held != value:
+                    continue
+                entries.pop(i)
+                self._count -= 1
+                return True
+        return False
+
+    # --- accounting --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def slot_count(self) -> int:
+        return self.bucket_count * self.slots_per_bucket
+
+    @property
+    def load_factor(self) -> float:
+        return self._count / self.slot_count
+
+    @property
+    def fingerprint_bytes(self) -> float:
+        """Modelled in-memory cost of the fingerprint array alone."""
+        return self.slot_count * self.fingerprint_bits / 8.0
+
+    @property
+    def expected_false_positive_rate(self) -> float:
+        """Classical per-lookup bound: ``2 s / 2^f`` at full occupancy,
+        scaled by the actual load."""
+        full = 2.0 * self.slots_per_bucket / (1 << self.fingerprint_bits)
+        return full * self.load_factor
+
+    def check_invariants(self) -> None:
+        """Bucket occupancy and member-count consistency (test hook)."""
+        total = 0
+        for entries in self._buckets:
+            if len(entries) > self.slots_per_bucket:
+                raise ConfigurationError("bucket over-full")
+            total += len(entries)
+        if total != self._count:
+            raise ConfigurationError("member count out of sync")

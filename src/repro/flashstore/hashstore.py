@@ -1,0 +1,125 @@
+"""The intermediary tier: a sealed log segment, hash-organised.
+
+When a log segment seals, the tier manager converts it into one of
+these: the segment's *live* entries (overwritten versions are dropped)
+are laid out in fingerprint-hash order and packed whole into pages, and
+a fresh partial-key cuckoo index maps each key's fingerprint to its
+page.  The store is immutable from then on — GETs read exactly one
+page per hit (items never span pages here) and merges stream it out.
+
+Keeping conversion hash-ordered is what makes the eventual hash→sorted
+merge a sequential multi-way merge instead of random reads, mirroring
+SILT's HashStore role.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ConfigurationError
+from repro.flashstore.filters import CuckooFilter
+from repro.memory.flash import FlashDevice
+
+#: Modelled per-entry page-number bytes in the in-memory index (a page
+#: index fits 2 bytes at these store sizes).
+PAGE_REF_BYTES = 2
+
+
+def _hash_order(key: bytes) -> bytes:
+    """Stable layout order for conversion (fingerprint-hash order)."""
+    return hashlib.blake2b(key, digest_size=8).digest()
+
+
+class HashStore:
+    """An immutable hash-organised store built from one sealed segment."""
+
+    def __init__(
+        self,
+        entries: dict[bytes, int],
+        device: FlashDevice,
+        fingerprint_bits: int = 12,
+        seed: int = 0,
+        label: str = "hash",
+    ):
+        if not entries:
+            raise ConfigurationError("a hash store needs at least one entry")
+        self.device = device
+        self._sizes = dict(entries)
+        self._page_of: dict[bytes, int] = {}
+        self._page_keys: list[set[bytes]] = []
+        page_free = 0
+        for key in sorted(entries, key=_hash_order):
+            size = entries[key]
+            if size < 1:
+                raise ConfigurationError("item size must be positive")
+            if size > device.page_bytes:
+                raise ConfigurationError(
+                    "hash-store items must fit in one flash page"
+                )
+            if size > page_free:
+                self._page_keys.append(set())
+                page_free = device.page_bytes
+            page = len(self._page_keys) - 1
+            self._page_keys[page].add(key)
+            self._page_of[key] = page
+            page_free -= size
+        self.index = CuckooFilter(
+            capacity=len(entries),
+            fingerprint_bits=fingerprint_bits,
+            seed=seed,
+            label=label,
+        )
+        for key, page in self._page_of.items():
+            if not self.index.insert(key, value=page):
+                raise ConfigurationError("hash-store index unexpectedly full")
+
+    # --- reads -------------------------------------------------------------
+
+    def get(self, key: bytes) -> tuple[bool, int, int]:
+        """Probe the store: ``(found, pages_read, false_positive_reads)``.
+
+        Candidate pages come from the index; each is read once and its
+        (functional) key set checked.  A hit therefore costs exactly one
+        read unless a fingerprint collision routed us through a false
+        candidate page first.
+        """
+        pages_read = 0
+        false_positive_reads = 0
+        seen: set[int] = set()
+        for page in self.index.lookup(key):
+            if page in seen:
+                continue
+            seen.add(page)
+            pages_read += 1
+            if key in self._page_keys[page]:
+                return True, pages_read, false_positive_reads
+            false_positive_reads += 1
+        return False, pages_read, false_positive_reads
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._sizes
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    # --- merge + accounting -------------------------------------------------
+
+    def entries(self) -> dict[bytes, int]:
+        """``{key: item_bytes}`` — the merge input."""
+        return dict(self._sizes)
+
+    @property
+    def pages(self) -> int:
+        return len(self._page_keys)
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(self._sizes.values())
+
+    @property
+    def index_bytes(self) -> float:
+        """Modelled in-memory index: fingerprint + page ref per slot."""
+        return (
+            self.index.fingerprint_bytes
+            + self.index.slot_count * PAGE_REF_BYTES
+        )

@@ -1,0 +1,154 @@
+"""The write-friendly tier: an append-only log segment on flash.
+
+PUTs land here as byte-contiguous appends.  A page is programmed only
+when the write pointer crosses a page boundary, so many small items
+share one 8 KB program — this packing is the whole PUT-throughput win
+over the paper's page-per-item FTL path.  An in-memory partial-key
+cuckoo index maps fingerprints to byte offsets, so a GET reads only the
+page(s) actually holding a candidate item (newest candidate first).
+
+The segment seals once the write pointer reaches its capacity; the tier
+manager then converts it into a :class:`~repro.flashstore.hashstore.
+HashStore`, dropping versions that were overwritten inside the segment.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, StorageError
+from repro.flashstore.filters import CuckooFilter
+from repro.memory.flash import FlashDevice
+
+#: Modelled per-entry offset bytes in the in-memory index (SILT's log
+#: store keeps a 4-byte offset next to each fingerprint).
+OFFSET_BYTES = 4
+
+
+class LogStore:
+    """One append-only log segment with a partial-key offset index."""
+
+    def __init__(
+        self,
+        device: FlashDevice,
+        segment_pages: int,
+        fingerprint_bits: int = 12,
+        expected_item_bytes: int = 184,
+        seed: int = 0,
+        label: str = "log",
+    ):
+        if segment_pages < 1:
+            raise ConfigurationError("a log segment needs at least one page")
+        if expected_item_bytes < 1:
+            raise ConfigurationError("expected_item_bytes must be positive")
+        self.device = device
+        self.segment_pages = segment_pages
+        self.segment_bytes = segment_pages * device.page_bytes
+        self.index = CuckooFilter(
+            capacity=max(8, self.segment_bytes // expected_item_bytes),
+            fingerprint_bits=fingerprint_bits,
+            seed=seed,
+            label=label,
+        )
+        self._write_offset = 0
+        self._entries: dict[bytes, tuple[int, int]] = {}  # key -> (off, len)
+        self._by_offset: dict[int, bytes] = {}
+        self.appends = 0
+        self.host_bytes = 0
+        self.dead_bytes = 0
+        self.pages_programmed = 0
+
+    # --- writes ------------------------------------------------------------
+
+    @property
+    def is_full(self) -> bool:
+        return self._write_offset >= self.segment_bytes
+
+    def append(self, key: bytes, item_bytes: int) -> int:
+        """Append one item; returns pages newly programmed (0 or more).
+
+        Raises:
+            StorageError: when the segment is already sealed-full.
+        """
+        if item_bytes < 1:
+            raise ConfigurationError("item size must be positive")
+        if item_bytes > self.segment_bytes:
+            raise ConfigurationError("item larger than a whole segment")
+        if self.is_full:
+            raise StorageError("appending to a sealed log segment")
+        offset = self._write_offset
+        old = self._entries.get(key)
+        if old is not None:
+            old_offset, old_len = old
+            del self._by_offset[old_offset]
+            self.dead_bytes += old_len
+            self.index.delete(key, value=old_offset)
+        if not self.index.insert(key, value=offset):
+            # The filter is sized above the densest packing a segment
+            # can hold, so exhausting it means a sizing bug.
+            raise StorageError("log index unexpectedly full")
+        self._entries[key] = (offset, item_bytes)
+        self._by_offset[offset] = key
+        # A page is programmed when the write pointer crosses its end
+        # (the controller buffers the open page), so packing many small
+        # items into one page costs exactly one program.
+        before = offset // self.device.page_bytes
+        self._write_offset = offset + item_bytes
+        programmed = self._write_offset // self.device.page_bytes - before
+        self.pages_programmed += programmed
+        self.appends += 1
+        self.host_bytes += item_bytes
+        return programmed
+
+    # --- reads -------------------------------------------------------------
+
+    def _pages_spanned(self, offset: int, item_bytes: int) -> int:
+        first = offset // self.device.page_bytes
+        last = (offset + item_bytes - 1) // self.device.page_bytes
+        return last - first + 1
+
+    def get(self, key: bytes) -> tuple[bool, int, int]:
+        """Probe the log: ``(found, pages_read, false_positive_reads)``.
+
+        Zero candidates in the index is a definite miss and costs no
+        flash reads.  Candidates are tried newest (highest offset)
+        first, so a live key's current version is normally the first
+        page read; extra reads are the filter's false positives.
+        """
+        candidates = sorted(self.index.lookup(key), reverse=True)
+        pages_read = 0
+        false_positive_reads = 0
+        for offset in candidates:
+            held = self._by_offset.get(offset)
+            if held is None:  # entry died between index ops; defensive
+                continue
+            span = self._pages_spanned(offset, self._entries[held][1])
+            pages_read += span
+            if held == key:
+                return True, pages_read, false_positive_reads
+            false_positive_reads += span
+        return False, pages_read, false_positive_reads
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # --- conversion + accounting -------------------------------------------
+
+    def live_entries(self) -> dict[bytes, int]:
+        """Current version of every key: ``{key: item_bytes}``."""
+        return {key: size for key, (_, size) in self._entries.items()}
+
+    @property
+    def live_bytes(self) -> int:
+        return self._write_offset - self.dead_bytes
+
+    @property
+    def pages_written(self) -> int:
+        """Pages the segment's data occupies (conversion scans these)."""
+        return -(-self._write_offset // self.device.page_bytes)
+
+    @property
+    def index_bytes(self) -> float:
+        """Modelled in-memory index cost: fingerprint + offset per slot."""
+        return self.index.fingerprint_bytes + self.index.slot_count * OFFSET_BYTES

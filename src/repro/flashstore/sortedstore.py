@@ -1,0 +1,110 @@
+"""The memory-efficient bulk tier: one sorted run with a sparse index.
+
+Merge-compaction folds every hash store (plus the previous sorted run)
+into a new instance of this tier.  Items are packed whole into pages in
+key order; the in-memory index is *sparse* — one short first-key prefix
+per page for the binary search, plus a narrow cuckoo filter that lets
+most absent-key probes skip flash entirely.  Per-entry memory is the
+smallest of the three tiers, which is the SILT memory hierarchy this
+subsystem exists to reproduce: the log pays bytes per key for write
+speed, the sorted tier pays fractions of a byte for bulk capacity.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.errors import ConfigurationError
+from repro.flashstore.filters import CuckooFilter
+from repro.memory.flash import FlashDevice
+
+#: Modelled bytes of the per-page first-key prefix kept in memory (the
+#: functional search uses the full key; 8 prefix bytes is what a real
+#: sparse index would store).
+PAGE_PREFIX_BYTES = 8
+
+
+class SortedStore:
+    """An immutable sorted run over whole-page-packed items."""
+
+    def __init__(
+        self,
+        entries: dict[bytes, int],
+        device: FlashDevice,
+        fingerprint_bits: int = 8,
+        seed: int = 0,
+        label: str = "sorted",
+    ):
+        if not entries:
+            raise ConfigurationError("a sorted store needs at least one entry")
+        self.device = device
+        self._sizes = dict(entries)
+        self._page_keys: list[set[bytes]] = []
+        self._first_keys: list[bytes] = []
+        page_free = 0
+        for key in sorted(entries):
+            size = entries[key]
+            if size < 1:
+                raise ConfigurationError("item size must be positive")
+            if size > device.page_bytes:
+                raise ConfigurationError(
+                    "sorted-store items must fit in one flash page"
+                )
+            if size > page_free:
+                self._page_keys.append(set())
+                self._first_keys.append(key)
+                page_free = device.page_bytes
+            self._page_keys[-1].add(key)
+            page_free -= size
+        self.filter = CuckooFilter(
+            capacity=len(entries),
+            fingerprint_bits=fingerprint_bits,
+            seed=seed,
+            label=label,
+        )
+        for key in self._sizes:
+            if not self.filter.insert(key):
+                raise ConfigurationError("sorted-store filter unexpectedly full")
+
+    # --- reads -------------------------------------------------------------
+
+    def get(self, key: bytes) -> tuple[bool, int, int]:
+        """Probe the run: ``(found, pages_read, false_positive_reads)``.
+
+        The filter rejects most absent keys for free; survivors binary-
+        search the sparse index to *one* candidate page, which is read
+        and checked — so a hit costs exactly one read and a filter false
+        positive costs exactly one wasted read.
+        """
+        if not self.filter.contains(key):
+            return False, 0, 0
+        page = bisect_right(self._first_keys, key) - 1
+        if page < 0:
+            return False, 0, 0
+        if key in self._page_keys[page]:
+            return True, 1, 0
+        return False, 1, 1
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._sizes
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    # --- merge + accounting -------------------------------------------------
+
+    def entries(self) -> dict[bytes, int]:
+        return dict(self._sizes)
+
+    @property
+    def pages(self) -> int:
+        return len(self._page_keys)
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(self._sizes.values())
+
+    @property
+    def index_bytes(self) -> float:
+        """Sparse page index + the narrow filter's fingerprints."""
+        return self.pages * PAGE_PREFIX_BYTES + self.filter.fingerprint_bytes

@@ -91,6 +91,7 @@ class FlashTranslationLayer:
         device: FlashDevice,
         overprovision: float = 0.07,
         gc_low_watermark: int = 2,
+        registry=None,
     ):
         if not 0.0 < overprovision < 0.5:
             raise ConfigurationError("overprovision must be in (0, 0.5)")
@@ -99,6 +100,18 @@ class FlashTranslationLayer:
         self.device = device
         self.overprovision = overprovision
         self.gc_low_watermark = gc_low_watermark
+        # Optional live telemetry (a MetricsRegistry): erases and GC
+        # relocations as counters, measured WA as a gauge kept current
+        # on every host write.
+        self._erases_counter = (
+            registry.counter("ftl_erases_total") if registry is not None else None
+        )
+        self._gc_moves_counter = (
+            registry.counter("ftl_gc_page_moves_total") if registry is not None else None
+        )
+        self._wa_gauge = (
+            registry.gauge("ftl_write_amplification") if registry is not None else None
+        )
 
         total_blocks = device.total_blocks
         logical_blocks = int(total_blocks * (1.0 - overprovision))
@@ -158,6 +171,8 @@ class FlashTranslationLayer:
         self.stats.host_writes += 1
         elapsed += self.device.program_time()
         self.stats.service_time_s += elapsed
+        if self._wa_gauge is not None:
+            self._wa_gauge.set(self.stats.write_amplification)
         return elapsed
 
     def trim(self, logical_page: int) -> None:
@@ -186,6 +201,23 @@ class FlashTranslationLayer:
         """(min, max) erase count across blocks — wear-levelling health."""
         counts = [b.erase_count for b in self._blocks]
         return min(counts), max(counts)
+
+    @property
+    def erase_counts(self) -> tuple[int, ...]:
+        """Cumulative erase count of every physical block, in block
+        order — the wear map endurance projections integrate over."""
+        return tuple(block.erase_count for block in self._blocks)
+
+    @property
+    def erases_total(self) -> int:
+        """Total block erases so far (equals ``sum(erase_counts)``)."""
+        return sum(block.erase_count for block in self._blocks)
+
+    @property
+    def write_amplification(self) -> float:
+        """Measured WA: physical pages programmed per host page written
+        (1.0 before GC first engages)."""
+        return self.stats.write_amplification
 
     def check_invariants(self) -> None:
         """Verify map/bitmap consistency; used by property-based tests.
@@ -277,9 +309,13 @@ class FlashTranslationLayer:
             new_slot = self._program(self._active, logical)
             self._map[logical] = (self._active.index, new_slot)
             self.stats.gc_page_moves += 1
+            if self._gc_moves_counter is not None:
+                self._gc_moves_counter.inc()
             elapsed += self.device.read_time() + self.device.program_time()
         victim.erase()
         self.stats.erases += 1
+        if self._erases_counter is not None:
+            self._erases_counter.inc()
         elapsed += self.device.erase_time()
         self._free.append(victim.index)
         self._collecting = False

@@ -26,7 +26,12 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.faults.injector import FaultInjector
 from repro.faults.resilience import ResiliencePolicy
 from repro.faults.schedule import FaultSchedule
+from repro.flashstore.compaction import (
+    TieredFlashStore,
+    aggregate_tiered_results,
+)
 from repro.kvstore.batching import FLUSH_LINGER, FLUSH_SIZE, MAX_BATCH_OPS
+from repro.kvstore.items import ITEM_OVERHEAD_BYTES
 from repro.kvstore.consistent_hash import ConsistentHashRing
 from repro.kvstore.server_loop import MemcachedServer
 from repro.kvstore.store import KVStore
@@ -112,6 +117,9 @@ class FullSystemResults:
     batches: int = 0
     batched_ops: int = 0
     batch_flush_reasons: dict[str, int] = field(default_factory=dict)
+    # Tiered flash-store outcomes (amplifications, per-tier traffic and
+    # index memory), populated only when RunOptions.flashstore is set.
+    flashstore: dict | None = None
     # Optional windowed hit-rate timeline for recovery analysis; the
     # series share the dict-style {window_index: count} surface the
     # old ad-hoc maps had.
@@ -332,6 +340,10 @@ class FullSystemResults:
                 reason: self.batch_flush_reasons[reason]
                 for reason in sorted(self.batch_flush_reasons)
             }
+        if self.flashstore is not None:
+            # Conditional key again: runs without the tiered store keep
+            # their pre-flashstore cache-entry byte layout.
+            payload["flashstore"] = self.flashstore
         return payload
 
 
@@ -494,6 +506,19 @@ class FullSystemStack:
         retries serially.  Hedging does not apply to batched ops, and
         batching cannot be combined with replication ``n > 1``.
 
+        ``flashstore`` (a :class:`~repro.flashstore.TieredStoreConfig`,
+        flash stacks only) mirrors every op against a per-core
+        SILT-style tiered store and swaps the latency model's
+        calibrated flash stalls for the tiers' *measured* flash work:
+        PUTs charge an amortised share of one sequential page program,
+        GETs charge their actual candidate-page reads, and log→hash
+        conversion / hash→sorted compaction land as background busy
+        time (``background_busy_seconds{task=conversion|compaction}``)
+        on the triggering core.  Functional outcomes are identical to
+        the plain path; amplification and index-memory accounting
+        appear in ``results.flashstore`` and ``flashstore_*`` metrics.
+        Incompatible with replication ``n > 1`` and batching.
+
         The observatory hooks ride on the same simulated clock:
         ``timeseries`` (a :class:`TimeSeriesRecorder`, typically over
         ``telemetry.registry``) is installed as a recurring DES event
@@ -645,6 +670,72 @@ class FullSystemStack:
                 "combined in the full-system run; batch against a "
                 "sharded stack"
             )
+        flashstore_config = options.flashstore
+        tiered_stores: list[TieredFlashStore] | None = None
+        if flashstore_config is not None:
+            if not self.model.memory.is_flash:
+                raise ConfigurationError(
+                    "the tiered flash store needs a flash (Iridium) "
+                    "stack; Mercury keeps its DRAM path"
+                )
+            if replicated:
+                raise ConfigurationError(
+                    "the tiered flash store and replication (n > 1) "
+                    "cannot be combined yet; run sharded"
+                )
+            if batch_enabled:
+                raise ConfigurationError(
+                    "the tiered flash store and batched dispatch cannot "
+                    "be combined yet; run the serial path"
+                )
+            assert self.stack.flash is not None
+            # One tiered store per core, each seeded off (stack seed,
+            # core index) so runs are reproducible and cores differ.
+            tiered_stores = [
+                TieredFlashStore(
+                    self.stack.flash,
+                    flashstore_config,
+                    seed=self.seed,
+                    label=f"core{i}",
+                    registry=registry,
+                )
+                for i in range(self.stack.cores)
+            ]
+            conversion_busy = registry.histogram(
+                "background_busy_seconds", {"task": "conversion"}
+            )
+            compaction_busy = registry.histogram(
+                "background_busy_seconds", {"task": "compaction"}
+            )
+            # Fixed item framing shared with the latency model: the
+            # calibrated default key length, not each request's actual
+            # key bytes, so tiered and baseline runs charge the same
+            # item footprint.
+            item_overhead = (
+                ITEM_OVERHEAD_BYTES + self.model.cal.default_key_bytes
+            )
+
+            def charge_background(core_index: int, works, trace=None) -> None:
+                """Charge conversion/compaction flash time to the core
+                that triggered it (the tier moves already happened
+                functionally inside the store)."""
+                for work in works:
+                    busy = (
+                        conversion_busy
+                        if work.kind == "conversion"
+                        else compaction_busy
+                    )
+                    busy.record(work.service_s)
+                    if tracer.enabled:
+                        tracer.follow_from(
+                            work.kind,
+                            sim.now,
+                            work.service_s,
+                            node=f"core{core_index}",
+                            stack=stack_label,
+                            trace=trace,
+                        )
+                    cores[core_index].submit(work.service_s, lambda wait: None)
         if batch_enabled:
             # One pending-op list per core: the client-side buffer in
             # front of each node's coalesced frame.  ``open_id`` detects
@@ -710,6 +801,10 @@ class FullSystemStack:
                 down_cores.add(index)
                 down_ports.add(str(_BASE_TCP_PORT + index))
                 self.servers[index].store.flush_all()
+                if tiered_stores is not None:
+                    # The crash also loses the tiers' in-memory indexes,
+                    # so the tiered store restarts empty with its peer.
+                    tiered_stores[index].flush()
 
             def restart_core(node: str) -> None:
                 index = self._core_index(node)
@@ -866,6 +961,25 @@ class FullSystemStack:
             hit, response_len = self._execute(
                 request.key, request.verb, request.value_bytes, core_index
             )
+            tiered = (
+                tiered_stores[core_index] if tiered_stores is not None else None
+            )
+            tiered_cost = None
+            if tiered is not None:
+                # Mirror the op against this core's tiered store: the
+                # functional outcome stays the plain store's (so runs
+                # with the tier on/off match request for request), the
+                # *cost* becomes the tiers' measured flash work.
+                if request.verb == "GET":
+                    tiered_cost = tiered.get(request.key)
+                else:
+                    tiered_cost = tiered.put(
+                        request.key, item_overhead + request.value_bytes
+                    )
+                if tiered_cost.background:
+                    charge_background(
+                        core_index, tiered_cost.background, state["trace"]
+                    )
             if replicated and request.verb == "GET" and not hit:
                 # Quorum read: the coordinator consults R replicas and
                 # any copy answers — a replica that misses while a live
@@ -914,13 +1028,29 @@ class FullSystemStack:
                             )
                 else:
                     self._execute(request.key, "PUT", request.value_bytes, core_index)
+                    if tiered is not None:
+                        # The refill lands in the tiers too (free, like
+                        # the plain functional PUT), but any conversion
+                        # it tips over is real background flash work.
+                        refill = tiered.put(
+                            request.key, item_overhead + request.value_bytes
+                        )
+                        if refill.background:
+                            charge_background(
+                                core_index, refill.background, state["trace"]
+                            )
             if replicated and request.verb == "GET":
                 preferred = placement.replicas_for(request.key)
                 if port != preferred[0]:
                     results.redirected_reads += 1
                     redirected_total.inc()
             served_bytes = response_len if request.verb == "GET" else request.value_bytes
-            timing = self.model.request_timing(request.verb, served_bytes)
+            if tiered_cost is not None:
+                timing = self.model.request_timing_tiered(
+                    request.verb, served_bytes, tiered_cost.service_s
+                )
+            else:
+                timing = self.model.request_timing(request.verb, served_bytes)
             if injector is not None:
                 factor = injector.service_factor(memory_kind)
                 if factor != 1.0:
@@ -1049,7 +1179,7 @@ class FullSystemStack:
                             node=node_label,
                             stack=stack_label,
                         )
-                        trace.add_span(
+                        mc_span = trace.add_span(
                             "memcached",
                             served_at + timing.network_s + timing.hash_s,
                             timing.memcached_s,
@@ -1058,6 +1188,25 @@ class FullSystemStack:
                             node=node_label,
                             stack=stack_label,
                         )
+                        if tiered_cost is not None and tiered_cost.probes:
+                            # Per-tier flash intervals nest inside the
+                            # memcached stage (where the tiered timing
+                            # folded them), laid back to back in probe
+                            # order: log, hash stores, sorted.
+                            probe_at = (
+                                served_at + timing.network_s + timing.hash_s
+                            )
+                            for tier_name, seconds in tiered_cost.probes:
+                                trace.add_span(
+                                    f"flash_{tier_name}",
+                                    probe_at,
+                                    seconds,
+                                    parent=mc_span,
+                                    kind="server",
+                                    node=node_label,
+                                    stack=stack_label,
+                                )
+                                probe_at += seconds
                         for v_start, v_duration, v_core in state.get(
                             "verify_spans", ()
                         ):
@@ -1670,6 +1819,16 @@ class FullSystemStack:
                         )
                 else:
                     self._execute(request.key, "PUT", request.value_bytes)
+                    if tiered_stores is not None:
+                        tiered_stores[self.core_for_key(request.key)].put(
+                            request.key, item_overhead + request.value_bytes
+                        )
+        if tiered_stores is not None:
+            # Warmup populated the tiers outside simulated time; meter
+            # only the measured run (registry counters start clean).
+            for tiered in tiered_stores:
+                tiered.reset_stats()
+                tiered.metered = True
 
         sim.schedule(rng.expovariate(offered_rate_hz), arrive)
         sim.run()
@@ -1681,6 +1840,18 @@ class FullSystemStack:
             results.timeseries = timeseries
         if options.trace_digest and tracer.enabled:
             results.trace_digest = compute_trace_digest(tracer)
+        if tiered_stores is not None:
+            summary = aggregate_tiered_results(tiered_stores)
+            results.flashstore = summary
+            registry.gauge("flashstore_write_amplification").set(
+                summary["write_amplification"]
+            )
+            registry.gauge("flashstore_read_amplification").set(
+                summary["read_amplification"]
+            )
+            registry.gauge("flashstore_index_bytes_per_key").set(
+                summary["index_bytes_per_key"]
+            )
         return results
 
     # --- functional execution -------------------------------------------------------

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Mapping
 from repro.errors import ConfigurationError
 from repro.faults.resilience import ResiliencePolicy
 from repro.faults.schedule import FaultSchedule
+from repro.flashstore.compaction import TieredStoreConfig
 from repro.kvstore.batching import BatchPolicy
 from repro.replication.config import ReplicationConfig
 
@@ -47,6 +48,7 @@ _CONFIG_FIELDS = (
     "replication",
     "trace_digest",
     "batching",
+    "flashstore",
 )
 
 #: Live observers excluded from equality, hashing, and serialisation.
@@ -69,6 +71,10 @@ class RunOptions:
     (sampling counters + tail critical-path shares) in
     ``FullSystemResults.trace_digest`` — it is configuration, not an
     instrument, because cached experiment cells carry the digest.
+    ``flashstore`` (a :class:`~repro.flashstore.TieredStoreConfig`)
+    replaces a flash stack's calibrated per-op flash stalls with the
+    SILT-style tiered store's measured costs; ``None`` keeps the
+    baseline FTL-calibrated path bit-identical to pre-flashstore runs.
 
     ``telemetry``/``timeseries``/``slo``/``profiler`` are instruments:
     they observe without perturbing, never travel through
@@ -87,6 +93,7 @@ class RunOptions:
     replication: ReplicationConfig | None = None
     trace_digest: bool = False
     batching: BatchPolicy | None = None
+    flashstore: TieredStoreConfig | None = None
     telemetry: "TelemetrySession | None" = field(
         default=None, compare=False, repr=False
     )
@@ -135,6 +142,10 @@ class RunOptions:
             # Same conditional-serialisation rule as trace_digest, same
             # reason: batch-free cache keys must not change.
             payload["batching"] = self.batching.to_dict()
+        if self.flashstore is not None:
+            # Same conditional-serialisation rule again: runs without
+            # the tiered store keep their pre-flashstore cache keys.
+            payload["flashstore"] = self.flashstore.to_dict()
         return payload
 
     @classmethod
@@ -163,6 +174,11 @@ class RunOptions:
         batching = data.get("batching")
         if batching is not None and not isinstance(batching, BatchPolicy):
             batching = BatchPolicy.from_dict(batching)
+        flashstore = data.get("flashstore")
+        if flashstore is not None and not isinstance(
+            flashstore, TieredStoreConfig
+        ):
+            flashstore = TieredStoreConfig.from_dict(flashstore)
         return cls(
             offered_rate_hz=data["offered_rate_hz"],
             duration_s=data["duration_s"],
@@ -175,6 +191,7 @@ class RunOptions:
             replication=replication,
             trace_digest=data.get("trace_digest", False),
             batching=batching,
+            flashstore=flashstore,
         )
 
     # --- ergonomics ---------------------------------------------------------

@@ -497,6 +497,18 @@ METRIC_DESCRIPTIONS: dict[str, str] = {
     "slo_alerts_active": "SLO alerts currently firing",
     "slo_burn_rate": "Error-budget burn multiple, by rule and window",
     "bench_artefacts_total": "Benchmark artefacts regenerated this session",
+    "flashstore_appends_total": "Items appended to the tiered store's log tier",
+    "flashstore_pages_programmed_total": "Flash pages programmed by the tiered store, by cause (log/conversion/compaction)",
+    "flashstore_pages_read_total": "Flash pages read on the tiered GET path, by tier",
+    "flashstore_conversions_total": "Sealed log segments converted into hash stores",
+    "flashstore_compactions_total": "Hash-store merge-compactions into the sorted tier",
+    "flashstore_filter_false_positives_total": "Flash pages read because a cuckoo fingerprint matched a different key",
+    "flashstore_write_amplification": "Measured tiered-store WA: flash bytes programmed per host byte written",
+    "flashstore_read_amplification": "Measured tiered-store RA: flash pages read per GET hit, false positives included",
+    "flashstore_index_bytes_per_key": "Modelled in-memory index bytes per live key across all tiers",
+    "ftl_erases_total": "Blocks erased by the baseline FTL's garbage collector",
+    "ftl_gc_page_moves_total": "Valid pages relocated by FTL garbage collection",
+    "ftl_write_amplification": "Measured FTL WA: physical pages programmed per host page written",
     "bench_wall_seconds": "Wall-clock time per benchmark",
 }
 

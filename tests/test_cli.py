@@ -224,3 +224,47 @@ class TestParser:
     def test_missing_required_plan_args_exit(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["plan"])
+
+
+class TestFlashstore:
+    ARGS = (
+        "flashstore",
+        "--put-fractions", "0.5",
+        "--rate", "6000",
+        "--duration", "0.2",
+        "--keys", "2000",
+        "--warmup", "1000",
+        "--segment-pages", "8",
+    )
+
+    def test_table_compares_tiers_against_the_ftl_baseline(self, capsys):
+        out = run(capsys, *self.ARGS)
+        assert "tiered flash store vs page-per-item FTL" in out
+        assert "base WA" in out and "tier WA" in out
+        assert "50%" in out
+
+    def test_export_carries_the_sweep(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "flashstore.json"
+        out = run(capsys, *self.ARGS, "--export", str(path))
+        assert str(path) in out
+        payload = json.loads(path.read_text())
+        assert payload["segment_pages"] == 8
+        (row,) = payload["sweep"]
+        assert row["put_fraction"] == 0.5
+        assert (
+            row["tiered_write_amplification"]
+            < row["baseline_write_amplification"]
+        )
+        assert row["conversions"] > 0
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["flashstore"])
+        assert args.put_fractions == "0.1,0.5,0.9"
+        assert args.segment_pages == 256
+        assert args.cores == 4
+
+    def test_bad_put_fraction_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["flashstore", "--put-fractions", "1.5"])

@@ -10,9 +10,16 @@ from repro.faults import PRESETS
 
 
 class TestRegistry:
-    def test_baseline_batched_plus_every_fault_preset(self):
+    def test_baseline_batched_tiered_plus_every_fault_preset(self):
         assert set(scenario_names()) == (
-            {"baseline", "batched", "batched-64"} | set(PRESETS)
+            {
+                "baseline",
+                "batched",
+                "batched-64",
+                "iridium-tiered",
+                "iridium-tiered-writeheavy",
+            }
+            | set(PRESETS)
         )
 
     def test_names_are_self_consistent(self):
@@ -75,3 +82,49 @@ class TestBehaviour:
         )
         rebuilt = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
         assert rebuilt == spec
+
+
+class TestTieredScenarios:
+    def test_registry_entries_route_through_the_flash_store(self):
+        tiered = get_scenario("iridium-tiered")
+        writeheavy = get_scenario("iridium-tiered-writeheavy")
+        assert tiered.flashstore and writeheavy.flashstore
+        assert tiered.get_fraction == 0.9
+        assert writeheavy.get_fraction == 0.5
+        for scenario in (tiered, writeheavy):
+            options = scenario.run_options(offered_rate_hz=1e4, duration_s=1.0)
+            config = options.flashstore
+            assert config is not None
+            assert config.log_segment_pages == scenario.flashstore_segment_pages
+
+    def test_plain_scenarios_leave_flashstore_off(self):
+        options = get_scenario("baseline").run_options(
+            offered_rate_hz=1e4, duration_s=1.0
+        )
+        assert options.flashstore is None
+        assert get_scenario("baseline").flashstore_config() is None
+
+    def test_flashstore_and_batching_refuse_to_combine(self):
+        with pytest.raises(ConfigurationError, match="batching"):
+            Scenario(
+                name="x", description="d", flashstore=True, batch_max=16
+            )
+
+    def test_segment_pages_validated_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(
+                name="x",
+                description="d",
+                flashstore=True,
+                flashstore_segment_pages=0,
+            )
+
+    def test_tiered_spec_gets_its_own_cache_key(self):
+        stack = StackSpec(cores=2, memory_per_core_bytes=1 << 22)
+        plain = get_scenario("baseline").to_spec(
+            stack, offered_rate_hz=1e4, duration_s=0.5
+        )
+        tiered = get_scenario("iridium-tiered").to_spec(
+            stack, offered_rate_hz=1e4, duration_s=0.5
+        )
+        assert cache_key(plain) != cache_key(tiered)

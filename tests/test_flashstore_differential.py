@@ -1,0 +1,175 @@
+"""Differential tests: the tiered store must never change *what* runs
+return, only what it costs.
+
+The subsystem's core wiring rule is a functional/timing split: hit and
+miss outcomes always come from the real Memcached server path, while the
+tiered store mirrors each op for flash-cost accounting only.  These
+tests enforce that split three ways — a shadow-dict replay of the store
+itself (including through a crash), a full-system tiered-vs-plain run
+whose functional counters must match exactly (fault-free and through a
+crash/restart window), and a disabled-path double run that must stay
+bit-identical to the pre-flashstore baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import iridium_stack
+from repro.faults.schedule import crash_restart
+from repro.flashstore import TieredFlashStore, TieredStoreConfig
+from repro.memory.flash import FlashDevice, FlashTiming
+from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
+from repro.units import KB, MB
+from repro.workloads import WorkloadSpec
+from repro.workloads.distributions import fixed_size
+
+WORKLOAD = WorkloadSpec(
+    name="flashstore-diff",
+    get_fraction=0.5,
+    key_population=4_000,
+    value_sizes=fixed_size(64),
+)
+
+
+def _build(seed=3):
+    return FullSystemStack(
+        stack=iridium_stack(cores=4),
+        memory_per_core_bytes=8 * MB,
+        seed=seed,
+    )
+
+
+def _tiny_flash() -> FlashDevice:
+    """Fixture-free tiny device (hypothesis re-runs need a fresh one
+    per generated input, which a function-scoped fixture can't give)."""
+    return FlashDevice(
+        name="diff-flash",
+        capacity_bytes=4 * MB,
+        page_bytes=4 * KB,
+        pages_per_block=16,
+        channels=2,
+        timing=FlashTiming(),
+    )
+
+
+def _functional(results):
+    """Outcome counters that must not depend on the cost model
+    (``completed`` is excluded: it only counts requests finishing inside
+    the simulated window, which is timing by definition)."""
+    return (
+        results.get_hits,
+        results.get_misses,
+        results.puts,
+        results.failed,
+    )
+
+
+class TestShadowDictReplay:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "get"]),
+                st.integers(min_value=0, max_value=60),
+            ),
+            max_size=300,
+        ),
+        crash_after=st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_membership_matches_a_dict_through_crashes(
+        self, ops, crash_after
+    ):
+        """found/miss from the tiered store equals dict membership at
+        every step, across seals, conversions, merges, and one crash."""
+        config = TieredStoreConfig(log_segment_pages=2, max_hash_stores=2)
+        store = TieredFlashStore(_tiny_flash(), config, seed=1)
+        shadow: set[bytes] = set()
+        for step, (verb, key_index) in enumerate(ops):
+            key = b"key-%d" % key_index
+            if step == crash_after:
+                store.flush()
+                shadow.clear()
+            if verb == "put":
+                cost = store.put(key, 180)
+                assert cost.found and cost.tier == "log"
+                shadow.add(key)
+            else:
+                cost = store.get(key)
+                assert cost.found == (key in shadow), (step, key)
+                assert (key in store) == (key in shadow)
+
+    def test_densest_packing_never_exhausts_the_log_index(self, small_flash):
+        """Minimum-size items at maximum count per segment must not
+        overflow the sized-for-worst-case filter."""
+        config = TieredStoreConfig(
+            log_segment_pages=2, expected_item_bytes=64
+        )
+        store = TieredFlashStore(small_flash, config, seed=2)
+        for i in range(1_000):
+            store.put(b"dense-%d" % i, 64)
+        for i in range(1_000):
+            assert store.get(b"dense-%d" % i).found
+
+
+class TestFullSystemDifferential:
+    #: Below the baseline's saturation point: the MAC queue cap sheds
+    #: load by *timing*, so functional equality is only promised while
+    #: neither run overflows a queue (asserted via mac_drops below).
+    OPTIONS = RunOptions(
+        offered_rate_hz=4_000.0, duration_s=0.3, warmup_requests=4_000
+    )
+    CONFIG = TieredStoreConfig(log_segment_pages=8)
+
+    def test_fault_free_functional_counters_match(self):
+        plain = _build().run(WORKLOAD, self.OPTIONS)
+        tiered = _build().run(
+            WORKLOAD, replace(self.OPTIONS, flashstore=self.CONFIG)
+        )
+        assert plain.mac_drops == 0 and tiered.mac_drops == 0
+        assert _functional(plain) == _functional(tiered)
+        assert tiered.flashstore is not None
+        assert plain.flashstore is None
+
+    def test_crash_window_functional_counters_match(self):
+        """Through a crash/restart the tiered store flushes alongside
+        the store restart; hit/miss/fail accounting must not diverge."""
+        schedule = crash_restart("core0", 0.08, 0.16)
+        options = replace(self.OPTIONS, faults=schedule)
+        plain = _build().run(WORKLOAD, options)
+        tiered = _build().run(
+            WORKLOAD, replace(options, flashstore=self.CONFIG)
+        )
+        assert plain.failed > 0  # the crash actually bit
+        assert _functional(plain) == _functional(tiered)
+        # Cold tiers after restart: the run still measured real traffic.
+        assert tiered.flashstore["host_puts"] > 0
+
+    def test_tiered_double_run_is_deterministic(self):
+        options = replace(self.OPTIONS, flashstore=self.CONFIG)
+        first = _build().run(WORKLOAD, options)
+        second = _build().run(WORKLOAD, options)
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )
+
+
+class TestDisabledPathIsUntouched:
+    def test_disabled_double_run_bit_identical_without_flashstore_key(self):
+        """flashstore=None must leave results byte-identical run to run
+        and keep the serialised payload free of the new key, so old
+        experiment-cache entries stay valid."""
+        options = RunOptions(
+            offered_rate_hz=20_000.0, duration_s=0.2, warmup_requests=2_000
+        )
+        first = _build().run(WORKLOAD, options)
+        second = _build().run(WORKLOAD, options)
+        first_json = json.dumps(first.to_dict(), sort_keys=True)
+        assert first_json == json.dumps(second.to_dict(), sort_keys=True)
+        assert "flashstore" not in first.to_dict()
+        assert "flashstore" not in options.to_dict()

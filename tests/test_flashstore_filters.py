@@ -1,0 +1,152 @@
+"""Property-based tests for the partial-key cuckoo filter.
+
+The tiered store's GET ≤ 1-flash-read-per-tier guarantee rests on two
+filter invariants: *no false negatives ever* (a lost fingerprint would
+turn a stored key into a wrong miss) and a bounded false-positive rate
+(every FP is a wasted flash read charged to read amplification).  The
+churn tests drive insert/delete/overwrite sequences — including failed
+inserts, whose kick chains must roll back — and assert the membership
+contract against a shadow dict.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.flashstore.filters import CuckooFilter
+
+KEYS = st.binary(min_size=1, max_size=12)
+
+
+class TestSizingAndValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CuckooFilter(capacity=0)
+        with pytest.raises(ConfigurationError):
+            CuckooFilter(capacity=16, fingerprint_bits=2)
+        with pytest.raises(ConfigurationError):
+            CuckooFilter(capacity=16, slots_per_bucket=0)
+
+    def test_buckets_are_a_power_of_two(self):
+        for capacity in (1, 7, 64, 1000):
+            f = CuckooFilter(capacity=capacity)
+            assert f.bucket_count & (f.bucket_count - 1) == 0
+            assert f.slot_count >= capacity
+
+    def test_capacity_inserts_all_fit(self):
+        """Sizing targets 84% occupancy, so `capacity` distinct keys
+        must insert without a single kick-chain failure."""
+        f = CuckooFilter(capacity=2_000, seed=1)
+        for i in range(2_000):
+            assert f.insert(b"key-%d" % i)
+        assert f.failed_inserts == 0
+        assert len(f) == 2_000
+        assert f.load_factor <= 0.84 + 1e-9
+        f.check_invariants()
+
+
+class TestMembershipContract:
+    @given(keys=st.lists(KEYS, max_size=60, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_no_false_negatives_after_inserts(self, keys):
+        """Every *successfully* inserted key stays reachable — a tiny
+        filter may reject adversarial fingerprint pile-ups, but it must
+        never lose what it accepted."""
+        f = CuckooFilter(capacity=max(8, len(keys)), seed=3)
+        held = [key for key in keys if f.insert(key, value=len(key))]
+        for key in held:
+            assert f.contains(key)
+            assert len(key) in f.lookup(key)
+        f.check_invariants()
+
+    @given(
+        keys=st.lists(KEYS, min_size=1, max_size=40, unique=True),
+        drop_every=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_false_negatives_under_delete_churn(self, keys, drop_every):
+        f = CuckooFilter(capacity=max(8, len(keys)), seed=5)
+        shadow = {
+            key: i for i, key in enumerate(keys) if f.insert(key, value=i)
+        }
+        dropped = {}
+        for i, key in enumerate(list(shadow)):
+            if i % drop_every == 0:
+                assert f.delete(key, value=shadow[key])
+                dropped[key] = shadow.pop(key)
+        for key, value in shadow.items():
+            assert f.contains(key)
+            assert value in f.lookup(key)
+        for key, value in dropped.items():
+            # Deleted fingerprints may still collide with live ones, but
+            # the deleted *value* must be gone.
+            assert value not in f.lookup(key)
+        f.check_invariants()
+
+    @given(seed=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=8, deadline=None)
+    def test_failed_insert_rolls_back_the_kick_chain(self, seed):
+        """Overfilling a tiny filter must fail eventually, and a failed
+        insert must leave every previously held key reachable."""
+        f = CuckooFilter(
+            capacity=8, slots_per_bucket=2, max_kicks=8, seed=seed
+        )
+        held = []
+        failed = False
+        for i in range(10 * f.slot_count):
+            key = b"churn-%d-%d" % (seed, i)
+            if f.insert(key, value=i):
+                held.append((key, i))
+            else:
+                failed = True
+                break
+        assert failed, "a 10x-overfilled filter must reject eventually"
+        assert f.failed_inserts == 1
+        for key, value in held:
+            assert f.contains(key)
+            assert value in f.lookup(key)
+        f.check_invariants()
+
+    def test_relocations_preserve_membership(self):
+        """Force real cuckoo kicks (high occupancy) and re-verify every
+        key afterwards — relocation must never strand a fingerprint."""
+        f = CuckooFilter(capacity=4_000, seed=11)
+        keys = [b"reloc-%d" % i for i in range(4_000)]
+        for i, key in enumerate(keys):
+            assert f.insert(key, value=i)
+        assert f.kicks > 0, "occupancy this high must have kicked"
+        for i, key in enumerate(keys):
+            assert i in f.lookup(key)
+        f.check_invariants()
+
+
+class TestFalsePositiveRate:
+    def test_measured_rate_tracks_the_model(self):
+        f = CuckooFilter(capacity=4_000, fingerprint_bits=12, seed=7)
+        for i in range(4_000):
+            f.insert(b"member-%d" % i)
+        probes = 20_000
+        fps = sum(
+            1 for i in range(probes) if f.contains(b"absent-%d" % i)
+        )
+        measured = fps / probes
+        expected = f.expected_false_positive_rate
+        assert expected > 0.0
+        # Loose two-sided band: right order of magnitude, not exact.
+        assert measured <= 4.0 * expected
+        assert measured >= expected / 16.0
+
+    def test_narrow_fingerprints_trade_memory_for_fp_rate(self):
+        wide = CuckooFilter(capacity=1_000, fingerprint_bits=16, seed=2)
+        narrow = CuckooFilter(capacity=1_000, fingerprint_bits=8, seed=2)
+        for i in range(1_000):
+            wide.insert(b"trade-%d" % i)
+            narrow.insert(b"trade-%d" % i)
+        assert narrow.fingerprint_bytes < wide.fingerprint_bytes
+        assert (
+            narrow.expected_false_positive_rate
+            > wide.expected_false_positive_rate
+        )

@@ -1,0 +1,194 @@
+"""Full-system integration tests for the tiered flash store.
+
+The wiring contract: ``RunOptions.flashstore`` routes every served op
+through a per-core :class:`TieredFlashStore` mirror, swaps the
+calibrated flash stall for the measured per-op flash time, charges
+conversion/compaction to the DES cores as follow-from background work,
+and surfaces per-tier results in ``FullSystemResults.flashstore`` plus
+``flashstore_*`` registry metrics and per-tier GET/PUT spans in the
+causal tracer.  Invalid combinations (DRAM stack, replication,
+batching) must refuse loudly rather than silently measure nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import iridium_stack, mercury_stack
+from repro.errors import ConfigurationError
+from repro.flashstore import TieredStoreConfig
+from repro.kvstore.batching import BatchPolicy
+from repro.replication.config import ReplicationConfig
+from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
+from repro.telemetry import TelemetrySession
+from repro.units import MB
+from repro.workloads import WorkloadSpec
+from repro.workloads.distributions import fixed_size
+
+WORKLOAD = WorkloadSpec(
+    name="flashstore-system",
+    get_fraction=0.5,
+    key_population=4_000,
+    value_sizes=fixed_size(64),
+)
+
+CONFIG = TieredStoreConfig(log_segment_pages=8)
+
+
+def _build(family="iridium", seed=7):
+    build = mercury_stack if family == "mercury" else iridium_stack
+    return FullSystemStack(
+        stack=build(cores=4), memory_per_core_bytes=8 * MB, seed=seed
+    )
+
+
+def _options(**overrides):
+    defaults = dict(
+        offered_rate_hz=12_000.0,
+        duration_s=0.3,
+        warmup_requests=4_000,
+        flashstore=CONFIG,
+    )
+    defaults.update(overrides)
+    return RunOptions(**defaults)
+
+
+class TestInvalidCombinations:
+    def test_mercury_stack_refuses(self):
+        with pytest.raises(ConfigurationError, match="flash"):
+            _build("mercury").run(WORKLOAD, _options())
+
+    def test_replication_refuses(self):
+        with pytest.raises(ConfigurationError, match="replication"):
+            _build().run(
+                WORKLOAD,
+                _options(replication=ReplicationConfig(n=2, r=1, w=2)),
+            )
+
+    def test_batching_refuses(self):
+        with pytest.raises(ConfigurationError, match="batched"):
+            _build().run(
+                WORKLOAD,
+                _options(
+                    batching=BatchPolicy(batch_max=16, linger_s=100e-6)
+                ),
+            )
+
+
+class TestResultsSurface:
+    @pytest.fixture(scope="class")
+    def run(self):
+        telemetry = TelemetrySession(max_traces=50_000)
+        system = _build()
+        results = system.run(WORKLOAD, _options(telemetry=telemetry))
+        return results, telemetry
+
+    def test_summary_has_the_headline_ratios(self, run):
+        results, _ = run
+        summary = results.flashstore
+        assert summary["host_puts"] > 0
+        assert summary["get_hits"] > 0
+        assert summary["write_amplification"] > 0.0
+        assert 1.0 <= summary["read_amplification"] <= 1.1
+        assert summary["index_bytes_per_key"] > 0.0
+        assert summary["conversions"] > 0
+        assert set(summary["pages_programmed"]) == {
+            "log", "conversion", "compaction"
+        }
+        assert set(summary["hits_by_tier"]) == {"log", "hash", "sorted"}
+
+    def test_summary_serialises_with_results(self, run):
+        results, _ = run
+        payload = results.to_dict()
+        assert payload["flashstore"] == results.flashstore
+
+    def test_gauges_and_background_histograms_land_in_registry(self, run):
+        _, telemetry = run
+        names = {metric.name for metric in telemetry.registry}
+        assert "flashstore_write_amplification" in names
+        assert "flashstore_read_amplification" in names
+        assert "flashstore_index_bytes_per_key" in names
+        busy = [
+            metric
+            for metric in telemetry.registry
+            if metric.name == "background_busy_seconds"
+            and ("task", "conversion") in metric.labels
+        ]
+        assert busy and busy[0].count > 0
+
+    def test_warmup_traffic_is_not_metered(self, run):
+        results, telemetry = run
+        appends = [
+            metric.value
+            for metric in telemetry.registry
+            if metric.name == "flashstore_appends_total"
+        ]
+        # Counters only see the measured window: they equal the results'
+        # host_puts, which exclude the 4000 warmup PUTs.
+        assert appends == [results.flashstore["host_puts"]]
+
+    def test_per_tier_spans_nest_under_memcached(self, run):
+        _, telemetry = run
+        tier_spans = 0
+        for trace in telemetry.tracer.traces:
+            by_id = {span.span_id: span for span in trace.spans}
+            for span in trace.spans:
+                if not span.name.startswith("flash_"):
+                    continue
+                tier_spans += 1
+                assert span.name in (
+                    "flash_log", "flash_hash", "flash_sorted"
+                )
+                parent = by_id[span.parent_id]
+                assert parent.name == "memcached"
+                assert span.start_s >= parent.start_s - 1e-12
+                assert span.end_s <= parent.end_s + 1e-12
+        assert tier_spans > 100
+
+    def test_background_work_rides_follow_from_spans(self, run):
+        _, telemetry = run
+        follow = {span.name for span in telemetry.tracer.follow_spans}
+        assert "conversion" in follow
+        assert "compaction" in follow
+
+
+class TestRunOptionsRoundTrip:
+    def test_flashstore_config_round_trips(self):
+        options = _options()
+        rebuilt = RunOptions.from_dict(options.to_dict())
+        assert rebuilt.flashstore == CONFIG
+        assert rebuilt == options
+
+    def test_config_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError):
+            TieredStoreConfig.from_dict({"log_segment_pages": 8, "bogus": 1})
+
+    def test_config_validates_knobs(self):
+        with pytest.raises(ConfigurationError):
+            TieredStoreConfig(log_segment_pages=0)
+        with pytest.raises(ConfigurationError):
+            TieredStoreConfig(fingerprint_bits=2)
+        with pytest.raises(ConfigurationError):
+            TieredStoreConfig(max_hash_stores=0)
+
+
+class TestTieredTiming:
+    def test_request_timing_tiered_swaps_the_flash_stall(self):
+        model = iridium_stack(cores=4).latency_model()
+        base = model.request_timing("GET", 64)
+        tiered = model.request_timing_tiered("GET", 64, 30e-6)
+        assert tiered.hash_s == base.hash_s
+        assert tiered.network_s <= base.network_s
+        assert tiered.memcached_s != base.memcached_s
+        # More flash service means strictly more memcached time.
+        slower = model.request_timing_tiered("GET", 64, 60e-6)
+        assert slower.memcached_s > tiered.memcached_s
+
+    def test_rejects_dram_stacks_and_negative_service(self):
+        dram = mercury_stack(cores=4).latency_model()
+        with pytest.raises(ConfigurationError):
+            dram.request_timing_tiered("GET", 64, 10e-6)
+        flash = iridium_stack(cores=4).latency_model()
+        with pytest.raises(ConfigurationError):
+            flash.request_timing_tiered("GET", 64, -1e-6)

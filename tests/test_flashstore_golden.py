@@ -1,0 +1,107 @@
+"""Golden regression for tiered-store amplification numbers.
+
+Pins write amplification, read amplification, and index bytes per key
+for a three-point PUT-fraction grid over a deterministic op stream on
+the tiny test device.  Conversion cadence, merge behaviour, filter
+sizing, and page packing all feed these ratios, so any change to the
+flashstore package shows up as a diff against a blessed fixture.
+
+To bless an intentional change::
+
+    pytest tests/test_flashstore_golden.py --regen-golden
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.flashstore import TieredFlashStore, TieredStoreConfig
+from repro.sim.rng import make_rng
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REL_TOL = 1e-9
+
+PUT_FRACTIONS = (0.1, 0.5, 0.9)
+OPS = 6_000
+KEYS = 800
+ITEM_BYTES = 184
+
+CONFIG = TieredStoreConfig(log_segment_pages=2, max_hash_stores=2)
+
+
+def _run_cell(put_fraction: float, small_flash) -> dict:
+    store = TieredFlashStore(small_flash, CONFIG, seed=9)
+    rng = make_rng(f"flashstore-golden-{put_fraction:g}", 9)
+    for _ in range(OPS):
+        key = b"key-%d" % rng.randrange(KEYS)
+        if rng.random() < put_fraction or key not in store:
+            store.put(key, ITEM_BYTES)
+        else:
+            store.get(key)
+    stats = store.stats
+    return {
+        "write_amplification": store.write_amplification,
+        "read_amplification": store.read_amplification,
+        "index_bytes_per_key": store.index_bytes_per_key,
+        "false_positive_reads": stats.false_positive_reads,
+        "conversions": stats.conversions,
+        "compactions": stats.compactions,
+        "pages_programmed": dict(sorted(stats.pages_programmed.items())),
+        "hits_by_tier": dict(sorted(stats.hits_by_tier.items())),
+    }
+
+
+def _grid_payload(small_flash) -> dict:
+    return {
+        f"put-{fraction:g}": _run_cell(fraction, small_flash)
+        for fraction in PUT_FRACTIONS
+    }
+
+
+def _assert_close(expected, actual, path: str = "$") -> None:
+    if isinstance(expected, (int, float)) and not isinstance(expected, bool):
+        assert math.isclose(expected, actual, rel_tol=REL_TOL, abs_tol=1e-12), (
+            f"{path}: {actual!r} != golden {expected!r}"
+        )
+    elif isinstance(expected, dict):
+        assert set(actual) == set(expected), f"{path}: key mismatch"
+        for key in expected:
+            _assert_close(expected[key], actual[key], f"{path}.{key}")
+    else:
+        assert expected == actual, f"{path}: {actual!r} != {expected!r}"
+
+
+def test_amplification_grid_matches_golden(regen_golden, small_flash):
+    payload = json.loads(json.dumps(_grid_payload(small_flash)))
+    path = GOLDEN_DIR / "flashstore_amplification.json"
+    if regen_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return
+    if not path.exists():
+        pytest.fail(f"missing golden fixture {path}; generate with --regen-golden")
+    _assert_close(json.loads(path.read_text()), payload, "flashstore")
+
+
+def test_golden_fixture_tells_the_silt_story():
+    """Independent of exact values, the blessed numbers must show the
+    design working: near-1 read amplification everywhere, and write
+    amplification well under the page-per-item floor (the 4 KB test
+    page over 184 B items would be ~22x)."""
+    path = GOLDEN_DIR / "flashstore_amplification.json"
+    if not path.exists():
+        pytest.skip("fixture not generated yet")
+    payload = json.loads(path.read_text())
+    assert set(payload) == {f"put-{f:g}" for f in PUT_FRACTIONS}
+    for cell in payload.values():
+        assert 1.0 <= cell["read_amplification"] <= 1.1
+        assert 0.0 < cell["write_amplification"] < 10.0
+        assert cell["conversions"] > 0
+    # More PUT pressure -> more background tier moves.
+    assert (
+        payload["put-0.9"]["conversions"] > payload["put-0.1"]["conversions"]
+    )

@@ -1,0 +1,234 @@
+"""Unit tests for the three store tiers and their manager.
+
+Each tier has one job in the SILT hierarchy: the log packs appends into
+buffered pages, the hash store serves one-page GETs from a sealed
+segment, the sorted run holds bulk data behind a sparse index.  These
+tests pin the page-accounting and index-memory contracts per tier, then
+the manager-level lifecycle (seal → convert → compact) and the derived
+amplification numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, StorageError
+from repro.flashstore import (
+    HashStore,
+    LogStore,
+    SortedStore,
+    TieredFlashStore,
+    TieredStoreConfig,
+)
+from repro.flashstore.compaction import baseline_ftl_replay
+
+
+class TestLogStore:
+    def test_buffered_page_accounting(self, small_flash):
+        """Items share the open page: programs land only when the write
+        pointer crosses a page end."""
+        log = LogStore(small_flash, segment_pages=4)
+        page = small_flash.page_bytes
+        assert log.append(b"a", page // 2) == 0  # open page buffers it
+        assert log.append(b"b", page // 2) == 1  # crosses the page end
+        assert log.append(b"c", 2 * page) == 2  # spans two whole pages
+        assert log.pages_programmed == 3
+        assert log.host_bytes == 3 * page
+
+    def test_get_reads_only_candidate_pages(self, small_flash):
+        log = LogStore(small_flash, segment_pages=4)
+        log.append(b"k1", 100)
+        log.append(b"k2", 100)
+        found, pages, fps = log.get(b"k1")
+        assert found and pages >= 1
+        found, pages, fps = log.get(b"nope-definitely-absent")
+        # Zero candidates is a free miss; a fingerprint collision costs
+        # the page reads it caused, all booked as false positives.
+        assert not found
+        assert pages == fps
+
+    def test_overwrite_keeps_latest_and_tracks_dead_bytes(self, small_flash):
+        log = LogStore(small_flash, segment_pages=4)
+        log.append(b"k", 100)
+        log.append(b"k", 200)
+        assert log.live_entries() == {b"k": 200}
+        assert log.dead_bytes == 100
+        assert len(log) == 1
+        assert log.live_bytes == 200
+        found, _, _ = log.get(b"k")
+        assert found
+
+    def test_seals_when_full_and_rejects_appends(self, small_flash):
+        log = LogStore(small_flash, segment_pages=1)
+        log.append(b"fill", small_flash.page_bytes)
+        assert log.is_full
+        with pytest.raises(StorageError):
+            log.append(b"more", 1)
+
+    def test_index_memory_is_modelled(self, small_flash):
+        log = LogStore(small_flash, segment_pages=4)
+        assert log.index_bytes > 0
+        with pytest.raises(ConfigurationError):
+            LogStore(small_flash, segment_pages=0)
+        with pytest.raises(ConfigurationError):
+            log.append(b"zero", 0)
+
+
+class TestHashStore:
+    def test_every_entry_is_a_one_page_hit(self, small_flash):
+        entries = {b"h-%d" % i: 100 + i for i in range(200)}
+        store = HashStore(entries, small_flash, seed=1)
+        for key in entries:
+            found, pages, fps = store.get(key)
+            assert found
+            assert pages - fps == 1  # the hit itself is one page
+        assert store.entries() == entries
+        assert store.live_bytes == sum(entries.values())
+        assert store.pages >= 1
+        assert store.index_bytes > 0
+
+    def test_items_pack_whole_into_pages(self, small_flash):
+        half = small_flash.page_bytes // 2 + 1  # two can't share a page
+        store = HashStore({b"a": half, b"b": half}, small_flash)
+        assert store.pages == 2
+
+    def test_rejects_empty_and_oversized(self, small_flash):
+        with pytest.raises(ConfigurationError):
+            HashStore({}, small_flash)
+        with pytest.raises(ConfigurationError):
+            HashStore({b"big": small_flash.page_bytes + 1}, small_flash)
+
+
+class TestSortedStore:
+    def test_hits_cost_exactly_one_read(self, small_flash):
+        entries = {b"s-%03d" % i: 150 for i in range(300)}
+        store = SortedStore(entries, small_flash, seed=2)
+        for key in entries:
+            assert store.get(key) == (True, 1, 0)
+
+    def test_filtered_misses_are_free(self, small_flash):
+        entries = {b"s-%03d" % i: 150 for i in range(300)}
+        store = SortedStore(entries, small_flash, seed=2)
+        reads = fps = 0
+        for i in range(2_000):
+            found, pages, false_reads = store.get(b"absent-%d" % i)
+            assert not found
+            reads += pages
+            fps += false_reads
+        # Every read an absent key causes is a filter false positive,
+        # and the 8-bit filter keeps those rare.
+        assert reads == fps
+        assert fps / 2_000 < 0.2
+
+    def test_sparse_index_is_cheapest_per_key(self, small_flash):
+        entries = {b"s-%03d" % i: 150 for i in range(300)}
+        store = SortedStore(entries, small_flash, seed=2)
+        hashed = HashStore(entries, small_flash, seed=2)
+        assert store.index_bytes / len(store) < hashed.index_bytes / len(
+            hashed
+        )
+
+
+class TestTieredFlashStore:
+    CONFIG = TieredStoreConfig(log_segment_pages=2, max_hash_stores=2)
+
+    def _fill(self, small_flash, puts=600, keys=150):
+        store = TieredFlashStore(small_flash, self.CONFIG, seed=0)
+        for i in range(puts):
+            store.put(b"key-%d" % (i % keys), 180)
+        return store
+
+    def test_lifecycle_reaches_all_three_tiers(self, small_flash):
+        store = self._fill(small_flash)
+        assert store.stats.conversions > 0
+        assert store.stats.compactions > 0
+        assert store.sorted_store is not None
+        for i in range(150):
+            cost = store.get(b"key-%d" % i)
+            assert cost.found, i
+        assert sum(store.stats.hits_by_tier.values()) == 150
+        assert store.stats.hits_by_tier["sorted"] > 0
+
+    def test_conversion_drops_dead_versions(self, small_flash):
+        """In-segment overwrites die at conversion: hammering one key
+        through a whole segment yields a single-entry hash store."""
+        store = TieredFlashStore(small_flash, self.CONFIG, seed=0)
+        while store.stats.conversions == 0:
+            store.put(b"hot-key", 180)
+        assert len(store.hash_stores[0]) == 1
+        # Across tiers, stale shadowed versions linger until the next
+        # merge folds them out, so the entry count may exceed the
+        # distinct-key count but each tier never exceeds it.
+        full = self._fill(small_flash)
+        assert len(full.sorted_store) <= 150
+
+    def test_amplifications_and_index_hierarchy(self, small_flash):
+        store = self._fill(small_flash)
+        for i in range(150):
+            store.get(b"key-%d" % i)
+        assert 0.0 < store.write_amplification < 20.0
+        assert 1.0 <= store.read_amplification <= 1.5
+        assert store.index_bytes_per_key > 0.0
+        summary = store.tier_summary()
+        # SILT's memory hierarchy: the write tier pays the most index
+        # bytes per key, the sorted bulk tier the least.
+        assert (
+            summary["log"]["index_bytes_per_key"]
+            > summary["sorted"]["index_bytes_per_key"]
+        )
+
+    def test_background_work_is_reported(self, small_flash):
+        store = TieredFlashStore(small_flash, self.CONFIG, seed=0)
+        works = []
+        for i in range(600):
+            cost = store.put(b"key-%d" % i, 180)
+            works.extend(cost.background)
+        kinds = {work.kind for work in works}
+        assert kinds == {"conversion", "compaction"}
+        for work in works:
+            assert work.service_s > 0.0
+            assert work.pages_written > 0
+
+    def test_put_charges_amortised_page_share(self, small_flash):
+        store = TieredFlashStore(small_flash, TieredStoreConfig(), seed=0)
+        cost = store.put(b"k", 180)
+        expected = (180 / small_flash.page_bytes) * small_flash.program_time()
+        assert cost.service_s == pytest.approx(expected)
+        assert cost.probes == (("log", cost.service_s),)
+
+    def test_flush_models_a_crash(self, small_flash):
+        store = self._fill(small_flash)
+        store.flush()
+        assert store.live_entries == 0
+        assert not store.get(b"key-0").found
+
+    def test_metered_gates_registry_counters(self, small_flash):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = TieredFlashStore(
+            small_flash, self.CONFIG, seed=0, registry=registry
+        )
+        store.put(b"warm", 180)  # metered=False: nothing counted
+        assert all(metric.value == 0 for metric in registry
+                   if metric.name == "flashstore_appends_total")
+        store.metered = True
+        store.put(b"hot", 180)
+        appended = [metric.value for metric in registry
+                    if metric.name == "flashstore_appends_total"]
+        assert appended == [1]
+
+
+class TestBaselineReplay:
+    def test_page_per_item_wa_dwarfs_packing(self, small_flash):
+        keys = [b"base-%d" % (i % 400) for i in range(2_000)]
+        replay = baseline_ftl_replay(keys, 184, small_flash)
+        assert replay["puts"] == 2_000
+        # Every item programs at least a whole page: byte-level WA is at
+        # least page_bytes / item_bytes even before GC adds traffic.
+        assert replay["write_amplification"] >= small_flash.page_bytes / 184
+        assert replay["pages_programmed"] >= 2_000
+
+    def test_rejects_nonpositive_item_bytes(self, small_flash):
+        with pytest.raises(ConfigurationError):
+            baseline_ftl_replay([b"k"], 0, small_flash)

@@ -176,3 +176,65 @@ class TestFtlProperties:
                 ftl.write(page)
         assert ftl.mapped_pages == ftl.logical_pages
         ftl.check_invariants()
+
+
+class TestPublicWearSurface:
+    """The endurance-facing read-only surface: per-block erase counts,
+    total erases, and measured WA, plus the optional registry metrics."""
+
+    def test_erase_counts_cover_every_block_and_sum(self):
+        ftl = make_ftl(overprovision=0.3, pages_per_block=4, blocks=16)
+        assert ftl.erase_counts == (0,) * 16
+        for _ in range(8):
+            for page in range(ftl.logical_pages):
+                ftl.write(page)
+        counts = ftl.erase_counts
+        assert len(counts) == 16
+        assert ftl.erases_total == sum(counts) > 0
+        lo, hi = ftl.wear_spread()
+        assert (min(counts), max(counts)) == (lo, hi)
+
+    def test_write_amplification_property_tracks_stats(self):
+        ftl = make_ftl(overprovision=0.1, pages_per_block=4, blocks=16)
+        assert ftl.write_amplification == 1.0  # no GC yet, no division blowup
+        # Cold data plus a hot working set: GC victims always hold live
+        # cold pages, so relocations (and WA > 1) are guaranteed.
+        for page in range(ftl.logical_pages):
+            ftl.write(page)
+        for _ in range(20):
+            for page in range(0, ftl.logical_pages, 4):
+                ftl.write(page)
+        assert ftl.write_amplification == ftl.stats.write_amplification
+        assert ftl.write_amplification > 1.0
+
+    def test_registry_metrics_follow_gc_activity(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        device = FlashDevice(
+            name="metered",
+            capacity_bytes=16 * 4 * 4 * KB,
+            page_bytes=4 * KB,
+            pages_per_block=4,
+            channels=1,
+        )
+        ftl = FlashTranslationLayer(device, overprovision=0.3, registry=registry)
+        for _ in range(8):
+            for page in range(ftl.logical_pages):
+                ftl.write(page)
+        values = {
+            metric.name: metric.value
+            for metric in registry
+            if metric.name.startswith("ftl_")
+        }
+        assert values["ftl_erases_total"] == ftl.erases_total > 0
+        assert values["ftl_gc_page_moves_total"] == ftl.stats.gc_page_moves
+        assert values["ftl_write_amplification"] == pytest.approx(
+            ftl.write_amplification
+        )
+
+    def test_no_registry_means_no_metric_objects(self):
+        ftl = make_ftl()
+        for page in range(ftl.logical_pages):
+            ftl.write(page)  # must not raise without a registry wired
+        assert ftl.erases_total >= 0
