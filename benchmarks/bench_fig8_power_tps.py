@@ -1,10 +1,19 @@
 """Regenerates Figure 8: power vs TPS@64B for every Mercury/Iridium
-configuration (the power/throughput trade-off)."""
+configuration (the power/throughput trade-off), then cross-checks one
+shared configuration against the DES energy meter."""
 
 import pytest
-from conftest import emit
+from conftest import emit, track
 
 from repro.analysis import figure8_power_vs_tps, render_series
+from repro.core import ServerDesign, mercury_stack
+from repro.power import DynamicPowerModel
+from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
+from repro.telemetry import EnergyMeter
+from repro.units import MB
+from repro.workloads import WorkloadSpec
+from repro.workloads.distributions import fixed_size
 
 
 def test_fig8(benchmark):
@@ -41,3 +50,81 @@ def test_fig8(benchmark):
     # No configuration exceeds the 750 W supply.
     assert max(m_power.values()) <= 751
     assert max(i_power.values()) <= 751
+
+
+def test_fig8_measured_cross_check(benchmark):
+    """The Fig. 8 static point and the DES energy meter must agree.
+
+    Fig. 8 prices Mercury-8 A7@1GHz analytically: every core busy, the
+    memory system moving the per-core GET-64B bandwidth.  Driving the
+    same stack to saturation in the DES and integrating activity-based
+    energy has to land on the same server wattage — the measured number
+    can only be *lower* (cores catch their idle fraction between
+    arrivals), and never by more than the idle-floor gap.
+    """
+    stack = mercury_stack(8)
+    design = ServerDesign(stack=stack)
+    label = "Mercury-8 A7@1GHz"
+    mercury, _ = figure8_power_vs_tps()
+    static_power_w = dict(
+        zip(mercury.x_values, mercury.series["Power (W)"])
+    )[label]
+    static_tps = (
+        dict(zip(mercury.x_values, mercury.series["TPS @64B (millions)"]))[
+            label
+        ]
+        * 1e6
+    )
+
+    def run():
+        system = FullSystemStack(
+            stack=stack, memory_per_core_bytes=16 * MB, seed=7
+        )
+        workload = WorkloadSpec(
+            name="fig8-cross-check",
+            get_fraction=1.0,
+            key_population=20_000,
+            value_sizes=fixed_size(64),
+        )
+        capacity = stack.cores * system.model.tps("GET", 64)
+        meter = EnergyMeter(
+            DynamicPowerModel.for_stack(stack),
+            window_s=0.02,
+            num_stacks=design.num_stacks,
+        )
+        options = RunOptions(
+            offered_rate_hz=capacity,
+            duration_s=0.4,
+            warmup_requests=10_000,
+        ).with_instruments(energy=meter)
+        return system.run(workload, options)
+
+    results = benchmark(run)
+    energy = results.energy
+    measured_server_w = energy["server_mean_power_w"]
+    measured_tps = results.throughput_hz * design.num_stacks
+
+    assert measured_server_w == pytest.approx(static_power_w, rel=0.15)
+    assert measured_server_w <= static_power_w * 1.01
+    assert measured_tps == pytest.approx(static_tps, rel=0.15)
+
+    emit(
+        "fig8_measured_cross_check",
+        "\n".join(
+            [
+                f"{label}: static Fig. 8 point vs DES energy meter",
+                f"  server power  static {static_power_w:.1f} W  "
+                f"measured {measured_server_w:.1f} W "
+                f"({measured_server_w / static_power_w - 1.0:+.1%})",
+                f"  TPS @64B      static {static_tps / 1e6:.2f} M  "
+                f"measured {measured_tps / 1e6:.2f} M",
+                f"  measured TPS/W {results.measured_tps_per_watt:.0f}, "
+                f"joules/op {results.joules_per_op * 1e3:.3f} mJ",
+            ]
+        ),
+    )
+    track(
+        "bench_fig8_measured_cross_check",
+        measured_tps_per_watt=results.measured_tps_per_watt,
+        joules_per_op=results.joules_per_op,
+    )

@@ -1,0 +1,126 @@
+"""Measured (activity-integrated) power vs the static model.
+
+The energy meter integrates per-component power over simulated time; at
+steady state near saturation its stack watts must agree with the static
+model priced at the *achieved* memory bandwidth (the same device
+constants, so any gap is the core idle fraction).  Through a diurnal day
+the trough windows must draw strictly less than the peak windows —
+energy proportionality the static single-operating-point model cannot
+express.
+"""
+
+import pytest
+from conftest import emit, track
+
+from repro.core import ServerDesign, mercury_stack
+from repro.kvstore.items import ITEM_OVERHEAD_BYTES
+from repro.power import DEFAULT_BUDGET, DynamicPowerModel
+from repro.sim.full_system import FullSystemStack
+from repro.sim.run_options import RunOptions
+from repro.telemetry import EnergyMeter
+from repro.units import MB
+from repro.workloads import WorkloadSpec
+from repro.workloads.distributions import fixed_size
+from repro.workloads.diurnal import DiurnalSchedule
+
+CORES = 8
+VALUE_BYTES = 64
+DURATION_S = 0.5
+
+
+def _metered_run(load: float, diurnal: DiurnalSchedule | None = None):
+    stack = mercury_stack(CORES)
+    design = ServerDesign(stack=stack)
+    system = FullSystemStack(
+        stack=stack, memory_per_core_bytes=16 * MB, seed=11
+    )
+    workload = WorkloadSpec(
+        name="power-bench",
+        get_fraction=0.9,
+        key_population=20_000,
+        value_sizes=fixed_size(VALUE_BYTES),
+    )
+    capacity = stack.cores * system.model.tps("GET", VALUE_BYTES)
+    meter = EnergyMeter(
+        DynamicPowerModel.for_stack(stack),
+        window_s=DURATION_S / 20,
+        num_stacks=design.num_stacks,
+    )
+    options = RunOptions(
+        offered_rate_hz=load * capacity,
+        duration_s=DURATION_S,
+        warmup_requests=10_000,
+        diurnal=diurnal,
+    ).with_instruments(energy=meter)
+    results = system.run(workload, options)
+    return stack, design, system, results
+
+
+def test_power(benchmark):
+    stack, design, system, results = benchmark(lambda: _metered_run(1.0))
+    energy = results.energy
+
+    # Energy conservation: the ledger's components sum to the total.
+    assert energy["total_j"] == sum(energy["components_j"].values())
+
+    # Steady state near saturation: measured stack watts within +/-10 %
+    # of the static model priced at the achieved memory bandwidth.
+    item_bytes = (
+        ITEM_OVERHEAD_BYTES + system.model.cal.default_key_bytes + VALUE_BYTES
+    )
+    achieved_bw = results.throughput_hz * 2.0 * item_bytes
+    static_stack_w = stack.power_w(achieved_bw)
+    measured_stack_w = energy["stack_mean_power_w"]
+    assert measured_stack_w == pytest.approx(static_stack_w, rel=0.10)
+
+    # And the paper's figure of merit agrees end to end: TPS/W from
+    # measured energy within +/-10 % of the static server prediction.
+    static_server_w = DEFAULT_BUDGET.server_power_w(
+        static_stack_w * design.num_stacks
+    )
+    static_tps_per_watt = (
+        results.throughput_hz * design.num_stacks / static_server_w
+    )
+    assert results.measured_tps_per_watt == pytest.approx(
+        static_tps_per_watt, rel=0.10
+    )
+
+    # Fault-free full-load run: the thermal and budget rails hold.
+    assert not energy["alerts"]
+
+    # Diurnal day: troughs draw strictly less than peaks, and the whole
+    # day costs less energy than flat peak load (power proportionality).
+    _, _, _, diurnal_results = _metered_run(
+        1.0, diurnal=DiurnalSchedule(day_length_s=DURATION_S)
+    )
+    diurnal_energy = diurnal_results.energy
+    assert (
+        diurnal_energy["trough_window_power_w"]
+        < diurnal_energy["peak_window_power_w"]
+    )
+    assert (
+        diurnal_energy["server_mean_power_w"] < energy["server_mean_power_w"]
+    )
+
+    lines = [
+        f"{stack.name} x{design.num_stacks} at saturation for "
+        f"{DURATION_S}s simulated:",
+        f"  measured {measured_stack_w:.3f} W/stack vs static "
+        f"{static_stack_w:.3f} W at the achieved bandwidth "
+        f"({measured_stack_w / static_stack_w - 1.0:+.1%})",
+        f"  measured TPS/W {results.measured_tps_per_watt:.0f} vs static "
+        f"{static_tps_per_watt:.0f}",
+        f"  joules/op {results.joules_per_op * 1e3:.3f} mJ, window peak "
+        f"{results.peak_window_power_w:.1f} W",
+        f"  diurnal day: peak {diurnal_energy['peak_window_power_w']:.1f} W "
+        f"-> trough {diurnal_energy['trough_window_power_w']:.1f} W "
+        f"(mean {diurnal_energy['server_mean_power_w']:.1f} W vs flat "
+        f"{energy['server_mean_power_w']:.1f} W)",
+    ]
+    emit("power_measured_vs_static", "\n".join(lines))
+    track(
+        "bench_power",
+        tps=results.throughput_hz,
+        joules_per_op=results.joules_per_op,
+        measured_tps_per_watt=results.measured_tps_per_watt,
+    )

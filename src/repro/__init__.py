@@ -108,6 +108,9 @@ __all__ = [
     "ReplicaPlacement",
     "HintQueue",
     "AntiEntropySweeper",
+    "EnergyMeter",
+    "DynamicPowerModel",
+    "DiurnalSchedule",
     "__version__",
 ]
 
@@ -132,6 +135,11 @@ _LAZY = {
     "ReplicaPlacement": "repro.replication.placement",
     "HintQueue": "repro.replication.handoff",
     "AntiEntropySweeper": "repro.replication.antientropy",
+    # Energy metering rides RunOptions; same lazy pattern keeps the
+    # telemetry<->power import order a non-issue at package import.
+    "EnergyMeter": "repro.telemetry.energy",
+    "DynamicPowerModel": "repro.power.dynamic",
+    "DiurnalSchedule": "repro.workloads.diurnal",
 }
 
 

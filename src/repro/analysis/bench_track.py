@@ -42,24 +42,30 @@ DEFAULT_TPS_THRESHOLD = 0.10
 DEFAULT_WALL_THRESHOLD = 0.75
 
 #: Measurement fields where *smaller* is better.
-_LOWER_IS_BETTER = frozenset({"wall_s", "rtt_s"})
+_LOWER_IS_BETTER = frozenset({"wall_s", "rtt_s", "joules_per_op"})
 
 
 def _lower_is_better(field: str) -> bool:
     """Whether growth in ``field`` is the bad direction.
 
-    Beyond the two classic fields, any ``*_s`` duration and any
+    Beyond the classic fields, any ``*_s`` duration, any
     ``*_amplification`` factor (the flashstore benches track write/read
-    amplification) reads as a cost, not a gain.
+    amplification), and any ``*_joules_per_op`` energy cost reads as a
+    cost, not a gain.
     """
     return field in _LOWER_IS_BETTER or field.endswith(
-        ("_s", "_amplification")
+        ("_s", "_amplification", "_joules_per_op")
     )
 
 
 def _is_throughput(field: str) -> bool:
-    """``tps`` and any ``*_tps`` endpoint (e.g. ``put_tps``) gate alike."""
-    return field == "tps" or field.endswith("_tps")
+    """``tps``, any ``*_tps`` endpoint (e.g. ``put_tps``), and any
+    ``*_per_watt`` efficiency figure gate alike: a drop is a regression."""
+    return (
+        field == "tps"
+        or field.endswith("_tps")
+        or field.endswith("_per_watt")
+    )
 
 
 def _empty_history() -> dict:
@@ -161,12 +167,14 @@ def regression_report(
     """Diff the newest run against the previous one.
 
     Returns every comparable (bench, field) pair as a :class:`Delta`;
-    ``flagged`` is set when a throughput field (``tps`` or any
-    ``*_tps`` endpoint) dropped by more than ``tps_threshold`` or
-    wall-clock grew by more than ``wall_threshold``.  Latency
-    (``rtt_s``) deltas are reported but never flagged on their own —
-    the simulated RTT is deterministic, so a real change there shows up
-    in review, while the gate watches throughput.
+    ``flagged`` is set when a throughput-like field (``tps``, any
+    ``*_tps`` endpoint, or any ``*_per_watt`` efficiency) dropped by
+    more than ``tps_threshold``, a ``joules_per_op`` energy cost grew
+    by more than the same threshold, or wall-clock grew by more than
+    ``wall_threshold``.  Latency (``rtt_s``) deltas are reported but
+    never flagged on their own — the simulated RTT is deterministic, so
+    a real change there shows up in review, while the gate watches
+    throughput and energy.
     """
     runs = history.get("runs", [])
     if len(runs) < 2:
@@ -182,6 +190,10 @@ def regression_report(
                 flagged = (new - old) / old < -tps_threshold
             elif field == "wall_s" and old > 0:
                 flagged = (new - old) / old > wall_threshold
+            elif (
+                field == "joules_per_op" or field.endswith("_joules_per_op")
+            ) and old > 0:
+                flagged = (new - old) / old > tps_threshold
             deltas.append(Delta(bench, field, old, new, flagged))
     return deltas
 

@@ -344,6 +344,122 @@ def _cmd_telemetry(args: argparse.Namespace) -> str:
     return "\n\n".join(sections)
 
 
+def _cmd_power(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from repro.analysis.ascii_chart import bar_chart
+    from repro.exp.scenarios import get_scenario
+    from repro.power import DEFAULT_BUDGET, DEFAULT_COSTS, DynamicPowerModel
+    from repro.sim.full_system import FullSystemStack
+    from repro.telemetry import (
+        EnergyMeter,
+        TelemetrySession,
+        TimeSeriesRecorder,
+        write_prometheus,
+        write_timeseries_jsonl,
+    )
+    from repro.units import MB
+
+    scenario = get_scenario(args.scenario)
+    stack = _stack_for(args.family, args.cores)
+    design = ServerDesign(stack=stack)
+    num_stacks = args.stacks if args.stacks else design.num_stacks
+    system = FullSystemStack(
+        stack=stack, memory_per_core_bytes=args.memory_mb * MB, seed=args.seed
+    )
+    workload = scenario.workload(parse_size(args.size))
+    capacity = stack.cores * system.model.tps("GET", parse_size(args.size))
+    telemetry = TelemetrySession()
+    interval = args.interval if args.interval else args.duration / 20
+    recorder = TimeSeriesRecorder(telemetry.registry, interval_s=interval)
+    meter = EnergyMeter(
+        DynamicPowerModel.for_stack(stack),
+        window_s=interval,
+        registry=telemetry.registry,
+        num_stacks=num_stacks,
+        budget_w=DEFAULT_BUDGET.stack_budget_w,
+        throttle_derate=args.throttle_derate,
+    )
+    options = scenario.run_options(
+        offered_rate_hz=args.load * capacity, duration_s=args.duration
+    ).with_instruments(telemetry=telemetry, timeseries=recorder, energy=meter)
+    results = system.run(workload, options)
+    summary = results.energy
+
+    static_stack_w = design.stack_max_power_w()
+    static_server_w = DEFAULT_BUDGET.server_power_w(static_stack_w * num_stacks)
+    measured_stack_w = summary["stack_mean_power_w"]
+    measured_server_w = summary["server_mean_power_w"]
+    header = (
+        f"{stack.name} x{num_stacks} @ {args.load:.0%} load for "
+        f"{args.duration}s simulated ({scenario.name}): "
+        f"{results.completed} requests, {results.throughput_hz / 1e3:.1f} KTPS/stack\n"
+        f"measured power: {measured_stack_w:.2f} W/stack "
+        f"(static model {static_stack_w:.2f} W, "
+        f"{measured_stack_w / static_stack_w - 1.0:+.1%}), "
+        f"{measured_server_w:.1f} W wall "
+        f"(static {static_server_w:.1f} W)\n"
+        f"joules/op {summary['joules_per_op'] * 1e3:.3f} mJ, "
+        f"measured TPS/W {summary['measured_tps_per_watt']:.0f}, "
+        f"window peak {summary['peak_window_power_w']:.1f} W / "
+        f"trough {summary['trough_window_power_w']:.1f} W"
+    )
+
+    timeline = meter.timeline()
+    timeline_chart = bar_chart(
+        [f"{start * 1e3:.0f}ms" for start, _, _ in timeline],
+        [server_w for _, _, server_w in timeline],
+        title="windowed server power (W)",
+    )
+    components = {
+        name: joules
+        for name, joules in summary["components_j"].items()
+        if joules > 0
+    }
+    breakdown_chart = bar_chart(
+        list(components),
+        list(components.values()),
+        title="energy by component (J)",
+    )
+
+    tco_measured = DEFAULT_COSTS.energy_cost_usd(measured_server_w)
+    tco_static = DEFAULT_COSTS.energy_cost_usd(static_server_w)
+    tco = (
+        f"energy TCO over {DEFAULT_COSTS.depreciation_years:.0f}y "
+        f"(PUE {DEFAULT_COSTS.pue}): ${tco_measured:,.0f} at measured wall "
+        f"power vs ${tco_static:,.0f} at the static budget"
+    )
+
+    if summary["alerts"]:
+        alert_lines = ["power alerts (fired once per sustained violation):"]
+        for alert in summary["alerts"]:
+            alert_lines.append(
+                f"  {alert['rule']:20s} fired={alert['fired_at_s']:.3f}s "
+                f"cleared={alert['cleared_at_s']:.3f}s "
+                f"peak_burn={alert['peak_burn']:.2f}x"
+            )
+        if summary["throttle_windows"]:
+            alert_lines.append(
+                f"  throttled windows: {summary['throttle_windows']} "
+                f"(derate {summary['throttle_derate']:.2f})"
+            )
+        alerts = "\n".join(alert_lines)
+    else:
+        alerts = (
+            f"power alerts: none fired (passive limit "
+            f"{meter.passive_limit_w:.0f} W/stack, budget "
+            f"{DEFAULT_BUDGET.stack_budget_w:.0f} W)"
+        )
+
+    out = Path(args.out)
+    metrics_path = write_prometheus(out / "metrics.prom", telemetry.registry)
+    series_path = write_timeseries_jsonl(out / "timeseries.jsonl", recorder)
+    footer = f"wrote {metrics_path} and {series_path}"
+    return "\n\n".join(
+        [header, timeline_chart, breakdown_chart, tco, alerts, footer]
+    )
+
+
 def _cmd_trace(args: argparse.Namespace) -> str:
     import json
 
@@ -997,6 +1113,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max microseconds the first rider waits for the "
                         "batch to fill (only with --batch-max > 1)")
     p.set_defaults(func=_cmd_telemetry)
+
+    p = sub.add_parser(
+        "power",
+        help="energy-metered full-system run: power timeline, per-component "
+             "energy, measured-vs-static watts, TCO at measured energy",
+    )
+    p.add_argument("--family", choices=["mercury", "iridium"], default="mercury")
+    p.add_argument("--cores", type=int, default=8)
+    p.add_argument("--load", type=float, default=0.9,
+                   help="offered load as a fraction of linear-scaling capacity")
+    p.add_argument("--duration", type=float, default=0.2,
+                   help="simulated seconds to run")
+    p.add_argument("--size", default="64", help="value size (64, 4K, ...)")
+    p.add_argument("--memory-mb", type=int, default=16,
+                   help="per-core store budget in MB")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--scenario", default="energy-diurnal",
+                   help="named scenario to run (default energy-diurnal; "
+                        "'baseline' measures flat load)")
+    p.add_argument("--stacks", type=int, default=None,
+                   help="stacks to extrapolate the enclosure to "
+                        "(default: the 1.5U packing for this design)")
+    p.add_argument("--interval", type=float, default=None,
+                   help="power window in simulated seconds "
+                        "(default duration/20)")
+    p.add_argument("--throttle-derate", type=float, default=1.0,
+                   help="frequency factor applied while thermally "
+                        "throttled (1.0 = measure only, never perturb)")
+    p.add_argument("--out", default="power-out",
+                   help="directory for metrics.prom and timeseries.jsonl")
+    p.set_defaults(func=_cmd_power)
 
     p = sub.add_parser(
         "trace",

@@ -42,6 +42,49 @@ class ThermalReport:
         """Heat flux through the 4.41 cm^2 package top."""
         return self.per_stack_tdp_w / 4.41
 
+    @classmethod
+    def from_measured(
+        cls,
+        name: str,
+        stacks: int,
+        measured_stack_w: float,
+        passive_limit_w: float = PASSIVE_COOLING_LIMIT_W,
+        budget=None,
+    ) -> "ThermalReport":
+        """Thermal summary from *measured* per-stack watts (the energy
+        meter's windowed or mean power) instead of a design TDP.
+
+        ``budget`` (a :class:`~repro.power.model.PowerBudget`, default
+        the paper's 750 W envelope) converts the per-stack draw into the
+        server-level wall power the report carries.
+        """
+        if stacks <= 0:
+            raise ConfigurationError("server holds no stacks")
+        if measured_stack_w < 0:
+            raise ConfigurationError("measured power cannot be negative")
+        from repro.power.model import DEFAULT_BUDGET
+
+        if budget is None:
+            budget = DEFAULT_BUDGET
+        return cls(
+            name=name,
+            stacks=stacks,
+            server_tdp_w=budget.server_power_w(measured_stack_w * stacks),
+            per_stack_tdp_w=measured_stack_w,
+            passive_limit_w=passive_limit_w,
+        )
+
+    def export_gauges(self, registry) -> None:
+        """Mirror the report into ``thermal_*`` registry gauges."""
+        registry.gauge("thermal_per_stack_watts").set(self.per_stack_tdp_w)
+        registry.gauge("thermal_headroom_watts").set(self.headroom_w)
+        registry.gauge("thermal_power_density_w_per_cm2").set(
+            self.power_density_w_per_cm2
+        )
+        registry.gauge("thermal_passively_coolable").set(
+            1.0 if self.passively_coolable else 0.0
+        )
+
 
 def thermal_report(design: ServerDesign) -> ThermalReport:
     """Thermal summary of a packed server at its worst-case power."""

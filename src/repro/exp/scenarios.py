@@ -26,6 +26,7 @@ from repro.flashstore.compaction import TieredStoreConfig
 from repro.kvstore.batching import BatchPolicy
 from repro.sim.run_options import RunOptions
 from repro.workloads.distributions import fixed_size
+from repro.workloads.diurnal import DiurnalSchedule
 from repro.workloads.generator import WorkloadSpec
 
 
@@ -43,7 +44,13 @@ class Scenario:
     flash store (flash stacks only; ``flashstore_segment_pages`` sizes
     the write-tier log segment).  The knob travels on
     :class:`~repro.sim.run_options.RunOptions`, so experiment cache keys
-    distinguish tiered from baseline cells automatically.
+    distinguish tiered from baseline cells automatically.  ``energy``
+    turns on the activity-based energy meter
+    (``RunOptions.energy_summary``); ``diurnal_day_s`` > 0 additionally
+    compresses a day of load into the run so power proportionality is
+    visible (``diurnal_trough`` is the trough rate as a fraction of
+    peak).  Both travel on RunOptions, so cache keys distinguish
+    metered/diurnal cells too.
     """
 
     name: str
@@ -57,8 +64,21 @@ class Scenario:
     batch_linger_s: float = 0.0
     flashstore: bool = False
     flashstore_segment_pages: int = 256
+    energy: bool = False
+    diurnal_day_s: float = 0.0
+    diurnal_trough: float = 0.3
 
     def __post_init__(self) -> None:
+        if self.diurnal_day_s < 0:
+            raise ConfigurationError(
+                f"scenario {self.name!r} needs a non-negative diurnal day"
+            )
+        if self.diurnal_day_s > 0:
+            # Validate the schedule knobs eagerly, like the others.
+            DiurnalSchedule(
+                day_length_s=self.diurnal_day_s,
+                trough_fraction=self.diurnal_trough,
+            )
         if self.faults is not None and self.faults not in PRESETS:
             raise ConfigurationError(
                 f"scenario {self.name!r} names unknown fault preset "
@@ -83,6 +103,14 @@ class Scenario:
             return None
         return TieredStoreConfig(
             log_segment_pages=self.flashstore_segment_pages
+        )
+
+    def diurnal_schedule(self) -> DiurnalSchedule | None:
+        if self.diurnal_day_s <= 0:
+            return None
+        return DiurnalSchedule(
+            day_length_s=self.diurnal_day_s,
+            trough_fraction=self.diurnal_trough,
         )
 
     def fault_schedule(self) -> FaultSchedule | None:
@@ -116,6 +144,8 @@ class Scenario:
             resilience=DEFAULT_RESILIENCE if self.resilience else None,
             batching=self.batch_policy(),
             flashstore=self.flashstore_config(),
+            energy_summary=self.energy,
+            diurnal=self.diurnal_schedule(),
         )
 
     def to_spec(
@@ -183,6 +213,14 @@ def _build_registry() -> dict[str, Scenario]:
         get_fraction=0.5,
         flashstore=True,
     )
+    scenarios["energy-diurnal"] = Scenario(
+        name="energy-diurnal",
+        description="energy-metered workload through one compressed "
+        "day of load (peak -> 30% trough -> peak) so the power timeline "
+        "shows energy proportionality",
+        energy=True,
+        diurnal_day_s=1.0,
+    )
     for preset in sorted(PRESETS):
         scenarios[preset] = Scenario(
             name=preset,
@@ -194,7 +232,8 @@ def _build_registry() -> dict[str, Scenario]:
 
 
 #: Every named scenario: ``baseline``, the two batched presets, the two
-#: tiered-flashstore presets, plus one per fault preset.
+#: tiered-flashstore presets, the energy-metered diurnal preset, plus
+#: one per fault preset.
 SCENARIOS: dict[str, Scenario] = _build_registry()
 
 

@@ -156,5 +156,16 @@ class StackedDram:
             )
         return self.power_w_per_gbs * (bandwidth_bytes_s / GB)
 
+    @property
+    def energy_j_per_byte(self) -> float:
+        """Dynamic access energy per byte moved.
+
+        The linear power curve ``power_w(bw) = power_w_per_gbs * bw/GB``
+        integrates to energy = bytes * power_w_per_gbs / GB regardless of
+        the bandwidth the bytes moved at, so the energy meter can charge
+        per access without tracking instantaneous bandwidth.
+        """
+        return self.power_w_per_gbs / GB
+
 
 TEZZARON_4GB = StackedDram()

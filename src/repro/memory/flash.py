@@ -130,5 +130,13 @@ class FlashDevice:
             raise ConfigurationError("bandwidth cannot be negative")
         return self.power_w_per_gbs * (bandwidth_bytes_s / GB)
 
+    @property
+    def bus_energy_j_per_byte(self) -> float:
+        """Channel/interface energy per byte moved (the linear power
+        curve integrated: independent of instantaneous bandwidth).  The
+        NAND array costs are separate — see ``read_energy_j_per_page``,
+        ``program_energy_j_per_page`` and ``erase_energy_j_per_block``."""
+        return self.power_w_per_gbs / GB
+
 
 PBICS_19GB = FlashDevice()

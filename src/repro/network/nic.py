@@ -40,6 +40,12 @@ class NicPhy:
             raise ConfigurationError("byte count cannot be negative")
         return wire_bytes / self.ethernet.line_rate_bytes_s
 
+    @property
+    def energy_j_per_byte(self) -> float:
+        """Incremental serialisation energy per wire byte: the rated PHY
+        power held for the byte's serialisation time at line rate."""
+        return self.power_w / self.ethernet.line_rate_bytes_s
+
 
 class NicMac:
     """The on-stack MAC: packet buffers plus routing to cores.

@@ -1,6 +1,8 @@
-"""Power modelling: component, stack, and server budget arithmetic."""
+"""Power modelling: component, stack, and server budget arithmetic,
+plus the dynamic (activity-priced) model behind the energy meter."""
 
 from repro.power.model import PowerBudget, DEFAULT_BUDGET, stack_power_w, server_power_w
+from repro.power.dynamic import CORE_IDLE_FRACTION, DynamicPowerModel
 from repro.power.tco import CostModel, DEFAULT_COSTS, FleetCost
 
 __all__ = [
@@ -8,6 +10,8 @@ __all__ = [
     "DEFAULT_BUDGET",
     "stack_power_w",
     "server_power_w",
+    "CORE_IDLE_FRACTION",
+    "DynamicPowerModel",
     "CostModel",
     "DEFAULT_COSTS",
     "FleetCost",

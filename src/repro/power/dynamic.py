@@ -1,0 +1,167 @@
+"""Activity-based dynamic power: the constants behind the energy meter.
+
+The static model (:mod:`repro.power.model`) prices a stack at one
+operating point — every core always busy, the memory system always
+moving the request-size bandwidth.  That is the right number for
+packing and for Table 3/4, but it cannot express what the DES actually
+shows: diurnal troughs where cores idle, fault windows where load
+shifts, flashstore compaction running in the background.
+
+:class:`DynamicPowerModel` derives *per-event* energy prices from the
+same device constants the static model uses, so that when every core is
+busy and every request moves its full bandwidth the integrated energy
+converges on the static prediction:
+
+* cores — active watts (``core.power_w``) while serving, an idle floor
+  (:data:`CORE_IDLE_FRACTION` of active) otherwise;
+* DRAM / flash bus — the linear ``power_w(bandwidth)`` curves integrate
+  to a bandwidth-independent joules-per-byte price;
+* flash array — per-page read/program and per-block erase energy from
+  the Grupp et al. numbers already on :class:`~repro.memory.flash.FlashDevice`;
+* NIC — MAC + PHY idle at their rated watts (they are always powered,
+  which is exactly how the static model prices them) plus a per-wire-byte
+  serialisation increment;
+* chassis — ``PowerBudget.other_components_w`` as a constant floor, and
+  delivery losses as ``(1/margin - 1)`` of the stack-side energy, so the
+  sum of components reproduces ``PowerBudget.server_power_w`` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.power.model import DEFAULT_BUDGET, PowerBudget
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Imported lazily: repro.core pulls in telemetry (whose package
+    # re-exports the energy meter, which needs this module), so a
+    # module-level import here would close an import cycle.
+    from repro.core.stack import StackConfig
+
+#: Fraction of a core's active power burned while idle (clock trees,
+#: leakage, the OS tick).  Published embedded-core numbers put idle in
+#: the 20-40 % range of typical active power; 0.3 keeps the steady-state
+#: busy-server prediction within a few percent of the static model while
+#: leaving an unmistakable diurnal-trough signature.
+CORE_IDLE_FRACTION = 0.3
+
+
+@dataclass(frozen=True)
+class DynamicPowerModel:
+    """Per-event energy prices for one stack design, in joules.
+
+    Build one with :meth:`for_stack`; all fields are plain floats so the
+    model serialises trivially and the integrator never touches device
+    objects on the hot path.
+    """
+
+    stack_name: str
+    cores: int
+    #: Watts of one core while serving a request.
+    core_active_w: float
+    #: Watts of one core while idle (the floor under the troughs).
+    core_idle_w: float
+    #: Joules per byte moved through the stack's memory (DRAM ports or
+    #: the flash channel interface).
+    memory_j_per_byte: float
+    #: NAND array energies; zero on DRAM stacks.
+    flash_read_j_per_page: float
+    flash_program_j_per_page: float
+    flash_erase_j_per_block: float
+    #: Always-on NIC floor (MAC + PHY rated watts).
+    nic_idle_w: float
+    #: Incremental serialisation energy per wire byte.
+    nic_j_per_byte: float
+    #: Chassis floor shared by the whole server (disk, motherboard, fans).
+    chassis_w: float
+    #: Stack-side joules are grossed up by this factor for delivery
+    #: losses: ``(1 / delivery_margin) - 1``.
+    delivery_loss_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError("a stack needs at least one core")
+        if self.core_idle_w > self.core_active_w:
+            raise ConfigurationError("idle core power cannot exceed active")
+        numeric = (
+            self.core_active_w,
+            self.core_idle_w,
+            self.memory_j_per_byte,
+            self.flash_read_j_per_page,
+            self.flash_program_j_per_page,
+            self.flash_erase_j_per_block,
+            self.nic_idle_w,
+            self.nic_j_per_byte,
+            self.chassis_w,
+            self.delivery_loss_fraction,
+        )
+        if min(numeric) < 0:
+            raise ConfigurationError("energy prices cannot be negative")
+
+    @classmethod
+    def for_stack(
+        cls,
+        stack: StackConfig,
+        budget: PowerBudget = DEFAULT_BUDGET,
+        idle_fraction: float = CORE_IDLE_FRACTION,
+    ) -> "DynamicPowerModel":
+        """Derive the price list from a stack's device constants."""
+        if not 0.0 <= idle_fraction <= 1.0:
+            raise ConfigurationError("idle_fraction must be in [0, 1]")
+        if stack.dram is not None:
+            memory_j_per_byte = stack.dram.energy_j_per_byte
+            flash_read = flash_program = flash_erase = 0.0
+        else:
+            assert stack.flash is not None
+            memory_j_per_byte = stack.flash.bus_energy_j_per_byte
+            flash_read = stack.flash.read_energy_j_per_page
+            flash_program = stack.flash.program_energy_j_per_page
+            flash_erase = stack.flash.erase_energy_j_per_block
+        return cls(
+            stack_name=stack.name,
+            cores=stack.cores,
+            core_active_w=stack.core.power_w,
+            core_idle_w=idle_fraction * stack.core.power_w,
+            memory_j_per_byte=memory_j_per_byte,
+            flash_read_j_per_page=flash_read,
+            flash_program_j_per_page=flash_program,
+            flash_erase_j_per_block=flash_erase,
+            nic_idle_w=stack.mac.power_w + stack.phy.power_w,
+            nic_j_per_byte=stack.phy.energy_j_per_byte,
+            chassis_w=budget.other_components_w,
+            delivery_loss_fraction=1.0 / budget.delivery_margin - 1.0,
+        )
+
+    # --- floors --------------------------------------------------------------
+
+    @property
+    def idle_floor_w(self) -> float:
+        """Stack-side watts burned with zero offered load."""
+        return self.cores * self.core_idle_w + self.nic_idle_w
+
+    @property
+    def active_ceiling_w(self) -> float:
+        """Stack-side core+NIC watts with every core pinned busy
+        (memory/flash energy is activity-priced on top of this)."""
+        return self.cores * self.core_active_w + self.nic_idle_w
+
+    def stack_power_w(self, busy_fraction: float, activity_w: float = 0.0) -> float:
+        """Stack watts at a core duty cycle plus measured activity watts."""
+        if not 0.0 <= busy_fraction <= 1.0 + 1e-9:
+            raise ConfigurationError("busy_fraction must be in [0, 1]")
+        core_w = self.cores * (
+            self.core_idle_w
+            + busy_fraction * (self.core_active_w - self.core_idle_w)
+        )
+        return core_w + self.nic_idle_w + activity_w
+
+    def server_power_w(self, stack_side_w: float, num_stacks: int = 1) -> float:
+        """Wall watts for an aggregate stack-side draw: chassis floor
+        plus delivery-grossed stack power (``num_stacks`` scales the
+        single-stack draw when the DES models one of many)."""
+        if num_stacks < 1:
+            raise ConfigurationError("num_stacks must be at least 1")
+        total = stack_side_w * num_stacks
+        return self.chassis_w + total * (1.0 + self.delivery_loss_fraction)

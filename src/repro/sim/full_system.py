@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, fields
 
 from repro.core.latency_model import MemorySpec, RequestTiming
 from repro.core.stack import StackConfig
+from repro.core.thermal import ThermalReport
 from repro.errors import ConfigurationError, SimulationError
 from repro.faults.injector import FaultInjector
 from repro.faults.resilience import ResiliencePolicy
@@ -36,6 +37,7 @@ from repro.kvstore.consistent_hash import ConsistentHashRing
 from repro.kvstore.server_loop import MemcachedServer
 from repro.kvstore.store import KVStore
 from repro.network.packets import request_wire_payloads, wire_bytes_for_payload
+from repro.power.dynamic import DynamicPowerModel
 from repro.replication.antientropy import AntiEntropySweeper
 from repro.replication.config import ReplicationConfig
 from repro.replication.handoff import HintQueue
@@ -45,6 +47,7 @@ from repro.sim.resources import FifoResource
 from repro.sim.rng import make_rng
 from repro.sim.run_options import RunOptions
 from repro.telemetry.critical_path import compute_trace_digest
+from repro.telemetry.energy import EnergyMeter
 from repro.telemetry.metrics import StreamingHistogram
 from repro.telemetry.profiler import SimProfiler
 from repro.telemetry.slo import SloMonitor
@@ -134,6 +137,11 @@ class FullSystemResults:
     # critical-path shares), populated when RunOptions.trace_digest is
     # set; JSON-safe so cached experiment cells can carry it.
     trace_digest: dict | None = None
+    # Measured-energy summary (per-component joules, windowed power,
+    # throttle alerts), populated when an EnergyMeter instrument is
+    # attached or RunOptions.energy_summary is set; JSON-safe so cached
+    # experiment cells carry the measured watts.
+    energy: dict | None = None
 
     def __post_init__(self) -> None:
         interval = self.window_s if self.window_s is not None else 1.0
@@ -194,6 +202,31 @@ class FullSystemResults:
         if not self.replica_puts:
             return 1.0
         return self.replica_puts / self.puts
+
+    # Measured-energy accessors (0.0 when the run was not metered).
+    @property
+    def joules_per_op(self) -> float:
+        """Measured energy per completed request (total stack + chassis
+        joules over completions; 0.0 for unmetered runs)."""
+        if self.energy is None:
+            return 0.0
+        return self.energy.get("joules_per_op", 0.0)
+
+    @property
+    def measured_tps_per_watt(self) -> float:
+        """The paper's §5.4 figure of merit at *measured* power: server
+        throughput over mean wall watts (0.0 for unmetered runs)."""
+        if self.energy is None:
+            return 0.0
+        return self.energy.get("measured_tps_per_watt", 0.0)
+
+    @property
+    def peak_window_power_w(self) -> float:
+        """Highest windowed server power seen during the run (0.0 for
+        unmetered runs)."""
+        if self.energy is None:
+            return 0.0
+        return self.energy.get("peak_window_power_w", 0.0)
 
     def sla_fraction(self, deadline_s: float = 1e-3) -> float:
         if self.rtts:
@@ -344,6 +377,10 @@ class FullSystemResults:
             # Conditional key again: runs without the tiered store keep
             # their pre-flashstore cache-entry byte layout.
             payload["flashstore"] = self.flashstore
+        if self.energy is not None:
+            # Conditional key again: unmetered runs keep their
+            # pre-energy cache-entry byte layout.
+            payload["energy"] = self.energy
         return payload
 
 
@@ -612,10 +649,96 @@ class FullSystemStack:
                         lambda: rtt_histogram.exemplars_above(exemplar_floor)
                     )
         slo_record = slo.record if slo is not None else None
+        energy_meter = options.energy
+        if energy_meter is None and options.energy_summary:
+            # A summary was requested but no live meter attached (the
+            # experiment engine's cached cells run instrument-free):
+            # meter internally against this stack's derived power model,
+            # sized to the run's window_s (default: twenty windows).
+            energy_meter = EnergyMeter(
+                DynamicPowerModel.for_stack(self.stack),
+                window_s=(
+                    window_s if window_s is not None else duration_s / 20.0
+                ),
+                registry=registry,
+            )
+        if energy_meter is not None:
+            energy_meter.install(sim, horizon_s=duration_s)
+
+        # Per-op activity charges for the energy meter.  The rule is
+        # "energy follows time": bytes/pages are charged wherever the
+        # latency model charges service time, with the same item framing
+        # (calibrated key length + overhead) the timing math uses.  Core
+        # busy energy needs no per-site hook — the FifoResource
+        # busy_observer charges it over exactly the busy intervals.
+        if energy_meter is not None:
+            _energy_key_bytes = self.model.cal.default_key_bytes
+            _energy_item_overhead = ITEM_OVERHEAD_BYTES + _energy_key_bytes
+            _energy_flash = self.stack.flash
+
+            def charge_op_energy(
+                t: float,
+                verb: str,
+                served_bytes: int,
+                tiered_cost=None,
+                wire: bool = True,
+            ) -> None:
+                item_bytes = _energy_item_overhead + served_bytes
+                # memory_bandwidth() moves 2x the item per op (read +
+                # response copy, or lookup + store).
+                energy_meter.charge_memory_bytes(t, 2.0 * item_bytes)
+                if wire:
+                    rw = request_wire_payloads(
+                        verb, served_bytes, key_bytes=_energy_key_bytes
+                    )
+                    energy_meter.charge_nic_bytes(
+                        t,
+                        wire_bytes_for_payload(rw.request_payload)
+                        + wire_bytes_for_payload(rw.response_payload),
+                    )
+                if _energy_flash is not None:
+                    if tiered_cost is not None:
+                        # Tiered store: reads cost what the tier probe
+                        # actually touched; log-structured writes
+                        # amortise to the item's share of a page, and
+                        # erases to that share of a block.
+                        if verb == "GET":
+                            energy_meter.charge_flash_reads(
+                                t, float(tiered_cost.pages_read)
+                            )
+                        else:
+                            pages = item_bytes / _energy_flash.page_bytes
+                            energy_meter.charge_flash_programs(t, pages)
+                            energy_meter.charge_flash_erases(
+                                t, pages / _energy_flash.pages_per_block
+                            )
+                    else:
+                        # Baseline FTL-calibrated path: whole pages, as
+                        # the latency model stalls for them.
+                        pages = float(_energy_flash.pages_for(item_bytes))
+                        if verb == "GET":
+                            energy_meter.charge_flash_reads(t, pages)
+                        else:
+                            energy_meter.charge_flash_programs(t, pages)
+                            energy_meter.charge_flash_erases(
+                                t, pages / _energy_flash.pages_per_block
+                            )
+
+        else:
+            charge_op_energy = None
         rng = make_rng("full-system", self.seed)
         generator = WorkloadGenerator(workload, seed=self.seed)
         cores = [
-            FifoResource(sim, name=f"core{i}", registry=registry)
+            FifoResource(
+                sim,
+                name=f"core{i}",
+                registry=registry,
+                busy_observer=(
+                    energy_meter.charge_core_busy
+                    if energy_meter is not None
+                    else None
+                ),
+            )
             for i in range(self.stack.cores)
         ]
         for server, core in zip(self.servers, cores):
@@ -735,6 +858,21 @@ class FullSystemStack:
                             stack=stack_label,
                             trace=trace,
                         )
+                    if energy_meter is not None:
+                        # Tier moves hit the NAND array: every page the
+                        # move read and rewrote, plus the rewritten
+                        # pages' amortised share of block erases.
+                        energy_meter.charge_flash_reads(
+                            sim.now, float(work.pages_read)
+                        )
+                        energy_meter.charge_flash_programs(
+                            sim.now, float(work.pages_written)
+                        )
+                        energy_meter.charge_flash_erases(
+                            sim.now,
+                            work.pages_written
+                            / self.stack.flash.pages_per_block,
+                        )
                     cores[core_index].submit(work.service_s, lambda wait: None)
         if batch_enabled:
             # One pending-op list per core: the client-side buffer in
@@ -819,6 +957,12 @@ class FullSystemStack:
                             service = self.model.request_timing(
                                 "PUT", hint.payload
                             ).total_s
+                            if charge_op_energy is not None:
+                                # Replays are stack-internal: memory and
+                                # flash activity but no client wire.
+                                charge_op_energy(
+                                    sim.now, "PUT", hint.payload, wire=False
+                                )
                             if tracer.enabled:
                                 # Replay work follows from the PUT that
                                 # parked the hint; laid out back-to-back
@@ -872,6 +1016,12 @@ class FullSystemStack:
                         self.model.request_timing("PUT", mean_bytes).total_s * count
                     )
                     antientropy_busy.record(service)
+                    if charge_op_energy is not None:
+                        # Repair writes are stack-internal (no client
+                        # wire); count is bounded by the sweeper's
+                        # max_repairs_per_sweep.
+                        for _ in range(count):
+                            charge_op_energy(t, "PUT", mean_bytes, wire=False)
                     if tracer.enabled:
                         # Sweeps repair keys from many writers: no
                         # single originating trace to link.
@@ -1004,6 +1154,11 @@ class FullSystemStack:
                             "PUT", request.value_bytes
                         ).total_s
                         read_repair_busy.record(repair_service)
+                        if charge_op_energy is not None:
+                            # Internal repair write: no client wire.
+                            charge_op_energy(
+                                sim.now, "PUT", request.value_bytes, wire=False
+                            )
                         if tracer.enabled:
                             tracer.follow_from(
                                 "read_repair",
@@ -1061,6 +1216,20 @@ class FullSystemStack:
                         memcached_s=timing.memcached_s * factor,
                         network_s=timing.network_s,
                     )
+            if energy_meter is not None and energy_meter.derate_factor != 1.0:
+                # Thermal throttle feedback: the derated clock stretches
+                # the on-core stages (hash + memcached); the wire time
+                # is unaffected.
+                derate = energy_meter.derate_factor
+                timing = RequestTiming(
+                    verb=timing.verb,
+                    value_bytes=timing.value_bytes,
+                    hash_s=timing.hash_s / derate,
+                    memcached_s=timing.memcached_s / derate,
+                    network_s=timing.network_s,
+                )
+            if charge_op_energy is not None:
+                charge_op_energy(sim.now, request.verb, served_bytes, tiered_cost)
             trace = state["trace"]
             node_label = f"core{core_index}"
 
@@ -1261,6 +1430,11 @@ class FullSystemStack:
                         "GET", request.value_bytes
                     )
                     verify_read_busy.record(verify_timing.total_s)
+                    if charge_op_energy is not None:
+                        # Internal quorum read: no client wire.
+                        charge_op_energy(
+                            sim.now, "GET", request.value_bytes, wire=False
+                        )
                     if tracer.enabled:
                         # Parked until the winning attempt commits; the
                         # service interval is known now, the queue wait
@@ -1449,6 +1623,19 @@ class FullSystemStack:
                         memcached_s=timing.memcached_s * factor,
                         network_s=timing.network_s,
                     )
+            if energy_meter is not None and energy_meter.derate_factor != 1.0:
+                derate = energy_meter.derate_factor
+                timing = RequestTiming(
+                    verb=timing.verb,
+                    value_bytes=timing.value_bytes,
+                    hash_s=timing.hash_s / derate,
+                    memcached_s=timing.memcached_s / derate,
+                    network_s=timing.network_s,
+                )
+            if charge_op_energy is not None:
+                # Each physical copy moves over the wire and through
+                # memory like its own PUT.
+                charge_op_energy(sim.now, "PUT", request.value_bytes)
             results.replica_puts += 1
             replica_writes_total.inc()
             dispatched = sim.now
@@ -1645,6 +1832,11 @@ class FullSystemStack:
                 served_bytes = (
                     response_len if request.verb == "GET" else request.value_bytes
                 )
+                if charge_op_energy is not None:
+                    # Every rider moves its own item and wire payload;
+                    # only the per-request framing the batch coalesces
+                    # away is saved (matching batch_timing's model).
+                    charge_op_energy(sim.now, request.verb, served_bytes)
                 outcomes.append((request, state, hit, response_len, served_bytes))
                 timing_ops.append((request.verb, served_bytes))
             timing = self.model.batch_timing(timing_ops)
@@ -1658,6 +1850,15 @@ class FullSystemStack:
                         memcached_s=timing.memcached_s * factor,
                         network_s=timing.network_s,
                     )
+            if energy_meter is not None and energy_meter.derate_factor != 1.0:
+                derate = energy_meter.derate_factor
+                timing = RequestTiming(
+                    verb=timing.verb,
+                    value_bytes=timing.value_bytes,
+                    hash_s=timing.hash_s / derate,
+                    memcached_s=timing.memcached_s / derate,
+                    network_s=timing.network_s,
+                )
 
             def complete(wait: float) -> None:
                 served_at = dispatched + wait
@@ -1787,6 +1988,16 @@ class FullSystemStack:
 
                 sim.schedule(batching.linger_s, linger_fire)
 
+        diurnal = options.diurnal
+
+        def arrival_delay() -> float:
+            # Without a diurnal schedule the draw is untouched, so the
+            # RNG stream (and every downstream outcome) stays
+            # bit-identical to pre-diurnal runs.
+            if diurnal is None:
+                return rng.expovariate(offered_rate_hz)
+            return rng.expovariate(offered_rate_hz * diurnal.factor(sim.now))
+
         def arrive() -> None:
             if sim.now >= duration_s:
                 return
@@ -1803,7 +2014,7 @@ class FullSystemStack:
                 batch_enqueue(request, state)
             else:
                 dispatch(request, state, 0)
-            sim.schedule(rng.expovariate(offered_rate_hz), arrive)
+            sim.schedule(arrival_delay(), arrive)
 
         warm_span = (
             profiler.span("warmup") if profiler is not None else nullcontext()
@@ -1830,7 +2041,7 @@ class FullSystemStack:
                 tiered.reset_stats()
                 tiered.metered = True
 
-        sim.schedule(rng.expovariate(offered_rate_hz), arrive)
+        sim.schedule(arrival_delay(), arrive)
         sim.run()
         if slo is not None:
             slo.evaluate(sim.now)
@@ -1852,6 +2063,17 @@ class FullSystemStack:
             registry.gauge("flashstore_index_bytes_per_key").set(
                 summary["index_bytes_per_key"]
             )
+        if energy_meter is not None:
+            energy_summary = energy_meter.finalize(sim.now, results.completed)
+            results.energy = energy_summary
+            # Re-check §6.5's passive-cooling argument at *measured*
+            # power instead of the worst-case TDP.
+            ThermalReport.from_measured(
+                stack_label,
+                energy_meter.num_stacks,
+                energy_summary["stack_mean_power_w"],
+                passive_limit_w=energy_meter.passive_limit_w,
+            ).export_gauges(registry)
         return results
 
     # --- functional execution -------------------------------------------------------

@@ -31,6 +31,10 @@ class FifoResource:
     a ``queue_wait_seconds{resource=...}`` histogram and mirrors its
     depth in a ``queue_depth{resource=...}`` gauge; the default
     :data:`~repro.telemetry.metrics.NULL_REGISTRY` records nothing.
+
+    ``busy_observer(start_s, service_s)``, when set, is called as each
+    job starts service — the hook the energy meter uses to charge
+    active-core watts over exactly the intervals the server was busy.
     """
 
     def __init__(
@@ -39,12 +43,14 @@ class FifoResource:
         name: str,
         servers: int = 1,
         registry: MetricsRegistry = NULL_REGISTRY,
+        busy_observer: Callable[[float, float], None] | None = None,
     ):
         if servers <= 0:
             raise SimulationError("a resource needs at least one server")
         self.sim = sim
         self.name = name
         self.servers = servers
+        self.busy_observer = busy_observer
         self._busy = 0
         self._queue: deque[_Job] = deque()
         self.jobs_served = 0
@@ -81,6 +87,8 @@ class FifoResource:
         self.total_wait += wait
         self.total_service += job.service_time
         self._wait_histogram.record(wait)
+        if self.busy_observer is not None:
+            self.busy_observer(self.sim.now, job.service_time)
 
         def finish() -> None:
             self._busy -= 1

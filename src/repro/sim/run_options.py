@@ -28,8 +28,10 @@ from repro.faults.schedule import FaultSchedule
 from repro.flashstore.compaction import TieredStoreConfig
 from repro.kvstore.batching import BatchPolicy
 from repro.replication.config import ReplicationConfig
+from repro.workloads.diurnal import DiurnalSchedule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.energy import EnergyMeter
     from repro.telemetry.profiler import SimProfiler
     from repro.telemetry.slo import SloMonitor
     from repro.telemetry.timeseries import TimeSeriesRecorder
@@ -49,10 +51,12 @@ _CONFIG_FIELDS = (
     "trace_digest",
     "batching",
     "flashstore",
+    "energy_summary",
+    "diurnal",
 )
 
 #: Live observers excluded from equality, hashing, and serialisation.
-_INSTRUMENT_FIELDS = ("telemetry", "timeseries", "slo", "profiler")
+_INSTRUMENT_FIELDS = ("telemetry", "timeseries", "slo", "profiler", "energy")
 
 
 @dataclass(frozen=True)
@@ -75,8 +79,16 @@ class RunOptions:
     replaces a flash stack's calibrated per-op flash stalls with the
     SILT-style tiered store's measured costs; ``None`` keeps the
     baseline FTL-calibrated path bit-identical to pre-flashstore runs.
+    ``energy_summary`` asks the run to meter activity-based energy and
+    carry the summary in ``FullSystemResults.energy`` — configuration
+    (like ``trace_digest``), because cached experiment cells carry the
+    measured watts.  ``diurnal`` (a
+    :class:`~repro.workloads.diurnal.DiurnalSchedule`) modulates the
+    Poisson arrival rate through a compressed day so power
+    proportionality is visible within one run.
 
-    ``telemetry``/``timeseries``/``slo``/``profiler`` are instruments:
+    ``telemetry``/``timeseries``/``slo``/``profiler``/``energy`` are
+    instruments:
     they observe without perturbing, never travel through
     :meth:`to_dict`, and are ignored by ``==``.  Attach them with
     :meth:`with_instruments` when reusing a serialised options value.
@@ -94,6 +106,8 @@ class RunOptions:
     trace_digest: bool = False
     batching: BatchPolicy | None = None
     flashstore: TieredStoreConfig | None = None
+    energy_summary: bool = False
+    diurnal: DiurnalSchedule | None = None
     telemetry: "TelemetrySession | None" = field(
         default=None, compare=False, repr=False
     )
@@ -104,6 +118,7 @@ class RunOptions:
     profiler: "SimProfiler | None" = field(
         default=None, compare=False, repr=False
     )
+    energy: "EnergyMeter | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.offered_rate_hz <= 0 or self.duration_s <= 0:
@@ -146,6 +161,11 @@ class RunOptions:
             # Same conditional-serialisation rule again: runs without
             # the tiered store keep their pre-flashstore cache keys.
             payload["flashstore"] = self.flashstore.to_dict()
+        if self.energy_summary:
+            # Conditional for the same cache-key stability reason.
+            payload["energy_summary"] = True
+        if self.diurnal is not None:
+            payload["diurnal"] = self.diurnal.to_dict()
         return payload
 
     @classmethod
@@ -179,6 +199,9 @@ class RunOptions:
             flashstore, TieredStoreConfig
         ):
             flashstore = TieredStoreConfig.from_dict(flashstore)
+        diurnal = data.get("diurnal")
+        if diurnal is not None and not isinstance(diurnal, DiurnalSchedule):
+            diurnal = DiurnalSchedule.from_dict(diurnal)
         return cls(
             offered_rate_hz=data["offered_rate_hz"],
             duration_s=data["duration_s"],
@@ -192,6 +215,8 @@ class RunOptions:
             trace_digest=data.get("trace_digest", False),
             batching=batching,
             flashstore=flashstore,
+            energy_summary=data.get("energy_summary", False),
+            diurnal=diurnal,
         )
 
     # --- ergonomics ---------------------------------------------------------
@@ -208,6 +233,7 @@ class RunOptions:
         timeseries: "TimeSeriesRecorder | None" = None,
         slo: "SloMonitor | None" = None,
         profiler: "SimProfiler | None" = None,
+        energy: "EnergyMeter | None" = None,
     ) -> "RunOptions":
         """A copy with the given live observers attached (None = keep)."""
         return dataclasses.replace(
@@ -216,10 +242,16 @@ class RunOptions:
             timeseries=timeseries if timeseries is not None else self.timeseries,
             slo=slo if slo is not None else self.slo,
             profiler=profiler if profiler is not None else self.profiler,
+            energy=energy if energy is not None else self.energy,
         )
 
     def without_instruments(self) -> "RunOptions":
         """A copy with every instrument detached (the serialisable core)."""
         return dataclasses.replace(
-            self, telemetry=None, timeseries=None, slo=None, profiler=None
+            self,
+            telemetry=None,
+            timeseries=None,
+            slo=None,
+            profiler=None,
+            energy=None,
         )

@@ -64,6 +64,13 @@ from repro.telemetry.slo import (
     default_burn_rules,
     paper_sla_objectives,
 )
+from repro.telemetry.energy import (
+    EnergyMeter,
+    WAIT_COMPONENTS,
+    energy_tail_attribution,
+    segment_power_w,
+    trace_energy_j,
+)
 from repro.telemetry.profiler import SimProfiler
 
 __all__ = [
@@ -108,5 +115,10 @@ __all__ = [
     "SloObjective",
     "default_burn_rules",
     "paper_sla_objectives",
+    "EnergyMeter",
+    "WAIT_COMPONENTS",
+    "energy_tail_attribution",
+    "segment_power_w",
+    "trace_energy_j",
     "SimProfiler",
 ]

@@ -509,6 +509,16 @@ METRIC_DESCRIPTIONS: dict[str, str] = {
     "ftl_erases_total": "Blocks erased by the baseline FTL's garbage collector",
     "ftl_gc_page_moves_total": "Valid pages relocated by FTL garbage collection",
     "ftl_write_amplification": "Measured FTL WA: physical pages programmed per host page written",
+    "energy_joules_total": "Measured energy by component (cores/memory/flash/NIC/chassis/delivery losses)",
+    "energy_throttle_events_total": "Thermal-throttle alerts fired (windowed stack power over the passive-cooling limit)",
+    "energy_budget_events_total": "Power-budget burn alerts fired (extrapolated enclosure power over the stack budget)",
+    "power_stack_watts": "Mean stack-side power over the last complete energy window",
+    "power_server_watts": "Extrapolated wall power over the last complete energy window (num_stacks alike + chassis + delivery)",
+    "power_throttle_derate": "Current thermal frequency-derate factor (1.0 = full speed)",
+    "thermal_per_stack_watts": "Per-stack dissipation carried by the thermal report (design TDP or measured mean)",
+    "thermal_headroom_watts": "Watts of margin under the passive-cooling limit (negative = over)",
+    "thermal_power_density_w_per_cm2": "Heat flux through the 4.41 cm^2 package top",
+    "thermal_passively_coolable": "1 if the per-stack power fits passive cooling, else 0",
     "bench_wall_seconds": "Wall-clock time per benchmark",
 }
 

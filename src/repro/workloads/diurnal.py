@@ -64,3 +64,54 @@ class DiurnalTraffic:
 
 
 NETFLIX_LIKE = DiurnalTraffic(peak_rate_hz=1.0e6, trough_fraction=0.3)
+
+
+@dataclass(frozen=True)
+class DiurnalSchedule:
+    """A 24-hour curve compressed onto a simulated run, serialisably.
+
+    :class:`DiurnalTraffic` speaks in wall-clock hours; a DES run lasts
+    simulated seconds.  ``DiurnalSchedule`` maps one full day onto
+    ``day_length_s`` of simulated time so the arrival process can
+    modulate its rate: ``factor(t)`` is the multiplier on the offered
+    rate, 1.0 at the daily peak and ``trough_fraction`` at the trough.
+    The run starts at the peak (phase zero), so short runs sweep
+    peak → trough → peak within one ``day_length_s``.
+
+    It round-trips through :meth:`to_dict`/:meth:`from_dict` because it
+    travels on :class:`~repro.sim.run_options.RunOptions` — the
+    experiment cache must key on it.
+    """
+
+    day_length_s: float
+    trough_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.day_length_s <= 0:
+            raise ConfigurationError("day length must be positive")
+        if not 0.0 <= self.trough_fraction <= 1.0:
+            raise ConfigurationError("trough fraction must be in [0, 1]")
+
+    def factor(self, t_s: float) -> float:
+        """Rate multiplier at simulated time ``t_s`` (peak at t=0)."""
+        phase = (t_s / self.day_length_s) * 2.0 * math.pi
+        mid = (1.0 + self.trough_fraction) / 2.0
+        amplitude = (1.0 - self.trough_fraction) / 2.0
+        return mid + amplitude * math.cos(phase)
+
+    def mean_factor(self) -> float:
+        """Average multiplier over one full day (cosine integrates out)."""
+        return (1.0 + self.trough_fraction) / 2.0
+
+    def to_dict(self) -> dict:
+        return {
+            "day_length_s": self.day_length_s,
+            "trough_fraction": self.trough_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DiurnalSchedule":
+        return cls(
+            day_length_s=payload["day_length_s"],
+            trough_fraction=payload.get("trough_fraction", 0.3),
+        )

@@ -18,6 +18,7 @@ class TestRegistry:
                 "batched-64",
                 "iridium-tiered",
                 "iridium-tiered-writeheavy",
+                "energy-diurnal",
             }
             | set(PRESETS)
         )
@@ -128,3 +129,27 @@ class TestTieredScenarios:
             stack, offered_rate_hz=1e4, duration_s=0.5
         )
         assert cache_key(plain) != cache_key(tiered)
+
+
+class TestEnergyScenario:
+    def test_registry_entry_turns_on_meter_and_diurnal(self):
+        scenario = get_scenario("energy-diurnal")
+        assert scenario.energy
+        assert scenario.diurnal_day_s == 1.0
+        options = scenario.run_options(offered_rate_hz=1e4, duration_s=1.0)
+        assert options.energy_summary
+        assert options.diurnal == scenario.diurnal_schedule()
+
+    def test_energy_spec_gets_its_own_cache_key(self):
+        stack = StackSpec(cores=2, memory_per_core_bytes=1 << 22)
+        plain = get_scenario("baseline").to_spec(
+            stack, offered_rate_hz=1e4, duration_s=0.5
+        )
+        metered = get_scenario("energy-diurnal").to_spec(
+            stack, offered_rate_hz=1e4, duration_s=0.5
+        )
+        assert cache_key(plain) != cache_key(metered)
+
+    def test_negative_diurnal_day_rejected(self):
+        with pytest.raises(ConfigurationError, match="diurnal"):
+            Scenario(name="x", description="d", diurnal_day_s=-1.0)
