@@ -59,11 +59,14 @@ def _lower_is_better(field: str) -> bool:
 
 
 def _is_throughput(field: str) -> bool:
-    """``tps``, any ``*_tps`` endpoint (e.g. ``put_tps``), and any
-    ``*_per_watt`` efficiency figure gate alike: a drop is a regression."""
+    """``tps``, any ``*_tps`` endpoint (e.g. ``put_tps``), any
+    ``*_per_sec`` rate (the simulator core tracks ``events_per_sec``),
+    and any ``*_per_watt`` efficiency figure gate alike: a drop is a
+    regression."""
     return (
         field == "tps"
         or field.endswith("_tps")
+        or field.endswith("_per_sec")
         or field.endswith("_per_watt")
     )
 

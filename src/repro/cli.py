@@ -816,6 +816,19 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 replace(spec, options=replace(spec.options, trace_digest=True))
                 for spec in specs
             ]
+        if args.fidelity:
+            from dataclasses import replace
+
+            from repro.sim.fidelity import FidelityPolicy
+
+            # Same cache-key story as --trace-digest: fidelity rides on
+            # the options, so hybrid cells never collide with full-DES
+            # cells.
+            policy = FidelityPolicy(mode=args.fidelity)
+            specs = [
+                replace(spec, options=replace(spec.options, fidelity=policy))
+                for spec in specs
+            ]
 
     cache = None if args.no_cache else ResultCache(
         args.cache_dir if args.cache_dir else DEFAULT_CACHE_DIR
@@ -1274,6 +1287,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-digest", action="store_true",
                    help="full-system jobs run with causal tracing on and "
                         "store a critical-path digest in each grid cell")
+    p.add_argument("--fidelity", choices=["full", "fluid", "hybrid"],
+                   default=None,
+                   help="full-system simulation fidelity: 'hybrid' "
+                        "fast-forwards quiescent stretches through the "
+                        "fluid model (DES around faults), 'fluid' skips "
+                        "the runtime tripwires, 'full' pins pure DES "
+                        "(default: plain runs without a fidelity policy)")
     p.add_argument("--family", choices=["mercury", "iridium"],
                    default="mercury")
     p.add_argument("--cores-list", default="2,4",

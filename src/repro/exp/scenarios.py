@@ -13,11 +13,26 @@ A scenario is deliberately *partial*: it fixes the workload shape and
 fault plan but not the design point or load, which stay per-command
 knobs.  :meth:`Scenario.to_spec` closes over those to produce a
 cacheable :class:`~repro.exp.spec.ExperimentSpec`.
+
+Feature knobs travel as **overrides**: a mapping in the
+:meth:`~repro.sim.run_options.RunOptions.to_dict` vocabulary
+(``batching``, ``flashstore``, ``energy_summary``, ``diurnal``,
+``fidelity``, ``trace_digest``, ...) that :meth:`Scenario.run_options`
+applies on top of the base options via
+:meth:`~repro.sim.run_options.RunOptions.from_dict`.  Every override
+therefore lands on the serialised options — and the experiment cache
+keys on the serialised options — so a scenario cannot grow a knob that
+the cache silently ignores.  Unknown keys are rejected eagerly at
+construction time.  The pre-overrides per-feature fields (``batch_max``,
+``flashstore``, ``energy``, ``diurnal_day_s``, ...) survive as
+deprecated constructor shims and read-only views.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import InitVar, dataclass
+from typing import Any, Mapping
 
 from repro.errors import ConfigurationError
 from repro.exp.spec import ExperimentSpec, StackSpec
@@ -29,28 +44,39 @@ from repro.workloads.distributions import fixed_size
 from repro.workloads.diurnal import DiurnalSchedule
 from repro.workloads.generator import WorkloadSpec
 
+#: Override keys that name the per-command design point: scenarios are
+#: deliberately partial, so these stay CLI knobs and cannot be baked in.
+_DESIGN_POINT_KEYS = ("offered_rate_hz", "duration_s")
+
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named preset: fault plan + demo-workload shape.
+    """A named preset: fault plan + demo-workload shape + overrides.
 
     ``faults`` names a :data:`repro.faults.schedule.PRESETS` entry (or
     None for a fault-free baseline).  ``fill_on_miss`` mirrors the CLI
     behaviour of pre-filling under faults so hit rate measures fault
-    impact, not cold-start misses.  ``batch_max``/``batch_linger_s``
-    enable the coalesced request path (``batch_max > 1`` becomes a
-    :class:`~repro.kvstore.batching.BatchPolicy` on the run options).
-    ``flashstore`` routes the data path through the SILT-style tiered
-    flash store (flash stacks only; ``flashstore_segment_pages`` sizes
-    the write-tier log segment).  The knob travels on
-    :class:`~repro.sim.run_options.RunOptions`, so experiment cache keys
-    distinguish tiered from baseline cells automatically.  ``energy``
-    turns on the activity-based energy meter
-    (``RunOptions.energy_summary``); ``diurnal_day_s`` > 0 additionally
-    compresses a day of load into the run so power proportionality is
-    visible (``diurnal_trough`` is the trough rate as a fraction of
-    peak).  Both travel on RunOptions, so cache keys distinguish
-    metered/diurnal cells too.
+    impact, not cold-start misses.
+
+    ``overrides`` carries every other feature knob as a mapping in the
+    ``RunOptions.to_dict`` vocabulary, e.g.::
+
+        Scenario(name="batched", description="...",
+                 overrides={"batching": {"batch_max": 16,
+                                         "linger_s": 100e-6}})
+
+    :meth:`run_options` applies the mapping onto the base options with
+    ``RunOptions.from_dict``, so unknown keys raise
+    :class:`~repro.errors.ConfigurationError` (eagerly, at scenario
+    construction) and every override is covered by experiment cache
+    keys by construction.  The design point (``offered_rate_hz``,
+    ``duration_s``) is refused — that stays a per-command knob.
+
+    The old per-feature constructor arguments (``batch_max``,
+    ``batch_linger_s``, ``flashstore``, ``flashstore_segment_pages``,
+    ``energy``, ``diurnal_day_s``, ``diurnal_trough``) still work as
+    deprecated shims that fold into ``overrides`` (with a
+    ``DeprecationWarning``), and remain readable as derived attributes.
     """
 
     name: str
@@ -60,58 +86,139 @@ class Scenario:
     resilience: bool = False
     get_fraction: float = 0.9
     key_population: int = 20_000
-    batch_max: int = 1
-    batch_linger_s: float = 0.0
-    flashstore: bool = False
-    flashstore_segment_pages: int = 256
-    energy: bool = False
-    diurnal_day_s: float = 0.0
-    diurnal_trough: float = 0.3
+    overrides: Mapping[str, Any] | None = None
+    # Deprecated feature knobs: init-only shims folded into ``overrides``
+    # by ``__post_init__`` (still readable via the properties installed
+    # below the class).
+    batch_max: InitVar[int | None] = None
+    batch_linger_s: InitVar[float | None] = None
+    flashstore: InitVar[bool | None] = None
+    flashstore_segment_pages: InitVar[int | None] = None
+    energy: InitVar[bool | None] = None
+    diurnal_day_s: InitVar[float | None] = None
+    diurnal_trough: InitVar[float | None] = None
 
-    def __post_init__(self) -> None:
-        if self.diurnal_day_s < 0:
-            raise ConfigurationError(
-                f"scenario {self.name!r} needs a non-negative diurnal day"
-            )
-        if self.diurnal_day_s > 0:
-            # Validate the schedule knobs eagerly, like the others.
-            DiurnalSchedule(
-                day_length_s=self.diurnal_day_s,
-                trough_fraction=self.diurnal_trough,
-            )
+    def __post_init__(
+        self,
+        batch_max: int | None,
+        batch_linger_s: float | None,
+        flashstore: bool | None,
+        flashstore_segment_pages: int | None,
+        energy: bool | None,
+        diurnal_day_s: float | None,
+        diurnal_trough: float | None,
+    ) -> None:
         if self.faults is not None and self.faults not in PRESETS:
             raise ConfigurationError(
                 f"scenario {self.name!r} names unknown fault preset "
                 f"{self.faults!r} (want one of {sorted(PRESETS)})"
             )
-        if self.flashstore and self.batch_max > 1:
+        merged = self._fold_legacy_knobs(
+            dict(self.overrides or {}),
+            batch_max=batch_max,
+            batch_linger_s=batch_linger_s,
+            flashstore=flashstore,
+            flashstore_segment_pages=flashstore_segment_pages,
+            energy=energy,
+            diurnal_day_s=diurnal_day_s,
+            diurnal_trough=diurnal_trough,
+        )
+        baked = [key for key in _DESIGN_POINT_KEYS if key in merged]
+        if baked:
+            raise ConfigurationError(
+                f"scenario {self.name!r} overrides cannot set the design "
+                f"point {baked} — rate and duration stay per-command knobs"
+            )
+        object.__setattr__(self, "overrides", merged)
+        # Validate the whole mapping eagerly through the same parser that
+        # will apply it: unknown keys and malformed sub-configs fail at
+        # construction, not first use.  Keep the parsed probe for the
+        # derived accessors.
+        parsed = RunOptions.from_dict(
+            {"offered_rate_hz": 1.0, "duration_s": 1.0, **merged}
+        )
+        if parsed.flashstore is not None and parsed.batching is not None:
             raise ConfigurationError(
                 f"scenario {self.name!r} cannot combine the tiered flash "
                 "store with batching"
             )
-        # Validate the knobs eagerly, even when batching stays off.
-        BatchPolicy(batch_max=self.batch_max, linger_s=self.batch_linger_s)
-        TieredStoreConfig(log_segment_pages=self.flashstore_segment_pages)
+        object.__setattr__(self, "_parsed", parsed)
+
+    def _fold_legacy_knobs(
+        self,
+        merged: dict[str, Any],
+        *,
+        batch_max: int | None,
+        batch_linger_s: float | None,
+        flashstore: bool | None,
+        flashstore_segment_pages: int | None,
+        energy: bool | None,
+        diurnal_day_s: float | None,
+        diurnal_trough: float | None,
+    ) -> dict[str, Any]:
+        """Translate deprecated per-feature kwargs into overrides."""
+        legacy = {
+            "batch_max": batch_max,
+            "batch_linger_s": batch_linger_s,
+            "flashstore": flashstore,
+            "flashstore_segment_pages": flashstore_segment_pages,
+            "energy": energy,
+            "diurnal_day_s": diurnal_day_s,
+            "diurnal_trough": diurnal_trough,
+        }
+        used = sorted(key for key, value in legacy.items() if value is not None)
+        if not used:
+            return merged
+        warnings.warn(
+            f"Scenario({', '.join(used)}=...) is deprecated; pass "
+            "overrides={...} in the RunOptions.to_dict vocabulary instead",
+            DeprecationWarning,
+            stacklevel=4,
+        )
+        if batch_max is not None or batch_linger_s is not None:
+            # Validate eagerly even when batching stays off, as before.
+            policy = BatchPolicy(
+                batch_max=batch_max if batch_max is not None else 1,
+                linger_s=batch_linger_s if batch_linger_s is not None else 0.0,
+            )
+            if policy.batch_max > 1:
+                merged.setdefault("batching", policy.to_dict())
+        if flashstore_segment_pages is not None or flashstore:
+            pages = (
+                flashstore_segment_pages
+                if flashstore_segment_pages is not None
+                else 256
+            )
+            config = TieredStoreConfig(log_segment_pages=pages)
+            if flashstore:
+                merged.setdefault("flashstore", config.to_dict())
+        if energy:
+            merged.setdefault("energy_summary", True)
+        if diurnal_day_s is not None:
+            if diurnal_day_s < 0:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} needs a non-negative diurnal day"
+                )
+            if diurnal_day_s > 0:
+                schedule = DiurnalSchedule(
+                    day_length_s=diurnal_day_s,
+                    trough_fraction=(
+                        diurnal_trough if diurnal_trough is not None else 0.3
+                    ),
+                )
+                merged.setdefault("diurnal", schedule.to_dict())
+        return merged
+
+    # --- derived feature views ---------------------------------------------
 
     def batch_policy(self) -> BatchPolicy | None:
-        if self.batch_max <= 1:
-            return None
-        return BatchPolicy(batch_max=self.batch_max, linger_s=self.batch_linger_s)
+        return self._parsed.batching
 
     def flashstore_config(self) -> TieredStoreConfig | None:
-        if not self.flashstore:
-            return None
-        return TieredStoreConfig(
-            log_segment_pages=self.flashstore_segment_pages
-        )
+        return self._parsed.flashstore
 
     def diurnal_schedule(self) -> DiurnalSchedule | None:
-        if self.diurnal_day_s <= 0:
-            return None
-        return DiurnalSchedule(
-            day_length_s=self.diurnal_day_s,
-            trough_fraction=self.diurnal_trough,
-        )
+        return self._parsed.diurnal
 
     def fault_schedule(self) -> FaultSchedule | None:
         return PRESETS[self.faults] if self.faults else None
@@ -134,7 +241,7 @@ class Scenario:
     ) -> RunOptions:
         from repro.faults import DEFAULT_RESILIENCE
 
-        return RunOptions(
+        base = RunOptions(
             offered_rate_hz=offered_rate_hz,
             duration_s=duration_s,
             warmup_requests=warmup_requests,
@@ -142,11 +249,12 @@ class Scenario:
             fill_on_miss=self.fill_on_miss,
             faults=self.fault_schedule(),
             resilience=DEFAULT_RESILIENCE if self.resilience else None,
-            batching=self.batch_policy(),
-            flashstore=self.flashstore_config(),
-            energy_summary=self.energy,
-            diurnal=self.diurnal_schedule(),
         )
+        if not self.overrides:
+            return base
+        payload = base.to_dict()
+        payload.update(self.overrides)
+        return RunOptions.from_dict(payload)
 
     def to_spec(
         self,
@@ -176,6 +284,70 @@ class Scenario:
         )
 
 
+def _install_legacy_views() -> None:
+    """Expose the deprecated knobs as read-only derived attributes.
+
+    The names double as ``InitVar`` constructor shims above; the real
+    state lives in ``overrides``, and these views recover the old
+    attribute surface from the parsed probe so existing readers keep
+    working during the migration.
+    """
+
+    def view(name: str, doc: str, fn) -> None:
+        setattr(Scenario, name, property(fn, doc=doc))
+
+    view(
+        "batch_max",
+        "Deprecated view: batching override's batch_max (1 when off).",
+        lambda self: (
+            self._parsed.batching.batch_max if self._parsed.batching else 1
+        ),
+    )
+    view(
+        "batch_linger_s",
+        "Deprecated view: batching override's linger_s (0.0 when off).",
+        lambda self: (
+            self._parsed.batching.linger_s if self._parsed.batching else 0.0
+        ),
+    )
+    view(
+        "flashstore",
+        "Deprecated view: whether a flashstore override is present.",
+        lambda self: self._parsed.flashstore is not None,
+    )
+    view(
+        "flashstore_segment_pages",
+        "Deprecated view: flashstore override's log_segment_pages.",
+        lambda self: (
+            self._parsed.flashstore.log_segment_pages
+            if self._parsed.flashstore
+            else 256
+        ),
+    )
+    view(
+        "energy",
+        "Deprecated view: whether the energy_summary override is set.",
+        lambda self: self._parsed.energy_summary,
+    )
+    view(
+        "diurnal_day_s",
+        "Deprecated view: diurnal override's day_length_s (0.0 when off).",
+        lambda self: (
+            self._parsed.diurnal.day_length_s if self._parsed.diurnal else 0.0
+        ),
+    )
+    view(
+        "diurnal_trough",
+        "Deprecated view: diurnal override's trough_fraction.",
+        lambda self: (
+            self._parsed.diurnal.trough_fraction if self._parsed.diurnal else 0.3
+        ),
+    )
+
+
+_install_legacy_views()
+
+
 def _build_registry() -> dict[str, Scenario]:
     scenarios = {
         "baseline": Scenario(
@@ -188,22 +360,20 @@ def _build_registry() -> dict[str, Scenario]:
         description="fault-free workload over the coalesced request path "
         "(batch_max=16, 100us linger)",
         get_fraction=0.95,
-        batch_max=16,
-        batch_linger_s=100e-6,
+        overrides={"batching": {"batch_max": 16, "linger_s": 100e-6}},
     )
     scenarios["batched-64"] = Scenario(
         name="batched-64",
         description="deep batching for peak-density TPS "
         "(batch_max=64, 200us linger)",
         get_fraction=0.95,
-        batch_max=64,
-        batch_linger_s=200e-6,
+        overrides={"batching": {"batch_max": 64, "linger_s": 200e-6}},
     )
     scenarios["iridium-tiered"] = Scenario(
         name="iridium-tiered",
         description="fault-free workload over the SILT-style tiered "
         "flash store (log/hash/sorted tiers; Iridium stacks only)",
-        flashstore=True,
+        overrides={"flashstore": {"log_segment_pages": 256}},
     )
     scenarios["iridium-tiered-writeheavy"] = Scenario(
         name="iridium-tiered-writeheavy",
@@ -211,15 +381,17 @@ def _build_registry() -> dict[str, Scenario]:
         "flash store — the regime where log packing beats the page-per-"
         "item FTL (Iridium stacks only)",
         get_fraction=0.5,
-        flashstore=True,
+        overrides={"flashstore": {"log_segment_pages": 256}},
     )
     scenarios["energy-diurnal"] = Scenario(
         name="energy-diurnal",
         description="energy-metered workload through one compressed "
         "day of load (peak -> 30% trough -> peak) so the power timeline "
         "shows energy proportionality",
-        energy=True,
-        diurnal_day_s=1.0,
+        overrides={
+            "energy_summary": True,
+            "diurnal": {"day_length_s": 1.0, "trough_fraction": 0.3},
+        },
     )
     for preset in sorted(PRESETS):
         scenarios[preset] = Scenario(

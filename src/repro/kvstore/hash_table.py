@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.errors import StorageError
-from repro.kvstore.hashing import hash_key
+from repro.kvstore.hashing import digest_cache, hash_key
 from repro.kvstore.items import Item
 
 _GROW_LOAD_FACTOR = 1.5
@@ -26,6 +26,7 @@ class HashTable:
         if initial_power < 1 or initial_power > 30:
             raise StorageError("initial_power must be in [1, 30]")
         self.hash_algorithm = hash_algorithm
+        self._digests = digest_cache(hash_algorithm)
         self._power = initial_power
         self._buckets: list[list[Item]] = [[] for _ in range(1 << initial_power)]
         self._old_buckets: list[list[Item]] | None = None
@@ -53,7 +54,9 @@ class HashTable:
     # --- primitive ops -----------------------------------------------------------
 
     def _bucket_for(self, key: bytes) -> list[Item]:
-        digest = hash_key(key, self.hash_algorithm)
+        digest = self._digests.get(key)
+        if digest is None:
+            digest = hash_key(key, self.hash_algorithm)
         if self._old_buckets is not None:
             old_index = digest & (len(self._old_buckets) - 1)
             if old_index >= self._migrate_index:
@@ -62,8 +65,17 @@ class HashTable:
 
     def find(self, key: bytes) -> Item | None:
         """Return the item for ``key``, or None.  Advances migration."""
-        self._migrate_some()
-        for item in self._bucket_for(key):
+        if self._old_buckets is not None:
+            self._migrate_some()
+            bucket = self._bucket_for(key)
+        else:
+            # Steady-state fast path: memoised digest, direct mask.
+            digest = self._digests.get(key)
+            if digest is None:
+                digest = hash_key(key, self.hash_algorithm)
+            buckets = self._buckets
+            bucket = buckets[digest & (len(buckets) - 1)]
+        for item in bucket:
             if item.key == key:
                 return item
         return None
@@ -78,7 +90,8 @@ class HashTable:
         lookup returns, only which bucket array holds it), so results
         match N serial :meth:`find` calls item for item.
         """
-        self._migrate_some()
+        if self._old_buckets is not None:
+            self._migrate_some()
         results: list[Item | None] = []
         for key in keys:
             found = None
@@ -91,7 +104,8 @@ class HashTable:
 
     def insert(self, item: Item) -> None:
         """Insert an item; the key must not already be present."""
-        self._migrate_some()
+        if self._old_buckets is not None:
+            self._migrate_some()
         bucket = self._bucket_for(item.key)
         for existing in bucket:
             if existing.key == item.key:
@@ -102,7 +116,8 @@ class HashTable:
 
     def remove(self, key: bytes) -> Item | None:
         """Remove and return the item for ``key``, or None."""
-        self._migrate_some()
+        if self._old_buckets is not None:
+            self._migrate_some()
         bucket = self._bucket_for(key)
         for index, item in enumerate(bucket):
             if item.key == key:

@@ -38,6 +38,10 @@ class Item:
     #: Store-assigned monotone sequence number; orders items against
     #: ``flush_all`` boundaries even within one logical-clock instant.
     seq: int = 0
+    #: Slab class the store allocated this item into (-1 until stored).
+    #: Cached so the GET path can skip the size→class lookup; the class
+    #: is fixed for an item's lifetime because its size never changes.
+    slab_class: int = -1
 
     def __post_init__(self) -> None:
         if not self.key:

@@ -66,12 +66,30 @@ class LruList:
         self._push_front(node)
 
     def touch(self, key: bytes) -> None:
-        """Move an item to the MRU position (the GET hot path in 1.4)."""
+        """Move an item to the MRU position (the GET hot path in 1.4).
+
+        Unlink and re-link are fused inline with an early exit for the
+        already-MRU case — this runs once per GET hit, and hot keys are
+        at the head most of the time.
+        """
         node = self._nodes.get(key)
         if node is None:
             raise StorageError(f"key {key!r} not on the LRU list")
-        self._unlink(node)
-        self._push_front(node)
+        head = self._head
+        if node is head:
+            return
+        # node is not the head, so node.prev is a real node.
+        prev = node.prev
+        nxt = node.next
+        prev.next = nxt
+        if nxt is not None:
+            nxt.prev = prev
+        else:
+            self._tail = prev
+        node.prev = None
+        node.next = head
+        head.prev = node
+        self._head = node
 
     def remove(self, key: bytes) -> Item:
         """Unlink an item (delete / eviction bookkeeping)."""

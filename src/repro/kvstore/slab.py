@@ -84,6 +84,7 @@ class SlabAllocator:
                 SlabClass(class_id=class_id, chunk_size=page_bytes, chunks_per_page=1)
             )
         self._pages_allocated = 0
+        self._class_for_cache: dict[int, SlabClass] = {}
 
     @staticmethod
     def _align(size: int, alignment: int = 8) -> int:
@@ -99,14 +100,23 @@ class SlabAllocator:
     def class_for(self, item_bytes: int) -> SlabClass:
         """Smallest class whose chunk holds ``item_bytes``.
 
+        Class geometry is fixed at construction, so the size→class scan
+        is memoised — workloads draw from a handful of item sizes and
+        this lookup sits on the GET/SET/unlink hot paths.
+
         Raises:
             CapacityError: if the item exceeds the page size (memcached's
                 'object too large for cache' error).
         """
+        cached = self._class_for_cache.get(item_bytes)
+        if cached is not None:
+            return cached
         if item_bytes <= 0:
             raise ConfigurationError("item size must be positive")
         for slab_class in self.classes:
             if slab_class.chunk_size >= item_bytes:
+                if len(self._class_for_cache) < 4096:
+                    self._class_for_cache[item_bytes] = slab_class
                 return slab_class
         raise CapacityError(
             f"item of {item_bytes} bytes exceeds max storable size {self.page_bytes}"

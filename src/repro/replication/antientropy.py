@@ -186,18 +186,10 @@ class AntiEntropySweeper:
         """Schedule recurring sweeps on a DES until the horizon.
 
         ``sim`` is duck-typed to :class:`repro.sim.events.Simulator`
-        (needs ``schedule_at``).  The first sweep fires at
+        (needs ``recurring``).  The first sweep fires at
         ``interval_s``, not at zero — an empty cluster has nothing to
         reconverge.
         """
         if interval_s <= 0:
             raise ConfigurationError("anti-entropy interval must be positive")
-
-        def fire(t: float):
-            self.sweep()
-            nxt = t + interval_s
-            if nxt <= horizon_s:
-                sim.schedule_at(nxt, lambda: fire(nxt))
-
-        if interval_s <= horizon_s:
-            sim.schedule_at(interval_s, lambda: fire(interval_s))
+        sim.recurring(interval_s, lambda _t: self.sweep(), horizon_s)

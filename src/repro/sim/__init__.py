@@ -18,6 +18,7 @@ __all__ = [
     "FullSystemStack",
     "FullSystemResults",
     "RunOptions",
+    "FidelityPolicy",
     "PacketLevelSimulation",
     "PacketSimResult",
     "ReplicationConfig",
@@ -36,6 +37,7 @@ _LAZY = {
     "FullSystemStack": "repro.sim.full_system",
     "FullSystemResults": "repro.sim.full_system",
     "RunOptions": "repro.sim.run_options",
+    "FidelityPolicy": "repro.sim.fidelity",
     "PacketLevelSimulation": "repro.sim.packet_sim",
     "PacketSimResult": "repro.sim.packet_sim",
     # Re-exported so full-system callers can configure replicated runs

@@ -28,6 +28,7 @@ from repro.faults.schedule import FaultSchedule
 from repro.flashstore.compaction import TieredStoreConfig
 from repro.kvstore.batching import BatchPolicy
 from repro.replication.config import ReplicationConfig
+from repro.sim.fidelity import FidelityPolicy
 from repro.workloads.diurnal import DiurnalSchedule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -53,6 +54,7 @@ _CONFIG_FIELDS = (
     "flashstore",
     "energy_summary",
     "diurnal",
+    "fidelity",
 )
 
 #: Live observers excluded from equality, hashing, and serialisation.
@@ -86,6 +88,10 @@ class RunOptions:
     :class:`~repro.workloads.diurnal.DiurnalSchedule`) modulates the
     Poisson arrival rate through a compressed day so power
     proportionality is visible within one run.
+    ``fidelity`` (a :class:`~repro.sim.fidelity.FidelityPolicy`) lets the
+    run fast-forward steady-state stretches through the fluid model;
+    ``None`` keeps the historical pure-DES path (and the historical
+    cache keys) bit-identical.
 
     ``telemetry``/``timeseries``/``slo``/``profiler``/``energy`` are
     instruments:
@@ -108,6 +114,7 @@ class RunOptions:
     flashstore: TieredStoreConfig | None = None
     energy_summary: bool = False
     diurnal: DiurnalSchedule | None = None
+    fidelity: FidelityPolicy | None = None
     telemetry: "TelemetrySession | None" = field(
         default=None, compare=False, repr=False
     )
@@ -166,6 +173,12 @@ class RunOptions:
             payload["energy_summary"] = True
         if self.diurnal is not None:
             payload["diurnal"] = self.diurnal.to_dict()
+        if self.fidelity is not None:
+            # Conditional like the rest: fidelity-free runs keep their
+            # historical cache keys, and fidelity IS part of the key —
+            # hybrid results are within-tolerance, not bit-identical, so
+            # they must never alias a full-DES cell.
+            payload["fidelity"] = self.fidelity.to_dict()
         return payload
 
     @classmethod
@@ -202,6 +215,9 @@ class RunOptions:
         diurnal = data.get("diurnal")
         if diurnal is not None and not isinstance(diurnal, DiurnalSchedule):
             diurnal = DiurnalSchedule.from_dict(diurnal)
+        fidelity = data.get("fidelity")
+        if fidelity is not None and not isinstance(fidelity, FidelityPolicy):
+            fidelity = FidelityPolicy.from_dict(fidelity)
         return cls(
             offered_rate_hz=data["offered_rate_hz"],
             duration_s=data["duration_s"],
@@ -217,6 +233,7 @@ class RunOptions:
             flashstore=flashstore,
             energy_summary=data.get("energy_summary", False),
             diurnal=diurnal,
+            fidelity=fidelity,
         )
 
     # --- ergonomics ---------------------------------------------------------

@@ -185,6 +185,90 @@ class EnergyMeter:
             charged += part
         self.activity.observe_index(last, total - charged)
 
+    def _charge_spread(
+        self, component: str, start_s: float, end_s: float, joules: float
+    ) -> None:
+        """Charge ``joules`` spread uniformly across ``[start_s, end_s)``.
+
+        The bulk analogue of :meth:`_charge_point` for fluid
+        fast-forward windows: a window's aggregate energy is deposited
+        proportionally into each overlapped power window (final window
+        takes the float remainder so the window sum equals the charged
+        total bit-for-bit), keeping the power timeline — and therefore
+        thermal-throttle evaluation — smooth instead of spiky.
+        """
+        if joules == 0.0:
+            return
+        if end_s <= start_s:
+            self._charge_point(component, start_s, joules)
+            return
+        self._charge(component, joules)
+        rate = joules / (end_s - start_s)
+        first = self.activity.index_of(start_s)
+        last = self.activity.index_of(end_s)
+        charged = 0.0
+        for index in range(first, last):
+            overlap = self.activity.start_of(index + 1) - max(
+                start_s, self.activity.start_of(index)
+            )
+            part = rate * overlap
+            self.activity.observe_index(index, part)
+            charged += part
+        self.activity.observe_index(last, joules - charged)
+
+    def charge_core_busy_bulk(
+        self, start_s: float, end_s: float, busy_core_seconds: float
+    ) -> None:
+        """Aggregate core-busy time spread uniformly across a span."""
+        if busy_core_seconds < 0:
+            raise SimulationError("service time cannot be negative")
+        if busy_core_seconds == 0.0:
+            return
+        self.busy_core_seconds += busy_core_seconds
+        watts = self.model.core_active_w - self.model.core_idle_w
+        self._charge_spread(
+            "cores_active", start_s, end_s, watts * busy_core_seconds
+        )
+
+    def charge_memory_bytes_bulk(
+        self, start_s: float, end_s: float, num_bytes: float
+    ) -> None:
+        """Aggregate memory traffic spread uniformly across a span."""
+        self._charge_spread(
+            "memory", start_s, end_s, self.model.memory_j_per_byte * num_bytes
+        )
+
+    def charge_nic_bytes_bulk(
+        self, start_s: float, end_s: float, wire_bytes: float
+    ) -> None:
+        """Aggregate wire traffic spread uniformly across a span."""
+        self._charge_spread(
+            "nic_wire", start_s, end_s, self.model.nic_j_per_byte * wire_bytes
+        )
+
+    def charge_flash_bulk(
+        self,
+        start_s: float,
+        end_s: float,
+        pages_read: float,
+        pages_programmed: float,
+        blocks_erased: float,
+    ) -> None:
+        """Aggregate flash-array work spread uniformly across a span."""
+        self._charge_spread(
+            "flash_array",
+            start_s,
+            end_s,
+            self.model.flash_read_j_per_page * pages_read
+            + self.model.flash_program_j_per_page * pages_programmed,
+        )
+        self._charge_spread(
+            "flash_erase",
+            start_s,
+            end_s,
+            self.model.flash_erase_j_per_block * blocks_erased,
+        )
+
     def charge_memory_bytes(self, t_s: float, num_bytes: float) -> None:
         """DRAM-port or flash-channel traffic for one request."""
         self._charge_point("memory", t_s, self.model.memory_j_per_byte * num_bytes)
@@ -358,16 +442,9 @@ class EnergyMeter:
         """Schedule the window tick on the simulated clock."""
         if horizon_s <= 0:
             raise ConfigurationError("horizon must be positive")
-
-        def fire(t: float) -> None:
-            self.tick(t)
-            next_t = t + self.window_s
-            if next_t <= horizon_s + 1e-12:
-                sim.schedule_at(next_t, lambda: fire(next_t))
-
-        first = self.window_s
-        if first <= horizon_s + 1e-12:
-            sim.schedule_at(first, lambda: fire(first))
+        # eps keeps the historical float-slop boundary: a horizon that is
+        # an exact multiple of the window still gets its closing tick.
+        sim.recurring(self.window_s, self.tick, horizon_s, eps=1e-12)
 
     # --- summary ------------------------------------------------------------
 

@@ -139,6 +139,44 @@ class StreamingHistogram:
         if exemplar is not None:
             self.exemplars[index] = exemplar
 
+    def record_bucketed(
+        self,
+        bucket_counts: "Mapping[int, int] | dict[int, int]",
+        total: float,
+        min_seen: float,
+        max_seen: float,
+    ) -> None:
+        """Fold a pre-bucketed batch of samples in one call.
+
+        ``bucket_counts`` maps bucket index → sample count on *this*
+        histogram's bucket grid; ``total`` is the batch's exact value
+        sum and ``min_seen``/``max_seen`` its extremes.  This is the
+        batched hot path for the fluid fast-forward windows: folding a
+        calibration-derived distribution for a million requests costs
+        one call per bucket, not one per request, and percentile reads
+        land on the same bucket edges as sample-at-a-time recording.
+        """
+        counts = self.counts
+        top = len(counts) - 1
+        added = 0
+        for index, n in bucket_counts.items():
+            if n <= 0:
+                continue
+            if not 0 <= index <= top:
+                raise ConfigurationError(
+                    f"bucket index {index} outside histogram range 0..{top}"
+                )
+            counts[index] += n
+            added += n
+        if not added:
+            return
+        self.count += added
+        self.total += total
+        if min_seen < self.min_seen:
+            self.min_seen = min_seen
+        if max_seen > self.max_seen:
+            self.max_seen = max_seen
+
     # --- exemplars ---------------------------------------------------------------
 
     def exemplar_for(self, value: float) -> object | None:

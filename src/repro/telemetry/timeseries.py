@@ -307,20 +307,12 @@ class TimeSeriesRecorder:
         """Schedule recurring snapshots on ``sim`` until ``horizon_s``.
 
         ``sim`` is duck-typed to :class:`repro.sim.events.Simulator`
-        (needs ``schedule_at``).  The first tick fires one interval in,
+        (needs ``recurring``).  The first tick fires one interval in,
         the last at or before the horizon.
         """
         if horizon_s <= 0:
             raise ConfigurationError("recorder horizon must be positive")
-
-        def tick(t: float) -> None:
-            self.snapshot(t)
-            nxt = t + self.interval_s
-            if nxt <= horizon_s:
-                sim.schedule_at(nxt, lambda: tick(nxt))
-
-        if self.interval_s <= horizon_s:
-            sim.schedule_at(self.interval_s, lambda: tick(self.interval_s))
+        sim.recurring(self.interval_s, self.snapshot, horizon_s)
 
     # --- views / export ----------------------------------------------------------
 

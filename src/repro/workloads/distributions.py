@@ -42,13 +42,22 @@ class ZipfKeys:
             cumulative += weight / total
             self._cdf.append(cumulative)
         self._cdf[-1] = 1.0  # guard against float round-off
+        # rank → key bytes, filled on first draw of each rank: formatting
+        # is a measurable cost when fluid fast-forward draws millions of
+        # keys per simulated second.
+        self._key_bytes: list[bytes | None] = [None] * population
 
     def rank(self, rng: random.Random) -> int:
         """Sample a key rank."""
         return bisect_left(self._cdf, rng.random())
 
     def key(self, rng: random.Random) -> bytes:
-        return b"key-%d" % self.rank(rng)
+        rank = bisect_left(self._cdf, rng.random())
+        key = self._key_bytes[rank]
+        if key is None:
+            key = b"key-%d" % rank
+            self._key_bytes[rank] = key
+        return key
 
     def probability(self, rank: int) -> float:
         """Exact probability mass of a rank."""

@@ -9,6 +9,7 @@ applications and the DHT-contention study.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -61,6 +62,12 @@ class WorkloadGenerator:
         self._rng = make_rng(f"workload:{spec.name}", seed)
         self._keys = ZipfKeys(spec.key_population, spec.key_skew)
         self._sizes: dict[bytes, int] = {}
+        # Shared with ZipfKeys so :meth:`next_raw` can sample without a
+        # call frame per draw; the rank→bytes cache keeps returning the
+        # *same* bytes object per rank, which downstream dicts reward
+        # with cached-hash, pointer-equality lookups.
+        self._cdf = self._keys._cdf
+        self._key_bytes = self._keys._key_bytes
 
     def next_request(self) -> Request:
         """Generate the next request.
@@ -75,6 +82,29 @@ class WorkloadGenerator:
             self._sizes[key] = size
         verb = "GET" if self._rng.random() < self.spec.get_fraction else "PUT"
         return Request(verb=verb, key=key, value_bytes=size)
+
+    def next_raw(self) -> tuple[bytes, int, bool]:
+        """``(key, value_bytes, is_get)`` with zero per-request allocation.
+
+        Consumes the RNG stream exactly as :meth:`next_request` does —
+        the two can be interleaved freely and stay bit-identical — but
+        skips the validating :class:`Request` construction.  This is the
+        fast path for the fluid fast-forward windows in
+        :mod:`repro.sim.full_system`, where millions of draws per
+        simulated second make dataclass construction the bottleneck.
+        """
+        rng = self._rng
+        rank = bisect_left(self._cdf, rng.random())
+        key_bytes = self._key_bytes
+        key = key_bytes[rank]
+        if key is None:
+            key = b"key-%d" % rank
+            key_bytes[rank] = key
+        size = self._sizes.get(key)
+        if size is None:
+            size = self.spec.value_sizes.sample(rng)
+            self._sizes[key] = size
+        return key, size, rng.random() < self.spec.get_fraction
 
     def stream(self, count: int) -> Iterator[Request]:
         """Yield ``count`` requests."""

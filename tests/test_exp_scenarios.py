@@ -106,19 +106,32 @@ class TestTieredScenarios:
         assert get_scenario("baseline").flashstore_config() is None
 
     def test_flashstore_and_batching_refuse_to_combine(self):
-        with pytest.raises(ConfigurationError, match="batching"):
-            Scenario(
-                name="x", description="d", flashstore=True, batch_max=16
-            )
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError, match="batching"):
+                Scenario(
+                    name="x", description="d", flashstore=True, batch_max=16
+                )
 
-    def test_segment_pages_validated_eagerly(self):
-        with pytest.raises(ConfigurationError):
+    def test_flashstore_and_batching_refuse_to_combine_via_overrides(self):
+        with pytest.raises(ConfigurationError, match="batching"):
             Scenario(
                 name="x",
                 description="d",
-                flashstore=True,
-                flashstore_segment_pages=0,
+                overrides={
+                    "flashstore": {"log_segment_pages": 256},
+                    "batching": {"batch_max": 16},
+                },
             )
+
+    def test_segment_pages_validated_eagerly(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                Scenario(
+                    name="x",
+                    description="d",
+                    flashstore=True,
+                    flashstore_segment_pages=0,
+                )
 
     def test_tiered_spec_gets_its_own_cache_key(self):
         stack = StackSpec(cores=2, memory_per_core_bytes=1 << 22)
@@ -151,5 +164,89 @@ class TestEnergyScenario:
         assert cache_key(plain) != cache_key(metered)
 
     def test_negative_diurnal_day_rejected(self):
-        with pytest.raises(ConfigurationError, match="diurnal"):
-            Scenario(name="x", description="d", diurnal_day_s=-1.0)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError, match="diurnal"):
+                Scenario(name="x", description="d", diurnal_day_s=-1.0)
+
+
+class TestOverrides:
+    """The overrides mapping: validation, shims, and cache-key coverage."""
+
+    STACK = StackSpec(cores=2, memory_per_core_bytes=1 << 22)
+
+    def test_unknown_override_key_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError, match="unknown RunOptions"):
+            Scenario(name="x", description="d", overrides={"turbo": True})
+
+    def test_malformed_sub_config_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError, match="BatchPolicy"):
+            Scenario(
+                name="x",
+                description="d",
+                overrides={"batching": {"batch_maximum": 16}},
+            )
+
+    def test_design_point_keys_refused(self):
+        for key in ("offered_rate_hz", "duration_s"):
+            with pytest.raises(ConfigurationError, match="design"):
+                Scenario(name="x", description="d", overrides={key: 1.0})
+
+    def test_overrides_land_on_run_options(self):
+        scenario = Scenario(
+            name="x",
+            description="d",
+            overrides={
+                "batching": {"batch_max": 8, "linger_s": 50e-6},
+                "energy_summary": True,
+                "trace_digest": True,
+            },
+        )
+        options = scenario.run_options(offered_rate_hz=1e4, duration_s=1.0)
+        assert options.batching is not None
+        assert options.batching.batch_max == 8
+        assert options.energy_summary
+        assert options.trace_digest
+
+    def test_legacy_kwargs_warn_and_map_to_overrides(self):
+        with pytest.warns(DeprecationWarning, match="overrides"):
+            legacy = Scenario(
+                name="x", description="d", batch_max=16, batch_linger_s=1e-4
+            )
+        assert legacy.overrides["batching"]["batch_max"] == 16
+        assert legacy.batch_max == 16  # derived view still readable
+        assert legacy.batch_policy() is not None
+        modern = Scenario(
+            name="x",
+            description="d",
+            overrides={
+                "batching": {"batch_max": 16, "linger_s": 1e-4,
+                             "dedup_gets": True}
+            },
+        )
+        assert legacy == modern
+
+    def test_every_override_changes_the_cache_key(self):
+        """No override can hide from the experiment cache: each example
+        must produce a different cache key than the un-overridden base."""
+        examples = [
+            {"batching": {"batch_max": 16, "linger_s": 1e-4}},
+            {"flashstore": {"log_segment_pages": 128}},
+            {"energy_summary": True},
+            {"diurnal": {"day_length_s": 1.0, "trough_fraction": 0.4}},
+            {"trace_digest": True},
+            {"fidelity": {"mode": "hybrid"}},
+            {"keep_samples": True},
+            {"fill_on_miss": True},
+            {"warmup_requests": 99},
+        ]
+        base = Scenario(name="x", description="d")
+        base_key = cache_key(
+            base.to_spec(self.STACK, offered_rate_hz=1e4, duration_s=0.5)
+        )
+        keys = {base_key}
+        for overrides in examples:
+            spec = Scenario(
+                name="x", description="d", overrides=overrides
+            ).to_spec(self.STACK, offered_rate_hz=1e4, duration_s=0.5)
+            keys.add(cache_key(spec))
+        assert len(keys) == len(examples) + 1
